@@ -1,0 +1,44 @@
+//! Server-side aggregation cost: FedAvg vs the Eq 12–13 adaptive-weight
+//! rule, across client counts and model sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfish_core::extension::AdaptiveWeightAggregation;
+use goldfish_fed::aggregate::{AggregationStrategy, ClientUpdate, FedAvg};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn updates(clients: usize, params: usize) -> Vec<ClientUpdate> {
+    let mut rng = StdRng::seed_from_u64(0);
+    (0..clients)
+        .map(|id| ClientUpdate {
+            client_id: id,
+            state: (0..params).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            num_samples: rng.gen_range(10..1000),
+            server_mse: Some(rng.gen_range(0.01f64..0.5)),
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for &(clients, params) in &[(5usize, 100_000usize), (25, 100_000), (25, 500_000)] {
+        let ups = updates(clients, params);
+        group.bench_with_input(
+            BenchmarkId::new("fedavg", format!("{clients}c_{params}p")),
+            &ups,
+            |b, ups| b.iter(|| FedAvg.aggregate(std::hint::black_box(ups))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", format!("{clients}c_{params}p")),
+            &ups,
+            |b, ups| b.iter(|| AdaptiveWeightAggregation.aggregate(std::hint::black_box(ups))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aggregation
+}
+criterion_main!(benches);

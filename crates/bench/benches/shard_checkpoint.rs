@@ -1,0 +1,58 @@
+//! Ablation bench for the data-sharding optimization (Eqs 8–10): time to
+//! process a deletion request with shard-checkpoint restart vs retraining
+//! the whole local model from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfish_bench::workloads::Workload;
+use goldfish_core::optimization::ShardedClient;
+use goldfish_fed::trainer::{train_local_ce, TrainConfig};
+
+fn bench_deletion(c: &mut Criterion) {
+    let w = Workload::mnist().quick();
+    let (train, _) = w.datasets(3);
+    let factory = w.factory();
+    let cfg = TrainConfig {
+        local_epochs: 2,
+        batch_size: 25,
+        lr: 0.03,
+        momentum: 0.9,
+    };
+
+    let mut group = c.benchmark_group("deletion_recovery");
+    group.sample_size(10);
+    for &tau in &[2usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::new("sharded", tau), &tau, |b, &tau| {
+            b.iter_batched(
+                || {
+                    let mut client = ShardedClient::new(&train, tau, factory.clone(), cfg, 0);
+                    client.train_round(0);
+                    client
+                },
+                |mut client| {
+                    // Delete 12 samples living in shard 0.
+                    let doomed: Vec<usize> = (0..12).map(|k| tau * k).collect();
+                    client.delete_samples(&doomed, 9);
+                    client.local_state()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.bench_function("full_retrain", |b| {
+        b.iter(|| {
+            let keep: Vec<usize> = (12..train.len()).collect();
+            let survived = train.subset(&keep);
+            let mut net = (factory)(1);
+            train_local_ce(&mut net, &survived, &cfg, 1);
+            net.state_vector()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_deletion
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Substrate primitive benchmarks: matmul, conv2d, temperature softmax.
+//! Regression guard for the numeric kernels everything else sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfish_tensor::{conv, conv::Conv2dSpec, init, ops};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = init::normal(&mut rng, vec![n, n], 0.0, 1.0);
+        let b = init::normal(&mut rng, vec![n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_forward");
+    for &(ch, hw) in &[(1usize, 20usize), (3, 16)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = init::normal(&mut rng, vec![8, ch, hw, hw], 0.0, 1.0);
+        let weight = init::normal(&mut rng, vec![6, ch, 5, 5], 0.0, 0.2);
+        let bias = goldfish_tensor::Tensor::zeros(vec![6]);
+        let spec = Conv2dSpec::new(5, 5, 1, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ch}x{hw}x{hw}")),
+            &ch,
+            |bench, _| {
+                bench.iter(|| {
+                    conv::conv2d_forward(
+                        std::hint::black_box(&input),
+                        std::hint::black_box(&weight),
+                        &bias,
+                        &spec,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_softmax_t(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let logits = init::normal(&mut rng, vec![256, 100], 0.0, 2.0);
+    c.bench_function("softmax_t_256x100", |b| {
+        b.iter(|| ops::softmax_t(std::hint::black_box(&logits), 3.0));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv2d, bench_softmax_t
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The paper's efficiency claim as a measured benchmark: wall-clock of one
+//! unlearning run (same round budget) for Goldfish vs B1 / B2 / B3 on a
+//! compact MNIST-analogue federation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goldfish_bench::workloads::{build_unlearning_experiment, Workload};
+use goldfish_core::baselines::{IncompetentTeacher, RapidRetrain, RetrainFromScratch};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::{UnlearnSetup, UnlearningMethod};
+use goldfish_core::unlearner::GoldfishUnlearning;
+
+fn setup() -> (UnlearnSetup, Workload) {
+    let mut w = Workload::mnist().quick();
+    w.rounds = 2;
+    let built = build_unlearning_experiment(&w, 0.10, 7);
+    (built.setup, w)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let (setup, w) = setup();
+    let mut group = c.benchmark_group("unlearn_one_pass");
+    group.sample_size(10);
+
+    let ours = GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+        epochs: w.local_epochs,
+        batch_size: w.batch_size,
+        lr: w.lr,
+        momentum: 0.9,
+        ..GoldfishLocalConfig::default()
+    });
+    group.bench_function("goldfish", |b| {
+        b.iter(|| ours.unlearn(std::hint::black_box(&setup), 5))
+    });
+    group.bench_function("b1_retrain", |b| {
+        b.iter(|| RetrainFromScratch.unlearn(std::hint::black_box(&setup), 5))
+    });
+    group.bench_function("b2_rapid", |b| {
+        b.iter(|| RapidRetrain::default().unlearn(std::hint::black_box(&setup), 5))
+    });
+    group.bench_function("b3_incompetent", |b| {
+        b.iter(|| IncompetentTeacher::default().unlearn(std::hint::black_box(&setup), 5))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Minimal CLI-argument helpers shared by the experiment binaries.
+
+/// Whether `--quick` was passed (smoke-test scale).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The value of `--seed N` (default 42).
+///
+/// # Panics
+///
+/// Panics with a usage message when the value is not an integer.
+pub fn seed() -> u64 {
+    value_of("--seed")
+        .map(|v| v.parse().expect("--seed expects an integer"))
+        .unwrap_or(42)
+}
+
+/// The value of a `--key value` pair, if present.
+pub fn value_of(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_flags() {
+        // The test binary itself carries no --seed/--quick flags.
+        assert_eq!(seed(), 42);
+        assert!(!quick());
+        assert!(value_of("--nope").is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! **Fig 4 (a–e)**: retraining accuracy curves — Goldfish (Ours) vs B1
+//! (retrain from scratch) vs B2 (rapid retraining) on all five workloads,
+//! plus wall-clock per method (the paper's efficiency claim).
+//!
+//! With `--delta-sweep`, additionally runs the early-termination δ ablation
+//! (an extension beyond the paper's tables; DESIGN.md §4).
+//!
+//! ```text
+//! cargo run -p goldfish-bench --release --bin fig4_retraining [--quick] [--seed N] [--delta-sweep]
+//! ```
+
+use std::time::Instant;
+
+use goldfish_bench::{args, report, workloads};
+use goldfish_core::baselines::{RapidRetrain, RetrainFromScratch};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::{UnlearnSetup, UnlearningMethod};
+use goldfish_core::unlearner::GoldfishUnlearning;
+
+fn ours_method(w: &workloads::Workload) -> GoldfishUnlearning {
+    GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+        epochs: w.local_epochs,
+        batch_size: w.batch_size,
+        lr: w.lr,
+        momentum: 0.9,
+        ..GoldfishLocalConfig::default()
+    })
+}
+
+/// Runs the method over `seeds` and returns (per-round mean accuracy,
+/// wall-clock of the last run). Round-1 accuracy after a fresh
+/// reinitialisation is high-variance, so single-seed curves mislead.
+fn run_timed(method: &dyn UnlearningMethod, setup: &UnlearnSetup, seeds: &[u64]) -> (Vec<f64>, f64) {
+    let mut mean = vec![0.0f64; setup.rounds];
+    let mut secs = 0.0;
+    for &seed in seeds {
+        let t0 = Instant::now();
+        let out = method.unlearn(setup, seed);
+        secs = t0.elapsed().as_secs_f64();
+        for (m, a) in mean.iter_mut().zip(out.round_accuracies.iter()) {
+            *m += a / seeds.len() as f64;
+        }
+    }
+    (mean, secs)
+}
+
+fn main() {
+    let seed = args::seed();
+    let quick = args::quick();
+    let rate = 0.06; // the curves are rate-insensitive; middle of the grid
+
+    for workload in workloads::Workload::all() {
+        let mut workload = if quick { workload.quick() } else { workload };
+        workload.rounds = if quick { 3 } else { 8 };
+        report::heading(&format!("Fig 4 analogue — {}", workload.name));
+        let built = workloads::build_unlearning_experiment(&workload, rate, seed);
+        println!(
+            "teacher (origin) accuracy: {} %",
+            report::pct(built.original_acc)
+        );
+
+        let seeds: Vec<u64> = if quick { vec![seed] } else { vec![seed, seed + 1, seed + 2] };
+        println!("(accuracy curves averaged over {} seeds)", seeds.len());
+        let (ours, t_ours) = run_timed(&ours_method(&workload), &built.setup, &seeds);
+        let (b1, t_b1) = run_timed(&RetrainFromScratch, &built.setup, &seeds);
+        let (b2, t_b2) = run_timed(&RapidRetrain::default(), &built.setup, &seeds);
+
+        let mut table = report::Table::new(&["round", "ours acc", "b1 acc", "b2 acc"]);
+        for r in 0..workload.rounds {
+            table.row(vec![
+                format!("{}", r + 1),
+                report::pct(ours[r]),
+                report::pct(b1[r]),
+                report::pct(b2[r]),
+            ]);
+        }
+        table.print();
+        println!(
+            "wall-clock: ours {t_ours:.1}s | b1 {t_b1:.1}s | b2 {t_b2:.1}s (same round budget)"
+        );
+
+        if args::quick() && workload.name != "mnist" {
+            continue;
+        }
+        if std::env::args().any(|a| a == "--delta-sweep") && workload.name == "mnist" {
+            report::heading("Early-termination δ sweep (ablation, MNIST)");
+            let mut sweep = report::Table::new(&["delta", "final acc", "time s"]);
+            for &delta in &[0.05f32, 0.1, 0.25, 0.5] {
+                let method = ours_method(&workload).with_local(GoldfishLocalConfig {
+                    epochs: workload.local_epochs * 4,
+                    batch_size: workload.batch_size,
+                    lr: workload.lr,
+                    momentum: 0.9,
+                    early_termination: Some(delta),
+                    ..GoldfishLocalConfig::default()
+                });
+                let (acc, secs) = run_timed(&method, &built.setup, &[seed]);
+                sweep.row(vec![
+                    format!("{delta}"),
+                    report::pct(*acc.last().unwrap_or(&0.0)),
+                    report::num(secs, 1),
+                ]);
+            }
+            sweep.print();
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! **Fig 5 (a–e) + Tables III–VI**: test accuracy and backdoor attack
+//! success rate under deletion rates 2–12 %, comparing the original model,
+//! Goldfish (Ours), B1 (retrain from scratch) and B3 (incompetent
+//! teacher), across all five dataset/model workloads.
+//!
+//! ```text
+//! cargo run -p goldfish-bench --release --bin fig5_tables3_6 [--quick] [--seed N]
+//! ```
+
+use std::time::Instant;
+
+use goldfish_bench::{args, report, workloads};
+use goldfish_core::baselines::{IncompetentTeacher, RetrainFromScratch};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::UnlearningMethod;
+use goldfish_core::unlearner::GoldfishUnlearning;
+use goldfish_core::LossWeights;
+
+fn main() {
+    let seed = args::seed();
+    let quick = args::quick();
+    let rates: &[f64] = if quick {
+        &[0.02, 0.10]
+    } else {
+        &workloads::DELETION_RATES
+    };
+
+    let only = args::value_of("--only");
+    for workload in workloads::Workload::all() {
+        if let Some(pick) = &only {
+            if &workload.name != pick {
+                continue;
+            }
+        }
+        let workload = if quick { workload.quick() } else { workload };
+        report::heading(&format!(
+            "Table III–VI analogue — {} ({} train, {} clients)",
+            workload.name, workload.train_n, workload.clients
+        ));
+        let mut table = report::Table::new(&[
+            "rate%", "origin acc", "origin bd", "ours acc", "ours bd", "b1 acc", "b1 bd",
+            "b3 acc", "b3 bd",
+        ]);
+        for &rate in rates {
+            let t0 = Instant::now();
+            let built = workloads::build_unlearning_experiment(&workload, rate, seed);
+            // Paper §IV-B: T = 3, µd = 1.0, µc = 0.25.
+            let ours_method = GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+                epochs: workload.local_epochs,
+                batch_size: workload.batch_size,
+                lr: workload.lr,
+                momentum: 0.9,
+                weights: LossWeights::default(),
+                ..GoldfishLocalConfig::default()
+            });
+            let ours = ours_method.unlearn(&built.setup, seed);
+            let b1 = RetrainFromScratch.unlearn(&built.setup, seed);
+            let b3 = IncompetentTeacher::default().unlearn(&built.setup, seed);
+
+            let (ours_acc, ours_bd) = workloads::eval_state(
+                &built.setup.factory,
+                &ours.global_state,
+                &built.setup.test,
+                &built.backdoor,
+            );
+            let (b1_acc, b1_bd) = workloads::eval_state(
+                &built.setup.factory,
+                &b1.global_state,
+                &built.setup.test,
+                &built.backdoor,
+            );
+            let (b3_acc, b3_bd) = workloads::eval_state(
+                &built.setup.factory,
+                &b3.global_state,
+                &built.setup.test,
+                &built.backdoor,
+            );
+            table.row(vec![
+                format!("{:.0}", rate * 100.0),
+                report::pct(built.original_acc),
+                report::pct(built.original_asr),
+                report::pct(ours_acc),
+                report::pct(ours_bd),
+                report::pct(b1_acc),
+                report::pct(b1_bd),
+                report::pct(b3_acc),
+                report::pct(b3_bd),
+            ]);
+            eprintln!(
+                "[{}] rate {:.0}% done in {:.1}s",
+                workload.name,
+                rate * 100.0,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        table.print();
+    }
+}

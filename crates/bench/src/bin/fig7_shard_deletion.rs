@@ -1,0 +1,95 @@
+//! **Fig 7 (a–c)**: local-model accuracy around a deletion event (after
+//! round 3) for shard counts τ ∈ {1, 3, 6, 9} at deletion rates 2 %, 6 %
+//! and 10 % — the resilience benefit of the data-sharding optimization.
+//!
+//! Deleted samples are placed shard-by-shard (fill shard 0's rows, then
+//! shard 1, …) so the number of *affected* shards grows with the deletion
+//! rate exactly as the paper describes: at 2 % only one shard retrains; at
+//! 10 % several do; with τ = 1 the whole model always retrains.
+//!
+//! ```text
+//! cargo run -p goldfish-bench --release --bin fig7_shard_deletion [--quick] [--seed N]
+//! ```
+
+use goldfish_bench::{args, report, workloads};
+use goldfish_core::optimization::ShardedClient;
+
+fn main() {
+    let seed = args::seed();
+    let quick = args::quick();
+    let workload = if quick {
+        workloads::Workload::mnist().quick()
+    } else {
+        workloads::Workload::mnist()
+    };
+    let taus: &[usize] = if quick { &[1, 3] } else { &[1, 3, 6, 9] };
+    let rates: &[f64] = if quick { &[0.02] } else { &[0.02, 0.06, 0.10] };
+    let rounds_before = 3usize;
+    let rounds_after = if quick { 2 } else { 5 };
+
+    let (train, test) = workload.datasets(seed);
+    let factory = workload.factory();
+
+    for &rate in rates {
+        report::heading(&format!(
+            "Fig 7 analogue — deletion of {:.0}% after round {rounds_before} (MNIST)",
+            rate * 100.0
+        ));
+        let mut header: Vec<String> = vec!["round".into()];
+        header.extend(taus.iter().map(|t| format!("tau={t}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = report::Table::new(&header_refs);
+
+        let mut clients: Vec<ShardedClient> = taus
+            .iter()
+            .map(|&tau| {
+                ShardedClient::new(&train, tau, factory.clone(), workload.train_config(), seed)
+            })
+            .collect();
+        let n_delete = ((train.len() as f64) * rate).round() as usize;
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for round in 0..rounds_before + rounds_after {
+            if round == rounds_before {
+                // Deletion event: fill shards in order so the affected-shard
+                // count tracks the deletion rate.
+                for (client, &tau) in clients.iter_mut().zip(taus.iter()) {
+                    // Sample g lives in shard g % tau; taking g = shard + tau*k
+                    // fills one shard at a time.
+                    let mut doomed = Vec::with_capacity(n_delete);
+                    'outer: for shard in 0..tau {
+                        for k in 0.. {
+                            let g = shard + tau * k;
+                            if g >= train.len() {
+                                break;
+                            }
+                            doomed.push(g);
+                            if doomed.len() == n_delete {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    let impact = client.delete_samples(&doomed, seed ^ 0xDEAD);
+                    eprintln!(
+                        "tau={tau}: deletion touched {} partial / {} emptied shards",
+                        impact.partial.len(),
+                        impact.emptied.len()
+                    );
+                }
+            }
+            let mut cells = vec![format!("{}", round + 1)];
+            for client in clients.iter_mut() {
+                client.train_round(seed.wrapping_add(round as u64));
+                let mut net = (factory)(0);
+                net.set_state_vector(&client.local_state());
+                cells.push(report::pct(goldfish_fed::eval::accuracy(&mut net, &test)));
+            }
+            rows.push(cells);
+        }
+        for r in rows {
+            table.row(r);
+        }
+        table.print();
+        println!("(deletion occurs before round {})", rounds_before + 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Temporary diagnostic: is the slow first round just init luck?
+
+use goldfish_bench::workloads::{build_unlearning_experiment, Workload};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::UnlearningMethod;
+use goldfish_core::unlearner::GoldfishUnlearning;
+
+fn main() {
+    let mut w = Workload::mnist();
+    w.rounds = 3;
+    let built = build_unlearning_experiment(&w, 0.06, 42);
+    let local = GoldfishLocalConfig {
+        epochs: w.local_epochs,
+        batch_size: w.batch_size,
+        lr: w.lr,
+        momentum: 0.9,
+        ..GoldfishLocalConfig::default()
+    };
+    for seed in [42u64, 43, 44, 45] {
+        let ours = GoldfishUnlearning::default()
+            .with_local(local)
+            .unlearn(&built.setup, seed);
+        let b1 = goldfish_core::baselines::RetrainFromScratch.unlearn(&built.setup, seed);
+        println!(
+            "seed {seed}: ours {:?} | b1 {:?}",
+            ours.round_accuracies, b1.round_accuracies
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! **Table XI**: hard-loss compatibility — the total Goldfish loss with
+//! cross-entropy (α), focal loss (β) and NLL (γ) as the hard component, on
+//! the CIFAR-10 analogue with the ResNet-mini.
+//!
+//! ```text
+//! cargo run -p goldfish-bench --release --bin table11_loss_compat [--quick] [--seed N]
+//! ```
+
+use std::sync::Arc;
+
+use goldfish_bench::{args, report, workloads};
+use goldfish_core::basic_model::{goldfish_local, network_from_state, GoldfishLocalConfig};
+use goldfish_core::loss::{GoldfishLoss, LossWeights};
+use goldfish_core::method::ClientSplit;
+use goldfish_nn::loss::{CrossEntropy, Focal, HardLoss, Nll};
+
+fn main() {
+    let seed = args::seed();
+    let quick = args::quick();
+    let mut workload = workloads::Workload::cifar10_resnet();
+    if quick {
+        workload = workload.quick();
+    }
+    let checkpoints = if quick { vec![2usize, 4] } else { vec![10, 20, 30, 40] };
+    let segment = checkpoints[0];
+
+    let built = workloads::build_unlearning_experiment(&workload, 0.06, seed);
+    let full: ClientSplit = {
+        let mut remaining = built.setup.clients[0].remaining.clone();
+        let mut forget = built.setup.clients[0].forget.clone();
+        for c in &built.setup.clients[1..] {
+            remaining = remaining.concat(&c.remaining);
+            forget = forget.concat(&c.forget);
+        }
+        ClientSplit { remaining, forget }
+    };
+
+    let losses: Vec<(&str, Arc<dyn HardLoss>)> = vec![
+        ("total α (CE)", Arc::new(CrossEntropy)),
+        ("total β (Focal)", Arc::new(Focal::new(2.0))),
+        ("total γ (NLL)", Arc::new(Nll)),
+    ];
+
+    report::heading("Table XI analogue — hard-loss compatibility (CIFAR-10, ResNet-mini)");
+    let mut table = report::Table::new(&[
+        "epoch", "metric", "total α (CE)", "total β (Focal)", "total γ (NLL)",
+    ]);
+
+    let mut results: Vec<Vec<(f64, f64)>> = Vec::new();
+    for (name, hard) in &losses {
+        let mut student = (built.setup.factory)(seed ^ 0xAB2);
+        let mut teacher =
+            network_from_state(&built.setup.factory, &built.setup.original_global, 0);
+        let loss = GoldfishLoss::new(Arc::clone(hard), LossWeights::default());
+        let mut rows = Vec::new();
+        for (i, _) in checkpoints.iter().enumerate() {
+            let cfg = GoldfishLocalConfig {
+                epochs: segment,
+                batch_size: workload.batch_size,
+                lr: workload.lr,
+                momentum: 0.9,
+                ..GoldfishLocalConfig::default()
+            };
+            goldfish_local(
+                &mut student,
+                &mut teacher,
+                &full.remaining,
+                &full.forget,
+                &loss,
+                &cfg,
+                None,
+                seed.wrapping_add(i as u64),
+            );
+            let acc = goldfish_fed::eval::accuracy(&mut student, &built.setup.test);
+            let asr = goldfish_fed::eval::attack_success_rate(
+                &mut student,
+                &built.setup.test,
+                &built.backdoor,
+            );
+            rows.push((acc, asr));
+        }
+        eprintln!("loss '{name}' done");
+        results.push(rows);
+    }
+
+    for (ci, &cp) in checkpoints.iter().enumerate() {
+        table.row(vec![
+            format!("{cp}"),
+            "acc".into(),
+            report::pct(results[0][ci].0),
+            report::pct(results[1][ci].0),
+            report::pct(results[2][ci].0),
+        ]);
+        table.row(vec![
+            format!("{cp}"),
+            "backdoor".into(),
+            report::pct(results[0][ci].1),
+            report::pct(results[1][ci].1),
+            report::pct(results[2][ci].1),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,102 @@
+//! **Tables VII–IX**: distributional similarity of the unlearned models to
+//! the retrained-from-scratch reference (B1), and a t-test against the
+//! original (backdoored) model — on the MNIST, FMNIST and CIFAR-10
+//! analogues.
+//!
+//! * JSD / L2 — between the unlearned model's and B1's predictive
+//!   distributions on the test set (smaller = closer to the gold-standard
+//!   retrained model).
+//! * t-test — Welch's test between per-sample max-softmax confidences of
+//!   the unlearned model and the *original* model on the **triggered
+//!   probe**; a small p-value means the unlearned model's prediction
+//!   pattern differs significantly from the backdoored one.
+//!
+//! ```text
+//! cargo run -p goldfish-bench --release --bin tables7_9_divergence [--quick] [--seed N]
+//! ```
+
+use goldfish_bench::{args, report, workloads};
+use goldfish_core::baselines::{state_probs, IncompetentTeacher, RetrainFromScratch};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::UnlearningMethod;
+use goldfish_core::unlearner::GoldfishUnlearning;
+use goldfish_metrics::divergence::{jsd_mean, l2_mean};
+use goldfish_metrics::stats::welch_t_test;
+use goldfish_tensor::Tensor;
+
+/// Per-sample max-softmax confidence of each row.
+fn confidences(probs: &Tensor) -> Vec<f64> {
+    let (n, c) = probs.dims2();
+    let pv = probs.as_slice();
+    (0..n)
+        .map(|r| {
+            pv[r * c..(r + 1) * c]
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max) as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = args::seed();
+    let quick = args::quick();
+    let rates: &[f64] = if quick {
+        &[0.02, 0.10]
+    } else {
+        &workloads::DELETION_RATES
+    };
+    let picks = [
+        workloads::Workload::mnist(),
+        workloads::Workload::fmnist(),
+        workloads::Workload::cifar10_lenet(),
+    ];
+
+    for workload in picks {
+        let workload = if quick { workload.quick() } else { workload };
+        report::heading(&format!("Table VII–IX analogue — {}", workload.name));
+        let mut table = report::Table::new(&[
+            "rate%", "b3 JSD", "b3 L2", "b3 p", "ours JSD", "ours L2", "ours p",
+        ]);
+        for &rate in rates {
+            let built = workloads::build_unlearning_experiment(&workload, rate, seed);
+            let ours_method = GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+                epochs: workload.local_epochs,
+                batch_size: workload.batch_size,
+                lr: workload.lr,
+                momentum: 0.9,
+                ..GoldfishLocalConfig::default()
+            });
+            let ours = ours_method.unlearn(&built.setup, seed);
+            let b1 = RetrainFromScratch.unlearn(&built.setup, seed);
+            let b3 = IncompetentTeacher::default().unlearn(&built.setup, seed);
+
+            // Predictive distributions on the clean test set (JSD/L2 vs B1).
+            let p_ours = state_probs(&built.setup.factory, &ours.global_state, &built.setup.test);
+            let p_b1 = state_probs(&built.setup.factory, &b1.global_state, &built.setup.test);
+            let p_b3 = state_probs(&built.setup.factory, &b3.global_state, &built.setup.test);
+
+            // Confidence distributions on the triggered probe (t-test vs origin).
+            let probe = built.backdoor.stamp_dataset(&built.setup.test);
+            let c_origin = confidences(&state_probs(
+                &built.setup.factory,
+                &built.setup.original_global,
+                &probe,
+            ));
+            let c_ours = confidences(&state_probs(&built.setup.factory, &ours.global_state, &probe));
+            let c_b3 = confidences(&state_probs(&built.setup.factory, &b3.global_state, &probe));
+
+            table.row(vec![
+                format!("{:.0}", rate * 100.0),
+                report::num(jsd_mean(&p_b3, &p_b1), 2),
+                report::num(l2_mean(&p_b3, &p_b1), 2),
+                report::num(welch_t_test(&c_b3, &c_origin).p_value, 2),
+                report::num(jsd_mean(&p_ours, &p_b1), 2),
+                report::num(l2_mean(&p_ours, &p_b1), 2),
+                report::num(welch_t_test(&c_ours, &c_origin).p_value, 2),
+            ]);
+            eprintln!("[{}] rate {:.0}% done", workload.name, rate * 100.0);
+        }
+        table.print();
+    }
+}

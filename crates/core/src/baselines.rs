@@ -1,0 +1,446 @@
+//! The paper's comparison baselines.
+//!
+//! * **B1** — [`RetrainFromScratch`]: reinitialise and retrain the global
+//!   model with plain federated SGD on the remaining data (Zhang et al.,
+//!   FedRecovery's retraining reference).
+//! * **B2** — [`RapidRetrain`]: retraining accelerated with diagonal
+//!   empirical Fisher-information preconditioning (our CPU-scale stand-in
+//!   for Liu et al., INFOCOM 2022 — see DESIGN.md §3).
+//! * **B3** — [`IncompetentTeacher`]: distillation-based unlearning with a
+//!   competent teacher on retained data and an incompetent (random)
+//!   teacher on removed data (Chundawat et al., AAAI 2023).
+//! * [`OriginalModel`] — the "origin" column of the paper's tables: the
+//!   trained model without any unlearning.
+
+use goldfish_fed::aggregate::{AggregationStrategy, ClientUpdate, FedAvg};
+use goldfish_fed::trainer::train_local_ce;
+use goldfish_fed::{eval, ModelFactory};
+use goldfish_nn::loss::{CrossEntropy, HardLoss};
+use goldfish_nn::Network;
+use goldfish_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::basic_model::{network_from_state, reinit_seed};
+use crate::loss::distillation_loss;
+use crate::method::{parallel_clients, UnlearnOutcome, UnlearnSetup, UnlearningMethod};
+
+/// Evaluates the test accuracy of a global state vector.
+fn global_accuracy(factory: &ModelFactory, state: &[f32], test: &goldfish_data::Dataset) -> f64 {
+    let mut net = network_from_state(factory, state, 0);
+    eval::accuracy(&mut net, test)
+}
+
+/// **B1** — retraining from scratch on the remaining data only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetrainFromScratch;
+
+impl UnlearningMethod for RetrainFromScratch {
+    fn name(&self) -> &'static str {
+        "b1_retrain"
+    }
+
+    fn unlearn(&self, setup: &UnlearnSetup, seed: u64) -> UnlearnOutcome {
+        let mut global = (setup.factory)(reinit_seed(seed ^ 0xB1)).state_vector();
+        let mut round_accuracies = Vec::with_capacity(setup.rounds);
+        for round in 0..setup.rounds {
+            let updates = parallel_clients(setup.clients.len(), |id| {
+                let client_seed = seed
+                    .wrapping_add((id as u64) << 32)
+                    .wrapping_add(round as u64);
+                let mut net = network_from_state(&setup.factory, &global, client_seed);
+                train_local_ce(&mut net, &setup.clients[id].remaining, &setup.train, client_seed);
+                ClientUpdate {
+                    client_id: id,
+                    state: net.state_vector(),
+                    num_samples: setup.clients[id].remaining.len(),
+                    server_mse: None,
+                }
+            });
+            global = FedAvg.aggregate(&updates);
+            round_accuracies.push(global_accuracy(&setup.factory, &global, &setup.test));
+        }
+        UnlearnOutcome {
+            method: self.name().into(),
+            global_state: global,
+            round_accuracies,
+        }
+    }
+}
+
+/// **B2** — rapid retraining: from-scratch retraining accelerated with a
+/// diagonal empirical-FIM preconditioner (`w ← w − η·g / (√F̂ + ε)` with
+/// `F̂` an exponential moving average of squared gradients).
+///
+/// Liu et al. accelerate post-deletion recovery with diagonal-FIM
+/// second-order steps; this reproduction keeps exactly that preconditioner
+/// shape. Like B1 it trains only on remaining data, so it is equally valid
+/// at forgetting — its selling point is convergence speed per round.
+#[derive(Debug, Clone, Copy)]
+pub struct RapidRetrain {
+    /// Learning rate for the preconditioned update. Preconditioned steps
+    /// are parameter-scaled, so this wants to be ~10× smaller than the SGD
+    /// rate; `None` derives `0.2 × train.lr`.
+    pub lr_override: Option<f32>,
+    /// EMA decay of the squared-gradient accumulator.
+    pub fim_decay: f32,
+    /// Damping ε added to the preconditioner denominator.
+    pub damping: f32,
+}
+
+impl Default for RapidRetrain {
+    fn default() -> Self {
+        RapidRetrain {
+            lr_override: None,
+            fim_decay: 0.95,
+            damping: 1e-6,
+        }
+    }
+}
+
+impl RapidRetrain {
+    /// One client's preconditioned local training.
+    fn train_client(
+        &self,
+        net: &mut Network,
+        data: &goldfish_data::Dataset,
+        setup: &UnlearnSetup,
+        seed: u64,
+    ) {
+        if data.is_empty() {
+            return;
+        }
+        let lr = self.lr_override.unwrap_or(setup.train.lr * 0.2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fim = vec![0.0f32; net.state_len()];
+        let mut state = net.state_vector();
+        for _ in 0..setup.train.local_epochs {
+            let order = data.shuffled_indices(&mut rng);
+            for chunk in order.chunks(setup.train.batch_size) {
+                let batch = data.subset(chunk);
+                let logits = net.forward(batch.features(), true);
+                let (_, grad) = CrossEntropy.loss_and_grad(&logits, batch.labels());
+                net.zero_grad();
+                net.backward(&grad);
+                let g = net.grad_vector();
+                for ((w, f), gi) in state.iter_mut().zip(fim.iter_mut()).zip(g.iter()) {
+                    *f = self.fim_decay * *f + (1.0 - self.fim_decay) * gi * gi;
+                    *w -= lr * gi / (f.sqrt() + self.damping);
+                }
+                net.set_state_vector(&state);
+            }
+        }
+    }
+}
+
+impl UnlearningMethod for RapidRetrain {
+    fn name(&self) -> &'static str {
+        "b2_rapid"
+    }
+
+    fn unlearn(&self, setup: &UnlearnSetup, seed: u64) -> UnlearnOutcome {
+        let mut global = (setup.factory)(reinit_seed(seed ^ 0xB2)).state_vector();
+        let mut round_accuracies = Vec::with_capacity(setup.rounds);
+        for round in 0..setup.rounds {
+            let updates = parallel_clients(setup.clients.len(), |id| {
+                let client_seed = seed
+                    .wrapping_add((id as u64) << 32)
+                    .wrapping_add(round as u64)
+                    ^ 0xB2;
+                let mut net = network_from_state(&setup.factory, &global, client_seed);
+                self.train_client(&mut net, &setup.clients[id].remaining, setup, client_seed);
+                ClientUpdate {
+                    client_id: id,
+                    state: net.state_vector(),
+                    num_samples: setup.clients[id].remaining.len(),
+                    server_mse: None,
+                }
+            });
+            global = FedAvg.aggregate(&updates);
+            round_accuracies.push(global_accuracy(&setup.factory, &global, &setup.test));
+        }
+        UnlearnOutcome {
+            method: self.name().into(),
+            global_state: global,
+            round_accuracies,
+        }
+    }
+}
+
+/// **B3** — unlearning with an incompetent teacher (Chundawat et al.,
+/// AAAI 2023), adapted to the federated setting as in the paper: the
+/// student starts **from the original model** (no reinitialisation) and is
+/// steered by two teachers — the competent one (the original model) on
+/// retained data and an incompetent randomly-initialised one on removed
+/// data.
+#[derive(Debug, Clone, Copy)]
+pub struct IncompetentTeacher {
+    /// Distillation temperature for both teachers (Chundawat et al. use 1).
+    pub temperature: f32,
+}
+
+impl Default for IncompetentTeacher {
+    fn default() -> Self {
+        IncompetentTeacher { temperature: 1.0 }
+    }
+}
+
+impl UnlearningMethod for IncompetentTeacher {
+    fn name(&self) -> &'static str {
+        "b3_incompetent"
+    }
+
+    fn unlearn(&self, setup: &UnlearnSetup, seed: u64) -> UnlearnOutcome {
+        let mut global = setup.original_global.clone();
+        let mut round_accuracies = Vec::with_capacity(setup.rounds);
+        for round in 0..setup.rounds {
+            let updates = parallel_clients(setup.clients.len(), |id| {
+                let client_seed = seed
+                    .wrapping_add((id as u64) << 32)
+                    .wrapping_add(round as u64)
+                    ^ 0xB3;
+                let split = &setup.clients[id];
+                let mut student = network_from_state(&setup.factory, &global, client_seed);
+                let mut competent =
+                    network_from_state(&setup.factory, &setup.original_global, client_seed);
+                // The incompetent teacher is a fresh random network.
+                let mut incompetent = (setup.factory)(client_seed ^ 0x1C0DE);
+                self.train_client(
+                    &mut student,
+                    &mut competent,
+                    &mut incompetent,
+                    split,
+                    setup,
+                    client_seed,
+                );
+                ClientUpdate {
+                    client_id: id,
+                    state: student.state_vector(),
+                    num_samples: split.remaining.len(),
+                    server_mse: None,
+                }
+            });
+            global = FedAvg.aggregate(&updates);
+            round_accuracies.push(global_accuracy(&setup.factory, &global, &setup.test));
+        }
+        UnlearnOutcome {
+            method: self.name().into(),
+            global_state: global,
+            round_accuracies,
+        }
+    }
+}
+
+impl IncompetentTeacher {
+    fn train_client(
+        &self,
+        student: &mut Network,
+        competent: &mut Network,
+        incompetent: &mut Network,
+        split: &crate::method::ClientSplit,
+        setup: &UnlearnSetup,
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sgd = goldfish_nn::optim::Sgd::new(setup.train.lr, setup.train.momentum);
+        for _ in 0..setup.train.local_epochs {
+            // Retained data: follow the competent teacher.
+            if !split.remaining.is_empty() {
+                let order = split.remaining.shuffled_indices(&mut rng);
+                for chunk in order.chunks(setup.train.batch_size) {
+                    let batch = split.remaining.subset(chunk);
+                    let teacher_logits = competent.forward(batch.features(), false);
+                    let student_logits = student.forward(batch.features(), true);
+                    let (_, grad) =
+                        distillation_loss(&student_logits, &teacher_logits, self.temperature);
+                    student.zero_grad();
+                    student.backward(&grad);
+                    sgd.step(student);
+                }
+            }
+            // Removed data: follow the incompetent teacher.
+            if !split.forget.is_empty() {
+                let order = split.forget.shuffled_indices(&mut rng);
+                for chunk in order.chunks(setup.train.batch_size) {
+                    let batch = split.forget.subset(chunk);
+                    let teacher_logits = incompetent.forward(batch.features(), false);
+                    let student_logits = student.forward(batch.features(), true);
+                    let (_, grad) =
+                        distillation_loss(&student_logits, &teacher_logits, self.temperature);
+                    student.zero_grad();
+                    student.backward(&grad);
+                    sgd.step(student);
+                }
+            }
+        }
+    }
+}
+
+/// The "origin" reference: no unlearning at all — returns the original
+/// global model unchanged. Used as the contamination witness in Tables
+/// III–VI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OriginalModel;
+
+impl UnlearningMethod for OriginalModel {
+    fn name(&self) -> &'static str {
+        "origin"
+    }
+
+    fn unlearn(&self, setup: &UnlearnSetup, _seed: u64) -> UnlearnOutcome {
+        let acc = global_accuracy(&setup.factory, &setup.original_global, &setup.test);
+        UnlearnOutcome {
+            method: self.name().into(),
+            global_state: setup.original_global.clone(),
+            round_accuracies: vec![acc; setup.rounds.max(1)],
+        }
+    }
+}
+
+/// Hard-loss value of a state vector on a dataset — exposed for harness
+/// diagnostics (e.g. the δ-sweep ablation).
+pub fn state_loss(
+    factory: &ModelFactory,
+    state: &[f32],
+    data: &goldfish_data::Dataset,
+    hard: &dyn HardLoss,
+) -> f32 {
+    let mut net = network_from_state(factory, state, 0);
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut batches = 0;
+    for (x, labels) in data.batches(256) {
+        let logits = net.forward(&x, false);
+        total += hard.loss(&logits, &labels);
+        batches += 1;
+    }
+    total / batches.max(1) as f32
+}
+
+/// Prediction-probability tensor of a state vector over a dataset —
+/// exposed for the divergence tables (VII–IX).
+pub fn state_probs(
+    factory: &ModelFactory,
+    state: &[f32],
+    data: &goldfish_data::Dataset,
+) -> Tensor {
+    let mut net = network_from_state(factory, state, 0);
+    eval::predict_probs(&mut net, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::ClientSplit;
+    use goldfish_data::backdoor::BackdoorSpec;
+    use goldfish_data::synthetic::{self, SyntheticSpec};
+    use goldfish_fed::trainer::TrainConfig;
+    use goldfish_nn::zoo;
+    use std::sync::Arc;
+
+    fn setup_fixture() -> (UnlearnSetup, BackdoorSpec) {
+        let spec = SyntheticSpec::mnist().with_size(10, 10).with_shift(1);
+        let (mut train, test) = synthetic::generate(&spec, 300, 100, 31);
+        let backdoor = BackdoorSpec::new(0).with_patch(2);
+        let poisoned: Vec<usize> = (0..24).collect();
+        backdoor.poison(&mut train, &poisoned);
+
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            zoo::mlp(100, &[32], 10, &mut rng)
+        });
+        let train_cfg = TrainConfig {
+            local_epochs: 4,
+            batch_size: 25,
+            lr: 0.05,
+            momentum: 0.9,
+        };
+
+        // Pretrain the original global model on everything (single client
+        // keeps the fixture fast).
+        let mut original = (factory)(1);
+        train_local_ce(
+            &mut original,
+            &train,
+            &TrainConfig {
+                local_epochs: 15,
+                ..train_cfg
+            },
+            5,
+        );
+
+        // Client 0 holds the poisoned data; client 1 is intact.
+        let (c0, c1) = train.split_at(150);
+        let removed: Vec<usize> = (0..24).collect();
+        let clients = vec![ClientSplit::with_removed(&c0, &removed), ClientSplit::intact(c1)];
+        (
+            UnlearnSetup {
+                factory,
+                clients,
+                test,
+                original_global: original.state_vector(),
+                rounds: 3,
+                train: train_cfg,
+            },
+            backdoor,
+        )
+    }
+
+    #[test]
+    fn original_model_keeps_backdoor() {
+        let (setup, backdoor) = setup_fixture();
+        let out = OriginalModel.unlearn(&setup, 0);
+        let mut net = network_from_state(&setup.factory, &out.global_state, 0);
+        let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
+        assert!(asr > 0.5, "origin ASR {asr} should stay high");
+        assert!(out.final_accuracy() > 0.5);
+    }
+
+    #[test]
+    fn b1_retrain_removes_backdoor() {
+        let (setup, backdoor) = setup_fixture();
+        let out = RetrainFromScratch.unlearn(&setup, 0);
+        let mut net = network_from_state(&setup.factory, &out.global_state, 0);
+        let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
+        assert!(asr < 0.3, "B1 ASR {asr} should be low");
+        assert!(out.final_accuracy() > 0.5, "B1 accuracy {}", out.final_accuracy());
+        assert_eq!(out.round_accuracies.len(), 3);
+    }
+
+    #[test]
+    fn b2_rapid_converges_and_forgets() {
+        let (setup, backdoor) = setup_fixture();
+        let out = RapidRetrain::default().unlearn(&setup, 0);
+        let mut net = network_from_state(&setup.factory, &out.global_state, 0);
+        let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
+        assert!(asr < 0.3, "B2 ASR {asr}");
+        assert!(out.final_accuracy() > 0.5, "B2 accuracy {}", out.final_accuracy());
+    }
+
+    #[test]
+    fn b3_incompetent_teacher_reduces_backdoor_quickly() {
+        let (setup, backdoor) = setup_fixture();
+        let out = IncompetentTeacher::default().unlearn(&setup, 0);
+        let mut net = network_from_state(&setup.factory, &out.global_state, 0);
+        let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
+        // The original model's ASR is > 0.5; B3 must cut it drastically.
+        assert!(asr < 0.35, "B3 ASR {asr}");
+        assert!(out.final_accuracy() > 0.4, "B3 accuracy {}", out.final_accuracy());
+    }
+
+    #[test]
+    fn state_loss_distinguishes_models() {
+        let (setup, _) = setup_fixture();
+        let trained = state_loss(
+            &setup.factory,
+            &setup.original_global,
+            &setup.test,
+            &CrossEntropy,
+        );
+        let fresh_state = (setup.factory)(777).state_vector();
+        let fresh = state_loss(&setup.factory, &fresh_state, &setup.test, &CrossEntropy);
+        assert!(trained < fresh);
+    }
+}

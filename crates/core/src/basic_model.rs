@@ -1,0 +1,465 @@
+//! The basic model: teacher/student knowledge-distillation retraining
+//! (the `Goldfish` procedure of Algorithm 1, lines 24–35).
+//!
+//! The teacher `M_T` is the (old) global model — it knows both `D_r^c` and
+//! `D_f^c`. The student `M_S` starts without knowledge of the client data
+//! and learns **only** from the remaining data: knowledge transfer happens
+//! exclusively on `D_r^c`, while the removed data `D_f^c` only ever enters
+//! through the negative hard term and the confusion term of the composite
+//! loss — preventing the student from acquiring the removed knowledge.
+
+use goldfish_data::Dataset;
+use goldfish_nn::optim::Sgd;
+use goldfish_nn::Network;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::extension::AdaptiveTemperature;
+use crate::loss::{GoldfishLoss, LossWeights};
+use crate::optimization::EarlyTermination;
+
+/// Configuration of one client's Goldfish local retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoldfishLocalConfig {
+    /// Maximum local epochs `n`.
+    pub epochs: usize,
+    /// Mini-batch size over the remaining data.
+    pub batch_size: usize,
+    /// Learning rate µ.
+    pub lr: f32,
+    /// SGD momentum β.
+    pub momentum: f32,
+    /// Composite-loss weights (µc, µd, T).
+    pub weights: LossWeights,
+    /// When set, Eq 11 overrides the fixed temperature per client.
+    pub adaptive_temperature: Option<AdaptiveTemperature>,
+    /// When set, Eq 7 early termination with this δ.
+    pub early_termination: Option<f32>,
+    /// Global gradient-norm clip applied before every SGD step. The
+    /// composite loss contains a (gated) ascent term; clipping keeps a
+    /// rough batch from destabilising the student. `None` disables.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for GoldfishLocalConfig {
+    /// The paper's experiment configuration (B = 100, η = 0.001, β = 0.9,
+    /// T = 3, µd = 1.0, µc = 0.25; no adaptive temperature, no early
+    /// termination).
+    fn default() -> Self {
+        GoldfishLocalConfig {
+            epochs: 1,
+            batch_size: 100,
+            lr: 0.001,
+            momentum: 0.9,
+            weights: LossWeights::default(),
+            adaptive_temperature: None,
+            early_termination: None,
+            grad_clip: Some(5.0),
+        }
+    }
+}
+
+/// Statistics of one Goldfish local run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldfishLocalStats {
+    /// Mean composite loss of each completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// The distillation temperature actually used (after Eq 11).
+    pub temperature: f32,
+    /// Whether Eq 7 stopped training before `epochs` elapsed.
+    pub early_terminated: bool,
+}
+
+/// Runs the Goldfish distillation retraining for one client.
+///
+/// * `student` — trained in place; typically freshly (re)initialised.
+/// * `teacher` — the old global model; only evaluated (never updated).
+/// * `remaining` / `forget` — `D_r^c` and `D_f^c`. An empty `forget` set
+///   reduces the procedure to distillation-assisted local training
+///   (Algorithm 1, line 32).
+/// * `reference_loss` — `L(ω^{t−1})` for Eq 7; pass the composite loss of
+///   the previous global model on this client's data (ignored unless
+///   `cfg.early_termination` is set).
+///
+/// Returns per-epoch statistics.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
+pub fn goldfish_local(
+    student: &mut Network,
+    teacher: &mut Network,
+    remaining: &Dataset,
+    forget: &Dataset,
+    loss: &GoldfishLoss,
+    cfg: &GoldfishLocalConfig,
+    reference_loss: Option<f32>,
+    seed: u64,
+) -> GoldfishLocalStats {
+    let temperature = match &cfg.adaptive_temperature {
+        Some(at) => at.temperature(remaining.len(), forget.len()),
+        None => cfg.weights.temperature,
+    };
+    let mut loss = loss.clone();
+    loss.set_temperature(temperature);
+
+    let mut stats = GoldfishLocalStats {
+        epoch_losses: Vec::with_capacity(cfg.epochs),
+        temperature,
+        early_terminated: false,
+    };
+    if remaining.is_empty() && forget.is_empty() {
+        return stats;
+    }
+    let mut early = match (cfg.early_termination, reference_loss) {
+        (Some(delta), Some(reference)) => Some(EarlyTermination::new(delta, reference)),
+        _ => None,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum);
+    // The paper's Eq 1 is sum-based over |D_r| ≫ |D_f|; on batch means the
+    // equivalent ascent weight for the removed data is the size ratio.
+    let forget_scale = if remaining.is_empty() {
+        1.0
+    } else {
+        (forget.len() as f32 / remaining.len() as f32).min(1.0)
+    };
+
+    for _ in 0..cfg.epochs {
+        let order = remaining.shuffled_indices(&mut rng);
+        let forget_order = forget.shuffled_indices(&mut rng);
+        let remaining_batches: Vec<&[usize]> = order.chunks(cfg.batch_size.max(1)).collect();
+        let n_steps = remaining_batches.len().max(1);
+        // Spread the (small) forget set across the epoch's steps so every
+        // step sees a slice of removed data.
+        let forget_chunk = forget_order.len().div_ceil(n_steps).max(1);
+        let mut forget_batches = forget_order.chunks(forget_chunk);
+
+        let mut epoch_loss = 0.0f32;
+        let mut steps = 0usize;
+        for chunk in &remaining_batches {
+            let mut total = 0.0f32;
+            student.zero_grad();
+            if !chunk.is_empty() {
+                let batch = remaining.subset(chunk);
+                let teacher_logits = if loss.weights().mu_d > 0.0 {
+                    Some(teacher.forward(batch.features(), false))
+                } else {
+                    None
+                };
+                let student_logits = student.forward(batch.features(), true);
+                let (bd, grad) =
+                    loss.remaining_grad(&student_logits, teacher_logits.as_ref(), batch.labels());
+                student.backward(&grad);
+                total += bd.total(loss.weights());
+            }
+            if let Some(fchunk) = forget_batches.next() {
+                if !fchunk.is_empty() {
+                    let fbatch = forget.subset(fchunk);
+                    let student_logits = student.forward(fbatch.features(), true);
+                    let (bd, grad) =
+                        loss.forget_grad(&student_logits, fbatch.labels(), forget_scale);
+                    student.backward(&grad);
+                    total += bd.total(loss.weights());
+                }
+            }
+            if let Some(max_norm) = cfg.grad_clip {
+                clip_grad_norm(student, max_norm);
+            }
+            sgd.step(student);
+            epoch_loss += total;
+            steps += 1;
+        }
+        let mean_loss = epoch_loss / steps.max(1) as f32;
+        stats.epoch_losses.push(mean_loss);
+        if let Some(et) = &mut early {
+            if et.observe(mean_loss) {
+                stats.early_terminated = true;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Scales all parameter gradients down so the global gradient norm is at
+/// most `max_norm`.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(net: &mut Network, max_norm: f32) {
+    assert!(max_norm > 0.0, "max_norm must be positive, got {max_norm}");
+    let norm_sq: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum();
+    let norm = norm_sq.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for p in net.params_mut() {
+            p.grad.scale_mut(scale);
+        }
+    } else if !norm.is_finite() {
+        // A non-finite gradient would corrupt the momentum buffers; drop it.
+        for p in net.params_mut() {
+            p.grad.zero_mut();
+        }
+    }
+}
+
+/// Composite-loss value of a (fixed) model on a client's data — the Eq 7
+/// reference `L(ω^{t−1})`.
+///
+/// Both sides of Eq 7 must be measured by the *same* loss function, so the
+/// reference model is evaluated under the full composite loss with itself
+/// as the teacher (the self-distillation term is then the softened
+/// prediction entropy — exactly the floor the student's distillation term
+/// approaches as it converges to the teacher).
+pub fn reference_loss(
+    model: &mut Network,
+    remaining: &Dataset,
+    forget: &Dataset,
+    loss: &GoldfishLoss,
+) -> f32 {
+    // goldfish_local's per-step loss is "remaining-batch term + forget-slice
+    // term", so the comparable reference is the sum of the two per-batch
+    // means.
+    let forget_scale = if remaining.is_empty() {
+        1.0
+    } else {
+        (forget.len() as f32 / remaining.len() as f32).min(1.0)
+    };
+    let mut rem_total = 0.0f32;
+    let mut rem_batches = 0usize;
+    for (x, labels) in remaining.batches(256) {
+        let logits = model.forward(&x, false);
+        let (bd, _) = loss.remaining_grad(&logits, Some(&logits), &labels);
+        rem_total += bd.total(loss.weights());
+        rem_batches += 1;
+    }
+    let mut fg_total = 0.0f32;
+    let mut fg_batches = 0usize;
+    for (x, labels) in forget.batches(256) {
+        let logits = model.forward(&x, false);
+        let (bd, _) = loss.forget_grad(&logits, &labels, forget_scale);
+        fg_total += bd.total(loss.weights());
+        fg_batches += 1;
+    }
+    let rem_mean = if rem_batches == 0 { 0.0 } else { rem_total / rem_batches as f32 };
+    let fg_mean = if fg_batches == 0 { 0.0 } else { fg_total / fg_batches as f32 };
+    rem_mean + fg_mean
+}
+
+/// Convenience: a seeded copy of a network materialised from a factory and
+/// a state vector.
+pub fn network_from_state(factory: &goldfish_fed::ModelFactory, state: &[f32], seed: u64) -> Network {
+    let mut net = (factory)(seed);
+    net.set_state_vector(state);
+    net
+}
+
+/// Draws a fresh initialisation seed from a base seed (used when Algorithm
+/// 1 reinitialises the global model `ω0` on a deletion request).
+pub fn reinit_seed(base: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(base ^ 0xD1B5_4A32_D192_ED03);
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfish_data::backdoor::BackdoorSpec;
+    use goldfish_data::synthetic::{self, SyntheticSpec};
+    use goldfish_nn::loss::CrossEntropy;
+    use goldfish_nn::zoo;
+    use std::sync::Arc;
+
+    fn fixture() -> (Dataset, Dataset, Dataset) {
+        // (remaining, forget(backdoored), test)
+        let spec = SyntheticSpec::mnist().with_size(10, 10).with_shift(1);
+        let (mut train, test) = synthetic::generate(&spec, 200, 80, 21);
+        let backdoor = BackdoorSpec::new(0).with_patch(2);
+        let poisoned: Vec<usize> = (0..20).collect();
+        backdoor.poison(&mut train, &poisoned);
+        let forget = train.subset(&poisoned);
+        let keep: Vec<usize> = (20..200).collect();
+        let remaining = train.subset(&keep);
+        (remaining, forget, test)
+    }
+
+    fn mlp_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        zoo::mlp(100, &[32], 10, &mut rng)
+    }
+
+    fn train_teacher(remaining: &Dataset, forget: &Dataset) -> Network {
+        let mut teacher = mlp_net(1);
+        let all = remaining.concat(forget);
+        let cfg = goldfish_fed::trainer::TrainConfig {
+            local_epochs: 12,
+            batch_size: 25,
+            lr: 0.05,
+            momentum: 0.9,
+        };
+        goldfish_fed::trainer::train_local_ce(&mut teacher, &all, &cfg, 3);
+        teacher
+    }
+
+    fn local_cfg() -> GoldfishLocalConfig {
+        GoldfishLocalConfig {
+            epochs: 10,
+            batch_size: 25,
+            lr: 0.05,
+            momentum: 0.9,
+            ..GoldfishLocalConfig::default()
+        }
+    }
+
+    #[test]
+    fn student_learns_and_forgets() {
+        let (remaining, forget, test) = fixture();
+        let mut teacher = train_teacher(&remaining, &forget);
+        let backdoor = BackdoorSpec::new(0).with_patch(2);
+        let teacher_asr = goldfish_fed::eval::attack_success_rate(&mut teacher, &test, &backdoor);
+        assert!(teacher_asr > 0.5, "teacher should be backdoored: {teacher_asr}");
+
+        let mut student = mlp_net(99);
+        let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let stats = goldfish_local(
+            &mut student,
+            &mut teacher,
+            &remaining,
+            &forget,
+            &loss,
+            &local_cfg(),
+            None,
+            7,
+        );
+        assert_eq!(stats.epoch_losses.len(), 10);
+        let acc = goldfish_fed::eval::accuracy(&mut student, &test);
+        let asr = goldfish_fed::eval::attack_success_rate(&mut student, &test, &backdoor);
+        assert!(acc > 0.6, "student accuracy {acc}");
+        assert!(asr < 0.3, "student should not retain the backdoor: {asr}");
+    }
+
+    #[test]
+    fn empty_forget_reduces_to_distillation_training() {
+        let (remaining, _, test) = fixture();
+        let empty = Dataset::empty(remaining.sample_shape(), remaining.classes());
+        let mut teacher = train_teacher(&remaining, &empty);
+        let mut student = mlp_net(42);
+        let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let stats = goldfish_local(
+            &mut student,
+            &mut teacher,
+            &remaining,
+            &empty,
+            &loss,
+            &local_cfg(),
+            None,
+            0,
+        );
+        assert!(!stats.early_terminated);
+        let acc = goldfish_fed::eval::accuracy(&mut student, &test);
+        assert!(acc > 0.6, "distillation-only accuracy {acc}");
+    }
+
+    #[test]
+    fn early_termination_cuts_epochs() {
+        let (remaining, forget, _) = fixture();
+        let mut teacher = train_teacher(&remaining, &forget);
+        let gloss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let ref_loss = reference_loss(&mut teacher, &remaining, &forget, &gloss);
+        let mut student = mlp_net(5);
+        let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let cfg = GoldfishLocalConfig {
+            epochs: 50,
+            early_termination: Some(1.0), // generous δ triggers quickly
+            ..local_cfg()
+        };
+        let stats = goldfish_local(
+            &mut student,
+            &mut teacher,
+            &remaining,
+            &forget,
+            &loss,
+            &cfg,
+            Some(ref_loss),
+            0,
+        );
+        assert!(stats.early_terminated);
+        assert!(stats.epoch_losses.len() < 50);
+    }
+
+    #[test]
+    fn adaptive_temperature_is_applied() {
+        let (remaining, forget, _) = fixture();
+        let mut teacher = train_teacher(&remaining, &forget);
+        let mut student = mlp_net(6);
+        let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let cfg = GoldfishLocalConfig {
+            epochs: 1,
+            adaptive_temperature: Some(AdaptiveTemperature::default()),
+            ..local_cfg()
+        };
+        let stats = goldfish_local(
+            &mut student,
+            &mut teacher,
+            &remaining,
+            &forget,
+            &loss,
+            &cfg,
+            None,
+            0,
+        );
+        let expect = AdaptiveTemperature::default().temperature(remaining.len(), forget.len());
+        assert!((stats.temperature - expect).abs() < 1e-6);
+        assert!(stats.temperature > LossWeights::default().temperature * 0.9);
+    }
+
+    #[test]
+    fn grad_clip_bounds_norm_and_drops_nonfinite() {
+        let mut net = mlp_net(3);
+        // Fill gradients with large values.
+        for p in net.params_mut() {
+            p.grad.map_mut(|_| 100.0);
+        }
+        clip_grad_norm(&mut net, 1.0);
+        let norm: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-3, "clipped norm {norm}");
+
+        for p in net.params_mut() {
+            p.grad.map_mut(|_| f32::NAN);
+        }
+        clip_grad_norm(&mut net, 1.0);
+        assert!(net.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn no_data_is_noop() {
+        let mut student = mlp_net(0);
+        let mut teacher = mlp_net(1);
+        let before = student.state_vector();
+        let empty = Dataset::empty(&[100], 10);
+        let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let stats = goldfish_local(
+            &mut student,
+            &mut teacher,
+            &empty,
+            &empty,
+            &loss,
+            &local_cfg(),
+            None,
+            0,
+        );
+        assert!(stats.epoch_losses.is_empty());
+        assert_eq!(student.state_vector(), before);
+    }
+
+    #[test]
+    fn reference_loss_is_low_for_trained_model() {
+        let (remaining, forget, _) = fixture();
+        let mut teacher = train_teacher(&remaining, &forget);
+        let gloss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+        let empty = Dataset::empty(remaining.sample_shape(), remaining.classes());
+        let trained = reference_loss(&mut teacher, &remaining, &empty, &gloss);
+        let mut fresh = mlp_net(1234);
+        let untrained = reference_loss(&mut fresh, &remaining, &empty, &gloss);
+        assert!(trained < untrained, "{trained} !< {untrained}");
+    }
+}

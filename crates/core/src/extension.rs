@@ -1,0 +1,189 @@
+//! The extension module: adaptive distillation temperature (Eq 11) and
+//! adaptive aggregation weights (Eqs 12–13).
+
+use goldfish_fed::aggregate::{AggregationStrategy, ClientUpdate};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the adaptive distillation temperature (Eq 11):
+/// `T = α·T0·exp(−|D_r| / (|D_r| + |D_f|))`.
+///
+/// Clients with relatively more removed data keep a higher temperature
+/// (softer teacher targets — more information decoupled from the teacher),
+/// while clients dominated by remaining data run cooler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveTemperature {
+    /// Initial temperature T0.
+    pub t0: f32,
+    /// Adjustment factor α.
+    pub alpha: f32,
+}
+
+impl Default for AdaptiveTemperature {
+    /// The paper's experiment configuration: T0 = 3 with a neutral α = e
+    /// (so a client with no removed data lands back at T0·e·e⁻¹ = T0).
+    fn default() -> Self {
+        AdaptiveTemperature {
+            t0: 3.0,
+            alpha: std::f32::consts::E,
+        }
+    }
+}
+
+impl AdaptiveTemperature {
+    /// Evaluates Eq 11 for a client holding `n_remaining` remaining and
+    /// `n_forget` removed samples. The result is clamped below at `0.25`
+    /// to keep the softmax well-defined; with no data at all the initial
+    /// temperature is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0` or `alpha` is not positive.
+    pub fn temperature(&self, n_remaining: usize, n_forget: usize) -> f32 {
+        assert!(
+            self.t0 > 0.0 && self.alpha > 0.0,
+            "t0 and alpha must be positive: {} {}",
+            self.t0,
+            self.alpha
+        );
+        let total = n_remaining + n_forget;
+        if total == 0 {
+            return self.t0;
+        }
+        let ratio = n_remaining as f32 / total as f32;
+        (self.alpha * self.t0 * (-ratio).exp()).max(0.25)
+    }
+}
+
+/// The adaptive-weight aggregation of Eqs 12–13: client `c` receives weight
+///
+/// `W_c = exp(−(me_c − m̄) / m̄)` with `m̄ = (1/|C|) Σ_i me_i`,
+///
+/// where `me_c` is the MSE of client `c`'s uploaded model on the server's
+/// test set; the global model is the `W`-weighted mean normalised by
+/// `θ = Σ_c W_c` (Eq 13). Better models (lower MSE) therefore dominate the
+/// aggregate — the mechanism behind the Fig 8 heterogeneity results.
+///
+/// Falls back to FedAvg-style sample-size weighting when the server MSE is
+/// missing from any update (documented degradation, exercised in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveWeightAggregation;
+
+impl AdaptiveWeightAggregation {
+    /// Computes the (unnormalised) Eq 12 weights for a set of MSE scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mses` is empty.
+    pub fn weights(mses: &[f64]) -> Vec<f64> {
+        assert!(!mses.is_empty(), "no MSE scores");
+        // A client whose model diverged uploads NaN/∞ MSE; treat it as the
+        // worst possible score instead of poisoning the whole aggregate.
+        let sane: Vec<f64> = mses
+            .iter()
+            .map(|&m| if m.is_finite() { m } else { 1e9 })
+            .collect();
+        let mean = sane.iter().sum::<f64>() / sane.len() as f64;
+        if mean <= f64::EPSILON {
+            // All clients are perfect — uniform weights.
+            return vec![1.0; sane.len()];
+        }
+        sane.iter().map(|&me| (-(me - mean) / mean).exp()).collect()
+    }
+}
+
+impl AggregationStrategy for AdaptiveWeightAggregation {
+    fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        assert!(!updates.is_empty(), "no client updates to aggregate");
+        let mses: Option<Vec<f64>> = updates.iter().map(|u| u.server_mse).collect();
+        let weights = match mses {
+            Some(mses) => Self::weights(&mses),
+            None => updates.iter().map(|u| u.num_samples.max(1) as f64).collect(),
+        };
+        goldfish_fed::aggregate::weighted_mean(updates, &weights)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive_weight"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, state: Vec<f32>, mse: Option<f64>) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            state,
+            num_samples: 10,
+            server_mse: mse,
+        }
+    }
+
+    #[test]
+    fn eq11_no_forget_data_returns_t0_at_default_alpha() {
+        let at = AdaptiveTemperature::default();
+        let t = at.temperature(100, 0);
+        assert!((t - at.t0).abs() < 1e-4, "t = {t}");
+    }
+
+    #[test]
+    fn eq11_more_forget_data_raises_temperature() {
+        let at = AdaptiveTemperature::default();
+        let cool = at.temperature(100, 0);
+        let warm = at.temperature(100, 50);
+        let hot = at.temperature(100, 100);
+        assert!(cool < warm && warm < hot, "{cool} {warm} {hot}");
+    }
+
+    #[test]
+    fn eq11_empty_client_gets_t0() {
+        let at = AdaptiveTemperature::default();
+        assert_eq!(at.temperature(0, 0), at.t0);
+    }
+
+    #[test]
+    fn eq11_clamps_below() {
+        let at = AdaptiveTemperature { t0: 0.1, alpha: 0.5 };
+        assert_eq!(at.temperature(1000, 1), 0.25);
+    }
+
+    #[test]
+    fn eq12_lower_mse_gets_higher_weight() {
+        let w = AdaptiveWeightAggregation::weights(&[0.1, 0.2, 0.3]);
+        assert!(w[0] > w[1] && w[1] > w[2], "{w:?}");
+        // Mean MSE gets weight exactly 1.
+        assert!((w[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq12_equal_mses_are_uniform() {
+        let w = AdaptiveWeightAggregation::weights(&[0.5, 0.5, 0.5]);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn eq12_zero_mean_degenerates_to_uniform() {
+        let w = AdaptiveWeightAggregation::weights(&[0.0, 0.0]);
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn aggregation_prefers_better_model() {
+        let updates = vec![
+            upd(0, vec![0.0, 0.0], Some(0.05)), // good model
+            upd(1, vec![1.0, 1.0], Some(0.50)), // bad model
+        ];
+        let agg = AdaptiveWeightAggregation.aggregate(&updates);
+        // Result should sit much closer to the good model.
+        assert!(agg[0] < 0.25, "agg = {agg:?}");
+    }
+
+    #[test]
+    fn aggregation_falls_back_without_mse() {
+        let updates = vec![upd(0, vec![0.0], None), upd(1, vec![2.0], Some(0.1))];
+        // One missing MSE → sample-size weighting (equal here) → mean.
+        let agg = AdaptiveWeightAggregation.aggregate(&updates);
+        assert_eq!(agg, vec![1.0]);
+    }
+}

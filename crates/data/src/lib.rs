@@ -1,0 +1,40 @@
+//! Datasets, backdoor poisoning and federated partitioning for the
+//! Goldfish reproduction.
+//!
+//! The paper evaluates on MNIST, Fashion-MNIST, CIFAR-10 and CIFAR-100.
+//! Those archives are not downloadable in this environment, so this crate
+//! generates **seeded synthetic analogues** with the same tensor shapes and
+//! class counts (see `DESIGN.md` §3 for why this preserves the behaviour
+//! the experiments measure): every class is a smooth random prototype image
+//! and samples are noisy draws around it — learnable class structure that
+//! CNNs pick up the same way they pick up digits.
+//!
+//! The crate also provides the two data mechanisms the paper's evaluation
+//! relies on:
+//!
+//! * [`backdoor`] — trigger-patch poisoning, the paper's probe for
+//!   unlearning validity (following Wu et al., "Federated unlearning with
+//!   knowledge distillation");
+//! * [`partition`] — IID and heterogeneous client splits plus the data
+//!   sharding of the optimization module (Fig 2).
+//!
+//! # Example
+//!
+//! ```
+//! use goldfish_data::synthetic::{self, SyntheticSpec};
+//!
+//! let spec = SyntheticSpec::mnist().with_size(14, 14).with_shift(1);
+//! let (train, test) = synthetic::generate(&spec, 200, 50, 42);
+//! assert_eq!(train.len(), 200);
+//! assert_eq!(test.classes(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backdoor;
+mod dataset;
+pub mod partition;
+pub mod synthetic;
+
+pub use dataset::Dataset;

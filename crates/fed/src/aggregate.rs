@@ -1,0 +1,184 @@
+//! Server-side aggregation of client state vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// One client's upload at the end of a round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientUpdate {
+    /// Client identifier.
+    pub client_id: usize,
+    /// Flattened model state (see `goldfish_nn::Network::state_vector`).
+    pub state: Vec<f32>,
+    /// Local dataset size (FedAvg weighting).
+    pub num_samples: usize,
+    /// Mean squared error of this client's model on the server's test set
+    /// (`me_c^t` of Eq 12). `None` when the server does not evaluate
+    /// uploads (plain FedAvg).
+    pub server_mse: Option<f64>,
+}
+
+/// A server aggregation rule combining client updates into the next global
+/// state vector.
+pub trait AggregationStrategy: Send + Sync {
+    /// Combines updates into a new global state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `updates` is empty or state lengths
+    /// disagree.
+    fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32>;
+
+    /// Identifier used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_updates(updates: &[ClientUpdate]) -> usize {
+    assert!(!updates.is_empty(), "no client updates to aggregate");
+    let len = updates[0].state.len();
+    for u in updates {
+        assert_eq!(
+            u.state.len(),
+            len,
+            "client {} uploaded {} params, expected {len}",
+            u.client_id,
+            u.state.len()
+        );
+    }
+    len
+}
+
+/// Weighted mean of uploaded state vectors — the shared kernel of FedAvg
+/// (Eq 13 with sample-count weights) and the adaptive-weight aggregation of
+/// the extension module (Eq 12 weights, implemented in `goldfish-core`).
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, state lengths disagree, or the weights sum
+/// to zero.
+pub fn weighted_mean(updates: &[ClientUpdate], weights: &[f64]) -> Vec<f32> {
+    let len = check_updates(updates);
+    // A client whose training diverged uploads NaN/∞ parameters; one such
+    // upload would poison the whole mean, so drop it (the federated
+    // equivalent of a crashed client missing the round). If *every* upload
+    // is bad, fall back to including them so the caller sees the failure.
+    let usable: Vec<usize> = (0..updates.len())
+        .filter(|&i| updates[i].state.iter().all(|v| v.is_finite()))
+        .collect();
+    let usable: Vec<usize> = if usable.is_empty() {
+        (0..updates.len()).collect()
+    } else {
+        usable
+    };
+    let total: f64 = usable.iter().map(|&i| weights[i]).sum();
+    assert!(total > 0.0, "aggregation weights sum to zero");
+    let mut out = vec![0.0f64; len];
+    for &i in &usable {
+        let frac = weights[i] / total;
+        for (o, &v) in out.iter_mut().zip(updates[i].state.iter()) {
+            *o += frac * v as f64;
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+/// FedAvg (McMahan et al., 2017): clients weighted by local dataset size.
+/// The aggregation baseline of Figs 8–9.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl AggregationStrategy for FedAvg {
+    fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        let weights: Vec<f64> = updates.iter().map(|u| u.num_samples.max(1) as f64).collect();
+        weighted_mean(updates, &weights)
+    }
+
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+}
+
+/// Uniform (unweighted) averaging — useful as a degenerate reference in
+/// tests and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformAvg;
+
+impl AggregationStrategy for UniformAvg {
+    fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        let weights = vec![1.0f64; updates.len()];
+        weighted_mean(updates, &weights)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(id: usize, state: Vec<f32>, n: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            state,
+            num_samples: n,
+            server_mse: None,
+        }
+    }
+
+    #[test]
+    fn fedavg_weights_by_samples() {
+        let updates = vec![upd(0, vec![0.0, 0.0], 30), upd(1, vec![4.0, 8.0], 10)];
+        let agg = FedAvg.aggregate(&updates);
+        assert_eq!(agg, vec![1.0, 2.0]); // (30*0 + 10*4)/40, (30*0 + 10*8)/40
+    }
+
+    #[test]
+    fn uniform_ignores_sizes() {
+        let updates = vec![upd(0, vec![0.0], 1000), upd(1, vec![2.0], 1)];
+        assert_eq!(UniformAvg.aggregate(&updates), vec![1.0]);
+    }
+
+    #[test]
+    fn single_client_is_identity() {
+        let updates = vec![upd(0, vec![1.5, -2.5], 7)];
+        assert_eq!(FedAvg.aggregate(&updates), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no client updates")]
+    fn empty_updates_panic() {
+        let _ = FedAvg.aggregate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn mismatched_lengths_panic() {
+        let updates = vec![upd(0, vec![1.0], 1), upd(1, vec![1.0, 2.0], 1)];
+        let _ = FedAvg.aggregate(&updates);
+    }
+
+    #[test]
+    fn zero_sample_clients_get_floor_weight() {
+        // num_samples = 0 is clamped to 1 so a fresh client still counts.
+        let updates = vec![upd(0, vec![2.0], 0), upd(1, vec![4.0], 0)];
+        assert_eq!(FedAvg.aggregate(&updates), vec![3.0]);
+    }
+
+    #[test]
+    fn diverged_clients_are_excluded() {
+        let updates = vec![
+            upd(0, vec![2.0, 2.0], 10),
+            upd(1, vec![f32::NAN, 1.0], 10),
+            upd(2, vec![4.0, 4.0], 10),
+        ];
+        assert_eq!(FedAvg.aggregate(&updates), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn all_diverged_still_returns_something() {
+        let updates = vec![upd(0, vec![f32::NAN], 10)];
+        let agg = FedAvg.aggregate(&updates);
+        assert!(agg[0].is_nan());
+    }
+}

@@ -1,0 +1,52 @@
+//! Federated-learning simulator for the Goldfish reproduction.
+//!
+//! This crate provides the federated substrate the paper's algorithms run
+//! on:
+//!
+//! * [`trainer`] — local SGD training of a client model,
+//! * [`aggregate`] — the [`aggregate::AggregationStrategy`] trait and the
+//!   FedAvg baseline (McMahan et al.), operating on flattened state
+//!   vectors,
+//! * [`eval`] — model evaluation over datasets (accuracy, server-side MSE
+//!   for Eq 12, prediction distributions, backdoor success),
+//! * [`federation`] — the round loop: clients train in parallel
+//!   (crossbeam scoped threads), the server aggregates and re-broadcasts.
+//!
+//! The Goldfish unlearning procedures themselves live in `goldfish-core`;
+//! they compose these building blocks per Algorithm 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use goldfish_data::synthetic::{self, SyntheticSpec};
+//! use goldfish_fed::{aggregate::FedAvg, federation::Federation, trainer::TrainConfig};
+//! use goldfish_nn::zoo;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+//! let (train, test) = synthetic::generate(&spec, 60, 30, 1);
+//! let factory = Arc::new(|seed: u64| {
+//!     let mut rng = StdRng::seed_from_u64(seed);
+//!     zoo::mlp(64, &[16], 10, &mut rng)
+//! });
+//! let mut fed = Federation::builder(factory, test)
+//!     .train_config(TrainConfig { local_epochs: 1, ..TrainConfig::default() })
+//!     .add_client(train)
+//!     .build();
+//! let report = fed.train_rounds(1, &FedAvg, 7);
+//! assert_eq!(report.rounds.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod eval;
+pub mod federation;
+pub mod trainer;
+
+/// Convenience alias: a thread-safe factory building a fresh (randomly
+/// initialised) model from a seed. Every federated component clones
+/// architecture through this.
+pub type ModelFactory = std::sync::Arc<dyn Fn(u64) -> goldfish_nn::Network + Send + Sync>;

@@ -1,0 +1,184 @@
+//! Local client training (plain SGD — the `LocalTraining` procedure of
+//! Algorithm 1).
+
+use goldfish_data::Dataset;
+use goldfish_nn::loss::{CrossEntropy, HardLoss};
+use goldfish_nn::optim::Sgd;
+use goldfish_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of one client's local training, defaulting to the
+/// paper's settings (B = 100, η = 0.001, β = 0.9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum β.
+    pub momentum: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            local_epochs: 1,
+            batch_size: 100,
+            lr: 0.001,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// Per-epoch record of a local training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalStats {
+    /// Mean training loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl LocalStats {
+    /// Mean loss of the final epoch (`NaN`-free; 0 when no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Trains `net` on `data` for `cfg.local_epochs` epochs of mini-batch SGD
+/// with the given hard loss, shuffling with a seeded RNG.
+///
+/// Returns per-epoch mean losses. Does nothing (and returns empty stats)
+/// for an empty dataset.
+pub fn train_local(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    loss: &dyn HardLoss,
+    seed: u64,
+) -> LocalStats {
+    let mut stats = LocalStats {
+        epoch_losses: Vec::with_capacity(cfg.local_epochs),
+    };
+    if data.is_empty() {
+        return stats;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum);
+    for _ in 0..cfg.local_epochs {
+        let order = data.shuffled_indices(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let batch = data.subset(chunk);
+            let logits = net.forward(batch.features(), true);
+            let (l, grad) = loss.loss_and_grad(&logits, batch.labels());
+            net.zero_grad();
+            net.backward(&grad);
+            sgd.step(net);
+            epoch_loss += l;
+            batches += 1;
+        }
+        stats.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    stats
+}
+
+/// Trains with the default cross-entropy hard loss.
+pub fn train_local_ce(net: &mut Network, data: &Dataset, cfg: &TrainConfig, seed: u64) -> LocalStats {
+    train_local(net, data, cfg, &CrossEntropy, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfish_data::synthetic::{self, SyntheticSpec};
+    use goldfish_nn::zoo;
+    use goldfish_tensor::Tensor;
+
+    fn tiny_data() -> (Dataset, Dataset) {
+        let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+        synthetic::generate(&spec, 80, 40, 3)
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (train, _) = tiny_data();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = zoo::mlp(64, &[32], 10, &mut rng);
+        let cfg = TrainConfig {
+            local_epochs: 8,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+        };
+        let stats = train_local_ce(&mut net, &train, &cfg, 1);
+        assert_eq!(stats.epoch_losses.len(), 8);
+        assert!(
+            stats.final_loss() < stats.epoch_losses[0],
+            "{:?}",
+            stats.epoch_losses
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_noop() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = zoo::mlp(4, &[], 2, &mut rng);
+        let before = net.state_vector();
+        let empty = Dataset::empty(&[4], 2);
+        let stats = train_local_ce(&mut net, &empty, &TrainConfig::default(), 0);
+        assert!(stats.epoch_losses.is_empty());
+        assert_eq!(net.state_vector(), before);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (train, _) = tiny_data();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut net = zoo::mlp(64, &[16], 10, &mut rng);
+            let cfg = TrainConfig {
+                local_epochs: 2,
+                batch_size: 16,
+                lr: 0.02,
+                momentum: 0.9,
+            };
+            train_local_ce(&mut net, &train, &cfg, 11);
+            net.state_vector()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn training_moves_parameters() {
+        let (train, _) = tiny_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = zoo::mlp(64, &[16], 10, &mut rng);
+        let before = net.state_vector();
+        train_local_ce(
+            &mut net,
+            &train,
+            &TrainConfig {
+                local_epochs: 1,
+                batch_size: 20,
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            0,
+        );
+        let after = net.state_vector();
+        let delta: f32 = before
+            .iter()
+            .zip(after.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta > 0.0);
+        let x = Tensor::zeros(vec![1, 64]);
+        let mut check = net;
+        assert!(check.forward(&x, false).all_finite());
+    }
+}

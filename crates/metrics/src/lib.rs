@@ -1,0 +1,88 @@
+//! Evaluation metrics for the Goldfish reproduction.
+//!
+//! Implements every measurement the paper's evaluation section reports:
+//!
+//! * classification [`accuracy`] and backdoor [`attack_success_rate`]
+//!   (Tables III–VI, Figs 4–5),
+//! * mean per-sample Jensen–Shannon divergence ([`divergence::jsd_mean`])
+//!   and L2 distance ([`divergence::l2_mean`]) between two models'
+//!   predictive distributions (Tables VII–IX),
+//! * Welch's two-sample t-test ([`stats::welch_t_test`]) with an exact
+//!   p-value via the regularized incomplete beta function (Tables VII–IX),
+//! * [`stats::Summary`] statistics for the error-bar plots (Fig 8,
+//!   Table XII).
+//!
+//! All functions operate on plain tensors/slices so the crate stays
+//! independent of the NN substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod stats;
+
+/// Fraction of predictions equal to the labels.
+///
+/// Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions {} vs labels {}",
+        predictions.len(),
+        labels.len()
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Backdoor attack success rate: the fraction of (triggered, non-target)
+/// samples classified as the attacker's target class.
+///
+/// The caller is expected to have already filtered out samples whose true
+/// label *is* the target class (see
+/// `goldfish_data::backdoor::BackdoorSpec::stamp_dataset`).
+///
+/// Returns 0 for empty input.
+pub fn attack_success_rate(predictions: &[usize], target_class: usize) -> f64 {
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions.iter().filter(|&&p| p == target_class).count();
+    hits as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predictions 2 vs labels 3")]
+    fn accuracy_rejects_mismatch() {
+        let _ = accuracy(&[0, 1], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn asr_counts_target_hits() {
+        assert_eq!(attack_success_rate(&[7, 7, 1, 7], 7), 0.75);
+        assert_eq!(attack_success_rate(&[], 0), 0.0);
+        assert_eq!(attack_success_rate(&[1, 2, 3], 0), 0.0);
+    }
+}

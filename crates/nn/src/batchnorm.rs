@@ -1,0 +1,327 @@
+#![allow(clippy::needless_range_loop)]
+
+//! 2-D batch normalisation.
+
+use goldfish_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+const BN_EPS: f32 = 1e-5;
+
+/// Batch normalisation over the channel dimension of `[n, c, h, w]`.
+///
+/// Parameters are `γ` (scale) and `β` (shift); running mean/variance are
+/// tracked as **frozen** [`Param`]s so they travel with the model through
+/// federated aggregation and shard arithmetic but are not touched by SGD.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Param,
+    running_var: Param,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    centered: Tensor,
+    inv_std: Vec<f32>,
+    shape: (usize, usize, usize, usize),
+    train: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm layer for `channels` channels with the standard
+    /// momentum of 0.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "batchnorm needs at least one channel");
+        BatchNorm2d {
+            gamma: Param::new(Tensor::filled(vec![channels], 1.0)),
+            beta: Param::new(Tensor::zeros(vec![channels])),
+            running_mean: Param::frozen(Tensor::zeros(vec![channels])),
+            running_var: Param::frozen(Tensor::filled(vec![channels], 1.0)),
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, c, h, w) = x.dims4();
+        assert_eq!(c, self.channels(), "batchnorm channel mismatch");
+        let m = (n * h * w) as f32;
+        let xv = x.as_slice();
+
+        let (means, vars) = if train {
+            let mut means = vec![0.0f32; c];
+            let mut vars = vec![0.0f32; c];
+            for ch in 0..c {
+                let mut sum = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ch) * h * w;
+                    sum += xv[base..base + h * w].iter().sum::<f32>();
+                }
+                means[ch] = sum / m;
+            }
+            for ch in 0..c {
+                let mu = means[ch];
+                let mut acc = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ch) * h * w;
+                    acc += xv[base..base + h * w]
+                        .iter()
+                        .map(|&v| (v - mu) * (v - mu))
+                        .sum::<f32>();
+                }
+                vars[ch] = acc / m;
+            }
+            // Update running statistics.
+            for ch in 0..c {
+                let rm = &mut self.running_mean.value.as_mut_slice()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * means[ch];
+                let rv = &mut self.running_var.value.as_mut_slice()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * vars[ch];
+            }
+            (means, vars)
+        } else {
+            (
+                self.running_mean.value.as_slice().to_vec(),
+                self.running_var.value.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
+        let gv = self.gamma.value.as_slice();
+        let bv = self.beta.value.as_slice();
+        let mut centered = vec![0.0f32; xv.len()];
+        let mut x_hat = vec![0.0f32; xv.len()];
+        let mut out = vec![0.0f32; xv.len()];
+        for s in 0..n {
+            for ch in 0..c {
+                let base = (s * c + ch) * h * w;
+                let mu = means[ch];
+                let is = inv_std[ch];
+                for i in base..base + h * w {
+                    let cen = xv[i] - mu;
+                    let xh = cen * is;
+                    centered[i] = cen;
+                    x_hat[i] = xh;
+                    out[i] = gv[ch] * xh + bv[ch];
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat: Tensor::from_vec(x.shape().to_vec(), x_hat),
+            centered: Tensor::from_vec(x.shape().to_vec(), centered),
+            inv_std,
+            shape: (n, c, h, w),
+            train,
+        });
+        Tensor::from_vec(x.shape().to_vec(), out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
+        let (n, c, h, w) = cache.shape;
+        let m = (n * h * w) as f32;
+        let gv = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let cen = cache.centered.as_slice();
+        let gamma = self.gamma.value.as_slice().to_vec();
+
+        // Parameter gradients.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for s in 0..n {
+            for ch in 0..c {
+                let base = (s * c + ch) * h * w;
+                for i in base..base + h * w {
+                    dgamma[ch] += gv[i] * xh[i];
+                    dbeta[ch] += gv[i];
+                }
+            }
+        }
+        for ch in 0..c {
+            self.gamma.grad.as_mut_slice()[ch] += dgamma[ch];
+            self.beta.grad.as_mut_slice()[ch] += dbeta[ch];
+        }
+
+        let mut grad_in = vec![0.0f32; gv.len()];
+        if cache.train {
+            // Full batch-statistics backward.
+            for ch in 0..c {
+                let is = cache.inv_std[ch];
+                let g = gamma[ch];
+                // Σ dxhat and Σ dxhat·xhat over the channel.
+                let mut sum_dxh = 0.0f32;
+                let mut sum_dxh_xh = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ch) * h * w;
+                    for i in base..base + h * w {
+                        let dxh = gv[i] * g;
+                        sum_dxh += dxh;
+                        sum_dxh_xh += dxh * xh[i];
+                    }
+                }
+                for s in 0..n {
+                    let base = (s * c + ch) * h * w;
+                    for i in base..base + h * w {
+                        let dxh = gv[i] * g;
+                        grad_in[i] = is / m * (m * dxh - sum_dxh - xh[i] * sum_dxh_xh);
+                    }
+                }
+                let _ = cen;
+            }
+        } else {
+            // Eval mode treats the statistics as constants.
+            for s in 0..n {
+                for ch in 0..c {
+                    let base = (s * c + ch) * h * w;
+                    let k = gamma[ch] * cache.inv_std[ch];
+                    for i in base..base + h * w {
+                        grad_in[i] = gv[i] * k;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(grad_out.shape().to_vec(), grad_in)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![
+            &self.gamma,
+            &self.beta,
+            &self.running_mean,
+            &self.running_var,
+        ]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.gamma,
+            &mut self.beta,
+            &mut self.running_mean,
+            &mut self.running_var,
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfish_tensor::init;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normalises_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::normal(&mut rng, vec![4, 2, 3, 3], 5.0, 2.0);
+        let y = bn.forward(&x, true);
+        // Per channel, the output should be ~N(0, 1).
+        let (n, c, h, w) = y.dims4();
+        let yv = y.as_slice();
+        for ch in 0..c {
+            let mut vals = Vec::new();
+            for s in 0..n {
+                let base = (s * c + ch) * h * w;
+                vals.extend_from_slice(&yv[base..base + h * w]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(1);
+        let x = init::normal(&mut rng, vec![8, 1, 4, 4], 3.0, 1.0);
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        let rm = bn.params()[2].value.as_slice()[0];
+        assert!((rm - 3.0).abs() < 0.2, "running mean {rm}");
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(1);
+        let x = init::normal(&mut rng, vec![8, 1, 4, 4], 2.0, 1.5);
+        for _ in 0..100 {
+            bn.forward(&x, true);
+        }
+        // In eval mode the same input should now be roughly standardised.
+        let y = bn.forward(&x, false);
+        assert!(y.mean().abs() < 0.15, "eval mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::normal(&mut rng, vec![2, 1, 2, 2], 0.0, 1.0);
+
+        // Scalar loss: weighted sum so the gradient is non-uniform.
+        let weights: Vec<f32> = (0..x.len()).map(|i| (i as f32 * 0.7).sin()).collect();
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| {
+            let y = bn.forward(x, true);
+            y.as_slice()
+                .iter()
+                .zip(weights.iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+        };
+
+        let mut bn = BatchNorm2d::new(1);
+        let _ = loss_of(&mut bn, &x);
+        let gout = Tensor::from_vec(x.shape().to_vec(), weights.clone());
+        let gin = bn.backward(&gout);
+
+        let eps = 1e-2;
+        for ii in 0..x.len() {
+            let mut bn2 = BatchNorm2d::new(1);
+            let mut xp = x.clone();
+            xp.as_mut_slice()[ii] += eps;
+            let lp = loss_of(&mut bn2, &xp);
+            let mut bn3 = BatchNorm2d::new(1);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[ii] -= eps;
+            let lm = loss_of(&mut bn3, &xm);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = gin.as_slice()[ii];
+            assert!((fd - an).abs() < 3e-2, "x[{ii}] fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn four_params_two_frozen() {
+        let bn = BatchNorm2d::new(3);
+        let params = bn.params();
+        assert_eq!(params.len(), 4);
+        assert!(params[0].trainable && params[1].trainable);
+        assert!(!params[2].trainable && !params[3].trainable);
+    }
+}

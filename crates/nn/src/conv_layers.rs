@@ -1,0 +1,257 @@
+//! Convolutional and pooling layers wrapping the `goldfish-tensor` kernels.
+
+use goldfish_tensor::{
+    conv::{self, Conv2dSpec},
+    init, Tensor,
+};
+use rand::Rng;
+
+use crate::layer::{Layer, Param};
+
+/// 2-D convolution layer.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    cols: Vec<Tensor>,
+    input_shape: (usize, usize, usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with `out_channels` filters of
+    /// `in_channels × kernel × kernel`, Kaiming-uniform initialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the stride is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "empty conv layer");
+        let spec = Conv2dSpec::new(kernel, kernel, stride, padding);
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_uniform(
+            rng,
+            vec![out_channels, in_channels, kernel, kernel],
+            fan_in,
+        );
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(vec![out_channels])),
+            spec,
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let input_shape = x.dims4();
+        let (out, cols) = conv::conv2d_forward(x, &self.weight.value, &self.bias.value, &self.spec);
+        self.cache = Some(ConvCache { cols, input_shape });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("Conv2d::backward before forward");
+        let (gin, gw, gb) = conv::conv2d_backward(
+            grad_out,
+            &cache.cols,
+            cache.input_shape,
+            &self.weight.value,
+            &self.spec,
+        );
+        self.weight.grad.axpy(1.0, &gw);
+        self.bias.grad.axpy(1.0, &gb);
+        gin
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Cached pooling state: argmax indices plus the input shape.
+type PoolCache = (Vec<usize>, (usize, usize, usize, usize));
+
+/// Max-pooling layer.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    spec: Conv2dSpec,
+    cache: Option<PoolCache>,
+}
+
+impl MaxPool2d {
+    /// Creates a `kernel × kernel` max-pool with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            spec: Conv2dSpec::new(kernel, kernel, stride, 0),
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let shape = x.dims4();
+        let (out, idx) = conv::maxpool2d_forward(x, &self.spec);
+        self.cache = Some((idx, shape));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (idx, shape) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
+        conv::maxpool2d_backward(grad_out, idx, *shape)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]` — the classification head
+/// reduction used by the ResNet-style models.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.input_shape = Some(x.dims4());
+        conv::global_avg_pool(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .expect("GlobalAvgPool::backward before forward");
+        conv::global_avg_pool_backward(grad_out, shape)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 6, 5, 1, 0, &mut rng);
+        let x = Tensor::zeros(vec![2, 1, 28, 28]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 6, 24, 24]);
+        let gx = conv.backward(&Tensor::zeros(vec![2, 6, 24, 24]));
+        assert_eq!(gx.shape(), &[2, 1, 28, 28]);
+    }
+
+    #[test]
+    fn conv_gradient_check_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = goldfish_tensor::init::normal(&mut rng, vec![1, 1, 4, 4], 0.0, 1.0);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::filled(y.shape().to_vec(), 1.0));
+        let analytic = conv.params()[0].grad.clone();
+
+        let eps = 1e-2;
+        let w = conv.params()[0].value.clone();
+        for wi in [0usize, 7, w.len() - 1] {
+            let mut cp = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+            cp.params_mut()[0].value = w.clone();
+            cp.params_mut()[1].value = conv.params()[1].value.clone();
+            cp.params_mut()[0].value.as_mut_slice()[wi] += eps;
+            let yp = cp.forward(&x, true).sum();
+            cp.params_mut()[0].value.as_mut_slice()[wi] -= 2.0 * eps;
+            let ym = cp.forward(&x, true).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            assert!(
+                (fd - analytic.as_slice()[wi]).abs() < 2e-2,
+                "w[{wi}]: fd {fd} vs {}",
+                analytic.as_slice()[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut mp = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 2.0, 3.0],
+        );
+        let y = mp.forward(&x, true);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let gx = mp.backward(&Tensor::filled(vec![1, 1, 1, 1], 7.0));
+        assert_eq!(gx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_layer() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = gap.forward(&x, true);
+        assert_eq!(y.as_slice(), &[2.5]);
+        let gx = gap.backward(&Tensor::filled(vec![1, 1], 4.0));
+        assert_eq!(gx.as_slice(), &[1., 1., 1., 1.]);
+    }
+}

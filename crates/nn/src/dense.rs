@@ -1,0 +1,185 @@
+//! Fully-connected layer.
+
+use goldfish_tensor::{init, ops, Tensor};
+use rand::Rng;
+
+use crate::layer::{Layer, Param};
+
+/// A fully-connected (affine) layer: `y = x · Wᵀ + b`.
+///
+/// Weight shape is `[out, in]`, bias `[out]`. Kaiming-uniform initialised,
+/// which suits the ReLU networks of the paper's model zoo.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform weights over `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0, "empty dense layer");
+        let weight = init::kaiming_uniform(rng, vec![out_features, in_features], in_features);
+        let bias = Tensor::zeros(vec![out_features]);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, d) = x.dims2();
+        assert_eq!(
+            d,
+            self.in_features(),
+            "dense expected {} features, got {d}",
+            self.in_features()
+        );
+        let x2 = x.clone().reshape(vec![n, d]);
+        // y = x · Wᵀ
+        let mut y = ops::matmul_a_bt(&x2, &self.weight.value);
+        let bv = self.bias.value.as_slice().to_vec();
+        for r in 0..n {
+            for (o, &b) in y.row_mut(r).iter_mut().zip(bv.iter()) {
+                *o += b;
+            }
+        }
+        self.input = Some(x2);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.input.as_ref().expect("Dense::backward before forward");
+        // ∂L/∂W = gᵀ · x ; ∂L/∂b = column sums of g ; ∂L/∂x = g · W
+        let gw = ops::matmul_at_b(grad_out, x);
+        self.weight.grad.axpy(1.0, &gw);
+        self.bias.grad.axpy(1.0, &ops::sum_rows(grad_out));
+        ops::matmul(grad_out, &self.weight.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(4, 3, &mut rng);
+        let x = Tensor::zeros(vec![5, 4]);
+        assert_eq!(d.forward(&x, true).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(2, 2, &mut rng);
+        // Overwrite params with known values.
+        d.params_mut()[0].value = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        d.params_mut()[1].value = Tensor::from_vec(vec![2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]);
+        let y = d.forward(&x, true);
+        // y0 = 1*1 + 1*2 + 0.5 = 3.5 ; y1 = 1*3 + 1*4 - 0.5 = 6.5
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![2, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let y = d.forward(&x, true);
+        let gout = Tensor::filled(y.shape().to_vec(), 1.0);
+        let gx = d.backward(&gout);
+
+        let eps = 1e-3;
+        // finite differences on weights
+        let w0 = d.params()[0].value.clone();
+        for wi in 0..w0.len() {
+            let mut dp = Dense::new(3, 2, &mut rng);
+            dp.params_mut()[0].value = w0.clone();
+            dp.params_mut()[1].value = d.params()[1].value.clone();
+            dp.params_mut()[0].value.as_mut_slice()[wi] += eps;
+            let yp = dp.forward(&x, true).sum();
+            let mut dm = Dense::new(3, 2, &mut rng);
+            dm.params_mut()[0].value = w0.clone();
+            dm.params_mut()[1].value = d.params()[1].value.clone();
+            dm.params_mut()[0].value.as_mut_slice()[wi] -= eps;
+            let ym = dm.forward(&x, true).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            let an = d.params()[0].grad.as_slice()[wi];
+            assert!((fd - an).abs() < 1e-2, "w[{wi}] fd {fd} an {an}");
+        }
+        // finite differences on input
+        for ii in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[ii] += eps;
+            let mut dd = Dense::new(3, 2, &mut rng);
+            dd.params_mut()[0].value = w0.clone();
+            dd.params_mut()[1].value = d.params()[1].value.clone();
+            let yp = dd.forward(&xp, true).sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[ii] -= eps;
+            let ym = dd.forward(&xm, true).sum();
+            let fd = (yp - ym) / (2.0 * eps);
+            let an = gx.as_slice()[ii];
+            assert!((fd - an).abs() < 1e-2, "x[{ii}] fd {fd} an {an}");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let x = Tensor::filled(vec![1, 2], 1.0);
+        let y = d.forward(&x, true);
+        let g = Tensor::filled(y.shape().to_vec(), 1.0);
+        d.backward(&g);
+        let after_one = d.params()[0].grad.clone();
+        d.forward(&x, true);
+        d.backward(&g);
+        let after_two = d.params()[0].grad.clone();
+        for (a, b) in after_one.as_slice().iter().zip(after_two.as_slice()) {
+            assert!((b - 2.0 * a).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense expected")]
+    fn forward_rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(4, 3, &mut rng);
+        let _ = d.forward(&Tensor::zeros(vec![5, 7]), true);
+    }
+}

@@ -1,0 +1,214 @@
+//! The [`Layer`] trait, the [`Param`] carrier, and stateless layers.
+
+use goldfish_tensor::Tensor;
+
+/// A trainable (or tracked) parameter: its value and the gradient
+/// accumulated by the latest backward pass.
+///
+/// `trainable == false` marks state that follows the model around but is not
+/// updated by gradient descent — BatchNorm running statistics. Such state
+/// *is* part of the flattened state vector (it must travel with the model in
+/// federated aggregation and shard arithmetic) but the optimizer skips it.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient of the loss w.r.t. `value`, accumulated by `backward`.
+    pub grad: Tensor,
+    /// Whether the optimizer should update this parameter.
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter with a zeroed gradient buffer.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Param {
+            value,
+            grad,
+            trainable: true,
+        }
+    }
+
+    /// Creates a non-trainable (tracked-state) parameter.
+    pub fn frozen(value: Tensor) -> Self {
+        let mut p = Param::new(value);
+        p.trainable = false;
+        p
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_mut();
+    }
+}
+
+/// A neural-network layer with explicit forward and backward passes.
+///
+/// Layers cache whatever the backward pass needs during `forward`; calling
+/// [`Layer::backward`] before `forward` is a programmer error and panics.
+/// The trait is dyn-compatible so models are plain `Vec<Box<dyn Layer>>`.
+pub trait Layer: Send {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (e.g. batch statistics in [`crate::BatchNorm2d`]).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_out` (∂L/∂output), accumulating parameter
+    /// gradients and returning ∂L/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a `forward` pass cached the needed state.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's parameters (possibly empty).
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable views of the layer's parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Short human-readable layer name for debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        let out = x.map(|v| v.max(0.0));
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(mask.len(), grad_out.len(), "relu grad shape changed");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(grad_out.shape().to_vec(), data)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Flattens `[n, …]` to `[n, prod(…)]`, remembering the input shape for the
+/// backward pass.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.input_shape = Some(x.shape().to_vec());
+        let (n, d) = x.dims2();
+        x.clone().reshape(vec![n, d])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .clone()
+            .expect("Flatten::backward before forward");
+        grad_out.clone().reshape(shape)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.5, 2.0, -3.0]);
+        relu.forward(&x, true);
+        let g = Tensor::from_vec(vec![4], vec![10.0, 20.0, 30.0, 40.0]);
+        let gx = relu.backward(&g);
+        assert_eq!(gx.as_slice(), &[0.0, 20.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn relu_backward_requires_forward() {
+        let mut relu = Relu::new();
+        let _ = relu.backward(&Tensor::zeros(vec![1]));
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4, 4]);
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 48]);
+        let gx = fl.backward(&Tensor::zeros(vec![2, 48]));
+        assert_eq!(gx.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::filled(vec![3], 1.0));
+        p.grad.as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn frozen_param_is_not_trainable() {
+        let p = Param::frozen(Tensor::zeros(vec![2]));
+        assert!(!p.trainable);
+    }
+}

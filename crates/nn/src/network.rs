@@ -1,0 +1,206 @@
+//! The [`Network`] wrapper: a model plus flattened-state-vector plumbing.
+
+use goldfish_tensor::{ops, Tensor};
+
+use crate::layer::{Layer, Param};
+use crate::sequential::Sequential;
+
+/// A trainable network: a [`Sequential`] body plus the state-vector
+/// operations every federated algorithm in this repository relies on.
+///
+/// The **state vector** is the concatenation of *all* parameters (trainable
+/// weights *and* frozen tracked state such as BatchNorm running statistics)
+/// in layer order. FedAvg (Eq 13), adaptive-weight aggregation (Eq 12) and
+/// the shard checkpoint arithmetic (Eqs 8–10) are all linear operations
+/// over this vector.
+pub struct Network {
+    body: Sequential,
+}
+
+impl Network {
+    /// Wraps a sequential body.
+    pub fn new(body: Sequential) -> Self {
+        Network { body }
+    }
+
+    /// Forward pass. `train` selects training-mode behaviour (batch
+    /// statistics, gradient caching).
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.body.forward(x, train)
+    }
+
+    /// Backward pass from a gradient w.r.t. the network output (logits).
+    /// Accumulates parameter gradients; returns the input gradient.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        self.body.backward(grad_logits)
+    }
+
+    /// Convenience: forward in eval mode and return the argmax class per row.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x, false);
+        ops::argmax_rows(&logits)
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.body.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Immutable parameter views, in deterministic layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.body.params()
+    }
+
+    /// Mutable parameter views, in deterministic layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.body.params_mut()
+    }
+
+    /// Total number of scalars in the state vector.
+    pub fn state_len(&self) -> usize {
+        self.body.params().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Number of *trainable* scalars (excludes frozen tracked state).
+    pub fn trainable_len(&self) -> usize {
+        self.body
+            .params()
+            .iter()
+            .filter(|p| p.trainable)
+            .map(|p| p.value.len())
+            .sum()
+    }
+
+    /// Flattens all parameters (trainable + frozen) into one vector.
+    pub fn state_vector(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.state_len());
+        for p in self.body.params() {
+            out.extend_from_slice(p.value.as_slice());
+        }
+        out
+    }
+
+    /// Restores all parameters from a flattened state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != self.state_len()`.
+    pub fn set_state_vector(&mut self, state: &[f32]) {
+        let expected = self.state_len();
+        assert_eq!(
+            state.len(),
+            expected,
+            "state vector length {} != model state length {expected}",
+            state.len()
+        );
+        let mut offset = 0;
+        for p in self.body.params_mut() {
+            let n = p.value.len();
+            p.value.as_mut_slice().copy_from_slice(&state[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Flattens all parameter *gradients* into one vector (same layout as
+    /// [`Network::state_vector`]). Frozen parameters contribute zeros.
+    pub fn grad_vector(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.state_len());
+        for p in self.body.params() {
+            out.extend_from_slice(p.grad.as_slice());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network({:?}, {} params)",
+            self.body,
+            self.state_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::layer::Relu;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(
+            Sequential::new()
+                .push(Dense::new(3, 5, &mut rng))
+                .push(Relu::new())
+                .push(Dense::new(5, 2, &mut rng)),
+        )
+    }
+
+    #[test]
+    fn state_vector_roundtrip() {
+        let net = tiny_net(0);
+        let mut net2 = tiny_net(99);
+        let s = net.state_vector();
+        assert_eq!(s.len(), net.state_len());
+        net2.set_state_vector(&s);
+        assert_eq!(net2.state_vector(), s);
+    }
+
+    #[test]
+    fn same_state_same_outputs() {
+        let mut a = tiny_net(0);
+        let mut b = tiny_net(7);
+        b.set_state_vector(&a.state_vector());
+        let x = Tensor::from_vec(vec![2, 3], vec![0.3, -0.1, 0.8, 1.0, 0.0, -0.5]);
+        assert_eq!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "state vector length")]
+    fn set_state_rejects_wrong_length() {
+        let mut net = tiny_net(0);
+        net.set_state_vector(&[0.0; 3]);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut net = tiny_net(0);
+        let x = Tensor::filled(vec![1, 3], 1.0);
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::filled(y.shape().to_vec(), 1.0));
+        assert!(net.grad_vector().iter().any(|&g| g != 0.0));
+        net.zero_grad();
+        assert!(net.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn predict_returns_batch_classes() {
+        let mut net = tiny_net(0);
+        let x = Tensor::zeros(vec![4, 3]);
+        let preds = net.predict(&x);
+        assert_eq!(preds.len(), 4);
+        assert!(preds.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn trainable_len_excludes_frozen() {
+        use crate::batchnorm::BatchNorm2d;
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Network::new(
+            Sequential::new()
+                .push(crate::conv_layers::Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+                .push(BatchNorm2d::new(2)),
+        );
+        // BN: gamma+beta trainable (4), running mean/var frozen (4).
+        assert_eq!(net.state_len() - net.trainable_len(), 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Residual blocks (the building unit of the paper's ResNet-style models).
+
+use goldfish_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+use crate::sequential::Sequential;
+
+/// A residual block: `y = relu(main(x) + shortcut(x))`.
+///
+/// When `shortcut` is `None` the skip connection is the identity (requires
+/// `main` to preserve the shape). Stage transitions in ResNets use a
+/// projection shortcut (1×1 strided convolution + BatchNorm) to match
+/// shapes — pass it as `Some(projection)`.
+pub struct Residual {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Vec<bool>>,
+}
+
+impl Residual {
+    /// Creates an identity-skip residual block.
+    pub fn identity(main: Sequential) -> Self {
+        Residual {
+            main,
+            shortcut: None,
+            relu_mask: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn projected(main: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            main,
+            shortcut: Some(shortcut),
+            relu_mask: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Residual(main: {:?}, shortcut: {})",
+            self.main,
+            if self.shortcut.is_some() {
+                "projection"
+            } else {
+                "identity"
+            }
+        )
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let main_out = self.main.forward(x, train);
+        let skip = match &mut self.shortcut {
+            Some(proj) => proj.forward(x, train),
+            None => x.clone(),
+        };
+        assert_eq!(
+            main_out.shape(),
+            skip.shape(),
+            "residual branch shapes diverge: {:?} vs {:?}",
+            main_out.shape(),
+            skip.shape()
+        );
+        let summed = main_out.add(&skip);
+        let mask: Vec<bool> = summed.as_slice().iter().map(|&v| v > 0.0).collect();
+        let out = summed.map(|v| v.max(0.0));
+        self.relu_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .relu_mask
+            .as_ref()
+            .expect("Residual::backward before forward");
+        let gated = Tensor::from_vec(
+            grad_out.shape().to_vec(),
+            grad_out
+                .as_slice()
+                .iter()
+                .zip(mask.iter())
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        );
+        let g_main = self.main.backward(&gated);
+        let g_skip = match &mut self.shortcut {
+            Some(proj) => proj.backward(&gated),
+            None => gated,
+        };
+        g_main.add(&g_skip)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.main.params();
+        if let Some(proj) = &self.shortcut {
+            p.extend(proj.params());
+        }
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.main.params_mut();
+        if let Some(proj) = &mut self.shortcut {
+            p.extend(proj.params_mut());
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_layers::Conv2d;
+    use crate::dense::Dense;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_residual_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let main = Sequential::new()
+            .push(Dense::new(4, 4, &mut rng));
+        let mut block = Residual::identity(main);
+        let x = Tensor::filled(vec![2, 4], 0.5);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4]);
+        let gx = block.backward(&Tensor::filled(vec![2, 4], 1.0));
+        assert_eq!(gx.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn zero_main_branch_passes_input_through_relu() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut main = Sequential::new().push(Dense::new(3, 3, &mut rng));
+        // Zero out the dense weights so main(x) == 0.
+        for p in main.params_mut() {
+            p.value.zero_mut();
+        }
+        let mut block = Residual::identity(main);
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, -2.0, 3.0]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.as_slice(), &[1.0, 0.0, 3.0]); // relu(x + 0)
+    }
+
+    #[test]
+    fn projected_residual_changes_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let main = Sequential::new().push(Conv2d::new(2, 4, 3, 2, 1, &mut rng));
+        let proj = Sequential::new().push(Conv2d::new(2, 4, 1, 2, 0, &mut rng));
+        let mut block = Residual::projected(main, proj);
+        let x = Tensor::zeros(vec![1, 2, 8, 8]);
+        let y = block.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+        let gx = block.backward(&Tensor::zeros(vec![1, 4, 4, 4]));
+        assert_eq!(gx.shape(), &[1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_branches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let main = Sequential::new().push(Dense::new(2, 2, &mut rng));
+        let mut block = Residual::identity(main);
+        let x = Tensor::filled(vec![1, 2], 1.0);
+        let y = block.forward(&x, true);
+        // All outputs positive with this seed? Force positive by large input.
+        let g = Tensor::filled(y.shape().to_vec(), 1.0);
+        let gx = block.backward(&g);
+        // Identity path alone would give gradient 1 where relu is active;
+        // main path adds W^T g, so |gx| should differ from the pure identity.
+        assert_eq!(gx.shape(), &[1, 2]);
+        assert!(gx.all_finite());
+    }
+}

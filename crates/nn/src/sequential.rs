@@ -1,0 +1,124 @@
+//! Sequential composition of layers.
+
+use goldfish_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+/// A sequence of layers applied in order. `Sequential` itself implements
+/// [`Layer`], so it can be nested (the residual blocks use this).
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, returning `self` for chaining.
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Sequential::new()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential({names:?})")
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::layer::Relu;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn chains_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng));
+        let y = seq.forward(&Tensor::zeros(vec![3, 4]), true);
+        assert_eq!(y.shape(), &[3, 2]);
+        let gx = seq.backward(&Tensor::zeros(vec![3, 2]));
+        assert_eq!(gx.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn collects_params_from_all_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng));
+        assert_eq!(seq.params().len(), 4); // two dense layers × (W, b)
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = Sequential::new()
+            .push(Dense::new(2, 2, &mut rng))
+            .push(Relu::new());
+        let s = format!("{seq:?}");
+        assert!(s.contains("dense") && s.contains("relu"));
+    }
+}

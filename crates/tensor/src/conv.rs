@@ -1,0 +1,474 @@
+//! Convolution and pooling kernels.
+//!
+//! Convolution is implemented as `im2col` + matmul (the classic lowering),
+//! which keeps the hot loop inside the already-tested [`crate::ops::matmul`]
+//! and makes the backward pass a pair of matmuls plus a `col2im` scatter.
+
+use crate::{ops, Tensor};
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec, validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is empty or the stride is zero.
+    pub fn new(kh: usize, kw: usize, stride: usize, padding: usize) -> Self {
+        assert!(kh > 0 && kw > 0, "kernel must be non-empty");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec {
+            kh,
+            kw,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit into the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel {}x{} larger than padded input {}x{}",
+            self.kh,
+            self.kw,
+            ph,
+            pw
+        );
+        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+    }
+}
+
+/// Lowers one image `(c, h, w)` into a column matrix of shape
+/// `[c*kh*kw, oh*ow]`.
+fn im2col_single(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let krows = c * spec.kh * spec.kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; krows * cols];
+    let pad = spec.padding as isize;
+    for ch in 0..c {
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let krow = (ch * spec.kh + ky) * spec.kw + kx;
+                let orow = &mut out[krow * cols..(krow + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        orow[oy * ow + ox] = img[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![krows, cols], out)
+}
+
+/// Inverse of [`im2col_single`]: scatters the column matrix back onto an
+/// image, **accumulating** overlapping contributions (as backprop requires).
+#[allow(clippy::too_many_arguments)] // geometry parameters; private helper
+fn col2im_single(
+    col: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    oh: usize,
+    ow: usize,
+    img_out: &mut [f32],
+) {
+    let cols = oh * ow;
+    let cv = col.as_slice();
+    let pad = spec.padding as isize;
+    for ch in 0..c {
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let krow = (ch * spec.kh + ky) * spec.kw + kx;
+                let crow = &cv[krow * cols..(krow + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img_out[(ch * h + iy as usize) * w + ix as usize] += crow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`: `[n, c, h, w]`
+/// * `weight`: `[f, c, kh, kw]`
+/// * `bias`: `[f]`
+///
+/// Returns `([n, f, oh, ow], cached_columns)` where the cached column
+/// matrices (one per sample) are needed by [`conv2d_backward`].
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Vec<Tensor>) {
+    let (n, c, h, w) = input.dims4();
+    let (f, wc, kh, kw) = weight.dims4();
+    assert_eq!(c, wc, "conv channel mismatch: input {c} vs weight {wc}");
+    assert_eq!((kh, kw), (spec.kh, spec.kw), "weight does not match spec");
+    assert_eq!(bias.len(), f, "bias length {} != filters {f}", bias.len());
+    let (oh, ow) = spec.output_hw(h, w);
+    let wmat = weight.clone().reshape(vec![f, c * kh * kw]);
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    let mut cols = Vec::with_capacity(n);
+    let iv = input.as_slice();
+    let bv = bias.as_slice();
+    for s in 0..n {
+        let img = &iv[s * c * h * w..(s + 1) * c * h * w];
+        let col = im2col_single(img, c, h, w, spec, oh, ow);
+        let res = ops::matmul(&wmat, &col); // [f, oh*ow]
+        let dst = &mut out[s * f * oh * ow..(s + 1) * f * oh * ow];
+        for fi in 0..f {
+            let src = &res.as_slice()[fi * oh * ow..(fi + 1) * oh * ow];
+            let d = &mut dst[fi * oh * ow..(fi + 1) * oh * ow];
+            for (o, &v) in d.iter_mut().zip(src.iter()) {
+                *o = v + bv[fi];
+            }
+        }
+        cols.push(col);
+    }
+    (Tensor::from_vec(vec![n, f, oh, ow], out), cols)
+}
+
+/// Backward 2-D convolution.
+///
+/// Given `grad_out = ∂L/∂output` of shape `[n, f, oh, ow]` and the cached
+/// columns from the forward pass, returns
+/// `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Panics
+///
+/// Panics if `grad_out`'s shape is inconsistent with the cached geometry.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &[Tensor],
+    input_shape: (usize, usize, usize, usize),
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = input_shape;
+    let (gn, f, oh, ow) = grad_out.dims4();
+    assert_eq!(gn, n, "grad batch {gn} != input batch {n}");
+    assert_eq!(cols.len(), n, "cached columns missing");
+    let wmat = weight.clone().reshape(vec![f, c * spec.kh * spec.kw]);
+    let mut grad_w = Tensor::zeros(vec![f, c * spec.kh * spec.kw]);
+    let mut grad_b = Tensor::zeros(vec![f]);
+    let mut grad_in = vec![0.0f32; n * c * h * w];
+    let gv = grad_out.as_slice();
+    for s in 0..n {
+        let gmat = Tensor::from_vec(
+            vec![f, oh * ow],
+            gv[s * f * oh * ow..(s + 1) * f * oh * ow].to_vec(),
+        );
+        // ∂L/∂W += g · colᵀ
+        let gw = ops::matmul_a_bt(&gmat, &cols[s]);
+        grad_w.axpy(1.0, &gw);
+        // ∂L/∂b += row sums of g
+        for fi in 0..f {
+            let row = &gmat.as_slice()[fi * oh * ow..(fi + 1) * oh * ow];
+            grad_b.as_mut_slice()[fi] += row.iter().sum::<f32>();
+        }
+        // ∂L/∂col = Wᵀ · g, then scatter back to image space.
+        let gcol = ops::matmul_at_b(&wmat, &gmat);
+        col2im_single(
+            &gcol,
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut grad_in[s * c * h * w..(s + 1) * c * h * w],
+        );
+    }
+    (
+        Tensor::from_vec(vec![n, c, h, w], grad_in),
+        grad_w.reshape(vec![f, c, spec.kh, spec.kw]),
+        grad_b,
+    )
+}
+
+/// Forward max-pooling over `[n, c, h, w]`.
+///
+/// Returns the pooled tensor and the flat argmax index (into the input
+/// buffer) of every output element, which [`maxpool2d_backward`] uses to
+/// route gradients.
+///
+/// # Panics
+///
+/// Panics if the window does not fit.
+pub fn maxpool2d_forward(input: &Tensor, spec: &Conv2dSpec) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = input.dims4();
+    assert_eq!(spec.padding, 0, "maxpool does not support padding");
+    let (oh, ow) = spec.output_hw(h, w);
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0usize; n * c * oh * ow];
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = base;
+                    for ky in 0..spec.kh {
+                        for kx in 0..spec.kw {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let i = base + iy * w + ix;
+                            if iv[i] > best {
+                                best = iv[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    let o = ((s * c + ch) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    idx[o] = best_i;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(vec![n, c, oh, ow], out), idx)
+}
+
+/// Backward max-pooling: routes each output gradient to the input element
+/// that won the forward max.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: (usize, usize, usize, usize),
+) -> Tensor {
+    let (n, c, h, w) = input_shape;
+    let mut grad_in = vec![0.0f32; n * c * h * w];
+    for (g, &i) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        grad_in[i] += g;
+    }
+    Tensor::from_vec(vec![n, c, h, w], grad_in)
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = input.dims4();
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    let hw = (h * w) as f32;
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            out[s * c + ch] = iv[base..base + h * w].iter().sum::<f32>() / hw;
+        }
+    }
+    Tensor::from_vec(vec![n, c], out)
+}
+
+/// Backward of [`global_avg_pool`]: spreads each channel gradient uniformly
+/// over the spatial positions.
+pub fn global_avg_pool_backward(
+    grad_out: &Tensor,
+    input_shape: (usize, usize, usize, usize),
+) -> Tensor {
+    let (n, c, h, w) = input_shape;
+    let gv = grad_out.as_slice();
+    let hw = (h * w) as f32;
+    let mut grad_in = vec![0.0f32; n * c * h * w];
+    for s in 0..n {
+        for ch in 0..c {
+            let g = gv[s * c + ch] / hw;
+            let base = (s * c + ch) * h * w;
+            for v in &mut grad_in[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, h, w], grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_geometry() {
+        let spec = Conv2dSpec::new(3, 3, 1, 0);
+        assert_eq!(spec.output_hw(5, 5), (3, 3));
+        let spec = Conv2dSpec::new(3, 3, 1, 1);
+        assert_eq!(spec.output_hw(5, 5), (5, 5));
+        let spec = Conv2dSpec::new(2, 2, 2, 0);
+        assert_eq!(spec.output_hw(4, 4), (2, 2));
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // A 1x1 kernel with weight 1 reproduces the input.
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]);
+        let bias = Tensor::zeros(vec![1]);
+        let spec = Conv2dSpec::new(1, 1, 1, 0);
+        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn conv_hand_computed() {
+        // 3x3 input, 2x2 kernel of ones => sliding window sums.
+        let input = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        );
+        let weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.; 4]);
+        let bias = Tensor::from_vec(vec![1], vec![0.5]);
+        let spec = Conv2dSpec::new(2, 2, 1, 0);
+        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn conv_padding_zeroes_border() {
+        let input = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.0]);
+        let weight = Tensor::from_vec(vec![1, 1, 3, 3], vec![1.; 9]);
+        let bias = Tensor::zeros(vec![1]);
+        let spec = Conv2dSpec::new(3, 3, 1, 1);
+        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        // Every output position sees the single input pixel exactly once.
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let (n, c, h, w, f) = (2, 2, 4, 4, 3);
+        let spec = Conv2dSpec::new(3, 3, 1, 1);
+        let input = Tensor::from_vec(
+            vec![n, c, h, w],
+            (0..n * c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let weight = Tensor::from_vec(
+            vec![f, c, 3, 3],
+            (0..f * c * 9).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+        );
+        let bias = Tensor::from_vec(vec![f], (0..f).map(|_| rng.gen_range(-0.1..0.1)).collect());
+
+        // Scalar loss = sum of outputs, so dL/dout = ones.
+        let (out, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let gout = Tensor::filled(out.shape().to_vec(), 1.0);
+        let (gin, gw, gb) = conv2d_backward(&gout, &cols, (n, c, h, w), &weight, &spec);
+
+        let eps = 1e-2;
+        // Check a few weight coordinates by central differences.
+        for &wi in &[0usize, 5, 17, f * c * 9 - 1] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[wi] += eps;
+            let (op, _) = conv2d_forward(&input, &wp, &bias, &spec);
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[wi] -= eps;
+            let (om, _) = conv2d_forward(&input, &wm, &bias, &spec);
+            let fd = (op.sum() - om.sum()) / (2.0 * eps);
+            let an = gw.as_slice()[wi];
+            assert!((fd - an).abs() < 2e-2, "weight[{wi}]: fd {fd} vs an {an}");
+        }
+        // Check input coordinates.
+        for &ii in &[0usize, 13, n * c * h * w - 1] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[ii] += eps;
+            let (op, _) = conv2d_forward(&ip, &weight, &bias, &spec);
+            let mut im = input.clone();
+            im.as_mut_slice()[ii] -= eps;
+            let (om, _) = conv2d_forward(&im, &weight, &bias, &spec);
+            let fd = (op.sum() - om.sum()) / (2.0 * eps);
+            let an = gin.as_slice()[ii];
+            assert!((fd - an).abs() < 2e-2, "input[{ii}]: fd {fd} vs an {an}");
+        }
+        // Bias gradient: each filter touches n*oh*ow outputs once.
+        let (_, _, oh, ow) = out.dims4();
+        for b in gb.as_slice() {
+            assert!((b - (n * oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let input = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        );
+        let spec = Conv2dSpec::new(2, 2, 2, 0);
+        let (out, idx) = maxpool2d_forward(&input, &spec);
+        assert_eq!(out.as_slice(), &[6., 8., 14., 16.]);
+        let gout = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let gin = maxpool2d_backward(&gout, &idx, (1, 1, 4, 4));
+        assert_eq!(gin.at(5), 1.0);
+        assert_eq!(gin.at(7), 2.0);
+        assert_eq!(gin.at(13), 3.0);
+        assert_eq!(gin.at(15), 4.0);
+        assert_eq!(gin.sum(), 10.0);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = Tensor::from_vec(vec![1, 2, 2, 2], vec![1., 2., 3., 4., 10., 20., 30., 40.]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.as_slice(), &[2.5, 25.0]);
+        let gout = Tensor::from_vec(vec![1, 2], vec![4.0, 8.0]);
+        let gin = global_avg_pool_backward(&gout, (1, 2, 2, 2));
+        assert_eq!(gin.as_slice(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+}

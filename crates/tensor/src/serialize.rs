@@ -1,0 +1,144 @@
+//! Compact binary framing for tensors and parameter vectors.
+//!
+//! Federated clients upload their parameter vectors every round; this module
+//! gives the simulation a realistic wire format (and lets the benchmarks
+//! measure serialization cost). The layout is:
+//!
+//! ```text
+//! u32 rank | u64 dims[rank] | f32 data[prod(dims)]     (little endian)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Tensor, TensorError};
+
+/// Serializes a tensor into a freshly allocated byte buffer.
+pub fn to_bytes(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 8 * t.rank() + 4 * t.len());
+    buf.put_u32_le(t.rank() as u32);
+    for &d in t.shape() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a tensor produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedBytes`] when the buffer is truncated or
+/// the header is inconsistent.
+pub fn from_bytes(mut bytes: Bytes) -> Result<Tensor, TensorError> {
+    if bytes.remaining() < 4 {
+        return Err(TensorError::MalformedBytes("missing rank header".into()));
+    }
+    let rank = bytes.get_u32_le() as usize;
+    if rank == 0 || rank > 8 {
+        return Err(TensorError::MalformedBytes(format!(
+            "implausible rank {rank}"
+        )));
+    }
+    if bytes.remaining() < 8 * rank {
+        return Err(TensorError::MalformedBytes("truncated shape".into()));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(bytes.get_u64_le() as usize);
+    }
+    let n: usize = shape.iter().product();
+    if bytes.remaining() < 4 * n {
+        return Err(TensorError::MalformedBytes(format!(
+            "data truncated: need {} floats, have {} bytes",
+            n,
+            bytes.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(bytes.get_f32_le());
+    }
+    Tensor::try_from_vec(shape, data)
+}
+
+/// Serializes a flat parameter vector (no shape) — the payload a federated
+/// client uploads.
+pub fn params_to_bytes(params: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + 4 * params.len());
+    buf.put_u64_le(params.len() as u64);
+    for &v in params {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a parameter vector produced by [`params_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedBytes`] on truncation.
+pub fn params_from_bytes(mut bytes: Bytes) -> Result<Vec<f32>, TensorError> {
+    if bytes.remaining() < 8 {
+        return Err(TensorError::MalformedBytes("missing length header".into()));
+    }
+    let n = bytes.get_u64_le() as usize;
+    if bytes.remaining() < 4 * n {
+        return Err(TensorError::MalformedBytes(format!(
+            "param payload truncated: need {n} floats"
+        )));
+    }
+    Ok((0..n).map(|_| bytes.get_f32_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., -2., 3.5, 0., 5., -6.25]);
+        let b = to_bytes(&t);
+        let back = from_bytes(b).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let t = Tensor::from_vec(vec![4], vec![1., 2., 3., 4.]);
+        let b = to_bytes(&t);
+        let cut = b.slice(0..b.len() - 3);
+        assert!(matches!(
+            from_bytes(cut),
+            Err(TensorError::MalformedBytes(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(from_bytes(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_silly_rank() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(99);
+        assert!(from_bytes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let p = vec![0.5f32, -1.5, 2.25];
+        let b = params_to_bytes(&p);
+        assert_eq!(params_from_bytes(b).unwrap(), p);
+    }
+
+    #[test]
+    fn params_rejects_truncation() {
+        let p = vec![1.0f32; 10];
+        let b = params_to_bytes(&p);
+        let cut = b.slice(0..b.len() - 1);
+        assert!(params_from_bytes(cut).is_err());
+    }
+}

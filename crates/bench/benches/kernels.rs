@@ -1,0 +1,120 @@
+//! Naive vs blocked vs parallel kernel comparison at paper-relevant
+//! shapes — the regression guard for the compute-engine rewrite.
+//!
+//! `naive` is the seed's reference implementation (kept as the oracle in
+//! `goldfish_tensor::ops::reference`), `blocked` is the register-tiled
+//! engine pinned to one thread, and `parallel` is the same engine on the
+//! default pool (identical to `blocked` on a single-core host).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldfish_bench::fixtures;
+use goldfish_fed::aggregate::{weighted_mean, FedAvg};
+use goldfish_fed::pool;
+use goldfish_tensor::{ops, Tensor};
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(15);
+    for &n in &[64usize, 128, 256] {
+        let (a, b) = fixtures::square_pair(n, 0);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| ops::reference::matmul(std::hint::black_box(&a), &b));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| pool::install(Some(1), || ops::matmul(std::hint::black_box(&a), &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(std::hint::black_box(&a), &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_transposed");
+    group.sample_size(15);
+    let n = 256;
+    let (a, b) = fixtures::square_pair(n, 1);
+    group.bench_function("at_b_naive", |bench| {
+        bench.iter(|| ops::reference::matmul_at_b(std::hint::black_box(&a), &b));
+    });
+    group.bench_function("at_b_blocked", |bench| {
+        bench.iter(|| ops::matmul_at_b(std::hint::black_box(&a), &b));
+    });
+    group.bench_function("a_bt_naive", |bench| {
+        bench.iter(|| ops::reference::matmul_a_bt(std::hint::black_box(&a), &b));
+    });
+    group.bench_function("a_bt_blocked", |bench| {
+        bench.iter(|| ops::matmul_a_bt(std::hint::black_box(&a), &b));
+    });
+    group.finish();
+}
+
+fn bench_conv_batching(c: &mut Criterion) {
+    use goldfish_tensor::conv::{conv2d_forward_ws, ConvWorkspace};
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(15);
+    // LeNet-ish first layer over a 32-image minibatch.
+    let (_, nimg, ch, hw, f) = fixtures::CONV_CASES[0];
+    let (input, weight, bias, spec) = fixtures::conv_case(nimg, ch, hw, f, 2);
+    group.bench_function("per_image", |bench| {
+        // One lowering + GEMM + fresh retained workspace per image: the
+        // seed's strategy.
+        bench.iter(|| {
+            let iv = input.as_slice();
+            let per = ch * hw * hw;
+            let mut retained = Vec::with_capacity(nimg);
+            for s in 0..nimg {
+                let img =
+                    Tensor::from_vec(vec![1, ch, hw, hw], iv[s * per..(s + 1) * per].to_vec());
+                let mut ws = ConvWorkspace::new();
+                std::hint::black_box(conv2d_forward_ws(&img, &weight, &bias, &spec, &mut ws));
+                retained.push(ws);
+            }
+            retained
+        });
+    });
+    group.bench_function("batched", |bench| {
+        let mut ws = ConvWorkspace::new();
+        bench.iter(|| {
+            std::hint::black_box(conv2d_forward_ws(
+                std::hint::black_box(&input),
+                &weight,
+                &bias,
+                &spec,
+                &mut ws,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_aggregation_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_mean");
+    group.sample_size(15);
+    let ups = fixtures::client_updates(fixtures::AGG_CLIENTS, fixtures::AGG_PARAMS, 3);
+    let weights: Vec<f64> = ups.iter().map(|u| u.num_samples as f64).collect();
+    group.bench_function("serial", |bench| {
+        bench.iter(|| {
+            pool::install(Some(1), || {
+                weighted_mean(std::hint::black_box(&ups), &weights)
+            })
+        });
+    });
+    group.bench_function("parallel", |bench| {
+        bench.iter(|| weighted_mean(std::hint::black_box(&ups), &weights));
+    });
+    group.bench_function("fedavg_end_to_end", |bench| {
+        use goldfish_fed::aggregate::AggregationStrategy;
+        bench.iter(|| FedAvg.aggregate(std::hint::black_box(&ups)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_matmul_variants, bench_transposed_variants, bench_conv_batching,
+        bench_aggregation_reduction
+}
+criterion_main!(benches);

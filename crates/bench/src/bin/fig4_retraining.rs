@@ -30,7 +30,11 @@ fn ours_method(w: &workloads::Workload) -> GoldfishUnlearning {
 /// Runs the method over `seeds` and returns (per-round mean accuracy,
 /// wall-clock of the last run). Round-1 accuracy after a fresh
 /// reinitialisation is high-variance, so single-seed curves mislead.
-fn run_timed(method: &dyn UnlearningMethod, setup: &UnlearnSetup, seeds: &[u64]) -> (Vec<f64>, f64) {
+fn run_timed(
+    method: &dyn UnlearningMethod,
+    setup: &UnlearnSetup,
+    seeds: &[u64],
+) -> (Vec<f64>, f64) {
     let mut mean = vec![0.0f64; setup.rounds];
     let mut secs = 0.0;
     for &seed in seeds {
@@ -59,7 +63,11 @@ fn main() {
             report::pct(built.original_acc)
         );
 
-        let seeds: Vec<u64> = if quick { vec![seed] } else { vec![seed, seed + 1, seed + 2] };
+        let seeds: Vec<u64> = if quick {
+            vec![seed]
+        } else {
+            vec![seed, seed + 1, seed + 2]
+        };
         println!("(accuracy curves averaged over {} seeds)", seeds.len());
         let (ours, t_ours) = run_timed(&ours_method(&workload), &built.setup, &seeds);
         let (b1, t_b1) = run_timed(&RetrainFromScratch, &built.setup, &seeds);

@@ -38,8 +38,15 @@ fn main() {
             workload.name, workload.train_n, workload.clients
         ));
         let mut table = report::Table::new(&[
-            "rate%", "origin acc", "origin bd", "ours acc", "ours bd", "b1 acc", "b1 bd",
-            "b3 acc", "b3 bd",
+            "rate%",
+            "origin acc",
+            "origin bd",
+            "ours acc",
+            "ours bd",
+            "b1 acc",
+            "b1 bd",
+            "b3 acc",
+            "b3 bd",
         ]);
         for &rate in rates {
             let t0 = Instant::now();

@@ -17,7 +17,11 @@ fn main() {
     } else {
         workloads::Workload::mnist()
     };
-    let taus: &[usize] = if quick { &[1, 3, 6] } else { &[1, 3, 6, 9, 12, 15, 18] };
+    let taus: &[usize] = if quick {
+        &[1, 3, 6]
+    } else {
+        &[1, 3, 6, 9, 12, 15, 18]
+    };
     let rounds = if quick { 3 } else { 8 };
 
     let (train, test) = workload.datasets(seed);
@@ -32,15 +36,7 @@ fn main() {
     // One ShardedClient per τ, trained in lockstep so rows are rounds.
     let mut clients: Vec<ShardedClient> = taus
         .iter()
-        .map(|&tau| {
-            ShardedClient::new(
-                &train,
-                tau,
-                factory.clone(),
-                workload.train_config(),
-                seed,
-            )
-        })
+        .map(|&tau| ShardedClient::new(&train, tau, factory.clone(), workload.train_config(), seed))
         .collect();
 
     for round in 0..rounds {

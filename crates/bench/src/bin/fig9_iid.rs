@@ -28,7 +28,9 @@ fn main() {
     let factory = workload.factory();
 
     for &n_clients in client_counts {
-        report::heading(&format!("Fig 9 analogue — IID data, {n_clients} clients (MNIST)"));
+        report::heading(&format!(
+            "Fig 9 analogue — IID data, {n_clients} clients (MNIST)"
+        ));
         let mut rng = StdRng::seed_from_u64(seed ^ (n_clients as u64));
         let parts = partition::iid(train.len(), n_clients, &mut rng);
 

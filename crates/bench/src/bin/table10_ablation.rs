@@ -25,7 +25,11 @@ fn main() {
     if quick {
         workload = workload.quick();
     }
-    let checkpoints = if quick { vec![2usize, 4] } else { vec![10, 20, 30, 40] };
+    let checkpoints = if quick {
+        vec![2usize, 4]
+    } else {
+        vec![10, 20, 30, 40]
+    };
     let segment = checkpoints[0];
 
     // Centralised study: one client holding the whole training set, 6 %
@@ -50,15 +54,19 @@ fn main() {
 
     report::heading("Table X analogue — loss ablation (CIFAR-10, ResNet-mini)");
     let mut table = report::Table::new(&[
-        "epoch", "metric", "hard only", "w/o distill", "w/o confusion", "total loss",
+        "epoch",
+        "metric",
+        "hard only",
+        "w/o distill",
+        "w/o confusion",
+        "total loss",
     ]);
 
     // (config → per-checkpoint (acc, asr))
     let mut results: Vec<Vec<(f64, f64)>> = Vec::new();
     for (name, weights) in &configs {
         let mut student = (built.setup.factory)(seed ^ 0xAB1);
-        let mut teacher =
-            network_from_state(&built.setup.factory, &built.setup.original_global, 0);
+        let mut teacher = network_from_state(&built.setup.factory, &built.setup.original_global, 0);
         let loss = GoldfishLoss::new(Arc::new(CrossEntropy), *weights);
         let mut rows = Vec::new();
         for (i, _) in checkpoints.iter().enumerate() {

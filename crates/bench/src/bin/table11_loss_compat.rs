@@ -21,7 +21,11 @@ fn main() {
     if quick {
         workload = workload.quick();
     }
-    let checkpoints = if quick { vec![2usize, 4] } else { vec![10, 20, 30, 40] };
+    let checkpoints = if quick {
+        vec![2usize, 4]
+    } else {
+        vec![10, 20, 30, 40]
+    };
     let segment = checkpoints[0];
 
     let built = workloads::build_unlearning_experiment(&workload, 0.06, seed);
@@ -43,14 +47,17 @@ fn main() {
 
     report::heading("Table XI analogue — hard-loss compatibility (CIFAR-10, ResNet-mini)");
     let mut table = report::Table::new(&[
-        "epoch", "metric", "total α (CE)", "total β (Focal)", "total γ (NLL)",
+        "epoch",
+        "metric",
+        "total α (CE)",
+        "total β (Focal)",
+        "total γ (NLL)",
     ]);
 
     let mut results: Vec<Vec<(f64, f64)>> = Vec::new();
     for (name, hard) in &losses {
         let mut student = (built.setup.factory)(seed ^ 0xAB2);
-        let mut teacher =
-            network_from_state(&built.setup.factory, &built.setup.original_global, 0);
+        let mut teacher = network_from_state(&built.setup.factory, &built.setup.original_global, 0);
         let loss = GoldfishLoss::new(Arc::clone(hard), LossWeights::default());
         let mut rows = Vec::new();
         for (i, _) in checkpoints.iter().enumerate() {

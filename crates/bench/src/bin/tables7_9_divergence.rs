@@ -83,7 +83,11 @@ fn main() {
                 &built.setup.original_global,
                 &probe,
             ));
-            let c_ours = confidences(&state_probs(&built.setup.factory, &ours.global_state, &probe));
+            let c_ours = confidences(&state_probs(
+                &built.setup.factory,
+                &ours.global_state,
+                &probe,
+            ));
             let c_b3 = confidences(&state_probs(&built.setup.factory, &b3.global_state, &probe));
 
             table.row(vec![

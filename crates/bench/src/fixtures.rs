@@ -1,0 +1,65 @@
+//! Shared benchmark fixtures.
+//!
+//! Both the criterion kernel bench (`benches/kernels.rs`) and the
+//! JSON-baseline binary (`src/bin/bench_kernels.rs`) measure the same
+//! scenarios; building their inputs here keeps the two in lockstep so
+//! the committed `BENCH_kernels.json` always measures what CI's
+//! criterion run measures.
+
+use goldfish_fed::aggregate::ClientUpdate;
+use goldfish_tensor::conv::Conv2dSpec;
+use goldfish_tensor::{init, Tensor};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Client count of the aggregation scenario.
+pub const AGG_CLIENTS: usize = 25;
+
+/// Parameter count of the aggregation scenario.
+pub const AGG_PARAMS: usize = 500_000;
+
+/// Conv scenarios: `(label, images, channels, height/width, filters)` —
+/// a LeNet-ish first layer and a deeper, channel-heavy layer.
+pub const CONV_CASES: [(&str, usize, usize, usize, usize); 2] = [
+    ("32x1x28x28 f6", 32, 1, 28, 6),
+    ("32x16x12x12 f16", 32, 16, 12, 16),
+];
+
+/// A pair of dense `n×n` standard-normal matrices.
+pub fn square_pair(n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        init::normal(&mut rng, vec![n, n], 0.0, 1.0),
+        init::normal(&mut rng, vec![n, n], 0.0, 1.0),
+    )
+}
+
+/// Inputs for one conv scenario: `(input, weight, bias, spec)` with a
+/// 5×5 stride-1 kernel.
+pub fn conv_case(
+    nimg: usize,
+    ch: usize,
+    hw: usize,
+    f: usize,
+    seed: u64,
+) -> (Tensor, Tensor, Tensor, Conv2dSpec) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        init::normal(&mut rng, vec![nimg, ch, hw, hw], 0.0, 1.0),
+        init::normal(&mut rng, vec![f, ch, 5, 5], 0.0, 0.2),
+        Tensor::zeros(vec![f]),
+        Conv2dSpec::new(5, 5, 1, 0),
+    )
+}
+
+/// Synthetic client uploads for the aggregation scenario.
+pub fn client_updates(clients: usize, params: usize, seed: u64) -> Vec<ClientUpdate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..clients)
+        .map(|id| ClientUpdate {
+            client_id: id,
+            state: (0..params).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            num_samples: rng.gen_range(10..1000),
+            server_mse: None,
+        })
+        .collect()
+}

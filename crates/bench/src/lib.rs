@@ -10,12 +10,14 @@
 //! * `--quick` — shrink the workload (CI smoke run),
 //! * `--seed N` — change the experiment seed (default 42).
 //!
-//! Outputs are printed as aligned text tables mirroring the paper's layout;
-//! `EXPERIMENTS.md` records a captured run against the paper's numbers.
+//! Outputs are printed as aligned text tables mirroring the paper's
+//! layout (see `DESIGN.md` §4); the kernel perf baseline lives in
+//! `BENCH_kernels.json`, written by the `bench_kernels` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod fixtures;
 pub mod report;
 pub mod workloads;

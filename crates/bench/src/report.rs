@@ -66,6 +66,74 @@ impl Table {
     }
 }
 
+/// One timed kernel measurement destined for a perf-baseline JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name, e.g. `matmul_256_naive`.
+    pub name: String,
+    /// Median wall time per call in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed call in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a perf-baseline document: timed records plus derived speedup
+/// ratios, with free-form string metadata. Hand-rolled (serde is a marker
+/// stub in this offline workspace) but stable-keyed so baselines diff
+/// cleanly across commits.
+pub fn perf_baseline_json(
+    meta: &[(&str, String)],
+    records: &[BenchRecord],
+    speedups: &[(&str, f64)],
+) -> String {
+    let mut out = String::from("{\n  \"meta\": {\n");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        let comma = if i + 1 < meta.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{}\": \"{}\"{comma}\n",
+            json_escape(k),
+            json_escape(v)
+        ));
+    }
+    out.push_str("  },\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.0}, \"min_ns\": {:.0}, \"samples\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.min_ns,
+            r.samples
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": {\n");
+    for (i, (k, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {v:.3}{comma}\n", json_escape(k)));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// Formats a fraction as a percentage with two decimals (paper style).
 pub fn pct(x: f64) -> String {
     format!("{:.2}", 100.0 * x)
@@ -106,5 +174,28 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.9267), "92.67");
         assert_eq!(num(0.637_42, 2), "0.64");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn perf_baseline_document_shape() {
+        let doc = perf_baseline_json(
+            &[("host", "ci".to_string())],
+            &[BenchRecord {
+                name: "matmul_256_naive".into(),
+                median_ns: 1.5e6,
+                min_ns: 1.4e6,
+                samples: 9,
+            }],
+            &[("matmul_256", 3.4)],
+        );
+        assert!(doc.contains("\"matmul_256_naive\""));
+        assert!(doc.contains("\"median_ns\": 1500000"));
+        assert!(doc.contains("\"matmul_256\": 3.400"));
+        assert!(doc.ends_with("}\n"));
     }
 }

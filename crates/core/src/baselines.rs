@@ -49,7 +49,12 @@ impl UnlearningMethod for RetrainFromScratch {
                     .wrapping_add((id as u64) << 32)
                     .wrapping_add(round as u64);
                 let mut net = network_from_state(&setup.factory, &global, client_seed);
-                train_local_ce(&mut net, &setup.clients[id].remaining, &setup.train, client_seed);
+                train_local_ce(
+                    &mut net,
+                    &setup.clients[id].remaining,
+                    &setup.train,
+                    client_seed,
+                );
                 ClientUpdate {
                     client_id: id,
                     state: net.state_vector(),
@@ -321,11 +326,7 @@ pub fn state_loss(
 
 /// Prediction-probability tensor of a state vector over a dataset —
 /// exposed for the divergence tables (VII–IX).
-pub fn state_probs(
-    factory: &ModelFactory,
-    state: &[f32],
-    data: &goldfish_data::Dataset,
-) -> Tensor {
+pub fn state_probs(factory: &ModelFactory, state: &[f32], data: &goldfish_data::Dataset) -> Tensor {
     let mut net = network_from_state(factory, state, 0);
     eval::predict_probs(&mut net, data)
 }
@@ -374,7 +375,10 @@ mod tests {
         // Client 0 holds the poisoned data; client 1 is intact.
         let (c0, c1) = train.split_at(150);
         let removed: Vec<usize> = (0..24).collect();
-        let clients = vec![ClientSplit::with_removed(&c0, &removed), ClientSplit::intact(c1)];
+        let clients = vec![
+            ClientSplit::with_removed(&c0, &removed),
+            ClientSplit::intact(c1),
+        ];
         (
             UnlearnSetup {
                 factory,
@@ -405,7 +409,11 @@ mod tests {
         let mut net = network_from_state(&setup.factory, &out.global_state, 0);
         let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
         assert!(asr < 0.3, "B1 ASR {asr} should be low");
-        assert!(out.final_accuracy() > 0.5, "B1 accuracy {}", out.final_accuracy());
+        assert!(
+            out.final_accuracy() > 0.5,
+            "B1 accuracy {}",
+            out.final_accuracy()
+        );
         assert_eq!(out.round_accuracies.len(), 3);
     }
 
@@ -416,7 +424,11 @@ mod tests {
         let mut net = network_from_state(&setup.factory, &out.global_state, 0);
         let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
         assert!(asr < 0.3, "B2 ASR {asr}");
-        assert!(out.final_accuracy() > 0.5, "B2 accuracy {}", out.final_accuracy());
+        assert!(
+            out.final_accuracy() > 0.5,
+            "B2 accuracy {}",
+            out.final_accuracy()
+        );
     }
 
     #[test]
@@ -427,7 +439,11 @@ mod tests {
         let asr = eval::attack_success_rate(&mut net, &setup.test, &backdoor);
         // The original model's ASR is > 0.5; B3 must cut it drastically.
         assert!(asr < 0.35, "B3 ASR {asr}");
-        assert!(out.final_accuracy() > 0.4, "B3 accuracy {}", out.final_accuracy());
+        assert!(
+            out.final_accuracy() > 0.4,
+            "B3 accuracy {}",
+            out.final_accuracy()
+        );
     }
 
     #[test]

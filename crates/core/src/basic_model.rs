@@ -240,14 +240,26 @@ pub fn reference_loss(
         fg_total += bd.total(loss.weights());
         fg_batches += 1;
     }
-    let rem_mean = if rem_batches == 0 { 0.0 } else { rem_total / rem_batches as f32 };
-    let fg_mean = if fg_batches == 0 { 0.0 } else { fg_total / fg_batches as f32 };
+    let rem_mean = if rem_batches == 0 {
+        0.0
+    } else {
+        rem_total / rem_batches as f32
+    };
+    let fg_mean = if fg_batches == 0 {
+        0.0
+    } else {
+        fg_total / fg_batches as f32
+    };
     rem_mean + fg_mean
 }
 
 /// Convenience: a seeded copy of a network materialised from a factory and
 /// a state vector.
-pub fn network_from_state(factory: &goldfish_fed::ModelFactory, state: &[f32], seed: u64) -> Network {
+pub fn network_from_state(
+    factory: &goldfish_fed::ModelFactory,
+    state: &[f32],
+    seed: u64,
+) -> Network {
     let mut net = (factory)(seed);
     net.set_state_vector(state);
     net
@@ -316,7 +328,10 @@ mod tests {
         let mut teacher = train_teacher(&remaining, &forget);
         let backdoor = BackdoorSpec::new(0).with_patch(2);
         let teacher_asr = goldfish_fed::eval::attack_success_rate(&mut teacher, &test, &backdoor);
-        assert!(teacher_asr > 0.5, "teacher should be backdoored: {teacher_asr}");
+        assert!(
+            teacher_asr > 0.5,
+            "teacher should be backdoored: {teacher_asr}"
+        );
 
         let mut student = mlp_net(99);
         let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
@@ -420,7 +435,12 @@ mod tests {
             p.grad.map_mut(|_| 100.0);
         }
         clip_grad_norm(&mut net, 1.0);
-        let norm: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
+        let norm: f32 = net
+            .params()
+            .iter()
+            .map(|p| p.grad.norm_sq())
+            .sum::<f32>()
+            .sqrt();
         assert!((norm - 1.0).abs() < 1e-3, "clipped norm {norm}");
 
         for p in net.params_mut() {

@@ -97,7 +97,10 @@ impl AggregationStrategy for AdaptiveWeightAggregation {
         let mses: Option<Vec<f64>> = updates.iter().map(|u| u.server_mse).collect();
         let weights = match mses {
             Some(mses) => Self::weights(&mses),
-            None => updates.iter().map(|u| u.num_samples.max(1) as f64).collect(),
+            None => updates
+                .iter()
+                .map(|u| u.num_samples.max(1) as f64)
+                .collect(),
         };
         goldfish_fed::aggregate::weighted_mean(updates, &weights)
     }
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn eq11_clamps_below() {
-        let at = AdaptiveTemperature { t0: 0.1, alpha: 0.5 };
+        let at = AdaptiveTemperature {
+            t0: 0.1,
+            alpha: 0.5,
+        };
         assert_eq!(at.temperature(1000, 1), 0.25);
     }
 

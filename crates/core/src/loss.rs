@@ -86,7 +86,8 @@ pub struct LossBreakdown {
 impl LossBreakdown {
     /// The total Eq 6 value under the given weights.
     pub fn total(&self, w: &LossWeights) -> f32 {
-        self.hard_remaining - self.hard_forget + w.mu_c * self.confusion
+        self.hard_remaining - self.hard_forget
+            + w.mu_c * self.confusion
             + w.mu_d * self.distillation
     }
 }
@@ -177,7 +178,8 @@ impl GoldfishLoss {
                 student_logits.shape(),
                 "teacher/student logit shapes differ"
             );
-            let (ld, ld_grad) = distillation_loss(student_logits, teacher, self.weights.temperature);
+            let (ld, ld_grad) =
+                distillation_loss(student_logits, teacher, self.weights.temperature);
             breakdown.distillation = ld;
             grad.axpy(self.weights.mu_d, &ld_grad);
         }
@@ -264,7 +266,10 @@ pub fn confusion_loss(logits: &Tensor) -> (f32, Tensor) {
             continue; // already uniform: flat spot of sqrt, treat as zero
         }
         // dL/dp_k for this sample.
-        let dl_dp: Vec<f32> = prow.iter().map(|&pk| (pk - uniform) / (c as f32 * sd)).collect();
+        let dl_dp: Vec<f32> = prow
+            .iter()
+            .map(|&pk| (pk - uniform) / (c as f32 * sd))
+            .collect();
         // Chain through the softmax Jacobian: dL/dz_i = p_i (dL/dp_i − Σ_k dL/dp_k p_k).
         let dot: f32 = dl_dp.iter().zip(prow.iter()).map(|(&a, &b)| a * b).sum();
         let grow = grad.row_mut(r);
@@ -284,7 +289,11 @@ pub fn confusion_loss(logits: &Tensor) -> (f32, Tensor) {
 /// # Panics
 ///
 /// Panics if shapes differ or `t <= 0`.
-pub fn distillation_loss(student_logits: &Tensor, teacher_logits: &Tensor, t: f32) -> (f32, Tensor) {
+pub fn distillation_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    t: f32,
+) -> (f32, Tensor) {
     assert_eq!(
         student_logits.shape(),
         teacher_logits.shape(),

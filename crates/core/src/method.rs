@@ -37,7 +37,9 @@ impl ClientSplit {
     /// Panics if an index is out of bounds.
     pub fn with_removed(data: &Dataset, removed: &[usize]) -> Self {
         let removed_set: std::collections::HashSet<usize> = removed.iter().copied().collect();
-        let keep: Vec<usize> = (0..data.len()).filter(|i| !removed_set.contains(i)).collect();
+        let keep: Vec<usize> = (0..data.len())
+            .filter(|i| !removed_set.contains(i))
+            .collect();
         ClientSplit {
             remaining: data.subset(&keep),
             forget: data.subset(removed),
@@ -119,25 +121,20 @@ pub trait UnlearningMethod: Send + Sync {
     fn unlearn(&self, setup: &UnlearnSetup, seed: u64) -> UnlearnOutcome;
 }
 
-/// Runs `f(client_index)` for every client on its own thread and collects
-/// the results in order. The helper behind every `foreach client in
-/// parallel` loop of Algorithm 1.
+/// Runs `f(client_index)` for every client in parallel on the shared
+/// compute pool (see `goldfish_fed::pool`) and collects the results in
+/// order. The helper behind every `foreach client in parallel` loop of
+/// Algorithm 1.
 pub fn parallel_clients<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                *slot = Some(f(i));
-            });
-        }
-    })
-    .expect("client thread panicked");
-    out.into_iter().map(|v| v.expect("missing result")).collect()
+    goldfish_fed::pool::for_each_slot(&mut out, |i, slot| *slot = Some(f(i)));
+    out.into_iter()
+        .map(|v| v.expect("missing result"))
+        .collect()
 }
 
 #[cfg(test)]

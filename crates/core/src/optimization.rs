@@ -255,7 +255,13 @@ impl ShardedClient {
     /// # Panics
     ///
     /// Panics if `tau` is zero or exceeds the dataset size.
-    pub fn new(data: &Dataset, tau: usize, factory: ModelFactory, cfg: TrainConfig, seed: u64) -> Self {
+    pub fn new(
+        data: &Dataset,
+        tau: usize,
+        factory: ModelFactory,
+        cfg: TrainConfig,
+        seed: u64,
+    ) -> Self {
         assert!(tau > 0, "need at least one shard");
         assert!(
             tau <= data.len(),
@@ -305,19 +311,13 @@ impl ShardedClient {
         let shards = &self.shards;
         let base = self.model.aggregate();
         let mut new_states: Vec<Option<Vec<f32>>> = vec![None; shards.len()];
-        crossbeam::thread::scope(|scope| {
-            for (i, (shard, slot)) in shards.iter().zip(new_states.iter_mut()).enumerate() {
-                let shard_seed = seed.wrapping_add((i as u64) << 24);
-                let base = &base;
-                scope.spawn(move |_| {
-                    let mut net = (factory)(shard_seed);
-                    net.set_state_vector(base);
-                    train_local_ce(&mut net, shard, cfg, shard_seed);
-                    *slot = Some(net.state_vector());
-                });
-            }
-        })
-        .expect("shard training thread panicked");
+        goldfish_fed::pool::for_each_slot(&mut new_states, |i, slot| {
+            let shard_seed = seed.wrapping_add((i as u64) << 24);
+            let mut net = (factory)(shard_seed);
+            net.set_state_vector(&base);
+            train_local_ce(&mut net, &shards[i], cfg, shard_seed);
+            *slot = Some(net.state_vector());
+        });
         for (i, state) in new_states.into_iter().enumerate() {
             let s = state.expect("missing shard state");
             let size = self.shards[i].len();

@@ -205,7 +205,10 @@ mod tests {
         );
         let (c0, c1) = train.split_at(150);
         let removed: Vec<usize> = (0..24).collect();
-        let clients = vec![ClientSplit::with_removed(&c0, &removed), ClientSplit::intact(c1)];
+        let clients = vec![
+            ClientSplit::with_removed(&c0, &removed),
+            ClientSplit::intact(c1),
+        ];
         (
             UnlearnSetup {
                 factory,
@@ -248,7 +251,10 @@ mod tests {
         // typically higher) accuracy than retraining from scratch. An easy
         // task saturates immediately and shows nothing, so this fixture
         // raises the noise until the original model itself is imperfect.
-        let spec = SyntheticSpec::mnist().with_size(10, 10).with_shift(1).with_noise(0.45);
+        let spec = SyntheticSpec::mnist()
+            .with_size(10, 10)
+            .with_shift(1)
+            .with_noise(0.45);
         let (mut train, test) = synthetic::generate(&spec, 400, 150, 77);
         let backdoor = BackdoorSpec::new(0).with_patch(2);
         let poisoned: Vec<usize> = (0..32).collect();
@@ -277,7 +283,10 @@ mod tests {
         let removed: Vec<usize> = (0..32).collect();
         let setup = UnlearnSetup {
             factory,
-            clients: vec![ClientSplit::with_removed(&c0, &removed), ClientSplit::intact(c1)],
+            clients: vec![
+                ClientSplit::with_removed(&c0, &removed),
+                ClientSplit::intact(c1),
+            ],
             test,
             original_global: original.state_vector(),
             rounds: 3,
@@ -300,7 +309,11 @@ mod tests {
         );
         // Deliberately hard task (noise 0.45 + shift): the floor only
         // guards against degenerate collapse, the claim is ours ≥ b1.
-        assert!(ours.final_accuracy() > 0.35, "ours {}", ours.final_accuracy());
+        assert!(
+            ours.final_accuracy() > 0.35,
+            "ours {}",
+            ours.final_accuracy()
+        );
     }
 
     #[test]
@@ -326,7 +339,11 @@ mod tests {
             ..GoldfishLocalConfig::default()
         });
         let out = method.unlearn(&setup, 0);
-        assert!(out.final_accuracy() > 0.4, "accuracy {}", out.final_accuracy());
+        assert!(
+            out.final_accuracy() > 0.4,
+            "accuracy {}",
+            out.final_accuracy()
+        );
     }
 
     #[test]

@@ -66,8 +66,7 @@ impl BackdoorSpec {
             for y in h - self.patch..h {
                 for x in w - self.patch..w {
                     let bright = (y + x) % 2 == 0;
-                    fv[((i * c + ch) * h + y) * w + x] =
-                        if bright { self.value } else { 0.0 };
+                    fv[((i * c + ch) * h + y) * w + x] = if bright { self.value } else { 0.0 };
                 }
             }
         }

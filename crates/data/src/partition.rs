@@ -53,7 +53,9 @@ pub fn uneven<R: Rng + ?Sized>(
     );
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
-    let weights: Vec<f64> = (0..clients).map(|_| rng.gen_range(min_weight..=1.0)).collect();
+    let weights: Vec<f64> = (0..clients)
+        .map(|_| rng.gen_range(min_weight..=1.0))
+        .collect();
     let total: f64 = weights.iter().sum();
     // Cumulative boundaries, with every client getting ≥1 sample when
     // possible.

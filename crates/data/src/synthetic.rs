@@ -191,7 +191,12 @@ fn prototypes(spec: &SyntheticSpec) -> Vec<Vec<f32>> {
 /// # Panics
 ///
 /// Panics if the spec has zero classes or zero-sized images.
-pub fn generate(spec: &SyntheticSpec, n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+pub fn generate(
+    spec: &SyntheticSpec,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
     assert!(spec.classes > 0 && spec.sample_len() > 0, "degenerate spec");
     let protos = prototypes(spec);
     let mut train_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
@@ -212,7 +217,10 @@ fn sample_split<R: Rng>(
     let (c, h, w) = (spec.channels, spec.height, spec.width);
     let mut features = Vec::with_capacity(n * d);
     let mut labels = Vec::with_capacity(n);
-    let s = spec.max_shift.min(h.saturating_sub(1)).min(w.saturating_sub(1)) as isize;
+    let s = spec
+        .max_shift
+        .min(h.saturating_sub(1))
+        .min(w.saturating_sub(1)) as isize;
     for i in 0..n {
         // Balanced labels in round-robin order, then shuffled below.
         let label = i % spec.classes;
@@ -286,7 +294,9 @@ mod tests {
 
     #[test]
     fn pixels_in_unit_interval() {
-        let spec = SyntheticSpec::fashion_mnist().with_size(10, 10).with_shift(1);
+        let spec = SyntheticSpec::fashion_mnist()
+            .with_size(10, 10)
+            .with_shift(1);
         let (train, _) = generate(&spec, 50, 10, 11);
         assert!(train
             .features()

@@ -47,9 +47,19 @@ fn check_updates(updates: &[ClientUpdate]) -> usize {
     len
 }
 
+/// Parameter-index chunk width of the parallel reduction in
+/// [`weighted_mean`]. Large enough that per-chunk scheduling cost is noise,
+/// small enough that typical model sizes split across a pool.
+const REDUCE_CHUNK: usize = 16 * 1024;
+
 /// Weighted mean of uploaded state vectors — the shared kernel of FedAvg
 /// (Eq 13 with sample-count weights) and the adaptive-weight aggregation of
 /// the extension module (Eq 12 weights, implemented in `goldfish-core`).
+///
+/// The reduction is chunked over the parameter index space and the chunks
+/// run in parallel on the current pool. Each output element always
+/// accumulates client contributions in client order into an `f64`
+/// accumulator, so the result is bitwise identical at every thread count.
 ///
 /// # Panics
 ///
@@ -71,14 +81,47 @@ pub fn weighted_mean(updates: &[ClientUpdate], weights: &[f64]) -> Vec<f32> {
     };
     let total: f64 = usable.iter().map(|&i| weights[i]).sum();
     assert!(total > 0.0, "aggregation weights sum to zero");
-    let mut out = vec![0.0f64; len];
-    for &i in &usable {
-        let frac = weights[i] / total;
-        for (o, &v) in out.iter_mut().zip(updates[i].state.iter()) {
-            *o += frac * v as f64;
+    let fracs: Vec<(usize, f64)> = usable.iter().map(|&i| (i, weights[i] / total)).collect();
+
+    let mut out = vec![0.0f32; len];
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || len <= REDUCE_CHUNK {
+        for (chunk_idx, chunk) in out.chunks_mut(REDUCE_CHUNK).enumerate() {
+            reduce_chunk(chunk, chunk_idx * REDUCE_CHUNK, updates, &fracs);
+        }
+    } else {
+        let updates_ref = &updates;
+        let fracs_ref = &fracs;
+        rayon::scope(|s| {
+            for (chunk_idx, chunk) in out.chunks_mut(REDUCE_CHUNK).enumerate() {
+                s.spawn(move |_| {
+                    reduce_chunk(chunk, chunk_idx * REDUCE_CHUNK, updates_ref, fracs_ref);
+                });
+            }
+        });
+    }
+    out
+}
+
+/// Accumulates one chunk of the weighted mean: for every parameter index in
+/// the chunk, sums client contributions in client order (f64 accumulator)
+/// — the order is what makes the parallel reduction deterministic.
+fn reduce_chunk(
+    chunk: &mut [f32],
+    offset: usize,
+    updates: &[ClientUpdate],
+    fracs: &[(usize, f64)],
+) {
+    let mut acc = vec![0.0f64; chunk.len()];
+    for &(i, frac) in fracs {
+        let state = &updates[i].state[offset..offset + chunk.len()];
+        for (a, &v) in acc.iter_mut().zip(state.iter()) {
+            *a += frac * v as f64;
         }
     }
-    out.into_iter().map(|v| v as f32).collect()
+    for (o, &a) in chunk.iter_mut().zip(acc.iter()) {
+        *o = a as f32;
+    }
 }
 
 /// FedAvg (McMahan et al., 2017): clients weighted by local dataset size.
@@ -88,7 +131,10 @@ pub struct FedAvg;
 
 impl AggregationStrategy for FedAvg {
     fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32> {
-        let weights: Vec<f64> = updates.iter().map(|u| u.num_samples.max(1) as f64).collect();
+        let weights: Vec<f64> = updates
+            .iter()
+            .map(|u| u.num_samples.max(1) as f64)
+            .collect();
         weighted_mean(updates, &weights)
     }
 

@@ -6,20 +6,24 @@ use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{AggregationStrategy, ClientUpdate};
 use crate::trainer::{train_local_ce, TrainConfig};
-use crate::{eval, ModelFactory};
+use crate::{eval, pool, ModelFactory};
 
 /// A federated-learning simulation: one server, `n` clients holding local
 /// datasets, and a shared model architecture.
 ///
-/// Clients run their local epochs **in parallel** (crossbeam scoped
-/// threads), mirroring the `foreach client in parallel` loop of
-/// Algorithm 1. The global model travels as a flattened state vector.
+/// Clients run their local epochs **in parallel** on the shared compute
+/// pool (see [`crate::pool`]), mirroring the `foreach client in parallel`
+/// loop of Algorithm 1. The global model travels as a flattened state
+/// vector. The pool size is configurable per federation via
+/// [`FederationBuilder::threads`]; results are identical at every thread
+/// count.
 pub struct Federation {
     factory: ModelFactory,
     clients: Vec<Dataset>,
     test: Dataset,
     cfg: TrainConfig,
     eval_clients: bool,
+    threads: Option<usize>,
     global: Vec<f32>,
 }
 
@@ -30,6 +34,7 @@ pub struct FederationBuilder {
     test: Dataset,
     cfg: TrainConfig,
     eval_clients: bool,
+    threads: Option<usize>,
     init_seed: u64,
 }
 
@@ -43,6 +48,7 @@ impl Federation {
             test,
             cfg: TrainConfig::default(),
             eval_clients: false,
+            threads: None,
             init_seed: 0,
         }
     }
@@ -137,7 +143,7 @@ impl Federation {
         } else {
             Vec::new()
         };
-        let new_global = strategy.aggregate(&updates);
+        let new_global = pool::install(self.threads, || strategy.aggregate(&updates));
         self.global = new_global;
         RoundReport {
             round,
@@ -154,7 +160,9 @@ impl Federation {
         strategy: &dyn AggregationStrategy,
         seed: u64,
     ) -> TrainReport {
-        let mut report = TrainReport { rounds: Vec::with_capacity(rounds) };
+        let mut report = TrainReport {
+            rounds: Vec::with_capacity(rounds),
+        };
         for r in 0..rounds {
             let round_seed = seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9);
             report.rounds.push(self.run_round(r, strategy, round_seed));
@@ -171,33 +179,31 @@ impl Federation {
         let global = &self.global;
         let cfg = &self.cfg;
         let test = &self.test;
-        let mut updates: Vec<Option<ClientUpdate>> = (0..self.clients.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (id, (client, slot)) in self
-                .clients
-                .iter()
-                .zip(updates.iter_mut())
-                .enumerate()
-            {
+        let clients = &self.clients;
+        let mut updates: Vec<Option<ClientUpdate>> =
+            (0..self.clients.len()).map(|_| None).collect();
+        pool::install(self.threads, || {
+            pool::for_each_slot(&mut updates, |id, slot| {
+                let client = &clients[id];
                 let client_seed = seed
                     .wrapping_add((id as u64) << 32)
                     .wrapping_add(round as u64);
-                scope.spawn(move |_| {
-                    let mut net = (factory)(client_seed);
-                    net.set_state_vector(global);
-                    train_local_ce(&mut net, client, cfg, client_seed);
-                    let server_mse = Some(eval::mse(&mut net, test));
-                    *slot = Some(ClientUpdate {
-                        client_id: id,
-                        state: net.state_vector(),
-                        num_samples: client.len(),
-                        server_mse,
-                    });
+                let mut net = (factory)(client_seed);
+                net.set_state_vector(global);
+                train_local_ce(&mut net, client, cfg, client_seed);
+                let server_mse = Some(eval::mse(&mut net, test));
+                *slot = Some(ClientUpdate {
+                    client_id: id,
+                    state: net.state_vector(),
+                    num_samples: client.len(),
+                    server_mse,
                 });
-            }
-        })
-        .expect("client training thread panicked");
-        updates.into_iter().map(|u| u.expect("missing update")).collect()
+            });
+        });
+        updates
+            .into_iter()
+            .map(|u| u.expect("missing update"))
+            .collect()
     }
 
     /// Test accuracy of each uploaded client model (Fig 8 error bars).
@@ -205,16 +211,13 @@ impl Federation {
         let factory = &self.factory;
         let test = &self.test;
         let mut accs = vec![0.0f64; updates.len()];
-        crossbeam::thread::scope(|scope| {
-            for (u, slot) in updates.iter().zip(accs.iter_mut()) {
-                scope.spawn(move |_| {
-                    let mut net = (factory)(0);
-                    net.set_state_vector(&u.state);
-                    *slot = eval::accuracy(&mut net, test);
-                });
-            }
-        })
-        .expect("client evaluation thread panicked");
+        pool::install(self.threads, || {
+            pool::for_each_slot(&mut accs, |i, slot| {
+                let mut net = (factory)(0);
+                net.set_state_vector(&updates[i].state);
+                *slot = eval::accuracy(&mut net, test);
+            });
+        });
         accs
     }
 }
@@ -258,6 +261,14 @@ impl FederationBuilder {
         self
     }
 
+    /// Pins this federation's compute-pool size. Defaults to the process
+    /// default (see [`crate::pool::set_default_threads`]); results are
+    /// identical at every thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
     /// Seed for the initial global model.
     pub fn init_seed(mut self, seed: u64) -> Self {
         self.init_seed = seed;
@@ -274,6 +285,7 @@ impl FederationBuilder {
             test: self.test,
             cfg: self.cfg,
             eval_clients: self.eval_clients,
+            threads: self.threads,
             global,
         }
     }
@@ -366,7 +378,10 @@ mod tests {
         let mut fed = small_federation(3, true);
         let report = fed.run_round(0, &FedAvg, 0);
         assert_eq!(report.client_accuracies.len(), 3);
-        assert!(report.client_accuracies.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        assert!(report
+            .client_accuracies
+            .iter()
+            .all(|&a| (0.0..=1.0).contains(&a)));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //!   vectors,
 //! * [`eval`] — model evaluation over datasets (accuracy, server-side MSE
 //!   for Eq 12, prediction distributions, backdoor success),
-//! * [`federation`] — the round loop: clients train in parallel
-//!   (crossbeam scoped threads), the server aggregates and re-broadcasts.
+//! * [`federation`] — the round loop: clients train in parallel on the
+//!   shared pool, the server aggregates and re-broadcasts,
+//! * [`pool`] — the shared rayon compute pool with a configurable thread
+//!   count; every parallel federated step (client training, evaluation,
+//!   chunked aggregation) runs on it.
 //!
 //! The Goldfish unlearning procedures themselves live in `goldfish-core`;
 //! they compose these building blocks per Algorithm 1 of the paper.
@@ -44,6 +47,7 @@
 pub mod aggregate;
 pub mod eval;
 pub mod federation;
+pub mod pool;
 pub mod trainer;
 
 /// Convenience alias: a thread-safe factory building a fresh (randomly

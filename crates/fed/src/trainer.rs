@@ -88,7 +88,12 @@ pub fn train_local(
 }
 
 /// Trains with the default cross-entropy hard loss.
-pub fn train_local_ce(net: &mut Network, data: &Dataset, cfg: &TrainConfig, seed: u64) -> LocalStats {
+pub fn train_local_ce(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> LocalStats {
     train_local(net, data, cfg, &CrossEntropy, seed)
 }
 

@@ -1,0 +1,79 @@
+//! Thread-count invariance: the parallel compute paths (chunked
+//! aggregation, pooled client training, tiled kernels underneath) must
+//! produce bitwise-identical results at every pool size — parallelism is
+//! an execution detail, never a semantic one.
+
+use std::sync::Arc;
+
+use goldfish_data::partition;
+use goldfish_data::synthetic::{self, SyntheticSpec};
+use goldfish_fed::aggregate::{weighted_mean, AggregationStrategy, ClientUpdate, FedAvg};
+use goldfish_fed::federation::Federation;
+use goldfish_fed::trainer::TrainConfig;
+use goldfish_fed::{pool, ModelFactory};
+use goldfish_nn::zoo;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn updates(clients: usize, params: usize, seed: u64) -> Vec<ClientUpdate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..clients)
+        .map(|id| ClientUpdate {
+            client_id: id,
+            state: (0..params).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            num_samples: rng.gen_range(1..100),
+            server_mse: None,
+        })
+        .collect()
+}
+
+#[test]
+fn weighted_mean_identical_across_thread_counts() {
+    // Large enough that the chunked reduction splits into many chunks.
+    let ups = updates(7, 100_000, 1);
+    let weights: Vec<f64> = ups.iter().map(|u| u.num_samples as f64).collect();
+    let run = |threads| pool::install(Some(threads), || weighted_mean(&ups, &weights));
+    let one = run(1);
+    for threads in [2, 3, 8] {
+        assert_eq!(one, run(threads), "threads = {threads}");
+    }
+}
+
+#[test]
+fn fedavg_identical_across_thread_counts() {
+    let ups = updates(12, 40_000, 2);
+    let one = pool::install(Some(1), || FedAvg.aggregate(&ups));
+    let many = pool::install(Some(5), || FedAvg.aggregate(&ups));
+    assert_eq!(one, many);
+}
+
+#[test]
+fn federated_round_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+        let (train, test) = synthetic::generate(&spec, 120, 40, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let parts = partition::iid(train.len(), 3, &mut rng);
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            zoo::mlp(64, &[16], 10, &mut rng)
+        });
+        let mut b = Federation::builder(factory, test)
+            .train_config(TrainConfig {
+                local_epochs: 1,
+                batch_size: 20,
+                lr: 0.05,
+                momentum: 0.9,
+            })
+            .threads(threads)
+            .init_seed(3);
+        for p in &parts {
+            b = b.add_client(train.subset(p));
+        }
+        let mut fed = b.build();
+        fed.train_rounds(2, &FedAvg, 17);
+        fed.global_state().to_vec()
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "2-thread pool diverged");
+    assert_eq!(one, run(4), "4-thread pool diverged");
+}

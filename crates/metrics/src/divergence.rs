@@ -32,7 +32,11 @@ fn kl(p: &[f32], q: &[f32]) -> f64 {
 /// Bounded in `[0, ln 2]`.
 pub fn jsd(p: &[f32], q: &[f32]) -> f64 {
     assert_eq!(p.len(), q.len(), "distribution lengths differ");
-    let m: Vec<f32> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    let m: Vec<f32> = p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
     0.5 * kl(p, &m) + 0.5 * kl(q, &m)
 }
 

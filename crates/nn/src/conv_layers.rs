@@ -1,7 +1,7 @@
 //! Convolutional and pooling layers wrapping the `goldfish-tensor` kernels.
 
 use goldfish_tensor::{
-    conv::{self, Conv2dSpec},
+    conv::{self, Conv2dSpec, ConvWorkspace},
     init, Tensor,
 };
 use rand::Rng;
@@ -9,18 +9,17 @@ use rand::Rng;
 use crate::layer::{Layer, Param};
 
 /// 2-D convolution layer.
+///
+/// Holds a [`ConvWorkspace`] so the batched im2col lowering reuses its
+/// scratch buffers across steps: the layer performs one GEMM per
+/// minibatch and zero per-image allocations.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
     spec: Conv2dSpec,
-    cache: Option<ConvCache>,
-}
-
-#[derive(Debug)]
-struct ConvCache {
-    cols: Vec<Tensor>,
-    input_shape: (usize, usize, usize, usize),
+    ws: ConvWorkspace,
+    input: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -41,16 +40,14 @@ impl Conv2d {
         assert!(in_channels > 0 && out_channels > 0, "empty conv layer");
         let spec = Conv2dSpec::new(kernel, kernel, stride, padding);
         let fan_in = in_channels * kernel * kernel;
-        let weight = init::kaiming_uniform(
-            rng,
-            vec![out_channels, in_channels, kernel, kernel],
-            fan_in,
-        );
+        let weight =
+            init::kaiming_uniform(rng, vec![out_channels, in_channels, kernel, kernel], fan_in);
         Conv2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(vec![out_channels])),
             spec,
-            cache: None,
+            ws: ConvWorkspace::new(),
+            input: None,
         }
     }
 
@@ -62,20 +59,30 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let input_shape = x.dims4();
-        let (out, cols) = conv::conv2d_forward(x, &self.weight.value, &self.bias.value, &self.spec);
-        self.cache = Some(ConvCache { cols, input_shape });
+        let out = conv::conv2d_forward_ws(
+            x,
+            &self.weight.value,
+            &self.bias.value,
+            &self.spec,
+            &mut self.ws,
+        );
+        // Backward re-lowers the input block-wise (cheaper than caching a
+        // whole-batch column matrix), so keep the input itself.
+        self.input = Some(x.clone());
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("Conv2d::backward before forward");
-        let (gin, gw, gb) = conv::conv2d_backward(
+        let input = self
+            .input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
+        let (gin, gw, gb) = conv::conv2d_backward_ws(
             grad_out,
-            &cache.cols,
-            cache.input_shape,
+            input,
             &self.weight.value,
             &self.spec,
+            &mut self.ws,
         );
         self.weight.grad.axpy(1.0, &gw);
         self.bias.grad.axpy(1.0, &gb);
@@ -235,10 +242,7 @@ mod tests {
     #[test]
     fn maxpool_layer_roundtrip() {
         let mut mp = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        );
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]);
         let y = mp.forward(&x, true);
         assert_eq!(y.as_slice(), &[5.0]);
         let gx = mp.backward(&Tensor::filled(vec![1, 1, 1, 1], 7.0));

@@ -98,7 +98,9 @@ impl Network {
         let mut offset = 0;
         for p in self.body.params_mut() {
             let n = p.value.len();
-            p.value.as_mut_slice().copy_from_slice(&state[offset..offset + n]);
+            p.value
+                .as_mut_slice()
+                .copy_from_slice(&state[offset..offset + n]);
             offset += n;
         }
     }
@@ -116,12 +118,7 @@ impl Network {
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Network({:?}, {} params)",
-            self.body,
-            self.state_len()
-        )
+        write!(f, "Network({:?}, {} params)", self.body, self.state_len())
     }
 }
 

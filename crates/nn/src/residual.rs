@@ -126,8 +126,7 @@ mod tests {
     #[test]
     fn identity_residual_preserves_shape() {
         let mut rng = StdRng::seed_from_u64(0);
-        let main = Sequential::new()
-            .push(Dense::new(4, 4, &mut rng));
+        let main = Sequential::new().push(Dense::new(4, 4, &mut rng));
         let mut block = Residual::identity(main);
         let x = Tensor::filled(vec![2, 4], 0.5);
         let y = block.forward(&x, true);

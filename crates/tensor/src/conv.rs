@@ -1,10 +1,13 @@
 //! Convolution and pooling kernels.
 //!
-//! Convolution is implemented as `im2col` + matmul (the classic lowering),
-//! which keeps the hot loop inside the already-tested [`crate::ops::matmul`]
-//! and makes the backward pass a pair of matmuls plus a `col2im` scatter.
+//! Convolution is implemented as *batched* `im2col` + GEMM: the whole
+//! minibatch is lowered into one `[c·kh·kw, n·oh·ow]` column matrix held
+//! in a reusable [`ConvWorkspace`], so forward is a single call into
+//! [`crate::engine`] per batch (instead of one allocation + matmul per
+//! image) and backward is two batched GEMMs plus a `col2im` scatter.
 
-use crate::{ops, Tensor};
+use crate::engine;
+use crate::Tensor;
 
 /// Geometry of a 2-D convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -52,54 +55,106 @@ impl Conv2dSpec {
             ph,
             pw
         );
-        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
     }
 }
 
-/// Lowers one image `(c, h, w)` into a column matrix of shape
-/// `[c*kh*kw, oh*ow]`.
-fn im2col_single(
-    img: &[f32],
+/// Number of `f32` elements the blocked column matrix may occupy
+/// (~384 KB): the minibatch is lowered in image blocks sized so the
+/// column matrix, the staging matrix and the outputs stay cache-resident.
+/// One-GEMM-per-whole-batch sounds attractive but streams multi-megabyte
+/// intermediates through DRAM; block-wise batching keeps the GEMM batched
+/// across images *and* the working set in cache.
+const COL_BLOCK_ELEMS: usize = 96 * 1024;
+
+/// Reusable scratch buffers for the im2col convolution lowering.
+///
+/// The lowering is batched over image blocks (see [`COL_BLOCK_ELEMS`]) —
+/// one GEMM per block instead of one per image — and the buffers are
+/// reused across blocks, steps and epochs: the conv hot path performs no
+/// per-image allocations. A `Conv2d` layer owns one workspace; the free
+/// functions below also accept an external one.
+#[derive(Debug, Default, Clone)]
+pub struct ConvWorkspace {
+    /// Column matrix for the current block: `[c·kh·kw, blk·oh·ow]`.
+    col: Vec<f32>,
+    /// Filter-major staging matrix `[f, blk·oh·ow]` (forward GEMM output;
+    /// backward gather of `grad_out`).
+    fmat: Vec<f32>,
+    /// Backward scratch: `∂L/∂col` for the current block.
+    gcol: Vec<f32>,
+}
+
+impl ConvWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        ConvWorkspace::default()
+    }
+}
+
+/// Images per lowering block for the given per-image column size.
+fn block_images(ckk: usize, ohow: usize, n: usize) -> usize {
+    (COL_BLOCK_ELEMS / (ckk * ohow).max(1)).clamp(1, n.max(1))
+}
+
+/// Lowers the image block `[blk, c, h, w]` into the column matrix
+/// `[c·kh·kw, blk·oh·ow]` (column index `s·oh·ow + oy·ow + ox` with `s`
+/// relative to the block), writing into `col` (resized and zero-filled —
+/// zeros are the padding contribution).
+#[allow(clippy::too_many_arguments)] // convolution geometry; crate-internal
+fn im2col_block(
+    input: &[f32],
+    blk: usize,
     c: usize,
     h: usize,
     w: usize,
     spec: &Conv2dSpec,
     oh: usize,
     ow: usize,
-) -> Tensor {
+    col: &mut Vec<f32>,
+) {
     let krows = c * spec.kh * spec.kw;
-    let cols = oh * ow;
-    let mut out = vec![0.0f32; krows * cols];
+    let cols = blk * oh * ow;
+    col.clear();
+    col.resize(krows * cols, 0.0);
     let pad = spec.padding as isize;
-    for ch in 0..c {
-        for ky in 0..spec.kh {
-            for kx in 0..spec.kw {
-                let krow = (ch * spec.kh + ky) * spec.kw + kx;
-                let orow = &mut out[krow * cols..(krow + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                        if ix < 0 || ix >= w as isize {
+    for s in 0..blk {
+        let img = &input[s * c * h * w..(s + 1) * c * h * w];
+        for ch in 0..c {
+            for ky in 0..spec.kh {
+                for kx in 0..spec.kw {
+                    let krow = (ch * spec.kh + ky) * spec.kw + kx;
+                    let orow = &mut col[krow * cols + s * oh * ow..krow * cols + (s + 1) * oh * ow];
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        orow[oy * ow + ox] = img[(ch * h + iy as usize) * w + ix as usize];
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            orow[oy * ow + ox] = img[(ch * h + iy as usize) * w + ix as usize];
+                        }
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(vec![krows, cols], out)
 }
 
-/// Inverse of [`im2col_single`]: scatters the column matrix back onto an
-/// image, **accumulating** overlapping contributions (as backprop requires).
-#[allow(clippy::too_many_arguments)] // geometry parameters; private helper
-fn col2im_single(
-    col: &Tensor,
+/// Inverse of [`im2col_block`]: scatters the block's column matrix back
+/// onto images, **accumulating** overlapping contributions (as backprop
+/// requires). `img_out` covers the same block and must be zeroed by the
+/// caller.
+#[allow(clippy::too_many_arguments)] // convolution geometry; crate-internal
+fn col2im_block(
+    col: &[f32],
+    blk: usize,
     c: usize,
     h: usize,
     w: usize,
@@ -108,25 +163,27 @@ fn col2im_single(
     ow: usize,
     img_out: &mut [f32],
 ) {
-    let cols = oh * ow;
-    let cv = col.as_slice();
+    let cols = blk * oh * ow;
     let pad = spec.padding as isize;
-    for ch in 0..c {
-        for ky in 0..spec.kh {
-            for kx in 0..spec.kw {
-                let krow = (ch * spec.kh + ky) * spec.kw + kx;
-                let crow = &cv[krow * cols..(krow + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                        if ix < 0 || ix >= w as isize {
+    for s in 0..blk {
+        let img = &mut img_out[s * c * h * w..(s + 1) * c * h * w];
+        for ch in 0..c {
+            for ky in 0..spec.kh {
+                for kx in 0..spec.kw {
+                    let krow = (ch * spec.kh + ky) * spec.kw + kx;
+                    let crow = &col[krow * cols + s * oh * ow..krow * cols + (s + 1) * oh * ow];
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        img_out[(ch * h + iy as usize) * w + ix as usize] += crow[oy * ow + ox];
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            img[(ch * h + iy as usize) * w + ix as usize] += crow[oy * ow + ox];
+                        }
                     }
                 }
             }
@@ -134,108 +191,186 @@ fn col2im_single(
     }
 }
 
-/// Forward 2-D convolution.
+/// Forward 2-D convolution over a reusable workspace.
 ///
 /// * `input`: `[n, c, h, w]`
 /// * `weight`: `[f, c, kh, kw]`
 /// * `bias`: `[f]`
 ///
-/// Returns `([n, f, oh, ow], cached_columns)` where the cached column
-/// matrices (one per sample) are needed by [`conv2d_backward`].
+/// The minibatch is lowered block-wise (one GEMM per cache-sized image
+/// block, zero per-image allocations). Returns `[n, f, oh, ow]`.
 ///
 /// # Panics
 ///
 /// Panics on rank or channel mismatches.
-pub fn conv2d_forward(
+pub fn conv2d_forward_ws(
     input: &Tensor,
     weight: &Tensor,
     bias: &Tensor,
     spec: &Conv2dSpec,
-) -> (Tensor, Vec<Tensor>) {
+    ws: &mut ConvWorkspace,
+) -> Tensor {
     let (n, c, h, w) = input.dims4();
     let (f, wc, kh, kw) = weight.dims4();
     assert_eq!(c, wc, "conv channel mismatch: input {c} vs weight {wc}");
     assert_eq!((kh, kw), (spec.kh, spec.kw), "weight does not match spec");
     assert_eq!(bias.len(), f, "bias length {} != filters {f}", bias.len());
     let (oh, ow) = spec.output_hw(h, w);
-    let wmat = weight.clone().reshape(vec![f, c * kh * kw]);
-    let mut out = vec![0.0f32; n * f * oh * ow];
-    let mut cols = Vec::with_capacity(n);
+    let ckk = c * kh * kw;
+    let ohow = oh * ow;
     let iv = input.as_slice();
     let bv = bias.as_slice();
-    for s in 0..n {
-        let img = &iv[s * c * h * w..(s + 1) * c * h * w];
-        let col = im2col_single(img, c, h, w, spec, oh, ow);
-        let res = ops::matmul(&wmat, &col); // [f, oh*ow]
-        let dst = &mut out[s * f * oh * ow..(s + 1) * f * oh * ow];
-        for fi in 0..f {
-            let src = &res.as_slice()[fi * oh * ow..(fi + 1) * oh * ow];
-            let d = &mut dst[fi * oh * ow..(fi + 1) * oh * ow];
-            for (o, &v) in d.iter_mut().zip(src.iter()) {
-                *o = v + bv[fi];
-            }
-        }
-        cols.push(col);
-    }
-    (Tensor::from_vec(vec![n, f, oh, ow], out), cols)
-}
-
-/// Backward 2-D convolution.
-///
-/// Given `grad_out = ∂L/∂output` of shape `[n, f, oh, ow]` and the cached
-/// columns from the forward pass, returns
-/// `(grad_input, grad_weight, grad_bias)`.
-///
-/// # Panics
-///
-/// Panics if `grad_out`'s shape is inconsistent with the cached geometry.
-pub fn conv2d_backward(
-    grad_out: &Tensor,
-    cols: &[Tensor],
-    input_shape: (usize, usize, usize, usize),
-    weight: &Tensor,
-    spec: &Conv2dSpec,
-) -> (Tensor, Tensor, Tensor) {
-    let (n, c, h, w) = input_shape;
-    let (gn, f, oh, ow) = grad_out.dims4();
-    assert_eq!(gn, n, "grad batch {gn} != input batch {n}");
-    assert_eq!(cols.len(), n, "cached columns missing");
-    let wmat = weight.clone().reshape(vec![f, c * spec.kh * spec.kw]);
-    let mut grad_w = Tensor::zeros(vec![f, c * spec.kh * spec.kw]);
-    let mut grad_b = Tensor::zeros(vec![f]);
-    let mut grad_in = vec![0.0f32; n * c * h * w];
-    let gv = grad_out.as_slice();
-    for s in 0..n {
-        let gmat = Tensor::from_vec(
-            vec![f, oh * ow],
-            gv[s * f * oh * ow..(s + 1) * f * oh * ow].to_vec(),
-        );
-        // ∂L/∂W += g · colᵀ
-        let gw = ops::matmul_a_bt(&gmat, &cols[s]);
-        grad_w.axpy(1.0, &gw);
-        // ∂L/∂b += row sums of g
-        for fi in 0..f {
-            let row = &gmat.as_slice()[fi * oh * ow..(fi + 1) * oh * ow];
-            grad_b.as_mut_slice()[fi] += row.iter().sum::<f32>();
-        }
-        // ∂L/∂col = Wᵀ · g, then scatter back to image space.
-        let gcol = ops::matmul_at_b(&wmat, &gmat);
-        col2im_single(
-            &gcol,
+    let mut out = vec![0.0f32; n * f * ohow];
+    let step = block_images(ckk, ohow, n);
+    let mut s0 = 0;
+    while s0 < n {
+        let blk = step.min(n - s0);
+        let x = blk * ohow;
+        im2col_block(
+            &iv[s0 * c * h * w..(s0 + blk) * c * h * w],
+            blk,
             c,
             h,
             w,
             spec,
             oh,
             ow,
-            &mut grad_in[s * c * h * w..(s + 1) * c * h * w],
+            &mut ws.col,
         );
+        // [f, ckk] · [ckk, blk·oh·ow] → [f, blk·oh·ow]; the row-major
+        // `[f, c, kh, kw]` weight buffer *is* the `[f, ckk]` matrix.
+        ws.fmat.clear();
+        ws.fmat.resize(f * x, 0.0);
+        engine::gemm(f, ckk, x, weight.as_slice(), &ws.col, &mut ws.fmat);
+        // Scatter filter-major `[f, blk·oh·ow]` into batch-major
+        // `[blk, f, oh·ow]`, adding the bias.
+        for s in 0..blk {
+            for fi in 0..f {
+                let srcr = &ws.fmat[fi * x + s * ohow..fi * x + (s + 1) * ohow];
+                let dst = &mut out[((s0 + s) * f + fi) * ohow..((s0 + s) * f + fi + 1) * ohow];
+                let bias_fi = bv[fi];
+                for (o, &v) in dst.iter_mut().zip(srcr) {
+                    *o = v + bias_fi;
+                }
+            }
+        }
+        s0 += blk;
+    }
+    Tensor::from_vec(vec![n, f, oh, ow], out)
+}
+
+/// Backward 2-D convolution over a reusable workspace.
+///
+/// Given `grad_out = ∂L/∂output` of shape `[n, f, oh, ow]`, the original
+/// `input` and the layer `weight`, returns
+/// `(grad_input, grad_weight, grad_bias)`. Runs block-wise like the
+/// forward pass, re-lowering each image block (recomputing im2col is far
+/// cheaper than keeping — and streaming — a whole-batch column matrix):
+/// `∂L/∂W += G · colᵀ`, `∂L/∂col = Wᵀ · G`, with `G` the filter-major
+/// gather of the block's `grad_out`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn conv2d_backward_ws(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    ws: &mut ConvWorkspace,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = input.dims4();
+    let (gn, f, oh, ow) = grad_out.dims4();
+    assert_eq!(gn, n, "grad batch {gn} != input batch {n}");
+    let ckk = c * spec.kh * spec.kw;
+    let ohow = oh * ow;
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
+    let mut grad_w = vec![0.0f32; f * ckk];
+    let mut gw_block = vec![0.0f32; f * ckk];
+    let mut grad_b = vec![0.0f32; f];
+    let mut grad_in = vec![0.0f32; n * c * h * w];
+    let step = block_images(ckk, ohow, n);
+    let mut s0 = 0;
+    while s0 < n {
+        let blk = step.min(n - s0);
+        let x = blk * ohow;
+        // Gather grad_out [blk, f, oh·ow] into filter-major G [f, blk·oh·ow].
+        ws.fmat.clear();
+        ws.fmat.resize(f * x, 0.0);
+        for s in 0..blk {
+            for fi in 0..f {
+                let srcr = &gv[((s0 + s) * f + fi) * ohow..((s0 + s) * f + fi + 1) * ohow];
+                ws.fmat[fi * x + s * ohow..fi * x + (s + 1) * ohow].copy_from_slice(srcr);
+            }
+        }
+        // ∂L/∂b += row sums of G.
+        for (gb, grow) in grad_b.iter_mut().zip(ws.fmat.chunks_exact(x)) {
+            *gb += grow.iter().sum::<f32>();
+        }
+        // Re-lower this block and accumulate ∂L/∂W += G · colᵀ.
+        im2col_block(
+            &iv[s0 * c * h * w..(s0 + blk) * c * h * w],
+            blk,
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut ws.col,
+        );
+        engine::gemm_a_bt(f, x, ckk, &ws.fmat, &ws.col, &mut gw_block);
+        for (acc, &v) in grad_w.iter_mut().zip(gw_block.iter()) {
+            *acc += v;
+        }
+        // ∂L/∂col = Wᵀ · G ([ckk, f] · [f, x] → [ckk, x]), then scatter.
+        ws.gcol.clear();
+        ws.gcol.resize(ckk * x, 0.0);
+        engine::gemm_at_b(f, ckk, x, weight.as_slice(), &ws.fmat, &mut ws.gcol);
+        col2im_block(
+            &ws.gcol,
+            blk,
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut grad_in[s0 * c * h * w..(s0 + blk) * c * h * w],
+        );
+        s0 += blk;
     }
     (
         Tensor::from_vec(vec![n, c, h, w], grad_in),
-        grad_w.reshape(vec![f, c, spec.kh, spec.kw]),
-        grad_b,
+        Tensor::from_vec(vec![f, c, spec.kh, spec.kw], grad_w),
+        Tensor::from_vec(vec![f], grad_b),
     )
+}
+
+/// Forward 2-D convolution (standalone variant of
+/// [`conv2d_forward_ws`] allocating a fresh workspace).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    conv2d_forward_ws(input, weight, bias, spec, &mut ConvWorkspace::new())
+}
+
+/// Backward 2-D convolution (standalone variant of
+/// [`conv2d_backward_ws`] allocating a fresh workspace).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    conv2d_backward_ws(grad_out, input, weight, spec, &mut ConvWorkspace::new())
 }
 
 /// Forward max-pooling over `[n, c, h, w]`.
@@ -355,21 +490,18 @@ mod tests {
         let weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]);
         let bias = Tensor::zeros(vec![1]);
         let spec = Conv2dSpec::new(1, 1, 1, 0);
-        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        let out = conv2d_forward(&input, &weight, &bias, &spec);
         assert_eq!(out.as_slice(), input.as_slice());
     }
 
     #[test]
     fn conv_hand_computed() {
         // 3x3 input, 2x2 kernel of ones => sliding window sums.
-        let input = Tensor::from_vec(
-            vec![1, 1, 3, 3],
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        );
+        let input = Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]);
         let weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.; 4]);
         let bias = Tensor::from_vec(vec![1], vec![0.5]);
         let spec = Conv2dSpec::new(2, 2, 1, 0);
-        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        let out = conv2d_forward(&input, &weight, &bias, &spec);
         assert_eq!(out.shape(), &[1, 1, 2, 2]);
         assert_eq!(out.as_slice(), &[12.5, 16.5, 24.5, 28.5]);
     }
@@ -380,7 +512,7 @@ mod tests {
         let weight = Tensor::from_vec(vec![1, 1, 3, 3], vec![1.; 9]);
         let bias = Tensor::zeros(vec![1]);
         let spec = Conv2dSpec::new(3, 3, 1, 1);
-        let (out, _) = conv2d_forward(&input, &weight, &bias, &spec);
+        let out = conv2d_forward(&input, &weight, &bias, &spec);
         // Every output position sees the single input pixel exactly once.
         assert_eq!(out.shape(), &[1, 1, 1, 1]);
         assert_eq!(out.as_slice(), &[2.0]);
@@ -394,7 +526,9 @@ mod tests {
         let spec = Conv2dSpec::new(3, 3, 1, 1);
         let input = Tensor::from_vec(
             vec![n, c, h, w],
-            (0..n * c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..n * c * h * w)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
         );
         let weight = Tensor::from_vec(
             vec![f, c, 3, 3],
@@ -403,19 +537,19 @@ mod tests {
         let bias = Tensor::from_vec(vec![f], (0..f).map(|_| rng.gen_range(-0.1..0.1)).collect());
 
         // Scalar loss = sum of outputs, so dL/dout = ones.
-        let (out, cols) = conv2d_forward(&input, &weight, &bias, &spec);
+        let out = conv2d_forward(&input, &weight, &bias, &spec);
         let gout = Tensor::filled(out.shape().to_vec(), 1.0);
-        let (gin, gw, gb) = conv2d_backward(&gout, &cols, (n, c, h, w), &weight, &spec);
+        let (gin, gw, gb) = conv2d_backward(&gout, &input, &weight, &spec);
 
         let eps = 1e-2;
         // Check a few weight coordinates by central differences.
         for &wi in &[0usize, 5, 17, f * c * 9 - 1] {
             let mut wp = weight.clone();
             wp.as_mut_slice()[wi] += eps;
-            let (op, _) = conv2d_forward(&input, &wp, &bias, &spec);
+            let op = conv2d_forward(&input, &wp, &bias, &spec);
             let mut wm = weight.clone();
             wm.as_mut_slice()[wi] -= eps;
-            let (om, _) = conv2d_forward(&input, &wm, &bias, &spec);
+            let om = conv2d_forward(&input, &wm, &bias, &spec);
             let fd = (op.sum() - om.sum()) / (2.0 * eps);
             let an = gw.as_slice()[wi];
             assert!((fd - an).abs() < 2e-2, "weight[{wi}]: fd {fd} vs an {an}");
@@ -424,10 +558,10 @@ mod tests {
         for &ii in &[0usize, 13, n * c * h * w - 1] {
             let mut ip = input.clone();
             ip.as_mut_slice()[ii] += eps;
-            let (op, _) = conv2d_forward(&ip, &weight, &bias, &spec);
+            let op = conv2d_forward(&ip, &weight, &bias, &spec);
             let mut im = input.clone();
             im.as_mut_slice()[ii] -= eps;
-            let (om, _) = conv2d_forward(&im, &weight, &bias, &spec);
+            let om = conv2d_forward(&im, &weight, &bias, &spec);
             let fd = (op.sum() - om.sum()) / (2.0 * eps);
             let an = gin.as_slice()[ii];
             assert!((fd - an).abs() < 2e-2, "input[{ii}]: fd {fd} vs an {an}");

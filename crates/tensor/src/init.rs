@@ -97,8 +97,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let t = normal(&mut rng, vec![20_000], 1.0, 2.0);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (t.len() as f32 - 1.0);
+        let var =
+            t.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (t.len() as f32 - 1.0);
         assert!((mean - 1.0).abs() < 0.08, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod engine;
 pub mod init;
 pub mod ops;
 pub mod serialize;

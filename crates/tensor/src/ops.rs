@@ -3,13 +3,20 @@
 //! The matmul family comes in the three orientations backpropagation needs
 //! (`A·B`, `Aᵀ·B`, `A·Bᵀ`); softmax / log-softmax accept a *distillation
 //! temperature* `T` implementing Eqs 3–4 of the Goldfish paper.
+//!
+//! The matmuls are thin wrappers over [`crate::engine`], which dispatches
+//! by problem size between a reference-order loop (small operands; bitwise
+//! identical to [`reference`]) and a register-tiled, rayon-parallel kernel
+//! (large operands). The original naive implementations live on in
+//! [`reference`] as the testing oracle, and [`matmul_sparse`] keeps the
+//! old skip-zero-rows behaviour for explicitly sparse operands.
 
-use crate::Tensor;
+use crate::{engine, Tensor};
 
 /// Matrix product `A · B` for 2-D tensors.
 ///
-/// Uses an ikj loop ordering which keeps the innermost access pattern
-/// contiguous for both `B` and the output row.
+/// Dispatches by size between the reference-order loop and the blocked
+/// parallel kernel (see [`crate::engine`]).
 ///
 /// # Panics
 ///
@@ -28,21 +35,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = b.dims2();
     assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &apk) in arow.iter().enumerate() {
-            if apk == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            for (o, &bpn) in orow.iter_mut().zip(brow.iter()) {
-                *o += apk * bpn;
-            }
-        }
-    }
+    engine::gemm(m, k, n, a.as_slice(), b.as_slice(), &mut out);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -56,21 +49,7 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = b.dims2();
     assert_eq!(k, k2, "matmul_at_b leading dims: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &api) in arow.iter().enumerate() {
-            if api == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bpn) in orow.iter_mut().zip(brow.iter()) {
-                *o += api * bpn;
-            }
-        }
-    }
+    engine::gemm_at_b(k, m, n, a.as_slice(), b.as_slice(), &mut out);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -84,21 +63,117 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = b.dims2();
     assert_eq!(k, k2, "matmul_a_bt trailing dims: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
+    engine::gemm_a_bt(m, k, n, a.as_slice(), b.as_slice(), &mut out);
     Tensor::from_vec(vec![m, n], out)
+}
+
+/// Matrix product `A · B` that skips zero elements of `A`.
+///
+/// This is the old dense-path behaviour, preserved as an explicit entry
+/// point: the per-element `== 0.0` branch pessimizes dense operands (it
+/// blocks vectorization of the inner loop), but wins when `A` is known to
+/// be mostly zeros — e.g. one-hot label matrices or heavily pruned
+/// weights. Accumulation order matches [`matmul`]'s small path, so for
+/// operands without `NaN`/`∞` the results are identical.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn matmul_sparse(a: &Tensor, b: &Tensor) -> Tensor {
+    reference::matmul(a, b)
+}
+
+pub mod reference {
+    //! The original naive kernels, kept verbatim as the equivalence oracle
+    //! for [`crate::engine`] (and as the sparse-aware implementation
+    //! behind [`super::matmul_sparse`]). Property tests assert the engine
+    //! agrees with these within accumulation tolerance; do not "optimize"
+    //! them.
+
+    use crate::Tensor;
+
+    /// Reference `A · B`: ikj loop order, skipping zero `A` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.dims2();
+        let (k2, n) = b.dims2();
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        for i in 0..m {
+            let arow = &av[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &apk) in arow.iter().enumerate() {
+                if apk == 0.0 {
+                    continue;
+                }
+                let brow = &bv[p * n..(p + 1) * n];
+                for (o, &bpn) in orow.iter_mut().zip(brow.iter()) {
+                    *o += apk * bpn;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Reference `Aᵀ · B` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts of `A` and `B` disagree.
+    pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = a.dims2();
+        let (k2, n) = b.dims2();
+        assert_eq!(k, k2, "matmul_at_b leading dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        for p in 0..k {
+            let arow = &av[p * m..(p + 1) * m];
+            let brow = &bv[p * n..(p + 1) * n];
+            for (i, &api) in arow.iter().enumerate() {
+                if api == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bpn) in orow.iter_mut().zip(brow.iter()) {
+                    *o += api * bpn;
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Reference `A · Bᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts of `A` and `B` disagree.
+    pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.dims2();
+        let (n, k2) = b.dims2();
+        assert_eq!(k, k2, "matmul_a_bt trailing dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let av = a.as_slice();
+        let bv = b.as_slice();
+        for i in 0..m {
+            let arow = &av[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bv[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
 }
 
 /// Explicit 2-D transpose.

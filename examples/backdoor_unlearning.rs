@@ -10,7 +10,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use goldfish::core::baselines::{IncompetentTeacher, OriginalModel, RapidRetrain, RetrainFromScratch};
+use goldfish::core::baselines::{
+    IncompetentTeacher, OriginalModel, RapidRetrain, RetrainFromScratch,
+};
 use goldfish::core::basic_model::GoldfishLocalConfig;
 use goldfish::core::method::{ClientSplit, UnlearnSetup, UnlearningMethod};
 use goldfish::core::unlearner::GoldfishUnlearning;
@@ -86,7 +88,10 @@ fn main() {
         ("b3 incompetent", &b3),
     ];
 
-    println!("{:<16} {:>9} {:>10} {:>8}", "method", "accuracy", "backdoor", "secs");
+    println!(
+        "{:<16} {:>9} {:>10} {:>8}",
+        "method", "accuracy", "backdoor", "secs"
+    );
     for (label, method) in methods {
         let t0 = Instant::now();
         let out = method.unlearn(&setup, 5);

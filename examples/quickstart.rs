@@ -83,11 +83,8 @@ fn main() {
     });
     let outcome = method.unlearn(&setup, 1);
 
-    let mut unlearned = goldfish::core::basic_model::network_from_state(
-        &setup.factory,
-        &outcome.global_state,
-        0,
-    );
+    let mut unlearned =
+        goldfish::core::basic_model::network_from_state(&setup.factory, &outcome.global_state, 0);
     let acc = goldfish::fed::eval::accuracy(&mut unlearned, &test);
     let asr = goldfish::fed::eval::attack_success_rate(&mut unlearned, &test, &backdoor);
     println!("unlearned model: accuracy {acc:.3}, backdoor success {asr:.3}");

@@ -63,8 +63,14 @@ fn main() {
         "deletion touched shards: partial {:?}, emptied {:?}",
         impact.partial, impact.emptied
     );
-    println!("after deletion + shard retrain: accuracy {:.3}", acc_of(&client));
+    println!(
+        "after deletion + shard retrain: accuracy {:.3}",
+        acc_of(&client)
+    );
 
     client.train_round(10);
-    println!("one more round:                accuracy {:.3}", acc_of(&client));
+    println!(
+        "one more round:                accuracy {:.3}",
+        acc_of(&client)
+    );
 }

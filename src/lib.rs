@@ -27,8 +27,9 @@
 //! ```
 //!
 //! The experiment harness regenerating every table and figure of the paper
-//! lives in `crates/bench` (one binary per table/figure; see DESIGN.md §4
-//! and EXPERIMENTS.md).
+//! lives in `crates/bench` (one binary per table/figure). `DESIGN.md`
+//! documents the crate layout, the blocked/parallel compute engine and
+//! the `BENCH_kernels.json` perf baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use goldfish::core::baselines::{IncompetentTeacher, OriginalModel, RapidRetrain, RetrainFromScratch};
+use goldfish::core::baselines::{
+    IncompetentTeacher, OriginalModel, RapidRetrain, RetrainFromScratch,
+};
 use goldfish::core::basic_model::{network_from_state, GoldfishLocalConfig};
 use goldfish::core::method::{ClientSplit, UnlearnSetup, UnlearningMethod};
 use goldfish::core::unlearner::GoldfishUnlearning;
@@ -55,8 +57,7 @@ fn fixture(seed: u64) -> Fixture {
 
     let mut original = federation.global_network();
     let original_acc = goldfish::fed::eval::accuracy(&mut original, &test);
-    let original_asr =
-        goldfish::fed::eval::attack_success_rate(&mut original, &test, &backdoor);
+    let original_asr = goldfish::fed::eval::attack_success_rate(&mut original, &test, &backdoor);
 
     let mut splits = Vec::new();
     for (i, data) in clients.into_iter().enumerate() {
@@ -112,7 +113,11 @@ fn goldfish_forgets_while_keeping_accuracy() {
     let f = fixture(42);
     let (acc, asr) = eval_method(&f, &goldfish_method());
     assert!(acc > 0.7, "goldfish accuracy {acc}");
-    assert!(asr < 0.2, "goldfish ASR {asr} (origin was {})", f.original_asr);
+    assert!(
+        asr < 0.2,
+        "goldfish ASR {asr} (origin was {})",
+        f.original_asr
+    );
 }
 
 #[test]

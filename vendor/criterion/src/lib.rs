@@ -1,0 +1,295 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! implements the criterion API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`/`iter_batched`) with a plain wall-clock
+//! runner: warm-up + calibration, then `sample_size` timed samples, with
+//! min / median / mean printed per benchmark. No statistical analysis or
+//! HTML reports — just honest, deterministic-enough timings for tracking
+//! kernel speedups in CI logs.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) runs each
+//! benchmark once, so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so user code can `criterion::black_box` as with the real crate.
+pub use std::hint::black_box;
+
+/// Target minimum measured wall-time per sample; fast closures are batched
+/// until one sample reaches this.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// How per-iteration inputs are treated by [`Bencher::iter_batched`].
+/// The stand-in runner handles all sizes identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only id (for groups benchmarking one function over sizes).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver, holding global configuration.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let name = format!("{}/{id}", self.name);
+        run_one(&name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = format!("{}/{id}", self.name);
+        run_one(&name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(name: &str, sample_size: usize, f: F) {
+    let mut b = Bencher {
+        sample_size: if test_mode() { 1 } else { sample_size },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+/// Times closures and records per-iteration durations.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, batching fast closures so each sample is long
+    /// enough to time reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration run.
+        let t = Instant::now();
+        black_box(f());
+        let est = t.elapsed().max(Duration::from_nanos(20));
+        let iters: u32 = if self.sample_size == 1 {
+            1
+        } else {
+            (MIN_SAMPLE_TIME.as_secs_f64() / est.as_secs_f64()).clamp(1.0, 65536.0) as u32
+        };
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only `routine`
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} no samples recorded");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{name:<48} time: [min {} median {} mean {}]  ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples.len(),
+        );
+    }
+}
+
+/// Formats seconds with an adaptive unit, criterion-style.
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("64x64").to_string(), "64x64");
+    }
+
+    #[test]
+    fn time_units() {
+        assert!(fmt_time(0.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.0e-6).ends_with("µs"));
+        assert!(fmt_time(3.0e-3).ends_with("ms"));
+        assert!(fmt_time(1.5).ends_with('s'));
+    }
+}

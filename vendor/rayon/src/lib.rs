@@ -1,0 +1,294 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! implements the subset of the rayon API the workspace's compute engine
+//! uses, on top of `std::thread::scope`:
+//!
+//! * [`scope`] with [`Scope::spawn`] — structured fork/join over borrowed
+//!   data,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a *logical* pool:
+//!   it pins the thread count that [`scope`] and [`current_num_threads`]
+//!   observe for the duration of a closure (threads are spawned per scope,
+//!   not kept warm — adequate for the coarse-grained tasks used here),
+//! * [`current_num_threads`].
+//!
+//! Scheduling differences from real rayon (no work stealing, no persistent
+//! workers) do not affect results: every caller in this workspace is
+//! written so task outputs land in pre-partitioned disjoint buffers and
+//! reduction orders are fixed, making results independent of the thread
+//! count.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count installed by the innermost [`ThreadPool::install`];
+    /// 0 means "not inside a pool" (use the hardware default).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+
+    /// Whether this thread is a scope worker. Nested [`scope`]s run their
+    /// tasks inline instead of spawning another generation of OS threads —
+    /// without this, N parallel tasks each reaching a parallel kernel
+    /// would multiply to N² live threads (real rayon work-steals within
+    /// one pool instead).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of threads scopes started from this thread will use.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// otherwise it is the hardware parallelism (at least 1).
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in builder
+/// cannot actually fail; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a logical [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (hardware) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count; 0 means the hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: a thread-count context for [`scope`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed, so every [`scope`]
+    /// reached from `f` (transitively) uses it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.get();
+            t.set(self.num_threads);
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+type Task<'s> = Box<dyn FnOnce(&Scope<'s>) + Send + 's>;
+
+/// A fork/join scope; tasks spawned here may borrow data outliving the
+/// scope call.
+pub struct Scope<'s> {
+    queue: Mutex<Vec<Task<'s>>>,
+}
+
+impl<'s> Scope<'s> {
+    /// Enqueues a task. Tasks run after the scope closure returns (or, for
+    /// tasks spawned from inside other tasks, in the next execution round)
+    /// and all complete before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'s>) + Send + 's,
+    {
+        self.queue
+            .lock()
+            .expect("scope queue poisoned")
+            .push(Box::new(f));
+    }
+}
+
+/// Creates a fork/join scope: `f` spawns tasks on the given [`Scope`]; all
+/// of them (including transitively spawned ones) complete before `scope`
+/// returns. Tasks run on up to [`current_num_threads`] OS threads.
+///
+/// # Panics
+///
+/// Panics if any task panics (after all threads have been joined).
+pub fn scope<'s, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'s>) -> R,
+{
+    let s = Scope {
+        queue: Mutex::new(Vec::new()),
+    };
+    let out = f(&s);
+    let threads = if IN_WORKER.with(|w| w.get()) {
+        1
+    } else {
+        current_num_threads()
+    };
+    loop {
+        let round = std::mem::take(&mut *s.queue.lock().expect("scope queue poisoned"));
+        if round.is_empty() {
+            break;
+        }
+        run_round(&s, round, threads);
+    }
+    out
+}
+
+/// Executes one batch of tasks, serially or on a bounded set of worker
+/// threads pulling from a shared cursor.
+fn run_round<'s>(scope: &Scope<'s>, tasks: Vec<Task<'s>>, threads: usize) {
+    if threads <= 1 || tasks.len() <= 1 {
+        for t in tasks {
+            t(scope);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<Task<'s>>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(slots.len());
+    std::thread::scope(|st| {
+        for _ in 0..workers {
+            st.spawn(|| {
+                // Workers inherit the pool size (for current_num_threads
+                // queries) but are flagged so nested scopes run inline.
+                INSTALLED_THREADS.with(|t| t.set(threads));
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let task = slots[i].lock().expect("task slot poisoned").take();
+                    if let Some(task) = task {
+                        task(scope);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let mut out = vec![0usize; 64];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|inner| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    inner.spawn(|_| {
+                        counter.fetch_add(10, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 44);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            scope(|s| {
+                s.spawn(|_| {});
+                s.spawn(|_| assert!(current_num_threads() >= 1));
+            });
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn nested_scopes_run_inline_on_workers() {
+        // A task observing its own thread id: nested scope tasks must run
+        // on the same worker thread (no second generation of threads).
+        let ok = std::sync::atomic::AtomicBool::new(true);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        let outer = std::thread::current().id();
+                        scope(|inner| {
+                            for _ in 0..4 {
+                                let ok = &ok;
+                                inner.spawn(move |_| {
+                                    if std::thread::current().id() != outer {
+                                        ok.store(false, Ordering::Relaxed);
+                                    }
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        assert!(ok.load(Ordering::Relaxed), "nested scope left its worker");
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the two trait names the workspace derives plus the derive
+//! macros. Nothing in the workspace performs actual serde serialization
+//! (the wire format lives in `goldfish_tensor::serialize`), so the traits
+//! are deliberately empty markers: deriving them keeps the type annotations
+//! meaningful and lets a future PR swap in the real serde without touching
+//! call sites.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types declared serializable (see crate docs).
+pub trait Serialize {}
+
+/// Marker for types declared deserializable (see crate docs).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this proc-macro crate derives marker impls of the vendored `serde` traits
+//! (see `vendor/serde`). It supports plain (non-generic) structs and enums,
+//! which is all this workspace derives serde on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is attached to.
+///
+/// Walks the token stream skipping outer attributes and visibility
+/// modifiers until it finds `struct`/`enum`/`union`, then returns the
+/// following identifier. Panics (compile error) on generic types, which the
+/// marker impls emitted here cannot cover.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[attr]` / doc comments: skip the `#` and the bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+                    };
+                    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        panic!(
+                            "serde_derive stub: generic type `{name}` is not supported; \
+                             write the impl by hand"
+                        );
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: could not find a struct/enum name in derive input");
+}
+
+/// Derives the vendored `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

@@ -1,0 +1,56 @@
+//! Criterion harness over the same round-throughput scenarios as the
+//! `bench_round` binary (which writes the `BENCH_round.json` baseline):
+//! the allocation-free training runtime vs the preserved seed pipeline,
+//! plus the bulk vs per-element wire format.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goldfish_bench::fixtures;
+use goldfish_bench::legacy::{self, LegacyMlp};
+use goldfish_fed::trainer::train_local_ce;
+use goldfish_tensor::serialize;
+
+fn bench_local_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_train");
+    group.sample_size(15);
+    let (shards, cfg) = fixtures::round_workload(7);
+    let shard = &shards[0];
+    let global = fixtures::round_model(8).state_vector();
+    let mut net = fixtures::round_model(0);
+    let mut trainer =
+        LegacyMlp::from_network(&net, &fixtures::ROUND_MLP_DIMS).with_pre_change_kernels();
+    group.bench_function("seed_allocating", |bench| {
+        bench.iter(|| {
+            trainer.reset(&global);
+            trainer.train_local(shard, &cfg, 7);
+            std::hint::black_box(&trainer);
+        });
+    });
+    group.bench_function("runtime", |bench| {
+        bench.iter(|| {
+            net.set_state_vector(&global);
+            train_local_ce(&mut net, shard, &cfg, 7);
+            std::hint::black_box(&net);
+        });
+    });
+    group.finish();
+}
+
+fn bench_wire_format(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_format");
+    group.sample_size(15);
+    let params: Vec<f32> = (0..500_000).map(|i| (i as f32 * 0.013).sin()).collect();
+    group.bench_function("per_element", |bench| {
+        bench.iter(|| std::hint::black_box(legacy::params_to_bytes_per_element(&params)));
+    });
+    group.bench_function("bulk", |bench| {
+        bench.iter(|| std::hint::black_box(serialize::params_to_bytes(&params)));
+    });
+    let wire = serialize::params_to_bytes(&params);
+    group.bench_function("bulk_read", |bench| {
+        bench.iter(|| std::hint::black_box(serialize::params_from_bytes(wire.clone()).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_training, bench_wire_format);
+criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! End-to-end round-throughput baseline: the allocation-free training
+//! runtime (PR 2) vs the preserved seed pipeline
+//! ([`goldfish_bench::legacy`]) on the paper-shaped MLP round workload,
+//! plus the parameter-vector wire format. Writes `BENCH_round.json` so
+//! the perf trajectory covers the full federated pipeline, not just
+//! isolated kernels (`BENCH_kernels.json`).
+//!
+//! Before timing anything the binary **asserts bitwise identity** of the
+//! two pipelines' trained states — the speedup is pure execution, zero
+//! semantics.
+//!
+//! Flags: `--quick` (fewer samples), `--seed N`, `--out PATH` (default
+//! `BENCH_round.json` in the current directory).
+
+use std::time::Instant;
+
+use goldfish_bench::legacy::{self, LegacyMlp};
+use goldfish_bench::report::{self, BenchRecord, Table};
+use goldfish_bench::{args, fixtures};
+use goldfish_data::Dataset;
+use goldfish_fed::aggregate::{weighted_mean, ClientUpdate};
+use goldfish_fed::pool;
+use goldfish_fed::trainer::{train_local_ce, TrainConfig};
+use goldfish_tensor::serialize;
+
+/// Times `f` (after one warm-up call) and records median/min over
+/// `samples` runs.
+fn time_fn(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    BenchRecord {
+        name: name.to_string(),
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        samples,
+    }
+}
+
+/// One full federated round on the runtime pipeline: every client trains
+/// from the global state, uploads its parameters through the wire
+/// format, and the server aggregates by sample count.
+fn runtime_round(global: &[f32], shards: &[Dataset], cfg: &TrainConfig, seed: u64) -> Vec<f32> {
+    let updates: Vec<ClientUpdate> = shards
+        .iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            let mut net = fixtures::round_model(0);
+            net.set_state_vector(global);
+            train_local_ce(&mut net, shard, cfg, seed + c as u64);
+            let wire = serialize::params_to_bytes(&net.state_vector());
+            ClientUpdate {
+                client_id: c,
+                state: serialize::params_from_bytes(wire).expect("wire roundtrip"),
+                num_samples: shard.len(),
+                server_mse: None,
+            }
+        })
+        .collect();
+    let weights: Vec<f64> = updates.iter().map(|u| u.num_samples as f64).collect();
+    weighted_mean(&updates, &weights)
+}
+
+/// The same round on the seed pipeline (allocating trainer, per-element
+/// wire writer). `pre_change` additionally selects the engine paths the
+/// pre-PR-2 build ran.
+fn legacy_round(
+    global: &[f32],
+    shards: &[Dataset],
+    cfg: &TrainConfig,
+    seed: u64,
+    pre_change: bool,
+) -> Vec<f32> {
+    let updates: Vec<ClientUpdate> = shards
+        .iter()
+        .enumerate()
+        .map(|(c, shard)| {
+            let mut net = fixtures::round_model(0);
+            net.set_state_vector(global);
+            let mut trainer = LegacyMlp::from_network(&net, &fixtures::ROUND_MLP_DIMS);
+            if pre_change {
+                trainer = trainer.with_pre_change_kernels();
+            }
+            trainer.train_local(shard, cfg, seed + c as u64);
+            let wire = legacy::params_to_bytes_per_element(&trainer.state_vector());
+            ClientUpdate {
+                client_id: c,
+                state: serialize::params_from_bytes(wire).expect("wire roundtrip"),
+                num_samples: shard.len(),
+                server_mse: None,
+            }
+        })
+        .collect();
+    let weights: Vec<f64> = updates.iter().map(|u| u.num_samples as f64).collect();
+    weighted_mean(&updates, &weights)
+}
+
+fn main() {
+    let seed = args::seed();
+    let samples = if args::quick() { 5 } else { 15 };
+    let out_path = args::value_of("--out").unwrap_or_else(|| "BENCH_round.json".to_string());
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+
+    let (shards, cfg) = fixtures::round_workload(seed);
+    let global = fixtures::round_model(seed.wrapping_add(1)).state_vector();
+    let samples_per_round: usize = shards.iter().map(|s| s.len()).sum::<usize>() * cfg.local_epochs;
+
+    // Identity first: the two pipelines must agree bitwise before their
+    // speeds mean anything.
+    let got = runtime_round(&global, &shards, &cfg, seed);
+    let want = legacy_round(&global, &shards, &cfg, seed, false);
+    assert_eq!(got, want, "runtime and seed pipelines diverged");
+    println!(
+        "identity check: runtime round == seed round bitwise ({} params)",
+        got.len()
+    );
+    // The timed baseline additionally runs the engine paths the
+    // pre-change build ran; those differ from today's only by large-path
+    // accumulation rounding (mul+add vs FMA in the narrow-output
+    // kernel). Bound it.
+    let pre = legacy_round(&global, &shards, &cfg, seed, true);
+    let max_diff = got
+        .iter()
+        .zip(pre.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff < 1e-3,
+        "pre-change kernels drifted: max |Δ| = {max_diff}"
+    );
+    println!("pre-change-kernel drift bound: max |Δ| = {max_diff:.2e}");
+
+    report::heading("local training (one client, one epoch)");
+    let shard = &shards[0];
+    let mut net = fixtures::round_model(0);
+    let mut trainer =
+        LegacyMlp::from_network(&net, &fixtures::ROUND_MLP_DIMS).with_pre_change_kernels();
+    let r_legacy = time_fn("local_train_legacy", samples, || {
+        trainer.reset(&global);
+        trainer.train_local(shard, &cfg, seed);
+        std::hint::black_box(&trainer);
+    });
+    let r_runtime = time_fn("local_train_runtime", samples, || {
+        net.set_state_vector(&global);
+        train_local_ce(&mut net, shard, &cfg, seed);
+        std::hint::black_box(&net);
+    });
+    let sps = |r: &BenchRecord, n: usize| n as f64 / (r.median_ns / 1e9);
+    let local_speedup = r_legacy.median_ns / r_runtime.median_ns;
+    let mut table = Table::new(&["pipeline", "ms / epoch", "samples/sec"]);
+    for (label, r) in [("seed (allocating)", &r_legacy), ("runtime", &r_runtime)] {
+        table.row(vec![
+            label.to_string(),
+            report::num(r.median_ns / 1e6, 3),
+            report::num(sps(r, shard.len() * cfg.local_epochs), 0),
+        ]);
+    }
+    table.print();
+    println!("speedup: {local_speedup:.2}x");
+    speedups.push(("local_train_runtime_vs_legacy", local_speedup));
+    speedups.push((
+        "local_train_samples_per_sec_legacy",
+        sps(&r_legacy, shard.len() * cfg.local_epochs),
+    ));
+    speedups.push((
+        "local_train_samples_per_sec_runtime",
+        sps(&r_runtime, shard.len() * cfg.local_epochs),
+    ));
+    records.push(r_legacy);
+    records.push(r_runtime);
+
+    report::heading("full federated round (5 clients + wire + FedAvg)");
+    let r_legacy = time_fn("round_legacy", samples, || {
+        std::hint::black_box(legacy_round(&global, &shards, &cfg, seed, true));
+    });
+    let r_runtime = time_fn("round_runtime", samples, || {
+        std::hint::black_box(runtime_round(&global, &shards, &cfg, seed));
+    });
+    let round_speedup = r_legacy.median_ns / r_runtime.median_ns;
+    let mut table = Table::new(&["pipeline", "ms / round", "samples/sec", "clients/sec"]);
+    for (label, r) in [("seed (allocating)", &r_legacy), ("runtime", &r_runtime)] {
+        table.row(vec![
+            label.to_string(),
+            report::num(r.median_ns / 1e6, 3),
+            report::num(sps(r, samples_per_round), 0),
+            report::num(sps(r, shards.len()), 1),
+        ]);
+    }
+    table.print();
+    println!("speedup: {round_speedup:.2}x");
+    speedups.push(("round_runtime_vs_legacy", round_speedup));
+    speedups.push((
+        "round_samples_per_sec_legacy",
+        sps(&r_legacy, samples_per_round),
+    ));
+    speedups.push((
+        "round_samples_per_sec_runtime",
+        sps(&r_runtime, samples_per_round),
+    ));
+    speedups.push((
+        "round_clients_per_sec_runtime",
+        sps(&r_runtime, shards.len()),
+    ));
+    records.push(r_legacy);
+    records.push(r_runtime);
+
+    report::heading("parameter-vector wire format (500k params)");
+    let params: Vec<f32> = (0..500_000).map(|i| (i as f32 * 0.013).sin()).collect();
+    let r_legacy = time_fn("serialize_per_element", samples, || {
+        std::hint::black_box(legacy::params_to_bytes_per_element(&params));
+    });
+    let r_bulk = time_fn("serialize_bulk", samples, || {
+        std::hint::black_box(serialize::params_to_bytes(&params));
+    });
+    let wire = serialize::params_to_bytes(&params);
+    let r_read = time_fn("deserialize_bulk", samples, || {
+        std::hint::black_box(serialize::params_from_bytes(wire.clone()).expect("roundtrip"));
+    });
+    let ser_speedup = r_legacy.median_ns / r_bulk.median_ns;
+    let mbps = |r: &BenchRecord| (4.0 * params.len() as f64 / 1e6) / (r.median_ns / 1e9);
+    println!(
+        "per-element {:.3} ms ({:.0} MB/s)  bulk {:.3} ms ({:.0} MB/s)  read {:.3} ms  speedup {:.2}x",
+        r_legacy.median_ns / 1e6,
+        mbps(&r_legacy),
+        r_bulk.median_ns / 1e6,
+        mbps(&r_bulk),
+        r_read.median_ns / 1e6,
+        ser_speedup,
+    );
+    speedups.push(("serialize_bulk_vs_per_element", ser_speedup));
+    speedups.push(("serialize_bulk_mb_per_sec", mbps(&r_bulk)));
+    records.push(r_legacy);
+    records.push(r_bulk);
+    records.push(r_read);
+
+    let doc = report::perf_baseline_json(
+        &[
+            ("schema", "goldfish-round-baseline-v1".to_string()),
+            ("seed", seed.to_string()),
+            ("threads", pool::effective_threads(None).to_string()),
+            (
+                "workload",
+                format!(
+                    "mlp {:?}, {} clients x {} samples, B={}",
+                    fixtures::ROUND_MLP_DIMS,
+                    fixtures::ROUND_CLIENTS,
+                    fixtures::ROUND_SAMPLES_PER_CLIENT,
+                    cfg.batch_size
+                ),
+            ),
+            (
+                "quick",
+                if args::quick() { "true" } else { "false" }.to_string(),
+            ),
+        ],
+        &records,
+        &speedups,
+    );
+    std::fs::write(&out_path, doc).expect("write perf baseline");
+    println!("\nwrote {out_path}");
+}

@@ -6,7 +6,11 @@
 //! the committed `BENCH_kernels.json` always measures what CI's
 //! criterion run measures.
 
+use goldfish_data::synthetic::{self, SyntheticSpec};
+use goldfish_data::Dataset;
 use goldfish_fed::aggregate::ClientUpdate;
+use goldfish_fed::trainer::TrainConfig;
+use goldfish_nn::{zoo, Network};
 use goldfish_tensor::conv::Conv2dSpec;
 use goldfish_tensor::{init, Tensor};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -48,6 +52,51 @@ pub fn conv_case(
         init::normal(&mut rng, vec![f, ch, 5, 5], 0.0, 0.2),
         Tensor::zeros(vec![f]),
         Conv2dSpec::new(5, 5, 1, 0),
+    )
+}
+
+/// Clients in the round-throughput scenario.
+pub const ROUND_CLIENTS: usize = 5;
+
+/// Samples per client in the round-throughput scenario.
+pub const ROUND_SAMPLES_PER_CLIENT: usize = 300;
+
+/// Layer widths of the round-throughput MLP: the scaled-MNIST feature
+/// width (8×8, DESIGN.md §3), one hidden layer, ten classes.
+pub const ROUND_MLP_DIMS: [usize; 3] = [64, 32, 10];
+
+/// The paper-shaped MLP round workload measured by `bench_round` and
+/// `benches/round.rs`: IID shards of the synthetic MNIST analogue plus
+/// the paper's local hyperparameters (B = 100, η = 0.001, β = 0.9).
+pub fn round_workload(seed: u64) -> (Vec<Dataset>, TrainConfig) {
+    let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+    let total = ROUND_CLIENTS * ROUND_SAMPLES_PER_CLIENT;
+    let (train, _) = synthetic::generate(&spec, total, 10, seed);
+    let shards = (0..ROUND_CLIENTS)
+        .map(|c| {
+            let lo = c * ROUND_SAMPLES_PER_CLIENT;
+            let idx: Vec<usize> = (lo..lo + ROUND_SAMPLES_PER_CLIENT).collect();
+            train.subset(&idx)
+        })
+        .collect();
+    let cfg = TrainConfig {
+        local_epochs: 1,
+        batch_size: 100,
+        lr: 0.001,
+        momentum: 0.9,
+    };
+    (shards, cfg)
+}
+
+/// The round-workload model (`zoo::mlp` over [`ROUND_MLP_DIMS`]).
+pub fn round_model(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = ROUND_MLP_DIMS;
+    zoo::mlp(
+        dims[0],
+        &dims[1..dims.len() - 1],
+        dims[dims.len() - 1],
+        &mut rng,
     )
 }
 

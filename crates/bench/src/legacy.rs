@@ -1,0 +1,340 @@
+//! The pre-runtime (seed) training pipeline, preserved verbatim as the
+//! perf baseline for `bench_round`.
+//!
+//! PR 2 rebuilt local training on the allocation-free runtime
+//! (DESIGN.md §8); the library no longer contains the old per-step
+//! code. This module re-implements it from the public primitives, one
+//! allocation-rich step at a time, exactly as the seed did: a copied
+//! `Dataset` per mini-batch, fresh tensors for every layer output and
+//! gradient, the log-softmax/exp cross-entropy pipeline, the three-pass
+//! momentum update, and per-element wire serialization. `bench_round`
+//! asserts its final states are bitwise identical to `train_local`'s
+//! before timing anything, so the comparison is apples to apples.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use goldfish_data::Dataset;
+use goldfish_fed::trainer::TrainConfig;
+use goldfish_nn::Network;
+use goldfish_tensor::{engine, ops, Tensor};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A seed-style ReLU MLP (`d → hidden… → classes`) whose training step
+/// allocates exactly like the pre-runtime layer stack.
+///
+/// Two kernel modes:
+///
+/// * default — the current engine underneath, like every library path.
+///   Training is **bitwise identical** to `train_local`; `bench_round`
+///   asserts that before timing anything.
+/// * [`LegacyMlp::with_pre_change_kernels`] — additionally replicates
+///   the engine paths PR 2 changed (the narrow-output `A·Bᵀ` fallback
+///   the old classifier-head GEMM took). This measures the *true*
+///   pre-change runtime; its results differ from the current engine only
+///   by the documented large-path accumulation rounding (mul+add vs
+///   FMA), which `bench_round` bounds explicitly.
+pub struct LegacyMlp {
+    /// `(weight [out, in], bias [out])` per dense layer.
+    layers: Vec<(Tensor, Tensor)>,
+    /// Accumulated gradients, zeroed per step like `Network::zero_grad`.
+    grads: Vec<(Tensor, Tensor)>,
+    /// Momentum buffers, one pair per layer.
+    vels: Vec<(Tensor, Tensor)>,
+    pre_change_kernels: bool,
+}
+
+/// The engine's pre-PR-2 `A·Bᵀ` behaviour: unchanged paths delegate to
+/// the current engine; narrow outputs (`n <` [`engine::NR`] at or above
+/// [`engine::SMALL_FLOPS`]) take the retired fallback — materialise
+/// `Bᵀ`, then the axpy-order reference loop (separate mul+add, no FMA).
+fn pre_change_matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.dims2();
+    let (n, k2) = b.dims2();
+    assert_eq!(k, k2, "matmul_a_bt trailing dims: {k} vs {k2}");
+    let work = m * k * n;
+    if work < engine::SMALL_FLOPS || n >= engine::NR {
+        return ops::matmul_a_bt(a, b);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut bt = vec![0.0f32; k * n];
+    for (j, brow) in bv.chunks_exact(k).enumerate() {
+        for (p, &v) in brow.iter().enumerate() {
+            bt[p * n + j] = v;
+        }
+    }
+    let mut out = vec![0.0f32; m * n];
+    for (i, orow) in out.chunks_exact_mut(n).enumerate() {
+        let arow = &av[i * k..(i + 1) * k];
+        for (p, &apk) in arow.iter().enumerate() {
+            let brow = &bt[p * n..(p + 1) * n];
+            for (o, &bpn) in orow.iter_mut().zip(brow) {
+                *o += apk * bpn;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// The pre-PR-2 `log_softmax_t` at temperature 1: the exponentials are
+/// folded into the reduction (one fused loop) instead of staged — the
+/// same values as today's form, at the old speed.
+fn pre_change_log_softmax(logits: &Tensor) -> Tensor {
+    let (rows, cols) = logits.dims2();
+    let lv = logits.as_slice();
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &lv[r * cols..(r + 1) * cols];
+        let orow = &mut out[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse: f32 = row
+            .iter()
+            .map(|&z| ((z - max) / 1.0).exp())
+            .sum::<f32>()
+            .ln();
+        for (o, &z) in orow.iter_mut().zip(row.iter()) {
+            *o = (z - max) / 1.0 - lse;
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out)
+}
+
+impl LegacyMlp {
+    /// Clones the parameters out of a `zoo::mlp(dims[0], &dims[1..n-1],
+    /// dims[n-1])` network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` does not describe `net`'s state vector.
+    pub fn from_network(net: &Network, dims: &[usize]) -> Self {
+        let state = net.state_vector();
+        let mut offset = 0;
+        let mut layers = Vec::new();
+        let mut grads = Vec::new();
+        let mut vels = Vec::new();
+        for pair in dims.windows(2) {
+            let (d, o) = (pair[0], pair[1]);
+            let w = Tensor::from_vec(vec![o, d], state[offset..offset + o * d].to_vec());
+            offset += o * d;
+            let b = Tensor::from_vec(vec![o], state[offset..offset + o].to_vec());
+            offset += o;
+            layers.push((w, b));
+            grads.push((Tensor::zeros(vec![o, d]), Tensor::zeros(vec![o])));
+            vels.push((Tensor::zeros(vec![o, d]), Tensor::zeros(vec![o])));
+        }
+        assert_eq!(offset, state.len(), "dims do not match the network");
+        LegacyMlp {
+            layers,
+            grads,
+            vels,
+            pre_change_kernels: false,
+        }
+    }
+
+    /// Switches to the pre-PR-2 engine paths (see the type docs).
+    pub fn with_pre_change_kernels(mut self) -> Self {
+        self.pre_change_kernels = true;
+        self
+    }
+
+    /// Reloads the parameters from a flat state vector and zeroes the
+    /// momentum buffers — what the seed's per-round `set_state_vector` +
+    /// fresh-`Sgd` pair did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not match the layer layout.
+    pub fn reset(&mut self, state: &[f32]) {
+        let mut offset = 0;
+        for ((w, b), (vw, vb)) in self.layers.iter_mut().zip(self.vels.iter_mut()) {
+            let n = w.len();
+            w.as_mut_slice().copy_from_slice(&state[offset..offset + n]);
+            offset += n;
+            let n = b.len();
+            b.as_mut_slice().copy_from_slice(&state[offset..offset + n]);
+            offset += n;
+            vw.zero_mut();
+            vb.zero_mut();
+        }
+        assert_eq!(offset, state.len(), "state does not match the layers");
+    }
+
+    /// Parameters flattened in layer order (comparable to
+    /// [`Network::state_vector`]).
+    pub fn state_vector(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for (w, b) in &self.layers {
+            out.extend_from_slice(w.as_slice());
+            out.extend_from_slice(b.as_slice());
+        }
+        out
+    }
+
+    /// One seed-style step on a freshly copied batch, operation for
+    /// operation what the pre-runtime pipeline executed: the
+    /// `Sequential::forward` entry clone, a cached input clone and a
+    /// bias `to_vec` per dense layer, mask + output allocations in ReLU,
+    /// the log-softmax/exp cross-entropy, `zero_grad`, the
+    /// `Sequential::backward` entry clone, gradient *accumulation* into
+    /// per-parameter buffers (including the discarded ∂L/∂x of the first
+    /// layer), and the three-pass momentum update reading them.
+    fn step(&mut self, batch: &Dataset, lr: f32, momentum: f32) -> f32 {
+        let depth = self.layers.len();
+        // Network::forward → Sequential::forward starts from a clone.
+        let mut cur = batch.features().clone();
+        let mut inputs: Vec<Tensor> = Vec::new();
+        let mut masks: Vec<Vec<bool>> = Vec::new();
+        for (li, (w, b)) in self.layers.iter().enumerate() {
+            // Dense::forward cached `x.clone().reshape([n, d])`.
+            let (n, d) = cur.dims2();
+            let x2 = cur.clone().reshape(vec![n, d]);
+            let mut y = if self.pre_change_kernels {
+                pre_change_matmul_a_bt(&x2, w)
+            } else {
+                ops::matmul_a_bt(&x2, w)
+            };
+            let bv = b.as_slice().to_vec();
+            for r in 0..n {
+                for (o, &bias) in y.row_mut(r).iter_mut().zip(bv.iter()) {
+                    *o += bias;
+                }
+            }
+            inputs.push(x2);
+            if li + 1 < depth {
+                let mask: Vec<bool> = y.as_slice().iter().map(|&v| v > 0.0).collect();
+                cur = y.map(|v| v.max(0.0));
+                masks.push(mask);
+            } else {
+                cur = y;
+            }
+        }
+        // Seed cross-entropy.
+        let logits = cur;
+        let (bn, c) = logits.dims2();
+        let logp = if self.pre_change_kernels {
+            pre_change_log_softmax(&logits)
+        } else {
+            ops::log_softmax_t(&logits, 1.0)
+        };
+        let p = logp.map(|v| v.exp());
+        let mut grad = p;
+        let mut loss = 0.0f32;
+        for (r, &label) in batch.labels().iter().enumerate() {
+            loss -= logp.at2(r, label);
+            grad.row_mut(r)[label] -= 1.0;
+        }
+        let scale = 1.0 / bn as f32;
+        grad.scale_mut(scale);
+        let grad = grad.reshape(vec![bn, c]);
+        // Network::zero_grad.
+        for (gw, gb) in &mut self.grads {
+            gw.zero_mut();
+            gb.zero_mut();
+        }
+        // Sequential::backward starts from a clone, then each layer
+        // accumulates into its gradient buffers and returns ∂L/∂x.
+        let mut grad = grad.clone();
+        for li in (0..depth).rev() {
+            let input = &inputs[li];
+            let gw = ops::matmul_at_b(&grad, input);
+            self.grads[li].0.axpy(1.0, &gw);
+            self.grads[li].1.axpy(1.0, &ops::sum_rows(&grad));
+            // The seed computed ∂L/∂x for every layer, first included,
+            // and discarded it there.
+            let gx = ops::matmul(&grad, &self.layers[li].0);
+            grad = if li > 0 {
+                let mask = &masks[li - 1];
+                Tensor::from_vec(
+                    gx.shape().to_vec(),
+                    gx.as_slice()
+                        .iter()
+                        .zip(mask.iter())
+                        .map(|(&g, &m)| if m { g } else { 0.0 })
+                        .collect(),
+                )
+            } else {
+                gx
+            };
+        }
+        // Sgd::step: three passes per parameter, reading the accumulated
+        // gradients.
+        for ((w, b), ((gw, gb), (vw, vb))) in self
+            .layers
+            .iter_mut()
+            .zip(self.grads.iter().zip(self.vels.iter_mut()))
+        {
+            vw.scale_mut(momentum);
+            vw.axpy(1.0, gw);
+            w.axpy(-lr, vw);
+            vb.scale_mut(momentum);
+            vb.axpy(1.0, gb);
+            b.axpy(-lr, vb);
+        }
+        loss * scale
+    }
+
+    /// The seed `train_local` loop: shuffled indices per epoch, a copied
+    /// `Dataset` per chunk, per-batch (not per-sample) epoch averaging.
+    /// Returns the final epoch's mean loss.
+    pub fn train_local(&mut self, data: &Dataset, cfg: &TrainConfig, seed: u64) -> f32 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut last = 0.0f32;
+        for _ in 0..cfg.local_epochs {
+            let order = data.shuffled_indices(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let batch = data.subset(chunk);
+                epoch_loss += self.step(&batch, cfg.lr, cfg.momentum);
+                batches += 1;
+            }
+            last = epoch_loss / batches.max(1) as f32;
+        }
+        last
+    }
+}
+
+/// The seed wire format writer: one `put_f32_le` call per element.
+pub fn params_to_bytes_per_element(params: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + 4 * params.len());
+    buf.put_u64_le(params.len() as u64);
+    for &v in params {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldfish_data::synthetic::{self, SyntheticSpec};
+    use goldfish_fed::trainer::train_local_ce;
+    use goldfish_nn::zoo;
+    use goldfish_tensor::serialize;
+
+    #[test]
+    fn legacy_mlp_matches_runtime_training_bitwise() {
+        let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+        let (train, _) = synthetic::generate(&spec, 70, 10, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = zoo::mlp(64, &[32, 16], 10, &mut rng);
+        let mut legacy = LegacyMlp::from_network(&net, &[64, 32, 16, 10]);
+        let cfg = TrainConfig {
+            local_epochs: 2,
+            batch_size: 25, // short final batch included
+            lr: 0.05,
+            momentum: 0.9,
+        };
+        train_local_ce(&mut net, &train, &cfg, 31);
+        legacy.train_local(&train, &cfg, 31);
+        assert_eq!(net.state_vector(), legacy.state_vector());
+    }
+
+    #[test]
+    fn per_element_writer_matches_bulk_writer() {
+        let p: Vec<f32> = (0..3000).map(|i| (i as f32).sin()).collect();
+        assert_eq!(
+            params_to_bytes_per_element(&p),
+            serialize::params_to_bytes(&p)
+        );
+    }
+}

@@ -11,13 +11,16 @@
 //! * `--seed N` — change the experiment seed (default 42).
 //!
 //! Outputs are printed as aligned text tables mirroring the paper's
-//! layout (see `DESIGN.md` §4); the kernel perf baseline lives in
-//! `BENCH_kernels.json`, written by the `bench_kernels` binary.
+//! layout (see `DESIGN.md` §4); the perf baselines live in
+//! `BENCH_kernels.json` (kernel shapes, written by `bench_kernels`) and
+//! `BENCH_round.json` (end-to-end round throughput, written by
+//! `bench_round` against the preserved seed pipeline in [`legacy`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod fixtures;
+pub mod legacy;
 pub mod report;
 pub mod workloads;

@@ -109,11 +109,11 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let d = self.sample_len();
         let fv = self.features.as_slice();
-        let mut out = Vec::with_capacity(indices.len() * d);
+        let mut out = vec![0.0f32; indices.len() * d];
         let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
+        for (j, &i) in indices.iter().enumerate() {
             assert!(i < self.len(), "index {i} out of {}", self.len());
-            out.extend_from_slice(&fv[i * d..(i + 1) * d]);
+            out[j * d..(j + 1) * d].copy_from_slice(&fv[i * d..(i + 1) * d]);
             labels.push(self.labels[i]);
         }
         let mut shape = vec![indices.len()];
@@ -138,9 +138,12 @@ impl Dataset {
             other.sample_shape(),
             "sample shape mismatch"
         );
-        let mut data = self.features.as_slice().to_vec();
-        data.extend_from_slice(other.features.as_slice());
-        let mut labels = self.labels.clone();
+        let (a, b) = (self.features.as_slice(), other.features.as_slice());
+        let mut data = vec![0.0f32; a.len() + b.len()];
+        data[..a.len()].copy_from_slice(a);
+        data[a.len()..].copy_from_slice(b);
+        let mut labels = Vec::with_capacity(self.labels.len() + other.labels.len());
+        labels.extend_from_slice(&self.labels);
         labels.extend_from_slice(&other.labels);
         let mut shape = vec![self.len() + other.len()];
         shape.extend_from_slice(self.sample_shape());
@@ -165,9 +168,18 @@ impl Dataset {
 
     /// A shuffled copy of all indices.
     pub fn shuffled_indices<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.len()).collect();
-        idx.shuffle(rng);
+        let mut idx = Vec::new();
+        self.shuffled_indices_into(rng, &mut idx);
         idx
+    }
+
+    /// Refills `order` with a shuffled copy of all indices — the
+    /// buffer-reusing form of [`Dataset::shuffled_indices`], drawing the
+    /// identical RNG stream and producing the identical permutation.
+    pub fn shuffled_indices_into<R: Rng + ?Sized>(&self, rng: &mut R, order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..self.len());
+        order.shuffle(rng);
     }
 
     /// Iterates over mini-batches of at most `batch_size` samples in index

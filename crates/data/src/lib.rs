@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod backdoor;
+mod batch;
 mod dataset;
 pub mod partition;
 pub mod synthetic;
 
+pub use batch::BatchGather;
 pub use dataset::Dataset;

@@ -1,10 +1,22 @@
 //! Local client training (plain SGD — the `LocalTraining` procedure of
 //! Algorithm 1).
+//!
+//! The mini-batch loop runs on the allocation-free training runtime
+//! (DESIGN.md §8): batches are gathered into a persistent
+//! [`BatchGather`] buffer, the forward/backward passes reuse the
+//! network's activation and gradient arenas ([`Network::forward_ws`] /
+//! [`Network::backward_train`]), the loss writes its gradient into a
+//! reused buffer, and the fused optimizer walks flat parameter slices.
+//! Every piece is bitwise identical to the classic allocating pipeline
+//! (`Dataset::subset` → `Network::forward` → `loss_and_grad` →
+//! `Network::backward` → `Sgd::step`), pinned by the step-identity tests
+//! in `tests/runtime_identity.rs`.
 
-use goldfish_data::Dataset;
+use goldfish_data::{BatchGather, Dataset};
 use goldfish_nn::loss::{CrossEntropy, HardLoss};
-use goldfish_nn::optim::Sgd;
+use goldfish_nn::optim::FusedSgd;
 use goldfish_nn::Network;
+use goldfish_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -51,8 +63,10 @@ impl LocalStats {
 /// Trains `net` on `data` for `cfg.local_epochs` epochs of mini-batch SGD
 /// with the given hard loss, shuffling with a seeded RNG.
 ///
-/// Returns per-epoch mean losses. Does nothing (and returns empty stats)
-/// for an empty dataset.
+/// Returns per-epoch mean losses, computed as exact **per-sample** means:
+/// a final partial batch contributes proportionally to its size instead
+/// of being weighted like a full batch. Does nothing (and returns empty
+/// stats) for an empty dataset.
 pub fn train_local(
     net: &mut Network,
     data: &Dataset,
@@ -67,22 +81,30 @@ pub fn train_local(
         return stats;
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut sgd = Sgd::new(cfg.lr, cfg.momentum);
+    let mut sgd = FusedSgd::new(cfg.lr, cfg.momentum);
+    let mut gather = BatchGather::new();
+    let mut grad = Tensor::zeros(vec![0]);
+    let mut order: Vec<usize> = Vec::new();
     for _ in 0..cfg.local_epochs {
-        let order = data.shuffled_indices(&mut rng);
+        data.shuffled_indices_into(&mut rng, &mut order);
         let mut epoch_loss = 0.0f32;
-        let mut batches = 0usize;
+        let mut samples = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let batch = data.subset(chunk);
-            let logits = net.forward(batch.features(), true);
-            let (l, grad) = loss.loss_and_grad(&logits, batch.labels());
+            gather.gather(data, chunk);
+            let l = {
+                let logits = net.forward_ws(gather.features(), true);
+                loss.loss_and_grad_into(logits, gather.labels(), &mut grad)
+            };
             net.zero_grad();
-            net.backward(&grad);
+            net.backward_train(&grad);
             sgd.step(net);
-            epoch_loss += l;
-            batches += 1;
+            // `l` is the batch mean; weight it by the batch size so the
+            // epoch figure is the exact per-sample mean even when the
+            // last batch is short.
+            epoch_loss += l * chunk.len() as f32;
+            samples += chunk.len();
         }
-        stats.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        stats.epoch_losses.push(epoch_loss / samples.max(1) as f32);
     }
     stats
 }

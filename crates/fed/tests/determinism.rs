@@ -47,6 +47,63 @@ fn fedavg_identical_across_thread_counts() {
 }
 
 #[test]
+fn fused_optimizer_identical_across_thread_counts() {
+    // 300×300 ≈ 90k weights: crosses the fused chunking threshold, so
+    // the update runs as parallel chunk tasks on pools > 1 thread. The
+    // resulting states must be bitwise identical at every pool size.
+    use goldfish_nn::loss::{CrossEntropy, HardLoss};
+    use goldfish_nn::optim::FusedSgd;
+    use goldfish_tensor::{init, Tensor};
+
+    let run = |threads: usize| {
+        pool::install(Some(threads), || {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut net = zoo::mlp(300, &[300], 10, &mut rng);
+            let x = init::normal(&mut rng, vec![16, 300], 0.0, 1.0);
+            let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+            let mut opt = FusedSgd::new(0.05, 0.9);
+            let mut grad = Tensor::zeros(vec![1]);
+            for _ in 0..3 {
+                let logits = net.forward_ws(&x, true);
+                CrossEntropy.loss_and_grad_into(logits, &labels, &mut grad);
+                net.zero_grad();
+                net.backward_train(&grad);
+                opt.step(&mut net);
+            }
+            net.state_vector()
+        })
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "2-thread fused step diverged");
+    assert_eq!(one, run(4), "4-thread fused step diverged");
+}
+
+#[test]
+fn local_training_runtime_identical_across_thread_counts() {
+    use goldfish_fed::trainer::train_local_ce;
+
+    let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+    let (train, _) = synthetic::generate(&spec, 100, 20, 6);
+    let run = |threads: usize| {
+        pool::install(Some(threads), || {
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut net = zoo::mlp(64, &[32], 10, &mut rng);
+            let cfg = TrainConfig {
+                local_epochs: 2,
+                batch_size: 30, // 100 % 30 != 0: short final batch too
+                lr: 0.05,
+                momentum: 0.9,
+            };
+            let stats = train_local_ce(&mut net, &train, &cfg, 4);
+            (net.state_vector(), stats)
+        })
+    };
+    let one = run(1);
+    assert_eq!(one, run(3), "3-thread local training diverged");
+    assert_eq!(one, run(8), "8-thread local training diverged");
+}
+
+#[test]
 fn federated_round_identical_across_thread_counts() {
     let run = |threads: usize| {
         let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);

@@ -20,16 +20,15 @@ pub struct BatchNorm2d {
     running_mean: Param,
     running_var: Param,
     momentum: f32,
-    cache: Option<BnCache>,
-}
-
-#[derive(Debug)]
-struct BnCache {
+    /// Persistent backward cache, valid when `ready` is set: normalised
+    /// activations, per-channel statistics and the forward geometry.
     x_hat: Tensor,
-    centered: Tensor,
     inv_std: Vec<f32>,
+    means: Vec<f32>,
+    vars: Vec<f32>,
     shape: (usize, usize, usize, usize),
-    train: bool,
+    train_mode: bool,
+    ready: bool,
 }
 
 impl BatchNorm2d {
@@ -47,7 +46,13 @@ impl BatchNorm2d {
             running_mean: Param::frozen(Tensor::zeros(vec![channels])),
             running_var: Param::frozen(Tensor::filled(vec![channels], 1.0)),
             momentum: 0.1,
-            cache: None,
+            x_hat: Tensor::zeros(vec![0]),
+            inv_std: Vec::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+            shape: (0, 0, 0, 0),
+            train_mode: false,
+            ready: false,
         }
     }
 
@@ -59,24 +64,32 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Tensor, train: bool, out: &mut Tensor) {
         let (n, c, h, w) = x.dims4();
         assert_eq!(c, self.channels(), "batchnorm channel mismatch");
         let m = (n * h * w) as f32;
         let xv = x.as_slice();
 
-        let (means, vars) = if train {
-            let mut means = vec![0.0f32; c];
-            let mut vars = vec![0.0f32; c];
+        self.means.clear();
+        self.vars.clear();
+        if train {
+            self.means.resize(c, 0.0);
+            self.vars.resize(c, 0.0);
             for ch in 0..c {
                 let mut sum = 0.0f32;
                 for s in 0..n {
                     let base = (s * c + ch) * h * w;
                     sum += xv[base..base + h * w].iter().sum::<f32>();
                 }
-                means[ch] = sum / m;
+                self.means[ch] = sum / m;
             }
             for ch in 0..c {
-                let mu = means[ch];
+                let mu = self.means[ch];
                 let mut acc = 0.0f32;
                 for s in 0..n {
                     let base = (s * c + ch) * h * w;
@@ -85,87 +98,89 @@ impl Layer for BatchNorm2d {
                         .map(|&v| (v - mu) * (v - mu))
                         .sum::<f32>();
                 }
-                vars[ch] = acc / m;
+                self.vars[ch] = acc / m;
             }
             // Update running statistics.
             for ch in 0..c {
                 let rm = &mut self.running_mean.value.as_mut_slice()[ch];
-                *rm = (1.0 - self.momentum) * *rm + self.momentum * means[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * self.means[ch];
                 let rv = &mut self.running_var.value.as_mut_slice()[ch];
-                *rv = (1.0 - self.momentum) * *rv + self.momentum * vars[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * self.vars[ch];
             }
-            (means, vars)
         } else {
-            (
-                self.running_mean.value.as_slice().to_vec(),
-                self.running_var.value.as_slice().to_vec(),
-            )
-        };
+            self.means
+                .extend_from_slice(self.running_mean.value.as_slice());
+            self.vars
+                .extend_from_slice(self.running_var.value.as_slice());
+        }
 
-        let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
+        self.inv_std.clear();
+        self.inv_std
+            .extend(self.vars.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()));
         let gv = self.gamma.value.as_slice();
         let bv = self.beta.value.as_slice();
-        let mut centered = vec![0.0f32; xv.len()];
-        let mut x_hat = vec![0.0f32; xv.len()];
-        let mut out = vec![0.0f32; xv.len()];
+        self.x_hat.resize(x.shape());
+        out.resize(x.shape());
+        let xh = self.x_hat.as_mut_slice();
+        let ov = out.as_mut_slice();
         for s in 0..n {
             for ch in 0..c {
                 let base = (s * c + ch) * h * w;
-                let mu = means[ch];
-                let is = inv_std[ch];
+                let mu = self.means[ch];
+                let is = self.inv_std[ch];
                 for i in base..base + h * w {
-                    let cen = xv[i] - mu;
-                    let xh = cen * is;
-                    centered[i] = cen;
-                    x_hat[i] = xh;
-                    out[i] = gv[ch] * xh + bv[ch];
+                    let v = (xv[i] - mu) * is;
+                    xh[i] = v;
+                    ov[i] = gv[ch] * v + bv[ch];
                 }
             }
         }
-        self.cache = Some(BnCache {
-            x_hat: Tensor::from_vec(x.shape().to_vec(), x_hat),
-            centered: Tensor::from_vec(x.shape().to_vec(), centered),
-            inv_std,
-            shape: (n, c, h, w),
-            train,
-        });
-        Tensor::from_vec(x.shape().to_vec(), out)
+        self.shape = (n, c, h, w);
+        self.train_mode = train;
+        self.ready = true;
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("BatchNorm2d::backward before forward");
-        let (n, c, h, w) = cache.shape;
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(self.ready, "BatchNorm2d::backward before forward");
+        let (n, c, h, w) = self.shape;
         let m = (n * h * w) as f32;
         let gv = grad_out.as_slice();
-        let xh = cache.x_hat.as_slice();
-        let cen = cache.centered.as_slice();
-        let gamma = self.gamma.value.as_slice().to_vec();
+        let xh = self.x_hat.as_slice();
+        let gamma = self.gamma.value.as_slice();
 
-        // Parameter gradients.
-        let mut dgamma = vec![0.0f32; c];
-        let mut dbeta = vec![0.0f32; c];
-        for s in 0..n {
+        // Parameter gradients, accumulated per channel directly (each
+        // channel still sums its elements in sample-then-spatial order,
+        // so values are bitwise identical to the seed's two-pass form).
+        {
+            let ggrad = self.gamma.grad.as_mut_slice();
+            let bgrad = self.beta.grad.as_mut_slice();
             for ch in 0..c {
-                let base = (s * c + ch) * h * w;
-                for i in base..base + h * w {
-                    dgamma[ch] += gv[i] * xh[i];
-                    dbeta[ch] += gv[i];
+                let mut dgamma = 0.0f32;
+                let mut dbeta = 0.0f32;
+                for s in 0..n {
+                    let base = (s * c + ch) * h * w;
+                    for i in base..base + h * w {
+                        dgamma += gv[i] * xh[i];
+                        dbeta += gv[i];
+                    }
                 }
+                ggrad[ch] += dgamma;
+                bgrad[ch] += dbeta;
             }
         }
-        for ch in 0..c {
-            self.gamma.grad.as_mut_slice()[ch] += dgamma[ch];
-            self.beta.grad.as_mut_slice()[ch] += dbeta[ch];
-        }
 
-        let mut grad_in = vec![0.0f32; gv.len()];
-        if cache.train {
+        grad_in.resize(grad_out.shape());
+        let gi = grad_in.as_mut_slice();
+        if self.train_mode {
             // Full batch-statistics backward.
             for ch in 0..c {
-                let is = cache.inv_std[ch];
+                let is = self.inv_std[ch];
                 let g = gamma[ch];
                 // Σ dxhat and Σ dxhat·xhat over the channel.
                 let mut sum_dxh = 0.0f32;
@@ -182,24 +197,29 @@ impl Layer for BatchNorm2d {
                     let base = (s * c + ch) * h * w;
                     for i in base..base + h * w {
                         let dxh = gv[i] * g;
-                        grad_in[i] = is / m * (m * dxh - sum_dxh - xh[i] * sum_dxh_xh);
+                        gi[i] = is / m * (m * dxh - sum_dxh - xh[i] * sum_dxh_xh);
                     }
                 }
-                let _ = cen;
             }
         } else {
             // Eval mode treats the statistics as constants.
             for s in 0..n {
                 for ch in 0..c {
                     let base = (s * c + ch) * h * w;
-                    let k = gamma[ch] * cache.inv_std[ch];
+                    let k = gamma[ch] * self.inv_std[ch];
                     for i in base..base + h * w {
-                        grad_in[i] = gv[i] * k;
+                        gi[i] = gv[i] * k;
                     }
                 }
             }
         }
-        Tensor::from_vec(grad_out.shape().to_vec(), grad_in)
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -12,14 +12,22 @@ use crate::layer::{Layer, Param};
 ///
 /// Holds a [`ConvWorkspace`] so the batched im2col lowering reuses its
 /// scratch buffers across steps: the layer performs one GEMM per
-/// minibatch and zero per-image allocations.
+/// minibatch and zero per-image allocations. The cached input and the
+/// gradient staging buffers are persistent too, so a training step via
+/// the `_into` plumbing allocates nothing after warm-up.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
     bias: Param,
     spec: Conv2dSpec,
     ws: ConvWorkspace,
-    input: Option<Tensor>,
+    /// Cached input of the latest forward pass (persistent buffer;
+    /// unready until the first forward).
+    input: Tensor,
+    have_input: bool,
+    /// Staging buffers for `∂L/∂W` / `∂L/∂b` before accumulation.
+    gw: Tensor,
+    gb: Tensor,
 }
 
 impl Conv2d {
@@ -47,7 +55,10 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(vec![out_channels])),
             spec,
             ws: ConvWorkspace::new(),
-            input: None,
+            input: Tensor::zeros(vec![0]),
+            have_input: false,
+            gw: Tensor::zeros(vec![0]),
+            gb: Tensor::zeros(vec![0]),
         }
     }
 
@@ -55,38 +66,67 @@ impl Conv2d {
     pub fn spec(&self) -> &Conv2dSpec {
         &self.spec
     }
+
+    /// Shared backward core: runs the conv backward with or without the
+    /// input gradient and accumulates `∂L/∂W` / `∂L/∂b`.
+    fn backward_core(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        assert!(self.have_input, "Conv2d::backward before forward");
+        conv::conv2d_backward_into(
+            grad_out,
+            &self.input,
+            &self.weight.value,
+            &self.spec,
+            &mut self.ws,
+            grad_in,
+            &mut self.gw,
+            &mut self.gb,
+        );
+        self.weight.grad.axpy(1.0, &self.gw);
+        self.bias.grad.axpy(1.0, &self.gb);
+    }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let out = conv::conv2d_forward_ws(
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Tensor, _train: bool, out: &mut Tensor) {
+        conv::conv2d_forward_into(
             x,
             &self.weight.value,
             &self.bias.value,
             &self.spec,
             &mut self.ws,
+            out,
         );
         // Backward re-lowers the input block-wise (cheaper than caching a
         // whole-batch column matrix), so keep the input itself.
-        self.input = Some(x.clone());
-        out
+        self.input.assign(x);
+        self.have_input = true;
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .input
-            .as_ref()
-            .expect("Conv2d::backward before forward");
-        let (gin, gw, gb) = conv::conv2d_backward_ws(
-            grad_out,
-            input,
-            &self.weight.value,
-            &self.spec,
-            &mut self.ws,
-        );
-        self.weight.grad.axpy(1.0, &gw);
-        self.bias.grad.axpy(1.0, &gb);
-        gin
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        self.backward_core(grad_out, Some(grad_in));
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        // First-layer form: skips the `Wᵀ·G` GEMM and the col2im scatter;
+        // parameter gradients are bitwise identical.
+        self.backward_core(grad_out, None);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -102,14 +142,15 @@ impl Layer for Conv2d {
     }
 }
 
-/// Cached pooling state: argmax indices plus the input shape.
-type PoolCache = (Vec<usize>, (usize, usize, usize, usize));
-
 /// Max-pooling layer.
 #[derive(Debug)]
 pub struct MaxPool2d {
     spec: Conv2dSpec,
-    cache: Option<PoolCache>,
+    /// Argmax routing of the latest forward pass (persistent buffer;
+    /// unready until the first forward) and the input geometry.
+    idx: Vec<usize>,
+    input_shape: (usize, usize, usize, usize),
+    ready: bool,
 }
 
 impl MaxPool2d {
@@ -121,25 +162,35 @@ impl MaxPool2d {
     pub fn new(kernel: usize, stride: usize) -> Self {
         MaxPool2d {
             spec: Conv2dSpec::new(kernel, kernel, stride, 0),
-            cache: None,
+            idx: Vec::new(),
+            input_shape: (0, 0, 0, 0),
+            ready: false,
         }
     }
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let shape = x.dims4();
-        let (out, idx) = conv::maxpool2d_forward(x, &self.spec);
-        self.cache = Some((idx, shape));
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
         out
     }
 
+    fn forward_into(&mut self, x: &Tensor, _train: bool, out: &mut Tensor) {
+        self.input_shape = x.dims4();
+        conv::maxpool2d_forward_into(x, &self.spec, out, &mut self.idx);
+        self.ready = true;
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (idx, shape) = self
-            .cache
-            .as_ref()
-            .expect("MaxPool2d::backward before forward");
-        conv::maxpool2d_backward(grad_out, idx, *shape)
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(self.ready, "MaxPool2d::backward before forward");
+        conv::maxpool2d_backward_into(grad_out, &self.idx, self.input_shape, grad_in);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -170,16 +221,28 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Tensor, _train: bool, out: &mut Tensor) {
         self.input_shape = Some(x.dims4());
-        conv::global_avg_pool(x)
+        conv::global_avg_pool_into(x, out);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         let shape = self
             .input_shape
             .expect("GlobalAvgPool::backward before forward");
-        conv::global_avg_pool_backward(grad_out, shape)
+        conv::global_avg_pool_backward_into(grad_out, shape, grad_in);
     }
 
     fn params(&self) -> Vec<&Param> {

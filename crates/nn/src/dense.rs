@@ -1,6 +1,6 @@
 //! Fully-connected layer.
 
-use goldfish_tensor::{init, ops, Tensor};
+use goldfish_tensor::{engine, init, Tensor};
 use rand::Rng;
 
 use crate::layer::{Layer, Param};
@@ -9,11 +9,22 @@ use crate::layer::{Layer, Param};
 ///
 /// Weight shape is `[out, in]`, bias `[out]`. Kaiming-uniform initialised,
 /// which suits the ReLU networks of the paper's model zoo.
+///
+/// All per-step scratch (the cached input, the weight/bias gradient
+/// staging buffers) lives in persistent buffers, so a training step via
+/// the `_into` plumbing performs no heap allocation after warm-up.
 #[derive(Debug)]
 pub struct Dense {
     weight: Param,
     bias: Param,
-    input: Option<Tensor>,
+    /// Cached `[n, in]` input of the latest forward pass (persistent
+    /// buffer; unready until the first forward).
+    input: Tensor,
+    have_input: bool,
+    /// Staging buffer for `∂L/∂W` before accumulation into the grad.
+    gw: Tensor,
+    /// Staging buffer for the bias-gradient column sums.
+    gb: Tensor,
 }
 
 impl Dense {
@@ -29,7 +40,10 @@ impl Dense {
         Dense {
             weight: Param::new(weight),
             bias: Param::new(bias),
-            input: None,
+            input: Tensor::zeros(vec![0]),
+            have_input: false,
+            gw: Tensor::zeros(vec![0]),
+            gb: Tensor::zeros(vec![0]),
         }
     }
 
@@ -44,8 +58,53 @@ impl Dense {
     }
 }
 
+impl Dense {
+    /// Accumulates `∂L/∂W` and `∂L/∂b` from `grad_out` and the cached
+    /// input — the part of the backward pass shared by all three entry
+    /// points. Returns the batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass cached an input.
+    fn accumulate_param_grads(&mut self, grad_out: &Tensor) -> usize {
+        assert!(self.have_input, "Dense::backward before forward");
+        let (n, d) = self.input.dims2();
+        let (gn, o) = grad_out.dims2();
+        assert_eq!(gn, n, "dense grad batch {gn} != input batch {n}");
+        // ∂L/∂W = gᵀ · x  (same accumulation order as ops::matmul_at_b).
+        self.gw.resize(&[o, d]);
+        engine::gemm_at_b(
+            n,
+            o,
+            d,
+            grad_out.as_slice(),
+            self.input.as_slice(),
+            self.gw.as_mut_slice(),
+        );
+        self.weight.grad.axpy(1.0, &self.gw);
+        // ∂L/∂b = column sums of g (same order as ops::sum_rows).
+        self.gb.resize(&[o]);
+        self.gb.zero_mut();
+        let gbv = self.gb.as_mut_slice();
+        let gv = grad_out.as_slice();
+        for r in 0..n {
+            for (acc, &v) in gbv.iter_mut().zip(gv[r * o..(r + 1) * o].iter()) {
+                *acc += v;
+            }
+        }
+        self.bias.grad.axpy(1.0, &self.gb);
+        n
+    }
+}
+
 impl Layer for Dense {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Tensor, _train: bool, out: &mut Tensor) {
         let (n, d) = x.dims2();
         assert_eq!(
             d,
@@ -53,26 +112,59 @@ impl Layer for Dense {
             "dense expected {} features, got {d}",
             self.in_features()
         );
-        let x2 = x.clone().reshape(vec![n, d]);
-        // y = x · Wᵀ
-        let mut y = ops::matmul_a_bt(&x2, &self.weight.value);
-        let bv = self.bias.value.as_slice().to_vec();
-        for r in 0..n {
-            for (o, &b) in y.row_mut(r).iter_mut().zip(bv.iter()) {
-                *o += b;
+        // Cache the input as its [n, d] matrix view for the backward pass.
+        self.input.resize(&[n, d]);
+        self.input.as_mut_slice().copy_from_slice(x.as_slice());
+        self.have_input = true;
+        // y = x · Wᵀ, then add the bias row-wise.
+        let o = self.out_features();
+        out.resize(&[n, o]);
+        engine::gemm_a_bt(
+            n,
+            d,
+            o,
+            x.as_slice(),
+            self.weight.value.as_slice(),
+            out.as_mut_slice(),
+        );
+        let bv = self.bias.value.as_slice();
+        for row in out.as_mut_slice().chunks_exact_mut(o) {
+            for (y, &b) in row.iter_mut().zip(bv.iter()) {
+                *y += b;
             }
         }
-        self.input = Some(x2);
-        y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.input.as_ref().expect("Dense::backward before forward");
-        // ∂L/∂W = gᵀ · x ; ∂L/∂b = column sums of g ; ∂L/∂x = g · W
-        let gw = ops::matmul_at_b(grad_out, x);
-        self.weight.grad.axpy(1.0, &gw);
-        self.bias.grad.axpy(1.0, &ops::sum_rows(grad_out));
-        ops::matmul(grad_out, &self.weight.value)
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        let n = self.accumulate_param_grads(grad_out);
+        // ∂L/∂x = g · W (same accumulation order as ops::matmul).
+        let (o, d) = (self.out_features(), self.in_features());
+        grad_in.resize(&[n, d]);
+        engine::gemm(
+            n,
+            o,
+            d,
+            grad_out.as_slice(),
+            self.weight.value.as_slice(),
+            grad_in.as_mut_slice(),
+        );
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        // First-layer form: the `g · W` input-gradient GEMM is skipped
+        // entirely; parameter gradients are bitwise identical.
+        let _ = self.accumulate_param_grads(grad_out);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -48,6 +48,20 @@ impl Param {
 /// Layers cache whatever the backward pass needs during `forward`; calling
 /// [`Layer::backward`] before `forward` is a programmer error and panics.
 /// The trait is dyn-compatible so models are plain `Vec<Box<dyn Layer>>`.
+///
+/// # The allocation-free runtime
+///
+/// Every pass comes in two flavours sharing one computational core: the
+/// classic allocating form (`forward`/`backward`, returning fresh
+/// tensors) and the `_into` form writing into a caller-owned buffer that
+/// is [`Tensor::resize`]d in place. All in-tree layers implement the
+/// `_into` form natively and define the allocating form as a thin
+/// wrapper over it, so the two paths are *the same arithmetic* — results
+/// are bitwise identical — and external `Layer` impls that only provide
+/// the allocating pair keep working through the default `_into` methods.
+/// Training loops drive the `_into` plumbing through per-layer arenas
+/// (see [`crate::Sequential`]) and perform zero per-step heap
+/// allocations after warm-up on the dense path (DESIGN.md §8).
 pub trait Layer: Send {
     /// Computes the layer output. `train` selects training behaviour
     /// (e.g. batch statistics in [`crate::BatchNorm2d`]).
@@ -60,6 +74,52 @@ pub trait Layer: Send {
     ///
     /// Panics if called before a `forward` pass cached the needed state.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`Layer::forward`] writing into a caller-owned output tensor
+    /// (resized in place, previous contents discarded). The default
+    /// delegates to the allocating form; in-tree layers override it with
+    /// an allocation-free implementation producing bitwise-identical
+    /// values.
+    fn forward_into(&mut self, x: &Tensor, train: bool, out: &mut Tensor) {
+        *out = self.forward(x, train);
+    }
+
+    /// [`Layer::backward`] writing ∂L/∂input into a caller-owned tensor
+    /// (resized in place, previous contents discarded). Parameter
+    /// gradients are accumulated exactly as in the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass cached the needed state.
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        *grad_in = self.backward(grad_out);
+    }
+
+    /// Accumulates parameter gradients **without producing ∂L/∂input**.
+    ///
+    /// A network's first layer receives the data batch as input; its
+    /// input gradient is computed by a full backward pass and then thrown
+    /// away. Training loops call this instead, which for `Dense`/`Conv2d`
+    /// skips an entire GEMM (and the conv `col2im` scatter) with bitwise
+    /// identical parameter gradients. The default computes and discards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass cached the needed state.
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        let _ = self.backward(grad_out);
+    }
+
+    /// Visits every parameter mutably, in [`Layer::params_mut`] order,
+    /// without materialising a `Vec` of references — the per-step form
+    /// used by gradient zeroing and the fused optimizer. The default
+    /// delegates to `params_mut` (which allocates for non-empty layers);
+    /// in-tree layers with parameters override it.
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
 
     /// Immutable views of the layer's parameters (possibly empty).
     fn params(&self) -> Vec<&Param>;
@@ -74,7 +134,10 @@ pub trait Layer: Send {
 /// Rectified linear unit.
 #[derive(Debug, Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    /// Activation mask of the latest forward pass (persistent buffer;
+    /// empty-and-unready until the first forward).
+    mask: Vec<bool>,
+    ready: bool,
 }
 
 impl Relu {
@@ -85,23 +148,41 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
-        let out = x.map(|v| v.max(0.0));
-        self.mask = Some(mask);
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
         out
     }
 
+    fn forward_into(&mut self, x: &Tensor, _train: bool, out: &mut Tensor) {
+        let xv = x.as_slice();
+        self.mask.clear();
+        self.mask.extend(xv.iter().map(|&v| v > 0.0));
+        self.ready = true;
+        out.resize(x.shape());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(xv) {
+            *o = v.max(0.0);
+        }
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Relu::backward before forward");
-        assert_eq!(mask.len(), grad_out.len(), "relu grad shape changed");
-        let data = grad_out
-            .as_slice()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(grad_out.shape().to_vec(), data)
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(self.ready, "Relu::backward before forward");
+        assert_eq!(self.mask.len(), grad_out.len(), "relu grad shape changed");
+        grad_in.resize(grad_out.shape());
+        for ((o, &g), &m) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(self.mask.iter())
+        {
+            *o = if m { g } else { 0.0 };
+        }
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -121,7 +202,10 @@ impl Layer for Relu {
 /// backward pass.
 #[derive(Debug, Default)]
 pub struct Flatten {
-    input_shape: Option<Vec<usize>>,
+    /// Input shape of the latest forward pass (persistent buffer; empty
+    /// and unready until the first forward).
+    input_shape: Vec<usize>,
+    ready: bool,
 }
 
 impl Flatten {
@@ -133,17 +217,27 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        self.input_shape = Some(x.shape().to_vec());
+        self.record_shape(x);
         let (n, d) = x.dims2();
         x.clone().reshape(vec![n, d])
     }
 
+    fn forward_into(&mut self, x: &Tensor, _train: bool, out: &mut Tensor) {
+        self.record_shape(x);
+        let (n, d) = x.dims2();
+        out.resize(&[n, d]);
+        out.as_mut_slice().copy_from_slice(x.as_slice());
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self
-            .input_shape
-            .clone()
-            .expect("Flatten::backward before forward");
-        grad_out.clone().reshape(shape)
+        assert!(self.ready, "Flatten::backward before forward");
+        grad_out.clone().reshape(self.input_shape.clone())
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(self.ready, "Flatten::backward before forward");
+        grad_in.resize(&self.input_shape);
+        grad_in.as_mut_slice().copy_from_slice(grad_out.as_slice());
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -156,6 +250,14 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "flatten"
+    }
+}
+
+impl Flatten {
+    fn record_shape(&mut self, x: &Tensor) {
+        self.input_shape.clear();
+        self.input_shape.extend_from_slice(x.shape());
+        self.ready = true;
     }
 }
 

@@ -27,6 +27,25 @@ pub trait HardLoss: Send + Sync {
         self.loss_and_grad(logits, labels).0
     }
 
+    /// [`HardLoss::loss_and_grad`] writing the gradient into a
+    /// caller-owned tensor (resized in place, previous contents
+    /// discarded) and returning the mean loss.
+    ///
+    /// The default delegates to the allocating form and copies;
+    /// [`CrossEntropy`] overrides it with a fused single-pass
+    /// implementation producing bitwise-identical values with zero heap
+    /// allocation — the form training loops call every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size or a label is
+    /// out of range.
+    fn loss_and_grad_into(&self, logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
+        let (l, g) = self.loss_and_grad(logits, labels);
+        grad.assign(&g);
+        l
+    }
+
     /// Short identifier used in experiment reports ("ce", "focal", "nll").
     fn name(&self) -> &'static str;
 }
@@ -47,18 +66,51 @@ pub struct CrossEntropy;
 
 impl HardLoss for CrossEntropy {
     fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let mut grad = Tensor::zeros(vec![0]);
+        let loss = self.loss_and_grad_into(logits, labels, &mut grad);
+        (loss, grad)
+    }
+
+    /// Fused softmax–cross-entropy: loss and gradient in one sweep over
+    /// the logits, written into the reused `grad` buffer.
+    ///
+    /// Per element this performs exactly the operations of the classic
+    /// `log_softmax` → `exp` → subtract-one-hot → scale pipeline (the
+    /// log-probability is computed as `(z − max)/T − lse` with `T = 1`,
+    /// then exponentiated), so losses and gradients are bitwise identical
+    /// to the seed implementation — the fusion removes the intermediate
+    /// tensors, not a single floating-point rounding.
+    fn loss_and_grad_into(&self, logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
         let (n, c) = check_labels(logits, labels);
-        let logp = ops::log_softmax_t(logits, 1.0);
-        let p = logp.map(|v| v.exp());
-        let mut grad = p;
+        grad.resize(&[n, c]);
+        let lv = logits.as_slice();
+        let gv = grad.as_mut_slice();
         let mut loss = 0.0f32;
+        let t = 1.0f32;
         for (r, &label) in labels.iter().enumerate() {
-            loss -= logp.at2(r, label);
-            grad.row_mut(r)[label] -= 1.0;
+            let row = &lv[r * c..(r + 1) * c];
+            let grow = &mut gv[r * c..(r + 1) * c];
+            // Stable log-softmax of the row (same expression order as
+            // ops::log_softmax_t at temperature 1): stage the raw
+            // exponentials in the grad row (standalone elementwise pass —
+            // vectorizable), sum them in ascending order for the lse,
+            // then overwrite with exp(logp).
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            for (g, &z) in grow.iter_mut().zip(row.iter()) {
+                *g = ((z - max) / t).exp();
+            }
+            let lse = grow.iter().sum::<f32>().ln();
+            for (g, &z) in grow.iter_mut().zip(row.iter()) {
+                *g = ((z - max) / t - lse).exp();
+            }
+            loss -= (row[label] - max) / t - lse;
+            grow[label] -= 1.0;
         }
         let scale = 1.0 / n as f32;
-        grad.scale_mut(scale);
-        (loss * scale, grad.reshape(vec![n, c]))
+        for g in gv.iter_mut() {
+            *g *= scale;
+        }
+        loss * scale
     }
 
     fn name(&self) -> &'static str {

@@ -15,12 +15,17 @@ use crate::sequential::Sequential;
 /// over this vector.
 pub struct Network {
     body: Sequential,
+    /// Persistent logits buffer of [`Network::forward_ws`].
+    fwd_out: Tensor,
 }
 
 impl Network {
     /// Wraps a sequential body.
     pub fn new(body: Sequential) -> Self {
-        Network { body }
+        Network {
+            body,
+            fwd_out: Tensor::zeros(vec![0]),
+        }
     }
 
     /// Forward pass. `train` selects training-mode behaviour (batch
@@ -29,10 +34,28 @@ impl Network {
         self.body.forward(x, train)
     }
 
+    /// Forward pass into the network's persistent logits buffer — the
+    /// allocation-free form of [`Network::forward`] used by training
+    /// loops. Produces bitwise-identical logits; after warm-up no heap
+    /// allocation happens on the dense path (DESIGN.md §8).
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool) -> &Tensor {
+        self.body.forward_into(x, train, &mut self.fwd_out);
+        &self.fwd_out
+    }
+
     /// Backward pass from a gradient w.r.t. the network output (logits).
     /// Accumulates parameter gradients; returns the input gradient.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
         self.body.backward(grad_logits)
+    }
+
+    /// Training-loop backward pass: accumulates parameter gradients
+    /// exactly like [`Network::backward`] (bitwise identical) but never
+    /// materialises ∂L/∂input — the first layer's input is the data
+    /// batch, whose gradient nothing consumes, so its GEMM/`col2im` is
+    /// skipped and no gradient tensor is allocated.
+    pub fn backward_train(&mut self, grad_logits: &Tensor) {
+        self.body.backward_params_only(grad_logits);
     }
 
     /// Convenience: forward in eval mode and return the argmax class per row.
@@ -41,11 +64,16 @@ impl Network {
         ops::argmax_rows(&logits)
     }
 
-    /// Zeroes every parameter gradient.
+    /// Zeroes every parameter gradient (allocation-free).
     pub fn zero_grad(&mut self) {
-        for p in self.body.params_mut() {
-            p.zero_grad();
-        }
+        self.body.visit_params_mut(&mut |p| p.zero_grad());
+    }
+
+    /// Visits every parameter mutably in state-vector order without
+    /// materialising a `Vec` of references — the per-step form used by
+    /// the fused optimizer.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.body.visit_params_mut(f);
     }
 
     /// Immutable parameter views, in deterministic layer order.

@@ -85,6 +85,140 @@ impl Sgd {
     }
 }
 
+/// Slice length from which one fused-update chunk is worth a parallel
+/// task. Chunks are fixed-size so the per-element arithmetic — and hence
+/// the result — is independent of how many threads process them.
+const FUSED_CHUNK: usize = 1 << 16;
+
+/// SGD with momentum, fused: one pass over `(w, g, v)` instead of the
+/// three passes (`v *= β`, `v += g`, `w -= η·v`) of [`Sgd::step`].
+///
+/// Velocity lives in a single flat buffer covering the trainable
+/// parameters in state-vector order, walked as chunked slices; chunks of
+/// large parameters are processed on the shared rayon pool. Per-element
+/// arithmetic mirrors [`Sgd::step`] exactly and every element belongs to
+/// exactly one chunk, so updates are **bitwise identical** to `Sgd` and
+/// to themselves at every thread count. After the first step (which
+/// sizes the velocity buffer) a step performs no heap allocation.
+#[derive(Debug)]
+pub struct FusedSgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl FusedSgd {
+    /// Creates a fused SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        FusedSgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+
+    /// Applies one update step from the gradients currently accumulated
+    /// in `net`, then the caller typically calls [`Network::zero_grad`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's trainable parameter count changed since
+    /// the first step (the flat velocity would no longer line up).
+    pub fn step(&mut self, net: &mut Network) {
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; net.trainable_len()];
+        }
+        let (lr, momentum) = (self.lr, self.momentum);
+        let mut offset = 0usize;
+        let velocity = &mut self.velocity;
+        net.visit_params_mut(&mut |p| {
+            if !p.trainable {
+                return;
+            }
+            let n = p.value.len();
+            let end = offset + n;
+            assert!(
+                end <= velocity.len(),
+                "parameter structure changed under the optimizer"
+            );
+            fused_momentum_step(
+                p.value.as_mut_slice(),
+                p.grad.as_slice(),
+                &mut velocity[offset..end],
+                lr,
+                momentum,
+            );
+            offset = end;
+        });
+        assert_eq!(
+            offset,
+            self.velocity.len(),
+            "parameter structure changed under the optimizer"
+        );
+    }
+
+    /// Clears momentum state (used when a model is re-initialised in
+    /// place, e.g. at the start of an unlearning round).
+    pub fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// One fused `v ← β·v + g; w ← w − η·v` sweep over a parameter slice,
+/// splitting into [`FUSED_CHUNK`]-sized tasks on the current rayon pool
+/// when the slice is large. Chunk boundaries are a pure scheduling
+/// artifact: each element's update is self-contained, so results never
+/// depend on the chunking or thread count.
+fn fused_momentum_step(value: &mut [f32], grad: &[f32], vel: &mut [f32], lr: f32, momentum: f32) {
+    assert_eq!(value.len(), grad.len(), "fused step: grad length");
+    assert_eq!(value.len(), vel.len(), "fused step: velocity length");
+    if value.len() >= 2 * FUSED_CHUNK && rayon::current_num_threads() > 1 {
+        rayon::scope(|s| {
+            for ((wc, gc), vc) in value
+                .chunks_mut(FUSED_CHUNK)
+                .zip(grad.chunks(FUSED_CHUNK))
+                .zip(vel.chunks_mut(FUSED_CHUNK))
+            {
+                s.spawn(move |_| fused_momentum_chunk(wc, gc, vc, lr, momentum));
+            }
+        });
+    } else {
+        fused_momentum_chunk(value, grad, vel, lr, momentum);
+    }
+}
+
+/// The per-element update, written to match [`Sgd::step`]'s three-pass
+/// form operation for operation (`v *= β`, then `v += 1·g`, then
+/// `w += (−η)·v`) so the fused path is bitwise identical to it.
+fn fused_momentum_chunk(value: &mut [f32], grad: &[f32], vel: &mut [f32], lr: f32, momentum: f32) {
+    let neg_lr = -lr;
+    for ((w, &g), v) in value.iter_mut().zip(grad).zip(vel.iter_mut()) {
+        *v *= momentum;
+        *v += g;
+        *w += neg_lr * *v;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +294,53 @@ mod tests {
     #[should_panic(expected = "momentum must be in")]
     fn rejects_unit_momentum() {
         let _ = Sgd::new(0.1, 1.0);
+    }
+
+    #[test]
+    fn fused_step_bitwise_matches_sgd() {
+        // Same init, same gradients, Sgd vs FusedSgd: states must stay
+        // bitwise identical step after step (momentum included).
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            Network::new(
+                Sequential::new()
+                    .push(Dense::new(6, 16, &mut rng))
+                    .push(Relu::new())
+                    .push(Dense::new(16, 4, &mut rng)),
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = init::normal(&mut rng, vec![8, 6], 0.0, 1.0);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let mut fused = FusedSgd::new(0.05, 0.9);
+        for _ in 0..7 {
+            for (net, which) in [(&mut a, 0), (&mut b, 1)] {
+                let logits = net.forward(&x, true);
+                let (_, grad) = CrossEntropy.loss_and_grad(&logits, &labels);
+                net.zero_grad();
+                net.backward(&grad);
+                if which == 0 {
+                    sgd.step(net);
+                } else {
+                    fused.step(net);
+                }
+            }
+            assert_eq!(a.state_vector(), b.state_vector());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter structure changed")]
+    fn fused_step_rejects_structure_change() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut small = Network::new(Sequential::new().push(Dense::new(2, 2, &mut rng)));
+        let mut big = Network::new(Sequential::new().push(Dense::new(4, 4, &mut rng)));
+        let mut fused = FusedSgd::new(0.1, 0.9);
+        fused.step(&mut small);
+        fused.step(&mut big);
     }
 
     #[test]

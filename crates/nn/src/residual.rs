@@ -14,25 +14,39 @@ use crate::sequential::Sequential;
 pub struct Residual {
     main: Sequential,
     shortcut: Option<Sequential>,
-    relu_mask: Option<Vec<bool>>,
+    /// Post-sum ReLU mask (persistent buffer; unready until forward).
+    relu_mask: Vec<bool>,
+    ready: bool,
+    /// Persistent branch buffers for the `_into` plumbing.
+    main_out: Tensor,
+    skip_out: Tensor,
+    gated: Tensor,
+    g_main: Tensor,
+    g_skip: Tensor,
 }
 
 impl Residual {
     /// Creates an identity-skip residual block.
     pub fn identity(main: Sequential) -> Self {
-        Residual {
-            main,
-            shortcut: None,
-            relu_mask: None,
-        }
+        Residual::build(main, None)
     }
 
     /// Creates a residual block with a projection shortcut.
     pub fn projected(main: Sequential, shortcut: Sequential) -> Self {
+        Residual::build(main, Some(shortcut))
+    }
+
+    fn build(main: Sequential, shortcut: Option<Sequential>) -> Self {
         Residual {
             main,
-            shortcut: Some(shortcut),
-            relu_mask: None,
+            shortcut,
+            relu_mask: Vec::new(),
+            ready: false,
+            main_out: Tensor::zeros(vec![0]),
+            skip_out: Tensor::zeros(vec![0]),
+            gated: Tensor::zeros(vec![0]),
+            g_main: Tensor::zeros(vec![0]),
+            g_skip: Tensor::zeros(vec![0]),
         }
     }
 }
@@ -54,45 +68,91 @@ impl std::fmt::Debug for Residual {
 
 impl Layer for Residual {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let main_out = self.main.forward(x, train);
-        let skip = match &mut self.shortcut {
-            Some(proj) => proj.forward(x, train),
-            None => x.clone(),
-        };
-        assert_eq!(
-            main_out.shape(),
-            skip.shape(),
-            "residual branch shapes diverge: {:?} vs {:?}",
-            main_out.shape(),
-            skip.shape()
-        );
-        let summed = main_out.add(&skip);
-        let mask: Vec<bool> = summed.as_slice().iter().map(|&v| v > 0.0).collect();
-        let out = summed.map(|v| v.max(0.0));
-        self.relu_mask = Some(mask);
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self
-            .relu_mask
-            .as_ref()
-            .expect("Residual::backward before forward");
-        let gated = Tensor::from_vec(
-            grad_out.shape().to_vec(),
-            grad_out
-                .as_slice()
-                .iter()
-                .zip(mask.iter())
-                .map(|(&g, &m)| if m { g } else { 0.0 })
-                .collect(),
-        );
-        let g_main = self.main.backward(&gated);
-        let g_skip = match &mut self.shortcut {
-            Some(proj) => proj.backward(&gated),
-            None => gated,
+    fn forward_into(&mut self, x: &Tensor, train: bool, out: &mut Tensor) {
+        self.main.forward_into(x, train, &mut self.main_out);
+        let skip: &Tensor = match &mut self.shortcut {
+            Some(proj) => {
+                proj.forward_into(x, train, &mut self.skip_out);
+                &self.skip_out
+            }
+            None => x,
         };
-        g_main.add(&g_skip)
+        assert_eq!(
+            self.main_out.shape(),
+            skip.shape(),
+            "residual branch shapes diverge: {:?} vs {:?}",
+            self.main_out.shape(),
+            skip.shape()
+        );
+        out.resize(skip.shape());
+        self.relu_mask.clear();
+        let mo = self.main_out.as_slice();
+        for ((o, &a), &b) in out.as_mut_slice().iter_mut().zip(mo).zip(skip.as_slice()) {
+            let sum = a + b;
+            self.relu_mask.push(sum > 0.0);
+            *o = sum.max(0.0);
+        }
+        self.ready = true;
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(self.ready, "Residual::backward before forward");
+        assert_eq!(
+            self.relu_mask.len(),
+            grad_out.len(),
+            "residual grad shape changed"
+        );
+        self.gated.resize(grad_out.shape());
+        for ((o, &g), &m) in self
+            .gated
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
+            .zip(self.relu_mask.iter())
+        {
+            *o = if m { g } else { 0.0 };
+        }
+        self.main.backward_into(&self.gated, &mut self.g_main);
+        if let Some(proj) = &mut self.shortcut {
+            proj.backward_into(&self.gated, &mut self.g_skip);
+        }
+        let gs = if self.shortcut.is_some() {
+            self.g_skip.as_slice()
+        } else {
+            self.gated.as_slice()
+        };
+        assert_eq!(
+            self.g_main.len(),
+            gs.len(),
+            "residual branch gradients diverge"
+        );
+        grad_in.resize(self.g_main.shape());
+        for ((o, &a), &b) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.g_main.as_slice())
+            .zip(gs)
+        {
+            *o = a + b;
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params_mut(f);
+        if let Some(proj) = &mut self.shortcut {
+            proj.visit_params_mut(f);
+        }
     }
 
     fn params(&self) -> Vec<&Param> {

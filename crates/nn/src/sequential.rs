@@ -6,14 +6,33 @@ use crate::layer::{Layer, Param};
 
 /// A sequence of layers applied in order. `Sequential` itself implements
 /// [`Layer`], so it can be nested (the residual blocks use this).
+///
+/// The sequence owns the **activation and gradient arenas** of the
+/// allocation-free runtime: one persistent tensor per inter-layer edge,
+/// sized on the first batch and resized in place thereafter (see
+/// DESIGN.md §8). Both the allocating [`Layer::forward`]/[`Layer::backward`]
+/// and the `_into` forms drive the same per-layer cores, so results are
+/// identical; only buffer ownership differs.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Activation arena: `acts[i]` holds the output of layer `i` (the
+    /// input of layer `i + 1`). The last layer writes to the caller's
+    /// output buffer instead.
+    acts: Vec<Tensor>,
+    /// Gradient arena: `grads[i]` holds ∂L/∂(input of layer `i + 1`)
+    /// during the backward sweep. Layer 0's input gradient goes to the
+    /// caller's buffer (or is skipped in the params-only sweep).
+    grads: Vec<Tensor>,
 }
 
 impl Sequential {
     /// Creates an empty sequence.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            acts: Vec::new(),
+            grads: Vec::new(),
+        }
     }
 
     /// Appends a layer, returning `self` for chaining.
@@ -37,6 +56,44 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Grows the arenas to one slot per inter-layer edge (no-op once
+    /// warm). Slot *contents* are resized lazily by the layers.
+    fn ensure_arenas(&mut self) {
+        let edges = self.layers.len().saturating_sub(1);
+        if self.acts.len() != edges {
+            self.acts.resize_with(edges, || Tensor::zeros(vec![0]));
+            self.grads.resize_with(edges, || Tensor::zeros(vec![0]));
+        }
+    }
+
+    /// Backward sweep shared by [`Layer::backward_into`] and
+    /// [`Layer::backward_params_only`]: propagates through every layer in
+    /// reverse, writing layer 0's input gradient to `grad_in` when given
+    /// and skipping its computation entirely otherwise.
+    fn backward_sweep(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        let n = self.layers.len();
+        if n == 0 {
+            if let Some(gi) = grad_in {
+                gi.assign(grad_out);
+            }
+            return;
+        }
+        self.ensure_arenas();
+        // Layers n-1 .. 1: read the successor's slot (or the caller's
+        // gradient), write ∂L/∂input into slot i - 1.
+        for i in (1..n).rev() {
+            let (left, right) = self.grads.split_at_mut(i);
+            let upstream: &Tensor = if i == n - 1 { grad_out } else { &right[0] };
+            self.layers[i].backward_into(upstream, &mut left[i - 1]);
+        }
+        // Layer 0: its input is the network input.
+        let upstream: &Tensor = if n == 1 { grad_out } else { &self.grads[0] };
+        match grad_in {
+            Some(gi) => self.layers[0].backward_into(upstream, gi),
+            None => self.layers[0].backward_params_only(upstream),
+        }
+    }
 }
 
 impl Default for Sequential {
@@ -54,19 +111,47 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
+        let mut out = Tensor::zeros(vec![0]);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Tensor, train: bool, out: &mut Tensor) {
+        let n = self.layers.len();
+        if n == 0 {
+            out.assign(x);
+            return;
         }
-        cur
+        self.ensure_arenas();
+        // Layers 0 .. n-2 write into their arena slot; the last layer
+        // writes into the caller's buffer.
+        for i in 0..n - 1 {
+            let (left, right) = self.acts.split_at_mut(i);
+            let input: &Tensor = if i == 0 { x } else { &left[i - 1] };
+            self.layers[i].forward_into(input, train, &mut right[0]);
+        }
+        let input: &Tensor = if n == 1 { x } else { &self.acts[n - 2] };
+        self.layers[n - 1].forward_into(input, train, out);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut cur = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+        let mut grad_in = Tensor::zeros(vec![0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        self.backward_sweep(grad_out, Some(grad_in));
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        self.backward_sweep(grad_out, None);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
         }
-        cur
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -86,6 +86,8 @@ pub struct ConvWorkspace {
     fmat: Vec<f32>,
     /// Backward scratch: `∂L/∂col` for the current block.
     gcol: Vec<f32>,
+    /// Backward scratch: per-block `∂L/∂W` before accumulation.
+    gw_block: Vec<f32>,
 }
 
 impl ConvWorkspace {
@@ -210,6 +212,25 @@ pub fn conv2d_forward_ws(
     spec: &Conv2dSpec,
     ws: &mut ConvWorkspace,
 ) -> Tensor {
+    let mut out = Tensor::zeros(vec![0]);
+    conv2d_forward_into(input, weight, bias, spec, ws, &mut out);
+    out
+}
+
+/// [`conv2d_forward_ws`] writing into a caller-owned output tensor
+/// (resized in place) — the allocation-free training-runtime entry point.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    ws: &mut ConvWorkspace,
+    out: &mut Tensor,
+) {
     let (n, c, h, w) = input.dims4();
     let (f, wc, kh, kw) = weight.dims4();
     assert_eq!(c, wc, "conv channel mismatch: input {c} vs weight {wc}");
@@ -220,7 +241,8 @@ pub fn conv2d_forward_ws(
     let ohow = oh * ow;
     let iv = input.as_slice();
     let bv = bias.as_slice();
-    let mut out = vec![0.0f32; n * f * ohow];
+    out.resize(&[n, f, oh, ow]);
+    let ov = out.as_mut_slice();
     let step = block_images(ckk, ohow, n);
     let mut s0 = 0;
     while s0 < n {
@@ -247,7 +269,7 @@ pub fn conv2d_forward_ws(
         for s in 0..blk {
             for fi in 0..f {
                 let srcr = &ws.fmat[fi * x + s * ohow..fi * x + (s + 1) * ohow];
-                let dst = &mut out[((s0 + s) * f + fi) * ohow..((s0 + s) * f + fi + 1) * ohow];
+                let dst = &mut ov[((s0 + s) * f + fi) * ohow..((s0 + s) * f + fi + 1) * ohow];
                 let bias_fi = bv[fi];
                 for (o, &v) in dst.iter_mut().zip(srcr) {
                     *o = v + bias_fi;
@@ -256,7 +278,6 @@ pub fn conv2d_forward_ws(
         }
         s0 += blk;
     }
-    Tensor::from_vec(vec![n, f, oh, ow], out)
 }
 
 /// Backward 2-D convolution over a reusable workspace.
@@ -279,6 +300,46 @@ pub fn conv2d_backward_ws(
     spec: &Conv2dSpec,
     ws: &mut ConvWorkspace,
 ) -> (Tensor, Tensor, Tensor) {
+    let mut grad_in = Tensor::zeros(vec![0]);
+    let mut grad_w = Tensor::zeros(vec![0]);
+    let mut grad_b = Tensor::zeros(vec![0]);
+    conv2d_backward_into(
+        grad_out,
+        input,
+        weight,
+        spec,
+        ws,
+        Some(&mut grad_in),
+        &mut grad_w,
+        &mut grad_b,
+    );
+    (grad_in, grad_w, grad_b)
+}
+
+/// [`conv2d_backward_ws`] writing into caller-owned gradient tensors
+/// (each resized in place and overwritten) — the allocation-free
+/// training-runtime entry point.
+///
+/// Pass `grad_in: None` to skip the `∂L/∂input` half entirely (the
+/// `Wᵀ·G` GEMM and the `col2im` scatter): the parameter gradients do not
+/// depend on it, so a network's *first* layer — whose input is the data
+/// batch — backpropagates strictly cheaper this way with bitwise
+/// identical `∂L/∂W` / `∂L/∂b`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+#[allow(clippy::too_many_arguments)] // convolution geometry + outputs; crate-internal callers wrap it
+pub fn conv2d_backward_into(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    spec: &Conv2dSpec,
+    ws: &mut ConvWorkspace,
+    mut grad_in: Option<&mut Tensor>,
+    grad_w: &mut Tensor,
+    grad_b: &mut Tensor,
+) {
     let (n, c, h, w) = input.dims4();
     let (gn, f, oh, ow) = grad_out.dims4();
     assert_eq!(gn, n, "grad batch {gn} != input batch {n}");
@@ -286,10 +347,18 @@ pub fn conv2d_backward_ws(
     let ohow = oh * ow;
     let iv = input.as_slice();
     let gv = grad_out.as_slice();
-    let mut grad_w = vec![0.0f32; f * ckk];
-    let mut gw_block = vec![0.0f32; f * ckk];
-    let mut grad_b = vec![0.0f32; f];
-    let mut grad_in = vec![0.0f32; n * c * h * w];
+    grad_w.resize(&[f, c, spec.kh, spec.kw]);
+    grad_w.zero_mut();
+    let gwv = grad_w.as_mut_slice();
+    // No zeroing: the per-block GEMM overwrites gw_block completely.
+    ws.gw_block.resize(f * ckk, 0.0);
+    grad_b.resize(&[f]);
+    grad_b.zero_mut();
+    let gbv = grad_b.as_mut_slice();
+    if let Some(gi) = grad_in.as_deref_mut() {
+        gi.resize(&[n, c, h, w]);
+        gi.zero_mut();
+    }
     let step = block_images(ckk, ohow, n);
     let mut s0 = 0;
     while s0 < n {
@@ -305,7 +374,7 @@ pub fn conv2d_backward_ws(
             }
         }
         // ∂L/∂b += row sums of G.
-        for (gb, grow) in grad_b.iter_mut().zip(ws.fmat.chunks_exact(x)) {
+        for (gb, grow) in gbv.iter_mut().zip(ws.fmat.chunks_exact(x)) {
             *gb += grow.iter().sum::<f32>();
         }
         // Re-lower this block and accumulate ∂L/∂W += G · colᵀ.
@@ -320,32 +389,29 @@ pub fn conv2d_backward_ws(
             ow,
             &mut ws.col,
         );
-        engine::gemm_a_bt(f, x, ckk, &ws.fmat, &ws.col, &mut gw_block);
-        for (acc, &v) in grad_w.iter_mut().zip(gw_block.iter()) {
+        engine::gemm_a_bt(f, x, ckk, &ws.fmat, &ws.col, &mut ws.gw_block);
+        for (acc, &v) in gwv.iter_mut().zip(ws.gw_block.iter()) {
             *acc += v;
         }
         // ∂L/∂col = Wᵀ · G ([ckk, f] · [f, x] → [ckk, x]), then scatter.
-        ws.gcol.clear();
-        ws.gcol.resize(ckk * x, 0.0);
-        engine::gemm_at_b(f, ckk, x, weight.as_slice(), &ws.fmat, &mut ws.gcol);
-        col2im_block(
-            &ws.gcol,
-            blk,
-            c,
-            h,
-            w,
-            spec,
-            oh,
-            ow,
-            &mut grad_in[s0 * c * h * w..(s0 + blk) * c * h * w],
-        );
+        if let Some(gi) = grad_in.as_deref_mut() {
+            ws.gcol.clear();
+            ws.gcol.resize(ckk * x, 0.0);
+            engine::gemm_at_b(f, ckk, x, weight.as_slice(), &ws.fmat, &mut ws.gcol);
+            col2im_block(
+                &ws.gcol,
+                blk,
+                c,
+                h,
+                w,
+                spec,
+                oh,
+                ow,
+                &mut gi.as_mut_slice()[s0 * c * h * w..(s0 + blk) * c * h * w],
+            );
+        }
         s0 += blk;
     }
-    (
-        Tensor::from_vec(vec![n, c, h, w], grad_in),
-        Tensor::from_vec(vec![f, c, spec.kh, spec.kw], grad_w),
-        Tensor::from_vec(vec![f], grad_b),
-    )
 }
 
 /// Forward 2-D convolution (standalone variant of
@@ -383,12 +449,32 @@ pub fn conv2d_backward(
 ///
 /// Panics if the window does not fit.
 pub fn maxpool2d_forward(input: &Tensor, spec: &Conv2dSpec) -> (Tensor, Vec<usize>) {
+    let mut out = Tensor::zeros(vec![0]);
+    let mut idx = Vec::new();
+    maxpool2d_forward_into(input, spec, &mut out, &mut idx);
+    (out, idx)
+}
+
+/// [`maxpool2d_forward`] writing into caller-owned buffers (resized in
+/// place) — the allocation-free training-runtime entry point.
+///
+/// # Panics
+///
+/// Panics if the window does not fit.
+pub fn maxpool2d_forward_into(
+    input: &Tensor,
+    spec: &Conv2dSpec,
+    out: &mut Tensor,
+    idx: &mut Vec<usize>,
+) {
     let (n, c, h, w) = input.dims4();
     assert_eq!(spec.padding, 0, "maxpool does not support padding");
     let (oh, ow) = spec.output_hw(h, w);
     let iv = input.as_slice();
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut idx = vec![0usize; n * c * oh * ow];
+    out.resize(&[n, c, oh, ow]);
+    let out = out.as_mut_slice();
+    // No zeroing: the pooling loop writes every output and index slot.
+    idx.resize(n * c * oh * ow, 0);
     for s in 0..n {
         for ch in 0..c {
             let base = (s * c + ch) * h * w;
@@ -414,7 +500,6 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &Conv2dSpec) -> (Tensor, Vec<usiz
             }
         }
     }
-    (Tensor::from_vec(vec![n, c, oh, ow], out), idx)
 }
 
 /// Backward max-pooling: routes each output gradient to the input element
@@ -424,19 +509,42 @@ pub fn maxpool2d_backward(
     argmax: &[usize],
     input_shape: (usize, usize, usize, usize),
 ) -> Tensor {
+    let mut grad_in = Tensor::zeros(vec![0]);
+    maxpool2d_backward_into(grad_out, argmax, input_shape, &mut grad_in);
+    grad_in
+}
+
+/// [`maxpool2d_backward`] writing into a caller-owned tensor (resized in
+/// place and overwritten).
+pub fn maxpool2d_backward_into(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: (usize, usize, usize, usize),
+    grad_in: &mut Tensor,
+) {
     let (n, c, h, w) = input_shape;
-    let mut grad_in = vec![0.0f32; n * c * h * w];
+    grad_in.resize(&[n, c, h, w]);
+    grad_in.zero_mut();
+    let gi = grad_in.as_mut_slice();
     for (g, &i) in grad_out.as_slice().iter().zip(argmax.iter()) {
-        grad_in[i] += g;
+        gi[i] += g;
     }
-    Tensor::from_vec(vec![n, c, h, w], grad_in)
 }
 
 /// Global average pooling: `[n, c, h, w] → [n, c]`.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(vec![0]);
+    global_avg_pool_into(input, &mut out);
+    out
+}
+
+/// [`global_avg_pool`] writing into a caller-owned tensor (resized in
+/// place and overwritten).
+pub fn global_avg_pool_into(input: &Tensor, out: &mut Tensor) {
     let (n, c, h, w) = input.dims4();
     let iv = input.as_slice();
-    let mut out = vec![0.0f32; n * c];
+    out.resize(&[n, c]);
+    let out = out.as_mut_slice();
     let hw = (h * w) as f32;
     for s in 0..n {
         for ch in 0..c {
@@ -444,7 +552,6 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
             out[s * c + ch] = iv[base..base + h * w].iter().sum::<f32>() / hw;
         }
     }
-    Tensor::from_vec(vec![n, c], out)
 }
 
 /// Backward of [`global_avg_pool`]: spreads each channel gradient uniformly
@@ -453,20 +560,32 @@ pub fn global_avg_pool_backward(
     grad_out: &Tensor,
     input_shape: (usize, usize, usize, usize),
 ) -> Tensor {
+    let mut grad_in = Tensor::zeros(vec![0]);
+    global_avg_pool_backward_into(grad_out, input_shape, &mut grad_in);
+    grad_in
+}
+
+/// [`global_avg_pool_backward`] writing into a caller-owned tensor
+/// (resized in place and overwritten).
+pub fn global_avg_pool_backward_into(
+    grad_out: &Tensor,
+    input_shape: (usize, usize, usize, usize),
+    grad_in: &mut Tensor,
+) {
     let (n, c, h, w) = input_shape;
     let gv = grad_out.as_slice();
     let hw = (h * w) as f32;
-    let mut grad_in = vec![0.0f32; n * c * h * w];
+    grad_in.resize(&[n, c, h, w]);
+    let gi = grad_in.as_mut_slice();
     for s in 0..n {
         for ch in 0..c {
             let g = gv[s * c + ch] / hw;
             let base = (s * c + ch) * h * w;
-            for v in &mut grad_in[base..base + h * w] {
+            for v in &mut gi[base..base + h * w] {
                 *v = g;
             }
         }
     }
-    Tensor::from_vec(vec![n, c, h, w], grad_in)
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! count: row ranges are disjoint and each output element is accumulated
 //! in a fixed order.
 
+use std::cell::Cell;
 use std::ops::Range;
 
 /// Below this many multiply-accumulates the reference-order loop wins
@@ -57,7 +58,7 @@ pub const KPACK: usize = 64;
 pub const MR: usize = 6;
 /// Register-tile height (output rows per tile); 256-bit-vector variant.
 #[cfg(all(target_feature = "avx", not(target_feature = "avx512f")))]
-pub const MR: usize = 4;
+pub const MR: usize = 6;
 /// Register-tile height (output rows per tile); 128-bit-vector variant.
 #[cfg(not(target_feature = "avx"))]
 pub const MR: usize = 2;
@@ -92,6 +93,43 @@ fn fma_acc(acc: &mut f32, x: f32, v: f32) {
 
 fn flops(m: usize, k: usize, n: usize) -> usize {
     m.saturating_mul(k).saturating_mul(n)
+}
+
+thread_local! {
+    /// Per-thread scratch for the packed `B` panel of the tiled kernel.
+    static PANEL_SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Per-thread scratch for the transposed `A` block of `Aᵀ·B`.
+    static AT_SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Per-thread scratch for the materialised `Bᵀ` of `A·Bᵀ`.
+    static BT_SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Per-thread scratch for the zero-padded `B` panel of the
+    /// narrow-output kernel.
+    static NARROW_B: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Per-thread scratch for the padded output of the narrow-output
+    /// kernel.
+    static NARROW_OUT: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Runs `f` on a per-thread scratch vector resized to `len`.
+///
+/// The vector is *taken* out of the thread-local cell for the duration of
+/// `f` (so an unexpected reentrant use would fall back to a fresh
+/// allocation instead of panicking) and put back afterwards, buffer
+/// capacity intact. This is what makes the training hot path
+/// allocation-free after warm-up: GEMM pack scratch is reused across
+/// every step on each thread instead of being reallocated per call.
+/// Newly exposed elements are zeroed; all three pack sites overwrite
+/// their scratch completely before reading it.
+fn with_scratch<R>(
+    cell: &'static std::thread::LocalKey<Cell<Vec<f32>>>,
+    len: usize,
+    f: impl FnOnce(&mut [f32]) -> R,
+) -> R {
+    let mut v = cell.with(Cell::take);
+    v.resize(len, 0.0);
+    let out = f(&mut v[..len]);
+    cell.with(|c| c.set(v));
+    out
 }
 
 /// Splits `out` into per-task row ranges and runs `kernel` over them on
@@ -134,12 +172,13 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
         return;
     }
     let work = flops(m, k, n);
-    // Narrow outputs (n < NR) have no full register strip to tile; the
-    // reference-order loop (which vectorizes as an axpy over the short
-    // rows) beats running everything through the edge-column fallback.
-    if work < SMALL_FLOPS || n < NR {
+    if work < SMALL_FLOPS {
         out.fill(0.0);
         gemm_rows_small(0..m, k, n, a, b, out);
+    } else if n < NR {
+        // Narrow outputs have no full register strip; run the tiled
+        // kernel over a zero-padded panel instead.
+        gemm_narrow_tiled(m, k, n, a, b, out);
     } else if work >= PAR_FLOPS && rayon::current_num_threads() > 1 {
         parallel_rows(m, n, out, |rows, chunk| {
             gemm_rows_tiled(rows, k, n, a, b, chunk);
@@ -147,6 +186,34 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
     } else {
         gemm_rows_tiled(0..m, k, n, a, b, out);
     }
+}
+
+/// Register-tiled kernel for **narrow outputs** (`n <` [`NR`]): zero-pads
+/// `B` to one full `NR`-column panel, runs the tiled kernel over it and
+/// copies the `n` real columns back out.
+///
+/// Narrow outputs — classifier heads, thin dense layers — previously fell
+/// back to the reference-order loop, whose `n`-wide inner loop neither
+/// tiles nor vectorizes well; on the training hot path the head GEMM
+/// cost more than the 6×-larger hidden-layer GEMM. The padding columns
+/// are dead lanes (zeros in, discarded out); each real element still
+/// accumulates in the tiled kernel's ascending-`p` FMA order, so this is
+/// a large-path kernel like any other: deterministic at every thread
+/// count, equivalent to the oracle within accumulation rounding.
+fn gemm_narrow_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(n < NR && n > 0);
+    with_scratch(&NARROW_B, k * NR, |bp| {
+        for (dst, src) in bp.chunks_exact_mut(NR).zip(b.chunks_exact(n)) {
+            dst[..n].copy_from_slice(src);
+            dst[n..].fill(0.0);
+        }
+        with_scratch(&NARROW_OUT, m * NR, |op| {
+            gemm_rows_tiled(0..m, k, NR, a, bp, op);
+            for (orow, prow) in out.chunks_exact_mut(n).zip(op.chunks_exact(NR)) {
+                orow.copy_from_slice(&prow[..n]);
+            }
+        });
+    });
 }
 
 /// Reference-order accumulation (`i`/`p`/`j`) for output rows `rows`.
@@ -180,18 +247,34 @@ fn gemm_rows_tiled(rows: Range<usize>, k: usize, n: usize, a: &[f32], b: &[f32],
     // c·kh·kw) the pack would cost as much as the tile compute, so read B
     // in place instead.
     let pack = k >= KPACK;
-    let mut bpack = vec![0.0f32; if pack { k * NR } else { 0 }];
+    with_scratch(&PANEL_SCRATCH, if pack { k * NR } else { 0 }, |bpack| {
+        gemm_rows_tiled_with(rows, k, n, a, b, out, pack, bpack);
+    });
+}
+
+/// Body of [`gemm_rows_tiled`] over caller-provided panel scratch.
+#[allow(clippy::too_many_arguments)] // GEMM geometry + scratch; crate-internal
+fn gemm_rows_tiled_with(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    pack: bool,
+    bpack: &mut [f32],
+) {
     let mut j0 = 0;
     while j0 + NR <= n {
         if pack {
-            pack_panel(&mut bpack, b, n, j0);
+            pack_panel(bpack, b, n, j0);
         }
         let mut orows = out.chunks_exact_mut(MR * n);
         let mut i = rows.start;
         for ogroup in orows.by_ref() {
             let arows = &a[i * k..(i + MR) * k];
             if pack {
-                tile_group::<MR>(ogroup, arows, &bpack, k, n, j0);
+                tile_group::<MR>(ogroup, arows, bpack, k, n, j0);
             } else {
                 tile_group_direct::<MR>(ogroup, arows, b, k, n, j0);
             }
@@ -200,7 +283,7 @@ fn gemm_rows_tiled(rows: Range<usize>, k: usize, n: usize, a: &[f32], b: &[f32],
         for orow in orows.into_remainder().chunks_exact_mut(n) {
             let arow = &a[i * k..(i + 1) * k];
             if pack {
-                tile_group::<1>(orow, arow, &bpack, k, n, j0);
+                tile_group::<1>(orow, arow, bpack, k, n, j0);
             } else {
                 tile_group_direct::<1>(orow, arow, b, k, n, j0);
             }
@@ -322,9 +405,20 @@ pub fn gemm_at_b(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
         return;
     }
     let work = flops(m, k, n);
-    if work < SMALL_FLOPS || n < NR {
+    if work < SMALL_FLOPS {
         out.fill(0.0);
         at_b_rows_small(0..m, k, m, n, a, b, out);
+    } else if n < NR {
+        // Narrow outputs: transpose A into row-major scratch once, then
+        // run the padded-panel narrow kernel.
+        with_scratch(&AT_SCRATCH, m * k, |packed| {
+            for (c, prow) in packed.chunks_exact_mut(k).enumerate() {
+                for (p, dst) in prow.iter_mut().enumerate() {
+                    *dst = a[p * m + c];
+                }
+            }
+            gemm_narrow_tiled(m, k, n, packed, b, out);
+        });
     } else if work >= PAR_FLOPS && rayon::current_num_threads() > 1 {
         parallel_rows(m, n, out, |rows, chunk| {
             at_b_rows_tiled(rows, k, m, n, a, b, chunk);
@@ -379,14 +473,15 @@ fn at_b_rows_tiled(
     // Transpose this row range's column block of A into row-major form,
     // then run the shared row-major kernel. m·k moves, noise next to the
     // m·k·n reduction.
-    let mut packed = vec![0.0f32; rows.len() * k];
-    for (c, prow) in packed.chunks_exact_mut(k).enumerate() {
-        for (p, dst) in prow.iter_mut().enumerate() {
-            *dst = a[p * m + rows.start + c];
+    with_scratch(&AT_SCRATCH, rows.len() * k, |packed| {
+        for (c, prow) in packed.chunks_exact_mut(k).enumerate() {
+            for (p, dst) in prow.iter_mut().enumerate() {
+                *dst = a[p * m + rows.start + c];
+            }
         }
-    }
-    // The packed block holds exactly these rows, so index it from 0.
-    gemm_rows_tiled(0..rows.len(), k, n, &packed, b, out);
+        // The packed block holds exactly these rows, so index it from 0.
+        gemm_rows_tiled(0..rows.len(), k, n, packed, b, out);
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -421,27 +516,25 @@ pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
         a_bt_rows_small(0..m, k, n, a, b, out);
         return;
     }
-    let mut bt = vec![0.0f32; k * n];
-    for (j, brow) in b.chunks_exact(k).enumerate() {
-        for (p, &v) in brow.iter().enumerate() {
-            bt[p * n + j] = v;
+    with_scratch(&BT_SCRATCH, k * n, |bt| {
+        for (j, brow) in b.chunks_exact(k).enumerate() {
+            for (p, &v) in brow.iter().enumerate() {
+                bt[p * n + j] = v;
+            }
         }
-    }
-    if n < NR {
-        // Narrow outputs (e.g. classifier heads, conv ∂W with small
-        // c·kh·kw) have no full register strip; the axpy-order loop over
-        // the transposed B still vectorizes and, unlike the dot-product
-        // small path, carries no serial dependency over a long `k`.
-        out.fill(0.0);
-        gemm_rows_small(0..m, k, n, a, &bt, out);
-    } else if work >= PAR_FLOPS && rayon::current_num_threads() > 1 {
-        let bt = &bt;
-        parallel_rows(m, n, out, |rows, chunk| {
-            gemm_rows_tiled(rows, k, n, a, bt, chunk);
-        });
-    } else {
-        gemm_rows_tiled(0..m, k, n, a, &bt, out);
-    }
+        if n < NR {
+            // Narrow outputs (e.g. classifier heads, conv ∂W with small
+            // c·kh·kw): padded-panel tiled kernel over the transposed B.
+            gemm_narrow_tiled(m, k, n, a, bt, out);
+        } else if work >= PAR_FLOPS && rayon::current_num_threads() > 1 {
+            let bt = &*bt;
+            parallel_rows(m, n, out, |rows, chunk| {
+                gemm_rows_tiled(rows, k, n, a, bt, chunk);
+            });
+        } else {
+            gemm_rows_tiled(0..m, k, n, a, bt, out);
+        }
+    });
 }
 
 /// Reference-order dot products for output rows `rows`.

@@ -207,12 +207,14 @@ pub fn softmax_t(logits: &Tensor, t: f32) -> Tensor {
         let row = &lv[r * cols..(r + 1) * cols];
         let orow = &mut out[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f32;
+        // Exponentiate in a standalone elementwise pass (no loop-carried
+        // accumulator, so the compiler can vectorize the exp), then sum
+        // in the same ascending order the fused loop used — values are
+        // bit-for-bit what the single-pass form produced.
         for (o, &z) in orow.iter_mut().zip(row.iter()) {
-            let e = ((z - max) / t).exp();
-            *o = e;
-            denom += e;
+            *o = ((z - max) / t).exp();
         }
+        let denom: f32 = orow.iter().sum();
         for o in orow.iter_mut() {
             *o /= denom;
         }
@@ -240,7 +242,13 @@ pub fn log_softmax_t(logits: &Tensor, t: f32) -> Tensor {
         let row = &lv[r * cols..(r + 1) * cols];
         let orow = &mut out[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse: f32 = row.iter().map(|&z| ((z - max) / t).exp()).sum::<f32>().ln();
+        // Stage the exponentials in the output row first: the standalone
+        // elementwise pass vectorizes, and summing the staged values in
+        // ascending order reproduces the fused `map(exp).sum()` bitwise.
+        for (o, &z) in orow.iter_mut().zip(row.iter()) {
+            *o = ((z - max) / t).exp();
+        }
+        let lse = orow.iter().sum::<f32>().ln();
         for (o, &z) in orow.iter_mut().zip(row.iter()) {
             *o = (z - max) / t - lse;
         }

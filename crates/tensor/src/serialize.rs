@@ -12,6 +12,49 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::{Tensor, TensorError};
 
+/// Floats converted per staging batch by the bulk f32 payload helpers.
+///
+/// The old wire code pushed floats through `put_f32_le`/`get_f32_le` one
+/// element at a time — a call, a bounds check and a 4-byte append per
+/// float. The helpers below instead run the `f32 ↔ little-endian bytes`
+/// conversion over fixed-size batches on the stack and move each batch
+/// with a single bulk copy; on little-endian targets the conversion loop
+/// compiles down to a straight block copy, so serializing a parameter
+/// vector is effectively one memcpy per batch.
+const F32_BATCH: usize = 1024;
+
+/// Appends `data` to `buf` as little-endian `f32`s via stack-batched bulk
+/// copies.
+fn put_f32s_le(buf: &mut BytesMut, data: &[f32]) {
+    let mut raw = [0u8; 4 * F32_BATCH];
+    for batch in data.chunks(F32_BATCH) {
+        let used = &mut raw[..4 * batch.len()];
+        for (dst, &v) in used.chunks_exact_mut(4).zip(batch) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(used);
+    }
+}
+
+/// Reads `n` little-endian `f32`s from `bytes` via stack-batched bulk
+/// copies. The caller has already verified `bytes.remaining() >= 4 * n`.
+fn get_f32s_le(bytes: &mut Bytes, n: usize) -> Vec<f32> {
+    let mut data = Vec::with_capacity(n);
+    let mut raw = [0u8; 4 * F32_BATCH];
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(F32_BATCH);
+        let used = &mut raw[..4 * take];
+        bytes.copy_to_slice(used);
+        data.extend(
+            used.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+        );
+        left -= take;
+    }
+    data
+}
+
 /// Serializes a tensor into a freshly allocated byte buffer.
 pub fn to_bytes(t: &Tensor) -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + 8 * t.rank() + 4 * t.len());
@@ -19,9 +62,7 @@ pub fn to_bytes(t: &Tensor) -> Bytes {
     for &d in t.shape() {
         buf.put_u64_le(d as u64);
     }
-    for &v in t.as_slice() {
-        buf.put_f32_le(v);
-    }
+    put_f32s_le(&mut buf, t.as_slice());
     buf.freeze()
 }
 
@@ -56,10 +97,7 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Tensor, TensorError> {
             bytes.remaining()
         )));
     }
-    let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(bytes.get_f32_le());
-    }
+    let data = get_f32s_le(&mut bytes, n);
     Tensor::try_from_vec(shape, data)
 }
 
@@ -68,9 +106,7 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Tensor, TensorError> {
 pub fn params_to_bytes(params: &[f32]) -> Bytes {
     let mut buf = BytesMut::with_capacity(8 + 4 * params.len());
     buf.put_u64_le(params.len() as u64);
-    for &v in params {
-        buf.put_f32_le(v);
-    }
+    put_f32s_le(&mut buf, params);
     buf.freeze()
 }
 
@@ -89,7 +125,7 @@ pub fn params_from_bytes(mut bytes: Bytes) -> Result<Vec<f32>, TensorError> {
             "param payload truncated: need {n} floats"
         )));
     }
-    Ok((0..n).map(|_| bytes.get_f32_le()).collect())
+    Ok(get_f32s_le(&mut bytes, n))
 }
 
 #[cfg(test)]
@@ -125,6 +161,37 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32_le(99);
         assert!(from_bytes(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn bulk_writer_matches_per_element_wire_format() {
+        // The bulk f32 batching must be a pure speedup: byte-for-byte the
+        // same frames the old per-element `put_f32_le` loop produced.
+        let values: Vec<f32> = (0..2500).map(|i| (i as f32 * 0.37).sin() * 1e3).collect();
+        let t = Tensor::from_vec(vec![50, 50], values.clone());
+        let mut legacy = BytesMut::new();
+        legacy.put_u32_le(2);
+        legacy.put_u64_le(50);
+        legacy.put_u64_le(50);
+        for &v in &values {
+            legacy.put_f32_le(v);
+        }
+        assert_eq!(to_bytes(&t), legacy.freeze());
+
+        let mut legacy_params = BytesMut::new();
+        legacy_params.put_u64_le(values.len() as u64);
+        for &v in &values {
+            legacy_params.put_f32_le(v);
+        }
+        assert_eq!(params_to_bytes(&values), legacy_params.freeze());
+    }
+
+    #[test]
+    fn bulk_reader_handles_non_batch_multiples() {
+        // 1500 floats straddles the 1024-float staging batch.
+        let p: Vec<f32> = (0..1500).map(|i| i as f32 - 750.0).collect();
+        let b = params_to_bytes(&p);
+        assert_eq!(params_from_bytes(b).unwrap(), p);
     }
 
     #[test]

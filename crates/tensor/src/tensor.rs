@@ -138,6 +138,36 @@ impl Tensor {
         (self.shape[0], self.shape[1], self.shape[2], self.shape[3])
     }
 
+    /// Reshapes the tensor **in place** to `shape`, growing or shrinking
+    /// the buffer as needed and reusing its capacity.
+    ///
+    /// This is the workhorse of the allocation-free training runtime:
+    /// arena tensors are `resize`d to each step's geometry, which after
+    /// warm-up (once the buffer has seen its largest size) performs no
+    /// heap allocation. Newly exposed elements are zero; existing element
+    /// values are preserved only as an implementation detail — callers
+    /// are expected to overwrite the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn resize(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let n = shape.iter().product();
+        if self.shape != shape {
+            self.shape.clear();
+            self.shape.extend_from_slice(shape);
+        }
+        self.data.resize(n, 0.0);
+    }
+
+    /// Copies `src` into `self` (shape and data), reusing `self`'s buffer
+    /// capacity — the allocation-free counterpart of `clone`.
+    pub fn assign(&mut self, src: &Tensor) {
+        self.resize(src.shape());
+        self.data.copy_from_slice(src.as_slice());
+    }
+
     /// Returns a tensor with the same data but a new shape.
     ///
     /// # Panics
@@ -427,6 +457,26 @@ mod tests {
         assert_eq!(Tensor::zeros(vec![5]).dims2(), (1, 5));
         assert_eq!(Tensor::zeros(vec![4, 7]).dims2(), (4, 7));
         assert_eq!(Tensor::zeros(vec![2, 3, 4]).dims2(), (2, 12));
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_zeroes_growth() {
+        let mut t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        t.resize(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.as_slice(), &[1., 2., 3., 4.]);
+        let cap_ptr = t.as_slice().as_ptr();
+        t.resize(&[2, 3]);
+        assert_eq!(t.as_slice().as_ptr(), cap_ptr, "shrink/grow reallocated");
+        assert_eq!(t.as_slice()[4..], [0.0, 0.0]);
+    }
+
+    #[test]
+    fn assign_copies_shape_and_data() {
+        let src = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        let mut dst = Tensor::zeros(vec![7]);
+        dst.assign(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

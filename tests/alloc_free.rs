@@ -1,0 +1,89 @@
+//! Pins the "zero per-step heap allocations after warm-up" guarantee of
+//! the training runtime on the dense path, using a counting global
+//! allocator. Kept in its own integration-test binary so no concurrent
+//! test can allocate while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use goldfish::data::synthetic::{self, SyntheticSpec};
+use goldfish::data::BatchGather;
+use goldfish::nn::loss::{CrossEntropy, HardLoss};
+use goldfish::nn::optim::FusedSgd;
+use goldfish::nn::zoo;
+use goldfish::tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Counts allocations (and growth reallocations) while armed.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn dense_training_step_is_allocation_free_after_warm_up() {
+    // The paper-shaped MLP round workload at its reduced scale: 64
+    // synthetic-MNIST features, one hidden layer, B = 20.
+    let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+    let (train, _) = synthetic::generate(&spec, 60, 10, 9);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = zoo::mlp(64, &[32], 10, &mut rng);
+    let mut opt = FusedSgd::new(0.05, 0.9);
+    let mut gather = BatchGather::new();
+    let mut grad = Tensor::zeros(vec![1]);
+    let batches: Vec<Vec<usize>> = (0..3).map(|b| (b * 20..(b + 1) * 20).collect()).collect();
+
+    let mut step = |gather: &mut BatchGather, grad: &mut Tensor, chunk: &[usize]| {
+        gather.gather(&train, chunk);
+        {
+            let logits = net.forward_ws(gather.features(), true);
+            CrossEntropy.loss_and_grad_into(logits, gather.labels(), grad);
+        }
+        net.zero_grad();
+        net.backward_train(grad);
+        opt.step(&mut net);
+    };
+
+    // Warm-up: size every arena, scratch buffer and thread-local pack
+    // buffer, including the short-batch geometry.
+    for chunk in &batches {
+        step(&mut gather, &mut grad, chunk);
+    }
+    step(&mut gather, &mut grad, &batches[0][..7]);
+
+    // Armed: full and short batches must not touch the allocator.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        for chunk in &batches {
+            step(&mut gather, &mut grad, chunk);
+        }
+        step(&mut gather, &mut grad, &batches[1][..7]);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(n, 0, "training steps performed {n} heap allocations");
+}

@@ -61,6 +61,16 @@ pub trait Buf {
     /// Panics if fewer than `n` bytes remain.
     fn copy_bytes(&mut self, dst: &mut [u8]);
 
+    /// Reads `dst.len()` bytes into `dst` (the real-`bytes` name for
+    /// [`Buf::copy_bytes`], so call sites survive a crate swap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        self.copy_bytes(dst);
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];

@@ -1,0 +1,78 @@
+//! Criterion harness over the same unlearning-throughput scenarios as
+//! the `bench_unlearn` binary (which writes the `BENCH_unlearn.json`
+//! baseline): the ported Goldfish stack (fused composite loss +
+//! allocation-free runtime + teacher-logit cache) vs the preserved
+//! pre-port pipeline, at the local-loop and full-request granularities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goldfish_bench::{fixtures, legacy};
+use goldfish_core::basic_model::{network_from_state, train_distill};
+use goldfish_core::loss::GoldfishLoss;
+use goldfish_core::method::UnlearningMethod;
+use goldfish_core::unlearner::GoldfishUnlearning;
+use goldfish_nn::loss::CrossEntropy;
+use std::sync::Arc;
+
+fn bench_local_distill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_distill");
+    group.sample_size(15);
+    let (setup, local) = fixtures::unlearn_workload(7);
+    let loss = GoldfishLoss::new(Arc::new(CrossEntropy), local.weights);
+    let split = &setup.clients[0];
+    group.bench_function("pre_port_allocating", |bench| {
+        bench.iter(|| {
+            let mut student = network_from_state(&setup.factory, &setup.original_global, 0);
+            let mut teacher = network_from_state(&setup.factory, &setup.original_global, 0);
+            legacy::legacy_train_distill(
+                &mut student,
+                &mut teacher,
+                &split.remaining,
+                &split.forget,
+                &loss,
+                &local,
+                None,
+                7,
+            );
+            std::hint::black_box(&student);
+        });
+    });
+    group.bench_function("runtime", |bench| {
+        bench.iter(|| {
+            let mut student = network_from_state(&setup.factory, &setup.original_global, 0);
+            let mut teacher = network_from_state(&setup.factory, &setup.original_global, 0);
+            train_distill(
+                &mut student,
+                &mut teacher,
+                &split.remaining,
+                &split.forget,
+                &loss,
+                &local,
+                None,
+                7,
+            );
+            std::hint::black_box(&student);
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unlearn_request");
+    group.sample_size(10);
+    let (setup, local) = fixtures::unlearn_workload(7);
+    let method = GoldfishUnlearning::default().with_local(local);
+    group.bench_function("pre_port_allocating", |bench| {
+        bench.iter(|| std::hint::black_box(legacy::legacy_goldfish_unlearn(&method, &setup, 5)));
+    });
+    group.bench_function("runtime", |bench| {
+        bench.iter(|| std::hint::black_box(method.unlearn(std::hint::black_box(&setup), 5)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_local_distill, bench_full_request
+}
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! End-to-end unlearning-throughput baseline: the ported Goldfish
+//! unlearning stack (fused composite loss + allocation-free runtime,
+//! DESIGN.md §9) vs the preserved pre-port pipeline
+//! ([`goldfish_bench::legacy`]), plus the B1–B3 baselines at the same
+//! round budget (the Fig 4 convention). Writes `BENCH_unlearn.json`.
+//!
+//! Before timing anything the binary **asserts bitwise identity** of
+//! every ported method (Goldfish, B2, B3) against its pre-port replica
+//! — the speedup is pure execution, zero semantics. The measured
+//! legacy-vs-runtime drift bound (exactly 0 when the gate passes) is
+//! recorded in the report.
+//!
+//! Flags: `--quick` (fewer samples), `--seed N`, `--out PATH` (default
+//! `BENCH_unlearn.json` in the current directory).
+
+use std::time::Instant;
+
+use goldfish_bench::report::{self, BenchRecord, Table};
+use goldfish_bench::{args, fixtures, legacy};
+use goldfish_core::baselines::{IncompetentTeacher, RapidRetrain, RetrainFromScratch};
+use goldfish_core::method::{UnlearnOutcome, UnlearningMethod};
+use goldfish_core::unlearner::GoldfishUnlearning;
+use goldfish_fed::pool;
+
+/// Times `f` (after one warm-up call) and records median/min over
+/// `samples` runs.
+fn time_fn(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    BenchRecord {
+        name: name.to_string(),
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        samples,
+    }
+}
+
+/// Asserts two unlearning outcomes agree bitwise (states and per-round
+/// accuracies) and returns the max absolute state drift (0 on success).
+fn assert_identical(label: &str, got: &UnlearnOutcome, want: &UnlearnOutcome) -> f64 {
+    assert_eq!(
+        got.global_state.len(),
+        want.global_state.len(),
+        "{label}: state lengths diverged"
+    );
+    let mut drift = 0.0f64;
+    for (i, (a, b)) in got
+        .global_state
+        .iter()
+        .zip(want.global_state.iter())
+        .enumerate()
+    {
+        drift = drift.max((a - b).abs() as f64);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: param {i} diverged ({a} vs {b})"
+        );
+    }
+    assert_eq!(
+        got.round_accuracies, want.round_accuracies,
+        "{label}: round accuracies diverged"
+    );
+    println!(
+        "identity check: {label} runtime == pre-port replica bitwise ({} params, max |Δ| = {drift:.1e})",
+        got.global_state.len()
+    );
+    drift
+}
+
+fn main() {
+    let seed = args::seed();
+    let samples = if args::quick() { 3 } else { 9 };
+    let out_path = args::value_of("--out").unwrap_or_else(|| "BENCH_unlearn.json".to_string());
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+
+    let (setup, local) = fixtures::unlearn_workload(seed);
+    let goldfish = GoldfishUnlearning::default().with_local(local);
+    let b2 = RapidRetrain::default();
+    let b3 = IncompetentTeacher::default();
+
+    // Identity first: every ported pipeline must agree bitwise with its
+    // pre-port replica before its speed means anything.
+    let mut drift = assert_identical(
+        "goldfish",
+        &goldfish.unlearn(&setup, seed),
+        &legacy::legacy_goldfish_unlearn(&goldfish, &setup, seed),
+    );
+    drift = drift.max(assert_identical(
+        "b2_rapid",
+        &b2.unlearn(&setup, seed),
+        &legacy::legacy_b2_unlearn(&b2, &setup, seed),
+    ));
+    drift = drift.max(assert_identical(
+        "b3_incompetent",
+        &b3.unlearn(&setup, seed),
+        &legacy::legacy_b3_unlearn(&b3, &setup, seed),
+    ));
+
+    report::heading("full unlearning request (goldfish: runtime vs pre-port)");
+    let r_legacy = time_fn("unlearn_goldfish_legacy", samples, || {
+        std::hint::black_box(legacy::legacy_goldfish_unlearn(&goldfish, &setup, seed));
+    });
+    let r_runtime = time_fn("unlearn_goldfish_runtime", samples, || {
+        std::hint::black_box(goldfish.unlearn(&setup, seed));
+    });
+    let goldfish_speedup = r_legacy.median_ns / r_runtime.median_ns;
+    let mut table = Table::new(&["pipeline", "ms / request"]);
+    for (label, r) in [
+        ("pre-port (allocating)", &r_legacy),
+        ("runtime", &r_runtime),
+    ] {
+        table.row(vec![label.to_string(), report::num(r.median_ns / 1e6, 3)]);
+    }
+    table.print();
+    println!("speedup: {goldfish_speedup:.2}x");
+    speedups.push(("unlearn_goldfish_runtime_vs_legacy", goldfish_speedup));
+    records.push(r_legacy);
+    let t_goldfish = r_runtime.median_ns;
+    records.push(r_runtime);
+
+    report::heading("baselines at the same round budget (Fig 4 convention)");
+    let r_b1 = time_fn("unlearn_b1_retrain", samples, || {
+        std::hint::black_box(RetrainFromScratch.unlearn(&setup, seed));
+    });
+    let r_b2 = time_fn("unlearn_b2_rapid", samples, || {
+        std::hint::black_box(b2.unlearn(&setup, seed));
+    });
+    let r_b3 = time_fn("unlearn_b3_incompetent", samples, || {
+        std::hint::black_box(b3.unlearn(&setup, seed));
+    });
+    let mut table = Table::new(&["method", "ms / request", "vs goldfish"]);
+    for (label, r) in [
+        ("goldfish (ours)", None),
+        ("b1 retrain", Some(&r_b1)),
+        ("b2 rapid", Some(&r_b2)),
+        ("b3 incompetent", Some(&r_b3)),
+    ] {
+        let ns = r.map_or(t_goldfish, |r| r.median_ns);
+        table.row(vec![
+            label.to_string(),
+            report::num(ns / 1e6, 3),
+            format!("{:.2}x", ns / t_goldfish),
+        ]);
+    }
+    table.print();
+    speedups.push((
+        "unlearn_goldfish_vs_b1_retrain",
+        r_b1.median_ns / t_goldfish,
+    ));
+    speedups.push(("unlearn_goldfish_vs_b2_rapid", r_b2.median_ns / t_goldfish));
+    speedups.push((
+        "unlearn_goldfish_vs_b3_incompetent",
+        r_b3.median_ns / t_goldfish,
+    ));
+    records.push(r_b1);
+    records.push(r_b2);
+    records.push(r_b3);
+
+    report::heading("the paper's headline: goldfish vs retrain-to-convergence");
+    // Retraining from scratch must rebuild the model with the full
+    // pretraining round budget before its accuracy recovers (Fig 4's
+    // curves); Goldfish reaches comparable accuracy within its few
+    // distillation rounds. Time B1 at the recovery budget.
+    let b1_setup = goldfish_core::method::UnlearnSetup {
+        factory: setup.factory.clone(),
+        clients: setup.clients.clone(),
+        test: setup.test.clone(),
+        original_global: setup.original_global.clone(),
+        rounds: fixtures::UNLEARN_RETRAIN_ROUNDS,
+        train: setup.train,
+    };
+    let r_b1_conv = time_fn("unlearn_b1_retrain_to_convergence", samples, || {
+        std::hint::black_box(RetrainFromScratch.unlearn(&b1_setup, seed));
+    });
+    let headline = r_b1_conv.median_ns / t_goldfish;
+    println!(
+        "b1 retrain ({} rounds): {:.3} ms vs goldfish ({} rounds): {:.3} ms — speedup {headline:.2}x",
+        fixtures::UNLEARN_RETRAIN_ROUNDS,
+        r_b1_conv.median_ns / 1e6,
+        fixtures::UNLEARN_ROUNDS,
+        t_goldfish / 1e6,
+    );
+    speedups.push(("unlearn_goldfish_vs_b1_retrain_to_convergence", headline));
+    records.push(r_b1_conv);
+
+    let doc = report::perf_baseline_json(
+        &[
+            ("schema", "goldfish-unlearn-baseline-v1".to_string()),
+            ("seed", seed.to_string()),
+            ("threads", pool::effective_threads(None).to_string()),
+            ("identity_gate", "pass".to_string()),
+            ("legacy_vs_runtime_max_abs_drift", format!("{drift:.1e}")),
+            (
+                "workload",
+                format!(
+                    "mlp {:?}, {} clients x {} samples, {} removed, {} rounds, B={}",
+                    fixtures::ROUND_MLP_DIMS,
+                    fixtures::UNLEARN_CLIENTS,
+                    fixtures::UNLEARN_SAMPLES_PER_CLIENT,
+                    fixtures::UNLEARN_REMOVED,
+                    fixtures::UNLEARN_ROUNDS,
+                    setup.train.batch_size
+                ),
+            ),
+            (
+                "quick",
+                if args::quick() { "true" } else { "false" }.to_string(),
+            ),
+        ],
+        &records,
+        &speedups,
+    );
+    std::fs::write(&out_path, doc).expect("write perf baseline");
+    println!("\nwrote {out_path}");
+}

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use goldfish_bench::{args, report, workloads};
-use goldfish_core::basic_model::{goldfish_local, network_from_state, GoldfishLocalConfig};
+use goldfish_core::basic_model::{network_from_state, train_distill, GoldfishLocalConfig};
 use goldfish_core::loss::{GoldfishLoss, LossWeights};
 use goldfish_core::method::ClientSplit;
 use goldfish_nn::loss::CrossEntropy;
@@ -78,7 +78,7 @@ fn main() {
                 weights: *weights,
                 ..GoldfishLocalConfig::default()
             };
-            goldfish_local(
+            train_distill(
                 &mut student,
                 &mut teacher,
                 &full.remaining,

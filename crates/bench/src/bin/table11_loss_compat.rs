@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use goldfish_bench::{args, report, workloads};
-use goldfish_core::basic_model::{goldfish_local, network_from_state, GoldfishLocalConfig};
+use goldfish_core::basic_model::{network_from_state, train_distill, GoldfishLocalConfig};
 use goldfish_core::loss::{GoldfishLoss, LossWeights};
 use goldfish_core::method::ClientSplit;
 use goldfish_nn::loss::{CrossEntropy, Focal, HardLoss, Nll};
@@ -68,7 +68,7 @@ fn main() {
                 momentum: 0.9,
                 ..GoldfishLocalConfig::default()
             };
-            goldfish_local(
+            train_distill(
                 &mut student,
                 &mut teacher,
                 &full.remaining,

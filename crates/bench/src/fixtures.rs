@@ -6,10 +6,15 @@
 //! the committed `BENCH_kernels.json` always measures what CI's
 //! criterion run measures.
 
+use std::sync::Arc;
+
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::{ClientSplit, UnlearnSetup};
 use goldfish_data::synthetic::{self, SyntheticSpec};
 use goldfish_data::Dataset;
 use goldfish_fed::aggregate::ClientUpdate;
-use goldfish_fed::trainer::TrainConfig;
+use goldfish_fed::trainer::{train_local_ce, TrainConfig};
+use goldfish_fed::ModelFactory;
 use goldfish_nn::{zoo, Network};
 use goldfish_tensor::conv::Conv2dSpec;
 use goldfish_tensor::{init, Tensor};
@@ -98,6 +103,101 @@ pub fn round_model(seed: u64) -> Network {
         dims[dims.len() - 1],
         &mut rng,
     )
+}
+
+/// Clients in the unlearning-throughput scenario.
+pub const UNLEARN_CLIENTS: usize = 3;
+
+/// Samples per client in the unlearning-throughput scenario.
+pub const UNLEARN_SAMPLES_PER_CLIENT: usize = 300;
+
+/// Removed samples (all on client 0) in the unlearning scenario.
+pub const UNLEARN_REMOVED: usize = 30;
+
+/// Federated rounds each unlearning method gets (the paper's few-round
+/// budget; every method is timed at the same budget, as in Fig 4).
+pub const UNLEARN_ROUNDS: usize = 2;
+
+/// Round budget retraining from scratch needs before its accuracy
+/// recovers — the fixture's pretraining budget (Fig 4's headline
+/// comparison times B1 at this budget vs Goldfish at
+/// [`UNLEARN_ROUNDS`]).
+pub const UNLEARN_RETRAIN_ROUNDS: usize = 8;
+
+/// The unlearning workload measured by `bench_unlearn` and
+/// `benches/unlearn_pipeline.rs`: the round-throughput MLP
+/// ([`ROUND_MLP_DIMS`]) over an IID federation where client 0 must
+/// forget a tenth of its data. The test set is kept small so the timed
+/// figure is dominated by the distillation training the port rebuilt,
+/// not by shared evaluation plumbing.
+///
+/// Returns the assembled [`UnlearnSetup`] (original model pretrained on
+/// everything, including the to-be-removed samples) and the matching
+/// Goldfish local configuration.
+pub fn unlearn_workload(seed: u64) -> (UnlearnSetup, GoldfishLocalConfig) {
+    let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+    let total = UNLEARN_CLIENTS * UNLEARN_SAMPLES_PER_CLIENT;
+    let (train, test) = synthetic::generate(&spec, total, 64, seed);
+    let factory: ModelFactory = Arc::new(|s| {
+        let mut rng = StdRng::seed_from_u64(s);
+        let dims = ROUND_MLP_DIMS;
+        zoo::mlp(
+            dims[0],
+            &dims[1..dims.len() - 1],
+            dims[dims.len() - 1],
+            &mut rng,
+        )
+    });
+    let train_cfg = TrainConfig {
+        local_epochs: 2,
+        batch_size: 25,
+        lr: 0.03,
+        momentum: 0.9,
+    };
+    // Pretrain the original ("origin") global model on everything; a
+    // single trainer keeps the fixture assembly fast.
+    let mut original = (factory)(1);
+    train_local_ce(
+        &mut original,
+        &train,
+        &TrainConfig {
+            local_epochs: 8,
+            ..train_cfg
+        },
+        5,
+    );
+    let clients: Vec<ClientSplit> = (0..UNLEARN_CLIENTS)
+        .map(|c| {
+            let lo = c * UNLEARN_SAMPLES_PER_CLIENT;
+            let idx: Vec<usize> = (lo..lo + UNLEARN_SAMPLES_PER_CLIENT).collect();
+            let data = train.subset(&idx);
+            if c == 0 {
+                let removed: Vec<usize> = (0..UNLEARN_REMOVED).collect();
+                ClientSplit::with_removed(&data, &removed)
+            } else {
+                ClientSplit::intact(data)
+            }
+        })
+        .collect();
+    let setup = UnlearnSetup {
+        factory,
+        clients,
+        test,
+        original_global: original.state_vector(),
+        rounds: UNLEARN_ROUNDS,
+        train: train_cfg,
+    };
+    // Unlearning runs more local epochs than plain training (the
+    // paper's Eq 7 early-termination budget exists precisely because
+    // the distillation loop iterates): four here.
+    let local = GoldfishLocalConfig {
+        epochs: 4,
+        batch_size: train_cfg.batch_size,
+        lr: train_cfg.lr,
+        momentum: train_cfg.momentum,
+        ..GoldfishLocalConfig::default()
+    };
+    (setup, local)
 }
 
 /// Synthetic client uploads for the aggregation scenario.

@@ -10,10 +10,34 @@
 //! momentum update, and per-element wire serialization. `bench_round`
 //! asserts its final states are bitwise identical to `train_local`'s
 //! before timing anything, so the comparison is apples to apples.
+//!
+//! PR 3 did the same to the *unlearning* stack (DESIGN.md §9): the
+//! second half of this module preserves the pre-port Goldfish
+//! distillation loop ([`legacy_train_distill`]), its round
+//! orchestration ([`legacy_goldfish_unlearn`]) and the pre-port B2/B3
+//! baselines, all built on the still-public allocating primitives
+//! (`Dataset::subset`, `Network::forward`/`backward`, the composed
+//! two-method composite loss, three-pass `Sgd`). `bench_unlearn`
+//! asserts bitwise identity of every ported method against these
+//! replicas before timing anything.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use goldfish_core::baselines::{IncompetentTeacher, RapidRetrain};
+use goldfish_core::basic_model::{
+    network_from_state, reference_loss, reinit_seed, GoldfishLocalConfig, GoldfishLocalStats,
+};
+use goldfish_core::extension::AdaptiveWeightAggregation;
+use goldfish_core::loss::{distillation_loss, GoldfishLoss};
+use goldfish_core::method::{parallel_clients, UnlearnOutcome, UnlearnSetup};
+use goldfish_core::optimization::EarlyTermination;
+use goldfish_core::unlearner::GoldfishUnlearning;
 use goldfish_data::Dataset;
+use goldfish_fed::aggregate::{AggregationStrategy, ClientUpdate, FedAvg};
+use goldfish_fed::eval;
 use goldfish_fed::trainer::TrainConfig;
+use goldfish_nn::loss::CrossEntropy;
+use goldfish_nn::loss::HardLoss;
+use goldfish_nn::optim::Sgd;
 use goldfish_nn::Network;
 use goldfish_tensor::{engine, ops, Tensor};
 use rand::{rngs::StdRng, SeedableRng};
@@ -290,6 +314,359 @@ impl LegacyMlp {
             last = epoch_loss / batches.max(1) as f32;
         }
         last
+    }
+}
+
+/// The pre-port gradient clip: a materialised `params()` vector for the
+/// norm reduction and a second one for the scaling pass, exactly as
+/// `clip_grad_norm` ran before it moved to `visit_params_mut`.
+fn legacy_clip_grad_norm(net: &mut Network, max_norm: f32) {
+    assert!(max_norm > 0.0, "max_norm must be positive, got {max_norm}");
+    let norm_sq: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum();
+    let norm = norm_sq.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for p in net.params_mut() {
+            p.grad.scale_mut(scale);
+        }
+    } else if !norm.is_finite() {
+        for p in net.params_mut() {
+            p.grad.zero_mut();
+        }
+    }
+}
+
+/// The pre-port `goldfish_local` (now `train_distill`), preserved
+/// operation for operation: a copied `Dataset` per mini-batch slice,
+/// allocating `Network::forward`/`backward` passes for teacher and
+/// student, the composed `remaining_grad`/`forget_grad` pair with all
+/// their intermediate tensors, the `params()`-vector gradient clip and
+/// the three-pass momentum `Sgd`. `bench_unlearn` asserts its results
+/// are bitwise identical to the runtime port before timing anything.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
+pub fn legacy_train_distill(
+    student: &mut Network,
+    teacher: &mut Network,
+    remaining: &Dataset,
+    forget: &Dataset,
+    loss: &GoldfishLoss,
+    cfg: &GoldfishLocalConfig,
+    reference_loss: Option<f32>,
+    seed: u64,
+) -> GoldfishLocalStats {
+    let temperature = match &cfg.adaptive_temperature {
+        Some(at) => at.temperature(remaining.len(), forget.len()),
+        None => cfg.weights.temperature,
+    };
+    let mut loss = loss.clone();
+    loss.set_temperature(temperature);
+
+    let mut stats = GoldfishLocalStats {
+        epoch_losses: Vec::with_capacity(cfg.epochs),
+        temperature,
+        early_terminated: false,
+    };
+    if remaining.is_empty() && forget.is_empty() {
+        return stats;
+    }
+    let mut early = match (cfg.early_termination, reference_loss) {
+        (Some(delta), Some(reference)) => Some(EarlyTermination::new(delta, reference)),
+        _ => None,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum);
+    let forget_scale = if remaining.is_empty() {
+        1.0
+    } else {
+        (forget.len() as f32 / remaining.len() as f32).min(1.0)
+    };
+
+    for _ in 0..cfg.epochs {
+        let order = remaining.shuffled_indices(&mut rng);
+        let forget_order = forget.shuffled_indices(&mut rng);
+        let remaining_batches: Vec<&[usize]> = order.chunks(cfg.batch_size.max(1)).collect();
+        let n_steps = remaining_batches.len().max(1);
+        let forget_chunk = forget_order.len().div_ceil(n_steps).max(1);
+        let mut forget_batches = forget_order.chunks(forget_chunk);
+
+        let mut epoch_loss = 0.0f32;
+        let mut steps = 0usize;
+        for chunk in &remaining_batches {
+            let mut total = 0.0f32;
+            student.zero_grad();
+            if !chunk.is_empty() {
+                let batch = remaining.subset(chunk);
+                let teacher_logits = if loss.weights().mu_d > 0.0 {
+                    Some(teacher.forward(batch.features(), false))
+                } else {
+                    None
+                };
+                let student_logits = student.forward(batch.features(), true);
+                let (bd, grad) =
+                    loss.remaining_grad(&student_logits, teacher_logits.as_ref(), batch.labels());
+                student.backward(&grad);
+                total += bd.total(loss.weights());
+            }
+            if let Some(fchunk) = forget_batches.next() {
+                if !fchunk.is_empty() {
+                    let fbatch = forget.subset(fchunk);
+                    let student_logits = student.forward(fbatch.features(), true);
+                    let (bd, grad) =
+                        loss.forget_grad(&student_logits, fbatch.labels(), forget_scale);
+                    student.backward(&grad);
+                    total += bd.total(loss.weights());
+                }
+            }
+            if let Some(max_norm) = cfg.grad_clip {
+                legacy_clip_grad_norm(student, max_norm);
+            }
+            sgd.step(student);
+            epoch_loss += total;
+            steps += 1;
+        }
+        let mean_loss = epoch_loss / steps.max(1) as f32;
+        stats.epoch_losses.push(mean_loss);
+        if let Some(et) = &mut early {
+            if et.observe(mean_loss) {
+                stats.early_terminated = true;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Test accuracy of a global state vector (the private helper every
+/// pre-port round loop used).
+fn legacy_global_accuracy(setup: &UnlearnSetup, state: &[f32]) -> f64 {
+    let mut net = network_from_state(&setup.factory, state, 0);
+    eval::accuracy(&mut net, &setup.test)
+}
+
+/// The pre-port `GoldfishUnlearning::unlearn` round loop, driving
+/// [`legacy_train_distill`] per client. `method` supplies the
+/// configuration only; the aggregation, evaluation and Eq 7 reference
+/// plumbing are the (unchanged) library paths, so a bitwise difference
+/// against the ported method isolates the local-training port.
+pub fn legacy_goldfish_unlearn(
+    method: &GoldfishUnlearning,
+    setup: &UnlearnSetup,
+    seed: u64,
+) -> UnlearnOutcome {
+    let mut global = (setup.factory)(reinit_seed(seed)).state_vector();
+    let teacher_state = &setup.original_global;
+    let loss = GoldfishLoss::new(method.hard.clone(), method.local.weights);
+    let strategy: Box<dyn AggregationStrategy> = if method.adaptive_aggregation {
+        Box::new(AdaptiveWeightAggregation)
+    } else {
+        Box::new(FedAvg)
+    };
+    let mut round_accuracies = Vec::with_capacity(setup.rounds);
+
+    for round in 0..setup.rounds {
+        let incoming = &global;
+        let updates: Vec<ClientUpdate> = parallel_clients(setup.clients.len(), |id| {
+            let client_seed = seed
+                .wrapping_add((id as u64) << 32)
+                .wrapping_add(round as u64);
+            let split = &setup.clients[id];
+            let mut student = network_from_state(&setup.factory, incoming, client_seed);
+            let mut teacher = network_from_state(&setup.factory, teacher_state, client_seed);
+            let reference = if method.local.early_termination.is_some() {
+                let teacher_ref =
+                    reference_loss(&mut teacher, &split.remaining, &split.forget, &loss);
+                let mut incoming_net = network_from_state(&setup.factory, incoming, client_seed);
+                let incoming_ref =
+                    reference_loss(&mut incoming_net, &split.remaining, &split.forget, &loss);
+                Some(teacher_ref.min(incoming_ref))
+            } else {
+                None
+            };
+            legacy_train_distill(
+                &mut student,
+                &mut teacher,
+                &split.remaining,
+                &split.forget,
+                &loss,
+                &method.local,
+                reference,
+                client_seed,
+            );
+            let server_mse = if method.adaptive_aggregation {
+                Some(eval::mse(&mut student, &setup.test))
+            } else {
+                None
+            };
+            ClientUpdate {
+                client_id: id,
+                state: student.state_vector(),
+                num_samples: split.remaining.len(),
+                server_mse,
+            }
+        });
+        global = strategy.aggregate(&updates);
+        round_accuracies.push(legacy_global_accuracy(setup, &global));
+    }
+    UnlearnOutcome {
+        method: "goldfish_legacy".into(),
+        global_state: global,
+        round_accuracies,
+    }
+}
+
+/// The pre-port B2 client loop: full `grad_vector()`/`state_vector()`
+/// materialisation and a `set_state_vector` writeback per mini-batch.
+fn legacy_b2_train_client(
+    b2: &RapidRetrain,
+    net: &mut Network,
+    data: &Dataset,
+    setup: &UnlearnSetup,
+    seed: u64,
+) {
+    if data.is_empty() {
+        return;
+    }
+    let lr = b2.lr_override.unwrap_or(setup.train.lr * 0.2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fim = vec![0.0f32; net.state_len()];
+    let mut state = net.state_vector();
+    for _ in 0..setup.train.local_epochs {
+        let order = data.shuffled_indices(&mut rng);
+        for chunk in order.chunks(setup.train.batch_size) {
+            let batch = data.subset(chunk);
+            let logits = net.forward(batch.features(), true);
+            let (_, grad) = CrossEntropy.loss_and_grad(&logits, batch.labels());
+            net.zero_grad();
+            net.backward(&grad);
+            let g = net.grad_vector();
+            for ((w, f), gi) in state.iter_mut().zip(fim.iter_mut()).zip(g.iter()) {
+                *f = b2.fim_decay * *f + (1.0 - b2.fim_decay) * gi * gi;
+                *w -= lr * gi / (f.sqrt() + b2.damping);
+            }
+            net.set_state_vector(&state);
+        }
+    }
+}
+
+/// The pre-port B2 round loop over [`legacy_b2_train_client`].
+pub fn legacy_b2_unlearn(b2: &RapidRetrain, setup: &UnlearnSetup, seed: u64) -> UnlearnOutcome {
+    let mut global = (setup.factory)(reinit_seed(seed ^ 0xB2)).state_vector();
+    let mut round_accuracies = Vec::with_capacity(setup.rounds);
+    for round in 0..setup.rounds {
+        let updates = parallel_clients(setup.clients.len(), |id| {
+            let client_seed = seed
+                .wrapping_add((id as u64) << 32)
+                .wrapping_add(round as u64)
+                ^ 0xB2;
+            let mut net = network_from_state(&setup.factory, &global, client_seed);
+            legacy_b2_train_client(
+                b2,
+                &mut net,
+                &setup.clients[id].remaining,
+                setup,
+                client_seed,
+            );
+            ClientUpdate {
+                client_id: id,
+                state: net.state_vector(),
+                num_samples: setup.clients[id].remaining.len(),
+                server_mse: None,
+            }
+        });
+        global = FedAvg.aggregate(&updates);
+        round_accuracies.push(legacy_global_accuracy(setup, &global));
+    }
+    UnlearnOutcome {
+        method: "b2_rapid_legacy".into(),
+        global_state: global,
+        round_accuracies,
+    }
+}
+
+/// The pre-port B3 client loop: subset copies, allocating forwards for
+/// both teachers and the student, the allocating distillation loss and
+/// three-pass `Sgd`.
+fn legacy_b3_train_client(
+    b3: &IncompetentTeacher,
+    student: &mut Network,
+    competent: &mut Network,
+    incompetent: &mut Network,
+    split: &goldfish_core::method::ClientSplit,
+    setup: &UnlearnSetup,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sgd = Sgd::new(setup.train.lr, setup.train.momentum);
+    for _ in 0..setup.train.local_epochs {
+        if !split.remaining.is_empty() {
+            let order = split.remaining.shuffled_indices(&mut rng);
+            for chunk in order.chunks(setup.train.batch_size) {
+                let batch = split.remaining.subset(chunk);
+                let teacher_logits = competent.forward(batch.features(), false);
+                let student_logits = student.forward(batch.features(), true);
+                let (_, grad) = distillation_loss(&student_logits, &teacher_logits, b3.temperature);
+                student.zero_grad();
+                student.backward(&grad);
+                sgd.step(student);
+            }
+        }
+        if !split.forget.is_empty() {
+            let order = split.forget.shuffled_indices(&mut rng);
+            for chunk in order.chunks(setup.train.batch_size) {
+                let batch = split.forget.subset(chunk);
+                let teacher_logits = incompetent.forward(batch.features(), false);
+                let student_logits = student.forward(batch.features(), true);
+                let (_, grad) = distillation_loss(&student_logits, &teacher_logits, b3.temperature);
+                student.zero_grad();
+                student.backward(&grad);
+                sgd.step(student);
+            }
+        }
+    }
+}
+
+/// The pre-port B3 round loop over [`legacy_b3_train_client`].
+pub fn legacy_b3_unlearn(
+    b3: &IncompetentTeacher,
+    setup: &UnlearnSetup,
+    seed: u64,
+) -> UnlearnOutcome {
+    let mut global = setup.original_global.clone();
+    let mut round_accuracies = Vec::with_capacity(setup.rounds);
+    for round in 0..setup.rounds {
+        let updates = parallel_clients(setup.clients.len(), |id| {
+            let client_seed = seed
+                .wrapping_add((id as u64) << 32)
+                .wrapping_add(round as u64)
+                ^ 0xB3;
+            let split = &setup.clients[id];
+            let mut student = network_from_state(&setup.factory, &global, client_seed);
+            let mut competent =
+                network_from_state(&setup.factory, &setup.original_global, client_seed);
+            let mut incompetent = (setup.factory)(client_seed ^ 0x1C0DE);
+            legacy_b3_train_client(
+                b3,
+                &mut student,
+                &mut competent,
+                &mut incompetent,
+                split,
+                setup,
+                client_seed,
+            );
+            ClientUpdate {
+                client_id: id,
+                state: student.state_vector(),
+                num_samples: split.remaining.len(),
+                server_mse: None,
+            }
+        });
+        global = FedAvg.aggregate(&updates);
+        round_accuracies.push(legacy_global_accuracy(setup, &global));
+    }
+    UnlearnOutcome {
+        method: "b3_incompetent_legacy".into(),
+        global_state: global,
+        round_accuracies,
     }
 }
 

@@ -12,17 +12,18 @@
 //! * [`OriginalModel`] — the "origin" column of the paper's tables: the
 //!   trained model without any unlearning.
 
+use goldfish_data::BatchGather;
 use goldfish_fed::aggregate::{AggregationStrategy, ClientUpdate, FedAvg};
 use goldfish_fed::trainer::train_local_ce;
 use goldfish_fed::{eval, ModelFactory};
-use goldfish_nn::loss::{CrossEntropy, HardLoss};
+use goldfish_nn::loss::{distillation_loss_into, CrossEntropy, HardLoss};
+use goldfish_nn::optim::FusedSgd;
 use goldfish_nn::Network;
 use goldfish_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::basic_model::{network_from_state, reinit_seed};
-use crate::loss::distillation_loss;
 use crate::method::{parallel_clients, UnlearnOutcome, UnlearnSetup, UnlearningMethod};
 
 /// Evaluates the test accuracy of a global state vector.
@@ -104,7 +105,13 @@ impl Default for RapidRetrain {
 }
 
 impl RapidRetrain {
-    /// One client's preconditioned local training.
+    /// One client's preconditioned local training, on the
+    /// allocation-free runtime: gathered batches, workspace
+    /// forward/backward, and a fused in-place preconditioner sweep over
+    /// the parameters in state-vector order (the old path materialised
+    /// the full gradient and state vectors per batch). Per-element
+    /// arithmetic is unchanged, so results are bitwise identical to the
+    /// pre-port implementation.
     fn train_client(
         &self,
         net: &mut Network,
@@ -118,21 +125,64 @@ impl RapidRetrain {
         let lr = self.lr_override.unwrap_or(setup.train.lr * 0.2);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut fim = vec![0.0f32; net.state_len()];
-        let mut state = net.state_vector();
+        let mut gather = BatchGather::new();
+        let mut grad = Tensor::zeros(vec![0]);
+        let mut order: Vec<usize> = Vec::new();
+        let (decay, damping) = (self.fim_decay, self.damping);
+        // Snapshot the frozen tracked state (BatchNorm running
+        // statistics): the pre-port pipeline's per-batch
+        // `set_state_vector` writeback pinned it to its entry values —
+        // frozen gradients are zero, so the maintained state vector
+        // never moved — and the in-place sweep must not let the
+        // training-mode forwards drift it either.
+        let mut frozen: Vec<f32> = Vec::new();
+        net.visit_params_mut(&mut |p| {
+            if !p.trainable {
+                frozen.extend_from_slice(p.value.as_slice());
+            }
+        });
         for _ in 0..setup.train.local_epochs {
-            let order = data.shuffled_indices(&mut rng);
+            data.shuffled_indices_into(&mut rng, &mut order);
             for chunk in order.chunks(setup.train.batch_size) {
-                let batch = data.subset(chunk);
-                let logits = net.forward(batch.features(), true);
-                let (_, grad) = CrossEntropy.loss_and_grad(&logits, batch.labels());
-                net.zero_grad();
-                net.backward(&grad);
-                let g = net.grad_vector();
-                for ((w, f), gi) in state.iter_mut().zip(fim.iter_mut()).zip(g.iter()) {
-                    *f = self.fim_decay * *f + (1.0 - self.fim_decay) * gi * gi;
-                    *w -= lr * gi / (f.sqrt() + self.damping);
+                gather.gather(data, chunk);
+                {
+                    let logits = net.forward_ws(gather.features(), true);
+                    CrossEntropy.loss_and_grad_into(logits, gather.labels(), &mut grad);
                 }
-                net.set_state_vector(&state);
+                net.zero_grad();
+                net.backward_train(&grad);
+                // Fused diagonal-FIM update: `F̂ ← γF̂ + (1−γ)g²;
+                // w ← w − η·g/(√F̂ + ε)` in one pass over each parameter,
+                // walking the flat FIM buffer in state-vector order.
+                // Frozen parameters are restored from the snapshot
+                // (their FIM entries stay zero, exactly like the old
+                // full-state sweep's decay of an all-zero accumulator).
+                let mut offset = 0usize;
+                let mut frozen_offset = 0usize;
+                let (fim, frozen) = (&mut fim, &frozen);
+                net.visit_params_mut(&mut |p| {
+                    let n = p.value.len();
+                    if !p.trainable {
+                        p.value
+                            .as_mut_slice()
+                            .copy_from_slice(&frozen[frozen_offset..frozen_offset + n]);
+                        frozen_offset += n;
+                        offset += n;
+                        return;
+                    }
+                    let fs = &mut fim[offset..offset + n];
+                    for ((w, f), gi) in p
+                        .value
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(fs.iter_mut())
+                        .zip(p.grad.as_slice().iter())
+                    {
+                        *f = decay * *f + (1.0 - decay) * gi * gi;
+                        *w -= lr * gi / (f.sqrt() + damping);
+                    }
+                    offset += n;
+                });
             }
         }
     }
@@ -237,6 +287,11 @@ impl UnlearningMethod for IncompetentTeacher {
 }
 
 impl IncompetentTeacher {
+    /// One client's two-teacher distillation, on the allocation-free
+    /// runtime: each teacher produces its logits through its own
+    /// inference workspace, the fused distillation loss writes into a
+    /// reused gradient buffer, and the fused optimizer steps the
+    /// student. Bitwise identical to the pre-port allocating pipeline.
     fn train_client(
         &self,
         student: &mut Network,
@@ -247,33 +302,51 @@ impl IncompetentTeacher {
         seed: u64,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut sgd = goldfish_nn::optim::Sgd::new(setup.train.lr, setup.train.momentum);
+        let mut sgd = FusedSgd::new(setup.train.lr, setup.train.momentum);
+        let mut gather = BatchGather::new();
+        let mut grad = Tensor::zeros(vec![0]);
+        let mut teacher_probs = Tensor::zeros(vec![0]);
+        let mut order: Vec<usize> = Vec::new();
         for _ in 0..setup.train.local_epochs {
             // Retained data: follow the competent teacher.
             if !split.remaining.is_empty() {
-                let order = split.remaining.shuffled_indices(&mut rng);
+                split.remaining.shuffled_indices_into(&mut rng, &mut order);
                 for chunk in order.chunks(setup.train.batch_size) {
-                    let batch = split.remaining.subset(chunk);
-                    let teacher_logits = competent.forward(batch.features(), false);
-                    let student_logits = student.forward(batch.features(), true);
-                    let (_, grad) =
-                        distillation_loss(&student_logits, &teacher_logits, self.temperature);
+                    gather.gather(&split.remaining, chunk);
+                    {
+                        let teacher_logits = competent.forward_ws(gather.features(), false);
+                        let student_logits = student.forward_ws(gather.features(), true);
+                        distillation_loss_into(
+                            student_logits,
+                            teacher_logits,
+                            self.temperature,
+                            &mut grad,
+                            &mut teacher_probs,
+                        );
+                    }
                     student.zero_grad();
-                    student.backward(&grad);
+                    student.backward_train(&grad);
                     sgd.step(student);
                 }
             }
             // Removed data: follow the incompetent teacher.
             if !split.forget.is_empty() {
-                let order = split.forget.shuffled_indices(&mut rng);
+                split.forget.shuffled_indices_into(&mut rng, &mut order);
                 for chunk in order.chunks(setup.train.batch_size) {
-                    let batch = split.forget.subset(chunk);
-                    let teacher_logits = incompetent.forward(batch.features(), false);
-                    let student_logits = student.forward(batch.features(), true);
-                    let (_, grad) =
-                        distillation_loss(&student_logits, &teacher_logits, self.temperature);
+                    gather.gather(&split.forget, chunk);
+                    {
+                        let teacher_logits = incompetent.forward_ws(gather.features(), false);
+                        let student_logits = student.forward_ws(gather.features(), true);
+                        distillation_loss_into(
+                            student_logits,
+                            teacher_logits,
+                            self.temperature,
+                            &mut grad,
+                            &mut teacher_probs,
+                        );
+                    }
                     student.zero_grad();
-                    student.backward(&grad);
+                    student.backward_train(&grad);
                     sgd.step(student);
                 }
             }
@@ -444,6 +517,62 @@ mod tests {
             "B3 accuracy {}",
             out.final_accuracy()
         );
+    }
+
+    #[test]
+    fn b2_keeps_frozen_batchnorm_stats_pinned() {
+        // The pre-port B2 maintained its own state vector and wrote it
+        // back every batch, which pinned the frozen BatchNorm running
+        // statistics to their round-entry values (frozen grads are
+        // zero). The fused in-place sweep must reproduce that: after an
+        // unlearning run on a BN-bearing model, every frozen entry of
+        // the global state equals the reinitialised model's.
+        let spec = SyntheticSpec::mnist().with_size(10, 10);
+        let (train, test) = synthetic::generate(&spec, 60, 20, 3);
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            zoo::resnet_mini(1, 10, 1, 4, &mut rng)
+        });
+        let setup = UnlearnSetup {
+            factory: factory.clone(),
+            clients: vec![ClientSplit::intact(train)],
+            test,
+            original_global: (factory)(1).state_vector(),
+            rounds: 1,
+            train: TrainConfig {
+                local_epochs: 1,
+                batch_size: 20,
+                lr: 0.05,
+                momentum: 0.9,
+            },
+        };
+        let seed = 5;
+        let out = RapidRetrain::default().unlearn(&setup, seed);
+        let init = (setup.factory)(crate::basic_model::reinit_seed(seed ^ 0xB2)).state_vector();
+        // Frozen mask in state-vector order.
+        let mut probe = (setup.factory)(0);
+        let mut trainable = Vec::new();
+        probe.visit_params_mut(&mut |p| {
+            trainable.extend(std::iter::repeat_n(p.trainable, p.value.len()));
+        });
+        assert!(trainable.iter().any(|t| !t), "fixture has no frozen state");
+        let mut moved = 0usize;
+        for ((t, got), want) in trainable
+            .iter()
+            .zip(out.global_state.iter())
+            .zip(init.iter())
+        {
+            if !t {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "frozen running stat drifted: {got} vs {want}"
+                );
+            } else if got.to_bits() != want.to_bits() {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "trainable parameters did not move");
     }
 
     #[test]

@@ -7,15 +7,30 @@
 //! exclusively on `D_r^c`, while the removed data `D_f^c` only ever enters
 //! through the negative hard term and the confusion term of the composite
 //! loss — preventing the student from acquiring the removed knowledge.
+//!
+//! [`train_distill`] runs on the allocation-free training runtime
+//! (DESIGN.md §8–9): batches are gathered into persistent
+//! [`BatchGather`] buffers, the frozen teacher's logits are
+//! materialised **once** in a [`TeacherCache`] (built through the
+//! teacher's own inference workspace, [`Network::forward_ws`]) and
+//! bulk-gathered per batch instead of re-forwarded per epoch, the
+//! student trains through its arenas ([`Network::forward_ws`] /
+//! [`Network::backward_train`]), the fused composite loss
+//! ([`GoldfishLoss::loss_and_grad_into`]) writes into a reused gradient
+//! buffer, and the fused optimizer walks flat parameter slices. Every
+//! piece is bitwise identical to the classic allocating pipeline
+//! (`subset` → `forward` → `remaining_grad`/`forget_grad` → `backward`
+//! → `Sgd`), pinned by `tests/unlearn_identity.rs`.
 
-use goldfish_data::Dataset;
-use goldfish_nn::optim::Sgd;
+use goldfish_data::{BatchGather, Dataset};
+use goldfish_nn::optim::FusedSgd;
 use goldfish_nn::Network;
+use goldfish_tensor::Tensor;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::extension::AdaptiveTemperature;
-use crate::loss::{GoldfishLoss, LossWeights};
+use crate::loss::{GoldfishBatch, GoldfishLoss, GoldfishLossBufs, LossWeights};
 use crate::optimization::EarlyTermination;
 
 /// Configuration of one client's Goldfish local retraining.
@@ -70,7 +85,146 @@ pub struct GoldfishLocalStats {
     pub early_terminated: bool,
 }
 
-/// Runs the Goldfish distillation retraining for one client.
+/// Precomputed teacher logits over a client's remaining data — the
+/// teacher side of the distillation term, materialised **once** and
+/// reused across every epoch (and, via [`train_distill_cached`], every
+/// round) of an unlearning request.
+///
+/// The teacher is frozen for the whole request (it is the pre-deletion
+/// global model), so re-running its forward pass per batch per epoch —
+/// what the pre-port pipeline did — recomputes identical numbers.
+/// Bitwise fidelity to the per-batch pipeline is delicate, because a
+/// logit row's *bits* depend on the size of the batch it was computed
+/// in (kernel dispatch is by problem size), though never on its row
+/// position or batch companions. The cache therefore computes **every
+/// row at exactly the training batch size**: natural-order windows of
+/// `B` rows, with one final *overlapping* window `[n−B, n)` covering
+/// the remainder. Full-size training batches gather their rows from
+/// the cache; a short tail batch falls back to a direct forward pass
+/// through the cache's own teacher (its dedicated inference
+/// workspace), exactly as the per-batch pipeline would have computed
+/// it. Pinned by `tests/unlearn_identity.rs` and the `bench_unlearn`
+/// identity gate.
+#[derive(Debug)]
+pub struct TeacherCache {
+    /// The frozen teacher, kept for short-batch fallback forwards.
+    teacher: Option<Network>,
+    /// `[n, classes]` logits in the dataset's natural row order, every
+    /// row computed in a `rows_per_chunk`-sized forward.
+    logits: Tensor,
+    /// The batch size every cached row was computed at.
+    rows_per_chunk: usize,
+    /// Persistent per-batch gather buffer.
+    gathered: Tensor,
+}
+
+impl TeacherCache {
+    /// An empty cache (for loops whose loss has no distillation term).
+    pub fn empty() -> Self {
+        TeacherCache {
+            teacher: None,
+            logits: Tensor::zeros(vec![0]),
+            rows_per_chunk: 0,
+            gathered: Tensor::zeros(vec![0]),
+        }
+    }
+
+    /// Forwards every sample of `data` through `teacher` (eval mode,
+    /// via its inference workspace) in `batch_size`-row windows and
+    /// stores the logits; the teacher is kept inside the cache for
+    /// short-batch fallback forwards.
+    pub fn build(mut teacher: Network, data: &Dataset, batch_size: usize) -> Self {
+        let n = data.len();
+        let rows = batch_size.max(1).min(n.max(1));
+        let mut cache = TeacherCache::empty();
+        cache.rows_per_chunk = rows;
+        if n > 0 {
+            let mut gather = BatchGather::new();
+            let indices: Vec<usize> = (0..n).collect();
+            let full = n / rows;
+            let mut write =
+                |cache_logits: &mut Tensor, start: usize, window: &[usize], keep_from: usize| {
+                    gather.gather(data, window);
+                    let logits = teacher.forward_ws(gather.features(), false);
+                    let (_, c) = logits.dims2();
+                    if cache_logits.is_empty() {
+                        cache_logits.resize(&[n, c]);
+                    }
+                    let kept = window.len() - keep_from;
+                    cache_logits.as_mut_slice()[start * c..(start + kept) * c]
+                        .copy_from_slice(&logits.as_slice()[keep_from * c..]);
+                };
+            for w in 0..full {
+                write(
+                    &mut cache.logits,
+                    w * rows,
+                    &indices[w * rows..(w + 1) * rows],
+                    0,
+                );
+            }
+            let rem = n - full * rows;
+            if rem > 0 {
+                // Overlapping final window: recompute the last `rows`
+                // rows at full batch size, keep only the uncovered tail.
+                write(&mut cache.logits, n - rem, &indices[n - rows..], rows - rem);
+            }
+        }
+        cache.teacher = Some(teacher);
+        cache
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        if self.logits.is_empty() {
+            0
+        } else {
+            self.logits.dims2().0
+        }
+    }
+
+    /// Whether the cache holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.logits.len() == 0
+    }
+
+    /// Teacher logits for one training batch: a full-size batch gathers
+    /// its cached rows (two bulk copies, no forward pass); a short
+    /// (tail) batch forwards `features` through the cached teacher
+    /// directly — in both cases bit-for-bit what a per-batch teacher
+    /// forward would produce. Zero allocations after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range, or on a short batch when the
+    /// cache was built without a teacher.
+    pub fn logits_for(&mut self, features: &Tensor, indices: &[usize]) -> &Tensor {
+        if indices.len() != self.rows_per_chunk {
+            let teacher = self
+                .teacher
+                .as_mut()
+                .expect("short-batch fallback needs the cached teacher");
+            return teacher.forward_ws(features, false);
+        }
+        let (n, c) = self.logits.dims2();
+        self.gathered.resize(&[indices.len(), c]);
+        let src = self.logits.as_slice();
+        let dst = self.gathered.as_mut_slice();
+        for (j, &i) in indices.iter().enumerate() {
+            assert!(i < n, "cached teacher row {i} out of {n}");
+            dst[j * c..(j + 1) * c].copy_from_slice(&src[i * c..(i + 1) * c]);
+        }
+        &self.gathered
+    }
+
+    /// Releases the cached teacher network (used by [`train_distill`]
+    /// to return the borrowed teacher to its caller).
+    pub fn into_teacher(self) -> Option<Network> {
+        self.teacher
+    }
+}
+
+/// Runs the Goldfish distillation retraining for one client on the
+/// allocation-free runtime (see the module docs for the buffer layout).
 ///
 /// * `student` — trained in place; typically freshly (re)initialised.
 /// * `teacher` — the old global model; only evaluated (never updated).
@@ -82,10 +236,85 @@ pub struct GoldfishLocalStats {
 ///   `cfg.early_termination` is set).
 ///
 /// Returns per-epoch statistics.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use goldfish_core::basic_model::{train_distill, GoldfishLocalConfig};
+/// use goldfish_core::loss::{GoldfishLoss, LossWeights};
+/// use goldfish_data::synthetic::{self, SyntheticSpec};
+/// use goldfish_nn::loss::CrossEntropy;
+/// use goldfish_nn::zoo;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+/// let (train, _) = synthetic::generate(&spec, 40, 10, 1);
+/// let forget = train.subset(&[0, 1, 2]);
+/// let remaining = train.subset(&(3..40).collect::<Vec<_>>());
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut student = zoo::mlp(64, &[16], 10, &mut rng);
+/// let mut teacher = zoo::mlp(64, &[16], 10, &mut rng);
+/// let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+/// let cfg = GoldfishLocalConfig { epochs: 1, batch_size: 10, ..Default::default() };
+/// let stats = train_distill(
+///     &mut student, &mut teacher, &remaining, &forget, &loss, &cfg, None, 7,
+/// );
+/// assert_eq!(stats.epoch_losses.len(), 1);
+/// ```
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
-pub fn goldfish_local(
+pub fn train_distill(
     student: &mut Network,
     teacher: &mut Network,
+    remaining: &Dataset,
+    forget: &Dataset,
+    loss: &GoldfishLoss,
+    cfg: &GoldfishLocalConfig,
+    reference_loss: Option<f32>,
+    seed: u64,
+) -> GoldfishLocalStats {
+    // The teacher is frozen: materialise its logits once and reuse them
+    // across every epoch instead of re-forwarding per batch. The teacher
+    // is lent to the cache for the duration of the call (it performs
+    // the short-batch fallback forwards) and handed back afterwards.
+    let owned = std::mem::replace(teacher, Network::new(goldfish_nn::Sequential::new()));
+    let mut cache = if loss.weights().mu_d > 0.0 {
+        TeacherCache::build(owned, remaining, cfg.batch_size)
+    } else {
+        let mut cache = TeacherCache::empty();
+        cache.teacher = Some(owned);
+        cache
+    };
+    let stats = train_distill_cached(
+        student,
+        &mut cache,
+        remaining,
+        forget,
+        loss,
+        cfg,
+        reference_loss,
+        seed,
+    );
+    *teacher = cache.into_teacher().expect("teacher returned from cache");
+    stats
+}
+
+/// [`train_distill`] against a caller-built [`TeacherCache`] — the form
+/// the unlearning round loop uses so one teacher-logit materialisation
+/// serves **every round** of a request, not just every epoch.
+///
+/// The cache must have been built over `remaining` at `cfg.batch_size`
+/// (and may be [`TeacherCache::empty`] when the loss has no
+/// distillation term).
+///
+/// # Panics
+///
+/// Panics if the distillation term is active and the cache does not
+/// cover `remaining`.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
+pub fn train_distill_cached(
+    student: &mut Network,
+    teacher_cache: &mut TeacherCache,
     remaining: &Dataset,
     forget: &Dataset,
     loss: &GoldfishLoss,
@@ -113,7 +342,7 @@ pub fn goldfish_local(
         _ => None,
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut sgd = Sgd::new(cfg.lr, cfg.momentum);
+    let mut sgd = FusedSgd::new(cfg.lr, cfg.momentum);
     // The paper's Eq 1 is sum-based over |D_r| ≫ |D_f|; on batch means the
     // equivalent ascent weight for the removed data is the size ratio.
     let forget_scale = if remaining.is_empty() {
@@ -122,11 +351,20 @@ pub fn goldfish_local(
         (forget.len() as f32 / remaining.len() as f32).min(1.0)
     };
 
+    // Persistent step buffers, warm after the first epoch: two gather
+    // buffers (the remaining and forget slices have different geometry),
+    // the shared gradient buffer, and the fused-loss scratch.
+    let mut gather_r = BatchGather::new();
+    let mut gather_f = BatchGather::new();
+    let mut grad = Tensor::zeros(vec![0]);
+    let mut bufs = GoldfishLossBufs::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut forget_order: Vec<usize> = Vec::new();
+
     for _ in 0..cfg.epochs {
-        let order = remaining.shuffled_indices(&mut rng);
-        let forget_order = forget.shuffled_indices(&mut rng);
-        let remaining_batches: Vec<&[usize]> = order.chunks(cfg.batch_size.max(1)).collect();
-        let n_steps = remaining_batches.len().max(1);
+        remaining.shuffled_indices_into(&mut rng, &mut order);
+        forget.shuffled_indices_into(&mut rng, &mut forget_order);
+        let n_steps = order.chunks(cfg.batch_size.max(1)).len().max(1);
         // Spread the (small) forget set across the epoch's steps so every
         // step sees a slice of removed data.
         let forget_chunk = forget_order.len().div_ceil(n_steps).max(1);
@@ -134,29 +372,49 @@ pub fn goldfish_local(
 
         let mut epoch_loss = 0.0f32;
         let mut steps = 0usize;
-        for chunk in &remaining_batches {
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
             let mut total = 0.0f32;
             student.zero_grad();
-            if !chunk.is_empty() {
-                let batch = remaining.subset(chunk);
+            gather_r.gather(remaining, chunk);
+            let bd = {
+                // The teacher's logits come out of the cache (one bulk
+                // row gather, or a direct fallback forward for the tail
+                // batch); the borrow stays live across the student's
+                // training-mode forward.
                 let teacher_logits = if loss.weights().mu_d > 0.0 {
-                    Some(teacher.forward(batch.features(), false))
+                    Some(teacher_cache.logits_for(gather_r.features(), chunk))
                 } else {
                     None
                 };
-                let student_logits = student.forward(batch.features(), true);
-                let (bd, grad) =
-                    loss.remaining_grad(&student_logits, teacher_logits.as_ref(), batch.labels());
-                student.backward(&grad);
-                total += bd.total(loss.weights());
-            }
+                let student_logits = student.forward_ws(gather_r.features(), true);
+                loss.loss_and_grad_into(
+                    GoldfishBatch::Remaining {
+                        student_logits,
+                        teacher_logits,
+                        labels: gather_r.labels(),
+                    },
+                    &mut grad,
+                    &mut bufs,
+                )
+            };
+            student.backward_train(&grad);
+            total += bd.total(loss.weights());
             if let Some(fchunk) = forget_batches.next() {
                 if !fchunk.is_empty() {
-                    let fbatch = forget.subset(fchunk);
-                    let student_logits = student.forward(fbatch.features(), true);
-                    let (bd, grad) =
-                        loss.forget_grad(&student_logits, fbatch.labels(), forget_scale);
-                    student.backward(&grad);
+                    gather_f.gather(forget, fchunk);
+                    let bd = {
+                        let student_logits = student.forward_ws(gather_f.features(), true);
+                        loss.loss_and_grad_into(
+                            GoldfishBatch::Forget {
+                                student_logits,
+                                labels: gather_f.labels(),
+                                hard_scale: forget_scale,
+                            },
+                            &mut grad,
+                            &mut bufs,
+                        )
+                    };
+                    student.backward_train(&grad);
                     total += bd.total(loss.weights());
                 }
             }
@@ -182,23 +440,26 @@ pub fn goldfish_local(
 /// Scales all parameter gradients down so the global gradient norm is at
 /// most `max_norm`.
 ///
+/// Walks the parameters through [`Network::visit_params_mut`] (no
+/// materialised `Vec` of references), so a clip performs zero heap
+/// allocations; the norm is accumulated in the same per-parameter order
+/// the old `params()`-based form used, keeping results bitwise
+/// identical.
+///
 /// # Panics
 ///
 /// Panics if `max_norm` is not positive.
 pub fn clip_grad_norm(net: &mut Network, max_norm: f32) {
     assert!(max_norm > 0.0, "max_norm must be positive, got {max_norm}");
-    let norm_sq: f32 = net.params().iter().map(|p| p.grad.norm_sq()).sum();
+    let mut norm_sq = 0.0f32;
+    net.visit_params_mut(&mut |p| norm_sq += p.grad.norm_sq());
     let norm = norm_sq.sqrt();
     if norm > max_norm && norm.is_finite() {
         let scale = max_norm / norm;
-        for p in net.params_mut() {
-            p.grad.scale_mut(scale);
-        }
+        net.visit_params_mut(&mut |p| p.grad.scale_mut(scale));
     } else if !norm.is_finite() {
         // A non-finite gradient would corrupt the momentum buffers; drop it.
-        for p in net.params_mut() {
-            p.grad.zero_mut();
-        }
+        net.visit_params_mut(&mut |p| p.grad.zero_mut());
     }
 }
 
@@ -216,27 +477,46 @@ pub fn reference_loss(
     forget: &Dataset,
     loss: &GoldfishLoss,
 ) -> f32 {
-    // goldfish_local's per-step loss is "remaining-batch term + forget-slice
+    // train_distill's per-step loss is "remaining-batch term + forget-slice
     // term", so the comparable reference is the sum of the two per-batch
-    // means.
+    // means. Evaluation runs through the model's inference workspace and
+    // the fused loss (identical values to the composed pipeline).
     let forget_scale = if remaining.is_empty() {
         1.0
     } else {
         (forget.len() as f32 / remaining.len() as f32).min(1.0)
     };
+    let mut grad = Tensor::zeros(vec![0]);
+    let mut bufs = GoldfishLossBufs::new();
     let mut rem_total = 0.0f32;
     let mut rem_batches = 0usize;
     for (x, labels) in remaining.batches(256) {
-        let logits = model.forward(&x, false);
-        let (bd, _) = loss.remaining_grad(&logits, Some(&logits), &labels);
+        let logits = model.forward_ws(&x, false);
+        let bd = loss.loss_and_grad_into(
+            GoldfishBatch::Remaining {
+                student_logits: logits,
+                teacher_logits: Some(logits),
+                labels: &labels,
+            },
+            &mut grad,
+            &mut bufs,
+        );
         rem_total += bd.total(loss.weights());
         rem_batches += 1;
     }
     let mut fg_total = 0.0f32;
     let mut fg_batches = 0usize;
     for (x, labels) in forget.batches(256) {
-        let logits = model.forward(&x, false);
-        let (bd, _) = loss.forget_grad(&logits, &labels, forget_scale);
+        let logits = model.forward_ws(&x, false);
+        let bd = loss.loss_and_grad_into(
+            GoldfishBatch::Forget {
+                student_logits: logits,
+                labels: &labels,
+                hard_scale: forget_scale,
+            },
+            &mut grad,
+            &mut bufs,
+        );
         fg_total += bd.total(loss.weights());
         fg_batches += 1;
     }
@@ -335,7 +615,7 @@ mod tests {
 
         let mut student = mlp_net(99);
         let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
-        let stats = goldfish_local(
+        let stats = train_distill(
             &mut student,
             &mut teacher,
             &remaining,
@@ -359,7 +639,7 @@ mod tests {
         let mut teacher = train_teacher(&remaining, &empty);
         let mut student = mlp_net(42);
         let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
-        let stats = goldfish_local(
+        let stats = train_distill(
             &mut student,
             &mut teacher,
             &remaining,
@@ -387,7 +667,7 @@ mod tests {
             early_termination: Some(1.0), // generous δ triggers quickly
             ..local_cfg()
         };
-        let stats = goldfish_local(
+        let stats = train_distill(
             &mut student,
             &mut teacher,
             &remaining,
@@ -412,7 +692,7 @@ mod tests {
             adaptive_temperature: Some(AdaptiveTemperature::default()),
             ..local_cfg()
         };
-        let stats = goldfish_local(
+        let stats = train_distill(
             &mut student,
             &mut teacher,
             &remaining,
@@ -457,7 +737,7 @@ mod tests {
         let before = student.state_vector();
         let empty = Dataset::empty(&[100], 10);
         let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
-        let stats = goldfish_local(
+        let stats = train_distill(
             &mut student,
             &mut teacher,
             &empty,

@@ -67,7 +67,7 @@ pub mod method;
 pub mod optimization;
 pub mod unlearner;
 
-pub use basic_model::{goldfish_local, GoldfishLocalConfig, GoldfishLocalStats};
+pub use basic_model::{train_distill, GoldfishLocalConfig, GoldfishLocalStats};
 pub use extension::{AdaptiveTemperature, AdaptiveWeightAggregation};
 pub use loss::{GoldfishLoss, LossBreakdown, LossWeights};
 pub use method::{ClientSplit, UnlearnOutcome, UnlearnSetup, UnlearningMethod};

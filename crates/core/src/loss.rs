@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use goldfish_nn::loss::HardLoss;
+use goldfish_nn::loss::{distillation_loss_into, HardLoss};
 use goldfish_tensor::{ops, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -150,6 +150,94 @@ impl GoldfishLoss {
         self.hard.as_ref()
     }
 
+    /// Fused composite loss and gradient, written into a caller-owned
+    /// gradient tensor — the allocation-free form of
+    /// [`GoldfishLoss::remaining_grad`] / [`GoldfishLoss::forget_grad`]
+    /// that the runtime distillation loop
+    /// ([`crate::basic_model::train_distill`]) calls every step.
+    ///
+    /// All intermediates (the softened teacher distribution, the staged
+    /// distillation / confusion term, the per-row `∂L/∂p` row) live in
+    /// the caller's [`GoldfishLossBufs`]; after warm-up a call performs
+    /// zero heap allocations on the cross-entropy hard-loss path, and
+    /// values are **bitwise identical** to the composed two-method path
+    /// (pinned by proptests in `crates/core/tests`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches, out-of-range labels, or a negative
+    /// `hard_scale`.
+    pub fn loss_and_grad_into(
+        &self,
+        batch: GoldfishBatch<'_>,
+        grad: &mut Tensor,
+        bufs: &mut GoldfishLossBufs,
+    ) -> LossBreakdown {
+        match batch {
+            GoldfishBatch::Remaining {
+                student_logits,
+                teacher_logits,
+                labels,
+            } => {
+                let hard_val = self.hard.loss_and_grad_into(student_logits, labels, grad);
+                let mut breakdown = LossBreakdown {
+                    hard_remaining: hard_val,
+                    ..LossBreakdown::default()
+                };
+                if let (Some(teacher), true) = (teacher_logits, self.weights.mu_d > 0.0) {
+                    assert_eq!(
+                        teacher.shape(),
+                        student_logits.shape(),
+                        "teacher/student logit shapes differ"
+                    );
+                    let ld = distillation_loss_into(
+                        student_logits,
+                        teacher,
+                        self.weights.temperature,
+                        &mut bufs.term,
+                        &mut bufs.probs,
+                    );
+                    breakdown.distillation = ld;
+                    grad.axpy(self.weights.mu_d, &bufs.term);
+                }
+                breakdown
+            }
+            GoldfishBatch::Forget {
+                student_logits,
+                labels,
+                hard_scale,
+            } => {
+                assert!(hard_scale >= 0.0, "hard_scale must be non-negative");
+                let (n, c) = student_logits.dims2();
+                let hard_val = self.hard.loss_and_grad_into(student_logits, labels, grad);
+                // In-place counterpart of `hard_grad.scale(-hard_scale)`.
+                for g in grad.as_mut_slice() {
+                    *g *= -hard_scale;
+                }
+                // Gate: rows already at/below chance stop receiving ascent.
+                ops::softmax_t_into(student_logits, 1.0, &mut bufs.probs);
+                let chance = 1.0 / c as f32;
+                for (r, &label) in labels.iter().enumerate().take(n) {
+                    if bufs.probs.at2(r, label) <= chance {
+                        for g in grad.row_mut(r) {
+                            *g = 0.0;
+                        }
+                    }
+                }
+                let mut breakdown = LossBreakdown {
+                    hard_forget: hard_scale * hard_val,
+                    ..LossBreakdown::default()
+                };
+                if self.weights.mu_c > 0.0 {
+                    let lc = confusion_from_probs(&bufs.probs, &mut bufs.term, &mut bufs.dl_dp);
+                    breakdown.confusion = lc;
+                    grad.axpy(self.weights.mu_c, &bufs.term);
+                }
+                breakdown
+            }
+        }
+    }
+
     /// Loss and gradient w.r.t. the student logits for a **remaining-data**
     /// batch: `Lr + µd·Ld` (the positive hard term plus distillation from
     /// the teacher).
@@ -241,6 +329,101 @@ impl GoldfishLoss {
     }
 }
 
+/// One mini-batch as seen by the fused composite loss
+/// ([`GoldfishLoss::loss_and_grad_into`]): either a remaining-data batch
+/// (positive hard term plus distillation from the teacher) or a
+/// removed-data batch (gated hard ascent plus confusion).
+#[derive(Debug, Clone, Copy)]
+pub enum GoldfishBatch<'a> {
+    /// A batch drawn from `D_r^c`: contributes `Lr + µd·Ld`.
+    Remaining {
+        /// Student logits for the batch.
+        student_logits: &'a Tensor,
+        /// Teacher logits for the same inputs; `None` skips distillation
+        /// (the hard-only ablation and plain training).
+        teacher_logits: Option<&'a Tensor>,
+        /// True labels, one per row.
+        labels: &'a [usize],
+    },
+    /// A batch drawn from `D_f^c`: contributes `−s·Lf + µc·Lc`, with the
+    /// ascent gated per sample (see [`GoldfishLoss::forget_grad`]).
+    Forget {
+        /// Student logits for the batch.
+        student_logits: &'a Tensor,
+        /// True labels, one per row.
+        labels: &'a [usize],
+        /// The ascent weight `s` (see [`GoldfishLoss::forget_grad`]).
+        hard_scale: f32,
+    },
+}
+
+/// Persistent scratch of the fused composite loss: one set per training
+/// loop, reused every step so the hot path never touches the allocator
+/// after warm-up (DESIGN.md §9).
+#[derive(Debug)]
+pub struct GoldfishLossBufs {
+    /// The softened teacher distribution (remaining batches) or the
+    /// student's prediction distribution (forget batches, for the ascent
+    /// gate and the confusion term).
+    probs: Tensor,
+    /// Staging buffer for the distillation / confusion gradient term
+    /// before its weighted accumulation into the caller's gradient.
+    term: Tensor,
+    /// Per-row `∂Lc/∂p` staging of the confusion gradient.
+    dl_dp: Vec<f32>,
+}
+
+impl GoldfishLossBufs {
+    /// Creates an empty scratch set (buffers sized on first use).
+    pub fn new() -> Self {
+        GoldfishLossBufs {
+            probs: Tensor::zeros(vec![0]),
+            term: Tensor::zeros(vec![0]),
+            dl_dp: Vec::new(),
+        }
+    }
+}
+
+impl Default for GoldfishLossBufs {
+    fn default() -> Self {
+        GoldfishLossBufs::new()
+    }
+}
+
+/// The [`confusion_loss`] value and gradient computed from an
+/// already-materialised prediction distribution, written into a reused
+/// gradient buffer — arithmetic is operation-for-operation the composed
+/// form's, so results are bitwise identical.
+fn confusion_from_probs(p: &Tensor, grad: &mut Tensor, dl_dp: &mut Vec<f32>) -> f32 {
+    let (n, c) = p.dims2();
+    grad.resize(&[n, c]);
+    grad.zero_mut();
+    if n == 0 {
+        return 0.0;
+    }
+    let uniform = 1.0 / c as f32;
+    let mut total = 0.0f32;
+    for r in 0..n {
+        let prow = p.row(r);
+        let var: f32 = prow.iter().map(|&pk| (pk - uniform).powi(2)).sum::<f32>() / c as f32;
+        let sd = var.sqrt();
+        total += sd;
+        if sd < 1e-8 {
+            continue; // already uniform: flat spot of sqrt, treat as zero
+        }
+        // dL/dp_k for this sample, staged in the reused row buffer.
+        dl_dp.clear();
+        dl_dp.extend(prow.iter().map(|&pk| (pk - uniform) / (c as f32 * sd)));
+        // Chain through the softmax Jacobian: dL/dz_i = p_i (dL/dp_i − Σ_k dL/dp_k p_k).
+        let dot: f32 = dl_dp.iter().zip(prow.iter()).map(|(&a, &b)| a * b).sum();
+        let grow = grad.row_mut(r);
+        for i in 0..c {
+            grow[i] = prow[i] * (dl_dp[i] - dot) / n as f32;
+        }
+    }
+    total / n as f32
+}
+
 /// Confusion loss (Eq 2) and its gradient w.r.t. the logits.
 ///
 /// For each sample, `Lc = sqrt(Var(p))` with `p = softmax(z)`; the batch
@@ -286,6 +469,10 @@ pub fn confusion_loss(logits: &Tensor) -> (f32, Tensor) {
 /// softened at temperature `T` (Eqs 3–4). The exact gradient is
 /// `(P^S − P^T) / (n·T)`.
 ///
+/// This is the allocating wrapper over the fused
+/// [`goldfish_nn::loss::distillation_loss_into`] (both forms share one
+/// implementation, so they are bitwise identical by construction).
+///
 /// # Panics
 ///
 /// Panics if shapes differ or `t <= 0`.
@@ -294,28 +481,15 @@ pub fn distillation_loss(
     teacher_logits: &Tensor,
     t: f32,
 ) -> (f32, Tensor) {
-    assert_eq!(
-        student_logits.shape(),
-        teacher_logits.shape(),
-        "teacher/student logit shapes differ"
+    let mut grad = Tensor::zeros(vec![0]);
+    let mut teacher_probs = Tensor::zeros(vec![0]);
+    let loss = distillation_loss_into(
+        student_logits,
+        teacher_logits,
+        t,
+        &mut grad,
+        &mut teacher_probs,
     );
-    assert!(t > 0.0, "temperature must be positive, got {t}");
-    let (n, _c) = student_logits.dims2();
-    if n == 0 {
-        return (0.0, Tensor::zeros(student_logits.shape().to_vec()));
-    }
-    let p_t = ops::softmax_t(teacher_logits, t);
-    let log_p_s = ops::log_softmax_t(student_logits, t);
-    let loss = -p_t
-        .as_slice()
-        .iter()
-        .zip(log_p_s.as_slice().iter())
-        .map(|(&a, &b)| a * b)
-        .sum::<f32>()
-        / n as f32;
-    let p_s = log_p_s.map(|v| v.exp());
-    let mut grad = p_s.sub(&p_t);
-    grad.scale_mut(1.0 / (n as f32 * t));
     (loss, grad)
 }
 
@@ -518,6 +692,66 @@ mod tests {
             temperature: 3.0,
         };
         assert!((bd.total(&w) - (2.0 - 0.5 + 0.1 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_remaining_is_bitwise_identical_to_composed() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let student = init::normal(&mut rng, vec![5, 4], 0.0, 2.0);
+        let teacher = init::normal(&mut rng, vec![5, 4], 0.0, 2.0);
+        let labels = vec![0usize, 1, 2, 3, 0];
+        let mut grad = Tensor::zeros(vec![0]);
+        let mut bufs = GoldfishLossBufs::new();
+        for weights in [
+            LossWeights::default(),
+            LossWeights::hard_only(),
+            LossWeights::without_distillation(),
+            LossWeights::without_confusion(),
+        ] {
+            let loss = GoldfishLoss::new(Arc::new(CrossEntropy), weights);
+            let (want_bd, want_grad) = loss.remaining_grad(&student, Some(&teacher), &labels);
+            let got_bd = loss.loss_and_grad_into(
+                GoldfishBatch::Remaining {
+                    student_logits: &student,
+                    teacher_logits: Some(&teacher),
+                    labels: &labels,
+                },
+                &mut grad,
+                &mut bufs,
+            );
+            assert_eq!(got_bd, want_bd);
+            for (a, b) in grad.as_slice().iter().zip(want_grad.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_forget_is_bitwise_identical_to_composed() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let student = init::normal(&mut rng, vec![6, 5], 0.0, 2.5);
+        let labels = vec![0usize, 1, 2, 3, 4, 0];
+        let mut grad = Tensor::zeros(vec![0]);
+        let mut bufs = GoldfishLossBufs::new();
+        for weights in [LossWeights::default(), LossWeights::hard_only()] {
+            let loss = GoldfishLoss::new(Arc::new(CrossEntropy), weights);
+            for &scale in &[0.0f32, 0.3, 1.0] {
+                let (want_bd, want_grad) = loss.forget_grad(&student, &labels, scale);
+                let got_bd = loss.loss_and_grad_into(
+                    GoldfishBatch::Forget {
+                        student_logits: &student,
+                        labels: &labels,
+                        hard_scale: scale,
+                    },
+                    &mut grad,
+                    &mut bufs,
+                );
+                assert_eq!(got_bd, want_bd);
+                for (a, b) in grad.as_slice().iter().zip(want_grad.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "scale {scale}");
+                }
+            }
+        }
     }
 
     #[test]

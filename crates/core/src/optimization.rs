@@ -332,6 +332,17 @@ impl ShardedClient {
     /// surviving shard data only**, exactly as Fig 3 prescribes; untouched
     /// shards keep their trained models (the Eq 9 checkpoint effect).
     ///
+    /// Affected shards retrain **concurrently** on the shared compute
+    /// pool (`goldfish_fed::pool`), the scaling lever of shard-level
+    /// unlearning: every Eq 9 restart checkpoint is computed up front
+    /// from the deletion-time shard states, so the retrains are
+    /// independent and the outcome is bitwise identical at every thread
+    /// count. (The earlier serial implementation threaded each
+    /// retrained shard's state into the *next* shard's checkpoint — an
+    /// ordering artifact of the loop, not Eq 9, which defines every
+    /// checkpoint against the states held when the deletion request
+    /// arrived.)
+    ///
     /// Returns which shards were touched.
     ///
     /// # Panics
@@ -388,21 +399,49 @@ impl ShardedClient {
         // network — so the non-sharded case falls back to a fresh
         // re-initialisation, exactly the slow path sharding is meant to
         // avoid (Fig 7a).
-        for (&orig, &i) in impact.partial.iter().zip(partial_shifted.iter()) {
-            let rows = &per_shard[orig];
-            let keep: Vec<usize> = (0..self.shards[i].len())
-                .filter(|r| !rows.contains(r))
-                .collect();
-            let survived = self.shards[i].subset(&keep);
-            let shard_seed = seed.wrapping_add((i as u64) << 16).wrapping_add(1);
-            let checkpoint = self.model.checkpoint_without(i);
-            let mut net = (self.factory)(shard_seed);
-            if checkpoint.iter().any(|&v| v != 0.0) {
-                net.set_state_vector(&checkpoint);
+        //
+        // Stage every retrain job up front (surviving rows, checkpoint,
+        // seed) from the deletion-time states, then run them in parallel
+        // on the shared pool: each job writes only its own slot, so the
+        // result never depends on the thread count.
+        struct RetrainJob {
+            shard: usize,
+            survived: Dataset,
+            checkpoint: Vec<f32>,
+            seed: u64,
+        }
+        let jobs: Vec<RetrainJob> = impact
+            .partial
+            .iter()
+            .zip(partial_shifted.iter())
+            .map(|(&orig, &i)| {
+                let rows = &per_shard[orig];
+                let keep: Vec<usize> = (0..self.shards[i].len())
+                    .filter(|r| !rows.contains(r))
+                    .collect();
+                RetrainJob {
+                    shard: i,
+                    survived: self.shards[i].subset(&keep),
+                    checkpoint: self.model.checkpoint_without(i),
+                    seed: seed.wrapping_add((i as u64) << 16).wrapping_add(1),
+                }
+            })
+            .collect();
+        let mut states: Vec<Option<Vec<f32>>> = vec![None; jobs.len()];
+        let (factory, cfg, jobs_ref) = (&self.factory, &self.cfg, &jobs);
+        goldfish_fed::pool::for_each_slot(&mut states, |j, slot| {
+            let job = &jobs_ref[j];
+            let mut net = (factory)(job.seed);
+            if job.checkpoint.iter().any(|&v| v != 0.0) {
+                net.set_state_vector(&job.checkpoint);
             }
-            train_local_ce(&mut net, &survived, &self.cfg, shard_seed);
-            self.model.set_shard(i, net.state_vector(), survived.len());
-            self.shards[i] = survived;
+            train_local_ce(&mut net, &job.survived, cfg, job.seed);
+            *slot = Some(net.state_vector());
+        });
+        for (job, state) in jobs.into_iter().zip(states) {
+            let state = state.expect("missing retrained shard state");
+            self.model.set_shard(job.shard, state, job.survived.len());
+            self.shards[job.shard] = job.survived;
         }
         impact
     }

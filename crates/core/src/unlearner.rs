@@ -16,11 +16,12 @@ use goldfish_fed::eval;
 use goldfish_nn::loss::{CrossEntropy, HardLoss};
 
 use crate::basic_model::{
-    goldfish_local, network_from_state, reference_loss, reinit_seed, GoldfishLocalConfig,
+    network_from_state, reference_loss, reinit_seed, train_distill_cached, GoldfishLocalConfig,
+    TeacherCache,
 };
 use crate::extension::AdaptiveWeightAggregation;
 use crate::loss::{GoldfishLoss, LossWeights};
-use crate::method::{parallel_clients, UnlearnOutcome, UnlearnSetup, UnlearningMethod};
+use crate::method::{UnlearnOutcome, UnlearnSetup, UnlearningMethod};
 
 /// The Goldfish unlearning method ("Ours" in every table and figure).
 #[derive(Clone)]
@@ -105,21 +106,54 @@ impl UnlearningMethod for GoldfishUnlearning {
         };
         let mut round_accuracies = Vec::with_capacity(setup.rounds);
 
+        // Per-client worker state carried across rounds (DESIGN.md §9):
+        // the student network (its activation/gradient arenas stay warm;
+        // its parameters are overwritten from the incoming global every
+        // round) and the teacher-logit cache (the teacher is the frozen
+        // pre-deletion global, so its logits over the client's remaining
+        // data are materialised once per request — the pre-port pipeline
+        // recomputed them every batch of every epoch of every round).
+        struct ClientWorker {
+            update: Option<ClientUpdate>,
+            student: Option<goldfish_nn::Network>,
+            cache: Option<TeacherCache>,
+        }
+        let mut workers: Vec<ClientWorker> = (0..setup.clients.len())
+            .map(|_| ClientWorker {
+                update: None,
+                student: None,
+                cache: None,
+            })
+            .collect();
+
         for round in 0..setup.rounds {
             let incoming = &global;
-            let updates: Vec<ClientUpdate> = parallel_clients(setup.clients.len(), |id| {
+            goldfish_fed::pool::for_each_slot(&mut workers, |id, worker| {
                 let client_seed = seed
                     .wrapping_add((id as u64) << 32)
                     .wrapping_add(round as u64);
                 let split = &setup.clients[id];
-                let mut student = network_from_state(&setup.factory, incoming, client_seed);
-                let mut teacher = network_from_state(&setup.factory, teacher_state, client_seed);
+                let student = worker
+                    .student
+                    .get_or_insert_with(|| (setup.factory)(client_seed));
+                student.set_state_vector(incoming);
+                let cache = worker.cache.get_or_insert_with(|| {
+                    if self.local.weights.mu_d > 0.0 {
+                        let teacher =
+                            network_from_state(&setup.factory, teacher_state, client_seed);
+                        TeacherCache::build(teacher, &split.remaining, self.local.batch_size)
+                    } else {
+                        TeacherCache::empty()
+                    }
+                });
 
                 // Eq 7 reference: the empirical risk of the previous global
                 // model. On the first unlearning round the incoming global
                 // is freshly reinitialised (uninformative), so the teacher
                 // (the pre-deletion global) provides the floor.
                 let reference = if self.local.early_termination.is_some() {
+                    let mut teacher =
+                        network_from_state(&setup.factory, teacher_state, client_seed);
                     let teacher_ref =
                         reference_loss(&mut teacher, &split.remaining, &split.forget, &loss);
                     let mut incoming_net =
@@ -131,9 +165,9 @@ impl UnlearningMethod for GoldfishUnlearning {
                     None
                 };
 
-                goldfish_local(
-                    &mut student,
-                    &mut teacher,
+                train_distill_cached(
+                    student,
+                    cache,
                     &split.remaining,
                     &split.forget,
                     &loss,
@@ -142,17 +176,21 @@ impl UnlearningMethod for GoldfishUnlearning {
                     client_seed,
                 );
                 let server_mse = if self.adaptive_aggregation {
-                    Some(eval::mse(&mut student, &setup.test))
+                    Some(eval::mse(student, &setup.test))
                 } else {
                     None
                 };
-                ClientUpdate {
+                worker.update = Some(ClientUpdate {
                     client_id: id,
                     state: student.state_vector(),
                     num_samples: split.remaining.len(),
                     server_mse,
-                }
+                });
             });
+            let updates: Vec<ClientUpdate> = workers
+                .iter_mut()
+                .map(|w| w.update.take().expect("missing client update"))
+                .collect();
             global = strategy.aggregate(&updates);
             let mut net = network_from_state(&setup.factory, &global, 0);
             round_accuracies.push(eval::accuracy(&mut net, &setup.test));

@@ -60,6 +60,25 @@ impl LocalStats {
     }
 }
 
+/// Reusable per-step buffers of [`train_local_with`]: the batch gather
+/// buffer, the loss-gradient buffer and the shuffle-order vector. Keep
+/// one per long-lived training loop (a shard worker retraining round
+/// after round, a benchmark harness) so repeated local runs skip even
+/// the per-call warm-up allocations.
+#[derive(Debug, Default)]
+pub struct TrainWorkspace {
+    gather: BatchGather,
+    grad: Tensor,
+    order: Vec<usize>,
+}
+
+impl TrainWorkspace {
+    /// Creates an empty workspace (buffers sized on first use).
+    pub fn new() -> Self {
+        TrainWorkspace::default()
+    }
+}
+
 /// Trains `net` on `data` for `cfg.local_epochs` epochs of mini-batch SGD
 /// with the given hard loss, shuffling with a seeded RNG.
 ///
@@ -74,6 +93,20 @@ pub fn train_local(
     loss: &dyn HardLoss,
     seed: u64,
 ) -> LocalStats {
+    train_local_with(net, data, cfg, loss, seed, &mut TrainWorkspace::new())
+}
+
+/// [`train_local`] with a caller-owned [`TrainWorkspace`] — the form for
+/// loops that train repeatedly (identical results; the workspace only
+/// carries buffer capacity between calls, never state).
+pub fn train_local_with(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    loss: &dyn HardLoss,
+    seed: u64,
+    ws: &mut TrainWorkspace,
+) -> LocalStats {
     let mut stats = LocalStats {
         epoch_losses: Vec::with_capacity(cfg.local_epochs),
     };
@@ -82,21 +115,23 @@ pub fn train_local(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sgd = FusedSgd::new(cfg.lr, cfg.momentum);
-    let mut gather = BatchGather::new();
-    let mut grad = Tensor::zeros(vec![0]);
-    let mut order: Vec<usize> = Vec::new();
+    let TrainWorkspace {
+        gather,
+        grad,
+        order,
+    } = ws;
     for _ in 0..cfg.local_epochs {
-        data.shuffled_indices_into(&mut rng, &mut order);
+        data.shuffled_indices_into(&mut rng, order);
         let mut epoch_loss = 0.0f32;
         let mut samples = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             gather.gather(data, chunk);
             let l = {
                 let logits = net.forward_ws(gather.features(), true);
-                loss.loss_and_grad_into(logits, gather.labels(), &mut grad)
+                loss.loss_and_grad_into(logits, gather.labels(), grad)
             };
             net.zero_grad();
-            net.backward_train(&grad);
+            net.backward_train(grad);
             sgd.step(net);
             // `l` is the batch mean; weight it by the batch size so the
             // epoch figure is the exact per-sample mean even when the

@@ -220,6 +220,60 @@ impl HardLoss for Nll {
     }
 }
 
+/// Temperature-softened distillation loss (Goldfish Eqs 3–5) and its
+/// gradient w.r.t. the student logits, written into caller-owned buffers
+/// — the fused form every distillation training loop calls per step.
+///
+/// `Ld = −(1/n) Σ_i Σ_k P^T_ik · log P^S_ik` with both distributions
+/// softened at temperature `t`; the exact gradient `(P^S − P^T)/(n·t)`
+/// lands in `grad` (resized in place) and the teacher distribution in
+/// `teacher_probs` (a scratch buffer callers keep warm across steps).
+/// Per element this performs exactly the operations of the classic
+/// `softmax_t` / `log_softmax_t` / `exp` / `sub` / `scale` pipeline, so
+/// losses and gradients are bitwise identical to the composed form;
+/// after warm-up no heap allocation happens.
+///
+/// # Panics
+///
+/// Panics if the logit shapes differ or `t <= 0`.
+pub fn distillation_loss_into(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    t: f32,
+    grad: &mut Tensor,
+    teacher_probs: &mut Tensor,
+) -> f32 {
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "teacher/student logit shapes differ"
+    );
+    assert!(t > 0.0, "temperature must be positive, got {t}");
+    let (n, _c) = student_logits.dims2();
+    if n == 0 {
+        grad.resize(student_logits.shape());
+        return 0.0;
+    }
+    ops::softmax_t_into(teacher_logits, t, teacher_probs);
+    // Stage log P^S in the gradient buffer, reduce the loss against the
+    // teacher distribution in row-major order (the same accumulation
+    // sequence the composed pipeline used), then overwrite in place with
+    // the gradient.
+    ops::log_softmax_t_into(student_logits, t, grad);
+    let loss = -teacher_probs
+        .as_slice()
+        .iter()
+        .zip(grad.as_slice().iter())
+        .map(|(&a, &b)| a * b)
+        .sum::<f32>()
+        / n as f32;
+    let inv = 1.0 / (n as f32 * t);
+    for (g, &pt) in grad.as_mut_slice().iter_mut().zip(teacher_probs.as_slice()) {
+        *g = (g.exp() - pt) * inv;
+    }
+    loss
+}
+
 /// Accuracy of logits against labels — a convenience shared by training
 /// loops and tests.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
@@ -329,6 +383,48 @@ mod tests {
     #[should_panic(expected = "label 5 out of 3 classes")]
     fn rejects_out_of_range_label() {
         let _ = CrossEntropy.loss_and_grad(&Tensor::zeros(vec![1, 3]), &[5]);
+    }
+
+    #[test]
+    fn distillation_into_matches_composed_pipeline_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let student = init::normal(&mut rng, vec![5, 4], 0.0, 2.0);
+        let teacher = init::normal(&mut rng, vec![5, 4], 0.0, 2.0);
+        let mut grad = Tensor::zeros(vec![0]);
+        let mut probs = Tensor::zeros(vec![0]);
+        for &t in &[0.5f32, 1.0, 3.0, 7.5] {
+            // The composed pipeline the fused form replaces.
+            let p_t = ops::softmax_t(&teacher, t);
+            let log_p_s = ops::log_softmax_t(&student, t);
+            let n = 5usize;
+            let want_loss = -p_t
+                .as_slice()
+                .iter()
+                .zip(log_p_s.as_slice().iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+                / n as f32;
+            let p_s = log_p_s.map(|v| v.exp());
+            let mut want_grad = p_s.sub(&p_t);
+            want_grad.scale_mut(1.0 / (n as f32 * t));
+
+            let got_loss = distillation_loss_into(&student, &teacher, t, &mut grad, &mut probs);
+            assert_eq!(got_loss.to_bits(), want_loss.to_bits(), "loss at T={t}");
+            assert_eq!(grad.shape(), want_grad.shape());
+            for (a, b) in grad.as_slice().iter().zip(want_grad.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad at T={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn distillation_into_empty_batch_is_zero() {
+        let logits = Tensor::zeros(vec![0, 3]);
+        let mut grad = Tensor::zeros(vec![0]);
+        let mut probs = Tensor::zeros(vec![0]);
+        let l = distillation_loss_into(&logits, &logits, 3.0, &mut grad, &mut probs);
+        assert_eq!(l, 0.0);
+        assert_eq!(grad.shape(), &[0, 3]);
     }
 
     #[test]

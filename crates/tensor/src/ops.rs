@@ -199,13 +199,28 @@ pub fn transpose(a: &Tensor) -> Tensor {
 ///
 /// Panics if `t <= 0`.
 pub fn softmax_t(logits: &Tensor, t: f32) -> Tensor {
+    let mut out = Tensor::zeros(vec![0]);
+    softmax_t_into(logits, t, &mut out);
+    out
+}
+
+/// [`softmax_t`] writing into a caller-owned tensor (resized in place,
+/// previous contents discarded) — the buffer-reusing form distillation
+/// training calls every step. Values are bitwise identical to the
+/// allocating form; after warm-up no heap allocation happens.
+///
+/// # Panics
+///
+/// Panics if `t <= 0`.
+pub fn softmax_t_into(logits: &Tensor, t: f32, out: &mut Tensor) {
     assert!(t > 0.0, "temperature must be positive, got {t}");
     let (rows, cols) = logits.dims2();
     let lv = logits.as_slice();
-    let mut out = vec![0.0f32; rows * cols];
+    out.resize(&[rows, cols]);
+    let ov = out.as_mut_slice();
     for r in 0..rows {
         let row = &lv[r * cols..(r + 1) * cols];
-        let orow = &mut out[r * cols..(r + 1) * cols];
+        let orow = &mut ov[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         // Exponentiate in a standalone elementwise pass (no loop-carried
         // accumulator, so the compiler can vectorize the exp), then sum
@@ -219,7 +234,6 @@ pub fn softmax_t(logits: &Tensor, t: f32) -> Tensor {
             *o /= denom;
         }
     }
-    Tensor::from_vec(vec![rows, cols], out)
 }
 
 /// Ordinary row-wise softmax (`softmax_t` at temperature 1).
@@ -234,13 +248,29 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 ///
 /// Panics if `t <= 0`.
 pub fn log_softmax_t(logits: &Tensor, t: f32) -> Tensor {
+    let mut out = Tensor::zeros(vec![0]);
+    log_softmax_t_into(logits, t, &mut out);
+    out
+}
+
+/// [`log_softmax_t`] writing into a caller-owned tensor (resized in
+/// place, previous contents discarded) — the buffer-reusing form the
+/// fused distillation loss calls every step. Values are bitwise
+/// identical to the allocating form; after warm-up no heap allocation
+/// happens.
+///
+/// # Panics
+///
+/// Panics if `t <= 0`.
+pub fn log_softmax_t_into(logits: &Tensor, t: f32, out: &mut Tensor) {
     assert!(t > 0.0, "temperature must be positive, got {t}");
     let (rows, cols) = logits.dims2();
     let lv = logits.as_slice();
-    let mut out = vec![0.0f32; rows * cols];
+    out.resize(&[rows, cols]);
+    let ov = out.as_mut_slice();
     for r in 0..rows {
         let row = &lv[r * cols..(r + 1) * cols];
-        let orow = &mut out[r * cols..(r + 1) * cols];
+        let orow = &mut ov[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         // Stage the exponentials in the output row first: the standalone
         // elementwise pass vectorizes, and summing the staged values in
@@ -253,7 +283,6 @@ pub fn log_softmax_t(logits: &Tensor, t: f32) -> Tensor {
             *o = (z - max) / t - lse;
         }
     }
-    Tensor::from_vec(vec![rows, cols], out)
 }
 
 /// Index of the maximum entry of each row of the 2-D view.

@@ -6,6 +6,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use std::sync::Mutex;
+
+use goldfish::core::basic_model::{clip_grad_norm, TeacherCache};
+use goldfish::core::loss::{GoldfishBatch, GoldfishLoss, GoldfishLossBufs, LossWeights};
 use goldfish::data::synthetic::{self, SyntheticSpec};
 use goldfish::data::BatchGather;
 use goldfish::nn::loss::{CrossEntropy, HardLoss};
@@ -13,6 +17,11 @@ use goldfish::nn::optim::FusedSgd;
 use goldfish::nn::zoo;
 use goldfish::tensor::Tensor;
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+/// The two tests below share one global allocation counter; this lock
+/// keeps them from allocating into each other's armed window.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Counts allocations (and growth reallocations) while armed.
 struct CountingAlloc;
@@ -44,9 +53,136 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
+fn distillation_step_is_allocation_free_after_warm_up() {
+    // The Goldfish unlearning step on the dense path: teacher logits
+    // from the cache (bulk row gather for full batches, fallback
+    // forward through the teacher's inference workspace for the short
+    // tail), student forward through its arenas, the fused composite
+    // loss (remaining + forget parts) into reused buffers, the
+    // allocation-free gradient clip and the fused optimizer.
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+    let (train, _) = synthetic::generate(&spec, 76, 10, 9);
+    let remaining = train.subset(&(12..76).collect::<Vec<usize>>()); // 64 rows
+    let forget = train.subset(&(0..12).collect::<Vec<usize>>());
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut student = zoo::mlp(64, &[32], 10, &mut rng);
+    let teacher = zoo::mlp(64, &[32], 10, &mut rng);
+
+    let loss = GoldfishLoss::new(Arc::new(CrossEntropy), LossWeights::default());
+    let mut cache = TeacherCache::build(teacher, &remaining, 20);
+    let mut opt = FusedSgd::new(0.05, 0.9);
+    let mut gather_r = BatchGather::new();
+    let mut gather_f = BatchGather::new();
+    let mut grad = Tensor::zeros(vec![1]);
+    let mut bufs = GoldfishLossBufs::new();
+    // 64 remaining rows at B = 20 → 20, 20, 20 and a short tail of 4
+    // (exercising the cache's fallback forward); 12 forget rows spread
+    // as slices of 3.
+    let rem_batches: Vec<Vec<usize>> = (0..3).map(|b| (b * 20..(b + 1) * 20).collect()).collect();
+    let tail: Vec<usize> = (60..64).collect();
+    let fg_batches: Vec<Vec<usize>> = (0..4).map(|b| (b * 3..(b + 1) * 3).collect()).collect();
+
+    let mut step = |gather_r: &mut BatchGather,
+                    gather_f: &mut BatchGather,
+                    grad: &mut Tensor,
+                    bufs: &mut GoldfishLossBufs,
+                    cache: &mut TeacherCache,
+                    chunk: &[usize],
+                    fchunk: &[usize]| {
+        student.zero_grad();
+        gather_r.gather(&remaining, chunk);
+        {
+            let teacher_logits = cache.logits_for(gather_r.features(), chunk);
+            let student_logits = student.forward_ws(gather_r.features(), true);
+            loss.loss_and_grad_into(
+                GoldfishBatch::Remaining {
+                    student_logits,
+                    teacher_logits: Some(teacher_logits),
+                    labels: gather_r.labels(),
+                },
+                grad,
+                bufs,
+            );
+        }
+        student.backward_train(grad);
+        gather_f.gather(&forget, fchunk);
+        {
+            let student_logits = student.forward_ws(gather_f.features(), true);
+            loss.loss_and_grad_into(
+                GoldfishBatch::Forget {
+                    student_logits,
+                    labels: gather_f.labels(),
+                    hard_scale: 0.1875,
+                },
+                grad,
+                bufs,
+            );
+        }
+        student.backward_train(grad);
+        clip_grad_norm(&mut student, 5.0);
+        opt.step(&mut student);
+    };
+
+    // Warm-up: size every arena, loss buffer, cache gather buffer and
+    // the teacher's fallback workspace, full and short geometry.
+    for (chunk, fchunk) in rem_batches.iter().zip(fg_batches.iter()) {
+        step(
+            &mut gather_r,
+            &mut gather_f,
+            &mut grad,
+            &mut bufs,
+            &mut cache,
+            chunk,
+            fchunk,
+        );
+    }
+    step(
+        &mut gather_r,
+        &mut gather_f,
+        &mut grad,
+        &mut bufs,
+        &mut cache,
+        &tail,
+        &fg_batches[3][..2],
+    );
+
+    // Armed: full batches, the short tail and short forget slices must
+    // not touch the allocator.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        for (chunk, fchunk) in rem_batches.iter().zip(fg_batches.iter()) {
+            step(
+                &mut gather_r,
+                &mut gather_f,
+                &mut grad,
+                &mut bufs,
+                &mut cache,
+                chunk,
+                fchunk,
+            );
+        }
+        step(
+            &mut gather_r,
+            &mut gather_f,
+            &mut grad,
+            &mut bufs,
+            &mut cache,
+            &tail,
+            &fg_batches[2][..2],
+        );
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(n, 0, "distillation steps performed {n} heap allocations");
+}
+
+#[test]
 fn dense_training_step_is_allocation_free_after_warm_up() {
     // The paper-shaped MLP round workload at its reduced scale: 64
     // synthetic-MNIST features, one hidden layer, B = 20.
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
     let (train, _) = synthetic::generate(&spec, 60, 10, 9);
     let mut rng = StdRng::seed_from_u64(1);

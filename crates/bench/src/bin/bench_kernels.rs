@@ -6,9 +6,7 @@
 //! Flags: `--quick` (fewer samples), `--seed N`, `--out PATH` (default
 //! `BENCH_kernels.json` in the current directory).
 
-use std::time::Instant;
-
-use goldfish_bench::report::{self, BenchRecord, Table};
+use goldfish_bench::report::{self, PerfReport, Table};
 use goldfish_bench::{args, fixtures};
 use goldfish_fed::aggregate::weighted_mean;
 use goldfish_fed::pool;
@@ -18,32 +16,10 @@ use goldfish_tensor::{ops, Tensor};
 /// A boxed benchmark closure producing a tensor.
 type TensorFn<'a> = Box<dyn FnMut() -> Tensor + 'a>;
 
-/// Times `f` (after one warm-up call) and records median/min over
-/// `samples` runs.
-fn time_fn(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
-    f();
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    BenchRecord {
-        name: name.to_string(),
-        median_ns: times[times.len() / 2],
-        min_ns: times[0],
-        samples,
-    }
-}
-
 fn main() {
     let seed = args::seed();
     let samples = if args::quick() { 5 } else { 11 };
-    let out_path = args::value_of("--out").unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let mut records: Vec<BenchRecord> = Vec::new();
-    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    let mut rep = PerfReport::new("goldfish-kernel-baseline-v1", seed);
 
     report::heading("matmul kernels (naive = seed reference)");
     let mut table = Table::new(&["kernel", "naive ms", "blocked ms", "parallel ms", "speedup"]);
@@ -65,11 +41,10 @@ fn main() {
         ];
         let mut medians = [0.0f64; 3];
         for (slot, (variant, mut f)) in medians.iter_mut().zip(cases) {
-            let rec = time_fn(&format!("matmul_{n}_{variant}"), samples, || {
+            let rec = rep.time(&format!("matmul_{n}_{variant}"), samples, || {
                 std::hint::black_box(f());
             });
             *slot = rec.median_ns;
-            records.push(rec);
         }
         let speedup = medians[0] / medians[2];
         table.row(vec![
@@ -80,7 +55,7 @@ fn main() {
             format!("{:.2}x", speedup),
         ]);
         if n == 256 {
-            speedups.push(("matmul_256_blocked_parallel_vs_naive", speedup));
+            rep.speedup("matmul_256_blocked_parallel_vs_naive", speedup);
         }
     }
 
@@ -99,10 +74,10 @@ fn main() {
         ),
     ] {
         let (mut naive, mut fast) = (naive, fast);
-        let rn = time_fn(&format!("{label}_naive"), samples, || {
+        let rn = rep.time(&format!("{label}_naive"), samples, || {
             std::hint::black_box(naive());
         });
-        let rf = time_fn(&format!("{label}_blocked"), samples, || {
+        let rf = rep.time(&format!("{label}_blocked"), samples, || {
             std::hint::black_box(fast());
         });
         let speedup = rn.median_ns / rf.median_ns;
@@ -113,8 +88,6 @@ fn main() {
             "-".to_string(),
             format!("{speedup:.2}x"),
         ]);
-        records.push(rn);
-        records.push(rf);
     }
     table.print();
 
@@ -125,7 +98,7 @@ fn main() {
         let per = ch * hw * hw;
         // Seed strategy: a fresh column matrix allocated (and retained,
         // as the old backward cache did) per image.
-        let r_per = time_fn(&format!("conv2d_{label}_per_image"), samples, || {
+        let r_per = rep.time(&format!("conv2d_{label}_per_image"), samples, || {
             let iv = input.as_slice();
             let mut retained = Vec::with_capacity(nimg);
             for s in 0..nimg {
@@ -139,7 +112,7 @@ fn main() {
         });
         // New strategy: one blocked batch over a reused workspace.
         let mut ws = ConvWorkspace::new();
-        let r_batch = time_fn(&format!("conv2d_{label}_batched"), samples, || {
+        let r_batch = rep.time(&format!("conv2d_{label}_batched"), samples, || {
             std::hint::black_box(conv2d_forward_ws(&input, &weight, &bias, &spec, &mut ws));
         });
         let speedup = r_per.median_ns / r_batch.median_ns;
@@ -150,20 +123,18 @@ fn main() {
             format!("{speedup:.2}x"),
         ]);
         if ch == 16 {
-            speedups.push(("conv2d_batched_vs_per_image", speedup));
+            rep.speedup("conv2d_batched_vs_per_image", speedup);
         }
-        records.push(r_per);
-        records.push(r_batch);
     }
     conv_table.print();
 
     report::heading("weighted_mean (25 clients × 500k params)");
     let ups = fixtures::client_updates(fixtures::AGG_CLIENTS, fixtures::AGG_PARAMS, seed);
     let wts: Vec<f64> = ups.iter().map(|u| u.num_samples as f64).collect();
-    let r_serial = time_fn("weighted_mean_serial", samples, || {
+    let r_serial = rep.time("weighted_mean_serial", samples, || {
         std::hint::black_box(pool::install(Some(1), || weighted_mean(&ups, &wts)));
     });
-    let r_par = time_fn("weighted_mean_parallel", samples, || {
+    let r_par = rep.time("weighted_mean_parallel", samples, || {
         std::hint::black_box(weighted_mean(&ups, &wts));
     });
     println!(
@@ -172,22 +143,6 @@ fn main() {
         r_par.median_ns / 1e6,
         pool::effective_threads(None)
     );
-    records.push(r_serial);
-    records.push(r_par);
 
-    let doc = report::perf_baseline_json(
-        &[
-            ("schema", "goldfish-kernel-baseline-v1".to_string()),
-            ("seed", seed.to_string()),
-            ("threads", pool::effective_threads(None).to_string()),
-            (
-                "quick",
-                if args::quick() { "true" } else { "false" }.to_string(),
-            ),
-        ],
-        &records,
-        &speedups,
-    );
-    std::fs::write(&out_path, doc).expect("write perf baseline");
-    println!("\nwrote {out_path}");
+    rep.write("BENCH_kernels.json");
 }

@@ -12,36 +12,13 @@
 //! Flags: `--quick` (fewer samples), `--seed N`, `--out PATH` (default
 //! `BENCH_round.json` in the current directory).
 
-use std::time::Instant;
-
 use goldfish_bench::legacy::{self, LegacyMlp};
-use goldfish_bench::report::{self, BenchRecord, Table};
+use goldfish_bench::report::{self, BenchRecord, PerfReport, Table};
 use goldfish_bench::{args, fixtures};
 use goldfish_data::Dataset;
 use goldfish_fed::aggregate::{weighted_mean, ClientUpdate};
-use goldfish_fed::pool;
 use goldfish_fed::trainer::{train_local_ce, TrainConfig};
 use goldfish_tensor::serialize;
-
-/// Times `f` (after one warm-up call) and records median/min over
-/// `samples` runs.
-fn time_fn(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
-    f();
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    BenchRecord {
-        name: name.to_string(),
-        median_ns: times[times.len() / 2],
-        min_ns: times[0],
-        samples,
-    }
-}
 
 /// One full federated round on the runtime pipeline: every client trains
 /// from the global state, uploads its parameters through the wire
@@ -104,9 +81,7 @@ fn legacy_round(
 fn main() {
     let seed = args::seed();
     let samples = if args::quick() { 5 } else { 15 };
-    let out_path = args::value_of("--out").unwrap_or_else(|| "BENCH_round.json".to_string());
-    let mut records: Vec<BenchRecord> = Vec::new();
-    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    let mut rep = PerfReport::new("goldfish-round-baseline-v1", seed);
 
     let (shards, cfg) = fixtures::round_workload(seed);
     let global = fixtures::round_model(seed.wrapping_add(1)).state_vector();
@@ -142,12 +117,12 @@ fn main() {
     let mut net = fixtures::round_model(0);
     let mut trainer =
         LegacyMlp::from_network(&net, &fixtures::ROUND_MLP_DIMS).with_pre_change_kernels();
-    let r_legacy = time_fn("local_train_legacy", samples, || {
+    let r_legacy = rep.time("local_train_legacy", samples, || {
         trainer.reset(&global);
         trainer.train_local(shard, &cfg, seed);
         std::hint::black_box(&trainer);
     });
-    let r_runtime = time_fn("local_train_runtime", samples, || {
+    let r_runtime = rep.time("local_train_runtime", samples, || {
         net.set_state_vector(&global);
         train_local_ce(&mut net, shard, &cfg, seed);
         std::hint::black_box(&net);
@@ -164,23 +139,21 @@ fn main() {
     }
     table.print();
     println!("speedup: {local_speedup:.2}x");
-    speedups.push(("local_train_runtime_vs_legacy", local_speedup));
-    speedups.push((
+    rep.speedup("local_train_runtime_vs_legacy", local_speedup);
+    rep.speedup(
         "local_train_samples_per_sec_legacy",
         sps(&r_legacy, shard.len() * cfg.local_epochs),
-    ));
-    speedups.push((
+    );
+    rep.speedup(
         "local_train_samples_per_sec_runtime",
         sps(&r_runtime, shard.len() * cfg.local_epochs),
-    ));
-    records.push(r_legacy);
-    records.push(r_runtime);
+    );
 
     report::heading("full federated round (5 clients + wire + FedAvg)");
-    let r_legacy = time_fn("round_legacy", samples, || {
+    let r_legacy = rep.time("round_legacy", samples, || {
         std::hint::black_box(legacy_round(&global, &shards, &cfg, seed, true));
     });
-    let r_runtime = time_fn("round_runtime", samples, || {
+    let r_runtime = rep.time("round_runtime", samples, || {
         std::hint::black_box(runtime_round(&global, &shards, &cfg, seed));
     });
     let round_speedup = r_legacy.median_ns / r_runtime.median_ns;
@@ -195,32 +168,30 @@ fn main() {
     }
     table.print();
     println!("speedup: {round_speedup:.2}x");
-    speedups.push(("round_runtime_vs_legacy", round_speedup));
-    speedups.push((
+    rep.speedup("round_runtime_vs_legacy", round_speedup);
+    rep.speedup(
         "round_samples_per_sec_legacy",
         sps(&r_legacy, samples_per_round),
-    ));
-    speedups.push((
+    );
+    rep.speedup(
         "round_samples_per_sec_runtime",
         sps(&r_runtime, samples_per_round),
-    ));
-    speedups.push((
+    );
+    rep.speedup(
         "round_clients_per_sec_runtime",
         sps(&r_runtime, shards.len()),
-    ));
-    records.push(r_legacy);
-    records.push(r_runtime);
+    );
 
     report::heading("parameter-vector wire format (500k params)");
     let params: Vec<f32> = (0..500_000).map(|i| (i as f32 * 0.013).sin()).collect();
-    let r_legacy = time_fn("serialize_per_element", samples, || {
+    let r_legacy = rep.time("serialize_per_element", samples, || {
         std::hint::black_box(legacy::params_to_bytes_per_element(&params));
     });
-    let r_bulk = time_fn("serialize_bulk", samples, || {
+    let r_bulk = rep.time("serialize_bulk", samples, || {
         std::hint::black_box(serialize::params_to_bytes(&params));
     });
     let wire = serialize::params_to_bytes(&params);
-    let r_read = time_fn("deserialize_bulk", samples, || {
+    let r_read = rep.time("deserialize_bulk", samples, || {
         std::hint::black_box(serialize::params_from_bytes(wire.clone()).expect("roundtrip"));
     });
     let ser_speedup = r_legacy.median_ns / r_bulk.median_ns;
@@ -234,35 +205,18 @@ fn main() {
         r_read.median_ns / 1e6,
         ser_speedup,
     );
-    speedups.push(("serialize_bulk_vs_per_element", ser_speedup));
-    speedups.push(("serialize_bulk_mb_per_sec", mbps(&r_bulk)));
-    records.push(r_legacy);
-    records.push(r_bulk);
-    records.push(r_read);
+    rep.speedup("serialize_bulk_vs_per_element", ser_speedup);
+    rep.speedup("serialize_bulk_mb_per_sec", mbps(&r_bulk));
 
-    let doc = report::perf_baseline_json(
-        &[
-            ("schema", "goldfish-round-baseline-v1".to_string()),
-            ("seed", seed.to_string()),
-            ("threads", pool::effective_threads(None).to_string()),
-            (
-                "workload",
-                format!(
-                    "mlp {:?}, {} clients x {} samples, B={}",
-                    fixtures::ROUND_MLP_DIMS,
-                    fixtures::ROUND_CLIENTS,
-                    fixtures::ROUND_SAMPLES_PER_CLIENT,
-                    cfg.batch_size
-                ),
-            ),
-            (
-                "quick",
-                if args::quick() { "true" } else { "false" }.to_string(),
-            ),
-        ],
-        &records,
-        &speedups,
+    rep.meta(
+        "workload",
+        format!(
+            "mlp {:?}, {} clients x {} samples, B={}",
+            fixtures::ROUND_MLP_DIMS,
+            fixtures::ROUND_CLIENTS,
+            fixtures::ROUND_SAMPLES_PER_CLIENT,
+            cfg.batch_size
+        ),
     );
-    std::fs::write(&out_path, doc).expect("write perf baseline");
-    println!("\nwrote {out_path}");
+    rep.write("BENCH_round.json");
 }

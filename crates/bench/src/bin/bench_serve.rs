@@ -1,0 +1,259 @@
+//! Serving-layer throughput baseline: the networked federation
+//! (`goldfish-serve`) over real localhost TCP vs the in-process
+//! `LoopbackTransport`. Writes `BENCH_serve.json`.
+//!
+//! Before timing anything the binary **asserts bitwise identity**: a
+//! full schedule (training rounds + one Goldfish unlearning request)
+//! over TCP must equal the loopback run parameter-for-parameter — the
+//! wire's only cost is time, never semantics.
+//!
+//! Reported figures: rounds/sec and updates/sec per transport (training
+//! and distillation rounds), and wire bytes per round from the TCP
+//! transport's frame counters.
+//!
+//! Flags: `--quick` (smaller federation, fewer samples), `--seed N`,
+//! `--out PATH` (default `BENCH_serve.json`).
+
+use goldfish_bench::args;
+use goldfish_bench::report::{self, PerfReport, Table};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::GoldfishUnlearning;
+use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+use goldfish_serve::wire::FrameLimits;
+use goldfish_serve::worker::{run_worker, WorkerRuntime};
+
+const TRAIN_ROUNDS: usize = 2;
+
+fn coordinator_config(spec: &DemoSpec) -> CoordinatorConfig {
+    CoordinatorConfig {
+        train: spec.train_config(),
+        method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+            epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+            ..GoldfishLocalConfig::default()
+        }),
+        unlearn_rounds: 1,
+        init_seed: spec.seed.wrapping_add(1),
+        threads: None,
+    }
+}
+
+fn loopback_coordinator(spec: &DemoSpec) -> Coordinator<LoopbackTransport> {
+    Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        LoopbackTransport::new(spec.factory(), spec.client_shards(), None),
+        coordinator_config(spec),
+    )
+}
+
+/// An ephemeral-port TCP federation: worker threads stay alive until
+/// the returned coordinator is dropped.
+fn tcp_coordinator(
+    spec: &DemoSpec,
+) -> (Coordinator<TcpTransport>, Vec<std::thread::JoinHandle<()>>) {
+    let (listener, addr) = bind("127.0.0.1:0").expect("bind");
+    let mut workers = Vec::new();
+    for id in 0..spec.clients {
+        let spec = *spec;
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut runtime = WorkerRuntime::new(id, spec.factory(), spec.client_shard(id));
+            // The coordinator drop closes the session.
+            let _ = run_worker(&addr, &mut runtime, &FrameLimits::default());
+        }));
+    }
+    let state_len = (spec.factory())(0).state_len();
+    let transport = TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
+        .expect("worker handshake");
+    (
+        Coordinator::new(
+            spec.factory(),
+            spec.test_set(),
+            transport,
+            coordinator_config(spec),
+        ),
+        workers,
+    )
+}
+
+/// The canonical schedule: TRAIN_ROUNDS rounds with one unlearning
+/// request drained after round 0. Returns the final global state.
+fn run_schedule<T: ServeTransport>(
+    c: &mut Coordinator<T>,
+    spec: &DemoSpec,
+    removed: usize,
+) -> Vec<f32> {
+    c.submit_unlearn(UnlearnRequest::new(0, (0..removed).collect()))
+        .expect("valid request");
+    c.run(TRAIN_ROUNDS, spec.seed).expect("schedule");
+    c.global_state().to_vec()
+}
+
+fn main() {
+    let seed = args::seed();
+    let samples = if args::quick() { 3 } else { 9 };
+    let spec = DemoSpec {
+        clients: if args::quick() { 2 } else { 4 },
+        samples_per_client: if args::quick() { 60 } else { 150 },
+        test_samples: 60,
+        seed,
+    };
+    let removed = spec.samples_per_client / 10;
+    let mut rep = PerfReport::new("goldfish-serve-baseline-v1", seed);
+
+    // Identity first: the wire must be a pure transport before its
+    // speed means anything.
+    let loop_global = run_schedule(&mut loopback_coordinator(&spec), &spec, removed);
+    let (mut tcp, workers) = tcp_coordinator(&spec);
+    let tcp_global = run_schedule(&mut tcp, &spec, removed);
+    assert_eq!(
+        loop_global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        tcp_global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "TCP and loopback runs diverged"
+    );
+    println!(
+        "identity check: TCP schedule == loopback schedule bitwise ({} params, {} rounds + 1 unlearning request)",
+        loop_global.len(),
+        TRAIN_ROUNDS
+    );
+    let gate_stats = tcp.transport().wire_stats();
+    drop(tcp);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+
+    report::heading("federated training round (loopback vs TCP)");
+    let mut lb = loopback_coordinator(&spec);
+    let r_loop = rep.time("train_round_loopback", samples, || {
+        std::hint::black_box(lb.train_round(0, seed).expect("loopback round"));
+    });
+    let (mut tcp, workers) = tcp_coordinator(&spec);
+    let before = tcp.transport().wire_stats();
+    let r_tcp = rep.time("train_round_tcp", samples, || {
+        std::hint::black_box(tcp.train_round(0, seed).expect("tcp round"));
+    });
+    let after = tcp.transport().wire_stats();
+    // warm-up + `samples` timed calls moved frames; average per round.
+    let rounds_moved = (samples + 1) as u64;
+    let bytes_per_round = (after.total() - before.total()) / rounds_moved;
+    let rps = |r: &report::BenchRecord| 1e9 / r.median_ns;
+    let mut table = Table::new(&[
+        "transport",
+        "ms / round",
+        "rounds/sec",
+        "updates/sec",
+        "wire B/round",
+    ]);
+    for (label, r, bytes) in [
+        ("loopback", &r_loop, 0u64),
+        ("tcp", &r_tcp, bytes_per_round),
+    ] {
+        table.row(vec![
+            label.to_string(),
+            report::num(r.median_ns / 1e6, 3),
+            report::num(rps(r), 2),
+            report::num(rps(r) * spec.clients as f64, 2),
+            bytes.to_string(),
+        ]);
+    }
+    table.print();
+    let overhead = r_tcp.median_ns / r_loop.median_ns;
+    println!("tcp/loopback round-time ratio: {overhead:.2}x");
+    rep.speedup("train_rounds_per_sec_loopback", rps(&r_loop));
+    rep.speedup("train_rounds_per_sec_tcp", rps(&r_tcp));
+    rep.speedup(
+        "train_updates_per_sec_loopback",
+        rps(&r_loop) * spec.clients as f64,
+    );
+    rep.speedup(
+        "train_updates_per_sec_tcp",
+        rps(&r_tcp) * spec.clients as f64,
+    );
+    rep.speedup("tcp_vs_loopback_round_time", overhead);
+    rep.speedup("wire_bytes_per_train_round_tcp", bytes_per_round as f64);
+
+    report::heading("goldfish unlearning request (fresh federation per request)");
+    // Deletions are permanent: draining the same request twice against
+    // one federation would shrink the dataset every iteration and time
+    // non-identical work. Each sample therefore builds a fresh
+    // federation (untimed) and times only submit + drain.
+    let time_unlearn = |times: &mut Vec<f64>, drain: &mut dyn FnMut()| {
+        let t = std::time::Instant::now();
+        drain();
+        times.push(t.elapsed().as_secs_f64() * 1e9);
+    };
+    let mut loop_times = Vec::new();
+    for _ in 0..=samples {
+        let mut c = loopback_coordinator(&spec);
+        c.submit_unlearn(UnlearnRequest::new(0, (0..removed).collect()))
+            .expect("valid request");
+        time_unlearn(&mut loop_times, &mut || {
+            std::hint::black_box(c.drain_unlearning(seed).expect("loopback unlearn"));
+        });
+    }
+    let mut tcp_times = Vec::new();
+    let mut tcp_request_bytes = 0u64;
+    for _ in 0..=samples {
+        let (mut c, workers) = tcp_coordinator(&spec);
+        c.submit_unlearn(UnlearnRequest::new(0, (0..removed).collect()))
+            .expect("valid request");
+        let before = c.transport().wire_stats();
+        time_unlearn(&mut tcp_times, &mut || {
+            std::hint::black_box(c.drain_unlearning(seed).expect("tcp unlearn"));
+        });
+        tcp_request_bytes = c.transport().wire_stats().total() - before.total();
+        drop(c);
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+    }
+    let record = |name: &str, mut times: Vec<f64>| {
+        times.remove(0); // warm-up
+        times.sort_by(|a, b| a.total_cmp(b));
+        report::BenchRecord {
+            name: name.to_string(),
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            samples,
+        }
+    };
+    let r_loop_u = record("unlearn_request_loopback", loop_times);
+    let r_tcp_u = record("unlearn_request_tcp", tcp_times);
+    println!(
+        "loopback {:.3} ms  tcp {:.3} ms  ({} wire B/request)",
+        r_loop_u.median_ns / 1e6,
+        r_tcp_u.median_ns / 1e6,
+        tcp_request_bytes
+    );
+    rep.speedup("unlearn_requests_per_sec_loopback", rps(&r_loop_u));
+    rep.speedup("unlearn_requests_per_sec_tcp", rps(&r_tcp_u));
+    rep.speedup(
+        "wire_bytes_per_unlearn_request_tcp",
+        tcp_request_bytes as f64,
+    );
+    rep.record(r_loop_u);
+    rep.record(r_tcp_u);
+    drop(lb);
+    drop(tcp);
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+
+    rep.meta("identity_gate", "pass");
+    rep.meta(
+        "workload",
+        format!(
+            "demo mlp 64->32->10, {} clients x {} samples, {} train rounds, {} removed",
+            spec.clients, spec.samples_per_client, TRAIN_ROUNDS, removed
+        ),
+    );
+    rep.meta("identity_wire_bytes", gate_stats.total().to_string());
+    rep.write("BENCH_serve.json");
+}

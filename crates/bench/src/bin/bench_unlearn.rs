@@ -13,34 +13,11 @@
 //! Flags: `--quick` (fewer samples), `--seed N`, `--out PATH` (default
 //! `BENCH_unlearn.json` in the current directory).
 
-use std::time::Instant;
-
-use goldfish_bench::report::{self, BenchRecord, Table};
+use goldfish_bench::report::{self, PerfReport, Table};
 use goldfish_bench::{args, fixtures, legacy};
 use goldfish_core::baselines::{IncompetentTeacher, RapidRetrain, RetrainFromScratch};
 use goldfish_core::method::{UnlearnOutcome, UnlearningMethod};
 use goldfish_core::unlearner::GoldfishUnlearning;
-use goldfish_fed::pool;
-
-/// Times `f` (after one warm-up call) and records median/min over
-/// `samples` runs.
-fn time_fn(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
-    f();
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    BenchRecord {
-        name: name.to_string(),
-        median_ns: times[times.len() / 2],
-        min_ns: times[0],
-        samples,
-    }
-}
 
 /// Asserts two unlearning outcomes agree bitwise (states and per-round
 /// accuracies) and returns the max absolute state drift (0 on success).
@@ -78,9 +55,7 @@ fn assert_identical(label: &str, got: &UnlearnOutcome, want: &UnlearnOutcome) ->
 fn main() {
     let seed = args::seed();
     let samples = if args::quick() { 3 } else { 9 };
-    let out_path = args::value_of("--out").unwrap_or_else(|| "BENCH_unlearn.json".to_string());
-    let mut records: Vec<BenchRecord> = Vec::new();
-    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    let mut rep = PerfReport::new("goldfish-unlearn-baseline-v1", seed);
 
     let (setup, local) = fixtures::unlearn_workload(seed);
     let goldfish = GoldfishUnlearning::default().with_local(local);
@@ -106,10 +81,10 @@ fn main() {
     ));
 
     report::heading("full unlearning request (goldfish: runtime vs pre-port)");
-    let r_legacy = time_fn("unlearn_goldfish_legacy", samples, || {
+    let r_legacy = rep.time("unlearn_goldfish_legacy", samples, || {
         std::hint::black_box(legacy::legacy_goldfish_unlearn(&goldfish, &setup, seed));
     });
-    let r_runtime = time_fn("unlearn_goldfish_runtime", samples, || {
+    let r_runtime = rep.time("unlearn_goldfish_runtime", samples, || {
         std::hint::black_box(goldfish.unlearn(&setup, seed));
     });
     let goldfish_speedup = r_legacy.median_ns / r_runtime.median_ns;
@@ -122,19 +97,17 @@ fn main() {
     }
     table.print();
     println!("speedup: {goldfish_speedup:.2}x");
-    speedups.push(("unlearn_goldfish_runtime_vs_legacy", goldfish_speedup));
-    records.push(r_legacy);
+    rep.speedup("unlearn_goldfish_runtime_vs_legacy", goldfish_speedup);
     let t_goldfish = r_runtime.median_ns;
-    records.push(r_runtime);
 
     report::heading("baselines at the same round budget (Fig 4 convention)");
-    let r_b1 = time_fn("unlearn_b1_retrain", samples, || {
+    let r_b1 = rep.time("unlearn_b1_retrain", samples, || {
         std::hint::black_box(RetrainFromScratch.unlearn(&setup, seed));
     });
-    let r_b2 = time_fn("unlearn_b2_rapid", samples, || {
+    let r_b2 = rep.time("unlearn_b2_rapid", samples, || {
         std::hint::black_box(b2.unlearn(&setup, seed));
     });
-    let r_b3 = time_fn("unlearn_b3_incompetent", samples, || {
+    let r_b3 = rep.time("unlearn_b3_incompetent", samples, || {
         std::hint::black_box(b3.unlearn(&setup, seed));
     });
     let mut table = Table::new(&["method", "ms / request", "vs goldfish"]);
@@ -152,18 +125,15 @@ fn main() {
         ]);
     }
     table.print();
-    speedups.push((
+    rep.speedup(
         "unlearn_goldfish_vs_b1_retrain",
         r_b1.median_ns / t_goldfish,
-    ));
-    speedups.push(("unlearn_goldfish_vs_b2_rapid", r_b2.median_ns / t_goldfish));
-    speedups.push((
+    );
+    rep.speedup("unlearn_goldfish_vs_b2_rapid", r_b2.median_ns / t_goldfish);
+    rep.speedup(
         "unlearn_goldfish_vs_b3_incompetent",
         r_b3.median_ns / t_goldfish,
-    ));
-    records.push(r_b1);
-    records.push(r_b2);
-    records.push(r_b3);
+    );
 
     report::heading("the paper's headline: goldfish vs retrain-to-convergence");
     // Retraining from scratch must rebuild the model with the full
@@ -178,7 +148,7 @@ fn main() {
         rounds: fixtures::UNLEARN_RETRAIN_ROUNDS,
         train: setup.train,
     };
-    let r_b1_conv = time_fn("unlearn_b1_retrain_to_convergence", samples, || {
+    let r_b1_conv = rep.time("unlearn_b1_retrain_to_convergence", samples, || {
         std::hint::black_box(RetrainFromScratch.unlearn(&b1_setup, seed));
     });
     let headline = r_b1_conv.median_ns / t_goldfish;
@@ -189,36 +159,21 @@ fn main() {
         fixtures::UNLEARN_ROUNDS,
         t_goldfish / 1e6,
     );
-    speedups.push(("unlearn_goldfish_vs_b1_retrain_to_convergence", headline));
-    records.push(r_b1_conv);
+    rep.speedup("unlearn_goldfish_vs_b1_retrain_to_convergence", headline);
 
-    let doc = report::perf_baseline_json(
-        &[
-            ("schema", "goldfish-unlearn-baseline-v1".to_string()),
-            ("seed", seed.to_string()),
-            ("threads", pool::effective_threads(None).to_string()),
-            ("identity_gate", "pass".to_string()),
-            ("legacy_vs_runtime_max_abs_drift", format!("{drift:.1e}")),
-            (
-                "workload",
-                format!(
-                    "mlp {:?}, {} clients x {} samples, {} removed, {} rounds, B={}",
-                    fixtures::ROUND_MLP_DIMS,
-                    fixtures::UNLEARN_CLIENTS,
-                    fixtures::UNLEARN_SAMPLES_PER_CLIENT,
-                    fixtures::UNLEARN_REMOVED,
-                    fixtures::UNLEARN_ROUNDS,
-                    setup.train.batch_size
-                ),
-            ),
-            (
-                "quick",
-                if args::quick() { "true" } else { "false" }.to_string(),
-            ),
-        ],
-        &records,
-        &speedups,
+    rep.meta("identity_gate", "pass");
+    rep.meta("legacy_vs_runtime_max_abs_drift", format!("{drift:.1e}"));
+    rep.meta(
+        "workload",
+        format!(
+            "mlp {:?}, {} clients x {} samples, {} removed, {} rounds, B={}",
+            fixtures::ROUND_MLP_DIMS,
+            fixtures::UNLEARN_CLIENTS,
+            fixtures::UNLEARN_SAMPLES_PER_CLIENT,
+            fixtures::UNLEARN_REMOVED,
+            fixtures::UNLEARN_ROUNDS,
+            setup.train.batch_size
+        ),
     );
-    std::fs::write(&out_path, doc).expect("write perf baseline");
-    println!("\nwrote {out_path}");
+    rep.write("BENCH_unlearn.json");
 }

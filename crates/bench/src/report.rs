@@ -1,4 +1,10 @@
-//! Aligned text-table printing for the experiment binaries.
+//! Aligned text-table printing and perf-baseline reporting for the
+//! experiment binaries.
+//!
+//! Every `bench_*` binary follows the same protocol: time scenarios
+//! ([`time_fn`]), derive speedups, and emit a stable-keyed JSON baseline
+//! (`BENCH_*.json`) honouring the shared `--out` flag. [`PerfReport`]
+//! owns that protocol once — the binaries only contribute scenarios.
 
 /// A simple fixed-width table printer producing paper-style rows.
 #[derive(Debug, Default)]
@@ -134,6 +140,110 @@ pub fn perf_baseline_json(
     out
 }
 
+/// Times `f` (after one warm-up call) and records median/min over
+/// `samples` runs — the shared stopwatch of every perf binary.
+pub fn time_fn(name: &str, samples: usize, mut f: impl FnMut()) -> BenchRecord {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    BenchRecord {
+        name: name.to_string(),
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        samples,
+    }
+}
+
+/// Collects one perf binary's records, speedups and metadata, and emits
+/// the JSON baseline. Construction stamps the shared metadata every
+/// baseline carries (schema, seed, pool threads, `--quick`).
+#[derive(Debug)]
+pub struct PerfReport {
+    meta: Vec<(String, String)>,
+    records: Vec<BenchRecord>,
+    speedups: Vec<(String, f64)>,
+}
+
+impl PerfReport {
+    /// Starts a report for the given schema tag and experiment seed.
+    pub fn new(schema: &str, seed: u64) -> Self {
+        let quick = if crate::args::quick() {
+            "true"
+        } else {
+            "false"
+        };
+        PerfReport {
+            meta: vec![
+                ("schema".into(), schema.to_string()),
+                ("seed".into(), seed.to_string()),
+                (
+                    "threads".into(),
+                    goldfish_fed::pool::effective_threads(None).to_string(),
+                ),
+                ("quick".into(), quick.to_string()),
+            ],
+            records: Vec::new(),
+            speedups: Vec::new(),
+        }
+    }
+
+    /// Adds a free-form metadata entry.
+    pub fn meta(&mut self, key: &str, value: impl Into<String>) {
+        self.meta.push((key.to_string(), value.into()));
+    }
+
+    /// Times a scenario via [`time_fn`], records it, and returns the
+    /// measurement for derived figures.
+    pub fn time(&mut self, name: &str, samples: usize, f: impl FnMut()) -> BenchRecord {
+        let r = time_fn(name, samples, f);
+        self.records.push(r.clone());
+        r
+    }
+
+    /// Records an externally produced measurement.
+    pub fn record(&mut self, r: BenchRecord) {
+        self.records.push(r);
+    }
+
+    /// Adds a derived speedup/ratio entry.
+    pub fn speedup(&mut self, name: &str, value: f64) {
+        self.speedups.push((name.to_string(), value));
+    }
+
+    /// Renders the JSON document.
+    pub fn to_json(&self) -> String {
+        let meta: Vec<(&str, String)> = self
+            .meta
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        let speedups: Vec<(&str, f64)> = self
+            .speedups
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        perf_baseline_json(&meta, &self.records, &speedups)
+    }
+
+    /// Writes the baseline to `--out` (falling back to `default_path`)
+    /// and prints the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write(&self, default_path: &str) {
+        let out_path = crate::args::value_of("--out").unwrap_or_else(|| default_path.to_string());
+        std::fs::write(&out_path, self.to_json()).expect("write perf baseline");
+        println!("\nwrote {out_path}");
+    }
+}
+
 /// Formats a fraction as a percentage with two decimals (paper style).
 pub fn pct(x: f64) -> String {
     format!("{:.2}", 100.0 * x)
@@ -179,6 +289,30 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn perf_report_collects_and_renders() {
+        let mut rep = PerfReport::new("test-schema-v1", 7);
+        rep.meta("workload", "tiny");
+        let r = rep.time("noop", 3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(r.samples, 3);
+        rep.record(BenchRecord {
+            name: "external".into(),
+            median_ns: 10.0,
+            min_ns: 9.0,
+            samples: 1,
+        });
+        rep.speedup("noop_vs_external", 2.0);
+        let doc = rep.to_json();
+        assert!(doc.contains("\"schema\": \"test-schema-v1\""));
+        assert!(doc.contains("\"seed\": \"7\""));
+        assert!(doc.contains("\"workload\": \"tiny\""));
+        assert!(doc.contains("\"noop\""));
+        assert!(doc.contains("\"external\""));
+        assert!(doc.contains("\"noop_vs_external\": 2.000"));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod extension;
 pub mod loss;
 pub mod method;
 pub mod optimization;
+pub mod transport;
 pub mod unlearner;
 
 pub use basic_model::{train_distill, GoldfishLocalConfig, GoldfishLocalStats};
@@ -72,4 +73,5 @@ pub use extension::{AdaptiveTemperature, AdaptiveWeightAggregation};
 pub use loss::{GoldfishLoss, LossBreakdown, LossWeights};
 pub use method::{ClientSplit, UnlearnOutcome, UnlearnSetup, UnlearningMethod};
 pub use optimization::{EarlyTermination, ShardedClient, ShardedLocalModel};
-pub use unlearner::GoldfishUnlearning;
+pub use transport::{ClientDistiller, DistillTransport, LoopbackDistill, UnlearnJob};
+pub use unlearner::{GoldfishUnlearning, UnlearnServer};

@@ -11,17 +11,18 @@
 
 use std::sync::Arc;
 
-use goldfish_fed::aggregate::{AggregationStrategy, ClientUpdate, FedAvg};
+use goldfish_data::Dataset;
+use goldfish_fed::aggregate::{AggregationStrategy, FedAvg};
 use goldfish_fed::eval;
+use goldfish_fed::transport::{collect_round, RoundDriver, TransportError};
+use goldfish_fed::ModelFactory;
 use goldfish_nn::loss::{CrossEntropy, HardLoss};
 
-use crate::basic_model::{
-    network_from_state, reference_loss, reinit_seed, train_distill_cached, GoldfishLocalConfig,
-    TeacherCache,
-};
+use crate::basic_model::{network_from_state, reinit_seed, GoldfishLocalConfig};
 use crate::extension::AdaptiveWeightAggregation;
-use crate::loss::{GoldfishLoss, LossWeights};
+use crate::loss::LossWeights;
 use crate::method::{UnlearnOutcome, UnlearnSetup, UnlearningMethod};
+use crate::transport::{DistillTransport, LoopbackDistill, UnlearnJob};
 
 /// The Goldfish unlearning method ("Ours" in every table and figure).
 #[derive(Clone)]
@@ -89,117 +90,103 @@ impl GoldfishUnlearning {
     }
 }
 
+/// The server side of an unlearning request: what the coordinator owns.
+/// [`GoldfishUnlearning::unlearn_over`] drives the round loop from these
+/// pieces against any [`DistillTransport`] — the client data lives behind
+/// the transport, not here.
+pub struct UnlearnServer<'a> {
+    /// Architecture factory (reinitialisation + server-side evaluation).
+    pub factory: &'a ModelFactory,
+    /// The server's held-out test set.
+    pub test: &'a Dataset,
+    /// State of the trained global model that must forget (the teacher).
+    pub original_global: &'a [f32],
+    /// Distillation rounds to run.
+    pub rounds: usize,
+}
+
 impl UnlearningMethod for GoldfishUnlearning {
     fn name(&self) -> &'static str {
         "goldfish"
     }
 
     fn unlearn(&self, setup: &UnlearnSetup, seed: u64) -> UnlearnOutcome {
+        // The in-process path: the pre-refactor parallel round loop is now
+        // the LoopbackDistill transport (see `crate::transport`), driven
+        // by the same `unlearn_over` loop the networked coordinator uses.
+        let mut transport = LoopbackDistill::new(
+            Arc::clone(&setup.factory),
+            setup.clients.clone(),
+            Arc::clone(&self.hard),
+            None,
+        );
+        let server = UnlearnServer {
+            factory: &setup.factory,
+            test: &setup.test,
+            original_global: &setup.original_global,
+            rounds: setup.rounds,
+        };
+        self.unlearn_over(&server, &mut transport, seed)
+            .expect("loopback distillation never fails")
+    }
+}
+
+impl GoldfishUnlearning {
+    /// Runs the Goldfish unlearning round loop (Algorithm 1, server side)
+    /// over any [`DistillTransport`]: reinitialise the global model, ship
+    /// the job + frozen teacher, then per round collect distillation
+    /// updates (straggler drop + re-round, sorted by client id so
+    /// aggregation is arrival-order independent), evaluate uploads
+    /// server-side when the adaptive-weight rule needs Eq 12's MSE, and
+    /// aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures
+    /// ([`TransportError::NoLiveClients`] when every client is gone).
+    pub fn unlearn_over(
+        &self,
+        server: &UnlearnServer<'_>,
+        transport: &mut dyn DistillTransport,
+        seed: u64,
+    ) -> Result<UnlearnOutcome, TransportError> {
         // Algorithm 1, line 12: reinitialise the global model ω0.
-        let mut global = (setup.factory)(reinit_seed(seed)).state_vector();
-        let teacher_state = &setup.original_global;
-        let loss = GoldfishLoss::new(Arc::clone(&self.hard), self.local.weights);
+        let mut global = (server.factory)(reinit_seed(seed)).state_vector();
         let strategy: Box<dyn AggregationStrategy> = if self.adaptive_aggregation {
             Box::new(AdaptiveWeightAggregation)
         } else {
             Box::new(FedAvg)
         };
-        let mut round_accuracies = Vec::with_capacity(setup.rounds);
-
-        // Per-client worker state carried across rounds (DESIGN.md §9):
-        // the student network (its activation/gradient arenas stay warm;
-        // its parameters are overwritten from the incoming global every
-        // round) and the teacher-logit cache (the teacher is the frozen
-        // pre-deletion global, so its logits over the client's remaining
-        // data are materialised once per request — the pre-port pipeline
-        // recomputed them every batch of every epoch of every round).
-        struct ClientWorker {
-            update: Option<ClientUpdate>,
-            student: Option<goldfish_nn::Network>,
-            cache: Option<TeacherCache>,
-        }
-        let mut workers: Vec<ClientWorker> = (0..setup.clients.len())
-            .map(|_| ClientWorker {
-                update: None,
-                student: None,
-                cache: None,
-            })
-            .collect();
-
-        for round in 0..setup.rounds {
-            let incoming = &global;
-            goldfish_fed::pool::for_each_slot(&mut workers, |id, worker| {
-                let client_seed = seed
-                    .wrapping_add((id as u64) << 32)
-                    .wrapping_add(round as u64);
-                let split = &setup.clients[id];
-                let student = worker
-                    .student
-                    .get_or_insert_with(|| (setup.factory)(client_seed));
-                student.set_state_vector(incoming);
-                let cache = worker.cache.get_or_insert_with(|| {
-                    if self.local.weights.mu_d > 0.0 {
-                        let teacher =
-                            network_from_state(&setup.factory, teacher_state, client_seed);
-                        TeacherCache::build(teacher, &split.remaining, self.local.batch_size)
-                    } else {
-                        TeacherCache::empty()
-                    }
-                });
-
-                // Eq 7 reference: the empirical risk of the previous global
-                // model. On the first unlearning round the incoming global
-                // is freshly reinitialised (uninformative), so the teacher
-                // (the pre-deletion global) provides the floor.
-                let reference = if self.local.early_termination.is_some() {
-                    let mut teacher =
-                        network_from_state(&setup.factory, teacher_state, client_seed);
-                    let teacher_ref =
-                        reference_loss(&mut teacher, &split.remaining, &split.forget, &loss);
-                    let mut incoming_net =
-                        network_from_state(&setup.factory, incoming, client_seed);
-                    let incoming_ref =
-                        reference_loss(&mut incoming_net, &split.remaining, &split.forget, &loss);
-                    Some(teacher_ref.min(incoming_ref))
-                } else {
-                    None
-                };
-
-                train_distill_cached(
-                    student,
-                    cache,
-                    &split.remaining,
-                    &split.forget,
-                    &loss,
-                    &self.local,
-                    reference,
-                    client_seed,
-                );
-                let server_mse = if self.adaptive_aggregation {
-                    Some(eval::mse(student, &setup.test))
-                } else {
-                    None
-                };
-                worker.update = Some(ClientUpdate {
-                    client_id: id,
-                    state: student.state_vector(),
-                    num_samples: split.remaining.len(),
-                    server_mse,
-                });
-            });
-            let updates: Vec<ClientUpdate> = workers
-                .iter_mut()
-                .map(|w| w.update.take().expect("missing client update"))
-                .collect();
+        let job = UnlearnJob {
+            local: self.local,
+            hard: self.hard.spec(),
+        };
+        transport.begin_unlearn(&job, server.original_global)?;
+        let mut round_accuracies = Vec::with_capacity(server.rounds);
+        for round in 0..server.rounds {
+            let mut updates = collect_round(|| transport.distill_round(round, seed, &global))?;
+            if self.adaptive_aggregation {
+                // Eq 12's me_c^t, evaluated server-side from the uploaded
+                // state (identical to a client-side evaluation of the
+                // same state).
+                RoundDriver {
+                    factory: server.factory,
+                    test: server.test,
+                    threads: None,
+                    eval_mse: true,
+                    eval_clients: false,
+                }
+                .fill_server_mse(&mut updates);
+            }
             global = strategy.aggregate(&updates);
-            let mut net = network_from_state(&setup.factory, &global, 0);
-            round_accuracies.push(eval::accuracy(&mut net, &setup.test));
+            let mut net = network_from_state(server.factory, &global, 0);
+            round_accuracies.push(eval::accuracy(&mut net, server.test));
         }
-        UnlearnOutcome {
-            method: self.name().into(),
+        Ok(UnlearnOutcome {
+            method: "goldfish".into(),
             global_state: global,
             round_accuracies,
-        }
+        })
     }
 }
 

@@ -5,8 +5,9 @@ use goldfish_nn::Network;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{AggregationStrategy, ClientUpdate};
-use crate::trainer::{train_local_ce, TrainConfig};
-use crate::{eval, pool, ModelFactory};
+use crate::trainer::TrainConfig;
+use crate::transport::{LoopbackClients, RoundDriver, RoundTransport, StateLenError, TrainAssign};
+use crate::{eval, ModelFactory};
 
 /// A federated-learning simulation: one server, `n` clients holding local
 /// datasets, and a shared model architecture.
@@ -86,18 +87,18 @@ impl Federation {
         &self.global
     }
 
-    /// Overwrites the global state vector.
+    /// Overwrites the global state vector after validating its length
+    /// against the model factory's parameter count — a wrong-length vector
+    /// would otherwise corrupt every later round.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the length differs from the model's state length.
-    pub fn set_global_state(&mut self, state: Vec<f32>) {
-        assert_eq!(
-            state.len(),
-            self.global.len(),
-            "global state length changed"
-        );
+    /// Returns [`StateLenError`] (and leaves the current global untouched)
+    /// when the length differs from the architecture's state length.
+    pub fn set_global_state(&mut self, state: Vec<f32>) -> Result<(), StateLenError> {
+        StateLenError::check(state.len(), self.global.len())?;
         self.global = state;
+        Ok(())
     }
 
     /// Materialises the current global model as a [`Network`].
@@ -127,6 +128,11 @@ impl Federation {
     /// current global state (in parallel), the server evaluates and
     /// aggregates with `strategy`, and the new global model is installed.
     ///
+    /// The loop itself is the transport-independent
+    /// [`RoundDriver`]; this method drives it over the in-process
+    /// [`LoopbackClients`] transport. `goldfish-serve` drives the same
+    /// loop over TCP.
+    ///
     /// # Panics
     ///
     /// Panics if the federation has no clients.
@@ -137,19 +143,29 @@ impl Federation {
         seed: u64,
     ) -> RoundReport {
         assert!(!self.clients.is_empty(), "federation has no clients");
-        let updates = self.local_updates(round, seed);
-        let client_accuracies = if self.eval_clients {
-            self.client_accuracies(&updates)
-        } else {
-            Vec::new()
+        let driver = RoundDriver {
+            factory: &self.factory,
+            test: &self.test,
+            threads: self.threads,
+            eval_mse: true,
+            eval_clients: self.eval_clients,
         };
-        let new_global = pool::install(self.threads, || strategy.aggregate(&updates));
-        self.global = new_global;
+        let mut transport = LoopbackClients::new(&self.factory, &self.clients, self.threads);
+        let assign = TrainAssign {
+            round,
+            seed,
+            global: &self.global,
+            cfg: &self.cfg,
+        };
+        let driven = driver
+            .run_round(&mut transport, &assign, strategy)
+            .expect("loopback clients never fail");
+        self.global = driven.global;
         RoundReport {
             round,
-            global_accuracy: self.global_accuracy(),
-            client_accuracies,
-            client_sizes: self.clients.iter().map(|c| c.len()).collect(),
+            global_accuracy: driven.global_accuracy,
+            client_accuracies: driven.client_accuracies,
+            client_sizes: driven.client_sizes,
         }
     }
 
@@ -175,50 +191,31 @@ impl Federation {
     /// the unlearning procedures in `goldfish-core` can reuse the exact
     /// same parallel client execution.
     pub fn local_updates(&self, round: usize, seed: u64) -> Vec<ClientUpdate> {
-        let factory = &self.factory;
-        let global = &self.global;
-        let cfg = &self.cfg;
-        let test = &self.test;
-        let clients = &self.clients;
-        let mut updates: Vec<Option<ClientUpdate>> =
-            (0..self.clients.len()).map(|_| None).collect();
-        pool::install(self.threads, || {
-            pool::for_each_slot(&mut updates, |id, slot| {
-                let client = &clients[id];
-                let client_seed = seed
-                    .wrapping_add((id as u64) << 32)
-                    .wrapping_add(round as u64);
-                let mut net = (factory)(client_seed);
-                net.set_state_vector(global);
-                train_local_ce(&mut net, client, cfg, client_seed);
-                let server_mse = Some(eval::mse(&mut net, test));
-                *slot = Some(ClientUpdate {
-                    client_id: id,
-                    state: net.state_vector(),
-                    num_samples: client.len(),
-                    server_mse,
-                });
-            });
-        });
-        updates
+        let mut transport = LoopbackClients::new(&self.factory, &self.clients, self.threads);
+        let assign = TrainAssign {
+            round,
+            seed,
+            global: &self.global,
+            cfg: &self.cfg,
+        };
+        let mut updates: Vec<ClientUpdate> = transport
+            .train_round(&assign)
             .into_iter()
-            .map(|u| u.expect("missing update"))
-            .collect()
-    }
-
-    /// Test accuracy of each uploaded client model (Fig 8 error bars).
-    fn client_accuracies(&self, updates: &[ClientUpdate]) -> Vec<f64> {
-        let factory = &self.factory;
-        let test = &self.test;
-        let mut accs = vec![0.0f64; updates.len()];
-        pool::install(self.threads, || {
-            pool::for_each_slot(&mut accs, |i, slot| {
-                let mut net = (factory)(0);
-                net.set_state_vector(&updates[i].state);
-                *slot = eval::accuracy(&mut net, test);
-            });
-        });
-        accs
+            .map(|r| r.expect("loopback clients never fail"))
+            .collect();
+        updates.sort_by_key(|u| u.client_id);
+        // Server-side evaluation of each upload (Eq 12): a pure function
+        // of (state, test), so the value is the same the client itself
+        // would have reported.
+        RoundDriver {
+            factory: &self.factory,
+            test: &self.test,
+            threads: self.threads,
+            eval_mse: true,
+            eval_clients: false,
+        }
+        .fill_server_mse(&mut updates);
+        updates
     }
 }
 

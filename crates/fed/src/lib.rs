@@ -11,6 +11,11 @@
 //!   for Eq 12, prediction distributions, backdoor success),
 //! * [`federation`] — the round loop: clients train in parallel on the
 //!   shared pool, the server aggregates and re-broadcasts,
+//! * [`transport`] — the server↔client transport abstraction: the
+//!   [`transport::RoundTransport`] contract, the in-process
+//!   [`transport::LoopbackClients`] implementation, and the
+//!   transport-independent [`transport::RoundDriver`] round loop
+//!   (`goldfish-serve` adds the TCP implementation),
 //! * [`pool`] — the shared rayon compute pool with a configurable thread
 //!   count; every parallel federated step (client training, evaluation,
 //!   chunked aggregation) runs on it.
@@ -49,6 +54,7 @@ pub mod eval;
 pub mod federation;
 pub mod pool;
 pub mod trainer;
+pub mod transport;
 
 /// Convenience alias: a thread-safe factory building a fresh (randomly
 /// initialised) model from a seed. Every federated component clones

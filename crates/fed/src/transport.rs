@@ -1,0 +1,522 @@
+//! The transport abstraction between the federated round loop and its
+//! clients.
+//!
+//! PRs 1–3 ran the whole federation in one process: the round loop in
+//! [`crate::federation`] trained every client inside a `pool::for_each_slot`
+//! and aggregated the results in place. This module splits that loop from
+//! the *mechanism that moves assignments to clients and updates back*:
+//!
+//! * [`RoundTransport`] — the server-side contract: ship one round's
+//!   [`TrainAssign`] to every live client, return their [`ClientUpdate`]s
+//!   (arrival order unspecified, stragglers as typed errors),
+//! * [`LoopbackClients`] — the in-process implementation: exactly the
+//!   parallel client execution the pre-refactor `Federation::local_updates`
+//!   performed, pinned bitwise by `tests/runtime_identity.rs`,
+//! * [`RoundDriver`] — the transport-independent round loop: assignment,
+//!   straggler drop + re-round, arrival-order-independent aggregation
+//!   (updates are sorted by client id before `weighted_mean`), server-side
+//!   evaluation,
+//! * [`client_seed`] — the one place the per-client per-round RNG seed is
+//!   derived, shared by every transport so remote workers reproduce the
+//!   in-process run bit for bit.
+//!
+//! The networked implementation (`TcpTransport` in `goldfish-serve`) speaks
+//! a length-prefixed binary protocol over `std::net` and plugs into the
+//! same driver; DESIGN.md §10 specifies the wire format and the determinism
+//! argument.
+
+use goldfish_data::Dataset;
+use goldfish_nn::Network;
+
+use crate::aggregate::{AggregationStrategy, ClientUpdate};
+use crate::trainer::{train_local_ce, TrainConfig};
+use crate::{eval, pool, ModelFactory};
+
+/// Derives the seed of client `id` in round `round` from the round-loop
+/// base seed. Every transport (in-process or remote) must use this exact
+/// derivation for the runs to be bitwise identical.
+pub fn client_seed(base: u64, id: usize, round: usize) -> u64 {
+    base.wrapping_add((id as u64) << 32)
+        .wrapping_add(round as u64)
+}
+
+/// Why a client failed to deliver its update this round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The client did not answer within the transport's deadline.
+    Timeout {
+        /// The straggler's client id.
+        client_id: usize,
+    },
+    /// The connection to the client is gone.
+    Disconnected {
+        /// The lost client's id.
+        client_id: usize,
+        /// Human-readable cause (I/O error text).
+        reason: String,
+    },
+    /// The client answered with something protocol-invalid.
+    Protocol {
+        /// The offending client's id.
+        client_id: usize,
+        /// What was wrong with the reply.
+        reason: String,
+    },
+    /// No client delivered an update, so the round cannot aggregate.
+    NoLiveClients,
+    /// The operation itself cannot be transported (a server-side
+    /// configuration problem, not any client's fault).
+    Unsupported {
+        /// What cannot be shipped.
+        reason: String,
+    },
+}
+
+impl TransportError {
+    /// The client this error is about (`None` for [`TransportError::NoLiveClients`]).
+    pub fn client_id(&self) -> Option<usize> {
+        match self {
+            TransportError::Timeout { client_id }
+            | TransportError::Disconnected { client_id, .. }
+            | TransportError::Protocol { client_id, .. } => Some(*client_id),
+            TransportError::NoLiveClients | TransportError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout { client_id } => {
+                write!(f, "client {client_id} timed out")
+            }
+            TransportError::Disconnected { client_id, reason } => {
+                write!(f, "client {client_id} disconnected: {reason}")
+            }
+            TransportError::Protocol { client_id, reason } => {
+                write!(f, "client {client_id} protocol error: {reason}")
+            }
+            TransportError::NoLiveClients => write!(f, "no live clients"),
+            TransportError::Unsupported { reason } => {
+                write!(f, "unsupported operation: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A state vector whose length does not match the model architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateLenError {
+    /// Length of the rejected vector.
+    pub got: usize,
+    /// The architecture's state length.
+    pub want: usize,
+}
+
+impl StateLenError {
+    /// Validates a state vector's length against the architecture's —
+    /// the one check behind every `set_global_state` entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mismatch as a [`StateLenError`].
+    pub fn check(got: usize, want: usize) -> Result<(), StateLenError> {
+        if got != want {
+            return Err(StateLenError { got, want });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for StateLenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "state vector length {} does not match the model's {} parameters",
+            self.got, self.want
+        )
+    }
+}
+
+impl std::error::Error for StateLenError {}
+
+/// One round's marching orders, broadcast to every client.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainAssign<'a> {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Base seed; each client derives its own via [`client_seed`].
+    pub seed: u64,
+    /// The current global state vector.
+    pub global: &'a [f32],
+    /// Local training hyperparameters.
+    pub cfg: &'a TrainConfig,
+}
+
+/// Server-side transport contract: deliver an assignment to every live
+/// client and collect their updates.
+///
+/// Implementations return one entry per *assigned* client: `Ok(update)`
+/// for clients that delivered, `Err` for stragglers and lost connections.
+/// Entry order is **unspecified** (a remote transport yields arrival
+/// order); callers that aggregate must sort by
+/// [`ClientUpdate::client_id`] first — [`RoundDriver`] does. A failed
+/// client is expected to be dropped from the live set, so later rounds
+/// simply no longer include it.
+pub trait RoundTransport {
+    /// Number of currently live clients.
+    fn num_clients(&self) -> usize;
+
+    /// Runs one training round over every live client.
+    fn train_round(
+        &mut self,
+        assign: &TrainAssign<'_>,
+    ) -> Vec<Result<ClientUpdate, TransportError>>;
+}
+
+/// The in-process transport: clients are datasets in this address space
+/// and "delivery" is a `pool::for_each_slot` over them — exactly the
+/// parallel client execution the pre-refactor round loop ran, so results
+/// are pinned bitwise by the existing identity suites.
+///
+/// Never produces stragglers: every entry is `Ok`.
+pub struct LoopbackClients<'a> {
+    factory: &'a ModelFactory,
+    clients: &'a [Dataset],
+    threads: Option<usize>,
+}
+
+impl<'a> LoopbackClients<'a> {
+    /// Wraps the given client datasets as an in-process transport.
+    pub fn new(factory: &'a ModelFactory, clients: &'a [Dataset], threads: Option<usize>) -> Self {
+        LoopbackClients {
+            factory,
+            clients,
+            threads,
+        }
+    }
+}
+
+impl RoundTransport for LoopbackClients<'_> {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn train_round(
+        &mut self,
+        assign: &TrainAssign<'_>,
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        let factory = self.factory;
+        let clients = self.clients;
+        let mut updates: Vec<Option<ClientUpdate>> = (0..clients.len()).map(|_| None).collect();
+        pool::install(self.threads, || {
+            pool::for_each_slot(&mut updates, |id, slot| {
+                let seed = client_seed(assign.seed, id, assign.round);
+                let mut net = (factory)(seed);
+                net.set_state_vector(assign.global);
+                train_local_ce(&mut net, &clients[id], assign.cfg, seed);
+                *slot = Some(ClientUpdate {
+                    client_id: id,
+                    state: net.state_vector(),
+                    num_samples: clients[id].len(),
+                    server_mse: None,
+                });
+            });
+        });
+        updates
+            .into_iter()
+            .map(|u| Ok(u.expect("missing loopback update")))
+            .collect()
+    }
+}
+
+/// Collects one round's updates from `attempt`, applying the straggler
+/// policy: when some clients fail but others deliver, the round is
+/// **re-run** (the transport has dropped the stragglers, so the retry
+/// covers the surviving cohort only — every update in the aggregated set
+/// then comes from the same, consistent cohort). Client training is
+/// deterministic given the assignment, so a re-round costs time, never
+/// changes results.
+///
+/// Returns the updates sorted by client id (arrival order erased).
+///
+/// # Errors
+///
+/// [`TransportError::NoLiveClients`] when every client is gone.
+pub fn collect_round<F>(mut attempt: F) -> Result<Vec<ClientUpdate>, TransportError>
+where
+    F: FnMut() -> Vec<Result<ClientUpdate, TransportError>>,
+{
+    loop {
+        let results = attempt();
+        if results.is_empty() {
+            return Err(TransportError::NoLiveClients);
+        }
+        let had_errors = results.iter().any(|r| r.is_err());
+        let mut updates: Vec<ClientUpdate> = results.into_iter().filter_map(|r| r.ok()).collect();
+        if !had_errors {
+            updates.sort_by_key(|u| u.client_id);
+            updates.dedup_by_key(|u| u.client_id);
+            return Ok(updates);
+        }
+        if updates.is_empty() {
+            return Err(TransportError::NoLiveClients);
+        }
+        // Some clients delivered, some didn't: the transport has dropped
+        // the failures from its live set; redo the round over the
+        // survivors.
+    }
+}
+
+/// Result of one transport-driven round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrivenRound {
+    /// The new global state after aggregation.
+    pub global: Vec<f32>,
+    /// Test accuracy of the new global model.
+    pub global_accuracy: f64,
+    /// Test accuracy of every delivered client model (empty unless
+    /// requested), in client-id order.
+    pub client_accuracies: Vec<f64>,
+    /// Delivered clients' dataset sizes, in client-id order.
+    pub client_sizes: Vec<usize>,
+}
+
+/// The transport-independent federated round loop: everything the server
+/// does with a round's updates once a [`RoundTransport`] has collected
+/// them. [`crate::federation::Federation`] drives it over
+/// [`LoopbackClients`]; `goldfish-serve`'s coordinator drives it over TCP.
+pub struct RoundDriver<'a> {
+    /// Architecture factory for server-side evaluation of uploads.
+    pub factory: &'a ModelFactory,
+    /// The server's held-out test set.
+    pub test: &'a Dataset,
+    /// Compute-pool override for evaluation and aggregation.
+    pub threads: Option<usize>,
+    /// Evaluate each upload's MSE on the test set (Eq 12 input). The
+    /// evaluation happens **server-side** from the uploaded state vector,
+    /// so remote and in-process runs produce identical numbers.
+    pub eval_mse: bool,
+    /// Also record each upload's test accuracy (Fig 8 error bars).
+    pub eval_clients: bool,
+}
+
+impl RoundDriver<'_> {
+    /// Runs one federated round over `transport`: broadcast `assign`,
+    /// collect updates (straggler drop + re-round, sorted by client id),
+    /// evaluate server-side, aggregate with `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransportError::NoLiveClients`] when nobody delivers.
+    pub fn run_round(
+        &self,
+        transport: &mut dyn RoundTransport,
+        assign: &TrainAssign<'_>,
+        strategy: &dyn AggregationStrategy,
+    ) -> Result<DrivenRound, TransportError> {
+        let mut updates = collect_round(|| transport.train_round(assign))?;
+        if self.eval_mse {
+            self.fill_server_mse(&mut updates);
+        }
+        let client_accuracies = if self.eval_clients {
+            self.client_accuracies(&updates)
+        } else {
+            Vec::new()
+        };
+        let global = pool::install(self.threads, || strategy.aggregate(&updates));
+        let mut net = (self.factory)(0);
+        net.set_state_vector(&global);
+        let global_accuracy = eval::accuracy(&mut net, self.test);
+        Ok(DrivenRound {
+            global,
+            global_accuracy,
+            client_accuracies,
+            client_sizes: updates.iter().map(|u| u.num_samples).collect(),
+        })
+    }
+
+    /// Evaluates each upload's MSE on the test set (in parallel), writing
+    /// `server_mse`. A pure function of `(state, test)`, so it matches
+    /// what a client-side evaluation of the same state would report.
+    pub fn fill_server_mse(&self, updates: &mut [ClientUpdate]) {
+        let factory = self.factory;
+        let test = self.test;
+        pool::install(self.threads, || {
+            pool::for_each_slot(updates, |_, u| {
+                let mut net = materialize(factory, &u.state);
+                u.server_mse = Some(eval::mse(&mut net, test));
+            });
+        });
+    }
+
+    /// Test accuracy of each upload, in update order.
+    pub fn client_accuracies(&self, updates: &[ClientUpdate]) -> Vec<f64> {
+        let factory = self.factory;
+        let test = self.test;
+        let mut accs = vec![0.0f64; updates.len()];
+        pool::install(self.threads, || {
+            pool::for_each_slot(&mut accs, |i, slot| {
+                let mut net = materialize(factory, &updates[i].state);
+                *slot = eval::accuracy(&mut net, test);
+            });
+        });
+        accs
+    }
+}
+
+/// Builds a network carrying `state`.
+fn materialize(factory: &ModelFactory, state: &[f32]) -> Network {
+    let mut net = (factory)(0);
+    net.set_state_vector(state);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::FedAvg;
+    use goldfish_data::synthetic::{self, SyntheticSpec};
+    use goldfish_nn::zoo;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::Arc;
+
+    fn fixture() -> (ModelFactory, Vec<Dataset>, Dataset, TrainConfig) {
+        let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+        let (train, test) = synthetic::generate(&spec, 120, 40, 5);
+        let (c0, c1) = train.split_at(60);
+        let factory: ModelFactory = Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            zoo::mlp(64, &[12], 10, &mut rng)
+        });
+        let cfg = TrainConfig {
+            local_epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+        };
+        (factory, vec![c0, c1], test, cfg)
+    }
+
+    #[test]
+    fn loopback_matches_direct_execution() {
+        let (factory, clients, _test, cfg) = fixture();
+        let global = (factory)(0).state_vector();
+        let mut lb = LoopbackClients::new(&factory, &clients, Some(2));
+        let assign = TrainAssign {
+            round: 3,
+            seed: 9,
+            global: &global,
+            cfg: &cfg,
+        };
+        let updates = collect_round(|| lb.train_round(&assign)).unwrap();
+        assert_eq!(updates.len(), 2);
+        for (id, u) in updates.iter().enumerate() {
+            assert_eq!(u.client_id, id);
+            let seed = client_seed(9, id, 3);
+            let mut net = (factory)(seed);
+            net.set_state_vector(&global);
+            train_local_ce(&mut net, &clients[id], &cfg, seed);
+            assert_eq!(u.state, net.state_vector());
+        }
+    }
+
+    #[test]
+    fn driver_round_aggregates_sorted() {
+        let (factory, clients, test, cfg) = fixture();
+        let global = (factory)(1).state_vector();
+        let driver = RoundDriver {
+            factory: &factory,
+            test: &test,
+            threads: Some(2),
+            eval_mse: true,
+            eval_clients: true,
+        };
+        let mut lb = LoopbackClients::new(&factory, &clients, Some(2));
+        let assign = TrainAssign {
+            round: 0,
+            seed: 4,
+            global: &global,
+            cfg: &cfg,
+        };
+        let out = driver.run_round(&mut lb, &assign, &FedAvg).unwrap();
+        assert_eq!(out.client_sizes, vec![60, 60]);
+        assert_eq!(out.client_accuracies.len(), 2);
+        assert!(out.global_accuracy >= 0.0 && out.global_accuracy <= 1.0);
+        assert_eq!(out.global.len(), global.len());
+    }
+
+    #[test]
+    fn collect_round_reorders_and_retries() {
+        // First attempt: client 1 delivered, client 0 failed → re-round.
+        // Second attempt: only client 1 (survivor), delivered.
+        let upd = |id: usize| ClientUpdate {
+            client_id: id,
+            state: vec![id as f32],
+            num_samples: 1,
+            server_mse: None,
+        };
+        let mut calls = 0;
+        let got = collect_round(|| {
+            calls += 1;
+            if calls == 1 {
+                vec![Err(TransportError::Timeout { client_id: 0 }), Ok(upd(1))]
+            } else {
+                vec![Ok(upd(1))]
+            }
+        })
+        .unwrap();
+        assert_eq!(calls, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].client_id, 1);
+    }
+
+    #[test]
+    fn collect_round_sorts_arrival_order() {
+        let upd = |id: usize| ClientUpdate {
+            client_id: id,
+            state: vec![],
+            num_samples: 1,
+            server_mse: None,
+        };
+        let got = collect_round(|| vec![Ok(upd(2)), Ok(upd(0)), Ok(upd(1))]).unwrap();
+        let ids: Vec<usize> = got.iter().map(|u| u.client_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn collect_round_reports_dead_federation() {
+        let got = collect_round(|| vec![Err(TransportError::Timeout { client_id: 0 })]);
+        assert_eq!(got, Err(TransportError::NoLiveClients));
+        let got = collect_round(Vec::new);
+        assert_eq!(got, Err(TransportError::NoLiveClients));
+    }
+
+    #[test]
+    fn client_seed_matches_legacy_formula() {
+        // The derivation the pre-refactor loops inlined.
+        for (base, id, round) in [(0u64, 0usize, 0usize), (42, 3, 7), (u64::MAX, 17, 2)] {
+            let want = base
+                .wrapping_add((id as u64) << 32)
+                .wrapping_add(round as u64);
+            assert_eq!(client_seed(base, id, round), want);
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(
+            TransportError::Timeout { client_id: 3 }.to_string(),
+            "client 3 timed out"
+        );
+        assert_eq!(
+            TransportError::Timeout { client_id: 3 }.client_id(),
+            Some(3)
+        );
+        assert_eq!(TransportError::NoLiveClients.client_id(), None);
+        let e = StateLenError { got: 5, want: 9 };
+        assert!(e.to_string().contains('5'));
+    }
+}

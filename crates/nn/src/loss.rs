@@ -48,6 +48,53 @@ pub trait HardLoss: Send + Sync {
 
     /// Short identifier used in experiment reports ("ce", "focal", "nll").
     fn name(&self) -> &'static str;
+
+    /// A serializable identity of this loss, when it is one of the
+    /// built-in losses a remote worker can reconstruct from a wire
+    /// message. Custom losses return `None` (the default) and are
+    /// restricted to in-process transports.
+    fn spec(&self) -> Option<HardLossSpec> {
+        None
+    }
+}
+
+/// A wire-encodable identity of a built-in [`HardLoss`]. Federated
+/// deployments ship this instead of a trait object: the coordinator
+/// serializes the spec, the worker rebuilds the loss with
+/// [`HardLossSpec::build`], and both sides compute identical numbers
+/// because every built-in loss is a pure function of its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HardLossSpec {
+    /// [`CrossEntropy`].
+    CrossEntropy,
+    /// [`Focal`] with its focusing parameter γ.
+    Focal {
+        /// Focusing parameter γ ≥ 0.
+        gamma: f32,
+    },
+    /// [`Nll`].
+    Nll,
+}
+
+impl HardLossSpec {
+    /// Materialises the loss this spec describes.
+    pub fn build(&self) -> std::sync::Arc<dyn HardLoss> {
+        match *self {
+            HardLossSpec::CrossEntropy => std::sync::Arc::new(CrossEntropy),
+            HardLossSpec::Focal { gamma } => std::sync::Arc::new(Focal::new(gamma)),
+            HardLossSpec::Nll => std::sync::Arc::new(Nll),
+        }
+    }
+
+    /// The same short identifier the built loss reports via
+    /// [`HardLoss::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            HardLossSpec::CrossEntropy => "ce",
+            HardLossSpec::Focal { .. } => "focal",
+            HardLossSpec::Nll => "nll",
+        }
+    }
 }
 
 fn check_labels(logits: &Tensor, labels: &[usize]) -> (usize, usize) {
@@ -116,6 +163,10 @@ impl HardLoss for CrossEntropy {
     fn name(&self) -> &'static str {
         "ce"
     }
+
+    fn spec(&self) -> Option<HardLossSpec> {
+        Some(HardLossSpec::CrossEntropy)
+    }
 }
 
 /// Focal loss (Lin et al., ICCV 2017): `FL = -(1 - p_t)^γ · log(p_t)`
@@ -181,6 +232,10 @@ impl HardLoss for Focal {
     fn name(&self) -> &'static str {
         "focal"
     }
+
+    fn spec(&self) -> Option<HardLossSpec> {
+        Some(HardLossSpec::Focal { gamma: self.gamma })
+    }
 }
 
 /// Negative log-likelihood on log-softmax outputs ("Total loss γ" in
@@ -217,6 +272,10 @@ impl HardLoss for Nll {
 
     fn name(&self) -> &'static str {
         "nll"
+    }
+
+    fn spec(&self) -> Option<HardLossSpec> {
+        Some(HardLossSpec::Nll)
     }
 }
 

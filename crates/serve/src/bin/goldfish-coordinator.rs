@@ -1,0 +1,171 @@
+//! The coordinator daemon: listens for workers, runs the federated
+//! schedule, drains unlearning requests between rounds.
+//!
+//! ```text
+//! goldfish-coordinator [--listen 127.0.0.1:4771] [--clients 2]
+//!                      [--samples 120] [--rounds 2] [--unlearn-rounds 1]
+//!                      [--seed 42] [--unlearn AFTER:CLIENT:COUNT]
+//!                      [--loopback]
+//! ```
+//!
+//! The workload is the deterministic demo workload (`goldfish_serve::demo`):
+//! workers derive their shards from the same `(seed, clients, samples)`
+//! triple, so start every `goldfish-worker` with matching flags.
+//! `--unlearn 0:0:12` queues "client 0 forgets its first 12 samples"
+//! after training round 0. With `--loopback` no sockets are opened and
+//! the same schedule runs in-process (useful as a smoke check).
+
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::GoldfishUnlearning;
+use goldfish_serve::coordinator::{drain_seed, round_seed, Coordinator, CoordinatorConfig};
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn value_of(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    value_of(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} expects a number, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// Parsed `--unlearn AFTER:CLIENT:COUNT`.
+struct UnlearnPlan {
+    after_round: usize,
+    client: usize,
+    count: usize,
+}
+
+fn unlearn_plan() -> Option<UnlearnPlan> {
+    let spec = value_of("--unlearn")?;
+    let parts: Vec<&str> = spec.split(':').collect();
+    assert_eq!(
+        parts.len(),
+        3,
+        "--unlearn expects AFTER:CLIENT:COUNT, got {spec}"
+    );
+    Some(UnlearnPlan {
+        after_round: parts[0].parse().expect("--unlearn AFTER"),
+        client: parts[1].parse().expect("--unlearn CLIENT"),
+        count: parts[2].parse().expect("--unlearn COUNT"),
+    })
+}
+
+fn serve<T: ServeTransport>(
+    mut coordinator: Coordinator<T>,
+    rounds: usize,
+    seed: u64,
+    plan: Option<UnlearnPlan>,
+) {
+    println!(
+        "initial test accuracy: {:.4}",
+        coordinator.global_accuracy()
+    );
+    for r in 0..rounds {
+        let summary = coordinator
+            .train_round(r, round_seed(seed, r))
+            .unwrap_or_else(|e| panic!("round {r} failed: {e}"));
+        println!(
+            "round {r}: accuracy {:.4} ({} clients)",
+            summary.global_accuracy,
+            summary.client_sizes.len()
+        );
+        if let Some(p) = plan.as_ref().filter(|p| p.after_round == r) {
+            let req = UnlearnRequest::new(p.client, (0..p.count).collect());
+            match coordinator.submit_unlearn(req) {
+                Ok(()) => println!(
+                    "queued unlearning request: client {} forgets {} samples",
+                    p.client, p.count
+                ),
+                Err(e) => println!("rejected unlearning request: {e}"),
+            }
+        }
+        match coordinator.drain_unlearning(drain_seed(seed, r)) {
+            Ok(Some(u)) => println!(
+                "served {} unlearning request(s); post-unlearn accuracy {:.4}",
+                u.requests.len(),
+                u.round_accuracies.last().copied().unwrap_or(0.0)
+            ),
+            Ok(None) => {}
+            Err(e) => panic!("unlearning failed: {e}"),
+        }
+    }
+    let global = coordinator.global_state().to_vec();
+    for e in coordinator.transport_mut().local_eval(rounds, &global) {
+        match e {
+            Ok(e) => println!(
+                "client {} local eval: accuracy {:.4}, mse {:.5}",
+                e.client_id, e.accuracy, e.mse
+            ),
+            Err(err) => println!("local eval failed: {err}"),
+        }
+    }
+    let stats = coordinator.transport().wire_stats();
+    println!(
+        "final accuracy {:.4}; wire: {} B sent, {} B received",
+        coordinator.global_accuracy(),
+        stats.bytes_sent,
+        stats.bytes_received
+    );
+}
+
+fn main() {
+    let spec = DemoSpec {
+        clients: num("--clients", 2),
+        samples_per_client: num("--samples", 120),
+        test_samples: 60,
+        seed: num("--seed", 42u64),
+    };
+    let rounds: usize = num("--rounds", 2);
+    let cfg = CoordinatorConfig {
+        train: spec.train_config(),
+        method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+            epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+            ..GoldfishLocalConfig::default()
+        }),
+        unlearn_rounds: num("--unlearn-rounds", 1),
+        init_seed: spec.seed.wrapping_add(1),
+        threads: None,
+    };
+    let state_len = (spec.factory())(0).state_len();
+    println!(
+        "goldfish-coordinator: {} clients x {} samples, {} rounds, {} params",
+        spec.clients, spec.samples_per_client, rounds, state_len
+    );
+
+    if flag("--loopback") {
+        let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), None);
+        let coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+        serve(coordinator, rounds, spec.seed, unlearn_plan());
+        return;
+    }
+
+    let addr = value_of("--listen").unwrap_or_else(|| "127.0.0.1:4771".to_string());
+    let (listener, local) = bind(&addr).expect("bind listener");
+    println!(
+        "listening on {local}, waiting for {} workers …",
+        spec.clients
+    );
+    let transport = TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
+        .expect("worker handshake");
+    println!("all workers registered");
+    let coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+    serve(coordinator, rounds, spec.seed, unlearn_plan());
+}

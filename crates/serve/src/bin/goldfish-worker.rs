@@ -1,0 +1,99 @@
+//! The worker daemon: hosts one or more logical clients against a
+//! coordinator.
+//!
+//! ```text
+//! goldfish-worker [--connect 127.0.0.1:4771] [--client 0]
+//!                 [--clients 2] [--samples 120] [--seed 42]
+//! ```
+//!
+//! `--client` accepts a comma list (`--client 0,1`) to host several
+//! logical clients from one process — each gets its own connection,
+//! served by one thread from a pool bounded by the list length. The
+//! workload flags must match the coordinator's so every process derives
+//! the same demo shards (`goldfish_serve::demo`).
+
+use std::time::Duration;
+
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::wire::FrameLimits;
+use goldfish_serve::worker::{run_worker, WorkerRuntime};
+
+fn value_of(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    value_of(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} expects a number, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// Connects with retries: the coordinator may not be listening yet when
+/// workers launch.
+fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize) {
+    let mut runtime = WorkerRuntime::new(client_id, spec.factory(), spec.client_shard(client_id));
+    let limits = FrameLimits::default();
+    let mut last_err = None;
+    for attempt in 0..40 {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(250));
+        }
+        match run_worker(addr, &mut runtime, &limits) {
+            Ok(()) => {
+                println!("client {client_id}: coordinator closed the session, done");
+                return;
+            }
+            Err(e) => {
+                // Connection refused before the coordinator binds →
+                // retry; anything after a session started is fatal.
+                let refused = matches!(
+                    &e,
+                    goldfish_serve::wire::WireError::Io { kind, .. }
+                        if *kind == std::io::ErrorKind::ConnectionRefused
+                );
+                if !refused {
+                    panic!("client {client_id}: session failed: {e}");
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    panic!("client {client_id}: could not reach {addr}: {last_err:?}");
+}
+
+fn main() {
+    let spec = DemoSpec {
+        clients: num("--clients", 2),
+        samples_per_client: num("--samples", 120),
+        test_samples: 60,
+        seed: num("--seed", 42u64),
+    };
+    let addr = value_of("--connect").unwrap_or_else(|| "127.0.0.1:4771".to_string());
+    let list = value_of("--client").unwrap_or_else(|| "0".to_string());
+    let ids: Vec<usize> = list
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("--client expects ids like 0 or 0,1")
+        })
+        .collect();
+    println!(
+        "goldfish-worker: clients {ids:?} of {} ({} samples each) → {addr}",
+        spec.clients, spec.samples_per_client
+    );
+    // One connection per logical client; the thread pool is bounded by
+    // the id list.
+    std::thread::scope(|scope| {
+        for &id in &ids {
+            let addr = addr.clone();
+            scope.spawn(move || serve_client(&addr, &spec, id));
+        }
+    });
+}

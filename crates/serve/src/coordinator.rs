@@ -1,0 +1,407 @@
+//! The coordinator: the server daemon's brain.
+//!
+//! Owns the global model, the training schedule and the unlearning
+//! request queue, and drives both round loops over any
+//! [`ServeTransport`]:
+//!
+//! * training rounds run through `goldfish_fed`'s transport-independent
+//!   [`RoundDriver`] (straggler drop + re-round, updates sorted by
+//!   client id before aggregation — deterministic under any arrival
+//!   order),
+//! * between rounds the queue is drained (the paper's
+//!   request-then-retrain flow): drained requests are staged on the
+//!   transport, the current global becomes the frozen teacher, and
+//!   [`GoldfishUnlearning::unlearn_over`] runs its distillation rounds
+//!   over the same transport.
+//!
+//! A loopback-backed coordinator reproduces `Federation::train_rounds`
+//! and `GoldfishUnlearning::unlearn` bitwise; a TCP-backed one
+//! reproduces the loopback run bitwise (pinned by
+//! `crates/serve/tests/serve_identity.rs`).
+
+use goldfish_core::{GoldfishUnlearning, UnlearnServer};
+use goldfish_data::Dataset;
+use goldfish_fed::aggregate::FedAvg;
+use goldfish_fed::trainer::TrainConfig;
+use goldfish_fed::transport::{RoundDriver, StateLenError, TrainAssign, TransportError};
+use goldfish_fed::ModelFactory;
+
+use crate::queue::{UnlearnQueue, UnlearnRequest};
+use crate::transport::ServeTransport;
+
+/// Coordinator policy knobs.
+#[derive(Clone)]
+pub struct CoordinatorConfig {
+    /// Local training hyperparameters broadcast each round.
+    pub train: TrainConfig,
+    /// The unlearning method driven when the queue drains.
+    pub method: GoldfishUnlearning,
+    /// Distillation rounds per drained queue batch.
+    pub unlearn_rounds: usize,
+    /// Seed of the initial global model.
+    pub init_seed: u64,
+    /// Compute-pool override for server-side evaluation/aggregation.
+    pub threads: Option<usize>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            train: TrainConfig::default(),
+            method: GoldfishUnlearning::default(),
+            unlearn_rounds: 1,
+            init_seed: 0,
+            threads: None,
+        }
+    }
+}
+
+/// Summary of one training round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// Round index.
+    pub round: usize,
+    /// Test accuracy of the new global model.
+    pub global_accuracy: f64,
+    /// Delivered clients' dataset sizes, in client-id order.
+    pub client_sizes: Vec<usize>,
+}
+
+/// Summary of one drained unlearning batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnlearnSummary {
+    /// The requests served (FIFO order, deduplicated per client).
+    pub requests: Vec<UnlearnRequest>,
+    /// Test accuracy after each distillation round.
+    pub round_accuracies: Vec<f64>,
+}
+
+/// Full-run summary of [`Coordinator::run`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// Per-round training summaries.
+    pub rounds: Vec<RoundSummary>,
+    /// Unlearning batches, in the order they drained.
+    pub unlearns: Vec<UnlearnSummary>,
+}
+
+/// A deletion request the coordinator refused to queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The client id names no (live) client.
+    UnknownClient {
+        /// The offending id.
+        client_id: usize,
+    },
+    /// A removal index is outside the client's dataset.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The client's local sample count.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownClient { client_id } => write!(f, "unknown client {client_id}"),
+            SubmitError::IndexOutOfRange { index, len } => {
+                write!(f, "removal index {index} out of {len} local samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Per-round training seed of [`Coordinator::run`] — the same
+/// derivation `Federation::train_rounds` uses. One definition so
+/// daemons, tests and benchmarks replaying a schedule stay bitwise
+/// aligned with `run`.
+pub fn round_seed(base: u64, round: usize) -> u64 {
+    base.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9)
+}
+
+/// Seed of the unlearning batch drained after training round `round` in
+/// [`Coordinator::run`].
+pub fn drain_seed(base: u64, round: usize) -> u64 {
+    base.wrapping_add(0xA5A5_0000 + round as u64)
+}
+
+/// The server daemon: global state + request queue + round loops over a
+/// [`ServeTransport`].
+pub struct Coordinator<T: ServeTransport> {
+    factory: ModelFactory,
+    test: Dataset,
+    cfg: CoordinatorConfig,
+    global: Vec<f32>,
+    queue: UnlearnQueue,
+    transport: T,
+}
+
+impl<T: ServeTransport> Coordinator<T> {
+    /// Builds a coordinator; the initial global model comes from
+    /// `factory(cfg.init_seed)`.
+    pub fn new(factory: ModelFactory, test: Dataset, transport: T, cfg: CoordinatorConfig) -> Self {
+        let global = (factory)(cfg.init_seed).state_vector();
+        Coordinator {
+            factory,
+            test,
+            cfg,
+            global,
+            queue: UnlearnQueue::new(),
+            transport,
+        }
+    }
+
+    /// The current global state vector.
+    pub fn global_state(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Overwrites the global state after validating its length against
+    /// the model factory's parameter count.
+    ///
+    /// # Errors
+    ///
+    /// [`StateLenError`] on a mismatch (the current global is kept).
+    pub fn set_global_state(&mut self, state: Vec<f32>) -> Result<(), StateLenError> {
+        StateLenError::check(state.len(), self.global.len())?;
+        self.global = state;
+        Ok(())
+    }
+
+    /// Test accuracy of the current global model.
+    pub fn global_accuracy(&self) -> f64 {
+        let mut net = (self.factory)(0);
+        net.set_state_vector(&self.global);
+        goldfish_fed::eval::accuracy(&mut net, &self.test)
+    }
+
+    /// The pending-request queue (for inspection).
+    pub fn queue(&self) -> &UnlearnQueue {
+        &self.queue
+    }
+
+    /// The transport (for wire accounting and liveness inspection).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable transport access (daemon shutdown paths).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Queues a deletion request after validating it against the
+    /// transport's client registry. The queue dedupes per client; the
+    /// request is served when the queue next drains (between rounds).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] for unknown clients or out-of-range indices.
+    pub fn submit_unlearn(&mut self, req: UnlearnRequest) -> Result<(), SubmitError> {
+        let sizes = self.transport.client_sizes();
+        let len = match sizes.get(req.client_id) {
+            Some(&n) if n > 0 => n,
+            _ => {
+                return Err(SubmitError::UnknownClient {
+                    client_id: req.client_id,
+                })
+            }
+        };
+        if let Some(&bad) = req.removed.iter().find(|&&i| i >= len) {
+            return Err(SubmitError::IndexOutOfRange { index: bad, len });
+        }
+        self.queue.submit(req);
+        Ok(())
+    }
+
+    /// Runs one federated training round (FedAvg) over the transport.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NoLiveClients`] when nobody delivers.
+    pub fn train_round(&mut self, round: usize, seed: u64) -> Result<RoundSummary, TransportError> {
+        let driver = RoundDriver {
+            factory: &self.factory,
+            test: &self.test,
+            threads: self.cfg.threads,
+            // FedAvg ignores upload MSE; skip the per-client eval.
+            eval_mse: false,
+            eval_clients: false,
+        };
+        let assign = TrainAssign {
+            round,
+            seed,
+            global: &self.global,
+            cfg: &self.cfg.train,
+        };
+        let driven = driver.run_round(&mut self.transport, &assign, &FedAvg)?;
+        self.global = driven.global;
+        Ok(RoundSummary {
+            round,
+            global_accuracy: driven.global_accuracy,
+            client_sizes: driven.client_sizes,
+        })
+    }
+
+    /// Drains the request queue and, if anything was pending, serves the
+    /// whole batch with one unlearning pass: the current global becomes
+    /// the frozen teacher, every drained client's removals are staged on
+    /// the transport, and the method's distillation rounds rebuild the
+    /// global model. Returns `None` when the queue was empty.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; the queue is already drained when they
+    /// surface (matching a real deployment, where a crashed request is
+    /// not silently replayed).
+    pub fn drain_unlearning(
+        &mut self,
+        seed: u64,
+    ) -> Result<Option<UnlearnSummary>, TransportError> {
+        if self.queue.is_empty() {
+            return Ok(None);
+        }
+        let requests = self.queue.drain();
+        self.transport.stage_removals(&requests);
+        let teacher = std::mem::take(&mut self.global);
+        let server = UnlearnServer {
+            factory: &self.factory,
+            test: &self.test,
+            original_global: &teacher,
+            rounds: self.cfg.unlearn_rounds,
+        };
+        let outcome = self
+            .cfg
+            .method
+            .unlearn_over(&server, &mut self.transport, seed);
+        match outcome {
+            Ok(out) => {
+                self.global = out.global_state;
+                Ok(Some(UnlearnSummary {
+                    requests,
+                    round_accuracies: out.round_accuracies,
+                }))
+            }
+            Err(e) => {
+                // Keep serving with the pre-request model.
+                self.global = teacher;
+                Err(e)
+            }
+        }
+    }
+
+    /// The full serving loop: `rounds` training rounds, draining the
+    /// unlearning queue between rounds (and once more after the last).
+    /// Seeds derive via [`round_seed`]/[`drain_seed`] (the former
+    /// matching `Federation::train_rounds`).
+    ///
+    /// # Errors
+    ///
+    /// The first transport failure aborts the run.
+    pub fn run(&mut self, rounds: usize, seed: u64) -> Result<RunSummary, TransportError> {
+        let mut summary = RunSummary::default();
+        for r in 0..rounds {
+            summary
+                .rounds
+                .push(self.train_round(r, round_seed(seed, r))?);
+            if let Some(u) = self.drain_unlearning(drain_seed(seed, r))? {
+                summary.unlearns.push(u);
+            }
+        }
+        Ok(summary)
+    }
+}
+
+impl<T: ServeTransport> std::fmt::Debug for Coordinator<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Coordinator({} params, {} pending requests)",
+            self.global.len(),
+            self.queue.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::DemoSpec;
+    use crate::transport::LoopbackTransport;
+    use goldfish_core::basic_model::GoldfishLocalConfig;
+
+    fn coordinator(spec: &DemoSpec) -> Coordinator<LoopbackTransport> {
+        let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(2));
+        let cfg = CoordinatorConfig {
+            train: spec.train_config(),
+            method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+                epochs: 1,
+                batch_size: 20,
+                lr: 0.05,
+                momentum: 0.9,
+                ..GoldfishLocalConfig::default()
+            }),
+            unlearn_rounds: 1,
+            init_seed: 1,
+            threads: Some(2),
+        };
+        Coordinator::new(spec.factory(), spec.test_set(), transport, cfg)
+    }
+
+    #[test]
+    fn run_trains_and_serves_requests() {
+        let spec = DemoSpec {
+            clients: 2,
+            samples_per_client: 60,
+            test_samples: 30,
+            seed: 8,
+        };
+        let mut c = coordinator(&spec);
+        c.submit_unlearn(UnlearnRequest::new(0, (0..6).collect()))
+            .unwrap();
+        let summary = c.run(2, 7).unwrap();
+        assert_eq!(summary.rounds.len(), 2);
+        // The request drained after round 0.
+        assert_eq!(summary.unlearns.len(), 1);
+        assert_eq!(summary.unlearns[0].requests[0].client_id, 0);
+        assert_eq!(summary.unlearns[0].round_accuracies.len(), 1);
+        assert!(c.queue().is_empty());
+    }
+
+    #[test]
+    fn submit_validation_is_typed() {
+        let spec = DemoSpec {
+            clients: 2,
+            samples_per_client: 30,
+            test_samples: 10,
+            seed: 8,
+        };
+        let mut c = coordinator(&spec);
+        assert_eq!(
+            c.submit_unlearn(UnlearnRequest::new(9, vec![0])),
+            Err(SubmitError::UnknownClient { client_id: 9 })
+        );
+        assert_eq!(
+            c.submit_unlearn(UnlearnRequest::new(0, vec![99])),
+            Err(SubmitError::IndexOutOfRange { index: 99, len: 30 })
+        );
+        assert!(c.submit_unlearn(UnlearnRequest::new(0, vec![2])).is_ok());
+        assert_eq!(c.queue().len(), 1);
+    }
+
+    #[test]
+    fn set_global_state_validates_length() {
+        let spec = DemoSpec::default();
+        let mut c = coordinator(&spec);
+        let want = c.global_state().len();
+        let err = c.set_global_state(vec![0.0; 3]).unwrap_err();
+        assert_eq!(err, StateLenError { got: 3, want });
+        let fine = vec![0.5; want];
+        c.set_global_state(fine.clone()).unwrap();
+        assert_eq!(c.global_state(), fine.as_slice());
+    }
+}

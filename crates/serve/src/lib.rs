@@ -1,0 +1,43 @@
+//! `goldfish-serve` — the networked federation layer (DESIGN.md §10).
+//!
+//! PRs 1–3 built the Goldfish stack as a single-process library; this
+//! crate turns it into a client/server system on plain `std::net`:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary protocol
+//!   ([`wire::Msg`] frames riding `goldfish_tensor::serialize`'s bulk
+//!   f32 codec, with explicit max-frame-size and version checks),
+//! * [`tcp`] — the coordinator-side [`tcp::TcpTransport`] implementing
+//!   `goldfish_fed::transport::RoundTransport` and
+//!   `goldfish_core::transport::DistillTransport` over one socket per
+//!   worker (thread-per-connection, blocking I/O, per-client timeouts),
+//! * [`transport`] — the in-process [`transport::LoopbackTransport`]:
+//!   the same contract over `goldfish_fed`'s/`goldfish_core`'s loopback
+//!   executors, the reference every TCP run is bitwise-checked against,
+//! * [`worker`] — the worker-side state machine
+//!   ([`worker::WorkerRuntime`]) and connection loop shared by the
+//!   `goldfish-worker` daemon and the tests,
+//! * [`queue`] — the FIFO [`queue::UnlearnQueue`] with per-client
+//!   dedupe, drained between training rounds (the paper's
+//!   request-then-retrain flow),
+//! * [`coordinator`] — the [`coordinator::Coordinator`]: owns the global
+//!   state and the queue, drives training rounds and unlearning requests
+//!   over any transport, with straggler drop + re-round and
+//!   arrival-order-independent aggregation,
+//! * [`demo`] — the deterministic demo workload both daemons derive
+//!   from `(seed, clients, samples)` so they agree on data without any
+//!   file exchange.
+//!
+//! Daemons: `goldfish-coordinator` and `goldfish-worker` (see the root
+//! README for a quickstart); `bench_serve` in `goldfish-bench` measures
+//! rounds/sec and wire bytes/round for both transports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod demo;
+pub mod queue;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+pub mod worker;

@@ -1,0 +1,127 @@
+//! The server's FIFO unlearning request queue.
+//!
+//! Deletion requests arrive while training is in progress; the
+//! coordinator queues them and drains the queue **between** federated
+//! rounds (the paper's request-then-retrain flow — a request never
+//! interrupts a round mid-flight). Requests are deduplicated per client:
+//! a second request from a client that already has one pending merges
+//! its indices into the pending entry (keeping the original FIFO
+//! position), so one distillation pass serves both.
+
+/// One deletion request: a client asks the server to unlearn some of its
+/// local samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnlearnRequest {
+    /// The requesting client.
+    pub client_id: usize,
+    /// Indices into that client's local dataset, sorted and deduplicated
+    /// by [`UnlearnQueue::submit`].
+    pub removed: Vec<usize>,
+}
+
+impl UnlearnRequest {
+    /// A request to forget `removed` samples of `client_id`.
+    pub fn new(client_id: usize, mut removed: Vec<usize>) -> Self {
+        removed.sort_unstable();
+        removed.dedup();
+        UnlearnRequest { client_id, removed }
+    }
+}
+
+/// FIFO queue of pending [`UnlearnRequest`]s with per-client dedupe.
+#[derive(Debug, Default)]
+pub struct UnlearnQueue {
+    pending: Vec<UnlearnRequest>,
+    submitted: usize,
+    merged: usize,
+}
+
+impl UnlearnQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        UnlearnQueue::default()
+    }
+
+    /// Enqueues a request. If the client already has a pending request
+    /// the indices are merged into it (union, sorted) and the existing
+    /// FIFO position is kept; otherwise the request joins the tail.
+    pub fn submit(&mut self, req: UnlearnRequest) {
+        self.submitted += 1;
+        let req = UnlearnRequest::new(req.client_id, req.removed);
+        if let Some(existing) = self
+            .pending
+            .iter_mut()
+            .find(|r| r.client_id == req.client_id)
+        {
+            existing.removed.extend(req.removed);
+            existing.removed.sort_unstable();
+            existing.removed.dedup();
+            self.merged += 1;
+        } else {
+            self.pending.push(req);
+        }
+    }
+
+    /// Removes and returns every pending request, in FIFO order.
+    pub fn drain(&mut self) -> Vec<UnlearnRequest> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Pending request count (after dedupe).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total submissions observed (including merged ones).
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Submissions that merged into an already-pending request.
+    pub fn merged(&self) -> usize {
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_kept() {
+        let mut q = UnlearnQueue::new();
+        q.submit(UnlearnRequest::new(2, vec![1]));
+        q.submit(UnlearnRequest::new(0, vec![3]));
+        let drained = q.drain();
+        assert_eq!(drained[0].client_id, 2);
+        assert_eq!(drained[1].client_id, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_client_requests_merge_in_place() {
+        let mut q = UnlearnQueue::new();
+        q.submit(UnlearnRequest::new(1, vec![5, 3]));
+        q.submit(UnlearnRequest::new(0, vec![9]));
+        q.submit(UnlearnRequest::new(1, vec![3, 7]));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.submitted(), 3);
+        assert_eq!(q.merged(), 1);
+        let drained = q.drain();
+        // Client 1 keeps its original (first) position; indices merged,
+        // sorted, deduplicated.
+        assert_eq!(drained[0], UnlearnRequest::new(1, vec![3, 5, 7]));
+        assert_eq!(drained[1], UnlearnRequest::new(0, vec![9]));
+    }
+
+    #[test]
+    fn new_normalizes_indices() {
+        let r = UnlearnRequest::new(0, vec![4, 1, 4, 2]);
+        assert_eq!(r.removed, vec![1, 2, 4]);
+    }
+}

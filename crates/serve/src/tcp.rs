@@ -1,0 +1,576 @@
+//! The coordinator-side TCP transport.
+//!
+//! One blocking socket per worker (thread-per-connection: each round
+//! fans its frame exchange out over a `std::thread::scope`, so the pool
+//! is bounded by the live-connection count), per-client read timeouts
+//! for liveness, and byte counters for the wire-cost benchmarks. A
+//! client that times out, disconnects, or answers out of protocol is
+//! dropped from the live set and reported as a typed
+//! [`TransportError`]; the round driver then re-rounds over the
+//! survivors (see `goldfish_fed::transport::collect_round`).
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use goldfish_core::transport::{DistillTransport, UnlearnJob};
+use goldfish_fed::aggregate::ClientUpdate;
+use goldfish_fed::transport::{RoundTransport, TrainAssign, TransportError};
+
+use crate::queue::UnlearnRequest;
+use crate::transport::{LocalEval, ServeTransport, WireStats};
+use crate::wire::{
+    encode_frame, err_code, read_frame, write_frame, FrameLimits, Msg, RoundMode, WireError,
+};
+
+/// Socket policy of a [`TcpTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Frame-size limits (both directions).
+    pub limits: FrameLimits,
+    /// Per-reply read deadline; a worker exceeding it is dropped as a
+    /// straggler.
+    pub read_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    /// 30 s replies — generous for CI boxes under load; benchmarks and
+    /// tests that probe straggler handling shrink it.
+    fn default() -> Self {
+        TcpConfig {
+            limits: FrameLimits::default(),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    num_samples: usize,
+}
+
+/// The networked [`ServeTransport`]: a registry of worker connections
+/// keyed by client id, accepting the round-loop contracts of
+/// `goldfish_fed` and `goldfish_core` over the wire protocol.
+pub struct TcpTransport {
+    conns: Vec<Option<Conn>>,
+    cfg: TcpConfig,
+    staged: Vec<UnlearnRequest>,
+    stats: WireStats,
+}
+
+impl TcpTransport {
+    /// Accepts `expected` workers on `listener`. Each must open with a
+    /// valid `Hello` (unique client id below `expected`, matching
+    /// `state_len`); invalid peers get a typed `Err` frame and are
+    /// dropped without consuming a slot.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on listener failures.
+    pub fn accept(
+        listener: &TcpListener,
+        expected: usize,
+        state_len: usize,
+        cfg: TcpConfig,
+    ) -> Result<TcpTransport, WireError> {
+        let mut conns: Vec<Option<Conn>> = (0..expected).map(|_| None).collect();
+        let mut registered = 0;
+        while registered < expected {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(cfg.read_timeout)).ok();
+            let hello = match read_frame(&mut stream, &cfg.limits) {
+                Ok((msg, _)) => msg,
+                Err(_) => continue, // bad opener; next candidate
+            };
+            let Msg::Hello {
+                client_id,
+                state_len: worker_len,
+                num_samples,
+            } = hello
+            else {
+                let _ = write_frame(
+                    &mut stream,
+                    &Msg::Err {
+                        code: err_code::BAD_REQUEST,
+                        detail: "expected Hello".into(),
+                    },
+                    &cfg.limits,
+                );
+                continue;
+            };
+            let id = client_id as usize;
+            if id >= expected || conns[id].is_some() {
+                let _ = write_frame(
+                    &mut stream,
+                    &Msg::Err {
+                        code: err_code::BAD_REQUEST,
+                        detail: format!("client id {id} invalid or already registered"),
+                    },
+                    &cfg.limits,
+                );
+                continue;
+            }
+            if worker_len as usize != state_len {
+                let _ = write_frame(
+                    &mut stream,
+                    &Msg::Err {
+                        code: err_code::BAD_STATE_LEN,
+                        detail: format!("model has {state_len} params, worker says {worker_len}"),
+                    },
+                    &cfg.limits,
+                );
+                continue;
+            }
+            write_frame(
+                &mut stream,
+                &Msg::Capabilities {
+                    max_payload: cfg.limits.max_payload as u64,
+                    state_len: state_len as u64,
+                },
+                &cfg.limits,
+            )?;
+            conns[id] = Some(Conn {
+                stream,
+                num_samples: num_samples as usize,
+            });
+            registered += 1;
+        }
+        Ok(TcpTransport {
+            conns,
+            cfg,
+            staged: Vec::new(),
+            stats: WireStats::default(),
+        })
+    }
+
+    /// Live client ids, ascending.
+    pub fn live_clients(&self) -> Vec<usize> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter_map(|(id, c)| c.as_ref().map(|_| id))
+            .collect()
+    }
+
+    /// Broadcasts one message to every live worker and reads one reply
+    /// each, concurrently (one thread per connection). The frame is
+    /// **encoded once** and the bytes shared across connections — round
+    /// assignments are identical per client, so per-worker
+    /// re-serialization of the (large) global-state payload would be
+    /// pure waste. Failed connections are dropped from the live set and
+    /// reported as errors.
+    fn broadcast(
+        &mut self,
+        msg: &Msg,
+        parse: impl Fn(usize, Msg) -> Result<ClientUpdateOrMsg, TransportError> + Sync,
+    ) -> Vec<Result<ClientUpdateOrMsg, TransportError>> {
+        match encode_frame(msg, &self.cfg.limits) {
+            Ok(frame) => {
+                let frame = std::sync::Arc::new(frame);
+                let frames: Vec<Option<std::sync::Arc<Vec<u8>>>> = self
+                    .conns
+                    .iter()
+                    .map(|c| c.as_ref().map(|_| std::sync::Arc::clone(&frame)))
+                    .collect();
+                self.exchange(frames, parse)
+            }
+            Err(e) => self
+                .live_clients()
+                .into_iter()
+                .map(|id| Err(map_wire_error(id, e.clone())))
+                .collect(),
+        }
+    }
+
+    /// Sends `frames[id]` (one pre-encoded frame per live connection) and
+    /// reads one reply each, concurrently. The engine behind
+    /// [`TcpTransport::broadcast`] and the per-client `UnlearnAssign`
+    /// fan-out.
+    fn exchange(
+        &mut self,
+        frames: Vec<Option<std::sync::Arc<Vec<u8>>>>,
+        parse: impl Fn(usize, Msg) -> Result<ClientUpdateOrMsg, TransportError> + Sync,
+    ) -> Vec<Result<ClientUpdateOrMsg, TransportError>> {
+        use std::io::Write;
+        let limits = self.cfg.limits;
+        let mut outcomes: Vec<(usize, Result<ClientUpdateOrMsg, TransportError>, u64, u64)> =
+            Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ((id, slot), frame) in self.conns.iter_mut().enumerate().zip(&frames) {
+                let (Some(conn), Some(frame)) = (slot.as_mut(), frame) else {
+                    continue;
+                };
+                let parse = &parse;
+                handles.push(scope.spawn(move || {
+                    let mut sent = 0u64;
+                    let mut received = 0u64;
+                    let result = (|| {
+                        conn.stream
+                            .write_all(frame)
+                            .and_then(|()| conn.stream.flush())
+                            .map_err(|e| map_wire_error(id, WireError::from(e)))?;
+                        sent = frame.len() as u64;
+                        let (reply, n) = read_frame(&mut conn.stream, &limits)
+                            .map_err(|e| map_wire_error(id, e))?;
+                        received = n as u64;
+                        if let Msg::Err { code, detail } = reply {
+                            return Err(TransportError::Protocol {
+                                client_id: id,
+                                reason: format!("worker error code {code}: {detail}"),
+                            });
+                        }
+                        parse(id, reply)
+                    })();
+                    (id, result, sent, received)
+                }));
+            }
+            for h in handles {
+                outcomes.push(h.join().expect("connection thread panicked"));
+            }
+        });
+        outcomes.sort_by_key(|(id, ..)| *id);
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (id, result, sent, received) in outcomes {
+            self.stats.bytes_sent += sent;
+            self.stats.bytes_received += received;
+            if result.is_err() {
+                // Straggler / lost / misbehaving worker: drop it.
+                self.conns[id] = None;
+            }
+            results.push(result);
+        }
+        results
+    }
+}
+
+/// A parsed worker reply: a round update, a local evaluation, or an
+/// acknowledgement from the given client.
+enum ClientUpdateOrMsg {
+    Update(ClientUpdate),
+    Eval(LocalEval),
+    Ack(usize),
+}
+
+fn map_wire_error(client_id: usize, e: WireError) -> TransportError {
+    match e {
+        WireError::Io { kind, detail } => match kind {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                TransportError::Timeout { client_id }
+            }
+            _ => TransportError::Disconnected {
+                client_id,
+                reason: detail,
+            },
+        },
+        other => TransportError::Protocol {
+            client_id,
+            reason: other.to_string(),
+        },
+    }
+}
+
+fn expect_update(
+    id: usize,
+    reply: Msg,
+    want_round: u64,
+    distill: bool,
+) -> Result<ClientUpdateOrMsg, TransportError> {
+    let (round, client_id, weight, state, got_distill) = match reply {
+        Msg::Update {
+            round,
+            client_id,
+            weight,
+            state,
+        } => (round, client_id, weight, state, false),
+        Msg::UnlearnResult {
+            round,
+            client_id,
+            weight,
+            state,
+        } => (round, client_id, weight, state, true),
+        other => {
+            return Err(TransportError::Protocol {
+                client_id: id,
+                reason: format!("expected a round result, got {}", other.name()),
+            })
+        }
+    };
+    if got_distill != distill || round != want_round || client_id as usize != id {
+        return Err(TransportError::Protocol {
+            client_id: id,
+            reason: format!(
+                "reply mismatch: round {round} (want {want_round}), client {client_id} (want {id}), distill {got_distill} (want {distill})"
+            ),
+        });
+    }
+    Ok(ClientUpdateOrMsg::Update(ClientUpdate {
+        client_id: id,
+        state,
+        num_samples: weight as usize,
+        server_mse: None,
+    }))
+}
+
+fn unwrap_update(
+    r: Result<ClientUpdateOrMsg, TransportError>,
+) -> Result<ClientUpdate, TransportError> {
+    r.map(|v| match v {
+        ClientUpdateOrMsg::Update(u) => u,
+        _ => unreachable!("parser produced a non-update"),
+    })
+}
+
+impl RoundTransport for TcpTransport {
+    fn num_clients(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn train_round(
+        &mut self,
+        assign: &TrainAssign<'_>,
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        let round = assign.round as u64;
+        let msg = Msg::RoundAssign {
+            mode: RoundMode::Train,
+            round,
+            seed: assign.seed,
+            cfg: *assign.cfg,
+            global: assign.global.to_vec(),
+        };
+        self.broadcast(&msg, |id, reply| expect_update(id, reply, round, false))
+            .into_iter()
+            .map(unwrap_update)
+            .collect()
+    }
+}
+
+impl DistillTransport for TcpTransport {
+    fn num_clients(&self) -> usize {
+        RoundTransport::num_clients(self)
+    }
+
+    fn begin_unlearn(&mut self, job: &UnlearnJob, teacher: &[f32]) -> Result<(), TransportError> {
+        if job.hard.is_none() {
+            return Err(TransportError::Unsupported {
+                reason: "custom hard losses cannot be shipped to workers".into(),
+            });
+        }
+        let staged = std::mem::take(&mut self.staged);
+        // Before any frame goes out: every client whose own data is
+        // being deleted must be connected. Workers apply deletions
+        // permanently on receipt, so discovering a missing requester
+        // *after* the fan-out would leave other requesters' datasets
+        // shrunk while the coordinator aborts and keeps serving the
+        // pre-request model.
+        for req in &staged {
+            if !req.removed.is_empty() && self.conns.get(req.client_id).is_none_or(|c| c.is_none())
+            {
+                return Err(TransportError::Disconnected {
+                    client_id: req.client_id,
+                    reason: "deletion-requesting client is not connected".into(),
+                });
+            }
+        }
+        // Frames differ per client only in the (tiny) removed-index
+        // list; encode each against the live set.
+        let mut frames: Vec<Option<std::sync::Arc<Vec<u8>>>> = Vec::with_capacity(self.conns.len());
+        for (id, slot) in self.conns.iter().enumerate() {
+            if slot.is_none() {
+                frames.push(None);
+                continue;
+            }
+            let removed: Vec<u64> = staged
+                .iter()
+                .find(|r| r.client_id == id)
+                .map(|r| r.removed.iter().map(|&i| i as u64).collect())
+                .unwrap_or_default();
+            let msg = Msg::UnlearnAssign {
+                job: *job,
+                removed,
+                teacher: teacher.to_vec(),
+            };
+            let frame = encode_frame(&msg, &self.cfg.limits).map_err(|e| map_wire_error(id, e))?;
+            frames.push(Some(std::sync::Arc::new(frame)));
+        }
+        let results = self.exchange(frames, |id, reply| match reply {
+            Msg::Ack => Ok(ClientUpdateOrMsg::Ack(id)),
+            other => Err(TransportError::Protocol {
+                client_id: id,
+                reason: format!("expected an UnlearnAssign ack, got {}", other.name()),
+            }),
+        });
+        if results.iter().all(|r| r.is_err()) {
+            return Err(TransportError::NoLiveClients);
+        }
+        // A client whose *own* deletion request did not land must fail
+        // the whole pass — otherwise the coordinator would report the
+        // request as served while the data survives. (Intact clients
+        // that dropped are mere stragglers; the survivors distill on.)
+        let acked: Vec<usize> = results
+            .iter()
+            .filter_map(|r| match r {
+                Ok(ClientUpdateOrMsg::Ack(id)) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for req in &staged {
+            if req.removed.is_empty() {
+                continue;
+            }
+            if !acked.contains(&req.client_id) {
+                let failure = results
+                    .iter()
+                    .find_map(|r| match r {
+                        Err(e) if e.client_id() == Some(req.client_id) => Some(e.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or(TransportError::Disconnected {
+                        client_id: req.client_id,
+                        reason: "deletion-requesting client is not connected".into(),
+                    });
+                return Err(failure);
+            }
+            // The worker applied the deletion permanently; keep the
+            // registry's sample counts (request validation) in sync.
+            if let Some(conn) = self.conns[req.client_id].as_mut() {
+                conn.num_samples = conn.num_samples.saturating_sub(req.removed.len());
+            }
+        }
+        Ok(())
+    }
+
+    fn distill_round(
+        &mut self,
+        round: usize,
+        seed: u64,
+        global: &[f32],
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        let round = round as u64;
+        // cfg travels for frame uniformity but is ignored by distill
+        // workers (the job shipped it already).
+        let msg = Msg::RoundAssign {
+            mode: RoundMode::Distill,
+            round,
+            seed,
+            cfg: goldfish_fed::trainer::TrainConfig::default(),
+            global: global.to_vec(),
+        };
+        self.broadcast(&msg, |id, reply| expect_update(id, reply, round, true))
+            .into_iter()
+            .map(unwrap_update)
+            .collect()
+    }
+}
+
+impl ServeTransport for TcpTransport {
+    fn client_sizes(&self) -> Vec<usize> {
+        self.conns
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.num_samples).unwrap_or(0))
+            .collect()
+    }
+
+    fn stage_removals(&mut self, requests: &[UnlearnRequest]) {
+        self.staged = requests.to_vec();
+    }
+
+    fn local_eval(
+        &mut self,
+        round: usize,
+        global: &[f32],
+    ) -> Vec<Result<LocalEval, TransportError>> {
+        let round = round as u64;
+        let msg = Msg::Eval {
+            round,
+            accuracy: 0.0,
+            mse: 0.0,
+            global: global.to_vec(),
+        };
+        self.broadcast(&msg, |id, reply| match reply {
+            Msg::Eval { accuracy, mse, .. } => Ok(ClientUpdateOrMsg::Eval(LocalEval {
+                client_id: id,
+                accuracy,
+                mse,
+            })),
+            other => Err(TransportError::Protocol {
+                client_id: id,
+                reason: format!("expected an Eval reply, got {}", other.name()),
+            }),
+        })
+        .into_iter()
+        .map(|r| {
+            r.map(|v| match v {
+                ClientUpdateOrMsg::Eval(e) => e,
+                _ => unreachable!("parser produced a non-eval"),
+            })
+        })
+        .collect()
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TcpTransport({} live of {} slots, {} B out, {} B in)",
+            RoundTransport::num_clients(self),
+            self.conns.len(),
+            self.stats.bytes_sent,
+            self.stats.bytes_received
+        )
+    }
+}
+
+/// Convenience: binds `addr` (e.g. `127.0.0.1:0`) and returns the
+/// listener plus its resolved local address string.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when binding fails.
+pub fn bind(addr: &str) -> Result<(TcpListener, String), WireError> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?.to_string();
+    Ok((listener, local))
+}
+
+// Keep the module's error text helpers exercised even in non-network
+// test builds.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_error_mapping() {
+        let e = map_wire_error(
+            3,
+            WireError::Io {
+                kind: std::io::ErrorKind::TimedOut,
+                detail: "t".into(),
+            },
+        );
+        assert_eq!(e, TransportError::Timeout { client_id: 3 });
+        let e = map_wire_error(
+            1,
+            WireError::Io {
+                kind: std::io::ErrorKind::ConnectionReset,
+                detail: "gone".into(),
+            },
+        );
+        assert!(matches!(
+            e,
+            TransportError::Disconnected { client_id: 1, .. }
+        ));
+        let e = map_wire_error(0, WireError::UnknownKind(9));
+        assert!(matches!(e, TransportError::Protocol { .. }));
+        let _ = crate::wire::describe_err(&Msg::Err {
+            code: 1,
+            detail: "x".into(),
+        });
+    }
+}

@@ -1,0 +1,268 @@
+//! The serve-level transport contract and its in-process implementation.
+//!
+//! [`ServeTransport`] is what a [`crate::coordinator::Coordinator`]
+//! drives: the federated-round contract
+//! ([`goldfish_fed::transport::RoundTransport`]) plus the distillation
+//! contract ([`goldfish_core::transport::DistillTransport`]) plus the
+//! serve-specific operations (staging deletion requests, local
+//! evaluation, wire accounting). Two implementations exist:
+//!
+//! * [`LoopbackTransport`] (here) — clients are datasets in this process;
+//!   execution delegates to the same loopback executors the library's
+//!   `Federation`/`GoldfishUnlearning` use, so a loopback run **is** the
+//!   existing in-process path,
+//! * [`crate::tcp::TcpTransport`] — clients are remote worker daemons
+//!   behind sockets; bitwise-identical to loopback because both sides
+//!   run the same per-client code against losslessly round-tripped
+//!   states.
+
+use goldfish_core::transport::{DistillTransport, LoopbackDistill, UnlearnJob};
+use goldfish_core::ClientSplit;
+use goldfish_data::Dataset;
+use goldfish_fed::aggregate::ClientUpdate;
+use goldfish_fed::transport::{LoopbackClients, RoundTransport, TrainAssign, TransportError};
+use goldfish_fed::{eval, pool, ModelFactory};
+
+use crate::queue::UnlearnRequest;
+
+/// Wire-traffic counters of a transport (zero for loopback).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Total frame bytes written to peers.
+    pub bytes_sent: u64,
+    /// Total frame bytes read from peers.
+    pub bytes_received: u64,
+}
+
+impl WireStats {
+    /// Sum of both directions.
+    pub fn total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// One client's local evaluation of a state vector (the `Eval` exchange).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalEval {
+    /// The evaluating client.
+    pub client_id: usize,
+    /// Classification accuracy on the client's local data.
+    pub accuracy: f64,
+    /// Mean squared error on the client's local data.
+    pub mse: f64,
+}
+
+/// Everything a coordinator needs from a transport.
+pub trait ServeTransport: RoundTransport + DistillTransport {
+    /// Local dataset sizes by client id (`0` for dead clients) — used to
+    /// validate deletion requests before they are queued.
+    fn client_sizes(&self) -> Vec<usize>;
+
+    /// Stages the drained deletion requests for the next
+    /// [`DistillTransport::begin_unlearn`]: each listed client will split
+    /// its data by the given indices; unlisted clients stay intact.
+    fn stage_removals(&mut self, requests: &[UnlearnRequest]);
+
+    /// Asks every live client to evaluate `global` on its local data.
+    fn local_eval(
+        &mut self,
+        round: usize,
+        global: &[f32],
+    ) -> Vec<Result<LocalEval, TransportError>>;
+
+    /// Wire-traffic counters since construction.
+    fn wire_stats(&self) -> WireStats;
+}
+
+/// The in-process [`ServeTransport`]: owns every client's dataset and
+/// delegates execution to the library's loopback executors
+/// ([`LoopbackClients`] for training rounds, [`LoopbackDistill`] for
+/// distillation rounds). The reference implementation every TCP run is
+/// checked against.
+pub struct LoopbackTransport {
+    factory: ModelFactory,
+    clients: Vec<Dataset>,
+    threads: Option<usize>,
+    staged: Vec<UnlearnRequest>,
+    distill: Option<LoopbackDistill>,
+}
+
+impl LoopbackTransport {
+    /// Wraps the client datasets as an in-process transport.
+    pub fn new(factory: ModelFactory, clients: Vec<Dataset>, threads: Option<usize>) -> Self {
+        LoopbackTransport {
+            factory,
+            clients,
+            threads,
+            staged: Vec::new(),
+            distill: None,
+        }
+    }
+}
+
+impl RoundTransport for LoopbackTransport {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn train_round(
+        &mut self,
+        assign: &TrainAssign<'_>,
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        LoopbackClients::new(&self.factory, &self.clients, self.threads).train_round(assign)
+    }
+}
+
+impl DistillTransport for LoopbackTransport {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn begin_unlearn(&mut self, job: &UnlearnJob, teacher: &[f32]) -> Result<(), TransportError> {
+        let hard = match job.hard {
+            Some(spec) => spec.build(),
+            None => {
+                return Err(TransportError::Unsupported {
+                    reason: "custom hard losses cannot be shipped to workers".into(),
+                })
+            }
+        };
+        let staged = std::mem::take(&mut self.staged);
+        let splits: Vec<ClientSplit> = self
+            .clients
+            .iter()
+            .enumerate()
+            .map(
+                |(id, data)| match staged.iter().find(|r| r.client_id == id) {
+                    Some(req) if !req.removed.is_empty() => {
+                        ClientSplit::with_removed(data, &req.removed)
+                    }
+                    _ => ClientSplit::intact(data.clone()),
+                },
+            )
+            .collect();
+        // The deletion is permanent (mirroring the worker daemon's state
+        // machine): a client with removals keeps only its remaining data
+        // for every later training round.
+        for (id, split) in splits.iter().enumerate() {
+            if !split.forget.is_empty() {
+                self.clients[id] = split.remaining.clone();
+            }
+        }
+        let mut distill = LoopbackDistill::new(self.factory.clone(), splits, hard, self.threads);
+        distill.begin_unlearn(job, teacher)?;
+        self.distill = Some(distill);
+        Ok(())
+    }
+
+    fn distill_round(
+        &mut self,
+        round: usize,
+        seed: u64,
+        global: &[f32],
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        self.distill
+            .as_mut()
+            .expect("distill_round before begin_unlearn")
+            .distill_round(round, seed, global)
+    }
+}
+
+impl ServeTransport for LoopbackTransport {
+    fn client_sizes(&self) -> Vec<usize> {
+        self.clients.iter().map(|c| c.len()).collect()
+    }
+
+    fn stage_removals(&mut self, requests: &[UnlearnRequest]) {
+        self.staged = requests.to_vec();
+    }
+
+    fn local_eval(
+        &mut self,
+        _round: usize,
+        global: &[f32],
+    ) -> Vec<Result<LocalEval, TransportError>> {
+        let factory = &self.factory;
+        let clients = &self.clients;
+        let mut evals: Vec<Option<LocalEval>> = (0..clients.len()).map(|_| None).collect();
+        pool::install(self.threads, || {
+            pool::for_each_slot(&mut evals, |id, slot| {
+                let mut net = (factory)(0);
+                net.set_state_vector(global);
+                *slot = Some(LocalEval {
+                    client_id: id,
+                    accuracy: eval::accuracy(&mut net, &clients[id]),
+                    mse: eval::mse(&mut net, &clients[id]),
+                });
+            });
+        });
+        evals
+            .into_iter()
+            .map(|e| Ok(e.expect("missing loopback eval")))
+            .collect()
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        WireStats::default()
+    }
+}
+
+impl std::fmt::Debug for LoopbackTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LoopbackTransport({} clients)", self.clients.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::DemoSpec;
+    use goldfish_core::basic_model::GoldfishLocalConfig;
+    use goldfish_nn::loss::HardLossSpec;
+
+    #[test]
+    fn loopback_runs_both_flows() {
+        let spec = DemoSpec {
+            clients: 2,
+            samples_per_client: 40,
+            test_samples: 20,
+            seed: 5,
+        };
+        let factory = spec.factory();
+        let mut t = LoopbackTransport::new(factory.clone(), spec.client_shards(), Some(2));
+        assert_eq!(RoundTransport::num_clients(&t), 2);
+        assert_eq!(t.client_sizes(), vec![40, 40]);
+
+        let global = (factory)(1).state_vector();
+        let cfg = spec.train_config();
+        let assign = TrainAssign {
+            round: 0,
+            seed: 3,
+            global: &global,
+            cfg: &cfg,
+        };
+        let updates = t.train_round(&assign);
+        assert_eq!(updates.len(), 2);
+        assert!(updates.iter().all(|u| u.is_ok()));
+
+        t.stage_removals(&[UnlearnRequest::new(0, vec![0, 1, 2])]);
+        let job = UnlearnJob {
+            local: GoldfishLocalConfig {
+                epochs: 1,
+                batch_size: 20,
+                ..GoldfishLocalConfig::default()
+            },
+            hard: Some(HardLossSpec::CrossEntropy),
+        };
+        t.begin_unlearn(&job, &global).unwrap();
+        let results = t.distill_round(0, 3, &global);
+        assert_eq!(results.len(), 2);
+        let first = results[0].as_ref().unwrap();
+        assert_eq!(first.num_samples, 37); // 40 - 3 removed
+
+        let evals = t.local_eval(0, &global);
+        assert_eq!(evals.len(), 2);
+        assert!(evals[0].as_ref().unwrap().accuracy <= 1.0);
+        assert_eq!(t.wire_stats().total(), 0);
+    }
+}

@@ -1,0 +1,941 @@
+//! The versioned, length-prefixed binary wire protocol (DESIGN.md §10).
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GFWP"
+//! 4       1     protocol version (PROTOCOL_VERSION)
+//! 5       1     message kind
+//! 6       4     payload length, u32 LE
+//! 10      n     payload
+//! ```
+//!
+//! Payloads are little-endian throughout. `f32` vectors (model states,
+//! teacher states) are embedded verbatim in the
+//! [`goldfish_tensor::serialize::params_to_bytes`] format — a `u64`
+//! element count followed by the bulk-converted floats — so the hot part
+//! of every frame moves through the ~10 GB/s batched codec, and the
+//! `f32 → LE bytes → f32` round trip is bit-exact (what makes a TCP round
+//! bitwise identical to an in-process one). The vector is always the
+//! **last** field of its payload.
+//!
+//! Decoding is strict: wrong magic, an unsupported version, an unknown
+//! kind, a length prefix above the configured maximum, or a truncated
+//! buffer each produce a distinct [`WireError`] — no panic, no partial
+//! message.
+
+use bytes::{Buf, BufMut, Bytes};
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::extension::AdaptiveTemperature;
+use goldfish_core::loss::LossWeights;
+use goldfish_core::transport::UnlearnJob;
+use goldfish_fed::trainer::TrainConfig;
+use goldfish_nn::loss::HardLossSpec;
+use goldfish_tensor::serialize;
+
+/// Frame magic: "GoldFish Wire Protocol".
+pub const MAGIC: [u8; 4] = *b"GFWP";
+
+/// Protocol version spoken by this build. Bumped on any incompatible
+/// frame or payload change; both ends reject mismatches at the frame
+/// layer (and again during the Hello/Capabilities handshake).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 10;
+
+/// Frame-size policy. A peer announcing or sending frames above
+/// `max_payload` is rejected before any allocation happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Maximum payload bytes per frame.
+    pub max_payload: usize,
+}
+
+impl Default for FrameLimits {
+    /// 256 MiB — comfortably above any model this repository trains
+    /// (a 500k-parameter state is 2 MB) while bounding a hostile length
+    /// prefix.
+    fn default() -> Self {
+        FrameLimits {
+            max_payload: 256 << 20,
+        }
+    }
+}
+
+/// Typed decode/transport failures of the wire layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame (or a payload field) does.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        got: [u8; 4],
+    },
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The kind byte maps to no known message.
+    UnknownKind(u8),
+    /// The length prefix exceeds [`FrameLimits::max_payload`].
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u64,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The payload parsed but its contents are invalid.
+    Malformed(String),
+    /// An I/O error while reading or writing a frame.
+    Io {
+        /// The underlying error kind.
+        kind: std::io::ErrorKind,
+        /// The error text.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic { got } => write!(f, "bad frame magic {got:?}"),
+            WireError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (want {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            WireError::Io { kind, detail } => write!(f, "wire i/o error ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Error codes carried by [`Msg::Err`].
+pub mod err_code {
+    /// The peer's state-vector length does not match the architecture.
+    pub const BAD_STATE_LEN: u16 = 1;
+    /// A distillation round arrived with no preceding `UnlearnAssign`.
+    pub const NOT_UNLEARNING: u16 = 2;
+    /// The request is semantically invalid (bad indices, bad job).
+    pub const BAD_REQUEST: u16 = 3;
+    /// Catch-all for internal worker failures.
+    pub const INTERNAL: u16 = 4;
+}
+
+/// Whether a `RoundAssign` is a plain training round or a distillation
+/// round of an active unlearning request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundMode {
+    /// Local SGD on the client's full data; reply is [`Msg::Update`].
+    Train,
+    /// Goldfish distillation retraining; reply is [`Msg::UnlearnResult`]
+    /// and requires a prior [`Msg::UnlearnAssign`].
+    Distill,
+}
+
+/// One protocol message. See DESIGN.md §10 for the message table and the
+/// coordinator/worker state machines that exchange them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → coordinator introduction, first frame on a connection.
+    Hello {
+        /// The worker's logical client id.
+        client_id: u64,
+        /// State-vector length of the worker's model build.
+        state_len: u64,
+        /// Local dataset size (the FedAvg weight).
+        num_samples: u64,
+    },
+    /// Coordinator → worker handshake acknowledgement.
+    Capabilities {
+        /// The coordinator's frame-size limit.
+        max_payload: u64,
+        /// The coordinator's state-vector length (must match the
+        /// worker's).
+        state_len: u64,
+    },
+    /// Coordinator → worker: one round's marching orders.
+    RoundAssign {
+        /// Training or distillation round.
+        mode: RoundMode,
+        /// Round index.
+        round: u64,
+        /// Base seed; the worker derives its own via
+        /// [`goldfish_fed::transport::client_seed`].
+        seed: u64,
+        /// Local training hyperparameters (ignored for
+        /// [`RoundMode::Distill`], which uses the job shipped by
+        /// `UnlearnAssign`).
+        cfg: TrainConfig,
+        /// The current global state vector.
+        global: Vec<f32>,
+    },
+    /// Worker → coordinator: the trained local state.
+    Update {
+        /// Echoes the assignment's round index.
+        round: u64,
+        /// The worker's client id.
+        client_id: u64,
+        /// Aggregation weight (local sample count).
+        weight: u64,
+        /// The updated local state vector.
+        state: Vec<f32>,
+    },
+    /// Coordinator → worker: an unlearning request begins. The worker
+    /// splits its local data by `removed`, rebuilds its distillation
+    /// state and answers subsequent [`RoundMode::Distill`] assignments.
+    UnlearnAssign {
+        /// The job (local config + hard loss).
+        job: UnlearnJob,
+        /// Indices into this worker's local data to forget (empty for
+        /// clients without a deletion request).
+        removed: Vec<u64>,
+        /// The frozen pre-deletion global state (the teacher).
+        teacher: Vec<f32>,
+    },
+    /// Worker → coordinator: one distillation round's result.
+    UnlearnResult {
+        /// Echoes the assignment's round index.
+        round: u64,
+        /// The worker's client id.
+        client_id: u64,
+        /// Aggregation weight (remaining sample count).
+        weight: u64,
+        /// The retrained student state.
+        state: Vec<f32>,
+    },
+    /// Local-evaluation exchange. The coordinator sends a non-empty
+    /// `global` with zeroed metrics; the worker replies with an empty
+    /// `global` and its local test of that state.
+    Eval {
+        /// Round index this evaluation refers to.
+        round: u64,
+        /// Classification accuracy on the worker's local data.
+        accuracy: f64,
+        /// Mean squared error on the worker's local data.
+        mse: f64,
+        /// The state to evaluate (request) or empty (reply).
+        global: Vec<f32>,
+    },
+    /// A typed failure, either direction. The connection is torn down
+    /// after sending or receiving one.
+    Err {
+        /// One of [`err_code`]'s values.
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A bare positive acknowledgement (worker → coordinator), e.g. of
+    /// an accepted `UnlearnAssign`. Empty payload.
+    Ack,
+}
+
+impl Msg {
+    /// The frame kind byte of this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 1,
+            Msg::Capabilities { .. } => 2,
+            Msg::RoundAssign { .. } => 3,
+            Msg::Update { .. } => 4,
+            Msg::UnlearnAssign { .. } => 5,
+            Msg::UnlearnResult { .. } => 6,
+            Msg::Eval { .. } => 7,
+            Msg::Err { .. } => 8,
+            Msg::Ack => 9,
+        }
+    }
+
+    /// Short message name for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "Hello",
+            Msg::Capabilities { .. } => "Capabilities",
+            Msg::RoundAssign { .. } => "RoundAssign",
+            Msg::Update { .. } => "Update",
+            Msg::UnlearnAssign { .. } => "UnlearnAssign",
+            Msg::UnlearnResult { .. } => "UnlearnResult",
+            Msg::Eval { .. } => "Eval",
+            Msg::Err { .. } => "Err",
+            Msg::Ack => "Ack",
+        }
+    }
+}
+
+/// Renders a message for logs: `Err` frames show their code and detail,
+/// everything else its name.
+pub fn describe_err(msg: &Msg) -> String {
+    match msg {
+        Msg::Err { code, detail } => format!("error code {code}: {detail}"),
+        other => other.name().to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.put_u64_le(v.to_bits());
+}
+
+fn put_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    out.put_slice(serialize::params_to_bytes(data).as_ref());
+}
+
+fn put_opt_f32(out: &mut Vec<u8>, v: Option<f32>) {
+    match v {
+        Some(x) => {
+            out.put_slice(&[1]);
+            out.put_f32_le(x);
+        }
+        None => out.put_slice(&[0]),
+    }
+}
+
+fn put_train_config(out: &mut Vec<u8>, cfg: &TrainConfig) {
+    out.put_u64_le(cfg.local_epochs as u64);
+    out.put_u64_le(cfg.batch_size as u64);
+    out.put_f32_le(cfg.lr);
+    out.put_f32_le(cfg.momentum);
+}
+
+fn put_job(out: &mut Vec<u8>, job: &UnlearnJob) -> Result<(), WireError> {
+    let l = &job.local;
+    out.put_u64_le(l.epochs as u64);
+    out.put_u64_le(l.batch_size as u64);
+    out.put_f32_le(l.lr);
+    out.put_f32_le(l.momentum);
+    out.put_f32_le(l.weights.mu_c);
+    out.put_f32_le(l.weights.mu_d);
+    out.put_f32_le(l.weights.temperature);
+    match &l.adaptive_temperature {
+        Some(at) => {
+            out.put_slice(&[1]);
+            out.put_f32_le(at.t0);
+            out.put_f32_le(at.alpha);
+        }
+        None => out.put_slice(&[0]),
+    }
+    put_opt_f32(out, l.early_termination);
+    put_opt_f32(out, l.grad_clip);
+    match job.hard {
+        Some(HardLossSpec::CrossEntropy) => out.put_slice(&[0]),
+        Some(HardLossSpec::Focal { gamma }) => {
+            out.put_slice(&[1]);
+            out.put_f32_le(gamma);
+        }
+        Some(HardLossSpec::Nll) => out.put_slice(&[2]),
+        None => {
+            return Err(WireError::Malformed(
+                "custom hard losses cannot travel over the wire".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `msg` into one complete frame (header + payload).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] when the payload exceeds `limits`, or
+/// [`WireError::Malformed`] for messages that cannot be wire-encoded
+/// (an [`UnlearnJob`] carrying a custom loss).
+pub fn encode_frame(msg: &Msg, limits: &FrameLimits) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 64);
+    out.put_slice(&MAGIC);
+    out.put_slice(&[PROTOCOL_VERSION, msg.kind()]);
+    out.put_u32_le(0); // payload length, patched below
+    match msg {
+        Msg::Hello {
+            client_id,
+            state_len,
+            num_samples,
+        } => {
+            out.put_u64_le(*client_id);
+            out.put_u64_le(*state_len);
+            out.put_u64_le(*num_samples);
+        }
+        Msg::Capabilities {
+            max_payload,
+            state_len,
+        } => {
+            out.put_u64_le(*max_payload);
+            out.put_u64_le(*state_len);
+        }
+        Msg::RoundAssign {
+            mode,
+            round,
+            seed,
+            cfg,
+            global,
+        } => {
+            out.put_slice(&[match mode {
+                RoundMode::Train => 0,
+                RoundMode::Distill => 1,
+            }]);
+            out.put_u64_le(*round);
+            out.put_u64_le(*seed);
+            put_train_config(&mut out, cfg);
+            put_f32s(&mut out, global);
+        }
+        Msg::Update {
+            round,
+            client_id,
+            weight,
+            state,
+        }
+        | Msg::UnlearnResult {
+            round,
+            client_id,
+            weight,
+            state,
+        } => {
+            out.put_u64_le(*round);
+            out.put_u64_le(*client_id);
+            out.put_u64_le(*weight);
+            put_f32s(&mut out, state);
+        }
+        Msg::UnlearnAssign {
+            job,
+            removed,
+            teacher,
+        } => {
+            put_job(&mut out, job)?;
+            out.put_u32_le(removed.len() as u32);
+            for &r in removed {
+                out.put_u64_le(r);
+            }
+            put_f32s(&mut out, teacher);
+        }
+        Msg::Eval {
+            round,
+            accuracy,
+            mse,
+            global,
+        } => {
+            out.put_u64_le(*round);
+            put_f64(&mut out, *accuracy);
+            put_f64(&mut out, *mse);
+            put_f32s(&mut out, global);
+        }
+        Msg::Err { code, detail } => {
+            out.put_u16_le(*code);
+            let b = detail.as_bytes();
+            out.put_u32_le(b.len() as u32);
+            out.put_slice(b);
+        }
+        Msg::Ack => {}
+    }
+    let payload_len = out.len() - HEADER_LEN;
+    // The header's length field is u32; a payload above either the
+    // configured cap or the field's range must fail cleanly here, never
+    // wrap into a desynced stream.
+    if payload_len > limits.max_payload || payload_len > u32::MAX as usize {
+        return Err(WireError::FrameTooLarge {
+            len: payload_len as u64,
+            max: limits.max_payload.min(u32::MAX as usize),
+        });
+    }
+    out[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A checked little-endian reader over a payload.
+struct Reader {
+    b: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.b.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        let mut b = [0u8; 1];
+        self.b.copy_to_slice(&mut b);
+        Ok(b[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        Ok(self.b.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.b.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.b.get_u64_le())
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        self.need(4)?;
+        Ok(self.b.get_f32_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn opt_f32(&mut self) -> Result<Option<f32>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f32()?)),
+            t => Err(WireError::Malformed(format!("bad option tag {t}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        self.need(n)?;
+        let mut buf = vec![0u8; n];
+        self.b.copy_to_slice(&mut buf);
+        String::from_utf8(buf).map_err(|e| WireError::Malformed(format!("bad utf-8: {e}")))
+    }
+
+    /// Consumes the trailing `f32` vector (the bulk-codec segment).
+    fn f32s(self) -> Result<Vec<f32>, WireError> {
+        serialize::params_from_bytes(self.b)
+            .map_err(|e| WireError::Malformed(format!("f32 vector: {e:?}")))
+    }
+}
+
+fn read_train_config(r: &mut Reader) -> Result<TrainConfig, WireError> {
+    Ok(TrainConfig {
+        local_epochs: r.u64()? as usize,
+        batch_size: r.u64()? as usize,
+        lr: r.f32()?,
+        momentum: r.f32()?,
+    })
+}
+
+fn read_job(r: &mut Reader) -> Result<UnlearnJob, WireError> {
+    let epochs = r.u64()? as usize;
+    let batch_size = r.u64()? as usize;
+    let lr = r.f32()?;
+    let momentum = r.f32()?;
+    let weights = LossWeights {
+        mu_c: r.f32()?,
+        mu_d: r.f32()?,
+        temperature: r.f32()?,
+    };
+    let adaptive_temperature = match r.u8()? {
+        0 => None,
+        1 => Some(AdaptiveTemperature {
+            t0: r.f32()?,
+            alpha: r.f32()?,
+        }),
+        t => return Err(WireError::Malformed(format!("bad option tag {t}"))),
+    };
+    let early_termination = r.opt_f32()?;
+    let grad_clip = r.opt_f32()?;
+    let hard = match r.u8()? {
+        0 => HardLossSpec::CrossEntropy,
+        1 => {
+            // `Focal::new` asserts γ ≥ 0; a hostile frame must surface
+            // as a typed error here, never as a worker panic there.
+            let gamma = r.f32()?;
+            if !gamma.is_finite() || gamma < 0.0 {
+                return Err(WireError::Malformed(format!(
+                    "focal gamma {gamma} is not a finite non-negative value"
+                )));
+            }
+            HardLossSpec::Focal { gamma }
+        }
+        2 => HardLossSpec::Nll,
+        t => return Err(WireError::Malformed(format!("bad hard-loss tag {t}"))),
+    };
+    Ok(UnlearnJob {
+        local: GoldfishLocalConfig {
+            epochs,
+            batch_size,
+            lr,
+            momentum,
+            weights,
+            adaptive_temperature,
+            early_termination,
+            grad_clip,
+        },
+        hard: Some(hard),
+    })
+}
+
+fn decode_payload(kind: u8, payload: Bytes) -> Result<Msg, WireError> {
+    let mut r = Reader { b: payload };
+    match kind {
+        1 => Ok(Msg::Hello {
+            client_id: r.u64()?,
+            state_len: r.u64()?,
+            num_samples: r.u64()?,
+        }),
+        2 => Ok(Msg::Capabilities {
+            max_payload: r.u64()?,
+            state_len: r.u64()?,
+        }),
+        3 => {
+            let mode = match r.u8()? {
+                0 => RoundMode::Train,
+                1 => RoundMode::Distill,
+                t => return Err(WireError::Malformed(format!("bad round mode {t}"))),
+            };
+            let round = r.u64()?;
+            let seed = r.u64()?;
+            let cfg = read_train_config(&mut r)?;
+            Ok(Msg::RoundAssign {
+                mode,
+                round,
+                seed,
+                cfg,
+                global: r.f32s()?,
+            })
+        }
+        4 | 6 => {
+            let round = r.u64()?;
+            let client_id = r.u64()?;
+            let weight = r.u64()?;
+            let state = r.f32s()?;
+            Ok(if kind == 4 {
+                Msg::Update {
+                    round,
+                    client_id,
+                    weight,
+                    state,
+                }
+            } else {
+                Msg::UnlearnResult {
+                    round,
+                    client_id,
+                    weight,
+                    state,
+                }
+            })
+        }
+        5 => {
+            let job = read_job(&mut r)?;
+            let n = r.u32()? as usize;
+            let mut removed = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                removed.push(r.u64()?);
+            }
+            Ok(Msg::UnlearnAssign {
+                job,
+                removed,
+                teacher: r.f32s()?,
+            })
+        }
+        7 => Ok(Msg::Eval {
+            round: r.u64()?,
+            accuracy: r.f64()?,
+            mse: r.f64()?,
+            global: r.f32s()?,
+        }),
+        8 => Ok(Msg::Err {
+            code: r.u16()?,
+            detail: r.string()?,
+        }),
+        9 => Ok(Msg::Ack),
+        k => Err(WireError::UnknownKind(k)),
+    }
+}
+
+/// Parses the 10-byte frame header, validating magic, version, and the
+/// length prefix against `limits`. Returns `(kind, payload_len)`.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`], [`WireError::BadMagic`],
+/// [`WireError::UnsupportedVersion`] or [`WireError::FrameTooLarge`].
+pub fn decode_header(header: &[u8], limits: &FrameLimits) -> Result<(u8, usize), WireError> {
+    if header.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if header[0..4] != MAGIC {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&header[0..4]);
+        return Err(WireError::BadMagic { got });
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion { got: header[4] });
+    }
+    let kind = header[5];
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    if len > limits.max_payload {
+        return Err(WireError::FrameTooLarge {
+            len: len as u64,
+            max: limits.max_payload,
+        });
+    }
+    Ok((kind, len))
+}
+
+/// Decodes one complete frame from `buf`, returning the message and the
+/// bytes consumed.
+///
+/// # Errors
+///
+/// Any [`WireError`]; [`WireError::Truncated`] when `buf` ends before
+/// the announced payload does.
+pub fn decode_frame(buf: &[u8], limits: &FrameLimits) -> Result<(Msg, usize), WireError> {
+    let (kind, len) = decode_header(buf, limits)?;
+    if buf.len() < HEADER_LEN + len {
+        return Err(WireError::Truncated);
+    }
+    let payload = Bytes::from(buf[HEADER_LEN..HEADER_LEN + len].to_vec());
+    Ok((decode_payload(kind, payload)?, HEADER_LEN + len))
+}
+
+/// Writes `msg` as one frame to `w` and returns the frame's size in
+/// bytes.
+///
+/// # Errors
+///
+/// Encoding errors plus [`WireError::Io`] from the writer.
+pub fn write_frame(
+    w: &mut impl std::io::Write,
+    msg: &Msg,
+    limits: &FrameLimits,
+) -> Result<usize, WireError> {
+    let frame = encode_frame(msg, limits)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Reads one frame from `r` (blocking until a full frame or an error)
+/// and returns the message plus the frame's size in bytes.
+///
+/// # Errors
+///
+/// Any [`WireError`]; a clean EOF before the first header byte is
+/// reported as [`WireError::Io`] with
+/// [`std::io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+    limits: &FrameLimits,
+) -> Result<(Msg, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, len) = decode_header(&header, limits)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((
+        decode_payload(kind, Bytes::from(payload))?,
+        HEADER_LEN + len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let limits = FrameLimits::default();
+        let frame = encode_frame(&msg, &limits).unwrap();
+        let (back, used) = decode_frame(&frame, &limits).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(Msg::Hello {
+            client_id: 3,
+            state_len: 1234,
+            num_samples: 300,
+        });
+        roundtrip(Msg::Capabilities {
+            max_payload: 1 << 20,
+            state_len: 1234,
+        });
+        roundtrip(Msg::RoundAssign {
+            mode: RoundMode::Train,
+            round: 7,
+            seed: 42,
+            cfg: TrainConfig::default(),
+            global: vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0],
+        });
+        roundtrip(Msg::Update {
+            round: 7,
+            client_id: 1,
+            weight: 250,
+            state: vec![0.125; 33],
+        });
+        roundtrip(Msg::UnlearnAssign {
+            job: UnlearnJob {
+                local: GoldfishLocalConfig::default(),
+                hard: Some(HardLossSpec::Focal { gamma: 2.0 }),
+            },
+            removed: vec![0, 5, 17],
+            teacher: vec![-1.0; 9],
+        });
+        roundtrip(Msg::UnlearnResult {
+            round: 0,
+            client_id: 2,
+            weight: 100,
+            state: vec![],
+        });
+        roundtrip(Msg::Eval {
+            round: 3,
+            accuracy: 0.875,
+            mse: 0.023,
+            global: vec![1.5; 4],
+        });
+        roundtrip(Msg::Err {
+            code: err_code::BAD_STATE_LEN,
+            detail: "want 10, got 12".into(),
+        });
+    }
+
+    #[test]
+    fn header_rejections_are_typed() {
+        let limits = FrameLimits::default();
+        let msg = Msg::Hello {
+            client_id: 0,
+            state_len: 1,
+            num_samples: 1,
+        };
+        let mut frame = encode_frame(&msg, &limits).unwrap();
+
+        assert_eq!(
+            decode_frame(&frame[..5], &limits),
+            Err(WireError::Truncated)
+        );
+
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad, &limits),
+            Err(WireError::BadMagic { .. })
+        ));
+
+        let mut bad = frame.clone();
+        bad[4] = 99;
+        assert_eq!(
+            decode_frame(&bad, &limits),
+            Err(WireError::UnsupportedVersion { got: 99 })
+        );
+
+        let mut bad = frame.clone();
+        bad[5] = 200;
+        assert_eq!(
+            decode_frame(&bad, &limits),
+            Err(WireError::UnknownKind(200))
+        );
+
+        // Oversized length prefix.
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame, &FrameLimits { max_payload: 1024 }),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_typed() {
+        let limits = FrameLimits::default();
+        let frame = encode_frame(
+            &Msg::Update {
+                round: 1,
+                client_id: 0,
+                weight: 10,
+                state: vec![3.0; 100],
+            },
+            &limits,
+        )
+        .unwrap();
+        for cut in [frame.len() - 1, frame.len() - 37, HEADER_LEN + 3] {
+            assert_eq!(
+                decode_frame(&frame[..cut], &limits),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_encode_is_rejected() {
+        let tiny = FrameLimits { max_payload: 16 };
+        let err = encode_frame(
+            &Msg::Update {
+                round: 0,
+                client_id: 0,
+                weight: 0,
+                state: vec![0.0; 64],
+            },
+            &tiny,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn custom_loss_cannot_encode() {
+        let err = encode_frame(
+            &Msg::UnlearnAssign {
+                job: UnlearnJob {
+                    local: GoldfishLocalConfig::default(),
+                    hard: None,
+                },
+                removed: vec![],
+                teacher: vec![],
+            },
+            &FrameLimits::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn stream_io_roundtrip() {
+        let limits = FrameLimits::default();
+        let msg = Msg::Eval {
+            round: 9,
+            accuracy: 1.0,
+            mse: 0.0,
+            global: vec![2.0; 7],
+        };
+        let mut buf = Vec::new();
+        let wrote = write_frame(&mut buf, &msg, &limits).unwrap();
+        let (back, read) = read_frame(&mut buf.as_slice(), &limits).unwrap();
+        assert_eq!(wrote, read);
+        assert_eq!(back, msg);
+    }
+}

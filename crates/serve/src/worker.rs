@@ -1,0 +1,489 @@
+//! The worker daemon's client-side state machine.
+//!
+//! A worker owns one client's local dataset and answers the
+//! coordinator's messages:
+//!
+//! ```text
+//!            ┌────────────── Training ◄──────────────┐
+//!            │   RoundAssign(Train) → Update         │ RoundAssign(Train)
+//!            │   Eval              → Eval            │ (drops distill state)
+//!            ▼                                       │
+//!   UnlearnAssign (build ClientDistiller) ──► Unlearning
+//!                RoundAssign(Distill) → UnlearnResult
+//! ```
+//!
+//! The per-round compute is the library's own: `train_local_ce` for
+//! training rounds and [`ClientDistiller::round`] for distillation
+//! rounds — the exact functions the in-process loopback transport runs,
+//! which is what makes a TCP federation bitwise identical to a loopback
+//! one.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use goldfish_core::transport::ClientDistiller;
+use goldfish_core::ClientSplit;
+use goldfish_data::Dataset;
+use goldfish_fed::trainer::train_local_ce;
+use goldfish_fed::transport::client_seed;
+use goldfish_fed::{eval, ModelFactory};
+
+use crate::wire::{
+    self, err_code, read_frame, write_frame, FrameLimits, Msg, RoundMode, WireError,
+};
+
+/// The worker-side state machine: one logical client, independent of how
+/// its messages arrive (a socket in production, a byte buffer in tests).
+pub struct WorkerRuntime {
+    client_id: usize,
+    factory: ModelFactory,
+    data: Dataset,
+    state_len: usize,
+    distiller: Option<ClientDistiller>,
+}
+
+impl WorkerRuntime {
+    /// Builds the runtime for one client.
+    pub fn new(client_id: usize, factory: ModelFactory, data: Dataset) -> Self {
+        let state_len = (factory)(0).state_len();
+        WorkerRuntime {
+            client_id,
+            factory,
+            data,
+            state_len,
+            distiller: None,
+        }
+    }
+
+    /// This worker's client id.
+    pub fn client_id(&self) -> usize {
+        self.client_id
+    }
+
+    /// The model's state-vector length (announced in `Hello`).
+    pub fn state_len(&self) -> usize {
+        self.state_len
+    }
+
+    /// The introduction frame this worker opens a connection with.
+    pub fn hello(&self) -> Msg {
+        Msg::Hello {
+            client_id: self.client_id as u64,
+            state_len: self.state_len as u64,
+            num_samples: self.data.len() as u64,
+        }
+    }
+
+    /// Handles one coordinator message and returns the reply to send.
+    /// Protocol violations produce a [`Msg::Err`] reply (the caller
+    /// should close the connection after sending one).
+    pub fn handle(&mut self, msg: Msg) -> Msg {
+        match msg {
+            Msg::RoundAssign {
+                mode: RoundMode::Train,
+                round,
+                seed,
+                cfg,
+                global,
+            } => {
+                // A plain training round ends any unlearning request.
+                self.distiller = None;
+                if global.len() != self.state_len {
+                    return bad_state_len(global.len(), self.state_len);
+                }
+                let s = client_seed(seed, self.client_id, round as usize);
+                let mut net = (self.factory)(s);
+                net.set_state_vector(&global);
+                train_local_ce(&mut net, &self.data, &cfg, s);
+                Msg::Update {
+                    round,
+                    client_id: self.client_id as u64,
+                    weight: self.data.len() as u64,
+                    state: net.state_vector(),
+                }
+            }
+            Msg::UnlearnAssign {
+                job,
+                removed,
+                teacher,
+            } => {
+                if teacher.len() != self.state_len {
+                    return bad_state_len(teacher.len(), self.state_len);
+                }
+                if let Some(&bad) = removed.iter().find(|&&i| i as usize >= self.data.len()) {
+                    return Msg::Err {
+                        code: err_code::BAD_REQUEST,
+                        detail: format!(
+                            "removed index {bad} out of {} local samples",
+                            self.data.len()
+                        ),
+                    };
+                }
+                let hard = match job.hard {
+                    Some(spec) => spec.build(),
+                    None => {
+                        return Msg::Err {
+                            code: err_code::BAD_REQUEST,
+                            detail: "unlearn job carries no wire-encodable hard loss".into(),
+                        }
+                    }
+                };
+                let split = if removed.is_empty() {
+                    ClientSplit::intact(self.data.clone())
+                } else {
+                    let idx: Vec<usize> = removed.iter().map(|&i| i as usize).collect();
+                    let split = ClientSplit::with_removed(&self.data, &idx);
+                    // The deletion is permanent: once the request is
+                    // assigned, the removed samples leave this worker's
+                    // dataset — later training rounds must never touch
+                    // them again.
+                    self.data = split.remaining.clone();
+                    split
+                };
+                self.distiller = Some(ClientDistiller::new(
+                    self.client_id,
+                    Arc::clone(&self.factory),
+                    split,
+                    teacher,
+                    job.local,
+                    hard,
+                ));
+                // The job is accepted; the distiller answers the coming
+                // Distill assignments.
+                Msg::Ack
+            }
+            Msg::RoundAssign {
+                mode: RoundMode::Distill,
+                round,
+                seed,
+                global,
+                ..
+            } => {
+                if global.len() != self.state_len {
+                    return bad_state_len(global.len(), self.state_len);
+                }
+                match self.distiller.as_mut() {
+                    Some(d) => {
+                        let update = d.round(&global, round as usize, seed);
+                        Msg::UnlearnResult {
+                            round,
+                            client_id: update.client_id as u64,
+                            weight: update.num_samples as u64,
+                            state: update.state,
+                        }
+                    }
+                    None => Msg::Err {
+                        code: err_code::NOT_UNLEARNING,
+                        detail: "distill round without a preceding UnlearnAssign".into(),
+                    },
+                }
+            }
+            Msg::Eval { round, global, .. } => {
+                if global.len() != self.state_len {
+                    return bad_state_len(global.len(), self.state_len);
+                }
+                let mut net = (self.factory)(0);
+                net.set_state_vector(&global);
+                Msg::Eval {
+                    round,
+                    accuracy: eval::accuracy(&mut net, &self.data),
+                    mse: eval::mse(&mut net, &self.data),
+                    global: Vec::new(),
+                }
+            }
+            other => Msg::Err {
+                code: err_code::BAD_REQUEST,
+                detail: format!("unexpected {} from coordinator", other.name()),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WorkerRuntime(client {}, {} samples, {} params, unlearning: {})",
+            self.client_id,
+            self.data.len(),
+            self.state_len,
+            self.distiller.is_some()
+        )
+    }
+}
+
+fn bad_state_len(got: usize, want: usize) -> Msg {
+    Msg::Err {
+        code: err_code::BAD_STATE_LEN,
+        detail: format!("state vector length {got}, this worker's model has {want}"),
+    }
+}
+
+/// Connects to a coordinator, performs the `Hello`/`Capabilities`
+/// handshake and serves assignments until the coordinator closes the
+/// connection (clean shutdown) or a protocol error occurs.
+///
+/// # Errors
+///
+/// [`WireError`] on handshake or I/O failures; a coordinator-initiated
+/// close is `Ok`.
+pub fn run_worker(
+    addr: &str,
+    runtime: &mut WorkerRuntime,
+    limits: &FrameLimits,
+) -> Result<(), WireError> {
+    let stream = TcpStream::connect(addr)?;
+    serve_stream(stream, runtime, limits)
+}
+
+/// The connection loop over an established stream (what [`run_worker`]
+/// runs after connecting; tests call it on in-process socket pairs).
+///
+/// # Errors
+///
+/// [`WireError`] on handshake or I/O failures.
+pub fn serve_stream(
+    mut stream: TcpStream,
+    runtime: &mut WorkerRuntime,
+    limits: &FrameLimits,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, &runtime.hello(), limits)?;
+    let (reply, _) = read_frame(&mut stream, limits)?;
+    match reply {
+        Msg::Capabilities { state_len, .. } => {
+            if state_len as usize != runtime.state_len() {
+                return Err(WireError::Malformed(format!(
+                    "coordinator model has {state_len} params, ours has {}",
+                    runtime.state_len()
+                )));
+            }
+        }
+        Msg::Err { code, detail } => {
+            return Err(WireError::Malformed(format!(
+                "coordinator rejected hello (code {code}): {detail}"
+            )))
+        }
+        other => {
+            return Err(WireError::Malformed(format!(
+                "expected Capabilities, got {}",
+                other.name()
+            )))
+        }
+    }
+    loop {
+        let msg = match read_frame(&mut stream, limits) {
+            Ok((msg, _)) => msg,
+            // A clean close after the handshake is the coordinator's
+            // shutdown signal.
+            Err(WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                ..
+            }) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if let Msg::Err { code, detail } = &msg {
+            return Err(WireError::Malformed(format!(
+                "coordinator error (code {code}): {detail}"
+            )));
+        }
+        let reply = runtime.handle(msg);
+        let fatal = matches!(reply, Msg::Err { .. });
+        write_frame(&mut stream, &reply, limits)?;
+        if fatal {
+            return Err(WireError::Malformed(wire::describe_err(&reply)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::DemoSpec;
+    use goldfish_core::basic_model::GoldfishLocalConfig;
+    use goldfish_core::transport::UnlearnJob;
+    use goldfish_nn::loss::HardLossSpec;
+
+    fn runtime() -> (WorkerRuntime, DemoSpec) {
+        let spec = DemoSpec {
+            clients: 2,
+            samples_per_client: 40,
+            test_samples: 20,
+            seed: 6,
+        };
+        (
+            WorkerRuntime::new(1, spec.factory(), spec.client_shard(1)),
+            spec,
+        )
+    }
+
+    #[test]
+    fn train_round_matches_local_execution() {
+        let (mut w, spec) = runtime();
+        let factory = spec.factory();
+        let global = (factory)(3).state_vector();
+        let cfg = spec.train_config();
+        let reply = w.handle(Msg::RoundAssign {
+            mode: RoundMode::Train,
+            round: 2,
+            seed: 11,
+            cfg,
+            global: global.clone(),
+        });
+        let Msg::Update {
+            round,
+            client_id,
+            weight,
+            state,
+        } = reply
+        else {
+            panic!("expected Update, got {reply:?}");
+        };
+        assert_eq!((round, client_id, weight), (2, 1, 40));
+        let s = client_seed(11, 1, 2);
+        let mut net = (factory)(s);
+        net.set_state_vector(&global);
+        train_local_ce(&mut net, &spec.client_shard(1), &cfg, s);
+        assert_eq!(state, net.state_vector());
+    }
+
+    #[test]
+    fn distill_requires_assignment() {
+        let (mut w, spec) = runtime();
+        let global = (spec.factory())(3).state_vector();
+        let reply = w.handle(Msg::RoundAssign {
+            mode: RoundMode::Distill,
+            round: 0,
+            seed: 0,
+            cfg: spec.train_config(),
+            global,
+        });
+        assert!(matches!(
+            reply,
+            Msg::Err {
+                code: err_code::NOT_UNLEARNING,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unlearn_flow_runs_and_train_exits_it() {
+        let (mut w, spec) = runtime();
+        let teacher = (spec.factory())(3).state_vector();
+        let job = UnlearnJob {
+            local: GoldfishLocalConfig {
+                epochs: 1,
+                batch_size: 20,
+                ..GoldfishLocalConfig::default()
+            },
+            hard: Some(HardLossSpec::CrossEntropy),
+        };
+        let ack = w.handle(Msg::UnlearnAssign {
+            job,
+            removed: vec![0, 3],
+            teacher: teacher.clone(),
+        });
+        assert!(matches!(ack, Msg::Ack));
+        let reply = w.handle(Msg::RoundAssign {
+            mode: RoundMode::Distill,
+            round: 0,
+            seed: 5,
+            cfg: spec.train_config(),
+            global: teacher.clone(),
+        });
+        let Msg::UnlearnResult { weight, .. } = reply else {
+            panic!("expected UnlearnResult, got {reply:?}");
+        };
+        assert_eq!(weight, 38); // 40 - 2 removed
+
+        // A training assignment exits unlearning mode — and trains on
+        // the post-deletion dataset (the removal is permanent).
+        let reply = w.handle(Msg::RoundAssign {
+            mode: RoundMode::Train,
+            round: 1,
+            seed: 5,
+            cfg: spec.train_config(),
+            global: teacher.clone(),
+        });
+        let Msg::Update { weight, .. } = reply else {
+            panic!("expected Update, got {reply:?}");
+        };
+        assert_eq!(weight, 38);
+        // …so a further distill round is a protocol error again.
+        let reply = w.handle(Msg::RoundAssign {
+            mode: RoundMode::Distill,
+            round: 1,
+            seed: 5,
+            cfg: spec.train_config(),
+            global: teacher,
+        });
+        assert!(matches!(reply, Msg::Err { .. }));
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        let (mut w, spec) = runtime();
+        let reply = w.handle(Msg::RoundAssign {
+            mode: RoundMode::Train,
+            round: 0,
+            seed: 0,
+            cfg: spec.train_config(),
+            global: vec![0.0; 3],
+        });
+        assert!(matches!(
+            reply,
+            Msg::Err {
+                code: err_code::BAD_STATE_LEN,
+                ..
+            }
+        ));
+        let teacher = (spec.factory())(0).state_vector();
+        let reply = w.handle(Msg::UnlearnAssign {
+            job: UnlearnJob {
+                local: GoldfishLocalConfig::default(),
+                hard: Some(HardLossSpec::CrossEntropy),
+            },
+            removed: vec![10_000],
+            teacher,
+        });
+        assert!(matches!(
+            reply,
+            Msg::Err {
+                code: err_code::BAD_REQUEST,
+                ..
+            }
+        ));
+        let reply = w.handle(Msg::Hello {
+            client_id: 0,
+            state_len: 0,
+            num_samples: 0,
+        });
+        assert!(matches!(reply, Msg::Err { .. }));
+    }
+
+    #[test]
+    fn eval_reports_local_metrics() {
+        let (mut w, spec) = runtime();
+        let global = (spec.factory())(3).state_vector();
+        let reply = w.handle(Msg::Eval {
+            round: 4,
+            accuracy: 0.0,
+            mse: 0.0,
+            global,
+        });
+        let Msg::Eval {
+            round,
+            accuracy,
+            mse,
+            global,
+        } = reply
+        else {
+            panic!("expected Eval, got {reply:?}");
+        };
+        assert_eq!(round, 4);
+        assert!((0.0..=1.0).contains(&accuracy));
+        assert!(mse > 0.0);
+        assert!(global.is_empty());
+    }
+}

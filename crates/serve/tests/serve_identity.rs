@@ -1,0 +1,275 @@
+//! The serve-layer identity gates.
+//!
+//! 1. A loopback-backed `Coordinator` reproduces the library's own
+//!    `Federation::train_rounds` / `GoldfishUnlearning::unlearn` bitwise
+//!    (the in-process path *is* the `LoopbackTransport`).
+//! 2. A real-TCP run (coordinator + worker threads over localhost
+//!    sockets) reproduces the loopback run bitwise — a full federated
+//!    round *and* a Goldfish unlearning request.
+//! 3. Stragglers are dropped and the round re-runs over the survivors,
+//!    deterministically.
+
+use std::time::Duration;
+
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::method::{ClientSplit, UnlearnSetup};
+use goldfish_core::{GoldfishUnlearning, UnlearningMethod};
+use goldfish_fed::aggregate::FedAvg;
+use goldfish_fed::federation::Federation;
+use goldfish_serve::coordinator::{drain_seed, round_seed, Coordinator, CoordinatorConfig};
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+use goldfish_serve::wire::FrameLimits;
+use goldfish_serve::worker::{run_worker, WorkerRuntime};
+
+const SEED: u64 = 42;
+const ROUNDS: usize = 2;
+const REMOVED: usize = 8;
+
+fn demo() -> DemoSpec {
+    DemoSpec {
+        clients: 2,
+        samples_per_client: 60,
+        test_samples: 30,
+        seed: 19,
+    }
+}
+
+fn method() -> GoldfishUnlearning {
+    GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+        epochs: 1,
+        batch_size: 20,
+        lr: 0.05,
+        momentum: 0.9,
+        ..GoldfishLocalConfig::default()
+    })
+}
+
+fn coordinator_config(spec: &DemoSpec) -> CoordinatorConfig {
+    CoordinatorConfig {
+        train: spec.train_config(),
+        method: method(),
+        unlearn_rounds: 1,
+        init_seed: 1,
+        threads: Some(2),
+    }
+}
+
+/// The canonical schedule: ROUNDS training rounds with one unlearning
+/// request (client 0 forgets its first REMOVED samples) queued before
+/// round 1 drains it.
+fn run_schedule<T: ServeTransport>(mut c: Coordinator<T>) -> (Vec<f32>, Coordinator<T>) {
+    c.submit_unlearn(UnlearnRequest::new(0, (0..REMOVED).collect()))
+        .unwrap();
+    let summary = c.run(ROUNDS, SEED).unwrap();
+    assert_eq!(summary.rounds.len(), ROUNDS);
+    assert_eq!(summary.unlearns.len(), 1);
+    (c.global_state().to_vec(), c)
+}
+
+fn loopback_coordinator(spec: &DemoSpec) -> Coordinator<LoopbackTransport> {
+    let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(2));
+    Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(spec),
+    )
+}
+
+#[test]
+fn loopback_unlearning_is_permanent() {
+    // Once a deletion request is served, the removed samples leave the
+    // client's dataset: later training rounds and local evals run on
+    // the shrunk shard (mirrored by the worker daemon's state machine).
+    let spec = demo();
+    let (_, c) = run_schedule(loopback_coordinator(&spec));
+    assert_eq!(
+        c.transport().client_sizes(),
+        vec![spec.samples_per_client - REMOVED, spec.samples_per_client]
+    );
+}
+
+#[test]
+fn loopback_train_round_matches_federation() {
+    let spec = demo();
+    // Library path.
+    let mut fed = Federation::builder(spec.factory(), spec.test_set())
+        .clients(spec.client_shards())
+        .train_config(spec.train_config())
+        .threads(2)
+        .init_seed(1)
+        .build();
+    fed.train_rounds(ROUNDS, &FedAvg, SEED);
+
+    // Serve path over loopback, no unlearning.
+    let mut c = loopback_coordinator(&spec);
+    for r in 0..ROUNDS {
+        // round_seed matches Federation::train_rounds' derivation.
+        c.train_round(r, round_seed(SEED, r)).unwrap();
+    }
+    assert_eq!(c.global_state(), fed.global_state(), "train loop diverged");
+}
+
+#[test]
+fn loopback_unlearning_matches_library_method() {
+    let spec = demo();
+    // Serve path: one training round, then the request drains.
+    let mut c = loopback_coordinator(&spec);
+    c.submit_unlearn(UnlearnRequest::new(0, (0..REMOVED).collect()))
+        .unwrap();
+    c.train_round(0, round_seed(SEED, 0)).unwrap();
+    let teacher = c.global_state().to_vec();
+    let unlearn_seed = drain_seed(SEED, 0);
+    c.drain_unlearning(unlearn_seed).unwrap().unwrap();
+
+    // Library path: same teacher, same splits, same seed.
+    let shards = spec.client_shards();
+    let removed: Vec<usize> = (0..REMOVED).collect();
+    let setup = UnlearnSetup {
+        factory: spec.factory(),
+        clients: vec![
+            ClientSplit::with_removed(&shards[0], &removed),
+            ClientSplit::intact(shards[1].clone()),
+        ],
+        test: spec.test_set(),
+        original_global: teacher,
+        rounds: 1,
+        train: spec.train_config(),
+    };
+    let outcome = method().unlearn(&setup, unlearn_seed);
+    assert_eq!(
+        c.global_state(),
+        outcome.global_state.as_slice(),
+        "unlearning loop diverged"
+    );
+}
+
+/// Spawns `spec.clients` worker threads against an ephemeral listener
+/// and returns the accepted transport.
+fn tcp_pair(spec: &DemoSpec) -> (TcpTransport, Vec<std::thread::JoinHandle<()>>) {
+    let (listener, addr) = bind("127.0.0.1:0").unwrap();
+    let mut workers = Vec::new();
+    for id in 0..spec.clients {
+        let spec = *spec;
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut runtime = WorkerRuntime::new(id, spec.factory(), spec.client_shard(id));
+            run_worker(&addr, &mut runtime, &FrameLimits::default()).unwrap();
+        }));
+    }
+    let state_len = (spec.factory())(0).state_len();
+    let transport =
+        TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default()).unwrap();
+    (transport, workers)
+}
+
+#[test]
+fn tcp_run_is_bitwise_identical_to_loopback() {
+    let spec = demo();
+    let (loopback_global, mut lb) = run_schedule(loopback_coordinator(&spec));
+
+    let (transport, workers) = tcp_pair(&spec);
+    let c = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(&spec),
+    );
+    let (tcp_global, c) = run_schedule(c);
+    assert_eq!(tcp_global, loopback_global, "TCP diverged from loopback");
+
+    // The run moved real frames.
+    let stats = c.transport().wire_stats();
+    assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+
+    // Local evaluation flows over the Eval exchange and matches the
+    // loopback coordinator that served the same schedule exactly (both
+    // sides evaluate on the post-deletion shards).
+    let mut c = c;
+    let global = c.global_state().to_vec();
+    let tcp_evals: Vec<_> = c
+        .transport_mut()
+        .local_eval(ROUNDS, &global)
+        .into_iter()
+        .map(|e| e.unwrap())
+        .collect();
+    let lb_evals: Vec<_> = lb
+        .transport_mut()
+        .local_eval(ROUNDS, &global)
+        .into_iter()
+        .map(|e| e.unwrap())
+        .collect();
+    assert_eq!(tcp_evals, lb_evals);
+
+    drop(c); // closes the sockets → workers see EOF and exit
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn straggler_is_dropped_and_round_rerun_deterministically() {
+    let spec = demo();
+    let (listener, addr) = bind("127.0.0.1:0").unwrap();
+
+    // Client 0: a well-behaved worker.
+    let good = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut runtime = WorkerRuntime::new(0, spec.factory(), spec.client_shard(0));
+            // The coordinator closes the connection at drop; treat any
+            // outcome as shutdown.
+            let _ = run_worker(&addr, &mut runtime, &FrameLimits::default());
+        })
+    };
+    // Client 1: says Hello, then goes silent (a straggler).
+    let silent = std::thread::spawn(move || {
+        use goldfish_serve::wire::{read_frame, write_frame, Msg};
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        let limits = FrameLimits::default();
+        let hello = Msg::Hello {
+            client_id: 1,
+            state_len: (spec.factory())(0).state_len() as u64,
+            num_samples: spec.samples_per_client as u64,
+        };
+        write_frame(&mut stream, &hello, &limits).unwrap();
+        let _ = read_frame(&mut stream, &limits).unwrap(); // Capabilities
+                                                           // Swallow the round assignment and never answer.
+        let _ = read_frame(&mut stream, &limits);
+    });
+
+    let state_len = (spec.factory())(0).state_len();
+    let cfg = TcpConfig {
+        limits: FrameLimits::default(),
+        read_timeout: Duration::from_millis(1500),
+    };
+    let transport = TcpTransport::accept(&listener, spec.clients, state_len, cfg).unwrap();
+    let mut c = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(&spec),
+    );
+    let summary = c.train_round(0, round_seed(SEED, 0)).unwrap();
+    // Only the survivor contributed.
+    assert_eq!(summary.client_sizes, vec![spec.samples_per_client]);
+    assert_eq!(c.transport().live_clients(), vec![0]);
+
+    // Deterministic: the result equals a single-client loopback round
+    // over the survivor's shard (FedAvg of one update is that update).
+    let mut lb = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        LoopbackTransport::new(spec.factory(), vec![spec.client_shard(0)], Some(2)),
+        coordinator_config(&spec),
+    );
+    lb.train_round(0, round_seed(SEED, 0)).unwrap();
+    assert_eq!(c.global_state(), lb.global_state());
+
+    drop(c);
+    good.join().unwrap();
+    silent.join().unwrap();
+}

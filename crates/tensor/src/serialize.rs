@@ -89,8 +89,17 @@ pub fn from_bytes(mut bytes: Bytes) -> Result<Tensor, TensorError> {
     for _ in 0..rank {
         shape.push(bytes.get_u64_le() as usize);
     }
-    let n: usize = shape.iter().product();
-    if bytes.remaining() < 4 * n {
+    // A hostile shape can overflow `prod(dims)` (and `4 * n`); reject via
+    // checked arithmetic instead of trusting the header.
+    let n: usize = match shape.iter().try_fold(1usize, |a, &d| a.checked_mul(d)) {
+        Some(n) => n,
+        None => {
+            return Err(TensorError::MalformedBytes(format!(
+                "implausible shape {shape:?} (element count overflows)"
+            )))
+        }
+    };
+    if (bytes.remaining() / 4) < n {
         return Err(TensorError::MalformedBytes(format!(
             "data truncated: need {} floats, have {} bytes",
             n,
@@ -119,13 +128,17 @@ pub fn params_from_bytes(mut bytes: Bytes) -> Result<Vec<f32>, TensorError> {
     if bytes.remaining() < 8 {
         return Err(TensorError::MalformedBytes("missing length header".into()));
     }
-    let n = bytes.get_u64_le() as usize;
-    if bytes.remaining() < 4 * n {
+    let n = bytes.get_u64_le();
+    // `remaining / 4 >= n` is the overflow-safe form of
+    // `remaining >= 4 * n` — a hostile length prefix (u64::MAX) must be
+    // rejected here, not fed to an allocator or a multiply.
+    if ((bytes.remaining() / 4) as u64) < n {
         return Err(TensorError::MalformedBytes(format!(
-            "param payload truncated: need {n} floats"
+            "param payload truncated: need {n} floats, have {} bytes",
+            bytes.remaining()
         )));
     }
-    Ok(get_f32s_le(&mut bytes, n))
+    Ok(get_f32s_le(&mut bytes, n as usize))
 }
 
 #[cfg(test)]

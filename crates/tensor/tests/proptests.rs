@@ -88,6 +88,72 @@ proptest! {
     }
 
     #[test]
+    fn params_serialization_is_bit_exact(p in proptest::collection::vec(-1e6f32..1e6, 0..1600)) {
+        // Straddles the 1024-float bulk staging batch.
+        let back = serialize::params_from_bytes(serialize::params_to_bytes(&p)).unwrap();
+        prop_assert_eq!(back.len(), p.len());
+        for (a, b) in back.iter().zip(p.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_tensor_bytes_error_typed(t in small_matrix(), frac in 0.0f64..1.0) {
+        let full = serialize::to_bytes(&t);
+        let n = full.as_ref().len();
+        let cut = ((n as f64) * frac) as usize;
+        if cut < n {
+            let r = serialize::from_bytes(full.slice(0..cut));
+            prop_assert!(
+                matches!(r, Err(goldfish_tensor::TensorError::MalformedBytes(_))),
+                "cut at {} gave {:?}", cut, r
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_param_bytes_error_typed(
+        p in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        frac in 0.0f64..1.0,
+    ) {
+        let full = serialize::params_to_bytes(&p);
+        let n = full.as_ref().len();
+        let cut = ((n as f64) * frac) as usize;
+        if cut < n {
+            let r = serialize::params_from_bytes(full.slice(0..cut));
+            prop_assert!(
+                matches!(r, Err(goldfish_tensor::TensorError::MalformedBytes(_))),
+                "cut at {} gave {:?}", cut, r
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating(
+        p in proptest::collection::vec(-10.0f32..10.0, 0..32),
+        claim in 1_000_000u64..u64::MAX,
+    ) {
+        // Overwrite the u64 count header with a hostile claim; the
+        // decoder must reject it from the remaining-length check instead
+        // of allocating `claim` floats.
+        let mut raw: Vec<u8> = serialize::params_to_bytes(&p).as_ref().to_vec();
+        raw[0..8].copy_from_slice(&claim.to_le_bytes());
+        let r = serialize::params_from_bytes(bytes::Bytes::from(raw));
+        prop_assert!(matches!(
+            r,
+            Err(goldfish_tensor::TensorError::MalformedBytes(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoders(
+        raw in proptest::collection::vec(0u8..255, 0..128),
+    ) {
+        let _ = serialize::from_bytes(bytes::Bytes::from(raw.clone()));
+        let _ = serialize::params_from_bytes(bytes::Bytes::from(raw));
+    }
+
+    #[test]
     fn axpy_matches_scale_add(t in small_matrix(), alpha in -3.0f32..3.0) {
         let mut acc = t.clone();
         acc.axpy(alpha, &t);

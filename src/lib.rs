@@ -16,7 +16,11 @@
 //!   FedAvg),
 //! * [`core`] — the Goldfish framework itself: the four modules (basic
 //!   model, loss, optimization, extension), Algorithm 1, and the paper's
-//!   baselines B1/B2/B3.
+//!   baselines B1/B2/B3,
+//! * [`serve`] — the networked federation layer: wire protocol,
+//!   TCP/loopback transports, the coordinator with its unlearning
+//!   request queue, and the `goldfish-coordinator`/`goldfish-worker`
+//!   daemons (DESIGN.md §10).
 //!
 //! # Quickstart
 //!
@@ -39,6 +43,7 @@ pub use goldfish_data as data;
 pub use goldfish_fed as fed;
 pub use goldfish_metrics as metrics;
 pub use goldfish_nn as nn;
+pub use goldfish_serve as serve;
 pub use goldfish_tensor as tensor;
 
 /// Version of the reproduction.

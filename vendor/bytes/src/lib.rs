@@ -50,6 +50,14 @@ impl From<Vec<u8>> for Bytes {
     }
 }
 
+impl AsRef<[u8]> for Bytes {
+    /// The unread bytes as a slice (the real `bytes` exposes the same
+    /// view via `AsRef`/`Deref`).
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
 /// Sequential big-buffer reader.
 pub trait Buf {
     /// Number of unread bytes.
@@ -69,6 +77,13 @@ pub trait Buf {
     /// Panics if fewer than `dst.len()` bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         self.copy_bytes(dst);
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_bytes(&mut b);
+        u16::from_le_bytes(b)
     }
 
     /// Reads a little-endian `u32`.
@@ -148,6 +163,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -167,6 +187,14 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    /// The real `bytes` implements `BufMut` for `Vec<u8>` too; wire
+    /// writers that assemble frames into plain vectors rely on it.
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 

@@ -191,22 +191,40 @@ fn main() {
         std::hint::black_box(serialize::params_to_bytes(&params));
     });
     let wire = serialize::params_to_bytes(&params);
+    // The decode hot path the serve wire layer runs: straight into a
+    // pooled caller buffer, no input clone, no intermediate collect.
+    let mut decoded = vec![0.0f32; params.len()];
     let r_read = rep.time("deserialize_bulk", samples, || {
-        std::hint::black_box(serialize::params_from_bytes(wire.clone()).expect("roundtrip"));
+        std::hint::black_box(
+            serialize::params_read_into(wire.as_ref(), &mut decoded).expect("roundtrip"),
+        );
     });
+    assert!(
+        decoded
+            .iter()
+            .zip(params.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "bulk decode diverged"
+    );
     let ser_speedup = r_legacy.median_ns / r_bulk.median_ns;
     let mbps = |r: &BenchRecord| (4.0 * params.len() as f64 / 1e6) / (r.median_ns / 1e9);
     println!(
-        "per-element {:.3} ms ({:.0} MB/s)  bulk {:.3} ms ({:.0} MB/s)  read {:.3} ms  speedup {:.2}x",
+        "per-element {:.3} ms ({:.0} MB/s)  bulk {:.3} ms ({:.0} MB/s)  read {:.3} ms ({:.0} MB/s)  speedup {:.2}x",
         r_legacy.median_ns / 1e6,
         mbps(&r_legacy),
         r_bulk.median_ns / 1e6,
         mbps(&r_bulk),
         r_read.median_ns / 1e6,
+        mbps(&r_read),
         ser_speedup,
     );
     rep.speedup("serialize_bulk_vs_per_element", ser_speedup);
     rep.speedup("serialize_bulk_mb_per_sec", mbps(&r_bulk));
+    rep.speedup("deserialize_bulk_mb_per_sec", mbps(&r_read));
+    rep.speedup(
+        "deserialize_bulk_vs_serialize_bulk",
+        r_read.median_ns / r_bulk.median_ns,
+    );
 
     rep.meta(
         "workload",

@@ -1,0 +1,469 @@
+//! Scale-out serving benchmark: coordinator round throughput across
+//! simulated fleet sizes, new streaming hot path vs a faithful replica
+//! of the pre-change (PR 4) coordinator round. Writes `BENCH_scale.json`.
+//!
+//! The workload deliberately shrinks per-client compute (a handful of
+//! samples per client, one mini-batch per round, over a wider-than-demo
+//! MLP) so the numbers measure what ISSUE 5 rebuilt: per-client
+//! encode/alloc overhead, collect-all-then-sort aggregation, and
+//! frame-buffer churn — not local SGD.
+//!
+//! Per fleet size the binary:
+//!
+//! 1. **Identity gate** — drives several rounds through the pre-change
+//!    replica (fresh per-round client networks, buffered
+//!    collect→sort→`FedAvg` via the preserved `RoundDriver` path) and
+//!    through the new coordinator hot path, asserting the resulting
+//!    globals are bitwise identical.
+//! 2. Times the legacy round, the new hot round
+//!    (`Coordinator::train_round_hot`), and — for TCP points — the
+//!    networked round, reporting rounds/sec, updates/sec, wire
+//!    bytes/round, **peak resident update count** (streaming-aggregation
+//!    high-water mark) and **peak per-round heap bytes** (tracking
+//!    allocator).
+//!
+//! Flags: `--quick` (8-client loopback + TCP gate only), `--seed N`,
+//! `--out PATH` (default `BENCH_scale.json`).
+
+use std::sync::Arc;
+
+use goldfish_bench::args;
+use goldfish_bench::report::{self, heap, PerfReport, Table};
+use goldfish_data::synthetic::{self, SyntheticSpec};
+use goldfish_data::Dataset;
+use goldfish_fed::aggregate::FedAvg;
+use goldfish_fed::trainer::TrainConfig;
+use goldfish_fed::transport::{
+    collect_round, round_seed, LoopbackClients, RoundDriver, TrainAssign,
+};
+use goldfish_fed::ModelFactory;
+use goldfish_nn::zoo;
+use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
+use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+use goldfish_serve::wire::FrameLimits;
+use goldfish_serve::worker::{run_worker, WorkerRuntime};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: heap::TrackingAlloc = heap::TrackingAlloc;
+
+/// One small mini-batch of local SGD per round over a wider MLP than the
+/// demo's: the per-round cost is dominated by what ISSUE 5 rebuilt
+/// (per-client model materialisation, state shipping, aggregation), not
+/// by the SGD step itself.
+const SAMPLES_PER_CLIENT: usize = 4;
+const HIDDEN: usize = 128;
+const TEST_SAMPLES: usize = 40;
+const GATE_ROUNDS: usize = 3;
+
+/// The scale workload: like `goldfish_serve::demo::DemoSpec` (every
+/// process derives identical shards from `(seed, clients, samples)`) but
+/// with the bench's own model width and shard size.
+#[derive(Clone, Copy)]
+struct ScaleSpec {
+    clients: usize,
+    seed: u64,
+}
+
+impl ScaleSpec {
+    fn factory(&self) -> ModelFactory {
+        Arc::new(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            zoo::mlp(64, &[HIDDEN], 10, &mut rng)
+        })
+    }
+
+    fn pool(&self) -> (Dataset, Dataset) {
+        let spec = SyntheticSpec::mnist().with_size(8, 8).with_shift(1);
+        synthetic::generate(
+            &spec,
+            self.clients * SAMPLES_PER_CLIENT,
+            TEST_SAMPLES,
+            self.seed,
+        )
+    }
+
+    fn client_shards(&self) -> Vec<Dataset> {
+        let (train, _) = self.pool();
+        (0..self.clients)
+            .map(|id| Self::slice(&train, id))
+            .collect()
+    }
+
+    fn client_shard(&self, id: usize) -> Dataset {
+        Self::slice(&self.pool().0, id)
+    }
+
+    fn slice(train: &Dataset, id: usize) -> Dataset {
+        let idx: Vec<usize> = (id * SAMPLES_PER_CLIENT..(id + 1) * SAMPLES_PER_CLIENT).collect();
+        train.subset(&idx)
+    }
+
+    fn test_set(&self) -> Dataset {
+        self.pool().1
+    }
+}
+
+fn spec(clients: usize, seed: u64) -> ScaleSpec {
+    ScaleSpec { clients, seed }
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        local_epochs: 1,
+        batch_size: SAMPLES_PER_CLIENT,
+        lr: 0.05,
+        momentum: 0.9,
+    }
+}
+
+fn coordinator_config(spec: &ScaleSpec) -> CoordinatorConfig {
+    CoordinatorConfig {
+        train: train_cfg(),
+        init_seed: spec.seed.wrapping_add(1),
+        threads: None,
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// The pre-change coordinator round, hot part: per-round fresh client
+/// networks ([`LoopbackClients`]) and the buffered
+/// collect-all → sort-by-client-id → `FedAvg` aggregation — exactly what
+/// `Coordinator::train_round` executed before ISSUE 5 (minus the
+/// per-round accuracy evaluation, which the new hot path also skips;
+/// `legacy_round_full` measures the evaluating form).
+fn legacy_round_hot(
+    factory: &ModelFactory,
+    clients: &[goldfish_data::Dataset],
+    global: &[f32],
+    round: usize,
+    seed: u64,
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    let mut transport = LoopbackClients::new(factory, clients, None);
+    let assign = TrainAssign {
+        round,
+        seed,
+        global,
+        cfg,
+    };
+    let updates = collect_round(|| {
+        goldfish_fed::transport::RoundTransport::train_round(&mut transport, &assign)
+    })
+    .expect("loopback clients never fail");
+    goldfish_fed::aggregate::AggregationStrategy::aggregate(&FedAvg, &updates)
+}
+
+/// The faithful full pre-change round (buffered driver including the
+/// per-round global-accuracy evaluation the old API always performed).
+fn legacy_round_full(
+    factory: &ModelFactory,
+    clients: &[goldfish_data::Dataset],
+    test: &goldfish_data::Dataset,
+    global: &[f32],
+    round: usize,
+    seed: u64,
+    cfg: &TrainConfig,
+) -> Vec<f32> {
+    let driver = RoundDriver {
+        factory,
+        test,
+        threads: None,
+        eval_mse: false,
+        eval_clients: false,
+    };
+    let mut transport = LoopbackClients::new(factory, clients, None);
+    let assign = TrainAssign {
+        round,
+        seed,
+        global,
+        cfg,
+    };
+    driver
+        .run_round(&mut transport, &assign, &FedAvg)
+        .expect("loopback clients never fail")
+        .global
+}
+
+fn loopback_coordinator(spec: &ScaleSpec) -> Coordinator<LoopbackTransport> {
+    Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        LoopbackTransport::new(spec.factory(), spec.client_shards(), None),
+        coordinator_config(spec),
+    )
+}
+
+fn tcp_coordinator(
+    spec: &ScaleSpec,
+) -> (Coordinator<TcpTransport>, Vec<std::thread::JoinHandle<()>>) {
+    let (listener, addr) = bind("127.0.0.1:0").expect("bind");
+    let mut workers = Vec::new();
+    for id in 0..spec.clients {
+        let spec = *spec;
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut runtime = WorkerRuntime::new(id, spec.factory(), spec.client_shard(id));
+            let _ = run_worker(&addr, &mut runtime, &FrameLimits::default());
+        }));
+    }
+    let state_len = (spec.factory())(0).state_len();
+    let transport = TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
+        .expect("worker handshake");
+    (
+        Coordinator::new(
+            spec.factory(),
+            spec.test_set(),
+            transport,
+            coordinator_config(spec),
+        ),
+        workers,
+    )
+}
+
+/// Bitwise identity gate at one fleet size: legacy replica vs the new
+/// streaming hot path over GATE_ROUNDS rounds.
+fn identity_gate(spec: &ScaleSpec) {
+    let factory = spec.factory();
+    let shards = spec.client_shards();
+    let cfg = train_cfg();
+    let mut legacy_global = (factory)(spec.seed.wrapping_add(1)).state_vector();
+    let mut c = loopback_coordinator(spec);
+    for r in 0..GATE_ROUNDS {
+        legacy_global = legacy_round_hot(
+            &factory,
+            &shards,
+            &legacy_global,
+            r,
+            round_seed(spec.seed, r),
+            &cfg,
+        );
+        c.train_round_hot(r, round_seed(spec.seed, r))
+            .expect("hot round");
+    }
+    assert_eq!(
+        c.global_state()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        legacy_global
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "streaming coordinator diverged from the pre-change replica at {} clients",
+        spec.clients
+    );
+    println!(
+        "identity gate: {} clients — new hot path == pre-change replica bitwise ({} rounds, {} params)",
+        spec.clients,
+        GATE_ROUNDS,
+        legacy_global.len()
+    );
+}
+
+struct Point {
+    clients: usize,
+    transportlabel: &'static str,
+    median_ns: f64,
+    bytes_per_round: u64,
+    peak_resident: usize,
+    peak_heap_bytes: usize,
+}
+
+fn main() {
+    let seed = args::seed();
+    let quick = args::quick();
+    let samples = if quick { 3 } else { 15 };
+    let loopback_sizes: &[usize] = if quick { &[8] } else { &[8, 64, 256] };
+    let tcp_sizes: &[usize] = if quick { &[8] } else { &[8, 64] };
+    let mut rep = PerfReport::new("goldfish-scale-baseline-v1", seed);
+    let mut points: Vec<Point> = Vec::new();
+
+    report::heading("identity gates (pre-change replica vs streaming hot path)");
+    for &n in loopback_sizes {
+        identity_gate(&spec(n, seed));
+    }
+
+    report::heading("loopback fleet sweep");
+    for &n in loopback_sizes {
+        let s = spec(n, seed);
+        let factory = s.factory();
+        let shards = s.client_shards();
+        let test = s.test_set();
+        let cfg = train_cfg();
+        let global = (factory)(s.seed.wrapping_add(1)).state_vector();
+
+        // Legacy hot (apples-to-apples with the new hot path).
+        let r_legacy = rep.time(&format!("round_loopback_{n}_legacy"), samples, || {
+            std::hint::black_box(legacy_round_hot(
+                &factory,
+                &shards,
+                &global,
+                0,
+                round_seed(seed, 0),
+                &cfg,
+            ));
+        });
+        // Legacy full (the old API's mandatory per-round evaluation).
+        let r_legacy_full = rep.time(&format!("round_loopback_{n}_legacy_full"), samples, || {
+            std::hint::black_box(legacy_round_full(
+                &factory,
+                &shards,
+                &test,
+                &global,
+                0,
+                round_seed(seed, 0),
+                &cfg,
+            ));
+        });
+        let base = heap::reset_peak();
+        let _ = legacy_round_hot(&factory, &shards, &global, 0, round_seed(seed, 0), &cfg);
+        let legacy_heap = heap::peak_delta_bytes(base);
+
+        // New streaming hot path through a warm coordinator.
+        let mut c = loopback_coordinator(&s);
+        c.train_round_hot(0, round_seed(seed, 0)).expect("warm-up");
+        let mut r = 1usize;
+        let r_new = rep.time(&format!("round_loopback_{n}_hot"), samples, || {
+            c.train_round_hot(r, round_seed(seed, r))
+                .expect("hot round");
+            r += 1;
+        });
+        let base = heap::reset_peak();
+        c.train_round_hot(r, round_seed(seed, r))
+            .expect("hot round");
+        let new_heap = heap::peak_delta_bytes(base);
+
+        points.push(Point {
+            clients: n,
+            transportlabel: "loopback legacy",
+            median_ns: r_legacy.median_ns,
+            bytes_per_round: 0,
+            peak_resident: n, // buffered: every update resident at once
+            peak_heap_bytes: legacy_heap,
+        });
+        points.push(Point {
+            clients: n,
+            transportlabel: "loopback hot",
+            median_ns: r_new.median_ns,
+            bytes_per_round: 0,
+            peak_resident: c.peak_resident_updates(),
+            peak_heap_bytes: new_heap,
+        });
+        let speedup = r_legacy.min_ns / r_new.min_ns;
+        let speedup_full = r_legacy_full.min_ns / r_new.min_ns;
+        println!(
+            "{n} clients: legacy {:.3} ms (full {:.3} ms)  hot {:.3} ms  speedup {speedup:.2}x (vs full {speedup_full:.2}x)",
+            r_legacy.median_ns / 1e6,
+            r_legacy_full.median_ns / 1e6,
+            r_new.median_ns / 1e6,
+        );
+        rep.speedup(
+            &format!("rounds_per_sec_loopback_{n}_legacy"),
+            1e9 / r_legacy.median_ns,
+        );
+        rep.speedup(
+            &format!("rounds_per_sec_loopback_{n}_hot"),
+            1e9 / r_new.median_ns,
+        );
+        rep.speedup(&format!("scale_speedup_{n}_loopback"), speedup);
+        rep.speedup(&format!("scale_speedup_{n}_loopback_vs_full"), speedup_full);
+        rep.speedup(
+            &format!("peak_resident_updates_{n}_loopback"),
+            c.peak_resident_updates() as f64,
+        );
+        rep.speedup(
+            &format!("peak_round_heap_bytes_{n}_loopback_hot"),
+            new_heap as f64,
+        );
+        rep.speedup(
+            &format!("peak_round_heap_bytes_{n}_loopback_legacy"),
+            legacy_heap as f64,
+        );
+    }
+
+    report::heading("TCP fleet sweep");
+    for &n in tcp_sizes {
+        let s = spec(n, seed);
+        let (mut c, workers) = tcp_coordinator(&s);
+        c.train_round_hot(0, round_seed(seed, 0)).expect("warm-up");
+        let before = c.transport().wire_stats();
+        let mut r = 1usize;
+        let base = heap::reset_peak();
+        let r_tcp = rep.time(&format!("round_tcp_{n}_hot"), samples, || {
+            c.train_round_hot(r, round_seed(seed, r))
+                .expect("tcp round");
+            r += 1;
+        });
+        let tcp_heap = heap::peak_delta_bytes(base);
+        let after = c.transport().wire_stats();
+        let rounds_moved = (samples + 1) as u64;
+        let bytes_per_round = (after.total() - before.total()) / rounds_moved;
+        points.push(Point {
+            clients: n,
+            transportlabel: "tcp hot",
+            median_ns: r_tcp.median_ns,
+            bytes_per_round,
+            peak_resident: c.peak_resident_updates(),
+            peak_heap_bytes: tcp_heap,
+        });
+        println!(
+            "{n} clients over TCP: {:.3} ms/round, {} B/round, peak resident {}",
+            r_tcp.median_ns / 1e6,
+            bytes_per_round,
+            c.peak_resident_updates()
+        );
+        rep.speedup(
+            &format!("rounds_per_sec_tcp_{n}_hot"),
+            1e9 / r_tcp.median_ns,
+        );
+        rep.speedup(
+            &format!("wire_bytes_per_round_tcp_{n}"),
+            bytes_per_round as f64,
+        );
+        rep.speedup(
+            &format!("peak_resident_updates_{n}_tcp"),
+            c.peak_resident_updates() as f64,
+        );
+        rep.speedup(&format!("peak_round_heap_bytes_{n}_tcp"), tcp_heap as f64);
+        drop(c);
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+    }
+
+    report::heading("fleet summary");
+    let mut table = Table::new(&[
+        "clients",
+        "path",
+        "ms / round",
+        "rounds/sec",
+        "updates/sec",
+        "wire B/round",
+        "peak resident",
+        "peak heap B",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.clients.to_string(),
+            p.transportlabel.to_string(),
+            report::num(p.median_ns / 1e6, 3),
+            report::num(1e9 / p.median_ns, 1),
+            report::num(1e9 / p.median_ns * p.clients as f64, 0),
+            p.bytes_per_round.to_string(),
+            p.peak_resident.to_string(),
+            p.peak_heap_bytes.to_string(),
+        ]);
+    }
+    table.print();
+
+    rep.meta("identity_gate", "pass");
+    rep.meta(
+        "workload",
+        format!(
+            "scale mlp 64->{HIDDEN}->10, {SAMPLES_PER_CLIENT} samples/client (1 batch/round), fleets {loopback_sizes:?} loopback / {tcp_sizes:?} tcp"
+        ),
+    );
+    rep.write("BENCH_scale.json");
+}

@@ -15,7 +15,7 @@
 //! `--out PATH` (default `BENCH_serve.json`).
 
 use goldfish_bench::args;
-use goldfish_bench::report::{self, PerfReport, Table};
+use goldfish_bench::report::{self, heap, PerfReport, Table};
 use goldfish_core::basic_model::GoldfishLocalConfig;
 use goldfish_core::GoldfishUnlearning;
 use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
@@ -25,6 +25,9 @@ use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
 use goldfish_serve::wire::FrameLimits;
 use goldfish_serve::worker::{run_worker, WorkerRuntime};
+
+#[global_allocator]
+static ALLOC: heap::TrackingAlloc = heap::TrackingAlloc;
 
 const TRAIN_ROUNDS: usize = 2;
 
@@ -41,6 +44,7 @@ fn coordinator_config(spec: &DemoSpec) -> CoordinatorConfig {
         unlearn_rounds: 1,
         init_seed: spec.seed.wrapping_add(1),
         threads: None,
+        ..CoordinatorConfig::default()
     }
 }
 
@@ -134,14 +138,23 @@ fn main() {
     let r_loop = rep.time("train_round_loopback", samples, || {
         std::hint::black_box(lb.train_round(0, seed).expect("loopback round"));
     });
+    // Peak per-round heap: the hot path (no summary/eval) on a warm
+    // coordinator — the figure the zero-alloc pin makes ~0.
+    let base = heap::reset_peak();
+    lb.train_round_hot(0, seed).expect("loopback round");
+    let loop_round_heap = heap::peak_delta_bytes(base);
     let (mut tcp, workers) = tcp_coordinator(&spec);
     let before = tcp.transport().wire_stats();
     let r_tcp = rep.time("train_round_tcp", samples, || {
         std::hint::black_box(tcp.train_round(0, seed).expect("tcp round"));
     });
+    let base = heap::reset_peak();
+    tcp.train_round_hot(0, seed).expect("tcp round");
+    let tcp_round_heap = heap::peak_delta_bytes(base);
     let after = tcp.transport().wire_stats();
-    // warm-up + `samples` timed calls moved frames; average per round.
-    let rounds_moved = (samples + 1) as u64;
+    // warm-up + `samples` timed calls + the heap-probe round moved
+    // frames; average per round.
+    let rounds_moved = (samples + 2) as u64;
     let bytes_per_round = (after.total() - before.total()) / rounds_moved;
     let rps = |r: &report::BenchRecord| 1e9 / r.median_ns;
     let mut table = Table::new(&[
@@ -178,6 +191,22 @@ fn main() {
     );
     rep.speedup("tcp_vs_loopback_round_time", overhead);
     rep.speedup("wire_bytes_per_train_round_tcp", bytes_per_round as f64);
+    println!(
+        "peak per-round heap: loopback hot {loop_round_heap} B, tcp hot {tcp_round_heap} B \
+         (peak resident updates: loopback {}, tcp {})",
+        lb.peak_resident_updates(),
+        tcp.peak_resident_updates()
+    );
+    rep.speedup("peak_round_heap_bytes_loopback_hot", loop_round_heap as f64);
+    rep.speedup("peak_round_heap_bytes_tcp_hot", tcp_round_heap as f64);
+    rep.speedup(
+        "peak_resident_updates_loopback",
+        lb.peak_resident_updates() as f64,
+    );
+    rep.speedup(
+        "peak_resident_updates_tcp",
+        tcp.peak_resident_updates() as f64,
+    );
 
     report::heading("goldfish unlearning request (fresh federation per request)");
     // Deletions are permanent: draining the same request twice against
@@ -200,6 +229,7 @@ fn main() {
     }
     let mut tcp_times = Vec::new();
     let mut tcp_request_bytes = 0u64;
+    let mut tcp_drain_stats = goldfish_serve::coordinator::DrainStats::default();
     for _ in 0..=samples {
         let (mut c, workers) = tcp_coordinator(&spec);
         c.submit_unlearn(UnlearnRequest::new(0, (0..removed).collect()))
@@ -209,6 +239,7 @@ fn main() {
             std::hint::black_box(c.drain_unlearning(seed).expect("tcp unlearn"));
         });
         tcp_request_bytes = c.transport().wire_stats().total() - before.total();
+        tcp_drain_stats = c.drain_stats();
         drop(c);
         for w in workers {
             w.join().expect("worker thread");
@@ -232,11 +263,27 @@ fn main() {
         r_tcp_u.median_ns / 1e6,
         tcp_request_bytes
     );
+    // Drain-phase visibility: what the queue served per drain under
+    // this schedule (each sample drains one merged request batch).
+    println!(
+        "drain stats (tcp, per federation): {} request(s) across {} drain(s), last batch {}",
+        tcp_drain_stats.requests_served,
+        tcp_drain_stats.batches_served,
+        tcp_drain_stats.last_batch_requests
+    );
     rep.speedup("unlearn_requests_per_sec_loopback", rps(&r_loop_u));
     rep.speedup("unlearn_requests_per_sec_tcp", rps(&r_tcp_u));
     rep.speedup(
         "wire_bytes_per_unlearn_request_tcp",
         tcp_request_bytes as f64,
+    );
+    rep.speedup(
+        "unlearn_requests_served_per_drain",
+        if tcp_drain_stats.batches_served > 0 {
+            tcp_drain_stats.requests_served as f64 / tcp_drain_stats.batches_served as f64
+        } else {
+            0.0
+        },
     );
     rep.record(r_loop_u);
     rep.record(r_tcp_u);

@@ -244,6 +244,83 @@ impl PerfReport {
     }
 }
 
+/// Heap accounting for perf binaries: a byte-tracking global allocator
+/// plus peak-measurement helpers. A binary opts in with
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: goldfish_bench::report::heap::TrackingAlloc =
+///     goldfish_bench::report::heap::TrackingAlloc;
+/// ```
+///
+/// and then brackets a scenario with [`heap::reset_peak`] /
+/// [`heap::peak_delta_bytes`] to report "peak per-round heap bytes".
+#[allow(unsafe_code)]
+pub mod heap {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    /// Tracks live heap bytes and their high-water mark (cheap relaxed
+    /// atomics; the accounting is approximate under heavy concurrency
+    /// but exact enough for per-round peaks).
+    pub struct TrackingAlloc;
+
+    fn on_alloc(size: usize) {
+        let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        CURRENT.fetch_sub(size, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for TrackingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size());
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                on_dealloc(layout.size());
+                on_alloc(new_size);
+            }
+            p
+        }
+    }
+
+    /// Live heap bytes right now.
+    pub fn current_bytes() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live size and returns
+    /// that baseline.
+    pub fn reset_peak() -> usize {
+        let now = CURRENT.load(Ordering::Relaxed);
+        PEAK.store(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Peak bytes above `baseline` since the last [`reset_peak`] —
+    /// "how much extra heap did this scenario need".
+    pub fn peak_delta_bytes(baseline: usize) -> usize {
+        PEAK.load(Ordering::Relaxed).saturating_sub(baseline)
+    }
+}
+
 /// Formats a fraction as a percentage with two decimals (paper style).
 pub fn pct(x: f64) -> String {
     format!("{:.2}", 100.0 * x)

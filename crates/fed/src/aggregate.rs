@@ -124,6 +124,322 @@ fn reduce_chunk(
     }
 }
 
+/// Why a [`StreamingMean`] refused an update or could not finish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateError {
+    /// The client id is not part of the round's cohort.
+    UnknownClient {
+        /// The offending id.
+        client_id: usize,
+    },
+    /// The client already contributed this round.
+    DuplicateUpdate {
+        /// The offending id.
+        client_id: usize,
+    },
+    /// The update's state length differs from the accumulator's.
+    StateLenMismatch {
+        /// The offending id.
+        client_id: usize,
+        /// Uploaded length.
+        got: usize,
+        /// Expected length.
+        want: usize,
+    },
+    /// The update carries non-finite parameters (diverged training).
+    Diverged {
+        /// The offending id.
+        client_id: usize,
+    },
+    /// Parking this out-of-order update would exceed the resident-update
+    /// window.
+    WindowExceeded {
+        /// The configured window (maximum parked updates).
+        limit: usize,
+        /// The update that did not fit.
+        client_id: usize,
+    },
+    /// `finish` was called before every cohort member folded.
+    Incomplete {
+        /// How many cohort members are still missing.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::UnknownClient { client_id } => {
+                write!(f, "client {client_id} is not in the aggregation cohort")
+            }
+            AggregateError::DuplicateUpdate { client_id } => {
+                write!(f, "client {client_id} already delivered this round")
+            }
+            AggregateError::StateLenMismatch {
+                client_id,
+                got,
+                want,
+            } => write!(
+                f,
+                "client {client_id} uploaded {got} params, expected {want}"
+            ),
+            AggregateError::Diverged { client_id } => {
+                write!(f, "client {client_id} uploaded non-finite parameters")
+            }
+            AggregateError::WindowExceeded { limit, client_id } => write!(
+                f,
+                "parking client {client_id} would exceed the {limit}-update resident window"
+            ),
+            AggregateError::Incomplete { missing } => {
+                write!(
+                    f,
+                    "aggregation incomplete: {missing} cohort members missing"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// The streaming weighted mean: a fixed-slot accumulator keyed by client
+/// id that folds updates **as they arrive** instead of buffering the
+/// whole round.
+///
+/// The per-element arithmetic of [`weighted_mean`] is a client-id-ordered
+/// `f64` sum of `fracᵢ · vᵢⱼ` followed by one `f32` cast. That order is
+/// what makes the reduction deterministic — so the streaming form keeps a
+/// **fold frontier**: an update folds into the accumulator the moment
+/// every smaller cohort id has folded; out-of-order arrivals are parked
+/// (copied into pooled buffers, bounded by the resident window) and
+/// drained the moment the frontier reaches them. The weights are
+/// registered up front ([`StreamingMean::begin`]) from the transport's
+/// client registry, so `fracᵢ = wᵢ / Σw` is known before the first
+/// arrival and the result is **bitwise identical** to
+/// [`weighted_mean`] over the same cohort at every arrival order, thread
+/// count and window size — pinned by the arrival-order proptests in
+/// `crates/fed/tests/determinism.rs`.
+///
+/// Memory: one `f64` accumulator lane (`state_len` wide) plus at most
+/// `window` parked updates, instead of all N updates at once. Folding
+/// runs chunk-parallel on the current pool ([`REDUCE_CHUNK`] chunks;
+/// chunks touch disjoint output ranges, so the thread count never
+/// changes bits).
+///
+/// Divergence semantics differ deliberately from [`weighted_mean`]: a
+/// non-finite upload is reported as [`AggregateError::Diverged`] so the
+/// round loop can treat the client like a crashed one (drop + re-round),
+/// instead of silently re-weighting the survivors mid-stream (the
+/// streaming form cannot — earlier folds already used the full-cohort
+/// weights). See DESIGN.md §11.
+#[derive(Debug, Default)]
+pub struct StreamingMean {
+    /// Cohort client ids, strictly ascending.
+    ids: Vec<usize>,
+    /// `wᵢ / Σw` per slot, computed in slot order like [`weighted_mean`].
+    fracs: Vec<f64>,
+    /// The running per-parameter `f64` accumulator.
+    acc: Vec<f64>,
+    /// Parked out-of-order updates by slot (buffers pooled via `spare`).
+    parked: Vec<Option<Vec<f32>>>,
+    /// Whether each slot has folded.
+    folded: Vec<bool>,
+    /// Spare parked-update buffers, reused across rounds.
+    spare: Vec<Vec<f32>>,
+    /// Fold frontier: every slot below it has folded.
+    next: usize,
+    /// Maximum parked updates before [`AggregateError::WindowExceeded`].
+    window: usize,
+    /// Currently parked update count.
+    resident: usize,
+    /// High-water mark of `resident` plus the update being folded.
+    peak_resident: usize,
+    state_len: usize,
+}
+
+impl StreamingMean {
+    /// An empty accumulator; call [`StreamingMean::begin`] per round.
+    pub fn new() -> Self {
+        StreamingMean::default()
+    }
+
+    /// Arms the accumulator for one round: `cohort` is `(client_id,
+    /// weight)` in strictly ascending id order (the transport's live
+    /// registry), `state_len` the expected parameter count, `window` the
+    /// maximum parked updates (`usize::MAX` for unbounded). Buffers are
+    /// reused across rounds, so a steady-state `begin` never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cohort is empty, ids are not strictly ascending, or
+    /// the weights sum to zero (mirroring [`weighted_mean`]).
+    pub fn begin(&mut self, cohort: &[(usize, f64)], state_len: usize, window: usize) {
+        assert!(!cohort.is_empty(), "no clients to aggregate");
+        assert!(
+            cohort.windows(2).all(|w| w[0].0 < w[1].0),
+            "cohort ids must be strictly ascending"
+        );
+        // Identical arithmetic to `weighted_mean`: total summed in id
+        // order, then one division per client.
+        let total: f64 = cohort.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "aggregation weights sum to zero");
+        self.ids.clear();
+        self.ids.extend(cohort.iter().map(|&(id, _)| id));
+        self.fracs.clear();
+        self.fracs.extend(cohort.iter().map(|&(_, w)| w / total));
+        self.acc.clear();
+        self.acc.resize(state_len, 0.0);
+        for slot in self.parked.iter_mut() {
+            if let Some(buf) = slot.take() {
+                self.spare.push(buf);
+            }
+        }
+        self.parked.resize_with(cohort.len(), || None);
+        self.folded.clear();
+        self.folded.resize(cohort.len(), false);
+        self.next = 0;
+        self.window = window;
+        self.resident = 0;
+        self.peak_resident = 0;
+        self.state_len = state_len;
+    }
+
+    /// Offers one arriving update. Folds immediately when `client_id` is
+    /// the fold frontier (then drains any parked successors), otherwise
+    /// parks a copy. The caller keeps ownership of `state` either way.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError`] for unknown/duplicate clients, wrong state
+    /// lengths, non-finite uploads, and window overflow. The accumulator
+    /// is unchanged by a rejected offer.
+    pub fn offer(&mut self, client_id: usize, state: &[f32]) -> Result<(), AggregateError> {
+        let slot = self
+            .ids
+            .binary_search(&client_id)
+            .map_err(|_| AggregateError::UnknownClient { client_id })?;
+        if self.folded[slot] || self.parked[slot].is_some() {
+            return Err(AggregateError::DuplicateUpdate { client_id });
+        }
+        if state.len() != self.state_len {
+            return Err(AggregateError::StateLenMismatch {
+                client_id,
+                got: state.len(),
+                want: self.state_len,
+            });
+        }
+        if !state.iter().all(|v| v.is_finite()) {
+            return Err(AggregateError::Diverged { client_id });
+        }
+        if slot == self.next {
+            self.peak_resident = self.peak_resident.max(self.resident + 1);
+            self.fold(slot, state);
+            self.drain_frontier();
+        } else {
+            if self.resident >= self.window {
+                return Err(AggregateError::WindowExceeded {
+                    limit: self.window,
+                    client_id,
+                });
+            }
+            let mut buf = self.spare.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(state);
+            self.parked[slot] = Some(buf);
+            self.resident += 1;
+            self.peak_resident = self.peak_resident.max(self.resident);
+        }
+        Ok(())
+    }
+
+    /// Folds `state` into the accumulator with slot `slot`'s fraction —
+    /// chunk-parallel, per-element order fixed by the frontier.
+    fn fold(&mut self, slot: usize, state: &[f32]) {
+        let frac = self.fracs[slot];
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || self.acc.len() <= REDUCE_CHUNK {
+            for (a, &v) in self.acc.iter_mut().zip(state.iter()) {
+                *a += frac * v as f64;
+            }
+        } else {
+            rayon::scope(|s| {
+                for (chunk, vs) in self
+                    .acc
+                    .chunks_mut(REDUCE_CHUNK)
+                    .zip(state.chunks(REDUCE_CHUNK))
+                {
+                    s.spawn(move |_| {
+                        for (a, &v) in chunk.iter_mut().zip(vs.iter()) {
+                            *a += frac * v as f64;
+                        }
+                    });
+                }
+            });
+        }
+        self.folded[slot] = true;
+        self.next = slot + 1;
+    }
+
+    /// Folds every parked update the frontier has reached, releasing its
+    /// buffer back to the pool.
+    fn drain_frontier(&mut self) {
+        while self.next < self.ids.len() {
+            let Some(buf) = self.parked[self.next].take() else {
+                break;
+            };
+            self.resident -= 1;
+            let slot = self.next;
+            self.fold(slot, &buf);
+            self.spare.push(buf);
+        }
+    }
+
+    /// Cohort members that have folded so far.
+    pub fn folded_count(&self) -> usize {
+        self.next
+    }
+
+    /// Whether every cohort member has folded.
+    pub fn is_complete(&self) -> bool {
+        self.next == self.ids.len()
+    }
+
+    /// High-water mark of simultaneously resident updates this round
+    /// (parked copies plus the update being folded).
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Casts the accumulator into `out` (resized to the state length).
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when cohort members are missing
+    /// (the accumulator keeps its state so the round can keep feeding).
+    pub fn finish_into(&mut self, out: &mut Vec<f32>) -> Result<(), AggregateError> {
+        if !self.is_complete() {
+            return Err(AggregateError::Incomplete {
+                missing: self.ids.len() - self.next,
+            });
+        }
+        out.clear();
+        out.reserve(self.state_len);
+        out.extend(self.acc.iter().map(|&a| a as f32));
+        Ok(())
+    }
+
+    /// [`StreamingMean::finish_into`] returning a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when cohort members are missing.
+    pub fn finish(&mut self) -> Result<Vec<f32>, AggregateError> {
+        let mut out = Vec::new();
+        self.finish_into(&mut out)?;
+        Ok(out)
+    }
+}
+
 /// FedAvg (McMahan et al., 2017): clients weighted by local dataset size.
 /// The aggregation baseline of Figs 8–9.
 #[derive(Debug, Clone, Copy, Default)]
@@ -226,5 +542,104 @@ mod tests {
         let updates = vec![upd(0, vec![f32::NAN], 10)];
         let agg = FedAvg.aggregate(&updates);
         assert!(agg[0].is_nan());
+    }
+
+    fn stream_cohort(updates: &[ClientUpdate]) -> Vec<(usize, f64)> {
+        updates
+            .iter()
+            .map(|u| (u.client_id, u.num_samples.max(1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn streaming_mean_matches_weighted_mean_in_any_order() {
+        let updates: Vec<ClientUpdate> = (0..5)
+            .map(|i| {
+                upd(
+                    i * 2, // non-contiguous ids
+                    (0..300)
+                        .map(|j| ((i * 37 + j) as f32 * 0.13).sin())
+                        .collect(),
+                    10 + i,
+                )
+            })
+            .collect();
+        let weights: Vec<f64> = updates
+            .iter()
+            .map(|u| u.num_samples.max(1) as f64)
+            .collect();
+        let want = weighted_mean(&updates, &weights);
+        for order in [
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 3],
+        ] {
+            let mut agg = StreamingMean::new();
+            agg.begin(&stream_cohort(&updates), 300, usize::MAX);
+            for &i in &order {
+                agg.offer(updates[i].client_id, &updates[i].state).unwrap();
+            }
+            assert!(agg.is_complete());
+            let got = agg.finish().unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "order {order:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_mean_reuses_buffers_across_rounds() {
+        let updates = vec![upd(0, vec![1.0, 3.0], 1), upd(1, vec![3.0, 5.0], 1)];
+        let mut agg = StreamingMean::new();
+        for _ in 0..3 {
+            agg.begin(&stream_cohort(&updates), 2, usize::MAX);
+            agg.offer(1, &updates[1].state).unwrap(); // parked
+            assert_eq!(agg.folded_count(), 0);
+            agg.offer(0, &updates[0].state).unwrap(); // folds both
+            assert_eq!(agg.peak_resident(), 2);
+            assert_eq!(agg.finish().unwrap(), vec![2.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn streaming_mean_rejections_are_typed() {
+        let mut agg = StreamingMean::new();
+        agg.begin(&[(0, 1.0), (2, 1.0), (3, 1.0)], 2, 1);
+        assert_eq!(
+            agg.offer(1, &[0.0, 0.0]),
+            Err(AggregateError::UnknownClient { client_id: 1 })
+        );
+        assert_eq!(
+            agg.offer(0, &[0.0]),
+            Err(AggregateError::StateLenMismatch {
+                client_id: 0,
+                got: 1,
+                want: 2
+            })
+        );
+        assert_eq!(
+            agg.offer(0, &[f32::NAN, 0.0]),
+            Err(AggregateError::Diverged { client_id: 0 })
+        );
+        agg.offer(2, &[1.0, 1.0]).unwrap(); // parked (window = 1)
+        assert_eq!(
+            agg.offer(3, &[1.0, 1.0]),
+            Err(AggregateError::WindowExceeded {
+                limit: 1,
+                client_id: 3
+            })
+        );
+        assert_eq!(
+            agg.offer(2, &[1.0, 1.0]),
+            Err(AggregateError::DuplicateUpdate { client_id: 2 })
+        );
+        assert_eq!(agg.finish(), Err(AggregateError::Incomplete { missing: 3 }));
+        agg.offer(0, &[1.0, 1.0]).unwrap(); // folds 0, drains parked 2
+        assert_eq!(agg.folded_count(), 2);
+        agg.offer(3, &[1.0, 1.0]).unwrap();
+        assert!(agg.is_complete());
+        assert_eq!(agg.finish().unwrap(), vec![1.0, 1.0]);
     }
 }

@@ -180,8 +180,11 @@ impl Federation {
             rounds: Vec::with_capacity(rounds),
         };
         for r in 0..rounds {
-            let round_seed = seed.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9);
-            report.rounds.push(self.run_round(r, strategy, round_seed));
+            // The shared derivation keeps daemons/benchmarks replaying a
+            // schedule bitwise aligned with this loop.
+            report
+                .rounds
+                .push(self.run_round(r, strategy, crate::transport::round_seed(seed, r)));
         }
         report
     }

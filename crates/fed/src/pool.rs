@@ -79,6 +79,16 @@ pub fn for_each_slot<T: Send, F>(slots: &mut [T], f: F)
 where
     F: Fn(usize, &mut T) + Send + Sync,
 {
+    // One task or one thread: run inline. Same results (slot writes are
+    // disjoint either way), but the steady-state hot loops pinned by the
+    // counting-allocator tests stay off the scope machinery, which heap-
+    // allocates its task queue.
+    if slots.len() <= 1 || rayon::current_num_threads() <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
     let f = &f;
     rayon::scope(|s| {
         for (i, slot) in slots.iter_mut().enumerate() {

@@ -154,6 +154,46 @@ pub fn train_local_ce(
     train_local(net, data, cfg, &CrossEntropy, seed)
 }
 
+/// The zero-allocation form of [`train_local_with`] for long-lived
+/// round workers: the caller also owns the optimizer (re-armed in place,
+/// so its velocity buffer survives between rounds) and no per-epoch
+/// stats vector is built. The parameter evolution is bitwise identical
+/// to [`train_local`] — a re-armed optimizer's zeroed velocity equals a
+/// fresh one's, and the stats were pure observation.
+pub fn train_local_hot(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    loss: &dyn HardLoss,
+    seed: u64,
+    ws: &mut TrainWorkspace,
+    sgd: &mut FusedSgd,
+) {
+    if data.is_empty() {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    sgd.rearm(cfg.lr, cfg.momentum);
+    let TrainWorkspace {
+        gather,
+        grad,
+        order,
+    } = ws;
+    for _ in 0..cfg.local_epochs {
+        data.shuffled_indices_into(&mut rng, order);
+        for chunk in order.chunks(cfg.batch_size) {
+            gather.gather(data, chunk);
+            {
+                let logits = net.forward_ws(gather.features(), true);
+                loss.loss_and_grad_into(logits, gather.labels(), grad);
+            }
+            net.zero_grad();
+            net.backward_train(grad);
+            sgd.step(net);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +253,41 @@ mod tests {
             net.state_vector()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hot_variant_is_bitwise_identical_and_reusable() {
+        let (train, _) = tiny_data();
+        let cfg = TrainConfig {
+            local_epochs: 2,
+            batch_size: 24, // short final batch exercised
+            lr: 0.05,
+            momentum: 0.9,
+        };
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(3);
+            zoo::mlp(64, &[16], 10, &mut rng)
+        };
+        let mut ws = TrainWorkspace::new();
+        let mut sgd = FusedSgd::new(1.0, 0.0); // re-armed per call
+        let mut hot = make();
+        // Two consecutive rounds through the same worker state: each must
+        // equal a fresh allocating run (the velocity re-arm matters).
+        for seed in [11u64, 12] {
+            let mut oracle = make();
+            oracle.set_state_vector(&hot.state_vector());
+            train_local_ce(&mut oracle, &train, &cfg, seed);
+            train_local_hot(
+                &mut hot,
+                &train,
+                &cfg,
+                &CrossEntropy,
+                seed,
+                &mut ws,
+                &mut sgd,
+            );
+            assert_eq!(hot.state_vector(), oracle.state_vector(), "seed {seed}");
+        }
     }
 
     #[test]

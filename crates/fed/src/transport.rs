@@ -28,7 +28,7 @@
 use goldfish_data::Dataset;
 use goldfish_nn::Network;
 
-use crate::aggregate::{AggregationStrategy, ClientUpdate};
+use crate::aggregate::{AggregateError, AggregationStrategy, ClientUpdate, StreamingMean};
 use crate::trainer::{train_local_ce, TrainConfig};
 use crate::{eval, pool, ModelFactory};
 
@@ -38,6 +38,14 @@ use crate::{eval, pool, ModelFactory};
 pub fn client_seed(base: u64, id: usize, round: usize) -> u64 {
     base.wrapping_add((id as u64) << 32)
         .wrapping_add(round as u64)
+}
+
+/// Derives the base seed of round `round` from a schedule seed — the one
+/// derivation `Federation::train_rounds` and the serve coordinator's
+/// round loop share, so a daemon replaying a schedule stays bitwise
+/// aligned with the in-process run.
+pub fn round_seed(base: u64, round: usize) -> u64 {
+    base.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9)
 }
 
 /// Why a client failed to deliver its update this round.
@@ -70,6 +78,16 @@ pub enum TransportError {
         /// What cannot be shipped.
         reason: String,
     },
+    /// An arriving update could not be parked: the round's resident
+    /// in-flight update window is full (see
+    /// [`crate::aggregate::StreamingMean`] and the coordinator's
+    /// `update_window` knob).
+    UpdateWindowExceeded {
+        /// The configured window.
+        limit: usize,
+        /// The update that did not fit.
+        client_id: usize,
+    },
 }
 
 impl TransportError {
@@ -78,7 +96,8 @@ impl TransportError {
         match self {
             TransportError::Timeout { client_id }
             | TransportError::Disconnected { client_id, .. }
-            | TransportError::Protocol { client_id, .. } => Some(*client_id),
+            | TransportError::Protocol { client_id, .. }
+            | TransportError::UpdateWindowExceeded { client_id, .. } => Some(*client_id),
             TransportError::NoLiveClients | TransportError::Unsupported { .. } => None,
         }
     }
@@ -99,6 +118,12 @@ impl std::fmt::Display for TransportError {
             TransportError::NoLiveClients => write!(f, "no live clients"),
             TransportError::Unsupported { reason } => {
                 write!(f, "unsupported operation: {reason}")
+            }
+            TransportError::UpdateWindowExceeded { limit, client_id } => {
+                write!(
+                    f,
+                    "client {client_id}'s update exceeds the {limit}-update in-flight window"
+                )
             }
         }
     }
@@ -155,6 +180,22 @@ pub struct TrainAssign<'a> {
     pub cfg: &'a TrainConfig,
 }
 
+/// One update flowing through the streaming round path: a borrowed view
+/// of a delivered state vector, fed to the aggregation sink the moment
+/// it arrives.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamedUpdate<'a> {
+    /// The delivering client.
+    pub client_id: usize,
+    /// Aggregation weight (local sample count).
+    pub num_samples: usize,
+    /// The uploaded state vector.
+    pub state: &'a [f32],
+}
+
+/// The per-arrival callback of [`RoundTransport::train_round_streamed`].
+pub type UpdateSink<'s> = dyn FnMut(StreamedUpdate<'_>) -> Result<(), TransportError> + 's;
+
 /// Server-side transport contract: deliver an assignment to every live
 /// client and collect their updates.
 ///
@@ -174,6 +215,42 @@ pub trait RoundTransport {
         &mut self,
         assign: &TrainAssign<'_>,
     ) -> Vec<Result<ClientUpdate, TransportError>>;
+
+    /// The aggregation cohort the next round will deliver: `(client_id,
+    /// num_samples)` of every live client, **strictly ascending by id**,
+    /// written into `out` (cleared first, so a warm vector never
+    /// reallocates). An empty result means the transport cannot predict
+    /// its cohort and streaming callers must fall back to the buffered
+    /// path. The default knows nothing.
+    fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+        out.clear();
+    }
+
+    /// Runs one training round, feeding each delivered update to `sink`
+    /// **as it arrives** (arrival order — the streaming aggregation in
+    /// [`RoundRuntime`] makes the result order-invariant). Pushes one
+    /// entry per assigned client into `results` (cleared first, caller-
+    /// owned so warm rounds don't allocate): `Ok(())` for a delivered-
+    /// and-accepted update, the transport or sink error otherwise. The
+    /// default buffers via `train_round` and replays — correct for any
+    /// transport, overlapping for none.
+    fn train_round_streamed(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        results.clear();
+        results.extend(self.train_round(assign).into_iter().map(|r| {
+            r.and_then(|u| {
+                sink(StreamedUpdate {
+                    client_id: u.client_id,
+                    num_samples: u.num_samples,
+                    state: &u.state,
+                })
+            })
+        }));
+    }
 }
 
 /// The in-process transport: clients are datasets in this address space
@@ -202,6 +279,11 @@ impl<'a> LoopbackClients<'a> {
 impl RoundTransport for LoopbackClients<'_> {
     fn num_clients(&self) -> usize {
         self.clients.len()
+    }
+
+    fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+        out.clear();
+        out.extend(self.clients.iter().enumerate().map(|(id, d)| (id, d.len())));
     }
 
     fn train_round(
@@ -374,6 +456,187 @@ fn materialize(factory: &ModelFactory, state: &[f32]) -> Network {
     net
 }
 
+/// The persistent streaming round loop — the serve coordinator's hot
+/// path. Where [`RoundDriver`] buffers all N updates, sorts them and
+/// hands the batch to an [`AggregationStrategy`], a `RoundRuntime` folds
+/// each update into a [`StreamingMean`] **as it arrives** (FedAvg
+/// weights from the transport's registry), so aggregation overlaps with
+/// stragglers' I/O, memory holds at most the configured window of
+/// resident updates, and a warm runtime performs **zero heap
+/// allocations per round** on a single-thread pool (pinned by
+/// `tests/alloc_free_round.rs`; larger pools pay only the scope
+/// machinery's task-queue allocations, never per-update state buffers).
+///
+/// The aggregate is bitwise identical to the buffered
+/// path's `FedAvg` over the same cohort — see [`StreamingMean`] for the
+/// argument and DESIGN.md §11 for the invariants.
+#[derive(Debug)]
+pub struct RoundRuntime {
+    agg: StreamingMean,
+    cohort: Vec<(usize, usize)>,
+    weights: Vec<(usize, f64)>,
+    results: Vec<Result<(), TransportError>>,
+    threads: Option<usize>,
+    window: usize,
+}
+
+impl RoundRuntime {
+    /// Builds a runtime. `threads` pins the compute pool
+    /// ([`pool::install`] semantics); `window` caps simultaneously
+    /// resident (parked) updates per round, `0` meaning "auto" (the
+    /// cohort size — never exceeded, memory bounded by the fleet).
+    pub fn new(threads: Option<usize>, window: usize) -> Self {
+        RoundRuntime {
+            agg: StreamingMean::new(),
+            cohort: Vec::new(),
+            weights: Vec::new(),
+            results: Vec::new(),
+            threads,
+            window,
+        }
+    }
+
+    /// The configured resident-update window (`0` = auto).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Reconfigures the resident-update window for later rounds.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window;
+    }
+
+    /// High-water mark of simultaneously resident updates in the last
+    /// round (see [`StreamingMean::peak_resident`]).
+    pub fn peak_resident(&self) -> usize {
+        self.agg.peak_resident()
+    }
+
+    /// The `(client_id, num_samples)` cohort the last round aggregated
+    /// over, ascending by id.
+    pub fn last_cohort(&self) -> &[(usize, usize)] {
+        &self.cohort
+    }
+
+    /// Runs one streamed federated round over `transport` and writes the
+    /// FedAvg aggregate into `global_out` (reused, so a warm call never
+    /// allocates). Straggler policy matches [`collect_round`]: when some
+    /// clients fail and the transport dropped them, the round re-runs
+    /// over the shrunken cohort; an error that shrinks nothing (e.g. a
+    /// diverged upload on a transport that cannot drop clients, or a
+    /// window overflow) is propagated instead of retried forever.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NoLiveClients`] when nobody delivers; otherwise
+    /// the first client error of a non-shrinking attempt.
+    pub fn run_hot(
+        &mut self,
+        transport: &mut dyn RoundTransport,
+        assign: &TrainAssign<'_>,
+        global_out: &mut Vec<f32>,
+    ) -> Result<(), TransportError> {
+        loop {
+            transport.cohort_into(&mut self.cohort);
+            if self.cohort.is_empty() {
+                // Transport without a registry: buffered fallback.
+                let updates = collect_round(|| transport.train_round(assign))?;
+                let agg = pool::install(self.threads, || {
+                    crate::aggregate::FedAvg.aggregate(&updates)
+                });
+                global_out.clear();
+                global_out.extend_from_slice(&agg);
+                return Ok(());
+            }
+            let n_before = self.cohort.len();
+            self.weights.clear();
+            self.weights
+                .extend(self.cohort.iter().map(|&(id, n)| (id, n.max(1) as f64)));
+            let window = if self.window == 0 {
+                n_before
+            } else {
+                self.window
+            };
+            self.agg.begin(&self.weights, assign.global.len(), window);
+            let agg = &mut self.agg;
+            let cohort = &self.cohort;
+            let results = &mut self.results;
+            pool::install(self.threads, || {
+                let sink = &mut |u: StreamedUpdate<'_>| {
+                    // The registered weight is what the fractions were
+                    // computed from; an upload disagreeing with it would
+                    // silently change the mean.
+                    match cohort.binary_search_by_key(&u.client_id, |&(id, _)| id) {
+                        Ok(i) if cohort[i].1 == u.num_samples => {}
+                        Ok(i) => {
+                            return Err(TransportError::Protocol {
+                                client_id: u.client_id,
+                                reason: format!(
+                                    "update weight {} disagrees with the registered {}",
+                                    u.num_samples, cohort[i].1
+                                ),
+                            })
+                        }
+                        Err(_) => {
+                            return Err(TransportError::Protocol {
+                                client_id: u.client_id,
+                                reason: "update from a client outside the cohort".into(),
+                            })
+                        }
+                    }
+                    agg.offer(u.client_id, u.state)
+                        .map_err(|e| map_aggregate_error(u.client_id, e))
+                };
+                transport.train_round_streamed(assign, sink, results);
+            });
+            let results = &self.results;
+            if results.is_empty() {
+                return Err(TransportError::NoLiveClients);
+            }
+            let first_err = results.iter().find_map(|r| r.as_ref().err().cloned());
+            match first_err {
+                None if self.agg.is_complete() => {
+                    self.agg
+                        .finish_into(global_out)
+                        .expect("complete accumulator");
+                    return Ok(());
+                }
+                None => {
+                    // Every result Ok but cohort members missing: the
+                    // transport under-delivered without reporting.
+                    return Err(TransportError::NoLiveClients);
+                }
+                Some(e) => {
+                    if results.iter().all(|r| r.is_err()) {
+                        return Err(TransportError::NoLiveClients);
+                    }
+                    let remaining = transport.num_clients();
+                    if remaining > 0 && remaining < n_before {
+                        // Stragglers were dropped from the live set;
+                        // re-round over the surviving cohort (training is
+                        // deterministic — a re-round costs time, never
+                        // changes results).
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+fn map_aggregate_error(client_id: usize, e: AggregateError) -> TransportError {
+    match e {
+        AggregateError::WindowExceeded { limit, .. } => {
+            TransportError::UpdateWindowExceeded { limit, client_id }
+        }
+        other => TransportError::Protocol {
+            client_id,
+            reason: other.to_string(),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +755,131 @@ mod tests {
         assert_eq!(got, Err(TransportError::NoLiveClients));
         let got = collect_round(Vec::new);
         assert_eq!(got, Err(TransportError::NoLiveClients));
+    }
+
+    #[test]
+    fn round_runtime_matches_buffered_driver_bitwise() {
+        let (factory, clients, test, cfg) = fixture();
+        let global = (factory)(1).state_vector();
+        let assign = TrainAssign {
+            round: 2,
+            seed: 17,
+            global: &global,
+            cfg: &cfg,
+        };
+        // Buffered reference: the pre-change collect→sort→FedAvg loop.
+        let driver = RoundDriver {
+            factory: &factory,
+            test: &test,
+            threads: Some(2),
+            eval_mse: false,
+            eval_clients: false,
+        };
+        let mut lb = LoopbackClients::new(&factory, &clients, Some(2));
+        let buffered = driver.run_round(&mut lb, &assign, &FedAvg).unwrap().global;
+
+        // Streaming path, several windows and thread counts.
+        for (threads, window) in [(1, 0), (2, 0), (4, 1), (2, 64)] {
+            let mut rt = RoundRuntime::new(Some(threads), window);
+            let mut lb = LoopbackClients::new(&factory, &clients, Some(threads));
+            let mut got = Vec::new();
+            rt.run_hot(&mut lb, &assign, &mut got).unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                buffered.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads {threads} window {window}"
+            );
+            assert!(rt.peak_resident() <= clients.len());
+        }
+    }
+
+    #[test]
+    fn run_hot_propagates_window_overflow_without_spinning() {
+        // A transport that always feeds its (valid) updates in reverse
+        // id order and never drops clients: with a 1-update window the
+        // out-of-order arrivals overflow, and because the live set did
+        // not shrink, `run_hot` must propagate the typed error instead
+        // of re-rounding forever.
+        struct ReverseFeed {
+            updates: Vec<ClientUpdate>,
+        }
+        impl RoundTransport for ReverseFeed {
+            fn num_clients(&self) -> usize {
+                self.updates.len()
+            }
+            fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+                out.clear();
+                out.extend(self.updates.iter().map(|u| (u.client_id, u.num_samples)));
+            }
+            fn train_round(
+                &mut self,
+                _assign: &TrainAssign<'_>,
+            ) -> Vec<Result<ClientUpdate, TransportError>> {
+                self.updates.iter().cloned().map(Ok).collect()
+            }
+            fn train_round_streamed(
+                &mut self,
+                _assign: &TrainAssign<'_>,
+                sink: &mut UpdateSink<'_>,
+                results: &mut Vec<Result<(), TransportError>>,
+            ) {
+                results.clear();
+                results.extend(self.updates.iter().rev().map(|u| {
+                    sink(StreamedUpdate {
+                        client_id: u.client_id,
+                        num_samples: u.num_samples,
+                        state: &u.state,
+                    })
+                }));
+            }
+        }
+
+        let updates: Vec<ClientUpdate> = (0..4)
+            .map(|id| ClientUpdate {
+                client_id: id,
+                state: vec![id as f32; 3],
+                num_samples: 5,
+                server_mse: None,
+            })
+            .collect();
+        let cfg = TrainConfig::default();
+        let global = vec![0.0f32; 3];
+        let assign = TrainAssign {
+            round: 0,
+            seed: 0,
+            global: &global,
+            cfg: &cfg,
+        };
+
+        let mut transport = ReverseFeed {
+            updates: updates.clone(),
+        };
+        let mut rt = RoundRuntime::new(Some(1), 1);
+        let mut out = Vec::new();
+        let err = rt.run_hot(&mut transport, &assign, &mut out).unwrap_err();
+        assert!(
+            matches!(err, TransportError::UpdateWindowExceeded { limit: 1, .. }),
+            "got {err:?}"
+        );
+        // No client was lost to the coordinator's own capacity policy.
+        assert_eq!(transport.num_clients(), 4);
+
+        // A window that fits the reversal succeeds, bitwise equal to the
+        // buffered FedAvg.
+        rt.set_window(4);
+        rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+        assert_eq!(out, FedAvg.aggregate(&updates));
+        assert_eq!(rt.peak_resident(), 4);
+    }
+
+    #[test]
+    fn round_seed_matches_legacy_formula() {
+        for (base, r) in [(0u64, 0usize), (42, 3), (u64::MAX, 17)] {
+            assert_eq!(
+                round_seed(base, r),
+                base.wrapping_add(r as u64).wrapping_mul(0x9E37_79B9)
+            );
+        }
     }
 
     #[test]

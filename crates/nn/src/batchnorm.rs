@@ -222,6 +222,13 @@ impl Layer for BatchNorm2d {
         f(&mut self.running_var);
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+        f(&self.running_mean);
+        f(&self.running_var);
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![
             &self.gamma,

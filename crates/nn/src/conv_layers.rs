@@ -129,6 +129,11 @@ impl Layer for Conv2d {
         f(&mut self.bias);
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![&self.weight, &self.bias]
     }

@@ -167,6 +167,11 @@ impl Layer for Dense {
         f(&mut self.bias);
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![&self.weight, &self.bias]
     }

@@ -121,6 +121,18 @@ pub trait Layer: Send {
         }
     }
 
+    /// Visits every parameter immutably, in [`Layer::params`] order,
+    /// without materialising a `Vec` of references — the form state
+    /// snapshots use every round. The default delegates to `params`
+    /// (allocation-free only for parameter-less layers, whose empty
+    /// `Vec` never touches the heap); parameterized in-tree layers
+    /// override it.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
     /// Immutable views of the layer's parameters (possibly empty).
     fn params(&self) -> Vec<&Param>;
 

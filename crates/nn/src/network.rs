@@ -76,6 +76,13 @@ impl Network {
         self.body.visit_params_mut(f);
     }
 
+    /// Visits every parameter immutably in state-vector order without
+    /// materialising a `Vec` of references — the per-round form used by
+    /// state snapshots.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.body.visit_params(f);
+    }
+
     /// Immutable parameter views, in deterministic layer order.
     pub fn params(&self) -> Vec<&Param> {
         self.body.params()
@@ -88,7 +95,9 @@ impl Network {
 
     /// Total number of scalars in the state vector.
     pub fn state_len(&self) -> usize {
-        self.body.params().iter().map(|p| p.value.len()).sum()
+        let mut n = 0;
+        self.body.visit_params(&mut |p| n += p.value.len());
+        n
     }
 
     /// Number of *trainable* scalars (excludes frozen tracked state).
@@ -104,10 +113,18 @@ impl Network {
     /// Flattens all parameters (trainable + frozen) into one vector.
     pub fn state_vector(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.state_len());
-        for p in self.body.params() {
-            out.extend_from_slice(p.value.as_slice());
-        }
+        self.state_vector_into(&mut out);
         out
+    }
+
+    /// [`Network::state_vector`] into a caller-owned vector (cleared and
+    /// refilled) — allocation-free once the vector's capacity is warm,
+    /// for workers that upload their state every round.
+    pub fn state_vector_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.state_len());
+        self.body
+            .visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
     }
 
     /// Restores all parameters from a flattened state vector.
@@ -124,13 +141,13 @@ impl Network {
             state.len()
         );
         let mut offset = 0;
-        for p in self.body.params_mut() {
+        self.body.visit_params_mut(&mut |p| {
             let n = p.value.len();
             p.value
                 .as_mut_slice()
                 .copy_from_slice(&state[offset..offset + n]);
             offset += n;
-        }
+        });
     }
 
     /// Flattens all parameter *gradients* into one vector (same layout as

@@ -182,6 +182,29 @@ impl FusedSgd {
     pub fn reset(&mut self) {
         self.velocity.clear();
     }
+
+    /// Zeroes momentum state **in place**, keeping the velocity buffer —
+    /// bitwise identical to a freshly constructed optimizer (velocity
+    /// starts at zero either way) but allocation-free, for long-lived
+    /// workers that run one local training per round. Also re-arms the
+    /// hyperparameters for the coming run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid hyperparameters [`FusedSgd::new`]
+    /// rejects.
+    pub fn rearm(&mut self, lr: f32, momentum: f32) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        self.lr = lr;
+        self.momentum = momentum;
+        for v in &mut self.velocity {
+            *v = 0.0;
+        }
+    }
 }
 
 /// One fused `v ← β·v + g; w ← w − η·v` sweep over a parameter slice,

@@ -155,6 +155,13 @@ impl Layer for Residual {
         }
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.main.visit_params(f);
+        if let Some(proj) = &self.shortcut {
+            proj.visit_params(f);
+        }
+    }
+
     fn params(&self) -> Vec<&Param> {
         let mut p = self.main.params();
         if let Some(proj) = &self.shortcut {

@@ -154,6 +154,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
     fn params(&self) -> Vec<&Param> {
         self.layers.iter().flat_map(|l| l.params()).collect()
     }

@@ -95,11 +95,16 @@ fn serve<T: ServeTransport>(
             }
         }
         match coordinator.drain_unlearning(drain_seed(seed, r)) {
-            Ok(Some(u)) => println!(
-                "served {} unlearning request(s); post-unlearn accuracy {:.4}",
-                u.requests.len(),
-                u.round_accuracies.last().copied().unwrap_or(0.0)
-            ),
+            Ok(Some(u)) => {
+                let stats = coordinator.drain_stats();
+                println!(
+                    "round {r} drain: served {} unlearning request(s) (post-unlearn accuracy {:.4}; {} served across {} drains so far)",
+                    u.requests.len(),
+                    u.round_accuracies.last().copied().unwrap_or(0.0),
+                    stats.requests_served,
+                    stats.batches_served,
+                );
+            }
             Ok(None) => {}
             Err(e) => panic!("unlearning failed: {e}"),
         }
@@ -131,7 +136,7 @@ fn main() {
         seed: num("--seed", 42u64),
     };
     let rounds: usize = num("--rounds", 2);
-    let cfg = CoordinatorConfig {
+    let mut cfg = CoordinatorConfig {
         train: spec.train_config(),
         method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
             epochs: 1,
@@ -143,7 +148,13 @@ fn main() {
         unlearn_rounds: num("--unlearn-rounds", 1),
         init_seed: spec.seed.wrapping_add(1),
         threads: None,
-    };
+        ..CoordinatorConfig::default()
+    }
+    .with_update_window(num("--window", 0usize));
+    if let Some(ms) = value_of("--read-timeout-ms") {
+        let ms: u64 = ms.parse().expect("--read-timeout-ms expects milliseconds");
+        cfg = cfg.with_read_timeout(std::time::Duration::from_millis(ms));
+    }
     let state_len = (spec.factory())(0).state_len();
     println!(
         "goldfish-coordinator: {} clients x {} samples, {} rounds, {} params",

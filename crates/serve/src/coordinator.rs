@@ -19,17 +19,19 @@
 //! reproduces the loopback run bitwise (pinned by
 //! `crates/serve/tests/serve_identity.rs`).
 
+use std::time::Duration;
+
 use goldfish_core::{GoldfishUnlearning, UnlearnServer};
 use goldfish_data::Dataset;
-use goldfish_fed::aggregate::FedAvg;
 use goldfish_fed::trainer::TrainConfig;
-use goldfish_fed::transport::{RoundDriver, StateLenError, TrainAssign, TransportError};
+use goldfish_fed::transport::{RoundRuntime, StateLenError, TrainAssign, TransportError};
 use goldfish_fed::ModelFactory;
 
 use crate::queue::{UnlearnQueue, UnlearnRequest};
 use crate::transport::ServeTransport;
 
-/// Coordinator policy knobs.
+/// Coordinator policy knobs. Construct with [`CoordinatorConfig::default`]
+/// and the builder-style `with_*` methods.
 #[derive(Clone)]
 pub struct CoordinatorConfig {
     /// Local training hyperparameters broadcast each round.
@@ -42,6 +44,13 @@ pub struct CoordinatorConfig {
     pub init_seed: u64,
     /// Compute-pool override for server-side evaluation/aggregation.
     pub threads: Option<usize>,
+    /// Per-client reply deadline pushed onto the transport at
+    /// construction (`None` keeps the transport's own default).
+    pub read_timeout: Option<Duration>,
+    /// Maximum simultaneously resident (parked) updates per round in the
+    /// streaming aggregation; `0` = auto (the cohort size). Exceeding it
+    /// is the typed [`TransportError::UpdateWindowExceeded`].
+    pub update_window: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -52,8 +61,38 @@ impl Default for CoordinatorConfig {
             unlearn_rounds: 1,
             init_seed: 0,
             threads: None,
+            read_timeout: None,
+            update_window: 0,
         }
     }
+}
+
+impl CoordinatorConfig {
+    /// Sets the per-client reply deadline the coordinator installs on
+    /// its transport (replacing the transport's hard-coded default).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Caps simultaneously resident in-flight updates per round (`0` =
+    /// auto: the cohort size).
+    pub fn with_update_window(mut self, window: usize) -> Self {
+        self.update_window = window;
+        self
+    }
+}
+
+/// Running totals of the coordinator's drain phase (the unlearning
+/// queue's visibility counters, reported by `bench_serve`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Unlearning requests served across all drains.
+    pub requests_served: usize,
+    /// Drain batches executed (each serves a whole queue's worth).
+    pub batches_served: usize,
+    /// Requests served by the most recent drain.
+    pub last_batch_requests: usize,
 }
 
 /// Summary of one training round.
@@ -115,13 +154,11 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Per-round training seed of [`Coordinator::run`] — the same
-/// derivation `Federation::train_rounds` uses. One definition so
-/// daemons, tests and benchmarks replaying a schedule stay bitwise
-/// aligned with `run`.
-pub fn round_seed(base: u64, round: usize) -> u64 {
-    base.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9)
-}
+/// Per-round training seed of [`Coordinator::run`] — the shared
+/// derivation `Federation::train_rounds` uses (one definition, in
+/// `goldfish_fed::transport`, so daemons, tests and benchmarks replaying
+/// a schedule stay bitwise aligned with `run`).
+pub use goldfish_fed::transport::round_seed;
 
 /// Seed of the unlearning batch drained after training round `round` in
 /// [`Coordinator::run`].
@@ -136,22 +173,39 @@ pub struct Coordinator<T: ServeTransport> {
     test: Dataset,
     cfg: CoordinatorConfig,
     global: Vec<f32>,
+    /// Spare buffer the next round's aggregate lands in before the swap.
+    next_global: Vec<f32>,
     queue: UnlearnQueue,
     transport: T,
+    runtime: RoundRuntime,
+    drain_stats: DrainStats,
 }
 
 impl<T: ServeTransport> Coordinator<T> {
     /// Builds a coordinator; the initial global model comes from
-    /// `factory(cfg.init_seed)`.
-    pub fn new(factory: ModelFactory, test: Dataset, transport: T, cfg: CoordinatorConfig) -> Self {
+    /// `factory(cfg.init_seed)`. A configured `read_timeout` is pushed
+    /// onto the transport here.
+    pub fn new(
+        factory: ModelFactory,
+        test: Dataset,
+        mut transport: T,
+        cfg: CoordinatorConfig,
+    ) -> Self {
         let global = (factory)(cfg.init_seed).state_vector();
+        if let Some(timeout) = cfg.read_timeout {
+            transport.set_read_timeout(timeout);
+        }
+        let runtime = RoundRuntime::new(cfg.threads, cfg.update_window);
         Coordinator {
             factory,
             test,
             cfg,
             global,
+            next_global: Vec::new(),
             queue: UnlearnQueue::new(),
             transport,
+            runtime,
+            drain_stats: DrainStats::default(),
         }
     }
 
@@ -218,33 +272,73 @@ impl<T: ServeTransport> Coordinator<T> {
         Ok(())
     }
 
-    /// Runs one federated training round (FedAvg) over the transport.
+    /// Runs one federated training round (FedAvg) over the transport and
+    /// evaluates the new global model — [`Coordinator::train_round_hot`]
+    /// plus the per-round reporting.
     ///
     /// # Errors
     ///
     /// [`TransportError::NoLiveClients`] when nobody delivers.
     pub fn train_round(&mut self, round: usize, seed: u64) -> Result<RoundSummary, TransportError> {
-        let driver = RoundDriver {
-            factory: &self.factory,
-            test: &self.test,
-            threads: self.cfg.threads,
-            // FedAvg ignores upload MSE; skip the per-client eval.
-            eval_mse: false,
-            eval_clients: false,
-        };
+        self.train_round_hot(round, seed)?;
+        Ok(RoundSummary {
+            round,
+            global_accuracy: self.global_accuracy(),
+            client_sizes: self.runtime.last_cohort().iter().map(|&(_, n)| n).collect(),
+        })
+    }
+
+    /// The serving hot path: one federated training round (encode-once
+    /// broadcast, streaming FedAvg aggregation as updates arrive,
+    /// bounded resident-update window) with **no** evaluation or summary
+    /// allocation — a warm loopback coordinator runs this with zero heap
+    /// allocations (pinned by `tests/alloc_free_round.rs`). Bitwise
+    /// identical to [`Coordinator::train_round`]'s global result.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NoLiveClients`] when nobody delivers;
+    /// [`TransportError::UpdateWindowExceeded`] when arrivals overflow
+    /// the configured window.
+    pub fn train_round_hot(&mut self, round: usize, seed: u64) -> Result<(), TransportError> {
+        // The new global lands in a second reusable buffer (the assign
+        // borrows the current one), then the buffers swap.
+        let mut next = std::mem::take(&mut self.next_global);
+        let Coordinator {
+            cfg,
+            global,
+            transport,
+            runtime,
+            ..
+        } = self;
         let assign = TrainAssign {
             round,
             seed,
-            global: &self.global,
-            cfg: &self.cfg.train,
+            global,
+            cfg: &cfg.train,
         };
-        let driven = driver.run_round(&mut self.transport, &assign, &FedAvg)?;
-        self.global = driven.global;
-        Ok(RoundSummary {
-            round,
-            global_accuracy: driven.global_accuracy,
-            client_sizes: driven.client_sizes,
-        })
+        let outcome = runtime.run_hot(transport, &assign, &mut next);
+        match outcome {
+            Ok(()) => {
+                self.next_global = std::mem::replace(&mut self.global, next);
+                Ok(())
+            }
+            Err(e) => {
+                self.next_global = next;
+                Err(e)
+            }
+        }
+    }
+
+    /// Streaming-aggregation telemetry of the last round: the high-water
+    /// mark of simultaneously resident (parked + folding) updates.
+    pub fn peak_resident_updates(&self) -> usize {
+        self.runtime.peak_resident()
+    }
+
+    /// Drain-phase counters (unlearning requests served so far).
+    pub fn drain_stats(&self) -> DrainStats {
+        self.drain_stats
     }
 
     /// Drains the request queue and, if anything was pending, serves the
@@ -281,6 +375,9 @@ impl<T: ServeTransport> Coordinator<T> {
         match outcome {
             Ok(out) => {
                 self.global = out.global_state;
+                self.drain_stats.requests_served += requests.len();
+                self.drain_stats.batches_served += 1;
+                self.drain_stats.last_batch_requests = requests.len();
                 Ok(Some(UnlearnSummary {
                     requests,
                     round_accuracies: out.round_accuracies,
@@ -348,6 +445,7 @@ mod tests {
             unlearn_rounds: 1,
             init_seed: 1,
             threads: Some(2),
+            ..CoordinatorConfig::default()
         };
         Coordinator::new(spec.factory(), spec.test_set(), transport, cfg)
     }

@@ -7,19 +7,39 @@
 //! client that times out, disconnects, or answers out of protocol is
 //! dropped from the live set and reported as a typed
 //! [`TransportError`]; the round driver then re-rounds over the
-//! survivors (see `goldfish_fed::transport::collect_round`).
+//! survivors.
+//!
+//! Hot-path machinery (DESIGN.md §11):
+//!
+//! * **Encode-once broadcast** — round assignments and eval requests are
+//!   encoded a single time into a transport-owned reusable buffer
+//!   straight from the borrowed global state (no `Msg`, no state clone)
+//!   and the same bytes are written to every connection.
+//! * **Pooled frame buffers** — every connection owns a reusable payload
+//!   read buffer, and decoded update states go through a shared buffer
+//!   pool, so a steady-state round re-uses the same allocations.
+//! * **Streaming replies** — connection threads hand each decoded update
+//!   to the caller *as it arrives* over a channel, which is what lets
+//!   the coordinator's [`goldfish_fed::transport::RoundRuntime`] fold
+//!   updates while stragglers are still on the wire.
 
 use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use goldfish_core::transport::{DistillTransport, UnlearnJob};
 use goldfish_fed::aggregate::ClientUpdate;
-use goldfish_fed::transport::{RoundTransport, TrainAssign, TransportError};
+use goldfish_fed::transport::{
+    RoundTransport, StreamedUpdate, TrainAssign, TransportError, UpdateSink,
+};
 
 use crate::queue::UnlearnRequest;
 use crate::transport::{LocalEval, ServeTransport, WireStats};
 use crate::wire::{
-    encode_frame, err_code, read_frame, write_frame, FrameLimits, Msg, RoundMode, WireError,
+    decode_msg, decode_update_into, encode_eval_request_into, encode_round_assign_into,
+    encode_unlearn_assign_into, err_code, kind as wire_kind, read_raw_frame, write_frame,
+    FrameLimits, Msg, RoundMode, UpdateHeader, WireError,
 };
 
 /// Socket policy of a [`TcpTransport`].
@@ -28,7 +48,9 @@ pub struct TcpConfig {
     /// Frame-size limits (both directions).
     pub limits: FrameLimits,
     /// Per-reply read deadline; a worker exceeding it is dropped as a
-    /// straggler.
+    /// straggler. Reconfigurable after accept via
+    /// [`ServeTransport::set_read_timeout`] (the coordinator builder's
+    /// knob).
     pub read_timeout: Duration,
 }
 
@@ -46,6 +68,9 @@ impl Default for TcpConfig {
 struct Conn {
     stream: TcpStream,
     num_samples: usize,
+    /// Reusable payload read buffer — frames land here, so a
+    /// steady-state connection never allocates to receive.
+    rbuf: Vec<u8>,
 }
 
 /// The networked [`ServeTransport`]: a registry of worker connections
@@ -56,6 +81,36 @@ pub struct TcpTransport {
     cfg: TcpConfig,
     staged: Vec<UnlearnRequest>,
     stats: WireStats,
+    /// The encode-once broadcast frame, reused round after round.
+    bcast: Vec<u8>,
+    /// Per-client frame buffers for fan-outs whose frames differ per
+    /// client (`UnlearnAssign`), reused across requests.
+    assign_bufs: Vec<Vec<u8>>,
+    /// Pool of decoded-update state buffers, refilled after each fold.
+    state_pool: Mutex<Vec<Vec<f32>>>,
+}
+
+/// One round-shaped fan-out's borrowed parameters (train or distill).
+struct RoundSpec<'a> {
+    mode: RoundMode,
+    round: u64,
+    seed: u64,
+    cfg: &'a goldfish_fed::trainer::TrainConfig,
+    global: &'a [f32],
+}
+
+/// A decoded worker reply leaving a connection thread.
+enum Reply {
+    /// `Update` / `UnlearnResult` with the state decoded into a pooled
+    /// buffer.
+    Update {
+        header: UpdateHeader,
+        state: Vec<f32>,
+    },
+    /// An `Eval` reply's metrics.
+    Eval { accuracy: f64, mse: f64 },
+    /// A bare acknowledgement.
+    Ack,
 }
 
 impl TcpTransport {
@@ -75,12 +130,15 @@ impl TcpTransport {
     ) -> Result<TcpTransport, WireError> {
         let mut conns: Vec<Option<Conn>> = (0..expected).map(|_| None).collect();
         let mut registered = 0;
+        let mut rbuf = Vec::new();
         while registered < expected {
             let (mut stream, _) = listener.accept()?;
             stream.set_nodelay(true).ok();
             stream.set_read_timeout(Some(cfg.read_timeout)).ok();
-            let hello = match read_frame(&mut stream, &cfg.limits) {
-                Ok((msg, _)) => msg,
+            let hello = match read_raw_frame(&mut stream, &mut rbuf, &cfg.limits)
+                .and_then(|(kind, _)| decode_msg(kind, &rbuf))
+            {
+                Ok(msg) => msg,
                 Err(_) => continue, // bad opener; next candidate
             };
             let Msg::Hello {
@@ -133,6 +191,7 @@ impl TcpTransport {
             conns[id] = Some(Conn {
                 stream,
                 num_samples: num_samples as usize,
+                rbuf: Vec::new(),
             });
             registered += 1;
         }
@@ -141,6 +200,9 @@ impl TcpTransport {
             cfg,
             staged: Vec::new(),
             stats: WireStats::default(),
+            bcast: Vec::new(),
+            assign_bufs: Vec::new(),
+            state_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -153,57 +215,33 @@ impl TcpTransport {
             .collect()
     }
 
-    /// Broadcasts one message to every live worker and reads one reply
-    /// each, concurrently (one thread per connection). The frame is
-    /// **encoded once** and the bytes shared across connections — round
-    /// assignments are identical per client, so per-worker
-    /// re-serialization of the (large) global-state payload would be
-    /// pure waste. Failed connections are dropped from the live set and
-    /// reported as errors.
-    fn broadcast(
-        &mut self,
-        msg: &Msg,
-        parse: impl Fn(usize, Msg) -> Result<ClientUpdateOrMsg, TransportError> + Sync,
-    ) -> Vec<Result<ClientUpdateOrMsg, TransportError>> {
-        match encode_frame(msg, &self.cfg.limits) {
-            Ok(frame) => {
-                let frame = std::sync::Arc::new(frame);
-                let frames: Vec<Option<std::sync::Arc<Vec<u8>>>> = self
-                    .conns
-                    .iter()
-                    .map(|c| c.as_ref().map(|_| std::sync::Arc::clone(&frame)))
-                    .collect();
-                self.exchange(frames, parse)
-            }
-            Err(e) => self
-                .live_clients()
-                .into_iter()
-                .map(|id| Err(map_wire_error(id, e.clone())))
-                .collect(),
-        }
-    }
-
-    /// Sends `frames[id]` (one pre-encoded frame per live connection) and
-    /// reads one reply each, concurrently. The engine behind
-    /// [`TcpTransport::broadcast`] and the per-client `UnlearnAssign`
-    /// fan-out.
-    fn exchange(
-        &mut self,
-        frames: Vec<Option<std::sync::Arc<Vec<u8>>>>,
-        parse: impl Fn(usize, Msg) -> Result<ClientUpdateOrMsg, TransportError> + Sync,
-    ) -> Vec<Result<ClientUpdateOrMsg, TransportError>> {
+    /// The fan-out engine: writes `frames[id]` to every live connection
+    /// with a frame, reads one reply each (concurrently, one thread per
+    /// connection), and hands each decoded reply to `on_reply` **as it
+    /// arrives** on the coordinating thread. Failed connections are
+    /// dropped from the live set afterwards. Wire bytes are tallied into
+    /// `self.stats`.
+    fn fan_out(
+        conns: &mut [Option<Conn>],
+        stats: &mut WireStats,
+        limits: FrameLimits,
+        state_pool: &Mutex<Vec<Vec<f32>>>,
+        frames: &[Option<&[u8]>],
+        mut on_reply: impl FnMut(usize, Result<Reply, TransportError>),
+    ) {
         use std::io::Write;
-        let limits = self.cfg.limits;
-        let mut outcomes: Vec<(usize, Result<ClientUpdateOrMsg, TransportError>, u64, u64)> =
-            Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        let (mut sent_total, mut recv_total) = (0u64, 0u64);
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for ((id, slot), frame) in self.conns.iter_mut().enumerate().zip(&frames) {
-                let (Some(conn), Some(frame)) = (slot.as_mut(), frame) else {
+            let (tx, rx) = mpsc::channel::<(usize, Result<Reply, TransportError>, u64, u64)>();
+            let mut spawned = 0usize;
+            for (id, slot) in conns.iter_mut().enumerate() {
+                let (Some(conn), Some(frame)) = (slot.as_mut(), frames.get(id).copied().flatten())
+                else {
                     continue;
                 };
-                let parse = &parse;
-                handles.push(scope.spawn(move || {
+                let tx = tx.clone();
+                scope.spawn(move || {
                     let mut sent = 0u64;
                     let mut received = 0u64;
                     let result = (|| {
@@ -212,45 +250,269 @@ impl TcpTransport {
                             .and_then(|()| conn.stream.flush())
                             .map_err(|e| map_wire_error(id, WireError::from(e)))?;
                         sent = frame.len() as u64;
-                        let (reply, n) = read_frame(&mut conn.stream, &limits)
+                        let (kind, n) = read_raw_frame(&mut conn.stream, &mut conn.rbuf, &limits)
                             .map_err(|e| map_wire_error(id, e))?;
                         received = n as u64;
-                        if let Msg::Err { code, detail } = reply {
-                            return Err(TransportError::Protocol {
-                                client_id: id,
-                                reason: format!("worker error code {code}: {detail}"),
-                            });
+                        match kind {
+                            // Update / UnlearnResult: decode the state
+                            // straight into a pooled buffer.
+                            wire_kind::UPDATE | wire_kind::UNLEARN_RESULT => {
+                                let mut state = state_pool
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .pop()
+                                    .unwrap_or_default();
+                                match decode_update_into(kind, &conn.rbuf, &mut state) {
+                                    Ok(header) => Ok(Reply::Update { header, state }),
+                                    Err(e) => {
+                                        // Failed decodes return their
+                                        // buffer too, or the pool leaks.
+                                        state_pool
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner())
+                                            .push(state);
+                                        Err(map_wire_error(id, e))
+                                    }
+                                }
+                            }
+                            _ => match decode_msg(kind, &conn.rbuf)
+                                .map_err(|e| map_wire_error(id, e))?
+                            {
+                                Msg::Err { code, detail } => Err(TransportError::Protocol {
+                                    client_id: id,
+                                    reason: format!("worker error code {code}: {detail}"),
+                                }),
+                                Msg::Eval { accuracy, mse, .. } => {
+                                    Ok(Reply::Eval { accuracy, mse })
+                                }
+                                Msg::Ack => Ok(Reply::Ack),
+                                other => Err(TransportError::Protocol {
+                                    client_id: id,
+                                    reason: format!("unexpected {} from worker", other.name()),
+                                }),
+                            },
                         }
-                        parse(id, reply)
                     })();
-                    (id, result, sent, received)
-                }));
+                    // The receiver outlives the scope; a send can only
+                    // fail if the coordinating thread panicked.
+                    let _ = tx.send((id, result, sent, received));
+                });
+                spawned += 1;
             }
-            for h in handles {
-                outcomes.push(h.join().expect("connection thread panicked"));
+            drop(tx);
+            // Stream replies to the caller in arrival order — this is
+            // where aggregation overlaps with stragglers' I/O.
+            for _ in 0..spawned {
+                let (id, result, sent, received) =
+                    rx.recv().expect("connection thread panicked before send");
+                sent_total += sent;
+                recv_total += received;
+                if result.is_err() {
+                    failed.push(id);
+                }
+                on_reply(id, result);
             }
         });
-        outcomes.sort_by_key(|(id, ..)| *id);
-        let mut results = Vec::with_capacity(outcomes.len());
-        for (id, result, sent, received) in outcomes {
-            self.stats.bytes_sent += sent;
-            self.stats.bytes_received += received;
-            if result.is_err() {
-                // Straggler / lost / misbehaving worker: drop it.
-                self.conns[id] = None;
-            }
-            results.push(result);
+        stats.bytes_sent += sent_total;
+        stats.bytes_received += recv_total;
+        for id in failed {
+            // Straggler / lost / misbehaving worker: drop it.
+            conns[id] = None;
         }
-        results
+    }
+
+    /// Broadcast form of [`TcpTransport::fan_out`]: one shared,
+    /// encoded-once frame to every live connection.
+    fn broadcast(
+        conns: &mut [Option<Conn>],
+        stats: &mut WireStats,
+        limits: FrameLimits,
+        state_pool: &Mutex<Vec<Vec<f32>>>,
+        frame: &[u8],
+        on_reply: impl FnMut(usize, Result<Reply, TransportError>),
+    ) {
+        let frames: Vec<Option<&[u8]>> = conns.iter().map(|c| c.as_ref().map(|_| frame)).collect();
+        Self::fan_out(conns, stats, limits, state_pool, &frames, on_reply);
+    }
+
+    /// Runs a round-shaped fan-out (train or distill) feeding `sink` as
+    /// updates arrive, recording per-client outcomes into `results`
+    /// (sorted by client id).
+    fn round_streamed(
+        &mut self,
+        spec: &RoundSpec<'_>,
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<(usize, Result<(), TransportError>)>,
+    ) {
+        results.clear();
+        let round = spec.round;
+        let want_distill = matches!(spec.mode, RoundMode::Distill);
+        if let Err(e) = encode_round_assign_into(
+            &mut self.bcast,
+            spec.mode,
+            spec.round,
+            spec.seed,
+            spec.cfg,
+            spec.global,
+            &self.cfg.limits,
+        ) {
+            results.extend(
+                self.live_clients()
+                    .into_iter()
+                    .map(|id| (id, Err(map_wire_error(id, e.clone())))),
+            );
+            return;
+        }
+        let TcpTransport {
+            conns,
+            cfg,
+            stats,
+            bcast,
+            state_pool,
+            ..
+        } = self;
+        let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
+        let mut outcomes: Vec<(usize, Result<(), TransportError>)> = Vec::new();
+        Self::broadcast(conns, stats, cfg.limits, state_pool, bcast, |id, reply| {
+            let outcome = reply.and_then(|r| match r {
+                Reply::Update { header, state } => {
+                    let result =
+                        check_update_header(id, &header, round, want_distill).and_then(|()| {
+                            sink(StreamedUpdate {
+                                client_id: id,
+                                num_samples: header.weight as usize,
+                                state: &state,
+                            })
+                        });
+                    state_pool
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(state);
+                    result
+                }
+                _ => Err(TransportError::Protocol {
+                    client_id: id,
+                    reason: "expected a round result".into(),
+                }),
+            });
+            outcomes.push((id, outcome));
+        });
+        self.drop_failed_and_sort(&mut outcomes);
+        results.append(&mut outcomes);
+    }
+
+    /// Drops the connections of clients whose round outcome was **their
+    /// fault** (straggling, disconnecting, answering out of protocol)
+    /// and sorts outcomes by client id. A
+    /// [`TransportError::UpdateWindowExceeded`] is the coordinator's own
+    /// capacity policy — the worker answered correctly — so its
+    /// connection is kept and the error propagates to the caller
+    /// instead of silently shrinking the fleet.
+    fn drop_failed_and_sort<T>(&mut self, outcomes: &mut [(usize, Result<T, TransportError>)]) {
+        for (id, outcome) in outcomes.iter() {
+            if let Err(e) = outcome {
+                if !matches!(e, TransportError::UpdateWindowExceeded { .. }) {
+                    self.conns[*id] = None;
+                }
+            }
+        }
+        outcomes.sort_by_key(|(id, _)| *id);
+    }
+
+    /// Buffered round collection (the [`RoundTransport::train_round`] /
+    /// [`DistillTransport::distill_round`] contract).
+    fn round_buffered(
+        &mut self,
+        spec: &RoundSpec<'_>,
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        let mut updates: Vec<(usize, Result<ClientUpdate, TransportError>)> = Vec::new();
+        let round = spec.round;
+        let want_distill = matches!(spec.mode, RoundMode::Distill);
+        if let Err(e) = encode_round_assign_into(
+            &mut self.bcast,
+            spec.mode,
+            spec.round,
+            spec.seed,
+            spec.cfg,
+            spec.global,
+            &self.cfg.limits,
+        ) {
+            return self
+                .live_clients()
+                .into_iter()
+                .map(|id| Err(map_wire_error(id, e.clone())))
+                .collect();
+        }
+        let TcpTransport {
+            conns,
+            cfg: tcp_cfg,
+            stats,
+            bcast,
+            state_pool,
+            ..
+        } = self;
+        let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
+        Self::broadcast(
+            conns,
+            stats,
+            tcp_cfg.limits,
+            state_pool,
+            bcast,
+            |id, reply| {
+                let outcome = reply.and_then(|r| match r {
+                    Reply::Update { header, state } => {
+                        match check_update_header(id, &header, round, want_distill) {
+                            // The delivered state leaves the pool with
+                            // the update (the buffered contract hands
+                            // ownership to the caller)…
+                            Ok(()) => Ok(ClientUpdate {
+                                client_id: id,
+                                state,
+                                num_samples: header.weight as usize,
+                                server_mse: None,
+                            }),
+                            // …but a rejected one returns its buffer.
+                            Err(e) => {
+                                state_pool
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(state);
+                                Err(e)
+                            }
+                        }
+                    }
+                    _ => Err(TransportError::Protocol {
+                        client_id: id,
+                        reason: "expected a round result".into(),
+                    }),
+                });
+                updates.push((id, outcome));
+            },
+        );
+        self.drop_failed_and_sort(&mut updates);
+        updates.into_iter().map(|(_, u)| u).collect()
     }
 }
 
-/// A parsed worker reply: a round update, a local evaluation, or an
-/// acknowledgement from the given client.
-enum ClientUpdateOrMsg {
-    Update(ClientUpdate),
-    Eval(LocalEval),
-    Ack(usize),
+/// Validates an `Update`/`UnlearnResult` header against the round it
+/// answers (shared by the streamed and buffered collection paths, so
+/// they can never diverge in what they accept).
+fn check_update_header(
+    id: usize,
+    header: &UpdateHeader,
+    round: u64,
+    want_distill: bool,
+) -> Result<(), TransportError> {
+    if header.distill == want_distill && header.round == round && header.client_id as usize == id {
+        return Ok(());
+    }
+    Err(TransportError::Protocol {
+        client_id: id,
+        reason: format!(
+            "reply mismatch: round {} (want {round}), client {} (want {id}), distill {} (want {want_distill})",
+            header.round, header.client_id, header.distill
+        ),
+    })
 }
 
 fn map_wire_error(client_id: usize, e: WireError) -> TransportError {
@@ -271,78 +533,54 @@ fn map_wire_error(client_id: usize, e: WireError) -> TransportError {
     }
 }
 
-fn expect_update(
-    id: usize,
-    reply: Msg,
-    want_round: u64,
-    distill: bool,
-) -> Result<ClientUpdateOrMsg, TransportError> {
-    let (round, client_id, weight, state, got_distill) = match reply {
-        Msg::Update {
-            round,
-            client_id,
-            weight,
-            state,
-        } => (round, client_id, weight, state, false),
-        Msg::UnlearnResult {
-            round,
-            client_id,
-            weight,
-            state,
-        } => (round, client_id, weight, state, true),
-        other => {
-            return Err(TransportError::Protocol {
-                client_id: id,
-                reason: format!("expected a round result, got {}", other.name()),
-            })
-        }
-    };
-    if got_distill != distill || round != want_round || client_id as usize != id {
-        return Err(TransportError::Protocol {
-            client_id: id,
-            reason: format!(
-                "reply mismatch: round {round} (want {want_round}), client {client_id} (want {id}), distill {got_distill} (want {distill})"
-            ),
-        });
-    }
-    Ok(ClientUpdateOrMsg::Update(ClientUpdate {
-        client_id: id,
-        state,
-        num_samples: weight as usize,
-        server_mse: None,
-    }))
-}
-
-fn unwrap_update(
-    r: Result<ClientUpdateOrMsg, TransportError>,
-) -> Result<ClientUpdate, TransportError> {
-    r.map(|v| match v {
-        ClientUpdateOrMsg::Update(u) => u,
-        _ => unreachable!("parser produced a non-update"),
-    })
-}
-
 impl RoundTransport for TcpTransport {
     fn num_clients(&self) -> usize {
         self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+        out.clear();
+        out.extend(
+            self.conns
+                .iter()
+                .enumerate()
+                .filter_map(|(id, c)| c.as_ref().map(|c| (id, c.num_samples))),
+        );
     }
 
     fn train_round(
         &mut self,
         assign: &TrainAssign<'_>,
     ) -> Vec<Result<ClientUpdate, TransportError>> {
-        let round = assign.round as u64;
-        let msg = Msg::RoundAssign {
+        self.round_buffered(&RoundSpec {
             mode: RoundMode::Train,
-            round,
+            round: assign.round as u64,
             seed: assign.seed,
-            cfg: *assign.cfg,
-            global: assign.global.to_vec(),
-        };
-        self.broadcast(&msg, |id, reply| expect_update(id, reply, round, false))
-            .into_iter()
-            .map(unwrap_update)
-            .collect()
+            cfg: assign.cfg,
+            global: assign.global,
+        })
+    }
+
+    fn train_round_streamed(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        let mut outcomes = Vec::new();
+        self.round_streamed(
+            &RoundSpec {
+                mode: RoundMode::Train,
+                round: assign.round as u64,
+                seed: assign.seed,
+                cfg: assign.cfg,
+                global: assign.global,
+            },
+            sink,
+            &mut outcomes,
+        );
+        results.clear();
+        results.extend(outcomes.into_iter().map(|(_, r)| r));
     }
 }
 
@@ -374,56 +612,93 @@ impl DistillTransport for TcpTransport {
             }
         }
         // Frames differ per client only in the (tiny) removed-index
-        // list; encode each against the live set.
-        let mut frames: Vec<Option<std::sync::Arc<Vec<u8>>>> = Vec::with_capacity(self.conns.len());
+        // list; encode each against the live set into the reusable
+        // per-client buffers — the (large) teacher state is borrowed
+        // straight into every frame, never cloned.
+        while self.assign_bufs.len() < self.conns.len() {
+            self.assign_bufs.push(Vec::new());
+        }
+        static NO_REMOVALS: &[usize] = &[];
         for (id, slot) in self.conns.iter().enumerate() {
             if slot.is_none() {
-                frames.push(None);
                 continue;
             }
-            let removed: Vec<u64> = staged
+            let removed: &[usize] = staged
                 .iter()
                 .find(|r| r.client_id == id)
-                .map(|r| r.removed.iter().map(|&i| i as u64).collect())
-                .unwrap_or_default();
-            let msg = Msg::UnlearnAssign {
-                job: *job,
+                .map(|r| r.removed.as_slice())
+                .unwrap_or(NO_REMOVALS);
+            encode_unlearn_assign_into(
+                &mut self.assign_bufs[id],
+                job,
                 removed,
-                teacher: teacher.to_vec(),
-            };
-            let frame = encode_frame(&msg, &self.cfg.limits).map_err(|e| map_wire_error(id, e))?;
-            frames.push(Some(std::sync::Arc::new(frame)));
+                teacher,
+                &self.cfg.limits,
+            )
+            .map_err(|e| map_wire_error(id, e))?;
         }
-        let results = self.exchange(frames, |id, reply| match reply {
-            Msg::Ack => Ok(ClientUpdateOrMsg::Ack(id)),
-            other => Err(TransportError::Protocol {
-                client_id: id,
-                reason: format!("expected an UnlearnAssign ack, got {}", other.name()),
-            }),
-        });
-        if results.iter().all(|r| r.is_err()) {
+        let TcpTransport {
+            conns,
+            cfg,
+            stats,
+            assign_bufs,
+            state_pool,
+            ..
+        } = self;
+        let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
+        let frames: Vec<Option<&[u8]>> = conns
+            .iter()
+            .enumerate()
+            .map(|(id, c)| c.as_ref().map(|_| assign_bufs[id].as_slice()))
+            .collect();
+        let mut results: Vec<(usize, Result<(), TransportError>)> = Vec::new();
+        Self::fan_out(
+            conns,
+            stats,
+            cfg.limits,
+            state_pool,
+            &frames,
+            |id, reply| {
+                let outcome = reply.and_then(|r| match r {
+                    Reply::Ack => Ok(()),
+                    Reply::Update { state, .. } => {
+                        state_pool
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(state);
+                        Err(TransportError::Protocol {
+                            client_id: id,
+                            reason: "expected an UnlearnAssign ack, got a round result".into(),
+                        })
+                    }
+                    Reply::Eval { .. } => Err(TransportError::Protocol {
+                        client_id: id,
+                        reason: "expected an UnlearnAssign ack, got Eval".into(),
+                    }),
+                });
+                results.push((id, outcome));
+            },
+        );
+        self.drop_failed_and_sort(&mut results);
+        if results.iter().all(|(_, r)| r.is_err()) {
             return Err(TransportError::NoLiveClients);
         }
         // A client whose *own* deletion request did not land must fail
         // the whole pass — otherwise the coordinator would report the
         // request as served while the data survives. (Intact clients
         // that dropped are mere stragglers; the survivors distill on.)
-        let acked: Vec<usize> = results
-            .iter()
-            .filter_map(|r| match r {
-                Ok(ClientUpdateOrMsg::Ack(id)) => Some(*id),
-                _ => None,
-            })
-            .collect();
         for req in &staged {
             if req.removed.is_empty() {
                 continue;
             }
-            if !acked.contains(&req.client_id) {
+            let acked = results
+                .iter()
+                .any(|(id, r)| *id == req.client_id && r.is_ok());
+            if !acked {
                 let failure = results
                     .iter()
-                    .find_map(|r| match r {
-                        Err(e) if e.client_id() == Some(req.client_id) => Some(e.clone()),
+                    .find_map(|(id, r)| match r {
+                        Err(e) if *id == req.client_id => Some(e.clone()),
                         _ => None,
                     })
                     .unwrap_or(TransportError::Disconnected {
@@ -433,7 +708,8 @@ impl DistillTransport for TcpTransport {
                 return Err(failure);
             }
             // The worker applied the deletion permanently; keep the
-            // registry's sample counts (request validation) in sync.
+            // registry's sample counts (request validation, aggregation
+            // weights) in sync.
             if let Some(conn) = self.conns[req.client_id].as_mut() {
                 conn.num_samples = conn.num_samples.saturating_sub(req.removed.len());
             }
@@ -447,20 +723,15 @@ impl DistillTransport for TcpTransport {
         seed: u64,
         global: &[f32],
     ) -> Vec<Result<ClientUpdate, TransportError>> {
-        let round = round as u64;
         // cfg travels for frame uniformity but is ignored by distill
         // workers (the job shipped it already).
-        let msg = Msg::RoundAssign {
+        self.round_buffered(&RoundSpec {
             mode: RoundMode::Distill,
-            round,
+            round: round as u64,
             seed,
-            cfg: goldfish_fed::trainer::TrainConfig::default(),
-            global: global.to_vec(),
-        };
-        self.broadcast(&msg, |id, reply| expect_update(id, reply, round, true))
-            .into_iter()
-            .map(unwrap_update)
-            .collect()
+            cfg: &goldfish_fed::trainer::TrainConfig::default(),
+            global,
+        })
     }
 }
 
@@ -476,37 +747,63 @@ impl ServeTransport for TcpTransport {
         self.staged = requests.to_vec();
     }
 
+    fn set_read_timeout(&mut self, timeout: Duration) {
+        self.cfg.read_timeout = timeout;
+        for conn in self.conns.iter_mut().flatten() {
+            conn.stream.set_read_timeout(Some(timeout)).ok();
+        }
+    }
+
     fn local_eval(
         &mut self,
         round: usize,
         global: &[f32],
     ) -> Vec<Result<LocalEval, TransportError>> {
-        let round = round as u64;
-        let msg = Msg::Eval {
-            round,
-            accuracy: 0.0,
-            mse: 0.0,
-            global: global.to_vec(),
-        };
-        self.broadcast(&msg, |id, reply| match reply {
-            Msg::Eval { accuracy, mse, .. } => Ok(ClientUpdateOrMsg::Eval(LocalEval {
-                client_id: id,
-                accuracy,
-                mse,
-            })),
-            other => Err(TransportError::Protocol {
-                client_id: id,
-                reason: format!("expected an Eval reply, got {}", other.name()),
-            }),
-        })
-        .into_iter()
-        .map(|r| {
-            r.map(|v| match v {
-                ClientUpdateOrMsg::Eval(e) => e,
-                _ => unreachable!("parser produced a non-eval"),
-            })
-        })
-        .collect()
+        if let Err(e) =
+            encode_eval_request_into(&mut self.bcast, round as u64, global, &self.cfg.limits)
+        {
+            return self
+                .live_clients()
+                .into_iter()
+                .map(|id| Err(map_wire_error(id, e.clone())))
+                .collect();
+        }
+        let TcpTransport {
+            conns,
+            cfg,
+            stats,
+            bcast,
+            state_pool,
+            ..
+        } = self;
+        let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
+        let mut evals: Vec<(usize, Result<LocalEval, TransportError>)> = Vec::new();
+        Self::broadcast(conns, stats, cfg.limits, state_pool, bcast, |id, reply| {
+            let outcome = reply.and_then(|r| match r {
+                Reply::Eval { accuracy, mse } => Ok(LocalEval {
+                    client_id: id,
+                    accuracy,
+                    mse,
+                }),
+                Reply::Update { state, .. } => {
+                    state_pool
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(state);
+                    Err(TransportError::Protocol {
+                        client_id: id,
+                        reason: "expected an Eval reply, got a round result".into(),
+                    })
+                }
+                Reply::Ack => Err(TransportError::Protocol {
+                    client_id: id,
+                    reason: "expected an Eval reply, got Ack".into(),
+                }),
+            });
+            evals.push((id, outcome));
+        });
+        self.drop_failed_and_sort(&mut evals);
+        evals.into_iter().map(|(_, e)| e).collect()
     }
 
     fn wire_stats(&self) -> WireStats {

@@ -20,8 +20,15 @@ use goldfish_core::transport::{DistillTransport, LoopbackDistill, UnlearnJob};
 use goldfish_core::ClientSplit;
 use goldfish_data::Dataset;
 use goldfish_fed::aggregate::ClientUpdate;
-use goldfish_fed::transport::{LoopbackClients, RoundTransport, TrainAssign, TransportError};
+use goldfish_fed::trainer::{train_local_hot, TrainWorkspace};
+use goldfish_fed::transport::{
+    client_seed, LoopbackClients, RoundTransport, StreamedUpdate, TrainAssign, TransportError,
+    UpdateSink,
+};
 use goldfish_fed::{eval, pool, ModelFactory};
+use goldfish_nn::loss::CrossEntropy;
+use goldfish_nn::optim::FusedSgd;
+use goldfish_nn::Network;
 
 use crate::queue::UnlearnRequest;
 
@@ -70,14 +77,53 @@ pub trait ServeTransport: RoundTransport + DistillTransport {
         global: &[f32],
     ) -> Vec<Result<LocalEval, TransportError>>;
 
+    /// Reconfigures the per-client reply deadline (the coordinator
+    /// builder's straggler knob). No-op for transports without one.
+    fn set_read_timeout(&mut self, timeout: std::time::Duration) {
+        let _ = timeout;
+    }
+
     /// Wire-traffic counters since construction.
     fn wire_stats(&self) -> WireStats;
 }
 
-/// The in-process [`ServeTransport`]: owns every client's dataset and
-/// delegates execution to the library's loopback executors
-/// ([`LoopbackClients`] for training rounds, [`LoopbackDistill`] for
-/// distillation rounds). The reference implementation every TCP run is
+/// One client's long-lived in-process worker: a network whose arenas,
+/// batch-gather buffers and optimizer velocity persist across rounds, so
+/// a steady-state training round performs **zero heap allocations** (the
+/// ISSUE-5 loopback hot path, pinned by `tests/alloc_free_round.rs`).
+///
+/// Reuse is bitwise safe: every round starts by installing the broadcast
+/// global via `set_state_vector`, which overwrites the *entire* state —
+/// trainable parameters and frozen tracked state (BatchNorm running
+/// statistics) alike — so a reused network is indistinguishable from the
+/// fresh `factory(seed)` the per-round path used to build.
+struct LoopbackWorker {
+    net: Network,
+    ws: TrainWorkspace,
+    sgd: FusedSgd,
+    state: Vec<f32>,
+}
+
+impl LoopbackWorker {
+    fn new(factory: &ModelFactory) -> Self {
+        LoopbackWorker {
+            net: (factory)(0),
+            ws: TrainWorkspace::new(),
+            // Placeholder hyperparameters; re-armed from the round's
+            // TrainConfig before every local run.
+            sgd: FusedSgd::new(1.0, 0.0),
+            state: Vec::new(),
+        }
+    }
+}
+
+/// The in-process [`ServeTransport`]: owns every client's dataset and a
+/// pool of persistent [`LoopbackWorker`]s. Training rounds run the same
+/// per-client compute as the library's [`LoopbackClients`] executor
+/// (bitwise identical — pinned by `serve_identity`), but through
+/// long-lived workers feeding the streaming aggregation sink, so a warm
+/// round never touches the allocator. Distillation rounds delegate to
+/// [`LoopbackDistill`]. The reference implementation every TCP run is
 /// checked against.
 pub struct LoopbackTransport {
     factory: ModelFactory,
@@ -85,6 +131,7 @@ pub struct LoopbackTransport {
     threads: Option<usize>,
     staged: Vec<UnlearnRequest>,
     distill: Option<LoopbackDistill>,
+    workers: Vec<LoopbackWorker>,
 }
 
 impl LoopbackTransport {
@@ -96,6 +143,7 @@ impl LoopbackTransport {
             threads,
             staged: Vec::new(),
             distill: None,
+            workers: Vec::new(),
         }
     }
 }
@@ -105,11 +153,56 @@ impl RoundTransport for LoopbackTransport {
         self.clients.len()
     }
 
+    fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+        out.clear();
+        out.extend(self.clients.iter().enumerate().map(|(id, d)| (id, d.len())));
+    }
+
     fn train_round(
         &mut self,
         assign: &TrainAssign<'_>,
     ) -> Vec<Result<ClientUpdate, TransportError>> {
         LoopbackClients::new(&self.factory, &self.clients, self.threads).train_round(assign)
+    }
+
+    fn train_round_streamed(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        while self.workers.len() < self.clients.len() {
+            self.workers.push(LoopbackWorker::new(&self.factory));
+        }
+        self.workers.truncate(self.clients.len());
+        let clients = &self.clients;
+        let workers = &mut self.workers;
+        pool::install(self.threads, || {
+            pool::for_each_slot(workers, |id, w| {
+                let seed = client_seed(assign.seed, id, assign.round);
+                w.net.set_state_vector(assign.global);
+                train_local_hot(
+                    &mut w.net,
+                    &clients[id],
+                    assign.cfg,
+                    &CrossEntropy,
+                    seed,
+                    &mut w.ws,
+                    &mut w.sgd,
+                );
+                w.net.state_vector_into(&mut w.state);
+            });
+        });
+        // Feed in client-id order: the aggregation frontier folds every
+        // update on arrival, so nothing is ever parked on loopback.
+        results.clear();
+        results.extend(self.workers.iter().enumerate().map(|(id, w)| {
+            sink(StreamedUpdate {
+                client_id: id,
+                num_samples: clients[id].len(),
+                state: &w.state,
+            })
+        }));
     }
 }
 

@@ -25,7 +25,7 @@
 //! buffer each produce a distinct [`WireError`] — no panic, no partial
 //! message.
 
-use bytes::{Buf, BufMut, Bytes};
+use bytes::BufMut;
 use goldfish_core::basic_model::GoldfishLocalConfig;
 use goldfish_core::extension::AdaptiveTemperature;
 use goldfish_core::loss::LossWeights;
@@ -132,6 +132,31 @@ impl From<std::io::Error> for WireError {
             detail: e.to_string(),
         }
     }
+}
+
+/// Frame kind bytes — the one place a message's wire kind is assigned.
+/// [`Msg::kind`], the payload decoders and the borrowed encoders all
+/// reference these, so adding or renumbering a message is a one-site
+/// change.
+pub mod kind {
+    /// [`super::Msg::Hello`].
+    pub const HELLO: u8 = 1;
+    /// [`super::Msg::Capabilities`].
+    pub const CAPABILITIES: u8 = 2;
+    /// [`super::Msg::RoundAssign`].
+    pub const ROUND_ASSIGN: u8 = 3;
+    /// [`super::Msg::Update`].
+    pub const UPDATE: u8 = 4;
+    /// [`super::Msg::UnlearnAssign`].
+    pub const UNLEARN_ASSIGN: u8 = 5;
+    /// [`super::Msg::UnlearnResult`].
+    pub const UNLEARN_RESULT: u8 = 6;
+    /// [`super::Msg::Eval`].
+    pub const EVAL: u8 = 7;
+    /// [`super::Msg::Err`].
+    pub const ERR: u8 = 8;
+    /// [`super::Msg::Ack`].
+    pub const ACK: u8 = 9;
 }
 
 /// Error codes carried by [`Msg::Err`].
@@ -258,15 +283,15 @@ impl Msg {
     /// The frame kind byte of this message.
     pub fn kind(&self) -> u8 {
         match self {
-            Msg::Hello { .. } => 1,
-            Msg::Capabilities { .. } => 2,
-            Msg::RoundAssign { .. } => 3,
-            Msg::Update { .. } => 4,
-            Msg::UnlearnAssign { .. } => 5,
-            Msg::UnlearnResult { .. } => 6,
-            Msg::Eval { .. } => 7,
-            Msg::Err { .. } => 8,
-            Msg::Ack => 9,
+            Msg::Hello { .. } => kind::HELLO,
+            Msg::Capabilities { .. } => kind::CAPABILITIES,
+            Msg::RoundAssign { .. } => kind::ROUND_ASSIGN,
+            Msg::Update { .. } => kind::UPDATE,
+            Msg::UnlearnAssign { .. } => kind::UNLEARN_ASSIGN,
+            Msg::UnlearnResult { .. } => kind::UNLEARN_RESULT,
+            Msg::Eval { .. } => kind::EVAL,
+            Msg::Err { .. } => kind::ERR,
+            Msg::Ack => kind::ACK,
         }
     }
 
@@ -304,7 +329,33 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 fn put_f32s(out: &mut Vec<u8>, data: &[f32]) {
-    out.put_slice(serialize::params_to_bytes(data).as_ref());
+    serialize::params_write_into(out, data);
+}
+
+/// Starts a frame in `out` (cleared first): magic, version, kind, and a
+/// zero length field to be patched by [`finish_frame`].
+fn begin_frame(out: &mut Vec<u8>, kind: u8) {
+    out.clear();
+    out.put_slice(&MAGIC);
+    out.put_slice(&[PROTOCOL_VERSION, kind]);
+    out.put_u32_le(0); // payload length, patched by finish_frame
+}
+
+/// Validates the payload length against `limits` and patches the header's
+/// length field. Returns the whole frame's size in bytes.
+fn finish_frame(out: &mut [u8], limits: &FrameLimits) -> Result<usize, WireError> {
+    let payload_len = out.len() - HEADER_LEN;
+    // The header's length field is u32; a payload above either the
+    // configured cap or the field's range must fail cleanly here, never
+    // wrap into a desynced stream.
+    if payload_len > limits.max_payload || payload_len > u32::MAX as usize {
+        return Err(WireError::FrameTooLarge {
+            len: payload_len as u64,
+            max: limits.max_payload.min(u32::MAX as usize),
+        });
+    }
+    out[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(out.len())
 }
 
 fn put_opt_f32(out: &mut Vec<u8>, v: Option<f32>) {
@@ -368,9 +419,24 @@ fn put_job(out: &mut Vec<u8>, job: &UnlearnJob) -> Result<(), WireError> {
 /// (an [`UnlearnJob`] carrying a custom loss).
 pub fn encode_frame(msg: &Msg, limits: &FrameLimits) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(HEADER_LEN + 64);
-    out.put_slice(&MAGIC);
-    out.put_slice(&[PROTOCOL_VERSION, msg.kind()]);
-    out.put_u32_le(0); // payload length, patched below
+    encode_frame_into(msg, &mut out, limits)?;
+    Ok(out)
+}
+
+/// [`encode_frame`] into a caller-owned buffer (cleared and refilled) —
+/// the reusable-buffer form the transports encode every frame through,
+/// so a steady-state round allocates no frame memory. Returns the
+/// frame's size in bytes.
+///
+/// # Errors
+///
+/// Same as [`encode_frame`].
+pub fn encode_frame_into(
+    msg: &Msg,
+    out: &mut Vec<u8>,
+    limits: &FrameLimits,
+) -> Result<usize, WireError> {
+    begin_frame(out, msg.kind());
     match msg {
         Msg::Hello {
             client_id,
@@ -395,14 +461,7 @@ pub fn encode_frame(msg: &Msg, limits: &FrameLimits) -> Result<Vec<u8>, WireErro
             cfg,
             global,
         } => {
-            out.put_slice(&[match mode {
-                RoundMode::Train => 0,
-                RoundMode::Distill => 1,
-            }]);
-            out.put_u64_le(*round);
-            out.put_u64_le(*seed);
-            put_train_config(&mut out, cfg);
-            put_f32s(&mut out, global);
+            put_round_assign_payload(out, *mode, *round, *seed, cfg, global);
         }
         Msg::Update {
             round,
@@ -419,19 +478,19 @@ pub fn encode_frame(msg: &Msg, limits: &FrameLimits) -> Result<Vec<u8>, WireErro
             out.put_u64_le(*round);
             out.put_u64_le(*client_id);
             out.put_u64_le(*weight);
-            put_f32s(&mut out, state);
+            put_f32s(out, state);
         }
         Msg::UnlearnAssign {
             job,
             removed,
             teacher,
         } => {
-            put_job(&mut out, job)?;
+            put_job(out, job)?;
             out.put_u32_le(removed.len() as u32);
             for &r in removed {
                 out.put_u64_le(r);
             }
-            put_f32s(&mut out, teacher);
+            put_f32s(out, teacher);
         }
         Msg::Eval {
             round,
@@ -440,9 +499,9 @@ pub fn encode_frame(msg: &Msg, limits: &FrameLimits) -> Result<Vec<u8>, WireErro
             global,
         } => {
             out.put_u64_le(*round);
-            put_f64(&mut out, *accuracy);
-            put_f64(&mut out, *mse);
-            put_f32s(&mut out, global);
+            put_f64(out, *accuracy);
+            put_f64(out, *mse);
+            put_f32s(out, global);
         }
         Msg::Err { code, detail } => {
             out.put_u16_le(*code);
@@ -452,63 +511,137 @@ pub fn encode_frame(msg: &Msg, limits: &FrameLimits) -> Result<Vec<u8>, WireErro
         }
         Msg::Ack => {}
     }
-    let payload_len = out.len() - HEADER_LEN;
-    // The header's length field is u32; a payload above either the
-    // configured cap or the field's range must fail cleanly here, never
-    // wrap into a desynced stream.
-    if payload_len > limits.max_payload || payload_len > u32::MAX as usize {
-        return Err(WireError::FrameTooLarge {
-            len: payload_len as u64,
-            max: limits.max_payload.min(u32::MAX as usize),
-        });
+    finish_frame(out, limits)
+}
+
+fn put_round_assign_payload(
+    out: &mut Vec<u8>,
+    mode: RoundMode,
+    round: u64,
+    seed: u64,
+    cfg: &TrainConfig,
+    global: &[f32],
+) {
+    out.put_slice(&[match mode {
+        RoundMode::Train => 0,
+        RoundMode::Distill => 1,
+    }]);
+    out.put_u64_le(round);
+    out.put_u64_le(seed);
+    put_train_config(out, cfg);
+    put_f32s(out, global);
+}
+
+/// Encodes a `RoundAssign` frame straight from borrowed fields — no
+/// intermediate [`Msg`], no clone of the (large) global state. This is
+/// the encode-once broadcast path: the coordinator builds the frame a
+/// single time per round in a reused buffer and writes the same bytes to
+/// every connection. Byte-for-byte identical to
+/// `encode_frame(&Msg::RoundAssign { .. })`.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] when the payload exceeds `limits`.
+pub fn encode_round_assign_into(
+    out: &mut Vec<u8>,
+    mode: RoundMode,
+    round: u64,
+    seed: u64,
+    cfg: &TrainConfig,
+    global: &[f32],
+    limits: &FrameLimits,
+) -> Result<usize, WireError> {
+    begin_frame(out, kind::ROUND_ASSIGN);
+    put_round_assign_payload(out, mode, round, seed, cfg, global);
+    finish_frame(out, limits)
+}
+
+/// Encodes an `Eval` request frame from borrowed fields (zeroed metrics,
+/// the state to evaluate) — the broadcast form of the local-evaluation
+/// exchange. Byte-identical to the [`Msg::Eval`] request encoding.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] when the payload exceeds `limits`.
+pub fn encode_eval_request_into(
+    out: &mut Vec<u8>,
+    round: u64,
+    global: &[f32],
+    limits: &FrameLimits,
+) -> Result<usize, WireError> {
+    begin_frame(out, kind::EVAL);
+    out.put_u64_le(round);
+    put_f64(out, 0.0);
+    put_f64(out, 0.0);
+    put_f32s(out, global);
+    finish_frame(out, limits)
+}
+
+/// Encodes an `UnlearnAssign` frame from borrowed fields — per-client
+/// frames differ only in the (tiny) removed-index list, so the fan-out
+/// encodes each without ever cloning the (large) teacher state.
+/// Byte-identical to the [`Msg::UnlearnAssign`] encoding.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] / [`WireError::Malformed`] as for
+/// [`encode_frame`].
+pub fn encode_unlearn_assign_into(
+    out: &mut Vec<u8>,
+    job: &UnlearnJob,
+    removed: &[usize],
+    teacher: &[f32],
+    limits: &FrameLimits,
+) -> Result<usize, WireError> {
+    begin_frame(out, kind::UNLEARN_ASSIGN);
+    put_job(out, job)?;
+    out.put_u32_le(removed.len() as u32);
+    for &r in removed {
+        out.put_u64_le(r as u64);
     }
-    out[6..10].copy_from_slice(&(payload_len as u32).to_le_bytes());
-    Ok(out)
+    put_f32s(out, teacher);
+    finish_frame(out, limits)
 }
 
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------
 
-/// A checked little-endian reader over a payload.
-struct Reader {
-    b: Bytes,
+/// A checked little-endian reader over a borrowed payload slice —
+/// decoding never copies the payload, and the trailing `f32` vector can
+/// stream straight into a pooled buffer.
+struct Reader<'a> {
+    b: &'a [u8],
 }
 
-impl Reader {
-    fn need(&self, n: usize) -> Result<(), WireError> {
-        if self.b.remaining() < n {
-            Err(WireError::Truncated)
-        } else {
-            Ok(())
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.b.len() < n {
+            return Err(WireError::Truncated);
         }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Ok(head)
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        self.need(1)?;
-        let mut b = [0u8; 1];
-        self.b.copy_to_slice(&mut b);
-        Ok(b[0])
+        Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        self.need(2)?;
-        Ok(self.b.get_u16_le())
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        self.need(4)?;
-        Ok(self.b.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        self.need(8)?;
-        Ok(self.b.get_u64_le())
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
     fn f32(&mut self) -> Result<f32, WireError> {
-        self.need(4)?;
-        Ok(self.b.get_f32_le())
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -525,20 +658,27 @@ impl Reader {
 
     fn string(&mut self) -> Result<String, WireError> {
         let n = self.u32()? as usize;
-        self.need(n)?;
-        let mut buf = vec![0u8; n];
-        self.b.copy_to_slice(&mut buf);
-        String::from_utf8(buf).map_err(|e| WireError::Malformed(format!("bad utf-8: {e}")))
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|e| WireError::Malformed(format!("bad utf-8: {e}")))
     }
 
     /// Consumes the trailing `f32` vector (the bulk-codec segment).
     fn f32s(self) -> Result<Vec<f32>, WireError> {
-        serialize::params_from_bytes(self.b)
+        let mut out = Vec::new();
+        self.f32s_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Consumes the trailing `f32` vector into a caller-owned buffer —
+    /// the pooled decode path.
+    fn f32s_into(self, out: &mut Vec<f32>) -> Result<(), WireError> {
+        serialize::params_read_into_vec(self.b, out)
+            .map(|_| ())
             .map_err(|e| WireError::Malformed(format!("f32 vector: {e:?}")))
     }
 }
 
-fn read_train_config(r: &mut Reader) -> Result<TrainConfig, WireError> {
+fn read_train_config(r: &mut Reader<'_>) -> Result<TrainConfig, WireError> {
     Ok(TrainConfig {
         local_epochs: r.u64()? as usize,
         batch_size: r.u64()? as usize,
@@ -547,7 +687,7 @@ fn read_train_config(r: &mut Reader) -> Result<TrainConfig, WireError> {
     })
 }
 
-fn read_job(r: &mut Reader) -> Result<UnlearnJob, WireError> {
+fn read_job(r: &mut Reader<'_>) -> Result<UnlearnJob, WireError> {
     let epochs = r.u64()? as usize;
     let batch_size = r.u64()? as usize;
     let lr = r.f32()?;
@@ -598,19 +738,72 @@ fn read_job(r: &mut Reader) -> Result<UnlearnJob, WireError> {
     })
 }
 
-fn decode_payload(kind: u8, payload: Bytes) -> Result<Msg, WireError> {
+/// A parsed `Update`/`UnlearnResult` header, the fixed-size fields in
+/// front of the state vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateHeader {
+    /// Echoed round index.
+    pub round: u64,
+    /// The uploading client.
+    pub client_id: u64,
+    /// Aggregation weight (local sample count).
+    pub weight: u64,
+    /// Whether the frame was an `UnlearnResult` (distillation round)
+    /// rather than a plain `Update`.
+    pub distill: bool,
+}
+
+/// Decodes an `Update`/`UnlearnResult` payload with the state vector
+/// written straight into a caller-owned (pooled) buffer — the transport
+/// hot path, which never materialises a [`Msg`].
+///
+/// # Errors
+///
+/// [`WireError::UnknownKind`] for non-update kinds, otherwise the usual
+/// payload errors.
+pub fn decode_update_into(
+    kind: u8,
+    payload: &[u8],
+    state: &mut Vec<f32>,
+) -> Result<UpdateHeader, WireError> {
+    if kind != self::kind::UPDATE && kind != self::kind::UNLEARN_RESULT {
+        return Err(WireError::UnknownKind(kind));
+    }
     let mut r = Reader { b: payload };
-    match kind {
-        1 => Ok(Msg::Hello {
+    let header = UpdateHeader {
+        round: r.u64()?,
+        client_id: r.u64()?,
+        weight: r.u64()?,
+        distill: kind == self::kind::UNLEARN_RESULT,
+    };
+    r.f32s_into(state)?;
+    Ok(header)
+}
+
+/// Decodes a payload of the given kind into a [`Msg`] (the body of
+/// [`decode_frame`], exposed for transports that read frames through
+/// pooled buffers).
+///
+/// # Errors
+///
+/// Any payload-level [`WireError`].
+pub fn decode_msg(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
+    decode_payload(kind, payload)
+}
+
+fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
+    let mut r = Reader { b: payload };
+    match k {
+        kind::HELLO => Ok(Msg::Hello {
             client_id: r.u64()?,
             state_len: r.u64()?,
             num_samples: r.u64()?,
         }),
-        2 => Ok(Msg::Capabilities {
+        kind::CAPABILITIES => Ok(Msg::Capabilities {
             max_payload: r.u64()?,
             state_len: r.u64()?,
         }),
-        3 => {
+        kind::ROUND_ASSIGN => {
             let mode = match r.u8()? {
                 0 => RoundMode::Train,
                 1 => RoundMode::Distill,
@@ -627,12 +820,12 @@ fn decode_payload(kind: u8, payload: Bytes) -> Result<Msg, WireError> {
                 global: r.f32s()?,
             })
         }
-        4 | 6 => {
+        kind::UPDATE | kind::UNLEARN_RESULT => {
             let round = r.u64()?;
             let client_id = r.u64()?;
             let weight = r.u64()?;
             let state = r.f32s()?;
-            Ok(if kind == 4 {
+            Ok(if k == kind::UPDATE {
                 Msg::Update {
                     round,
                     client_id,
@@ -648,7 +841,7 @@ fn decode_payload(kind: u8, payload: Bytes) -> Result<Msg, WireError> {
                 }
             })
         }
-        5 => {
+        kind::UNLEARN_ASSIGN => {
             let job = read_job(&mut r)?;
             let n = r.u32()? as usize;
             let mut removed = Vec::with_capacity(n.min(1 << 20));
@@ -661,18 +854,18 @@ fn decode_payload(kind: u8, payload: Bytes) -> Result<Msg, WireError> {
                 teacher: r.f32s()?,
             })
         }
-        7 => Ok(Msg::Eval {
+        kind::EVAL => Ok(Msg::Eval {
             round: r.u64()?,
             accuracy: r.f64()?,
             mse: r.f64()?,
             global: r.f32s()?,
         }),
-        8 => Ok(Msg::Err {
+        kind::ERR => Ok(Msg::Err {
             code: r.u16()?,
             detail: r.string()?,
         }),
-        9 => Ok(Msg::Ack),
-        k => Err(WireError::UnknownKind(k)),
+        kind::ACK => Ok(Msg::Ack),
+        other => Err(WireError::UnknownKind(other)),
     }
 }
 
@@ -718,7 +911,8 @@ pub fn decode_frame(buf: &[u8], limits: &FrameLimits) -> Result<(Msg, usize), Wi
     if buf.len() < HEADER_LEN + len {
         return Err(WireError::Truncated);
     }
-    let payload = Bytes::from(buf[HEADER_LEN..HEADER_LEN + len].to_vec());
+    // The payload is decoded in place — no copy into an owned buffer.
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
     Ok((decode_payload(kind, payload)?, HEADER_LEN + len))
 }
 
@@ -751,15 +945,46 @@ pub fn read_frame(
     r: &mut impl std::io::Read,
     limits: &FrameLimits,
 ) -> Result<(Msg, usize), WireError> {
+    let mut payload = Vec::new();
+    let (kind, frame_len) = read_raw_frame(r, &mut payload, limits)?;
+    Ok((decode_payload(kind, &payload)?, frame_len))
+}
+
+/// Reads one frame from `r` into a caller-owned (pooled) payload buffer
+/// without decoding it: `buf` is resized to the announced payload length
+/// (reusing its capacity — a steady-state connection never reallocates)
+/// and filled. Returns `(kind, frame size in bytes)`.
+///
+/// # Errors
+///
+/// Same as [`read_frame`].
+pub fn read_raw_frame(
+    r: &mut impl std::io::Read,
+    buf: &mut Vec<u8>,
+    limits: &FrameLimits,
+) -> Result<(u8, usize), WireError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     let (kind, len) = decode_header(&header, limits)?;
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok((
-        decode_payload(kind, Bytes::from(payload))?,
-        HEADER_LEN + len,
-    ))
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok((kind, HEADER_LEN + len))
+}
+
+/// Reads one frame via a caller-owned payload buffer and decodes it —
+/// [`read_frame`] with buffer reuse for paths that need a full [`Msg`].
+///
+/// # Errors
+///
+/// Same as [`read_frame`].
+pub fn read_frame_buffered(
+    r: &mut impl std::io::Read,
+    buf: &mut Vec<u8>,
+    limits: &FrameLimits,
+) -> Result<(Msg, usize), WireError> {
+    let (kind, frame_len) = read_raw_frame(r, buf, limits)?;
+    Ok((decode_payload(kind, buf)?, frame_len))
 }
 
 #[cfg(test)]
@@ -921,6 +1146,131 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn borrowed_encoders_match_msg_encoding_byte_for_byte() {
+        let limits = FrameLimits::default();
+        let global: Vec<f32> = (0..1234).map(|i| (i as f32 * 0.11).sin()).collect();
+        let cfg = TrainConfig::default();
+
+        let mut buf = Vec::new();
+        for (mode, round, seed) in [(RoundMode::Train, 3u64, 9u64), (RoundMode::Distill, 0, 42)] {
+            let n = encode_round_assign_into(&mut buf, mode, round, seed, &cfg, &global, &limits)
+                .unwrap();
+            let via_msg = encode_frame(
+                &Msg::RoundAssign {
+                    mode,
+                    round,
+                    seed,
+                    cfg,
+                    global: global.clone(),
+                },
+                &limits,
+            )
+            .unwrap();
+            assert_eq!(buf, via_msg);
+            assert_eq!(n, via_msg.len());
+        }
+
+        let n = encode_eval_request_into(&mut buf, 7, &global, &limits).unwrap();
+        let via_msg = encode_frame(
+            &Msg::Eval {
+                round: 7,
+                accuracy: 0.0,
+                mse: 0.0,
+                global: global.clone(),
+            },
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(buf, via_msg);
+        assert_eq!(n, via_msg.len());
+
+        let job = UnlearnJob {
+            local: GoldfishLocalConfig::default(),
+            hard: Some(HardLossSpec::Focal { gamma: 1.5 }),
+        };
+        let removed = vec![2usize, 9, 31];
+        let n = encode_unlearn_assign_into(&mut buf, &job, &removed, &global, &limits).unwrap();
+        let via_msg = encode_frame(
+            &Msg::UnlearnAssign {
+                job,
+                removed: removed.iter().map(|&i| i as u64).collect(),
+                teacher: global.clone(),
+            },
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(buf, via_msg);
+        assert_eq!(n, via_msg.len());
+    }
+
+    #[test]
+    fn pooled_update_decode_matches_msg_decode() {
+        let limits = FrameLimits::default();
+        let state: Vec<f32> = (0..513).map(|i| i as f32 * -0.25).collect();
+        for distill in [false, true] {
+            let msg = if distill {
+                Msg::UnlearnResult {
+                    round: 5,
+                    client_id: 3,
+                    weight: 99,
+                    state: state.clone(),
+                }
+            } else {
+                Msg::Update {
+                    round: 5,
+                    client_id: 3,
+                    weight: 99,
+                    state: state.clone(),
+                }
+            };
+            let frame = encode_frame(&msg, &limits).unwrap();
+            let (kind, len) = decode_header(&frame, &limits).unwrap();
+            let mut pooled = vec![0.0f32; 7]; // wrong size on purpose; resized
+            let header =
+                decode_update_into(kind, &frame[HEADER_LEN..HEADER_LEN + len], &mut pooled)
+                    .unwrap();
+            assert_eq!(
+                header,
+                UpdateHeader {
+                    round: 5,
+                    client_id: 3,
+                    weight: 99,
+                    distill,
+                }
+            );
+            assert_eq!(pooled, state);
+        }
+        // Non-update kinds are typed rejections.
+        let frame = encode_frame(&Msg::Ack, &limits).unwrap();
+        let (kind, _) = decode_header(&frame, &limits).unwrap();
+        assert_eq!(
+            decode_update_into(kind, &[], &mut Vec::new()),
+            Err(WireError::UnknownKind(9))
+        );
+    }
+
+    #[test]
+    fn raw_frame_reads_reuse_the_buffer() {
+        let limits = FrameLimits::default();
+        let msg = Msg::Update {
+            round: 1,
+            client_id: 2,
+            weight: 30,
+            state: vec![1.5; 64],
+        };
+        let frame = encode_frame(&msg, &limits).unwrap();
+        let mut buf = Vec::new();
+        let (kind, n) = read_raw_frame(&mut frame.as_slice(), &mut buf, &limits).unwrap();
+        assert_eq!((kind, n), (4, frame.len()));
+        assert_eq!(&buf[..], &frame[HEADER_LEN..]);
+        let cap = buf.capacity();
+        let (back, n2) = read_frame_buffered(&mut frame.as_slice(), &mut buf, &limits).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(n2, frame.len());
+        assert_eq!(buf.capacity(), cap, "payload buffer was reallocated");
     }
 
     #[test]

@@ -29,7 +29,8 @@ use goldfish_fed::transport::client_seed;
 use goldfish_fed::{eval, ModelFactory};
 
 use crate::wire::{
-    self, err_code, read_frame, write_frame, FrameLimits, Msg, RoundMode, WireError,
+    self, decode_msg, encode_frame_into, err_code, read_frame, read_raw_frame, write_frame,
+    FrameLimits, Msg, RoundMode, WireError,
 };
 
 /// The worker-side state machine: one logical client, independent of how
@@ -271,9 +272,15 @@ pub fn serve_stream(
             )))
         }
     }
+    // Connection-lifetime frame buffers: incoming payloads and outgoing
+    // replies reuse the same allocations round after round.
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut wbuf: Vec<u8> = Vec::new();
     loop {
-        let msg = match read_frame(&mut stream, limits) {
-            Ok((msg, _)) => msg,
+        let msg = match read_raw_frame(&mut stream, &mut rbuf, limits)
+            .and_then(|(kind, _)| decode_msg(kind, &rbuf))
+        {
+            Ok(msg) => msg,
             // A clean close after the handshake is the coordinator's
             // shutdown signal.
             Err(WireError::Io {
@@ -289,7 +296,12 @@ pub fn serve_stream(
         }
         let reply = runtime.handle(msg);
         let fatal = matches!(reply, Msg::Err { .. });
-        write_frame(&mut stream, &reply, limits)?;
+        encode_frame_into(&reply, &mut wbuf, limits)?;
+        {
+            use std::io::Write;
+            stream.write_all(&wbuf)?;
+            stream.flush()?;
+        }
         if fatal {
             return Err(WireError::Malformed(wire::describe_err(&reply)));
         }

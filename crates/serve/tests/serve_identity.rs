@@ -54,6 +54,7 @@ fn coordinator_config(spec: &DemoSpec) -> CoordinatorConfig {
         unlearn_rounds: 1,
         init_seed: 1,
         threads: Some(2),
+        ..CoordinatorConfig::default()
     }
 }
 
@@ -205,6 +206,51 @@ fn tcp_run_is_bitwise_identical_to_loopback() {
     assert_eq!(tcp_evals, lb_evals);
 
     drop(c); // closes the sockets → workers see EOF and exit
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn window_overflow_keeps_healthy_tcp_workers_connected() {
+    // An UpdateWindowExceeded from the aggregation sink is the
+    // coordinator's capacity policy, not the worker's fault: the round
+    // errors, but no connection may be dropped (otherwise a tight
+    // --window would silently evict healthy workers and re-round over a
+    // shrunken fleet).
+    use goldfish_fed::transport::{RoundTransport, TrainAssign, TransportError};
+
+    let spec = demo();
+    let (mut transport, workers) = tcp_pair(&spec);
+    let global = (spec.factory())(1).state_vector();
+    let cfg = spec.train_config();
+    let assign = TrainAssign {
+        round: 0,
+        seed: 3,
+        global: &global,
+        cfg: &cfg,
+    };
+    let mut results = Vec::new();
+    transport.train_round_streamed(
+        &assign,
+        &mut |u| {
+            Err(TransportError::UpdateWindowExceeded {
+                limit: 0,
+                client_id: u.client_id,
+            })
+        },
+        &mut results,
+    );
+    assert_eq!(results.len(), 2);
+    assert!(results
+        .iter()
+        .all(|r| matches!(r, Err(TransportError::UpdateWindowExceeded { .. }))));
+    // Both workers survive and the next (unconstrained) round succeeds.
+    assert_eq!(transport.live_clients(), vec![0, 1]);
+    let ok = transport.train_round(&assign);
+    assert!(ok.iter().all(|r| r.is_ok()));
+
+    drop(transport);
     for w in workers {
         w.join().unwrap();
     }

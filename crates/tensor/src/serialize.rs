@@ -36,22 +36,37 @@ fn put_f32s_le(buf: &mut BytesMut, data: &[f32]) {
     }
 }
 
-/// Reads `n` little-endian `f32`s from `bytes` via stack-batched bulk
-/// copies. The caller has already verified `bytes.remaining() >= 4 * n`.
-fn get_f32s_le(bytes: &mut Bytes, n: usize) -> Vec<f32> {
-    let mut data = Vec::with_capacity(n);
+/// Appends `data` to a plain `Vec<u8>` as little-endian `f32`s — the same
+/// bytes [`put_f32s_le`] produces, for callers that stage frames in
+/// reusable `Vec<u8>` buffers (the serve wire layer).
+fn put_f32s_le_vec(buf: &mut Vec<u8>, data: &[f32]) {
     let mut raw = [0u8; 4 * F32_BATCH];
-    let mut left = n;
-    while left > 0 {
-        let take = left.min(F32_BATCH);
-        let used = &mut raw[..4 * take];
-        bytes.copy_to_slice(used);
-        data.extend(
-            used.chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
-        );
-        left -= take;
+    for batch in data.chunks(F32_BATCH) {
+        let used = &mut raw[..4 * batch.len()];
+        for (dst, &v) in used.chunks_exact_mut(4).zip(batch) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(used);
     }
+}
+
+/// Decodes `out.len()` little-endian `f32`s from the front of `src`
+/// straight into `out` — no staging buffer, no intermediate collect. On
+/// little-endian targets the loop compiles to a straight block copy.
+/// The caller has already verified `src.len() >= 4 * out.len()`.
+fn f32s_from_le(src: &[u8], out: &mut [f32]) {
+    for (o, c) in out.iter_mut().zip(src.chunks_exact(4)) {
+        *o = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+    }
+}
+
+/// Reads `n` little-endian `f32`s from `bytes`, decoding directly into the
+/// returned vector. The caller has already verified
+/// `bytes.remaining() >= 4 * n`.
+fn get_f32s_le(bytes: &mut Bytes, n: usize) -> Vec<f32> {
+    let mut data = vec![0.0f32; n];
+    f32s_from_le(bytes.as_ref(), &mut data);
+    bytes.advance(4 * n);
     data
 }
 
@@ -119,6 +134,21 @@ pub fn params_to_bytes(params: &[f32]) -> Bytes {
     buf.freeze()
 }
 
+/// Encoded size of a parameter vector of `n` floats (for pre-sizing frame
+/// buffers).
+pub fn params_wire_len(n: usize) -> usize {
+    8 + 4 * n
+}
+
+/// Appends the [`params_to_bytes`] encoding of `params` to `out` —
+/// byte-for-byte the same payload, written into a caller-owned buffer so
+/// a steady-state encode loop never allocates once `out`'s capacity is
+/// warm.
+pub fn params_write_into(out: &mut Vec<u8>, params: &[f32]) {
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    put_f32s_le_vec(out, params);
+}
+
 /// Deserializes a parameter vector produced by [`params_to_bytes`].
 ///
 /// # Errors
@@ -139,6 +169,65 @@ pub fn params_from_bytes(mut bytes: Bytes) -> Result<Vec<f32>, TensorError> {
         )));
     }
     Ok(get_f32s_le(&mut bytes, n as usize))
+}
+
+/// Announced float count of a [`params_to_bytes`] payload starting at the
+/// front of `bytes`, after the same hostile-length validation
+/// [`params_from_bytes`] performs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedBytes`] on truncation or a length
+/// prefix the buffer cannot back.
+pub fn params_peek_len(bytes: &[u8]) -> Result<usize, TensorError> {
+    if bytes.len() < 8 {
+        return Err(TensorError::MalformedBytes("missing length header".into()));
+    }
+    let n = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    if (((bytes.len() - 8) / 4) as u64) < n {
+        return Err(TensorError::MalformedBytes(format!(
+            "param payload truncated: need {n} floats, have {} bytes",
+            bytes.len() - 8
+        )));
+    }
+    Ok(n as usize)
+}
+
+/// Decodes a [`params_to_bytes`] payload straight into a caller-provided
+/// slice — no intermediate collect, no allocation. Returns the number of
+/// payload bytes consumed (`8 + 4 * out.len()`), so a caller embedding
+/// the vector mid-payload can keep parsing after it.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedBytes`] on truncation, a hostile
+/// length prefix, or when the announced float count differs from
+/// `out.len()` (the caller sizes `out` via [`params_peek_len`] or its
+/// protocol-known state length).
+pub fn params_read_into(bytes: &[u8], out: &mut [f32]) -> Result<usize, TensorError> {
+    let n = params_peek_len(bytes)?;
+    if n != out.len() {
+        return Err(TensorError::MalformedBytes(format!(
+            "param payload carries {n} floats, caller expects {}",
+            out.len()
+        )));
+    }
+    f32s_from_le(&bytes[8..], out);
+    Ok(8 + 4 * n)
+}
+
+/// [`params_read_into`] for a caller-owned `Vec` resized to fit: decodes
+/// whatever float count the payload announces, reusing the vector's
+/// capacity. Returns the payload bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MalformedBytes`] on truncation or a hostile
+/// length prefix.
+pub fn params_read_into_vec(bytes: &[u8], out: &mut Vec<f32>) -> Result<usize, TensorError> {
+    let n = params_peek_len(bytes)?;
+    out.resize(n, 0.0);
+    params_read_into(bytes, out)
 }
 
 #[cfg(test)]
@@ -220,5 +309,43 @@ mod tests {
         let b = params_to_bytes(&p);
         let cut = b.slice(0..b.len() - 1);
         assert!(params_from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn write_into_matches_allocating_encoder() {
+        let p: Vec<f32> = (0..1500).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut buf = vec![0xAAu8; 3]; // pre-existing bytes survive
+        params_write_into(&mut buf, &p);
+        assert_eq!(&buf[..3], &[0xAA; 3]);
+        assert_eq!(&buf[3..], params_to_bytes(&p).as_ref());
+        assert_eq!(buf.len() - 3, params_wire_len(p.len()));
+    }
+
+    #[test]
+    fn read_into_matches_allocating_decoder() {
+        let p: Vec<f32> = (0..1029).map(|i| i as f32 - 514.5).collect();
+        let wire = params_to_bytes(&p);
+        let mut out = vec![0.0f32; p.len()];
+        let used = params_read_into(wire.as_ref(), &mut out).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(out, p);
+        let mut grown = Vec::new();
+        assert_eq!(
+            params_read_into_vec(wire.as_ref(), &mut grown).unwrap(),
+            wire.len()
+        );
+        assert_eq!(grown, p);
+    }
+
+    #[test]
+    fn read_into_rejects_bad_sizes() {
+        let wire = params_to_bytes(&[1.0f32; 8]);
+        let mut short = vec![0.0f32; 7];
+        assert!(params_read_into(wire.as_ref(), &mut short).is_err());
+        assert!(params_read_into(&wire.as_ref()[..9], &mut [0.0f32; 8]).is_err());
+        assert!(params_peek_len(&[0u8; 4]).is_err());
+        // Hostile length prefix: u64::MAX floats announced, 0 present.
+        let hostile = u64::MAX.to_le_bytes();
+        assert!(params_peek_len(&hostile).is_err());
     }
 }

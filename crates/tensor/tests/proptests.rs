@@ -98,6 +98,45 @@ proptest! {
     }
 
     #[test]
+    fn params_into_variants_match_allocating_forms_bitwise(
+        p in proptest::collection::vec(-1e6f32..1e6, 0..1600),
+        prefix in 0usize..5,
+    ) {
+        // Encode: the append-into form must produce byte-for-byte the
+        // allocating encoder's payload, wherever it lands in the buffer.
+        let allocating = serialize::params_to_bytes(&p);
+        let mut buf = vec![0x5Au8; prefix];
+        serialize::params_write_into(&mut buf, &p);
+        prop_assert_eq!(&buf[prefix..], allocating.as_ref());
+
+        // Decode: the into-slice form must reproduce the allocating
+        // decoder bit for bit, and report the exact bytes consumed.
+        let mut out = vec![0.0f32; p.len()];
+        let used = serialize::params_read_into(allocating.as_ref(), &mut out).unwrap();
+        prop_assert_eq!(used, allocating.as_ref().len());
+        for (a, b) in out.iter().zip(p.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the resizing-Vec form, through a dirty reused buffer.
+        let mut reused = vec![7.0f32; 9];
+        serialize::params_read_into_vec(allocating.as_ref(), &mut reused).unwrap();
+        prop_assert_eq!(reused.len(), p.len());
+        for (a, b) in reused.iter().zip(p.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn params_read_into_rejects_wrong_target_length(
+        p in proptest::collection::vec(-10.0f32..10.0, 1..64),
+        delta in 1usize..8,
+    ) {
+        let wire = serialize::params_to_bytes(&p);
+        let mut wrong = vec![0.0f32; p.len() + delta];
+        prop_assert!(serialize::params_read_into(wire.as_ref(), &mut wrong).is_err());
+    }
+
+    #[test]
     fn truncated_tensor_bytes_error_typed(t in small_matrix(), frac in 0.0f64..1.0) {
         let full = serialize::to_bytes(&t);
         let n = full.as_ref().len();

@@ -30,6 +30,7 @@ fn config(spec: &DemoSpec) -> CoordinatorConfig {
         unlearn_rounds: 1,
         init_seed: 1,
         threads: None,
+        ..CoordinatorConfig::default()
     }
 }
 

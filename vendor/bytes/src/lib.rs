@@ -79,6 +79,13 @@ pub trait Buf {
         self.copy_bytes(dst);
     }
 
+    /// Skips the next `cnt` unread bytes (real-`bytes` `Buf::advance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
     /// Reads a little-endian `u16`.
     fn get_u16_le(&mut self) -> u16 {
         let mut b = [0u8; 2];
@@ -117,6 +124,11 @@ impl Buf for Bytes {
         assert!(dst.len() <= self.remaining(), "buffer underrun");
         dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
         self.pos += dst.len();
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "buffer underrun");
+        self.pos += cnt;
     }
 }
 

@@ -1,0 +1,620 @@
+//! Hash-chained, append-only audit log of served unlearning requests
+//! (DESIGN.md §12.3).
+//!
+//! Every deletion request the coordinator **serves** (drains through a
+//! distillation pass that produced a new global) appends one entry:
+//! the request itself, the round and drain serial it was served at, a
+//! SHA-256 digest of the post-drain global, the previous entry's hash,
+//! and the entry's own hash over all of that. The chain makes the log
+//! tamper-evident — flipping any byte of any entry breaks either that
+//! entry's hash or every later entry's `prev_hash` link — which is the
+//! verifiable-unlearning property ("can you prove you forgot?") the
+//! blockchain-unlearning line of work argues for, minus the chain
+//! consensus machinery a single-coordinator deployment doesn't need.
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic  b"GFAL"            4 bytes
+//! version u32 LE            4 bytes (AUDIT_VERSION)
+//! entry*                    repeated:
+//!   body_len   u32 LE       length of the body that follows
+//!   body:
+//!     index        u64 LE   0-based entry index
+//!     round        u64 LE   rounds completed when the drain ran
+//!     serial       u64 LE   drain-batch serial
+//!     client_id    u64 LE
+//!     n_removed    u32 LE
+//!     removed[i]   u64 LE   × n_removed
+//!     state_digest [u8;32]  digest::state_digest(round, post-drain global)
+//!     prev_hash    [u8;32]  previous entry_hash (GENESIS for index 0)
+//!     entry_hash   [u8;32]  sha256(body minus entry_hash)
+//! ```
+//!
+//! The log is recovery-coordinated with the checkpoint store: a
+//! checkpoint records `(audit_entries, audit_bytes, audit_tip)`, and on
+//! restart the log is truncated back to exactly that point before the
+//! coordinator resumes (a drain that died between appending audit
+//! entries and committing its checkpoint is deterministically re-run
+//! and re-appends byte-identical entries).
+
+use crate::digest::{self, Sha256, DIGEST_LEN, GENESIS};
+use crate::queue::UnlearnRequest;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Audit file magic: "GoldFish Audit Log".
+pub const AUDIT_MAGIC: [u8; 4] = *b"GFAL";
+
+/// Audit file format version.
+pub const AUDIT_VERSION: u32 = 1;
+
+/// Fixed file-header size (magic + version).
+pub const AUDIT_HEADER_LEN: u64 = 8;
+
+/// Typed audit-log failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// An I/O error touching the audit file.
+    Io {
+        /// The underlying error kind.
+        kind: std::io::ErrorKind,
+        /// The error text.
+        detail: String,
+    },
+    /// The file does not start with [`AUDIT_MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        got: [u8; 4],
+    },
+    /// The file's version word differs from [`AUDIT_VERSION`].
+    VersionSkew {
+        /// The version found.
+        got: u32,
+    },
+    /// The file ends inside an entry.
+    Truncated {
+        /// Byte offset of the entry the file ends inside of.
+        at: u64,
+    },
+    /// An entry's stored `entry_hash` does not match its contents —
+    /// the entry was tampered with.
+    HashMismatch {
+        /// The 0-based index of the offending entry.
+        index: u64,
+    },
+    /// An entry's `prev_hash` does not link to the previous entry —
+    /// the chain was cut or an entry replaced wholesale.
+    ChainBroken {
+        /// The 0-based index of the offending entry.
+        index: u64,
+    },
+    /// An entry's stored index is out of sequence.
+    IndexSkew {
+        /// The index the walk expected.
+        want: u64,
+        /// The index found.
+        got: u64,
+    },
+    /// A recovery truncation point disagrees with the file (the
+    /// checkpoint's recorded tip hash does not match the chain at the
+    /// recorded length).
+    TipMismatch,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::Io { kind, detail } => write!(f, "audit i/o error ({kind:?}): {detail}"),
+            AuditError::BadMagic { got } => write!(f, "bad audit magic {got:?}"),
+            AuditError::VersionSkew { got } => {
+                write!(f, "audit version {got} (want {AUDIT_VERSION})")
+            }
+            AuditError::Truncated { at } => write!(f, "audit file truncated inside entry at {at}"),
+            AuditError::HashMismatch { index } => {
+                write!(f, "audit entry {index} hash mismatch (tampered)")
+            }
+            AuditError::ChainBroken { index } => {
+                write!(f, "audit chain broken at entry {index} (prev-hash link)")
+            }
+            AuditError::IndexSkew { want, got } => {
+                write!(f, "audit entry index skew: want {want}, got {got}")
+            }
+            AuditError::TipMismatch => {
+                write!(
+                    f,
+                    "audit tip does not match the checkpoint's recorded chain head"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<std::io::Error> for AuditError {
+    fn from(e: std::io::Error) -> Self {
+        AuditError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// One served-deletion record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// 0-based position in the chain.
+    pub index: u64,
+    /// Rounds completed when the drain that served this request ran.
+    pub round: u64,
+    /// Drain-batch serial (all requests of one drain share it).
+    pub serial: u64,
+    /// The requesting client.
+    pub client_id: u64,
+    /// The removed sample indices (sorted, deduplicated).
+    pub removed: Vec<u64>,
+    /// `digest::state_digest(round, post-drain global)`.
+    pub state_digest: [u8; DIGEST_LEN],
+    /// The previous entry's `entry_hash` ([`GENESIS`] for entry 0).
+    pub prev_hash: [u8; DIGEST_LEN],
+    /// SHA-256 over every field above, in file order.
+    pub entry_hash: [u8; DIGEST_LEN],
+}
+
+impl AuditEntry {
+    /// Computes what `entry_hash` must be for this entry's contents.
+    pub fn compute_hash(&self) -> [u8; DIGEST_LEN] {
+        let mut h = Sha256::new();
+        h.update(&self.index.to_le_bytes());
+        h.update(&self.round.to_le_bytes());
+        h.update(&self.serial.to_le_bytes());
+        h.update(&self.client_id.to_le_bytes());
+        h.update(&(self.removed.len() as u32).to_le_bytes());
+        for &r in &self.removed {
+            h.update(&r.to_le_bytes());
+        }
+        h.update(&self.state_digest);
+        h.update(&self.prev_hash);
+        h.finalize()
+    }
+
+    fn body_len(&self) -> usize {
+        8 + 8 + 8 + 8 + 4 + 8 * self.removed.len() + 3 * DIGEST_LEN
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.body_len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.serial.to_le_bytes());
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
+        for &r in &self.removed {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&self.state_digest);
+        out.extend_from_slice(&self.prev_hash);
+        out.extend_from_slice(&self.entry_hash);
+    }
+
+    /// The served request this entry records.
+    pub fn request(&self) -> UnlearnRequest {
+        UnlearnRequest::new(
+            self.client_id as usize,
+            self.removed.iter().map(|&r| r as usize).collect(),
+        )
+    }
+}
+
+/// Result of a full chain walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Every entry, in chain order.
+    pub entries: Vec<AuditEntry>,
+    /// The chain head: the last entry's hash, or [`GENESIS`] when the
+    /// log is empty.
+    pub tip: [u8; DIGEST_LEN],
+    /// Total file bytes the walked chain occupies (header included).
+    pub bytes: u64,
+}
+
+/// The append handle the coordinator holds.
+pub struct AuditLog {
+    file: File,
+    path: PathBuf,
+    tip: [u8; DIGEST_LEN],
+    entries: u64,
+    bytes: u64,
+}
+
+impl AuditLog {
+    /// Opens (creating if absent) the audit log at `path` and verifies
+    /// the whole existing chain.
+    pub fn open(path: &Path) -> Result<(Self, Vec<AuditEntry>), AuditError> {
+        let exists = path.exists();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if !exists || file.metadata()?.len() == 0 {
+            file.write_all(&AUDIT_MAGIC)?;
+            file.write_all(&AUDIT_VERSION.to_le_bytes())?;
+            file.sync_all()?;
+            return Ok((
+                AuditLog {
+                    file,
+                    path: path.to_path_buf(),
+                    tip: GENESIS,
+                    entries: 0,
+                    bytes: AUDIT_HEADER_LEN,
+                },
+                Vec::new(),
+            ));
+        }
+        let summary = verify_reader(&mut file)?;
+        file.seek(SeekFrom::Start(summary.bytes))?;
+        Ok((
+            AuditLog {
+                file,
+                path: path.to_path_buf(),
+                tip: summary.tip,
+                entries: summary.entries.len() as u64,
+                bytes: summary.bytes,
+            },
+            summary.entries,
+        ))
+    }
+
+    /// Cuts the log back to the first `entries` entries / `bytes` bytes
+    /// — the recovery path, re-synchronising the file with what the
+    /// loaded checkpoint committed. `expected_tip` must match the chain
+    /// head at that point.
+    pub fn truncate_to(
+        &mut self,
+        entries: u64,
+        bytes: u64,
+        expected_tip: &[u8; DIGEST_LEN],
+    ) -> Result<(), AuditError> {
+        if entries > self.entries || bytes > self.bytes {
+            return Err(AuditError::TipMismatch);
+        }
+        if entries == self.entries {
+            return if &self.tip == expected_tip {
+                Ok(())
+            } else {
+                Err(AuditError::TipMismatch)
+            };
+        }
+        // Re-walk to the cut point to learn the tip there.
+        self.file.seek(SeekFrom::Start(0))?;
+        let summary = verify_reader(&mut self.file)?;
+        let (cut_tip, cut_bytes) = if entries == 0 {
+            (GENESIS, AUDIT_HEADER_LEN)
+        } else {
+            let e = &summary.entries[entries as usize - 1];
+            let mut off = AUDIT_HEADER_LEN;
+            for prior in &summary.entries[..entries as usize] {
+                off += 4 + prior.body_len() as u64;
+            }
+            (e.entry_hash, off)
+        };
+        if &cut_tip != expected_tip || cut_bytes != bytes {
+            return Err(AuditError::TipMismatch);
+        }
+        self.file.set_len(bytes)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::Start(bytes))?;
+        self.tip = cut_tip;
+        self.entries = entries;
+        self.bytes = bytes;
+        Ok(())
+    }
+
+    /// Appends one drain batch's entries and fsyncs. The caller passes
+    /// the request data; index, prev-hash and entry hash are assigned
+    /// here so the chain cannot be mis-threaded.
+    pub fn append_batch(
+        &mut self,
+        round: u64,
+        serial: u64,
+        requests: &[UnlearnRequest],
+        state_digest: &[u8; DIGEST_LEN],
+    ) -> Result<(), AuditError> {
+        let mut buf = Vec::new();
+        let mut tip = self.tip;
+        let mut index = self.entries;
+        for req in requests {
+            let mut entry = AuditEntry {
+                index,
+                round,
+                serial,
+                client_id: req.client_id as u64,
+                removed: req.removed.iter().map(|&r| r as u64).collect(),
+                state_digest: *state_digest,
+                prev_hash: tip,
+                entry_hash: GENESIS,
+            };
+            entry.entry_hash = entry.compute_hash();
+            tip = entry.entry_hash;
+            index += 1;
+            entry.write_to(&mut buf);
+        }
+        self.file.write_all(&buf)?;
+        self.file.sync_all()?;
+        self.tip = tip;
+        self.entries = index;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// The chain head.
+    pub fn tip(&self) -> [u8; DIGEST_LEN] {
+        self.tip
+    }
+
+    /// Entries in the chain.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// File bytes the chain occupies.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Walks and verifies the full chain in the file at `path`.
+///
+/// # Errors
+///
+/// Any [`AuditError`]; in particular a 1-byte tamper anywhere in an
+/// entry surfaces as [`AuditError::HashMismatch`] or
+/// [`AuditError::ChainBroken`].
+pub fn verify_file(path: &Path) -> Result<AuditSummary, AuditError> {
+    let mut file = File::open(path)?;
+    verify_reader(&mut file)
+}
+
+fn verify_reader(r: &mut impl Read) -> Result<AuditSummary, AuditError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    if data.len() < AUDIT_HEADER_LEN as usize {
+        return Err(AuditError::Truncated { at: 0 });
+    }
+    if data[0..4] != AUDIT_MAGIC {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&data[0..4]);
+        return Err(AuditError::BadMagic { got });
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4"));
+    if version != AUDIT_VERSION {
+        return Err(AuditError::VersionSkew { got: version });
+    }
+    let mut entries = Vec::new();
+    let mut tip = GENESIS;
+    let mut off = AUDIT_HEADER_LEN as usize;
+    while off < data.len() {
+        let start = off as u64;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], AuditError> {
+            if data.len() - *off < n {
+                return Err(AuditError::Truncated { at: start });
+            }
+            let s = &data[*off..*off + n];
+            *off += n;
+            Ok(s)
+        };
+        let body_len = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+        if data.len() - off < body_len {
+            return Err(AuditError::Truncated { at: start });
+        }
+        let body_end = off + body_len;
+        let index = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
+        let round = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
+        let serial = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
+        let client_id = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
+        let n = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
+        if body_len != 8 + 8 + 8 + 8 + 4 + 8 * n + 3 * DIGEST_LEN {
+            return Err(AuditError::Truncated { at: start });
+        }
+        let mut removed = Vec::with_capacity(n);
+        for _ in 0..n {
+            removed.push(u64::from_le_bytes(
+                take(&mut off, 8)?.try_into().expect("8"),
+            ));
+        }
+        let mut state_digest = [0u8; DIGEST_LEN];
+        state_digest.copy_from_slice(take(&mut off, DIGEST_LEN)?);
+        let mut prev_hash = [0u8; DIGEST_LEN];
+        prev_hash.copy_from_slice(take(&mut off, DIGEST_LEN)?);
+        let mut entry_hash = [0u8; DIGEST_LEN];
+        entry_hash.copy_from_slice(take(&mut off, DIGEST_LEN)?);
+        debug_assert_eq!(off, body_end);
+
+        let want_index = entries.len() as u64;
+        if index != want_index {
+            return Err(AuditError::IndexSkew {
+                want: want_index,
+                got: index,
+            });
+        }
+        let entry = AuditEntry {
+            index,
+            round,
+            serial,
+            client_id,
+            removed,
+            state_digest,
+            prev_hash,
+            entry_hash,
+        };
+        if entry.prev_hash != tip {
+            return Err(AuditError::ChainBroken { index });
+        }
+        if entry.compute_hash() != entry.entry_hash {
+            return Err(AuditError::HashMismatch { index });
+        }
+        tip = entry.entry_hash;
+        entries.push(entry);
+    }
+    Ok(AuditSummary {
+        entries,
+        tip,
+        bytes: off as u64,
+    })
+}
+
+/// Renders a short human-readable line for one entry (CLI output).
+pub fn describe_entry(e: &AuditEntry) -> String {
+    format!(
+        "#{} round {} serial {} client {} removed {} sample(s) state {} hash {}",
+        e.index,
+        e.round,
+        e.serial,
+        e.client_id,
+        e.removed.len(),
+        &digest::hex(&e.state_digest)[..16],
+        &digest::hex(&e.entry_hash)[..16],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("goldfish-audit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn reqs() -> Vec<UnlearnRequest> {
+        vec![
+            UnlearnRequest::new(0, vec![3, 1, 2]),
+            UnlearnRequest::new(2, vec![7]),
+        ]
+    }
+
+    #[test]
+    fn append_then_verify_roundtrip() {
+        let path = tmp("roundtrip");
+        let (mut log, existing) = AuditLog::open(&path).unwrap();
+        assert!(existing.is_empty());
+        let d0 = sha256(b"state-after-drain-0");
+        log.append_batch(1, 0, &reqs(), &d0).unwrap();
+        let d1 = sha256(b"state-after-drain-1");
+        log.append_batch(3, 1, &[UnlearnRequest::new(1, vec![0])], &d1)
+            .unwrap();
+        let tip = log.tip();
+        drop(log);
+
+        let summary = verify_file(&path).unwrap();
+        assert_eq!(summary.entries.len(), 3);
+        assert_eq!(summary.tip, tip);
+        assert_eq!(summary.entries[0].prev_hash, GENESIS);
+        assert_eq!(summary.entries[1].prev_hash, summary.entries[0].entry_hash);
+        assert_eq!(summary.entries[2].prev_hash, summary.entries[1].entry_hash);
+        assert_eq!(summary.entries[0].removed, vec![1, 2, 3]);
+        assert_eq!(summary.entries[2].round, 3);
+        assert_eq!(summary.entries[2].serial, 1);
+
+        // Re-open resumes at the same tip.
+        let (log2, entries) = AuditLog::open(&path).unwrap();
+        assert_eq!(log2.tip(), tip);
+        assert_eq!(entries.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn one_byte_tamper_is_detected_everywhere() {
+        let path = tmp("tamper");
+        {
+            let (mut log, _) = AuditLog::open(&path).unwrap();
+            log.append_batch(1, 0, &reqs(), &sha256(b"s0")).unwrap();
+            log.append_batch(2, 1, &[UnlearnRequest::new(1, vec![5])], &sha256(b"s1"))
+                .unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+        assert!(verify_file(&path).is_ok());
+        // Flip every single byte past the header, one at a time; every
+        // flip must be caught by some typed error.
+        for i in AUDIT_HEADER_LEN as usize..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                verify_file(&path).is_err(),
+                "flipping byte {i} went undetected"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_and_header_skew_are_typed() {
+        let path = tmp("trunc");
+        {
+            let (mut log, _) = AuditLog::open(&path).unwrap();
+            log.append_batch(1, 0, &reqs(), &sha256(b"s0")).unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+
+        std::fs::write(&path, &clean[..clean.len() - 3]).unwrap();
+        assert!(matches!(
+            verify_file(&path),
+            Err(AuditError::Truncated { .. })
+        ));
+
+        let mut bad = clean.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            verify_file(&path),
+            Err(AuditError::BadMagic { .. })
+        ));
+
+        let mut bad = clean.clone();
+        bad[4] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(verify_file(&path), Err(AuditError::VersionSkew { got: 99 }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_to_restores_a_committed_point() {
+        let path = tmp("truncate-to");
+        let (mut log, _) = AuditLog::open(&path).unwrap();
+        log.append_batch(1, 0, &reqs(), &sha256(b"s0")).unwrap();
+        let committed = (log.entries(), log.bytes(), log.tip());
+        log.append_batch(2, 1, &[UnlearnRequest::new(1, vec![9])], &sha256(b"s1"))
+            .unwrap();
+        drop(log);
+
+        let (mut log, _) = AuditLog::open(&path).unwrap();
+        log.truncate_to(committed.0, committed.1, &committed.2)
+            .unwrap();
+        assert_eq!(log.tip(), committed.2);
+        drop(log);
+        let summary = verify_file(&path).unwrap();
+        assert_eq!(summary.entries.len(), committed.0 as usize);
+        assert_eq!(summary.tip, committed.2);
+
+        // A wrong expected tip fails closed.
+        let (mut log, _) = AuditLog::open(&path).unwrap();
+        assert_eq!(
+            log.truncate_to(0, AUDIT_HEADER_LEN, &sha256(b"wrong")),
+            Err(AuditError::TipMismatch)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

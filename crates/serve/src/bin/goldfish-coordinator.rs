@@ -5,7 +5,8 @@
 //! goldfish-coordinator [--listen 127.0.0.1:4771] [--clients 2]
 //!                      [--samples 120] [--rounds 2] [--unlearn-rounds 1]
 //!                      [--seed 42] [--unlearn AFTER:CLIENT:COUNT]
-//!                      [--loopback]
+//!                      [--loopback] [--state-dir DIR] [--verify-audit]
+//!                      [--kill-at OP]
 //! ```
 //!
 //! The workload is the deterministic demo workload (`goldfish_serve::demo`):
@@ -14,14 +15,32 @@
 //! `--unlearn 0:0:12` queues "client 0 forgets its first 12 samples"
 //! after training round 0. With `--loopback` no sockets are opened and
 //! the same schedule runs in-process (useful as a smoke check).
+//!
+//! Durability (DESIGN.md §12): `--state-dir DIR` checkpoints the global
+//! state after every round/drain, write-ahead-logs accepted unlearning
+//! requests, and hash-chains served requests into `DIR/audit.log` — a
+//! killed coordinator restarted with the same flags resumes the exact
+//! round stream. `--verify-audit` (with `--state-dir`) re-walks the
+//! audit chain and exits 0/1. `--kill-at OP` injects a coordinator
+//! crash at transport operation `OP` (exit code 41), which is how the
+//! CI crash-kill-restart demo produces a mid-run corpse to recover.
+
+use std::path::Path;
 
 use goldfish_core::basic_model::GoldfishLocalConfig;
 use goldfish_core::GoldfishUnlearning;
+use goldfish_serve::audit;
 use goldfish_serve::coordinator::{drain_seed, round_seed, Coordinator, CoordinatorConfig};
 use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::durability::{audit_path, DurableStore};
+use goldfish_serve::fault::{FaultPlan, FaultyTransport};
 use goldfish_serve::queue::UnlearnRequest;
 use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+
+/// Exit status of a fault-injected (`--kill-at`) crash, distinct from
+/// real failures so the restart harness can tell them apart.
+const EXIT_KILLED: i32 = 41;
 
 fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
@@ -65,6 +84,17 @@ fn unlearn_plan() -> Option<UnlearnPlan> {
     })
 }
 
+/// A failed round/drain: an injected kill exits with [`EXIT_KILLED`]
+/// (the restart harness's cue), anything real panics as before.
+fn die(context: &str, e: impl std::fmt::Display) -> ! {
+    let text = e.to_string();
+    if text.contains("fault injection") {
+        eprintln!("{context}: {text}");
+        std::process::exit(EXIT_KILLED);
+    }
+    panic!("{context}: {text}");
+}
+
 fn serve<T: ServeTransport>(
     mut coordinator: Coordinator<T>,
     rounds: usize,
@@ -75,10 +105,27 @@ fn serve<T: ServeTransport>(
         "initial test accuracy: {:.4}",
         coordinator.global_accuracy()
     );
-    for r in 0..rounds {
+    let start = coordinator.next_round();
+    if start > 0 {
+        println!("resuming at round {start} (recovered state)");
+    }
+    // A drain the crashed run accepted but never committed runs first,
+    // at its original seed slot, before any new round.
+    if coordinator.has_overdue_drain() {
+        let slot = start - 1;
+        match coordinator.drain_unlearning(drain_seed(seed, slot)) {
+            Ok(Some(u)) => println!(
+                "recovered drain (round {slot}): served {} unlearning request(s)",
+                u.requests.len()
+            ),
+            Ok(None) => {}
+            Err(e) => die("recovered drain failed", e),
+        }
+    }
+    for r in start..rounds {
         let summary = coordinator
             .train_round(r, round_seed(seed, r))
-            .unwrap_or_else(|e| panic!("round {r} failed: {e}"));
+            .unwrap_or_else(|e| die(&format!("round {r} failed"), e));
         println!(
             "round {r}: accuracy {:.4} ({} clients)",
             summary.global_accuracy,
@@ -106,7 +153,7 @@ fn serve<T: ServeTransport>(
                 );
             }
             Ok(None) => {}
-            Err(e) => panic!("unlearning failed: {e}"),
+            Err(e) => die("unlearning failed", e),
         }
     }
     let global = coordinator.global_state().to_vec();
@@ -126,9 +173,73 @@ fn serve<T: ServeTransport>(
         stats.bytes_sent,
         stats.bytes_received
     );
+    // Graceful goodbye: without it, workers treat our exit as a crash
+    // and (under --reconnect) wait for a coordinator that isn't coming.
+    coordinator.transport_mut().shutdown();
+}
+
+/// Attaches `--state-dir` durability (checkpoint + WAL + audit) when
+/// requested, applying whatever the store recovered.
+fn attach_state_dir<T: ServeTransport>(coordinator: &mut Coordinator<T>) {
+    let Some(dir) = value_of("--state-dir") else {
+        return;
+    };
+    let (store, recovered) =
+        DurableStore::open(Path::new(&dir)).unwrap_or_else(|e| panic!("state dir {dir}: {e}"));
+    if recovered.fell_back {
+        println!("warning: newest checkpoint unreadable, recovered from the previous one");
+    }
+    let resumed = recovered.resumed;
+    let served = recovered.served.len();
+    let replayed = recovered.replayed.len();
+    coordinator
+        .attach_durability(store, recovered)
+        .unwrap_or_else(|e| panic!("recovered state does not fit this model: {e}"));
+    if resumed {
+        println!(
+            "recovered from {dir}: round cursor {}, {} served request(s) in the audit chain, {} WAL request(s) replayed",
+            coordinator.next_round(),
+            served,
+            replayed,
+        );
+    } else {
+        println!("durability on: fresh state in {dir}");
+    }
+}
+
+/// `--verify-audit`: re-walk the hash chain and report.
+fn verify_audit() -> ! {
+    let dir = value_of("--state-dir").expect("--verify-audit requires --state-dir DIR");
+    let path = audit_path(Path::new(&dir));
+    match audit::verify_file(&path) {
+        Ok(summary) => {
+            for e in &summary.entries {
+                println!("{}", audit::describe_entry(e));
+            }
+            println!(
+                "audit chain OK: {} entr{} over {} bytes, tip {}",
+                summary.entries.len(),
+                if summary.entries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                summary.bytes,
+                &goldfish_serve::digest::hex(&summary.tip)[..16],
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("audit chain verification FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
+    if flag("--verify-audit") {
+        verify_audit();
+    }
     let spec = DemoSpec {
         clients: num("--clients", 2),
         samples_per_client: num("--samples", 120),
@@ -160,10 +271,20 @@ fn main() {
         "goldfish-coordinator: {} clients x {} samples, {} rounds, {} params",
         spec.clients, spec.samples_per_client, rounds, state_len
     );
+    let kill_at: Option<u64> = value_of("--kill-at").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--kill-at expects an operation index, got {v}"))
+    });
 
     if flag("--loopback") {
         let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), None);
-        let coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+        let plan = match kill_at {
+            Some(op) => FaultPlan::new().kill_before_at(op),
+            None => FaultPlan::new(),
+        };
+        let transport = FaultyTransport::new(transport, plan);
+        let mut coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+        attach_state_dir(&mut coordinator);
         serve(coordinator, rounds, spec.seed, unlearn_plan());
         return;
     }
@@ -174,9 +295,19 @@ fn main() {
         "listening on {local}, waiting for {} workers …",
         spec.clients
     );
-    let transport = TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
-        .expect("worker handshake");
+    let mut transport =
+        TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
+            .expect("worker handshake");
+    // Keep the listener: dropped workers (or workers that outlived a
+    // previous coordinator) are re-admitted at round boundaries.
+    transport.enable_reconnect(listener);
     println!("all workers registered");
-    let coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+    let plan = match kill_at {
+        Some(op) => FaultPlan::new().kill_before_at(op),
+        None => FaultPlan::new(),
+    };
+    let transport = FaultyTransport::new(transport, plan);
+    let mut coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+    attach_state_dir(&mut coordinator);
     serve(coordinator, rounds, spec.seed, unlearn_plan());
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! goldfish-worker [--connect 127.0.0.1:4771] [--client 0]
 //!                 [--clients 2] [--samples 120] [--seed 42]
+//!                 [--reconnect]
 //! ```
 //!
 //! `--client` accepts a comma list (`--client 0,1`) to host several
@@ -11,12 +12,31 @@
 //! served by one thread from a pool bounded by the list length. The
 //! workload flags must match the coordinator's so every process derives
 //! the same demo shards (`goldfish_serve::demo`).
+//!
+//! Exit status is typed: `0` after a clean coordinator shutdown, `2`
+//! when the coordinator disconnected (or never appeared) and the retry
+//! budget ran out, `3` when the coordinator rejected this worker
+//! (retrying cannot help). With `--reconnect` a lost session is retried
+//! under bounded exponential backoff, re-introducing each client with
+//! its resume token — how a fleet survives a coordinator
+//! crash-restart.
 
 use std::time::Duration;
 
 use goldfish_serve::demo::DemoSpec;
 use goldfish_serve::wire::FrameLimits;
-use goldfish_serve::worker::{run_worker, WorkerRuntime};
+use goldfish_serve::worker::{
+    run_worker_resilient, ReconnectPolicy, WorkerRuntime, WorkerSessionError,
+};
+
+/// The coordinator went away (or never appeared) and retries ran out.
+const EXIT_DISCONNECTED: i32 = 2;
+/// The coordinator rejected this worker; retrying cannot help.
+const EXIT_REJECTED: i32 = 3;
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
 
 fn value_of(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -34,37 +54,43 @@ fn num<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// Connects with retries: the coordinator may not be listening yet when
-/// workers launch.
-fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize) {
+/// Serves one logical client until clean shutdown or a typed failure.
+/// The generous 40-attempt budget absorbs the coordinator binding late
+/// at fleet startup; `--reconnect` additionally reuses it after every
+/// productive session, surviving coordinator restarts.
+fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize, reconnect: bool) -> i32 {
     let mut runtime = WorkerRuntime::new(client_id, spec.factory(), spec.client_shard(client_id));
     let limits = FrameLimits::default();
-    let mut last_err = None;
-    for attempt in 0..40 {
-        if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(250));
-        }
-        match run_worker(addr, &mut runtime, &limits) {
+    let policy = ReconnectPolicy {
+        max_attempts: 40,
+        initial_delay: Duration::from_millis(100),
+        max_delay: Duration::from_secs(2),
+    };
+    loop {
+        match run_worker_resilient(addr, &mut runtime, &limits, policy) {
             Ok(()) => {
                 println!("client {client_id}: coordinator closed the session, done");
-                return;
+                return 0;
             }
-            Err(e) => {
-                // Connection refused before the coordinator binds →
-                // retry; anything after a session started is fatal.
-                let refused = matches!(
-                    &e,
-                    goldfish_serve::wire::WireError::Io { kind, .. }
-                        if *kind == std::io::ErrorKind::ConnectionRefused
-                );
-                if !refused {
-                    panic!("client {client_id}: session failed: {e}");
+            Err(WorkerSessionError::Rejected { detail }) => {
+                eprintln!("client {client_id}: rejected: {detail}");
+                return EXIT_REJECTED;
+            }
+            Err(e @ WorkerSessionError::Disconnected { .. }) => {
+                if !reconnect {
+                    eprintln!("client {client_id}: {e}");
+                    return EXIT_DISCONNECTED;
                 }
-                last_err = Some(e);
+                // --reconnect: a fresh budget per outage, forever. The
+                // resilient loop already refilled its budget after every
+                // productive session; landing here means a full budget
+                // elapsed with no progress — keep waiting at the ceiling
+                // (the coordinator may take arbitrarily long to restart).
+                eprintln!("client {client_id}: {e}; still retrying (--reconnect)");
+                std::thread::sleep(policy.max_delay);
             }
         }
     }
-    panic!("client {client_id}: could not reach {addr}: {last_err:?}");
 }
 
 fn main() {
@@ -75,6 +101,7 @@ fn main() {
         seed: num("--seed", 42u64),
     };
     let addr = value_of("--connect").unwrap_or_else(|| "127.0.0.1:4771".to_string());
+    let reconnect = flag("--reconnect");
     let list = value_of("--client").unwrap_or_else(|| "0".to_string());
     let ids: Vec<usize> = list
         .split(',')
@@ -89,11 +116,22 @@ fn main() {
         spec.clients, spec.samples_per_client
     );
     // One connection per logical client; the thread pool is bounded by
-    // the id list.
+    // the id list. The process exits with the worst client's status.
+    let mut codes = Vec::new();
     std::thread::scope(|scope| {
-        for &id in &ids {
-            let addr = addr.clone();
-            scope.spawn(move || serve_client(&addr, &spec, id));
-        }
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let addr = addr.clone();
+                let spec = &spec;
+                scope.spawn(move || serve_client(&addr, spec, id, reconnect))
+            })
+            .collect();
+        codes.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread")),
+        );
     });
+    std::process::exit(codes.into_iter().max().unwrap_or(0));
 }

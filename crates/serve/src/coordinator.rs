@@ -27,6 +27,8 @@ use goldfish_fed::trainer::TrainConfig;
 use goldfish_fed::transport::{RoundRuntime, StateLenError, TrainAssign, TransportError};
 use goldfish_fed::ModelFactory;
 
+use crate::digest::{self, DIGEST_LEN};
+use crate::durability::{DurabilityError, DurableStore, Recovered};
 use crate::queue::{UnlearnQueue, UnlearnRequest};
 use crate::transport::ServeTransport;
 
@@ -139,6 +141,21 @@ pub enum SubmitError {
         /// The client's local sample count.
         len: usize,
     },
+    /// The request names no samples. Accepting it would burn a full
+    /// distillation pass (and an audit entry) on a no-op — flushed out
+    /// by the queue edge-case tests and rejected here, before the
+    /// request is logged or queued.
+    EmptyRequest {
+        /// The submitting client.
+        client_id: usize,
+    },
+    /// The request could not be made durable (WAL append/fsync
+    /// failed); it was **not** queued — an acknowledged request is
+    /// always recoverable.
+    Durability {
+        /// The underlying durability error text.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -147,6 +164,12 @@ impl std::fmt::Display for SubmitError {
             SubmitError::UnknownClient { client_id } => write!(f, "unknown client {client_id}"),
             SubmitError::IndexOutOfRange { index, len } => {
                 write!(f, "removal index {index} out of {len} local samples")
+            }
+            SubmitError::EmptyRequest { client_id } => {
+                write!(f, "client {client_id} requested deletion of zero samples")
+            }
+            SubmitError::Durability { detail } => {
+                write!(f, "request not accepted, WAL write failed: {detail}")
             }
         }
     }
@@ -166,6 +189,27 @@ pub fn drain_seed(base: u64, round: usize) -> u64 {
     base.wrapping_add(0xA5A5_0000 + round as u64)
 }
 
+/// A failed commit (checkpoint/audit write) surfaced through the round
+/// loop's error channel: the coordinator must stop rather than keep
+/// serving rounds it cannot recover.
+fn durability_fault(e: DurabilityError) -> TransportError {
+    TransportError::Unsupported {
+        reason: format!("durability: {e}"),
+    }
+}
+
+/// When the transport reports a transport-wide fatal fault (an injected
+/// coordinator kill), that reason supersedes whatever per-client shape
+/// the failure took on the way up (usually a blanket `NoLiveClients`).
+fn fatal_or<T: ServeTransport>(transport: &T, e: TransportError) -> TransportError {
+    match transport.fatal_fault() {
+        Some(reason) => TransportError::Unsupported {
+            reason: reason.to_string(),
+        },
+        None => e,
+    }
+}
+
 /// The server daemon: global state + request queue + round loops over a
 /// [`ServeTransport`].
 pub struct Coordinator<T: ServeTransport> {
@@ -179,6 +223,14 @@ pub struct Coordinator<T: ServeTransport> {
     transport: T,
     runtime: RoundRuntime,
     drain_stats: DrainStats,
+    /// The next training round [`Coordinator::run`] will execute
+    /// (advanced by every completed round; restored by recovery).
+    next_round: usize,
+    /// Durable state store; `None` = in-memory only (tests, benches).
+    durability: Option<DurableStore>,
+    /// Recovery found a pending queue whose drain slot already passed —
+    /// [`Coordinator::run`] serves it first, at the original seed slot.
+    resume_drain_pending: bool,
 }
 
 impl<T: ServeTransport> Coordinator<T> {
@@ -206,7 +258,72 @@ impl<T: ServeTransport> Coordinator<T> {
             transport,
             runtime,
             drain_stats: DrainStats::default(),
+            next_round: 0,
+            durability: None,
+            resume_drain_pending: false,
         }
+    }
+
+    /// Attaches a durable store and applies what it recovered: global
+    /// state, round cursor, drain counters, committed deletions
+    /// (replayed onto the transport) and the pending queue (checkpoint
+    /// entries restored verbatim, WAL tail replayed through the normal
+    /// merge logic). From here on every accepted submit is WAL-logged
+    /// before acknowledgement and every completed round/drain writes a
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`StateLenError`] when the recovered global does not match the
+    /// model architecture (version/config skew) — nothing is applied.
+    pub fn attach_durability(
+        &mut self,
+        store: DurableStore,
+        recovered: Recovered,
+    ) -> Result<(), StateLenError> {
+        if recovered.resumed {
+            StateLenError::check(recovered.global.len(), self.global.len())?;
+            self.global = recovered.global;
+            self.next_round = recovered.round_next;
+            self.drain_stats = recovered.drain_stats;
+            let served: Vec<UnlearnRequest> =
+                recovered.served.iter().map(|e| e.request()).collect();
+            self.transport.apply_removals(&served);
+        }
+        self.queue.restore(recovered.pending);
+        for req in recovered.replayed {
+            self.queue.submit(req);
+        }
+        // A non-empty queue whose drain slot already passed (the crash
+        // hit after the round's checkpoint but before the drain
+        // committed) is served first by `run`, at its original seed.
+        self.resume_drain_pending =
+            recovered.resumed && !self.queue.is_empty() && self.next_round > 0;
+        self.durability = Some(store);
+        Ok(())
+    }
+
+    /// The durable store, when attached.
+    pub fn durability(&self) -> Option<&DurableStore> {
+        self.durability.as_ref()
+    }
+
+    /// The next training round [`Coordinator::run`] will execute.
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// Whether recovery left an overdue drain that [`Coordinator::run`]
+    /// will serve before its first training round.
+    pub fn has_overdue_drain(&self) -> bool {
+        self.resume_drain_pending
+    }
+
+    /// SHA-256 digest of the current global at the current round
+    /// cursor — what resumed workers receive in the `Digest` frame and
+    /// what audit entries record after a drain.
+    pub fn global_digest(&self) -> [u8; DIGEST_LEN] {
+        digest::state_digest(self.next_round as u64, &self.global)
     }
 
     /// The current global state vector.
@@ -265,8 +382,23 @@ impl<T: ServeTransport> Coordinator<T> {
                 })
             }
         };
+        if req.removed.is_empty() {
+            return Err(SubmitError::EmptyRequest {
+                client_id: req.client_id,
+            });
+        }
         if let Some(&bad) = req.removed.iter().find(|&&i| i >= len) {
             return Err(SubmitError::IndexOutOfRange { index: bad, len });
+        }
+        // Durability before acknowledgement: the request reaches the
+        // WAL (fsync'd) before it reaches the queue, so an accepted
+        // request survives any crash from here on.
+        if let Some(store) = self.durability.as_mut() {
+            store
+                .log_submit(&req)
+                .map_err(|e| SubmitError::Durability {
+                    detail: e.to_string(),
+                })?;
         }
         self.queue.submit(req);
         Ok(())
@@ -301,6 +433,9 @@ impl<T: ServeTransport> Coordinator<T> {
     /// [`TransportError::UpdateWindowExceeded`] when arrivals overflow
     /// the configured window.
     pub fn train_round_hot(&mut self, round: usize, seed: u64) -> Result<(), TransportError> {
+        // Re-admit resumed workers at the round boundary, before the
+        // cohort is drawn — a no-op (and allocation-free) on loopback.
+        self.transport.admit_reconnects(round, &self.global);
         // The new global lands in a second reusable buffer (the assign
         // borrows the current one), then the buffers swap.
         let mut next = std::mem::take(&mut self.next_global);
@@ -321,11 +456,22 @@ impl<T: ServeTransport> Coordinator<T> {
         match outcome {
             Ok(()) => {
                 self.next_global = std::mem::replace(&mut self.global, next);
+                self.next_round = round + 1;
+                if let Some(store) = self.durability.as_mut() {
+                    store
+                        .commit_round(
+                            self.next_round,
+                            &self.global,
+                            self.queue.pending(),
+                            self.drain_stats,
+                        )
+                        .map_err(durability_fault)?;
+                }
                 Ok(())
             }
             Err(e) => {
                 self.next_global = next;
-                Err(e)
+                Err(fatal_or(&self.transport, e))
             }
         }
     }
@@ -359,8 +505,11 @@ impl<T: ServeTransport> Coordinator<T> {
         if self.queue.is_empty() {
             return Ok(None);
         }
+        // The batch's drain serial: workers use it to deduplicate a
+        // re-shipped assignment after a coordinator crash-restart.
+        let serial = self.drain_stats.batches_served as u64;
         let requests = self.queue.drain();
-        self.transport.stage_removals(&requests);
+        self.transport.stage_removals(&requests, serial);
         let teacher = std::mem::take(&mut self.global);
         let server = UnlearnServer {
             factory: &self.factory,
@@ -378,6 +527,26 @@ impl<T: ServeTransport> Coordinator<T> {
                 self.drain_stats.requests_served += requests.len();
                 self.drain_stats.batches_served += 1;
                 self.drain_stats.last_batch_requests = requests.len();
+                if let Some(store) = self.durability.as_mut() {
+                    // Audit append (fsync'd) then checkpoint: the
+                    // checkpoint IS the drain's commit record. A crash
+                    // between the two truncates the audit back to the
+                    // checkpoint on recovery and deterministically
+                    // re-drains, re-appending identical bytes.
+                    let state_digest = digest::state_digest(self.next_round as u64, &self.global);
+                    store
+                        .commit_drain(
+                            self.next_round as u64,
+                            serial,
+                            &requests,
+                            &state_digest,
+                            self.next_round,
+                            &self.global,
+                            self.queue.pending(),
+                            self.drain_stats,
+                        )
+                        .map_err(durability_fault)?;
+                }
                 Ok(Some(UnlearnSummary {
                     requests,
                     round_accuracies: out.round_accuracies,
@@ -386,7 +555,7 @@ impl<T: ServeTransport> Coordinator<T> {
             Err(e) => {
                 // Keep serving with the pre-request model.
                 self.global = teacher;
-                Err(e)
+                Err(fatal_or(&self.transport, e))
             }
         }
     }
@@ -396,12 +565,25 @@ impl<T: ServeTransport> Coordinator<T> {
     /// Seeds derive via [`round_seed`]/[`drain_seed`] (the former
     /// matching `Federation::train_rounds`).
     ///
+    /// A recovered coordinator resumes at [`Coordinator::next_round`];
+    /// if recovery found an overdue drain (the crash hit between a
+    /// round's checkpoint and its drain's commit) it is served first, at
+    /// the drain-seed slot of the round already completed — so the
+    /// resumed stream is bitwise identical to an uninterrupted run.
+    ///
     /// # Errors
     ///
     /// The first transport failure aborts the run.
     pub fn run(&mut self, rounds: usize, seed: u64) -> Result<RunSummary, TransportError> {
         let mut summary = RunSummary::default();
-        for r in 0..rounds {
+        if self.resume_drain_pending {
+            self.resume_drain_pending = false;
+            let slot = self.next_round - 1;
+            if let Some(u) = self.drain_unlearning(drain_seed(seed, slot))? {
+                summary.unlearns.push(u);
+            }
+        }
+        for r in self.next_round..rounds {
             summary
                 .rounds
                 .push(self.train_round(r, round_seed(seed, r))?);

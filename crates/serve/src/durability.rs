@@ -1,0 +1,735 @@
+//! Crash-safe coordinator state: checkpoints + write-ahead log
+//! (DESIGN.md §12).
+//!
+//! Two files plus the audit log live in the coordinator's state
+//! directory:
+//!
+//! * `checkpoint-<serial>.gfck` — a full snapshot of the durable
+//!   coordinator state (global model, round cursor, pending queue,
+//!   drain counters, audit-chain position), versioned and SHA-256
+//!   checksummed, written to a temp file, fsync'd and atomically
+//!   renamed. The last **two** checkpoints are kept: if the newest is
+//!   torn or corrupt, recovery falls back to the previous one.
+//! * `queue.wal` — the submit write-ahead log. Every accepted deletion
+//!   request is appended and fsync'd **before** the submit call
+//!   returns, so an acknowledged request survives any crash. Records
+//!   carry a monotone sequence number and their own SHA-256; recovery
+//!   replays every record newer than the loaded checkpoint through the
+//!   queue's normal merge logic.
+//!
+//! ## Recovery invariant
+//!
+//! A checkpoint is written after **every** completed training round and
+//! after every committed drain (audit append happens first, checkpoint
+//! second — the checkpoint *is* the drain's commit record). Restarting
+//! from `(checkpoint, WAL tail, truncated audit)` therefore lands the
+//! coordinator exactly between two schedule steps of
+//! [`crate::coordinator::Coordinator::run`], and re-running the
+//! remaining steps with the same base seed reproduces the uninterrupted
+//! round stream bitwise (pinned by `tests/crash_recovery.rs`).
+
+use crate::audit::{AuditEntry, AuditError, AuditLog};
+use crate::coordinator::DrainStats;
+use crate::digest::{sha256, Sha256, DIGEST_LEN};
+use crate::queue::UnlearnRequest;
+use goldfish_tensor::serialize;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint file magic: "GoldFish ChecKpoint".
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"GFCK";
+
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// WAL file magic: "GoldFish Wal Log".
+pub const WAL_MAGIC: [u8; 4] = *b"GFWL";
+
+/// WAL format version.
+pub const WAL_VERSION: u32 = 1;
+
+const WAL_HEADER_LEN: u64 = 8;
+
+/// How many checkpoint generations stay on disk.
+pub const CHECKPOINTS_KEPT: usize = 2;
+
+/// Typed durability failures. Everything fails closed: no partially
+/// applied state ever reaches the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An I/O error touching the state directory.
+    Io {
+        /// The underlying error kind.
+        kind: std::io::ErrorKind,
+        /// The error text.
+        detail: String,
+    },
+    /// A checkpoint file does not start with [`CHECKPOINT_MAGIC`].
+    CheckpointBadMagic {
+        /// The offending file.
+        path: String,
+    },
+    /// A checkpoint file ends before its announced contents do.
+    CheckpointTruncated {
+        /// The offending file.
+        path: String,
+    },
+    /// A checkpoint's trailing SHA-256 does not match its contents.
+    CheckpointChecksum {
+        /// The offending file.
+        path: String,
+    },
+    /// A checkpoint was written by a different format version.
+    CheckpointVersionSkew {
+        /// The offending file.
+        path: String,
+        /// The version found.
+        got: u32,
+    },
+    /// Checkpoint files exist but none decodes — recovery refuses to
+    /// guess and fails closed.
+    NoUsableCheckpoint {
+        /// The state directory.
+        dir: String,
+        /// How many candidate files were tried.
+        tried: usize,
+    },
+    /// The WAL's header is wrong (magic or version).
+    WalHeader {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A non-tail WAL record fails its hash or length check.
+    WalCorrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+    },
+    /// The audit log failed verification or re-synchronisation.
+    Audit(AuditError),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io { kind, detail } => {
+                write!(f, "durability i/o error ({kind:?}): {detail}")
+            }
+            DurabilityError::CheckpointBadMagic { path } => {
+                write!(f, "checkpoint {path}: bad magic")
+            }
+            DurabilityError::CheckpointTruncated { path } => {
+                write!(f, "checkpoint {path}: truncated")
+            }
+            DurabilityError::CheckpointChecksum { path } => {
+                write!(f, "checkpoint {path}: checksum mismatch")
+            }
+            DurabilityError::CheckpointVersionSkew { path, got } => {
+                write!(
+                    f,
+                    "checkpoint {path}: version {got} (want {CHECKPOINT_VERSION})"
+                )
+            }
+            DurabilityError::NoUsableCheckpoint { dir, tried } => {
+                write!(
+                    f,
+                    "no usable checkpoint in {dir} ({tried} candidate(s) all failed)"
+                )
+            }
+            DurabilityError::WalHeader { detail } => write!(f, "wal header: {detail}"),
+            DurabilityError::WalCorrupt { offset } => {
+                write!(f, "wal record at byte {offset} is corrupt")
+            }
+            DurabilityError::Audit(e) => write!(f, "audit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<AuditError> for DurabilityError {
+    fn from(e: AuditError) -> Self {
+        DurabilityError::Audit(e)
+    }
+}
+
+/// The durable coordinator state one checkpoint captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Monotone checkpoint generation.
+    pub serial: u64,
+    /// The next training round to run (rounds `0..round_next` are
+    /// committed).
+    pub round_next: u64,
+    /// Highest WAL sequence number whose submission this checkpoint's
+    /// `pending` already reflects.
+    pub wal_seq: u64,
+    /// Committed audit-chain length, in entries.
+    pub audit_entries: u64,
+    /// Committed audit-chain length, in file bytes.
+    pub audit_bytes: u64,
+    /// Committed audit-chain head hash.
+    pub audit_tip: [u8; DIGEST_LEN],
+    /// Drain counters at commit time.
+    pub drain_stats: DrainStats,
+    /// The pending unlearning queue, FIFO order.
+    pub pending: Vec<UnlearnRequest>,
+    /// The global model state.
+    pub global: Vec<f32>,
+}
+
+fn put_request(out: &mut Vec<u8>, req: &UnlearnRequest) {
+    out.extend_from_slice(&(req.client_id as u64).to_le_bytes());
+    out.extend_from_slice(&(req.removed.len() as u32).to_le_bytes());
+    for &i in &req.removed {
+        out.extend_from_slice(&(i as u64).to_le_bytes());
+    }
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.b.len() < n {
+            return None;
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Some(head)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn request(&mut self) -> Option<UnlearnRequest> {
+        let client_id = self.u64()? as usize;
+        let n = self.u32()? as usize;
+        let mut removed = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            removed.push(self.u64()? as usize);
+        }
+        Some(UnlearnRequest { client_id, removed })
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint: header, fields, pending queue, global
+    /// (bulk f32 codec), trailing SHA-256 over everything before it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.global.len() * 4);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.serial.to_le_bytes());
+        out.extend_from_slice(&self.round_next.to_le_bytes());
+        out.extend_from_slice(&self.wal_seq.to_le_bytes());
+        out.extend_from_slice(&self.audit_entries.to_le_bytes());
+        out.extend_from_slice(&self.audit_bytes.to_le_bytes());
+        out.extend_from_slice(&self.audit_tip);
+        out.extend_from_slice(&(self.drain_stats.requests_served as u64).to_le_bytes());
+        out.extend_from_slice(&(self.drain_stats.batches_served as u64).to_le_bytes());
+        out.extend_from_slice(&(self.drain_stats.last_batch_requests as u64).to_le_bytes());
+        out.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for req in &self.pending {
+            put_request(&mut out, req);
+        }
+        serialize::params_write_into(&mut out, &self.global);
+        let checksum = sha256(&out);
+        out.extend_from_slice(&checksum);
+        out
+    }
+
+    /// Decodes and fully validates a checkpoint file's bytes.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DurabilityError`]s; `path` only labels them.
+    pub fn from_bytes(data: &[u8], path: &str) -> Result<Checkpoint, DurabilityError> {
+        let truncated = || DurabilityError::CheckpointTruncated {
+            path: path.to_string(),
+        };
+        if data.len() < 8 + DIGEST_LEN {
+            return Err(truncated());
+        }
+        if data[0..4] != CHECKPOINT_MAGIC {
+            return Err(DurabilityError::CheckpointBadMagic {
+                path: path.to_string(),
+            });
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if version != CHECKPOINT_VERSION {
+            return Err(DurabilityError::CheckpointVersionSkew {
+                path: path.to_string(),
+                got: version,
+            });
+        }
+        // Checksum first: everything after it can assume intact bytes.
+        let (body, stored) = data.split_at(data.len() - DIGEST_LEN);
+        if sha256(body) != *stored {
+            return Err(DurabilityError::CheckpointChecksum {
+                path: path.to_string(),
+            });
+        }
+        let mut c = Cursor { b: &body[8..] };
+        let serial = c.u64().ok_or_else(truncated)?;
+        let round_next = c.u64().ok_or_else(truncated)?;
+        let wal_seq = c.u64().ok_or_else(truncated)?;
+        let audit_entries = c.u64().ok_or_else(truncated)?;
+        let audit_bytes = c.u64().ok_or_else(truncated)?;
+        let mut audit_tip = [0u8; DIGEST_LEN];
+        audit_tip.copy_from_slice(c.take(DIGEST_LEN).ok_or_else(truncated)?);
+        let drain_stats = DrainStats {
+            requests_served: c.u64().ok_or_else(truncated)? as usize,
+            batches_served: c.u64().ok_or_else(truncated)? as usize,
+            last_batch_requests: c.u64().ok_or_else(truncated)? as usize,
+        };
+        let n_pending = c.u32().ok_or_else(truncated)? as usize;
+        let mut pending = Vec::with_capacity(n_pending.min(1 << 16));
+        for _ in 0..n_pending {
+            pending.push(c.request().ok_or_else(truncated)?);
+        }
+        let mut global = Vec::new();
+        serialize::params_read_into_vec(c.b, &mut global).map_err(|_| truncated())?;
+        Ok(Checkpoint {
+            serial,
+            round_next,
+            wal_seq,
+            audit_entries,
+            audit_bytes,
+            audit_tip,
+            drain_stats,
+            pending,
+            global,
+        })
+    }
+}
+
+/// What [`DurableStore::open`] reconstructed from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Whether a checkpoint was loaded (`false` = fresh state
+    /// directory; every other field is at its initial value).
+    pub resumed: bool,
+    /// `true` when the newest checkpoint was corrupt and the previous
+    /// generation was used instead.
+    pub fell_back: bool,
+    /// The next training round to run.
+    pub round_next: usize,
+    /// The committed global model (empty when not `resumed`).
+    pub global: Vec<f32>,
+    /// Drain counters at the commit point.
+    pub drain_stats: DrainStats,
+    /// The checkpoint's pending queue (restore verbatim, FIFO order).
+    pub pending: Vec<UnlearnRequest>,
+    /// WAL submissions newer than the checkpoint, in sequence order —
+    /// replay through the queue's normal submit/merge logic.
+    pub replayed: Vec<UnlearnRequest>,
+    /// The committed audit chain: every deletion request this state
+    /// directory has ever served, in chain order. Transports replay
+    /// these to rebuild post-deletion client datasets.
+    pub served: Vec<AuditEntry>,
+}
+
+/// The coordinator's handle on its state directory: checkpoint writer,
+/// WAL appender and audit-log owner.
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: File,
+    wal_seq: u64,
+    audit: AuditLog,
+    serial: u64,
+}
+
+fn checkpoint_path(dir: &Path, serial: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{serial:016x}.gfck"))
+}
+
+fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(hex) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|s| s.strip_suffix(".gfck"))
+        {
+            if let Ok(serial) = u64::from_str_radix(hex, 16) {
+                found.push((serial, entry.path()));
+            }
+        }
+    }
+    found.sort_by_key(|&(serial, _)| std::cmp::Reverse(serial));
+    Ok(found)
+}
+
+fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    // Directory fsync makes the rename itself durable (Linux/macOS).
+    // Platforms where directories cannot be opened just skip it.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn wal_record_bytes(seq: u64, req: &UnlearnRequest) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + 8 * req.removed.len());
+    body.push(1u8); // record kind: submit
+    body.extend_from_slice(&seq.to_le_bytes());
+    put_request(&mut body, req);
+    let mut h = Sha256::new();
+    h.update(&body);
+    let hash = h.finalize();
+    let mut out = Vec::with_capacity(4 + body.len() + DIGEST_LEN);
+    out.extend_from_slice(&((body.len() + DIGEST_LEN) as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&hash);
+    out
+}
+
+/// Sequenced WAL records plus the torn-tail truncation offset, if any.
+type WalContents = (Vec<(u64, UnlearnRequest)>, Option<u64>);
+
+/// Parses the whole WAL. Returns `(records, truncate_at)`:
+/// `truncate_at` is `Some(offset)` when the file ends inside a record —
+/// a torn tail from a crash mid-append. Torn tails are safe to discard:
+/// the submit was never acknowledged (fsync happens before the ack).
+fn read_wal(data: &[u8]) -> Result<WalContents, DurabilityError> {
+    if data.len() < WAL_HEADER_LEN as usize {
+        return Err(DurabilityError::WalHeader {
+            detail: "file shorter than header".into(),
+        });
+    }
+    if data[0..4] != WAL_MAGIC {
+        return Err(DurabilityError::WalHeader {
+            detail: format!("bad magic {:?}", &data[0..4]),
+        });
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(DurabilityError::WalHeader {
+            detail: format!("version {version} (want {WAL_VERSION})"),
+        });
+    }
+    let mut records = Vec::new();
+    let mut off = WAL_HEADER_LEN as usize;
+    while off < data.len() {
+        let start = off as u64;
+        if data.len() - off < 4 {
+            return Ok((records, Some(start)));
+        }
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if data.len() - off < len {
+            return Ok((records, Some(start)));
+        }
+        let record = &data[off..off + len];
+        off += len;
+        if len < 1 + 8 + 8 + 4 + DIGEST_LEN {
+            return Err(DurabilityError::WalCorrupt { offset: start });
+        }
+        let (body, stored_hash) = record.split_at(len - DIGEST_LEN);
+        if sha256(body) != *stored_hash {
+            return Err(DurabilityError::WalCorrupt { offset: start });
+        }
+        if body[0] != 1 {
+            return Err(DurabilityError::WalCorrupt { offset: start });
+        }
+        let mut c = Cursor { b: &body[1..] };
+        let seq = c
+            .u64()
+            .ok_or(DurabilityError::WalCorrupt { offset: start })?;
+        let req = c
+            .request()
+            .ok_or(DurabilityError::WalCorrupt { offset: start })?;
+        if !c.b.is_empty() {
+            return Err(DurabilityError::WalCorrupt { offset: start });
+        }
+        records.push((seq, req));
+    }
+    Ok((records, None))
+}
+
+impl DurableStore {
+    /// Opens (creating if necessary) the state directory and
+    /// reconstructs the committed coordinator state: newest valid
+    /// checkpoint (falling back one generation on corruption), WAL tail
+    /// replay, audit log truncated to the checkpoint's committed
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DurabilityError`]s. Checkpoints present but all invalid,
+    /// a corrupt WAL interior, or an audit chain that does not reach
+    /// the checkpoint's recorded tip each fail closed.
+    pub fn open(dir: &Path) -> Result<(Self, Recovered), DurabilityError> {
+        fs::create_dir_all(dir)?;
+
+        // --- checkpoint ---------------------------------------------------
+        let candidates = list_checkpoints(dir)?;
+        let mut loaded: Option<Checkpoint> = None;
+        let mut fell_back = false;
+        let mut first_error: Option<DurabilityError> = None;
+        for (i, (_, path)) in candidates.iter().enumerate() {
+            let data = fs::read(path)?;
+            match Checkpoint::from_bytes(&data, &path.to_string_lossy()) {
+                Ok(c) => {
+                    loaded = Some(c);
+                    fell_back = i > 0;
+                    break;
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if loaded.is_none() && !candidates.is_empty() {
+            // Checkpoints exist but none decodes: refuse to silently
+            // restart from scratch (that would forget served deletions).
+            return Err(first_error.unwrap_or(DurabilityError::NoUsableCheckpoint {
+                dir: dir.to_string_lossy().into_owned(),
+                tried: candidates.len(),
+            }));
+        }
+
+        // --- WAL ----------------------------------------------------------
+        let wal_path = dir.join("queue.wal");
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&wal_path)?;
+        let mut data = Vec::new();
+        wal.read_to_end(&mut data)?;
+        if data.is_empty() {
+            wal.write_all(&WAL_MAGIC)?;
+            wal.write_all(&WAL_VERSION.to_le_bytes())?;
+            wal.sync_all()?;
+            data.extend_from_slice(&WAL_MAGIC);
+            data.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        }
+        let (records, torn_at) = read_wal(&data)?;
+        if let Some(offset) = torn_at {
+            // A torn tail record was never acknowledged — drop it.
+            wal.set_len(offset)?;
+            wal.sync_all()?;
+        }
+        use std::io::Seek;
+        wal.seek(std::io::SeekFrom::End(0))?;
+
+        // --- audit --------------------------------------------------------
+        let audit_path = dir.join("audit.log");
+        let (mut audit, mut served) = AuditLog::open(&audit_path)?;
+
+        let ckpt_seq = loaded.as_ref().map(|c| c.wal_seq).unwrap_or(0);
+        let wal_seq = records
+            .iter()
+            .map(|&(seq, _)| seq)
+            .max()
+            .unwrap_or(0)
+            .max(ckpt_seq);
+        let replayed = records
+            .into_iter()
+            .filter(|&(seq, _)| seq > ckpt_seq)
+            .map(|(_, req)| req)
+            .collect();
+
+        let recovered = match loaded {
+            Some(ckpt) => {
+                // Audit entries past the checkpoint belong to a drain
+                // that never committed; cut them (the recovered run
+                // re-drains deterministically and re-appends identical
+                // bytes).
+                audit.truncate_to(ckpt.audit_entries, ckpt.audit_bytes, &ckpt.audit_tip)?;
+                served.truncate(ckpt.audit_entries as usize);
+                Recovered {
+                    resumed: true,
+                    fell_back,
+                    round_next: ckpt.round_next as usize,
+                    global: ckpt.global,
+                    drain_stats: ckpt.drain_stats,
+                    pending: ckpt.pending,
+                    replayed,
+                    served,
+                }
+            }
+            None => {
+                // No checkpoint: nothing was ever committed. Audit
+                // entries without one are uncommitted leftovers.
+                audit.truncate_to(0, crate::audit::AUDIT_HEADER_LEN, &crate::digest::GENESIS)?;
+                Recovered {
+                    resumed: false,
+                    fell_back: false,
+                    round_next: 0,
+                    global: Vec::new(),
+                    drain_stats: DrainStats::default(),
+                    pending: Vec::new(),
+                    replayed,
+                    served: Vec::new(),
+                }
+            }
+        };
+        let serial = candidates.first().map(|&(s, _)| s).unwrap_or(0);
+        Ok((
+            DurableStore {
+                dir: dir.to_path_buf(),
+                wal,
+                wal_seq,
+                audit,
+                serial,
+            },
+            recovered,
+        ))
+    }
+
+    /// Appends one accepted submission to the WAL and fsyncs it. Only
+    /// after this returns may the submit be acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] — the caller must then *reject* the
+    /// submission (it is not durable).
+    pub fn log_submit(&mut self, req: &UnlearnRequest) -> Result<u64, DurabilityError> {
+        let seq = self.wal_seq + 1;
+        let record = wal_record_bytes(seq, req);
+        self.wal.write_all(&record)?;
+        self.wal.sync_all()?;
+        self.wal_seq = seq;
+        Ok(seq)
+    }
+
+    /// Writes the post-training-round checkpoint (the round's commit
+    /// record).
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`].
+    pub fn commit_round(
+        &mut self,
+        round_next: usize,
+        global: &[f32],
+        pending: &[UnlearnRequest],
+        drain_stats: DrainStats,
+    ) -> Result<(), DurabilityError> {
+        self.write_checkpoint(round_next, global, pending, drain_stats)
+    }
+
+    /// Commits one served drain batch: appends the audit entries
+    /// (fsync'd) and then writes the post-drain checkpoint. The
+    /// checkpoint records the new audit tip, making the drain
+    /// atomic-at-recovery: a crash between the two steps leaves audit
+    /// entries the next open truncates away and re-derives.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError`] from either step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn commit_drain(
+        &mut self,
+        round: u64,
+        drain_serial: u64,
+        served: &[UnlearnRequest],
+        state_digest: &[u8; DIGEST_LEN],
+        round_next: usize,
+        global: &[f32],
+        pending: &[UnlearnRequest],
+        drain_stats: DrainStats,
+    ) -> Result<(), DurabilityError> {
+        self.audit
+            .append_batch(round, drain_serial, served, state_digest)?;
+        self.write_checkpoint(round_next, global, pending, drain_stats)
+    }
+
+    fn write_checkpoint(
+        &mut self,
+        round_next: usize,
+        global: &[f32],
+        pending: &[UnlearnRequest],
+        drain_stats: DrainStats,
+    ) -> Result<(), DurabilityError> {
+        let serial = self.serial + 1;
+        let ckpt = Checkpoint {
+            serial,
+            round_next: round_next as u64,
+            wal_seq: self.wal_seq,
+            audit_entries: self.audit.entries(),
+            audit_bytes: self.audit.bytes(),
+            audit_tip: self.audit.tip(),
+            drain_stats,
+            pending: pending.to_vec(),
+            global: global.to_vec(),
+        };
+        let bytes = ckpt.to_bytes();
+        let final_path = checkpoint_path(&self.dir, serial);
+        let tmp_path = final_path.with_extension("gfck.tmp");
+        {
+            let mut f = File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+        self.serial = serial;
+        // Prune generations beyond the fallback window (and any stale
+        // temp files from interrupted writes).
+        for (old_serial, path) in list_checkpoints(&self.dir)? {
+            if serial.saturating_sub(old_serial) >= CHECKPOINTS_KEPT as u64 {
+                let _ = fs::remove_file(path);
+            }
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".gfck.tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// The audit log (tip/entry accessors, path).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Highest durable WAL sequence number.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Latest checkpoint generation on disk.
+    pub fn checkpoint_serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// The state directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// The audit-log path inside a state directory (shared by the
+/// coordinator daemon's `--verify-audit` mode).
+pub fn audit_path(dir: &Path) -> PathBuf {
+    dir.join("audit.log")
+}

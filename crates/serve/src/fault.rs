@@ -1,0 +1,463 @@
+//! Fault injection: a [`FaultyTransport`] wrapper that kills, drops or
+//! delays a serving run at scripted points (DESIGN.md §12.5).
+//!
+//! The wrapper sits between the coordinator and **any**
+//! [`ServeTransport`] — loopback or TCP — and counts transport
+//! operations (each broadcast fan-out: a training round, a distill
+//! round, an `UnlearnAssign` staging pass, a local-eval sweep is one
+//! op). A [`FaultPlan`] maps op indices to actions:
+//!
+//! * [`FaultAction::KillBefore`] / [`FaultAction::KillAfter`] — the
+//!   coordinator "crashes" at this op: every client errors out, this
+//!   call and forever after. `KillBefore` dies before the inner
+//!   transport runs (mid-round crash: no worker saw the op);
+//!   `KillAfter` dies after it completed (mid-drain crash: workers
+//!   already applied the deletion, the coordinator never committed).
+//!   Both leave zero durability side effects in the coordinator, which
+//!   is exactly what an aborted round guarantees — the crash-recovery
+//!   tests restart from the state directory and must reproduce the
+//!   uninterrupted run bitwise.
+//! * [`FaultAction::DropClient`] — one client's reply is suppressed for
+//!   this op (straggler/connection-loss simulation).
+//! * [`FaultAction::DelayMs`] — the op is stalled first (latency
+//!   injection; exercises read-timeout paths without real packet loss).
+//!
+//! Plans are either scripted ([`FaultPlan::kill_before_at`] etc.) or
+//! seeded ([`FaultPlan::seeded_drops`]), so a fault schedule is as
+//! reproducible as everything else in this repository.
+
+use crate::queue::UnlearnRequest;
+use crate::transport::{LocalEval, ServeTransport, WireStats};
+use goldfish_core::transport::{DistillTransport, UnlearnJob};
+use goldfish_fed::aggregate::ClientUpdate;
+use goldfish_fed::transport::{
+    RoundTransport, StreamedUpdate, TrainAssign, TransportError, UpdateSink,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One scripted fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash before the op reaches the inner transport.
+    KillBefore,
+    /// Crash after the inner transport completed the op (results are
+    /// discarded — the coordinator never sees them).
+    KillAfter,
+    /// Suppress this client's reply for this op.
+    DropClient(usize),
+    /// Stall the op by this many milliseconds before running it.
+    DelayMs(u64),
+}
+
+/// A reproducible schedule of faults keyed by transport-op index.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    at: BTreeMap<u64, Vec<FaultAction>>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash before op `op` runs.
+    pub fn kill_before_at(mut self, op: u64) -> Self {
+        self.at.entry(op).or_default().push(FaultAction::KillBefore);
+        self
+    }
+
+    /// Crash after op `op` completes on the inner transport.
+    pub fn kill_after_at(mut self, op: u64) -> Self {
+        self.at.entry(op).or_default().push(FaultAction::KillAfter);
+        self
+    }
+
+    /// Suppress client `client_id`'s reply at op `op`.
+    pub fn drop_client_at(mut self, op: u64, client_id: usize) -> Self {
+        self.at
+            .entry(op)
+            .or_default()
+            .push(FaultAction::DropClient(client_id));
+        self
+    }
+
+    /// Stall op `op` by `ms` milliseconds.
+    pub fn delay_at(mut self, op: u64, ms: u64) -> Self {
+        self.at
+            .entry(op)
+            .or_default()
+            .push(FaultAction::DelayMs(ms));
+        self
+    }
+
+    /// Seeds random per-client drops: for each op in `ops`, each of the
+    /// `clients` ids is dropped with probability `percent`/100. The
+    /// same seed always yields the same schedule.
+    pub fn seeded_drops(
+        mut self,
+        seed: u64,
+        ops: std::ops::Range<u64>,
+        clients: usize,
+        percent: u32,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in ops {
+            for client in 0..clients {
+                if rng.gen_range(0u32..100) < percent {
+                    self.at
+                        .entry(op)
+                        .or_default()
+                        .push(FaultAction::DropClient(client));
+                }
+            }
+        }
+        self
+    }
+
+    /// Actions scheduled at `op`.
+    pub fn actions_at(&self, op: u64) -> &[FaultAction] {
+        self.at.get(&op).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// A [`ServeTransport`] wrapper executing a [`FaultPlan`]. See the
+/// module docs for semantics.
+pub struct FaultyTransport<T: ServeTransport> {
+    inner: T,
+    plan: FaultPlan,
+    op: u64,
+    killed: bool,
+}
+
+/// What one op's scheduled actions resolve to.
+struct OpFate {
+    kill_before: bool,
+    kill_after: bool,
+    drops: Vec<usize>,
+}
+
+impl<T: ServeTransport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            op: 0,
+            killed: false,
+        }
+    }
+
+    /// Whether a kill action has fired (the "process" is dead; every
+    /// further op errors out).
+    pub fn killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Ops observed so far.
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped transport.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Advances the op counter, applies delays, and resolves this op's
+    /// fate.
+    fn begin_op(&mut self) -> OpFate {
+        let op = self.op;
+        self.op += 1;
+        let mut fate = OpFate {
+            kill_before: false,
+            kill_after: false,
+            drops: Vec::new(),
+        };
+        for action in self.plan.actions_at(op) {
+            match action {
+                FaultAction::KillBefore => fate.kill_before = true,
+                FaultAction::KillAfter => fate.kill_after = true,
+                FaultAction::DropClient(id) => fate.drops.push(*id),
+                FaultAction::DelayMs(ms) => {
+                    std::thread::sleep(std::time::Duration::from_millis(*ms))
+                }
+            }
+        }
+        fate
+    }
+
+    fn dead_error(&self, client_id: usize) -> TransportError {
+        TransportError::Disconnected {
+            client_id,
+            reason: "fault injection: coordinator killed".into(),
+        }
+    }
+}
+
+impl<T: ServeTransport> RoundTransport for FaultyTransport<T> {
+    fn num_clients(&self) -> usize {
+        RoundTransport::num_clients(&self.inner)
+    }
+
+    fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+        self.inner.cohort_into(out)
+    }
+
+    fn train_round(
+        &mut self,
+        assign: &TrainAssign<'_>,
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        let n = RoundTransport::num_clients(&self.inner);
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            return (0..n).map(|id| Err(self.dead_error(id))).collect();
+        }
+        let mut results = self.inner.train_round(assign);
+        if fate.kill_after {
+            self.killed = true;
+            return (0..n).map(|id| Err(self.dead_error(id))).collect();
+        }
+        for r in results.iter_mut() {
+            if let Ok(u) = r {
+                if fate.drops.contains(&u.client_id) {
+                    let id = u.client_id;
+                    *r = Err(TransportError::Disconnected {
+                        client_id: id,
+                        reason: "fault injection: reply dropped".into(),
+                    });
+                }
+            }
+        }
+        results
+    }
+
+    fn train_round_streamed(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        let n = RoundTransport::num_clients(&self.inner);
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            results.clear();
+            results.extend((0..n).map(|id| Err(self.dead_error(id))));
+            return;
+        }
+        if fate.kill_after {
+            // Run the inner round into a discarding sink (workers did
+            // the compute), then report the crash.
+            let mut discard = |_u: StreamedUpdate<'_>| Ok(());
+            let mut inner_results = Vec::new();
+            self.inner
+                .train_round_streamed(assign, &mut discard, &mut inner_results);
+            self.killed = true;
+            results.clear();
+            results.extend((0..n).map(|id| Err(self.dead_error(id))));
+            return;
+        }
+        if fate.drops.is_empty() {
+            self.inner.train_round_streamed(assign, sink, results);
+            return;
+        }
+        // Suppress dropped clients' updates before they reach the
+        // aggregation sink.
+        let drops = fate.drops;
+        let mut filtered = |u: StreamedUpdate<'_>| {
+            if drops.contains(&u.client_id) {
+                Err(TransportError::Disconnected {
+                    client_id: u.client_id,
+                    reason: "fault injection: reply dropped".into(),
+                })
+            } else {
+                sink(u)
+            }
+        };
+        self.inner
+            .train_round_streamed(assign, &mut filtered, results);
+        for (id, r) in results.iter_mut().enumerate() {
+            if r.is_ok() && drops.contains(&id) {
+                *r = Err(TransportError::Disconnected {
+                    client_id: id,
+                    reason: "fault injection: reply dropped".into(),
+                });
+            }
+        }
+    }
+}
+
+impl<T: ServeTransport> DistillTransport for FaultyTransport<T> {
+    fn num_clients(&self) -> usize {
+        DistillTransport::num_clients(&self.inner)
+    }
+
+    fn begin_unlearn(&mut self, job: &UnlearnJob, teacher: &[f32]) -> Result<(), TransportError> {
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            return Err(self.dead_error(0));
+        }
+        let out = self.inner.begin_unlearn(job, teacher);
+        if fate.kill_after {
+            self.killed = true;
+            return Err(self.dead_error(0));
+        }
+        out
+    }
+
+    fn distill_round(
+        &mut self,
+        round: usize,
+        seed: u64,
+        global: &[f32],
+    ) -> Vec<Result<ClientUpdate, TransportError>> {
+        let n = DistillTransport::num_clients(&self.inner);
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            return (0..n).map(|id| Err(self.dead_error(id))).collect();
+        }
+        let mut results = self.inner.distill_round(round, seed, global);
+        if fate.kill_after {
+            self.killed = true;
+            return (0..n).map(|id| Err(self.dead_error(id))).collect();
+        }
+        for r in results.iter_mut() {
+            if let Ok(u) = r {
+                if fate.drops.contains(&u.client_id) {
+                    let id = u.client_id;
+                    *r = Err(TransportError::Disconnected {
+                        client_id: id,
+                        reason: "fault injection: reply dropped".into(),
+                    });
+                }
+            }
+        }
+        results
+    }
+}
+
+impl<T: ServeTransport> ServeTransport for FaultyTransport<T> {
+    fn client_sizes(&self) -> Vec<usize> {
+        self.inner.client_sizes()
+    }
+
+    fn stage_removals(&mut self, requests: &[UnlearnRequest], serial: u64) {
+        self.inner.stage_removals(requests, serial)
+    }
+
+    fn apply_removals(&mut self, requests: &[UnlearnRequest]) {
+        self.inner.apply_removals(requests)
+    }
+
+    fn admit_reconnects(&mut self, round: usize, global: &[f32]) -> usize {
+        if self.killed {
+            return 0;
+        }
+        self.inner.admit_reconnects(round, global)
+    }
+
+    fn shutdown(&mut self) {
+        // A dead process announces nothing — its workers must see the
+        // crash (bare EOF), not a graceful goodbye.
+        if !self.killed {
+            self.inner.shutdown();
+        }
+    }
+
+    fn local_eval(
+        &mut self,
+        round: usize,
+        global: &[f32],
+    ) -> Vec<Result<LocalEval, TransportError>> {
+        let n = RoundTransport::num_clients(&self.inner);
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            return (0..n).map(|id| Err(self.dead_error(id))).collect();
+        }
+        let results = self.inner.local_eval(round, global);
+        if fate.kill_after {
+            self.killed = true;
+            return (0..n).map(|id| Err(self.dead_error(id))).collect();
+        }
+        results
+    }
+
+    fn set_read_timeout(&mut self, timeout: std::time::Duration) {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn fatal_fault(&self) -> Option<&str> {
+        if self.killed {
+            Some("fault injection: coordinator killed")
+        } else {
+            None
+        }
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        self.inner.wire_stats()
+    }
+}
+
+impl<T: ServeTransport> std::fmt::Debug for FaultyTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FaultyTransport(op {}, killed {}, {} scheduled op(s))",
+            self.op,
+            self.killed,
+            self.plan.at.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_drop_schedules_are_reproducible() {
+        let a = FaultPlan::new().seeded_drops(7, 0..20, 4, 25);
+        let b = FaultPlan::new().seeded_drops(7, 0..20, 4, 25);
+        for op in 0..20 {
+            assert_eq!(a.actions_at(op), b.actions_at(op));
+        }
+        let c = FaultPlan::new().seeded_drops(8, 0..20, 4, 25);
+        assert!(
+            (0..20).any(|op| a.actions_at(op) != c.actions_at(op)),
+            "different seeds gave identical schedules"
+        );
+        let total: usize = (0..20).map(|op| a.actions_at(op).len()).sum();
+        assert!(total > 0, "25% over 80 trials dropped nothing");
+    }
+
+    #[test]
+    fn plan_builders_compose() {
+        let plan = FaultPlan::new()
+            .kill_before_at(3)
+            .drop_client_at(1, 2)
+            .delay_at(1, 5);
+        assert_eq!(plan.actions_at(0), &[]);
+        assert_eq!(plan.actions_at(3), &[FaultAction::KillBefore]);
+        assert_eq!(
+            plan.actions_at(1),
+            &[FaultAction::DropClient(2), FaultAction::DelayMs(5)]
+        );
+    }
+}

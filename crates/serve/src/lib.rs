@@ -25,7 +25,17 @@
 //!   arrival-order-independent aggregation,
 //! * [`demo`] — the deterministic demo workload both daemons derive
 //!   from `(seed, clients, samples)` so they agree on data without any
-//!   file exchange.
+//!   file exchange,
+//! * [`durability`] — crash safety (DESIGN.md §12): versioned,
+//!   checksummed, atomically-renamed checkpoints plus a write-ahead log
+//!   for the unlearning queue (fsync-before-ack), replayed on restart
+//!   so a recovered coordinator resumes the exact round stream,
+//! * [`audit`] — the hash-chained append-only log of served unlearning
+//!   requests (`goldfish-coordinator --verify-audit` re-walks it),
+//! * [`digest`] — dependency-free SHA-256 backing checkpoints, the WAL,
+//!   the audit chain and the `Digest` wire frame,
+//! * [`fault`] — the seeded fault-injection harness
+//!   ([`fault::FaultyTransport`]) the crash-kill-restart tests drive.
 //!
 //! Daemons: `goldfish-coordinator` and `goldfish-worker` (see the root
 //! README for a quickstart); `bench_serve` in `goldfish-bench` measures
@@ -34,8 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod coordinator;
 pub mod demo;
+pub mod digest;
+pub mod durability;
+pub mod fault;
 pub mod queue;
 pub mod tcp;
 pub mod transport;

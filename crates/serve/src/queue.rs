@@ -67,6 +67,30 @@ impl UnlearnQueue {
         std::mem::take(&mut self.pending)
     }
 
+    /// Removes and returns at most `limit` requests from the head of
+    /// the queue, in FIFO order. Requests left behind keep their
+    /// positions; a client whose request was just drained and who
+    /// submits again starts a **new** tail entry (drained requests are
+    /// served — they are no longer merge targets).
+    pub fn drain_batch(&mut self, limit: usize) -> Vec<UnlearnRequest> {
+        let n = limit.min(self.pending.len());
+        self.pending.drain(..n).collect()
+    }
+
+    /// A read-only view of the pending requests, in FIFO order — what a
+    /// durability checkpoint persists.
+    pub fn pending(&self) -> &[UnlearnRequest] {
+        &self.pending
+    }
+
+    /// Replaces the pending queue wholesale — the recovery path,
+    /// rebuilding the exact pre-crash queue from checkpoint + WAL
+    /// replay. Counters are not touched: they describe this process's
+    /// observations, not the durable state.
+    pub fn restore(&mut self, pending: Vec<UnlearnRequest>) {
+        self.pending = pending;
+    }
+
     /// Pending request count (after dedupe).
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -123,5 +147,90 @@ mod tests {
     fn new_normalizes_indices() {
         let r = UnlearnRequest::new(0, vec![4, 1, 4, 2]);
         assert_eq!(r.removed, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn duplicate_sample_ids_merge_to_one_occurrence() {
+        let mut q = UnlearnQueue::new();
+        // Duplicates both within one submission and across merged
+        // submissions must collapse: a sample can only be forgotten
+        // once.
+        q.submit(UnlearnRequest {
+            client_id: 0,
+            removed: vec![7, 7, 3, 7],
+        });
+        q.submit(UnlearnRequest {
+            client_id: 0,
+            removed: vec![3, 9, 9],
+        });
+        let drained = q.drain();
+        assert_eq!(drained, vec![UnlearnRequest::new(0, vec![3, 7, 9])]);
+    }
+
+    #[test]
+    fn merge_after_partial_drain_starts_a_fresh_entry() {
+        let mut q = UnlearnQueue::new();
+        q.submit(UnlearnRequest::new(1, vec![5]));
+        q.submit(UnlearnRequest::new(2, vec![6]));
+        let first = q.drain_batch(1);
+        assert_eq!(first, vec![UnlearnRequest::new(1, vec![5])]);
+        assert_eq!(q.len(), 1);
+
+        // Client 1's earlier request is being served; a new submission
+        // must NOT merge into the drained (already in-flight) batch —
+        // it queues behind client 2.
+        q.submit(UnlearnRequest::new(1, vec![8]));
+        let rest = q.drain();
+        assert_eq!(
+            rest,
+            vec![
+                UnlearnRequest::new(2, vec![6]),
+                UnlearnRequest::new(1, vec![8]),
+            ]
+        );
+    }
+
+    #[test]
+    fn submit_while_draining_lands_in_the_next_batch() {
+        let mut q = UnlearnQueue::new();
+        q.submit(UnlearnRequest::new(0, vec![1]));
+        let batch = q.drain();
+        // The drained batch is a snapshot: a submission arriving while
+        // it is being served neither appears in it nor is lost.
+        q.submit(UnlearnRequest::new(3, vec![2]));
+        assert_eq!(batch, vec![UnlearnRequest::new(0, vec![1])]);
+        assert_eq!(q.drain(), vec![UnlearnRequest::new(3, vec![2])]);
+    }
+
+    #[test]
+    fn drain_batch_bounds_and_preserves_order() {
+        let mut q = UnlearnQueue::new();
+        for c in 0..5 {
+            q.submit(UnlearnRequest::new(c, vec![c]));
+        }
+        assert_eq!(q.drain_batch(0), vec![]);
+        let two = q.drain_batch(2);
+        assert_eq!(two.iter().map(|r| r.client_id).collect::<Vec<_>>(), [0, 1]);
+        let rest = q.drain_batch(99);
+        assert_eq!(
+            rest.iter().map(|r| r.client_id).collect::<Vec<_>>(),
+            [2, 3, 4]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn restore_rebuilds_the_exact_queue() {
+        let mut q = UnlearnQueue::new();
+        q.restore(vec![
+            UnlearnRequest::new(2, vec![1]),
+            UnlearnRequest::new(0, vec![4]),
+        ]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pending()[0].client_id, 2);
+        // Replayed WAL submissions merge into restored entries exactly
+        // as the original submissions did.
+        q.submit(UnlearnRequest::new(2, vec![9]));
+        assert_eq!(q.pending()[0], UnlearnRequest::new(2, vec![1, 9]));
     }
 }

@@ -80,7 +80,17 @@ pub struct TcpTransport {
     conns: Vec<Option<Conn>>,
     cfg: TcpConfig,
     staged: Vec<UnlearnRequest>,
+    /// Drain serial of the staged batch — shipped in `UnlearnAssign` so
+    /// a worker can deduplicate a re-shipped batch after a coordinator
+    /// crash-restart.
+    staged_serial: u64,
     stats: WireStats,
+    /// Parameter count every `Hello` must match (kept for reconnect
+    /// validation).
+    state_len: usize,
+    /// Listener retained for mid-run reconnects; `None` = closed-world
+    /// fleet (original behaviour).
+    listener: Option<TcpListener>,
     /// The encode-once broadcast frame, reused round after round.
     bcast: Vec<u8>,
     /// Per-client frame buffers for fan-outs whose frames differ per
@@ -111,6 +121,9 @@ enum Reply {
     Eval { accuracy: f64, mse: f64 },
     /// A bare acknowledgement.
     Ack,
+    /// An `UnlearnAssign` ack carrying the worker's authoritative
+    /// post-deletion sample count.
+    UnlearnAck { num_samples: usize },
 }
 
 impl TcpTransport {
@@ -145,6 +158,11 @@ impl TcpTransport {
                 client_id,
                 state_len: worker_len,
                 num_samples,
+                // A resume token at startup is fine: a worker that
+                // outlived a crashed coordinator re-registers into its
+                // old slot here (slots are keyed by client id, so
+                // cohort/round seeds are unperturbed).
+                resume: _,
             } = hello
             else {
                 let _ = write_frame(
@@ -199,11 +217,108 @@ impl TcpTransport {
             conns,
             cfg,
             staged: Vec::new(),
+            staged_serial: 0,
             stats: WireStats::default(),
+            state_len,
+            listener: None,
             bcast: Vec::new(),
             assign_bufs: Vec::new(),
             state_pool: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Keeps `listener` open for mid-run reconnects: at every round
+    /// boundary the coordinator calls
+    /// [`ServeTransport::admit_reconnects`], which re-admits workers
+    /// presenting a `Hello` resume token into their (vacated) slots.
+    /// Without this the fleet is closed-world — a dropped worker stays
+    /// dropped.
+    pub fn enable_reconnect(&mut self, listener: TcpListener) {
+        self.listener = Some(listener);
+    }
+
+    /// One reconnect admission attempt: validates the resume `Hello`,
+    /// replies `Capabilities` then `Digest` (current round + global
+    /// state digest, so the worker can verify it rejoined the same run)
+    /// and waits for the worker's `Ack`. Returns the registered slot.
+    fn admit_one(&mut self, mut stream: TcpStream, round: usize, global: &[f32]) -> Option<usize> {
+        stream.set_nonblocking(false).ok();
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.cfg.read_timeout)).ok();
+        let mut rbuf = Vec::new();
+        let hello = read_raw_frame(&mut stream, &mut rbuf, &self.cfg.limits)
+            .and_then(|(kind, _)| decode_msg(kind, &rbuf))
+            .ok()?;
+        let Msg::Hello {
+            client_id,
+            state_len: worker_len,
+            num_samples,
+            resume,
+        } = hello
+        else {
+            return None;
+        };
+        let id = client_id as usize;
+        let reject = |stream: &mut TcpStream, code: u16, detail: String| {
+            let _ = write_frame(stream, &Msg::Err { code, detail }, &self.cfg.limits);
+        };
+        if resume.is_none() {
+            reject(
+                &mut stream,
+                err_code::BAD_REQUEST,
+                "mid-run joins require a resume token".into(),
+            );
+            return None;
+        }
+        if id >= self.conns.len() || self.conns[id].is_some() {
+            reject(
+                &mut stream,
+                err_code::BAD_REQUEST,
+                format!("client id {id} invalid or already registered"),
+            );
+            return None;
+        }
+        if worker_len as usize != self.state_len {
+            reject(
+                &mut stream,
+                err_code::BAD_STATE_LEN,
+                format!(
+                    "model has {} params, worker says {worker_len}",
+                    self.state_len
+                ),
+            );
+            return None;
+        }
+        write_frame(
+            &mut stream,
+            &Msg::Capabilities {
+                max_payload: self.cfg.limits.max_payload as u64,
+                state_len: self.state_len as u64,
+            },
+            &self.cfg.limits,
+        )
+        .ok()?;
+        write_frame(
+            &mut stream,
+            &Msg::Digest {
+                round: round as u64,
+                digest: crate::digest::state_digest(round as u64, global),
+            },
+            &self.cfg.limits,
+        )
+        .ok()?;
+        match read_raw_frame(&mut stream, &mut rbuf, &self.cfg.limits)
+            .and_then(|(kind, _)| decode_msg(kind, &rbuf))
+        {
+            Ok(Msg::Ack) => {}
+            _ => return None,
+        }
+        self.conns[id] = Some(Conn {
+            stream,
+            num_samples: num_samples as usize,
+            rbuf: Vec::new(),
+        });
+        Some(id)
     }
 
     /// Live client ids, ascending.
@@ -263,7 +378,18 @@ impl TcpTransport {
                                     .pop()
                                     .unwrap_or_default();
                                 match decode_update_into(kind, &conn.rbuf, &mut state) {
-                                    Ok(header) => Ok(Reply::Update { header, state }),
+                                    Ok(header) => {
+                                        // A train update's weight is the
+                                        // worker's own dataset size —
+                                        // authoritative, so a registry
+                                        // count that drifted (e.g. a
+                                        // deletion re-shipped to a
+                                        // rejoined worker) self-heals.
+                                        if !header.distill {
+                                            conn.num_samples = header.weight as usize;
+                                        }
+                                        Ok(Reply::Update { header, state })
+                                    }
                                     Err(e) => {
                                         // Failed decodes return their
                                         // buffer too, or the pool leaks.
@@ -286,6 +412,9 @@ impl TcpTransport {
                                     Ok(Reply::Eval { accuracy, mse })
                                 }
                                 Msg::Ack => Ok(Reply::Ack),
+                                Msg::UnlearnAck { num_samples } => Ok(Reply::UnlearnAck {
+                                    num_samples: num_samples as usize,
+                                }),
                                 other => Err(TransportError::Protocol {
                                     client_id: id,
                                     reason: format!("unexpected {} from worker", other.name()),
@@ -526,6 +655,13 @@ fn map_wire_error(client_id: usize, e: WireError) -> TransportError {
                 reason: detail,
             },
         },
+        // A peer that vanished with a frame half-delivered is a
+        // disconnect, not a protocol violation — the distinction drives
+        // reconnect/backoff policy instead of a hard protocol abort.
+        WireError::DisconnectedMidFrame { got, want } => TransportError::Disconnected {
+            client_id,
+            reason: format!("connection lost mid-frame ({got} of {want} bytes)"),
+        },
         other => TransportError::Protocol {
             client_id,
             reason: other.to_string(),
@@ -630,6 +766,7 @@ impl DistillTransport for TcpTransport {
                 .unwrap_or(NO_REMOVALS);
             encode_unlearn_assign_into(
                 &mut self.assign_bufs[id],
+                self.staged_serial,
                 job,
                 removed,
                 teacher,
@@ -652,6 +789,7 @@ impl DistillTransport for TcpTransport {
             .map(|(id, c)| c.as_ref().map(|_| assign_bufs[id].as_slice()))
             .collect();
         let mut results: Vec<(usize, Result<(), TransportError>)> = Vec::new();
+        let mut acked_sizes: Vec<(usize, usize)> = Vec::new();
         Self::fan_out(
             conns,
             stats,
@@ -660,6 +798,10 @@ impl DistillTransport for TcpTransport {
             &frames,
             |id, reply| {
                 let outcome = reply.and_then(|r| match r {
+                    Reply::UnlearnAck { num_samples } => {
+                        acked_sizes.push((id, num_samples));
+                        Ok(())
+                    }
                     Reply::Ack => Ok(()),
                     Reply::Update { state, .. } => {
                         state_pool
@@ -707,11 +849,15 @@ impl DistillTransport for TcpTransport {
                     });
                 return Err(failure);
             }
-            // The worker applied the deletion permanently; keep the
-            // registry's sample counts (request validation, aggregation
-            // weights) in sync.
-            if let Some(conn) = self.conns[req.client_id].as_mut() {
-                conn.num_samples = conn.num_samples.saturating_sub(req.removed.len());
+        }
+        // Registry sync from worker truth: each ack reports the
+        // worker's own post-deletion count, and the registry *assigns*
+        // it (never subtracts). A rejoined worker whose `Hello` already
+        // reflected the deletion and whose serial cache made the
+        // re-application a no-op therefore cannot be double-shrunk.
+        for (id, n) in acked_sizes {
+            if let Some(conn) = self.conns[id].as_mut() {
+                conn.num_samples = n;
             }
         }
         Ok(())
@@ -743,14 +889,48 @@ impl ServeTransport for TcpTransport {
             .collect()
     }
 
-    fn stage_removals(&mut self, requests: &[UnlearnRequest]) {
+    fn stage_removals(&mut self, requests: &[UnlearnRequest], serial: u64) {
         self.staged = requests.to_vec();
+        self.staged_serial = serial;
+    }
+
+    fn admit_reconnects(&mut self, round: usize, global: &[f32]) -> usize {
+        let Some(listener) = self.listener.as_ref() else {
+            return 0;
+        };
+        // Drain whatever is queued on the listener without blocking the
+        // round loop; each candidate then gets a normal (blocking,
+        // deadline-bounded) handshake.
+        if listener.set_nonblocking(true).is_err() {
+            return 0;
+        }
+        let mut admitted = 0;
+        loop {
+            let stream = match self.listener.as_ref().unwrap().accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => break, // WouldBlock or a transient accept error
+            };
+            if self.admit_one(stream, round, global).is_some() {
+                admitted += 1;
+            }
+        }
+        if let Some(listener) = self.listener.as_ref() {
+            listener.set_nonblocking(false).ok();
+        }
+        admitted
     }
 
     fn set_read_timeout(&mut self, timeout: Duration) {
         self.cfg.read_timeout = timeout;
         for conn in self.conns.iter_mut().flatten() {
             conn.stream.set_read_timeout(Some(timeout)).ok();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        // Best effort: a worker that already vanished can't be told.
+        for conn in self.conns.iter_mut().flatten() {
+            let _ = write_frame(&mut conn.stream, &Msg::Shutdown, &self.cfg.limits);
         }
     }
 
@@ -795,9 +975,9 @@ impl ServeTransport for TcpTransport {
                         reason: "expected an Eval reply, got a round result".into(),
                     })
                 }
-                Reply::Ack => Err(TransportError::Protocol {
+                Reply::Ack | Reply::UnlearnAck { .. } => Err(TransportError::Protocol {
                     client_id: id,
-                    reason: "expected an Eval reply, got Ack".into(),
+                    reason: "expected an Eval reply, got an acknowledgement".into(),
                 }),
             });
             evals.push((id, outcome));

@@ -68,7 +68,31 @@ pub trait ServeTransport: RoundTransport + DistillTransport {
     /// Stages the drained deletion requests for the next
     /// [`DistillTransport::begin_unlearn`]: each listed client will split
     /// its data by the given indices; unlisted clients stay intact.
-    fn stage_removals(&mut self, requests: &[UnlearnRequest]);
+    /// `serial` is the coordinator-wide drain-batch serial — remote
+    /// transports ship it with the `UnlearnAssign` so workers apply a
+    /// deletion exactly once even when a recovered coordinator re-sends
+    /// the batch.
+    fn stage_removals(&mut self, requests: &[UnlearnRequest], serial: u64);
+
+    /// Recovery path: re-applies *already committed* deletions (from
+    /// the audit chain, in chain order) to the transport's view of the
+    /// client datasets. Loopback shrinks its owned datasets; remote
+    /// transports do nothing (the workers are authoritative for their
+    /// own data and apply deletions idempotently by serial).
+    fn apply_removals(&mut self, requests: &[UnlearnRequest]) {
+        let _ = requests;
+    }
+
+    /// Gives the transport a chance to re-admit reconnecting workers
+    /// between rounds (`round` = the round about to run, `global` = the
+    /// state a resume digest is computed over). Returns how many
+    /// workers were re-admitted. The default — and loopback, whose
+    /// clients cannot leave — does nothing, keeping the loopback hot
+    /// path allocation-free.
+    fn admit_reconnects(&mut self, round: usize, global: &[f32]) -> usize {
+        let _ = (round, global);
+        0
+    }
 
     /// Asks every live client to evaluate `global` on its local data.
     fn local_eval(
@@ -82,6 +106,23 @@ pub trait ServeTransport: RoundTransport + DistillTransport {
     fn set_read_timeout(&mut self, timeout: std::time::Duration) {
         let _ = timeout;
     }
+
+    /// A fatal, transport-wide fault that is *not* attributable to any
+    /// single client — e.g. an injected coordinator kill from the fault
+    /// harness. When set, the coordinator stops re-rounding over
+    /// "survivors" (there are none) and propagates the reason instead
+    /// of a generic `NoLiveClients`. Real transports have no such
+    /// state and return `None`.
+    fn fatal_fault(&self) -> Option<&str> {
+        None
+    }
+
+    /// Announces a graceful end-of-service to every live worker (the
+    /// `Shutdown` frame on networked transports). Without it a worker
+    /// cannot tell a finished schedule from a crashed coordinator —
+    /// bare EOF is always treated as a disconnect. In-process
+    /// transports have nothing to announce; the default is a no-op.
+    fn shutdown(&mut self) {}
 
     /// Wire-traffic counters since construction.
     fn wire_stats(&self) -> WireStats;
@@ -266,8 +307,24 @@ impl ServeTransport for LoopbackTransport {
         self.clients.iter().map(|c| c.len()).collect()
     }
 
-    fn stage_removals(&mut self, requests: &[UnlearnRequest]) {
+    fn stage_removals(&mut self, requests: &[UnlearnRequest], _serial: u64) {
         self.staged = requests.to_vec();
+    }
+
+    fn apply_removals(&mut self, requests: &[UnlearnRequest]) {
+        // Committed deletions replay in audit order; each removal's
+        // indices refer to the dataset as it stood at that point, so
+        // the shrink must be sequential, exactly as `begin_unlearn`
+        // originally performed it.
+        for req in requests {
+            if req.removed.is_empty() {
+                continue;
+            }
+            if let Some(data) = self.clients.get(req.client_id) {
+                let split = ClientSplit::with_removed(data, &req.removed);
+                self.clients[req.client_id] = split.remaining;
+            }
+        }
     }
 
     fn local_eval(
@@ -338,7 +395,7 @@ mod tests {
         assert_eq!(updates.len(), 2);
         assert!(updates.iter().all(|u| u.is_ok()));
 
-        t.stage_removals(&[UnlearnRequest::new(0, vec![0, 1, 2])]);
+        t.stage_removals(&[UnlearnRequest::new(0, vec![0, 1, 2])], 0);
         let job = UnlearnJob {
             local: GoldfishLocalConfig {
                 epochs: 1,

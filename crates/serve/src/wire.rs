@@ -40,7 +40,10 @@ pub const MAGIC: [u8; 4] = *b"GFWP";
 /// Protocol version spoken by this build. Bumped on any incompatible
 /// frame or payload change; both ends reject mismatches at the frame
 /// layer (and again during the Hello/Capabilities handshake).
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history: 1 = initial GFWP; 2 = `Hello` resume token,
+/// `UnlearnAssign` drain serial, `Digest` frame.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 10;
@@ -97,6 +100,17 @@ pub enum WireError {
         /// The error text.
         detail: String,
     },
+    /// The peer closed the stream **inside** a frame: some header or
+    /// payload bytes arrived, then EOF. Distinct from a clean EOF
+    /// between frames (reported as [`WireError::Io`] with
+    /// [`std::io::ErrorKind::UnexpectedEof`]), because a mid-frame close
+    /// means the peer died or reset rather than finishing its session.
+    DisconnectedMidFrame {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame announced (header plus payload).
+        want: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -119,6 +133,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
             WireError::Io { kind, detail } => write!(f, "wire i/o error ({kind:?}): {detail}"),
+            WireError::DisconnectedMidFrame { got, want } => {
+                write!(f, "peer disconnected mid-frame ({got} of {want} bytes)")
+            }
         }
     }
 }
@@ -157,6 +174,12 @@ pub mod kind {
     pub const ERR: u8 = 8;
     /// [`super::Msg::Ack`].
     pub const ACK: u8 = 9;
+    /// [`super::Msg::Digest`].
+    pub const DIGEST: u8 = 10;
+    /// [`super::Msg::UnlearnAck`].
+    pub const UNLEARN_ACK: u8 = 11;
+    /// [`super::Msg::Shutdown`].
+    pub const SHUTDOWN: u8 = 12;
 }
 
 /// Error codes carried by [`Msg::Err`].
@@ -194,6 +217,13 @@ pub enum Msg {
         state_len: u64,
         /// Local dataset size (the FedAvg weight).
         num_samples: u64,
+        /// Resume token: `Some(last_acked_round)` when this connection
+        /// re-joins a session the worker already participated in, `None`
+        /// on a fresh join. The coordinator re-admits resuming workers
+        /// into their registry slot without perturbing cohort or round
+        /// seeds and answers with a [`Msg::Digest`] of the current
+        /// global so the worker can confirm it rejoined the same run.
+        resume: Option<u64>,
     },
     /// Coordinator → worker handshake acknowledgement.
     Capabilities {
@@ -234,6 +264,12 @@ pub enum Msg {
     /// splits its local data by `removed`, rebuilds its distillation
     /// state and answers subsequent [`RoundMode::Distill`] assignments.
     UnlearnAssign {
+        /// Drain serial: the coordinator-wide index of the drain batch
+        /// this assignment belongs to. Workers apply a deletion **once
+        /// per serial** — a re-shipped assignment after a coordinator
+        /// crash/restart reuses the cached split instead of removing
+        /// the indices a second time from already-shrunk data.
+        serial: u64,
         /// The job (local config + hard loss).
         job: UnlearnJob,
         /// Indices into this worker's local data to forget (empty for
@@ -277,6 +313,34 @@ pub enum Msg {
     /// A bare positive acknowledgement (worker → coordinator), e.g. of
     /// an accepted `UnlearnAssign`. Empty payload.
     Ack,
+    /// Coordinator → worker on a resumed connection: the round counter
+    /// and SHA-256 state digest (see
+    /// [`crate::digest::state_digest`]) of the global the session will
+    /// continue from. The worker replies [`Msg::Ack`].
+    Digest {
+        /// Rounds completed so far.
+        round: u64,
+        /// `state_digest(round, global)`.
+        digest: [u8; 32],
+    },
+    /// Worker → coordinator: an [`Msg::UnlearnAssign`] landed. Carries
+    /// the worker's authoritative post-deletion dataset size: the
+    /// coordinator *assigns* (never subtracts) this into its registry,
+    /// so a batch re-shipped to a rejoined worker — whose `Hello`
+    /// already reported the shrunk size and whose serial cache makes
+    /// the re-application a no-op — cannot double-shrink the
+    /// aggregation weights.
+    UnlearnAck {
+        /// Remaining local sample count (the FedAvg weight from here
+        /// on).
+        num_samples: u64,
+    },
+    /// Coordinator → worker: the schedule is complete; close cleanly.
+    /// This frame is what distinguishes a graceful end-of-service from
+    /// a coordinator crash — a worker seeing bare EOF *without* a
+    /// preceding `Shutdown` treats the session as a disconnect (and,
+    /// under `--reconnect`, waits for the coordinator to come back).
+    Shutdown,
 }
 
 impl Msg {
@@ -292,6 +356,9 @@ impl Msg {
             Msg::Eval { .. } => kind::EVAL,
             Msg::Err { .. } => kind::ERR,
             Msg::Ack => kind::ACK,
+            Msg::Digest { .. } => kind::DIGEST,
+            Msg::UnlearnAck { .. } => kind::UNLEARN_ACK,
+            Msg::Shutdown => kind::SHUTDOWN,
         }
     }
 
@@ -307,6 +374,9 @@ impl Msg {
             Msg::Eval { .. } => "Eval",
             Msg::Err { .. } => "Err",
             Msg::Ack => "Ack",
+            Msg::Digest { .. } => "Digest",
+            Msg::UnlearnAck { .. } => "UnlearnAck",
+            Msg::Shutdown => "Shutdown",
         }
     }
 }
@@ -442,10 +512,18 @@ pub fn encode_frame_into(
             client_id,
             state_len,
             num_samples,
+            resume,
         } => {
             out.put_u64_le(*client_id);
             out.put_u64_le(*state_len);
             out.put_u64_le(*num_samples);
+            match resume {
+                Some(round) => {
+                    out.put_slice(&[1]);
+                    out.put_u64_le(*round);
+                }
+                None => out.put_slice(&[0]),
+            }
         }
         Msg::Capabilities {
             max_payload,
@@ -481,10 +559,12 @@ pub fn encode_frame_into(
             put_f32s(out, state);
         }
         Msg::UnlearnAssign {
+            serial,
             job,
             removed,
             teacher,
         } => {
+            out.put_u64_le(*serial);
             put_job(out, job)?;
             out.put_u32_le(removed.len() as u32);
             for &r in removed {
@@ -510,6 +590,14 @@ pub fn encode_frame_into(
             out.put_slice(b);
         }
         Msg::Ack => {}
+        Msg::Digest { round, digest } => {
+            out.put_u64_le(*round);
+            out.put_slice(digest);
+        }
+        Msg::UnlearnAck { num_samples } => {
+            out.put_u64_le(*num_samples);
+        }
+        Msg::Shutdown => {}
     }
     finish_frame(out, limits)
 }
@@ -588,12 +676,14 @@ pub fn encode_eval_request_into(
 /// [`encode_frame`].
 pub fn encode_unlearn_assign_into(
     out: &mut Vec<u8>,
+    serial: u64,
     job: &UnlearnJob,
     removed: &[usize],
     teacher: &[f32],
     limits: &FrameLimits,
 ) -> Result<usize, WireError> {
     begin_frame(out, kind::UNLEARN_ASSIGN);
+    out.put_u64_le(serial);
     put_job(out, job)?;
     out.put_u32_le(removed.len() as u32);
     for &r in removed {
@@ -794,11 +884,22 @@ pub fn decode_msg(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
 fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
     let mut r = Reader { b: payload };
     match k {
-        kind::HELLO => Ok(Msg::Hello {
-            client_id: r.u64()?,
-            state_len: r.u64()?,
-            num_samples: r.u64()?,
-        }),
+        kind::HELLO => {
+            let client_id = r.u64()?;
+            let state_len = r.u64()?;
+            let num_samples = r.u64()?;
+            let resume = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                t => return Err(WireError::Malformed(format!("bad resume tag {t}"))),
+            };
+            Ok(Msg::Hello {
+                client_id,
+                state_len,
+                num_samples,
+                resume,
+            })
+        }
         kind::CAPABILITIES => Ok(Msg::Capabilities {
             max_payload: r.u64()?,
             state_len: r.u64()?,
@@ -842,6 +943,7 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
             })
         }
         kind::UNLEARN_ASSIGN => {
+            let serial = r.u64()?;
             let job = read_job(&mut r)?;
             let n = r.u32()? as usize;
             let mut removed = Vec::with_capacity(n.min(1 << 20));
@@ -849,6 +951,7 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
                 removed.push(r.u64()?);
             }
             Ok(Msg::UnlearnAssign {
+                serial,
                 job,
                 removed,
                 teacher: r.f32s()?,
@@ -865,6 +968,16 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
             detail: r.string()?,
         }),
         kind::ACK => Ok(Msg::Ack),
+        kind::DIGEST => {
+            let round = r.u64()?;
+            let mut digest = [0u8; 32];
+            digest.copy_from_slice(r.take(32)?);
+            Ok(Msg::Digest { round, digest })
+        }
+        kind::UNLEARN_ACK => Ok(Msg::UnlearnAck {
+            num_samples: r.u64()?,
+        }),
+        kind::SHUTDOWN => Ok(Msg::Shutdown),
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -957,18 +1070,53 @@ pub fn read_frame(
 ///
 /// # Errors
 ///
-/// Same as [`read_frame`].
+/// Same as [`read_frame`]; an EOF **after** the first header byte (the
+/// peer died inside a frame) is reported as
+/// [`WireError::DisconnectedMidFrame`] rather than the generic I/O
+/// error a clean between-frames close produces.
 pub fn read_raw_frame(
     r: &mut impl std::io::Read,
     buf: &mut Vec<u8>,
     limits: &FrameLimits,
 ) -> Result<(u8, usize), WireError> {
     let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
+    // The header is read byte-counted rather than with `read_exact` so
+    // a close at offset 0 (clean end of session) stays distinguishable
+    // from a close inside the header (peer died mid-frame).
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Io {
+                        kind: std::io::ErrorKind::UnexpectedEof,
+                        detail: "clean eof before frame".into(),
+                    }
+                } else {
+                    WireError::DisconnectedMidFrame {
+                        got: filled,
+                        want: HEADER_LEN,
+                    }
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     let (kind, len) = decode_header(&header, limits)?;
     buf.clear();
     buf.resize(len, 0);
-    r.read_exact(buf)?;
+    if let Err(e) = r.read_exact(buf) {
+        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::DisconnectedMidFrame {
+                got: HEADER_LEN,
+                want: HEADER_LEN + len,
+            }
+        } else {
+            e.into()
+        });
+    }
     Ok((kind, HEADER_LEN + len))
 }
 
@@ -1005,6 +1153,13 @@ mod tests {
             client_id: 3,
             state_len: 1234,
             num_samples: 300,
+            resume: None,
+        });
+        roundtrip(Msg::Hello {
+            client_id: 3,
+            state_len: 1234,
+            num_samples: 292,
+            resume: Some(17),
         });
         roundtrip(Msg::Capabilities {
             max_payload: 1 << 20,
@@ -1024,6 +1179,7 @@ mod tests {
             state: vec![0.125; 33],
         });
         roundtrip(Msg::UnlearnAssign {
+            serial: 4,
             job: UnlearnJob {
                 local: GoldfishLocalConfig::default(),
                 hard: Some(HardLossSpec::Focal { gamma: 2.0 }),
@@ -1047,6 +1203,14 @@ mod tests {
             code: err_code::BAD_STATE_LEN,
             detail: "want 10, got 12".into(),
         });
+        roundtrip(Msg::Ack);
+        let mut digest = [0u8; 32];
+        for (i, b) in digest.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        roundtrip(Msg::Digest { round: 11, digest });
+        roundtrip(Msg::UnlearnAck { num_samples: 54 });
+        roundtrip(Msg::Shutdown);
     }
 
     #[test]
@@ -1056,6 +1220,7 @@ mod tests {
             client_id: 0,
             state_len: 1,
             num_samples: 1,
+            resume: None,
         };
         let mut frame = encode_frame(&msg, &limits).unwrap();
 
@@ -1135,6 +1300,7 @@ mod tests {
     fn custom_loss_cannot_encode() {
         let err = encode_frame(
             &Msg::UnlearnAssign {
+                serial: 0,
                 job: UnlearnJob {
                     local: GoldfishLocalConfig::default(),
                     hard: None,
@@ -1192,9 +1358,10 @@ mod tests {
             hard: Some(HardLossSpec::Focal { gamma: 1.5 }),
         };
         let removed = vec![2usize, 9, 31];
-        let n = encode_unlearn_assign_into(&mut buf, &job, &removed, &global, &limits).unwrap();
+        let n = encode_unlearn_assign_into(&mut buf, 6, &job, &removed, &global, &limits).unwrap();
         let via_msg = encode_frame(
             &Msg::UnlearnAssign {
+                serial: 6,
                 job,
                 removed: removed.iter().map(|&i| i as u64).collect(),
                 teacher: global.clone(),
@@ -1271,6 +1438,38 @@ mod tests {
         assert_eq!(back, msg);
         assert_eq!(n2, frame.len());
         assert_eq!(buf.capacity(), cap, "payload buffer was reallocated");
+    }
+
+    #[test]
+    fn eof_between_frames_vs_mid_frame_is_distinguished() {
+        let limits = FrameLimits::default();
+        let msg = Msg::Update {
+            round: 1,
+            client_id: 2,
+            weight: 30,
+            state: vec![1.5; 16],
+        };
+        let frame = encode_frame(&msg, &limits).unwrap();
+        let mut buf = Vec::new();
+
+        // Clean close before any byte: generic UnexpectedEof.
+        match read_raw_frame(&mut (&[] as &[u8]), &mut buf, &limits) {
+            Err(WireError::Io { kind, .. }) => {
+                assert_eq!(kind, std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("got {other:?}"),
+        }
+
+        // Close inside the header and inside the payload: typed
+        // mid-frame disconnect.
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 1, frame.len() - 1] {
+            match read_raw_frame(&mut &frame[..cut], &mut buf, &limits) {
+                Err(WireError::DisconnectedMidFrame { want, .. }) => {
+                    assert!(want > cut.min(HEADER_LEN), "cut at {cut}")
+                }
+                other => panic!("cut at {cut} gave {other:?}"),
+            }
+        }
     }
 
     #[test]

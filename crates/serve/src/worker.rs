@@ -20,6 +20,7 @@
 
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use goldfish_core::transport::ClientDistiller;
 use goldfish_core::ClientSplit;
@@ -28,6 +29,7 @@ use goldfish_fed::trainer::train_local_ce;
 use goldfish_fed::transport::client_seed;
 use goldfish_fed::{eval, ModelFactory};
 
+use crate::digest::DIGEST_LEN;
 use crate::wire::{
     self, decode_msg, encode_frame_into, err_code, read_frame, read_raw_frame, write_frame,
     FrameLimits, Msg, RoundMode, WireError,
@@ -41,6 +43,20 @@ pub struct WorkerRuntime {
     data: Dataset,
     state_len: usize,
     distiller: Option<ClientDistiller>,
+    /// Last round this worker answered — the `Hello` resume token after
+    /// a reconnect (`None` until the first answered round).
+    last_round: Option<u64>,
+    /// The most recent applied deletion batch: its drain serial plus the
+    /// resulting split. A re-shipped `UnlearnAssign` carrying the same
+    /// serial (coordinator crash-restart re-draining the batch it never
+    /// committed) reuses this instead of shrinking the dataset twice.
+    last_unlearn: Option<(u64, ClientSplit)>,
+    /// Round cursor + global-state digest the coordinator announced at
+    /// re-admission (the `Digest` frame), for post-run verification.
+    resume_digest: Option<(u64, [u8; DIGEST_LEN])>,
+    /// Coordinator messages handled across all sessions (reconnect
+    /// policies use it to tell progress from connect-fail loops).
+    frames_handled: u64,
 }
 
 impl WorkerRuntime {
@@ -53,6 +69,10 @@ impl WorkerRuntime {
             data,
             state_len,
             distiller: None,
+            last_round: None,
+            last_unlearn: None,
+            resume_digest: None,
+            frames_handled: 0,
         }
     }
 
@@ -66,12 +86,33 @@ impl WorkerRuntime {
         self.state_len
     }
 
-    /// The introduction frame this worker opens a connection with.
+    /// The last round this worker answered, if any — what its next
+    /// `Hello` carries as the resume token.
+    pub fn last_round(&self) -> Option<u64> {
+        self.last_round
+    }
+
+    /// The `(round, digest)` the coordinator announced when this worker
+    /// was re-admitted, if it ever reconnected mid-run.
+    pub fn resume_digest(&self) -> Option<(u64, [u8; DIGEST_LEN])> {
+        self.resume_digest
+    }
+
+    /// Coordinator messages handled across all sessions.
+    pub fn frames_handled(&self) -> u64 {
+        self.frames_handled
+    }
+
+    /// The introduction frame this worker opens a connection with. A
+    /// worker that already answered rounds introduces itself with a
+    /// resume token (client id + last answered round) so the
+    /// coordinator re-admits it into its old slot.
     pub fn hello(&self) -> Msg {
         Msg::Hello {
             client_id: self.client_id as u64,
             state_len: self.state_len as u64,
             num_samples: self.data.len() as u64,
+            resume: self.last_round,
         }
     }
 
@@ -79,6 +120,7 @@ impl WorkerRuntime {
     /// Protocol violations produce a [`Msg::Err`] reply (the caller
     /// should close the connection after sending one).
     pub fn handle(&mut self, msg: Msg) -> Msg {
+        self.frames_handled += 1;
         match msg {
             Msg::RoundAssign {
                 mode: RoundMode::Train,
@@ -96,6 +138,7 @@ impl WorkerRuntime {
                 let mut net = (self.factory)(s);
                 net.set_state_vector(&global);
                 train_local_ce(&mut net, &self.data, &cfg, s);
+                self.last_round = Some(round);
                 Msg::Update {
                     round,
                     client_id: self.client_id as u64,
@@ -104,21 +147,13 @@ impl WorkerRuntime {
                 }
             }
             Msg::UnlearnAssign {
+                serial,
                 job,
                 removed,
                 teacher,
             } => {
                 if teacher.len() != self.state_len {
                     return bad_state_len(teacher.len(), self.state_len);
-                }
-                if let Some(&bad) = removed.iter().find(|&&i| i as usize >= self.data.len()) {
-                    return Msg::Err {
-                        code: err_code::BAD_REQUEST,
-                        detail: format!(
-                            "removed index {bad} out of {} local samples",
-                            self.data.len()
-                        ),
-                    };
                 }
                 let hard = match job.hard {
                     Some(spec) => spec.build(),
@@ -131,7 +166,28 @@ impl WorkerRuntime {
                 };
                 let split = if removed.is_empty() {
                     ClientSplit::intact(self.data.clone())
+                } else if let Some((_, cached)) = self
+                    .last_unlearn
+                    .as_ref()
+                    .filter(|(last, _)| *last == serial)
+                {
+                    // The same drain serial again: a coordinator that
+                    // crashed before committing the batch re-drained it
+                    // on recovery. The deletion already happened — reuse
+                    // the cached split instead of shrinking twice (the
+                    // shipped indices address the pre-deletion dataset,
+                    // which no longer exists here).
+                    cached.clone()
                 } else {
+                    if let Some(&bad) = removed.iter().find(|&&i| i as usize >= self.data.len()) {
+                        return Msg::Err {
+                            code: err_code::BAD_REQUEST,
+                            detail: format!(
+                                "removed index {bad} out of {} local samples",
+                                self.data.len()
+                            ),
+                        };
+                    }
                     let idx: Vec<usize> = removed.iter().map(|&i| i as usize).collect();
                     let split = ClientSplit::with_removed(&self.data, &idx);
                     // The deletion is permanent: once the request is
@@ -139,6 +195,7 @@ impl WorkerRuntime {
                     // dataset — later training rounds must never touch
                     // them again.
                     self.data = split.remaining.clone();
+                    self.last_unlearn = Some((serial, split.clone()));
                     split
                 };
                 self.distiller = Some(ClientDistiller::new(
@@ -150,8 +207,12 @@ impl WorkerRuntime {
                     hard,
                 ));
                 // The job is accepted; the distiller answers the coming
-                // Distill assignments.
-                Msg::Ack
+                // Distill assignments. The ack carries this worker's
+                // authoritative remaining sample count — correct whether
+                // the deletion was fresh or deduplicated by serial.
+                Msg::UnlearnAck {
+                    num_samples: self.data.len() as u64,
+                }
             }
             Msg::RoundAssign {
                 mode: RoundMode::Distill,
@@ -166,6 +227,7 @@ impl WorkerRuntime {
                 match self.distiller.as_mut() {
                     Some(d) => {
                         let update = d.round(&global, round as usize, seed);
+                        self.last_round = Some(round);
                         Msg::UnlearnResult {
                             round,
                             client_id: update.client_id as u64,
@@ -178,6 +240,12 @@ impl WorkerRuntime {
                         detail: "distill round without a preceding UnlearnAssign".into(),
                     },
                 }
+            }
+            Msg::Digest { round, digest } => {
+                // The coordinator's re-admission announcement: record
+                // where the run stands and acknowledge.
+                self.resume_digest = Some((round, digest));
+                Msg::Ack
             }
             Msg::Eval { round, global, .. } => {
                 if global.len() != self.state_len {
@@ -277,18 +345,15 @@ pub fn serve_stream(
     let mut rbuf: Vec<u8> = Vec::new();
     let mut wbuf: Vec<u8> = Vec::new();
     loop {
-        let msg = match read_raw_frame(&mut stream, &mut rbuf, limits)
-            .and_then(|(kind, _)| decode_msg(kind, &rbuf))
-        {
-            Ok(msg) => msg,
-            // A clean close after the handshake is the coordinator's
-            // shutdown signal.
-            Err(WireError::Io {
-                kind: std::io::ErrorKind::UnexpectedEof,
-                ..
-            }) => return Ok(()),
-            Err(e) => return Err(e),
-        };
+        // Bare EOF is NOT a clean end: a graceful coordinator sends
+        // `Shutdown` first. EOF without it means the coordinator (or
+        // the network) died, which must surface as an error so the
+        // resilient loop can reconnect instead of exiting 0.
+        let msg = read_raw_frame(&mut stream, &mut rbuf, limits)
+            .and_then(|(kind, _)| decode_msg(kind, &rbuf))?;
+        if matches!(msg, Msg::Shutdown) {
+            return Ok(());
+        }
         if let Msg::Err { code, detail } = &msg {
             return Err(WireError::Malformed(format!(
                 "coordinator error (code {code}): {detail}"
@@ -305,6 +370,114 @@ pub fn serve_stream(
         if fatal {
             return Err(WireError::Malformed(wire::describe_err(&reply)));
         }
+    }
+}
+
+/// Bounded-backoff policy of [`run_worker_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Consecutive failed attempts (connect failure or a session that
+    /// handled no message) before giving up. `1` = a single try.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per consecutive failure.
+    pub initial_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 20,
+            initial_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a worker gave up on its coordinator — the worker daemon's exit
+/// status derives from the variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerSessionError {
+    /// The coordinator answered but refused this worker (handshake
+    /// rejection or a protocol violation). Retrying cannot help.
+    Rejected {
+        /// Human-readable rejection/violation text.
+        detail: String,
+    },
+    /// The connection (or the coordinator) went away and the reconnect
+    /// budget ran out.
+    Disconnected {
+        /// The last transport failure observed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WorkerSessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerSessionError::Rejected { detail } => {
+                write!(f, "coordinator rejected this worker: {detail}")
+            }
+            WorkerSessionError::Disconnected { detail } => {
+                write!(
+                    f,
+                    "coordinator unreachable, reconnect budget exhausted: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerSessionError {}
+
+/// [`run_worker`] with crash resilience: a lost connection (including a
+/// coordinator that died mid-frame) is retried under `policy` with
+/// exponential backoff, re-introducing the runtime with its resume
+/// token. Any session that handles at least one message refills the
+/// attempt budget, so a long-lived worker survives any number of
+/// *separate* coordinator restarts while a dead coordinator still fails
+/// fast.
+///
+/// # Errors
+///
+/// [`WorkerSessionError::Rejected`] on a handshake rejection or
+/// protocol violation (never retried);
+/// [`WorkerSessionError::Disconnected`] when the budget runs out.
+pub fn run_worker_resilient(
+    addr: &str,
+    runtime: &mut WorkerRuntime,
+    limits: &FrameLimits,
+    policy: ReconnectPolicy,
+) -> Result<(), WorkerSessionError> {
+    let mut attempts = 0u32;
+    let mut delay = policy.initial_delay;
+    loop {
+        let before = runtime.frames_handled();
+        let outcome = TcpStream::connect(addr)
+            .map_err(WireError::from)
+            .and_then(|stream| serve_stream(stream, runtime, limits));
+        let detail = match outcome {
+            Ok(()) => return Ok(()),
+            // Malformed covers handshake rejections and protocol-level
+            // faults: deterministic, so retrying is useless.
+            Err(WireError::Malformed(detail)) => {
+                return Err(WorkerSessionError::Rejected { detail })
+            }
+            Err(e) => e.to_string(),
+        };
+        if runtime.frames_handled() > before {
+            // The session made progress before dying — a fresh outage,
+            // not a continuation of the previous one.
+            attempts = 0;
+            delay = policy.initial_delay;
+        }
+        attempts += 1;
+        if attempts >= policy.max_attempts {
+            return Err(WorkerSessionError::Disconnected { detail });
+        }
+        std::thread::sleep(delay);
+        delay = (delay * 2).min(policy.max_delay);
     }
 }
 
@@ -392,11 +565,13 @@ mod tests {
             hard: Some(HardLossSpec::CrossEntropy),
         };
         let ack = w.handle(Msg::UnlearnAssign {
+            serial: 0,
             job,
             removed: vec![0, 3],
             teacher: teacher.clone(),
         });
-        assert!(matches!(ack, Msg::Ack));
+        // The ack reports the post-deletion dataset size (worker truth).
+        assert!(matches!(ack, Msg::UnlearnAck { num_samples: 38 }));
         let reply = w.handle(Msg::RoundAssign {
             mode: RoundMode::Distill,
             round: 0,
@@ -452,6 +627,7 @@ mod tests {
         ));
         let teacher = (spec.factory())(0).state_vector();
         let reply = w.handle(Msg::UnlearnAssign {
+            serial: 0,
             job: UnlearnJob {
                 local: GoldfishLocalConfig::default(),
                 hard: Some(HardLossSpec::CrossEntropy),
@@ -470,6 +646,7 @@ mod tests {
             client_id: 0,
             state_len: 0,
             num_samples: 0,
+            resume: None,
         });
         assert!(matches!(reply, Msg::Err { .. }));
     }

@@ -1,0 +1,222 @@
+//! The corruption suite: every way a state directory can rot must
+//! surface as a typed error or a clean fallback — never as a silently
+//! wrong recovery.
+
+use std::path::{Path, PathBuf};
+
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::GoldfishUnlearning;
+use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::durability::{DurabilityError, DurableStore, CHECKPOINT_MAGIC};
+use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::transport::LoopbackTransport;
+
+fn spec() -> DemoSpec {
+    DemoSpec {
+        clients: 2,
+        samples_per_client: 40,
+        test_samples: 20,
+        seed: 8,
+    }
+}
+
+fn coordinator(spec: &DemoSpec) -> Coordinator<LoopbackTransport> {
+    let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(2));
+    let cfg = CoordinatorConfig {
+        train: spec.train_config(),
+        method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+            epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+            ..GoldfishLocalConfig::default()
+        }),
+        unlearn_rounds: 1,
+        init_seed: 1,
+        threads: Some(2),
+        ..CoordinatorConfig::default()
+    };
+    Coordinator::new(spec.factory(), spec.test_set(), transport, cfg)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("goldfish-durab-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Runs two committed rounds so the directory holds the maximum kept
+/// checkpoint generations, then returns the final round cursor.
+fn populate(dir: &Path) -> usize {
+    let spec = spec();
+    let mut c = coordinator(&spec);
+    let (store, recovered) = DurableStore::open(dir).unwrap();
+    c.attach_durability(store, recovered).unwrap();
+    c.submit_unlearn(UnlearnRequest::new(0, (0..4).collect()))
+        .unwrap();
+    c.run(2, 7).unwrap();
+    c.next_round()
+}
+
+fn checkpoints(dir: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "gfck"))
+        .collect();
+    // Name encodes the serial in zero-padded hex: lexicographic sort is
+    // generation order, last = newest.
+    found.sort();
+    found
+}
+
+#[test]
+fn truncated_newest_checkpoint_falls_back_one_generation() {
+    let dir = tmp_dir("truncated");
+    let rounds = populate(&dir);
+    assert_eq!(rounds, 2);
+    let files = checkpoints(&dir);
+    assert!(files.len() >= 2, "expected two generations, got {files:?}");
+    let newest = files.last().unwrap();
+    let bytes = std::fs::read(newest).unwrap();
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (_store, recovered) = DurableStore::open(&dir).unwrap();
+    assert!(recovered.resumed);
+    assert!(
+        recovered.fell_back,
+        "must recover from the previous generation"
+    );
+    assert!(
+        recovered.round_next < rounds,
+        "fallback state must predate the torn checkpoint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checksum_falls_back_and_all_corrupt_fails_closed() {
+    let dir = tmp_dir("checksum");
+    populate(&dir);
+    let files = checkpoints(&dir);
+    assert!(files.len() >= 2);
+
+    // Flip one byte in the newest body: checksum mismatch, fall back.
+    let newest = files.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(newest, &bytes).unwrap();
+    let (_s, recovered) = DurableStore::open(&dir).unwrap();
+    assert!(recovered.resumed && recovered.fell_back);
+
+    // Now corrupt every generation (at a fresh offset — the newest file
+    // already has one flipped byte): recovery must refuse to guess.
+    for f in &files {
+        let mut b = std::fs::read(f).unwrap();
+        let at = b.len() / 3;
+        b[at] ^= 0x40;
+        std::fs::write(f, &b).unwrap();
+    }
+    match DurableStore::open(&dir).map(|_| ()) {
+        Err(DurabilityError::CheckpointChecksum { .. }) => {}
+        other => panic!("expected CheckpointChecksum fail-closed, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skew_and_bad_magic_are_typed() {
+    let dir = tmp_dir("skew");
+    populate(&dir);
+    let files = checkpoints(&dir);
+    let newest = files.last().unwrap().clone();
+    let clean = std::fs::read(&newest).unwrap();
+
+    // Patch the version field (bytes 4..8, checked before the
+    // checksum): a future-format checkpoint is skew, not corruption.
+    let mut skewed = clean.clone();
+    skewed[4..8].copy_from_slice(&99u32.to_le_bytes());
+    for f in &files {
+        std::fs::write(f, &skewed).unwrap();
+    }
+    match DurableStore::open(&dir).map(|_| ()) {
+        Err(DurabilityError::CheckpointVersionSkew { got: 99, .. }) => {}
+        other => panic!("expected CheckpointVersionSkew, got {other:?}"),
+    }
+
+    // Wrong magic.
+    let mut noise = clean.clone();
+    noise[0..4].copy_from_slice(b"NOPE");
+    assert_ne!(&noise[0..4], CHECKPOINT_MAGIC.as_slice());
+    for f in &files {
+        std::fs::write(f, &noise).unwrap();
+    }
+    match DurableStore::open(&dir).map(|_| ()) {
+        Err(DurabilityError::CheckpointBadMagic { .. }) => {}
+        other => panic!("expected CheckpointBadMagic, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_is_discarded_but_interior_corruption_fails_closed() {
+    let dir = tmp_dir("wal");
+
+    // Log two submits through the real coordinator path, noting the
+    // WAL length after each so truncation points are exact.
+    let wal = dir.join("queue.wal");
+    let (clean, after_first) = {
+        let spec = spec();
+        let mut c = coordinator(&spec);
+        let (store, recovered) = DurableStore::open(&dir).unwrap();
+        c.attach_durability(store, recovered).unwrap();
+        c.submit_unlearn(UnlearnRequest::new(0, vec![0, 1]))
+            .unwrap();
+        let after_first = std::fs::metadata(&wal).unwrap().len();
+        c.submit_unlearn(UnlearnRequest::new(1, vec![2])).unwrap();
+        (std::fs::read(&wal).unwrap(), after_first)
+    };
+
+    // Torn tail: the file ends inside the second record — that submit
+    // was never acknowledged, so recovery silently drops it…
+    std::fs::write(&wal, &clean[..clean.len() - 3]).unwrap();
+    let (s, recovered) = DurableStore::open(&dir).unwrap();
+    assert_eq!(recovered.replayed.len(), 1);
+    assert_eq!(recovered.replayed[0].client_id, 0);
+    drop(s);
+    // …and truncates the file back to the last whole record so the
+    // next append starts clean.
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), after_first);
+
+    // Interior corruption: a flipped byte in the *first* record is data
+    // loss of an acknowledged submit — fail closed, typed.
+    let mut bad = clean.clone();
+    bad[12] ^= 0x01; // inside record 1's body
+    std::fs::write(&wal, &bad).unwrap();
+    match DurableStore::open(&dir).map(|_| ()) {
+        Err(DurabilityError::WalCorrupt { .. }) => {}
+        other => panic!("expected WalCorrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn submit_is_durable_before_acknowledgement() {
+    let dir = tmp_dir("ack");
+    let req = UnlearnRequest::new(1, vec![3, 4, 5]);
+    {
+        let spec = spec();
+        let mut c = coordinator(&spec);
+        let (store, recovered) = DurableStore::open(&dir).unwrap();
+        c.attach_durability(store, recovered).unwrap();
+        c.submit_unlearn(req.clone()).unwrap();
+        // Crash immediately: no round, no drain, no checkpoint.
+    }
+    let (_s, recovered) = DurableStore::open(&dir).unwrap();
+    assert!(!recovered.resumed, "no checkpoint was ever written");
+    assert_eq!(recovered.replayed, vec![req]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

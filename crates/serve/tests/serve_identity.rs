@@ -205,7 +205,8 @@ fn tcp_run_is_bitwise_identical_to_loopback() {
         .collect();
     assert_eq!(tcp_evals, lb_evals);
 
-    drop(c); // closes the sockets → workers see EOF and exit
+    c.transport_mut().shutdown(); // graceful goodbye: workers exit Ok
+    drop(c);
     for w in workers {
         w.join().unwrap();
     }
@@ -250,6 +251,7 @@ fn window_overflow_keeps_healthy_tcp_workers_connected() {
     let ok = transport.train_round(&assign);
     assert!(ok.iter().all(|r| r.is_ok()));
 
+    transport.shutdown(); // graceful goodbye: workers exit Ok
     drop(transport);
     for w in workers {
         w.join().unwrap();
@@ -280,6 +282,7 @@ fn straggler_is_dropped_and_round_rerun_deterministically() {
             client_id: 1,
             state_len: (spec.factory())(0).state_len() as u64,
             num_samples: spec.samples_per_client as u64,
+            resume: None,
         };
         write_frame(&mut stream, &hello, &limits).unwrap();
         let _ = read_frame(&mut stream, &limits).unwrap(); // Capabilities

@@ -78,11 +78,11 @@ fn arb_job() -> impl Strategy<Value = UnlearnJob> {
         )
 }
 
-/// One strategy covering all eight message kinds: an index field selects
+/// One strategy covering every message kind: an index field selects
 /// the variant, the shared field pool fills it.
 fn arb_msg() -> impl Strategy<Value = Msg> {
     (
-        (0u8..8, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        (0u8..10, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         arb_cfg(),
         arb_job(),
         proptest::collection::vec(0u64..1_000_000, 0..32),
@@ -97,6 +97,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     client_id: a,
                     state_len: b,
                     num_samples: c,
+                    resume: (a % 2 == 0).then_some(b ^ c),
                 },
                 1 => Msg::Capabilities {
                     max_payload: a,
@@ -120,6 +121,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     state: floats,
                 },
                 4 => Msg::UnlearnAssign {
+                    serial: a,
                     job,
                     removed,
                     teacher: floats,
@@ -136,10 +138,18 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     mse,
                     global: floats,
                 },
-                _ => Msg::Err {
+                7 => Msg::Err {
                     code: (a % (u16::MAX as u64 + 1)) as u16,
                     detail: String::from_utf8(vec![b'a' + (ch % 26); str_len]).unwrap(),
                 },
+                8 => Msg::Ack,
+                _ => {
+                    let mut digest = [0u8; 32];
+                    for (i, byte) in digest.iter_mut().enumerate() {
+                        *byte = (b.wrapping_add(i as u64) % 256) as u8;
+                    }
+                    Msg::Digest { round: a, digest }
+                }
             }
         })
 }

@@ -31,14 +31,16 @@ use goldfish_bench::args;
 use goldfish_bench::report::{self, heap, PerfReport, Table};
 use goldfish_data::synthetic::{self, SyntheticSpec};
 use goldfish_data::Dataset;
+use goldfish_fed::aggregate::AggregationMode;
 use goldfish_fed::aggregate::FedAvg;
 use goldfish_fed::trainer::TrainConfig;
 use goldfish_fed::transport::{
-    collect_round, round_seed, LoopbackClients, RoundDriver, TrainAssign,
+    collect_round, round_nonce, round_seed, LoopbackClients, RoundDriver, TrainAssign,
 };
 use goldfish_fed::ModelFactory;
 use goldfish_nn::zoo;
 use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
+use goldfish_serve::fault::{ByzantineScript, FaultPlan, FaultyTransport};
 use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
 use goldfish_serve::wire::FrameLimits;
@@ -145,6 +147,7 @@ fn legacy_round_hot(
     let assign = TrainAssign {
         round,
         seed,
+        nonce: round_nonce(seed, round),
         global,
         cfg,
     };
@@ -177,6 +180,7 @@ fn legacy_round_full(
     let assign = TrainAssign {
         round,
         seed,
+        nonce: round_nonce(seed, round),
         global,
         cfg,
     };
@@ -431,6 +435,64 @@ fn main() {
         for w in workers {
             w.join().expect("worker thread");
         }
+    }
+
+    report::heading("adversarial sweep (mean vs trimmed mean under attack)");
+    {
+        let n = if quick { 8 } else { 32 };
+        let rounds = 4usize;
+        let s = spec(n, seed);
+
+        // Clean reference: plain mean, nobody lying.
+        let reference = {
+            let mut c = loopback_coordinator(&s);
+            for r in 0..rounds {
+                c.train_round_hot(r, round_seed(seed, r)).expect("round");
+            }
+            c.global_state().to_vec()
+        };
+
+        let drift = |state: &[f32]| -> f64 {
+            state
+                .iter()
+                .zip(&reference)
+                .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+
+        // Attacked runs: the first `f·n` clients ship 10x-scaled updates
+        // (rounded up so a nonzero percentage always fields at least one
+        // attacker, even on the --quick 8-client fleet).
+        for pct in [0usize, 10, 25] {
+            let attackers = (n * pct).div_ceil(100);
+            let trim = attackers.max(1).min((n - 1) / 2);
+            for (label, mode) in [
+                ("mean", AggregationMode::Mean),
+                ("trimmed", AggregationMode::TrimmedMean { trim }),
+            ] {
+                let mut plan = FaultPlan::new();
+                for id in 0..attackers {
+                    plan = plan.byzantine(id, ByzantineScript::Scale { factor: 10.0 });
+                }
+                let transport = FaultyTransport::new(
+                    LoopbackTransport::new(s.factory(), s.client_shards(), None),
+                    plan,
+                );
+                let cfg = coordinator_config(&s).with_aggregation(mode);
+                let mut c = Coordinator::new(s.factory(), s.test_set(), transport, cfg);
+                for r in 0..rounds {
+                    c.train_round_hot(r, round_seed(seed, r)).expect("round");
+                }
+                let d = drift(c.global_state());
+                println!("{pct:>2}% attackers, {label:>7}: drift from clean mean {d:.6}");
+                rep.speedup(&format!("adv_drift_{pct}pct_{label}"), d);
+            }
+        }
+        rep.meta(
+            "adversarial_workload",
+            format!("{n} clients, {rounds} rounds, scale:10 attackers at 0/10/25%"),
+        );
     }
 
     report::heading("fleet summary");

@@ -438,6 +438,580 @@ impl StreamingMean {
         self.finish_into(&mut out)?;
         Ok(out)
     }
+
+    /// Cohort members whose updates are held by the accumulator —
+    /// folded plus parked. This is the "reported set" quorum decisions
+    /// are made over.
+    pub fn offered_count(&self) -> usize {
+        self.next + self.resident
+    }
+
+    /// Finishes a **quorum-degraded** round: folds every parked update
+    /// (in ascending slot order, skipping the missing cohort members)
+    /// and emits the mean **renormalized over the reported weight
+    /// mass** — `accⱼ / Σ_{reported} fracᵢ`, with the fraction sum
+    /// accumulated in ascending slot order. When every cohort member
+    /// reported this is the plain cast of [`StreamingMean::finish_into`]
+    /// (no division), so a 100%-participation quorum round is bitwise
+    /// identical to a normal one.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when *nothing* was offered.
+    pub fn finish_partial_into(&mut self, out: &mut Vec<f32>) -> Result<(), AggregateError> {
+        // Fold parked updates past the frontier in ascending slot
+        // order; gaps (missing clients) are skipped.
+        for slot in self.next..self.ids.len() {
+            if let Some(buf) = self.parked[slot].take() {
+                self.resident -= 1;
+                self.fold(slot, &buf);
+                self.spare.push(buf);
+            }
+        }
+        let reported = self.folded.iter().filter(|&&f| f).count();
+        if reported == 0 {
+            return Err(AggregateError::Incomplete {
+                missing: self.ids.len(),
+            });
+        }
+        out.clear();
+        out.reserve(self.state_len);
+        if reported == self.ids.len() {
+            out.extend(self.acc.iter().map(|&a| a as f32));
+            return Ok(());
+        }
+        let mut den = 0.0f64;
+        for (slot, &folded) in self.folded.iter().enumerate() {
+            if folded {
+                den += self.fracs[slot];
+            }
+        }
+        out.extend(self.acc.iter().map(|&a| (a / den) as f32));
+        Ok(())
+    }
+}
+
+/// Which aggregation rule the streaming round loop folds with —
+/// selected via `CoordinatorConfig` and announced to workers in the
+/// `Capabilities` handshake (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AggregationMode {
+    /// The weighted FedAvg mean ([`StreamingMean`]): the bitwise
+    /// reference behavior, no Byzantine tolerance.
+    #[default]
+    Mean,
+    /// Coordinate-wise trimmed mean: per parameter index, the `trim`
+    /// lowest and `trim` highest reported values are discarded and the
+    /// survivors weighted-averaged (renormalized weights). `trim = 0`
+    /// at full participation is bitwise identical to [`AggregationMode::Mean`].
+    /// Tolerates up to `trim` Byzantine clients per coordinate.
+    TrimmedMean {
+        /// Values trimmed from each end of every coordinate's order.
+        trim: usize,
+    },
+    /// Coordinate-wise unweighted median — the strongest per-coordinate
+    /// robustness (breaks down only past ⌊(n−1)/2⌋ attackers).
+    Median,
+    /// The FedAvg mean over norm-clipped updates: an update whose
+    /// relative delta norm `‖u − g‖ / (1 + ‖g‖)` vs. the broadcast
+    /// global `g` exceeds `limit` is scaled back onto the limit sphere
+    /// before folding; updates under the limit pass through
+    /// **bitwise-untouched**, so a benign round is identical to
+    /// [`AggregationMode::Mean`].
+    NormClipped {
+        /// The relative delta-norm ceiling.
+        limit: f64,
+    },
+}
+
+impl AggregationMode {
+    /// The `(code, param)` pair the `Capabilities` handshake carries.
+    pub fn wire_code(&self) -> (u8, u64) {
+        match *self {
+            AggregationMode::Mean => (0, 0),
+            AggregationMode::TrimmedMean { trim } => (1, trim as u64),
+            AggregationMode::Median => (2, 0),
+            AggregationMode::NormClipped { limit } => (3, limit.to_bits()),
+        }
+    }
+
+    /// Decodes a `Capabilities` `(code, param)` pair.
+    pub fn from_wire(code: u8, param: u64) -> Option<Self> {
+        match code {
+            0 => Some(AggregationMode::Mean),
+            1 => Some(AggregationMode::TrimmedMean {
+                trim: param as usize,
+            }),
+            2 => Some(AggregationMode::Median),
+            3 => {
+                let limit = f64::from_bits(param);
+                if limit.is_finite() && limit > 0.0 {
+                    Some(AggregationMode::NormClipped { limit })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses the daemon flag syntax: `mean`, `trimmed:K`, `median`,
+    /// `normclip:LIMIT`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.split_once(':') {
+            None => match s {
+                "mean" => Some(AggregationMode::Mean),
+                "median" => Some(AggregationMode::Median),
+                _ => None,
+            },
+            Some(("trimmed", k)) => k
+                .parse()
+                .ok()
+                .map(|trim| AggregationMode::TrimmedMean { trim }),
+            Some(("normclip", c)) => c
+                .parse()
+                .ok()
+                .filter(|&limit: &f64| limit.is_finite() && limit > 0.0)
+                .map(|limit| AggregationMode::NormClipped { limit }),
+            Some(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AggregationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AggregationMode::Mean => write!(f, "mean"),
+            AggregationMode::TrimmedMean { trim } => write!(f, "trimmed:{trim}"),
+            AggregationMode::Median => write!(f, "median"),
+            AggregationMode::NormClipped { limit } => write!(f, "normclip:{limit}"),
+        }
+    }
+}
+
+/// Sequential (index-order) `f64` L2 norm of `v` — one deterministic
+/// pass, bitwise identical at every thread count. The admission layer's
+/// norm primitive.
+pub fn l2_norm(v: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in v {
+        let x = x as f64;
+        acc += x * x;
+    }
+    acc.sqrt()
+}
+
+/// Sequential `f64` L2 norm of `state − global` (index order).
+pub fn delta_norm(global: &[f32], state: &[f32]) -> f64 {
+    debug_assert_eq!(global.len(), state.len());
+    let mut acc = 0.0f64;
+    for (&g, &s) in global.iter().zip(state.iter()) {
+        let d = s as f64 - g as f64;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Writes `global + scale · (state − global)` into `out` (per-element
+/// `f64` arithmetic, index order) — the norm-clipping projection of
+/// [`AggregationMode::NormClipped`].
+pub fn clip_update_into(global: &[f32], state: &[f32], scale: f64, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(global.len());
+    out.extend(
+        global
+            .iter()
+            .zip(state.iter())
+            .map(|(&g, &s)| (g as f64 + scale * (s as f64 - g as f64)) as f32),
+    );
+}
+
+/// The buffered robust fold behind [`AggregationMode::TrimmedMean`] and
+/// [`AggregationMode::Median`]: a fixed-slot accumulator keyed by client
+/// id, like [`StreamingMean`], but holding every reported update until
+/// `finish` — coordinate-wise selection needs all values of a
+/// coordinate at once, so these modes cannot stream. Memory is bounded
+/// by the cohort (`n` pooled state buffers, reused across rounds).
+///
+/// Determinism: slots are keyed by client id, so arrival order is
+/// erased on entry; each coordinate's selection sorts values by
+/// `f32::total_cmp` with the slot index as tie-break, and the surviving
+/// values are accumulated **in ascending slot order** into an `f64`
+/// accumulator. Coordinates are independent, so the chunk-parallel
+/// finish is bitwise identical at every thread count (pinned by the
+/// proptests in `crates/fed/tests/determinism.rs`).
+#[derive(Debug, Default)]
+pub struct RobustBuffer {
+    /// Cohort client ids, strictly ascending.
+    ids: Vec<usize>,
+    /// `wᵢ / Σw` per slot (trimmed-mean weighting; median ignores it).
+    fracs: Vec<f64>,
+    /// One pooled buffer per slot, filled on offer.
+    slots: Vec<Option<Vec<f32>>>,
+    /// Spare buffers, reused across rounds.
+    spare: Vec<Vec<f32>>,
+    /// How many slots are filled.
+    received: usize,
+    /// High-water mark of `received` (robust modes hold all updates).
+    peak_resident: usize,
+    state_len: usize,
+}
+
+/// The selection rule a [`RobustBuffer`] finishes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustRule {
+    /// Coordinate-wise trimmed weighted mean.
+    TrimmedMean {
+        /// Values trimmed from each end.
+        trim: usize,
+    },
+    /// Coordinate-wise unweighted median.
+    Median,
+}
+
+impl RobustBuffer {
+    /// An empty buffer; call [`RobustBuffer::begin`] per round.
+    pub fn new() -> Self {
+        RobustBuffer::default()
+    }
+
+    /// Arms the buffer for one round (same contract as
+    /// [`StreamingMean::begin`]; there is no window — robust modes hold
+    /// the whole reported set by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cohort is empty, ids are not strictly ascending,
+    /// or the weights sum to zero.
+    pub fn begin(&mut self, cohort: &[(usize, f64)], state_len: usize) {
+        assert!(!cohort.is_empty(), "no clients to aggregate");
+        assert!(
+            cohort.windows(2).all(|w| w[0].0 < w[1].0),
+            "cohort ids must be strictly ascending"
+        );
+        let total: f64 = cohort.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "aggregation weights sum to zero");
+        self.ids.clear();
+        self.ids.extend(cohort.iter().map(|&(id, _)| id));
+        self.fracs.clear();
+        self.fracs.extend(cohort.iter().map(|&(_, w)| w / total));
+        for slot in self.slots.iter_mut() {
+            if let Some(buf) = slot.take() {
+                self.spare.push(buf);
+            }
+        }
+        self.slots.resize_with(cohort.len(), || None);
+        self.received = 0;
+        self.peak_resident = 0;
+        self.state_len = state_len;
+    }
+
+    /// Offers one arriving update (copied into a pooled slot buffer).
+    ///
+    /// # Errors
+    ///
+    /// The same typed rejections as [`StreamingMean::offer`]: unknown or
+    /// duplicate clients, wrong state lengths, non-finite uploads. The
+    /// buffer is unchanged by a rejected offer.
+    pub fn offer(&mut self, client_id: usize, state: &[f32]) -> Result<(), AggregateError> {
+        let slot = self
+            .ids
+            .binary_search(&client_id)
+            .map_err(|_| AggregateError::UnknownClient { client_id })?;
+        if self.slots[slot].is_some() {
+            return Err(AggregateError::DuplicateUpdate { client_id });
+        }
+        if state.len() != self.state_len {
+            return Err(AggregateError::StateLenMismatch {
+                client_id,
+                got: state.len(),
+                want: self.state_len,
+            });
+        }
+        if !state.iter().all(|v| v.is_finite()) {
+            return Err(AggregateError::Diverged { client_id });
+        }
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(state);
+        self.slots[slot] = Some(buf);
+        self.received += 1;
+        self.peak_resident = self.peak_resident.max(self.received);
+        Ok(())
+    }
+
+    /// Cohort members whose updates are held.
+    pub fn offered_count(&self) -> usize {
+        self.received
+    }
+
+    /// Whether every cohort member has reported.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.ids.len()
+    }
+
+    /// High-water mark of resident updates (= reported count; the
+    /// buffered modes hold everything).
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Finishes over the **full** cohort.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when cohort members are missing.
+    pub fn finish_into(
+        &mut self,
+        rule: RobustRule,
+        out: &mut Vec<f32>,
+    ) -> Result<(), AggregateError> {
+        if !self.is_complete() {
+            return Err(AggregateError::Incomplete {
+                missing: self.ids.len() - self.received,
+            });
+        }
+        self.compute_into(rule, out);
+        Ok(())
+    }
+
+    /// Finishes a quorum-degraded round over whatever subset reported
+    /// (ascending client-id order, weights renormalized).
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when nothing reported.
+    pub fn finish_partial_into(
+        &mut self,
+        rule: RobustRule,
+        out: &mut Vec<f32>,
+    ) -> Result<(), AggregateError> {
+        if self.received == 0 {
+            return Err(AggregateError::Incomplete {
+                missing: self.ids.len(),
+            });
+        }
+        self.compute_into(rule, out);
+        Ok(())
+    }
+
+    fn compute_into(&self, rule: RobustRule, out: &mut Vec<f32>) {
+        let reported: Vec<usize> = (0..self.slots.len())
+            .filter(|&s| self.slots[s].is_some())
+            .collect();
+        out.clear();
+        out.resize(self.state_len, 0.0);
+        let full = reported.len() == self.ids.len();
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || self.state_len <= REDUCE_CHUNK {
+            for (chunk_idx, chunk) in out.chunks_mut(REDUCE_CHUNK).enumerate() {
+                self.compute_chunk(rule, &reported, full, chunk, chunk_idx * REDUCE_CHUNK);
+            }
+        } else {
+            let reported = &reported;
+            rayon::scope(|s| {
+                for (chunk_idx, chunk) in out.chunks_mut(REDUCE_CHUNK).enumerate() {
+                    s.spawn(move |_| {
+                        self.compute_chunk(rule, reported, full, chunk, chunk_idx * REDUCE_CHUNK);
+                    });
+                }
+            });
+        }
+    }
+
+    /// Computes one coordinate chunk. Every coordinate is independent,
+    /// so chunking never changes bits.
+    fn compute_chunk(
+        &self,
+        rule: RobustRule,
+        reported: &[usize],
+        full: bool,
+        chunk: &mut [f32],
+        offset: usize,
+    ) {
+        let n = reported.len();
+        match rule {
+            RobustRule::TrimmedMean { trim } => {
+                // Keep at least one value: a trim that would empty the
+                // order is clamped (documented in DESIGN.md §13).
+                let t = trim.min(n.saturating_sub(1) / 2);
+                if t == 0 {
+                    // Pure weighted mean over the reported set — the
+                    // exact per-element op sequence of `StreamingMean`
+                    // (id-ordered f64 accumulation) when everyone
+                    // reported, so trim=0 is bitwise identical to it.
+                    let mut acc = vec![0.0f64; chunk.len()];
+                    for &slot in reported {
+                        let frac = self.fracs[slot];
+                        let state = self.slots[slot].as_ref().expect("reported slot");
+                        let vs = &state[offset..offset + chunk.len()];
+                        for (a, &v) in acc.iter_mut().zip(vs.iter()) {
+                            *a += frac * v as f64;
+                        }
+                    }
+                    if full {
+                        for (o, &a) in chunk.iter_mut().zip(acc.iter()) {
+                            *o = a as f32;
+                        }
+                    } else {
+                        let mut den = 0.0f64;
+                        for &slot in reported {
+                            den += self.fracs[slot];
+                        }
+                        for (o, &a) in chunk.iter_mut().zip(acc.iter()) {
+                            *o = (a / den) as f32;
+                        }
+                    }
+                    return;
+                }
+                let mut order: Vec<(f32, usize)> = Vec::with_capacity(n);
+                let mut kept: Vec<usize> = Vec::with_capacity(n);
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    let idx = offset + j;
+                    order.clear();
+                    order.extend(
+                        reported
+                            .iter()
+                            .map(|&slot| (self.slots[slot].as_ref().expect("reported")[idx], slot)),
+                    );
+                    // Total order: value, then slot — deterministic
+                    // under ties.
+                    order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    kept.clear();
+                    kept.extend(order[t..n - t].iter().map(|&(_, slot)| slot));
+                    kept.sort_unstable();
+                    let mut num = 0.0f64;
+                    let mut den = 0.0f64;
+                    for &slot in &kept {
+                        let v = self.slots[slot].as_ref().expect("kept")[idx];
+                        num += self.fracs[slot] * v as f64;
+                        den += self.fracs[slot];
+                    }
+                    *o = (num / den) as f32;
+                }
+            }
+            RobustRule::Median => {
+                let mut vals: Vec<f32> = Vec::with_capacity(n);
+                for (j, o) in chunk.iter_mut().enumerate() {
+                    let idx = offset + j;
+                    vals.clear();
+                    vals.extend(
+                        reported
+                            .iter()
+                            .map(|&slot| self.slots[slot].as_ref().expect("reported")[idx]),
+                    );
+                    vals.sort_unstable_by(f32::total_cmp);
+                    *o = if n % 2 == 1 {
+                        vals[n / 2]
+                    } else {
+                        ((vals[n / 2 - 1] as f64 + vals[n / 2] as f64) * 0.5) as f32
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The per-round accumulator behind the streaming round loop
+/// ([`crate::transport::RoundRuntime`]): the streaming mean or a
+/// buffered robust fold, dispatched by [`AggregationMode`]. Both
+/// engines persist so switching modes between rounds never drops the
+/// buffer pools.
+#[derive(Debug, Default)]
+pub struct RoundAccumulator {
+    mean: StreamingMean,
+    robust: RobustBuffer,
+    rule: Option<RobustRule>,
+}
+
+impl RoundAccumulator {
+    /// An empty accumulator; call [`RoundAccumulator::begin`] per round.
+    pub fn new() -> Self {
+        RoundAccumulator::default()
+    }
+
+    /// Arms the accumulator for one round. [`AggregationMode::Mean`] and
+    /// [`AggregationMode::NormClipped`] fold through the streaming mean
+    /// (clipping happens upstream, in the admission layer); the trimmed
+    /// mean and median arm the buffered [`RobustBuffer`], which ignores
+    /// `window` (it must hold the whole reported set anyway).
+    pub fn begin(
+        &mut self,
+        mode: AggregationMode,
+        cohort: &[(usize, f64)],
+        state_len: usize,
+        window: usize,
+    ) {
+        self.rule = match mode {
+            AggregationMode::Mean | AggregationMode::NormClipped { .. } => None,
+            AggregationMode::TrimmedMean { trim } => Some(RobustRule::TrimmedMean { trim }),
+            AggregationMode::Median => Some(RobustRule::Median),
+        };
+        match self.rule {
+            None => self.mean.begin(cohort, state_len, window),
+            Some(_) => self.robust.begin(cohort, state_len),
+        }
+    }
+
+    /// Offers one arriving update (see [`StreamingMean::offer`]).
+    ///
+    /// # Errors
+    ///
+    /// The active engine's typed [`AggregateError`] rejections.
+    pub fn offer(&mut self, client_id: usize, state: &[f32]) -> Result<(), AggregateError> {
+        match self.rule {
+            None => self.mean.offer(client_id, state),
+            Some(_) => self.robust.offer(client_id, state),
+        }
+    }
+
+    /// Cohort members whose updates are held (folded + parked).
+    pub fn offered_count(&self) -> usize {
+        match self.rule {
+            None => self.mean.offered_count(),
+            Some(_) => self.robust.offered_count(),
+        }
+    }
+
+    /// Whether every cohort member has reported.
+    pub fn is_complete(&self) -> bool {
+        match self.rule {
+            None => self.mean.is_complete(),
+            Some(_) => self.robust.is_complete(),
+        }
+    }
+
+    /// High-water mark of simultaneously resident updates this round.
+    pub fn peak_resident(&self) -> usize {
+        match self.rule {
+            None => self.mean.peak_resident(),
+            Some(_) => self.robust.peak_resident(),
+        }
+    }
+
+    /// Finishes over the full cohort.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when cohort members are missing.
+    pub fn finish_into(&mut self, out: &mut Vec<f32>) -> Result<(), AggregateError> {
+        match self.rule {
+            None => self.mean.finish_into(out),
+            Some(rule) => self.robust.finish_into(rule, out),
+        }
+    }
+
+    /// Finishes a quorum-degraded round over the reported subset.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregateError::Incomplete`] when nothing reported.
+    pub fn finish_partial_into(&mut self, out: &mut Vec<f32>) -> Result<(), AggregateError> {
+        match self.rule {
+            None => self.mean.finish_partial_into(out),
+            Some(rule) => self.robust.finish_partial_into(rule, out),
+        }
+    }
 }
 
 /// FedAvg (McMahan et al., 2017): clients weighted by local dataset size.

@@ -154,6 +154,7 @@ impl Federation {
         let assign = TrainAssign {
             round,
             seed,
+            nonce: crate::transport::round_nonce(seed, round),
             global: &self.global,
             cfg: &self.cfg,
         };
@@ -198,6 +199,7 @@ impl Federation {
         let assign = TrainAssign {
             round,
             seed,
+            nonce: crate::transport::round_nonce(seed, round),
             global: &self.global,
             cfg: &self.cfg,
         };

@@ -28,7 +28,12 @@
 use goldfish_data::Dataset;
 use goldfish_nn::Network;
 
-use crate::aggregate::{AggregateError, AggregationStrategy, ClientUpdate, StreamingMean};
+use std::collections::BTreeSet;
+
+use crate::aggregate::{
+    clip_update_into, delta_norm, l2_norm, AggregateError, AggregationMode, AggregationStrategy,
+    ClientUpdate, RoundAccumulator,
+};
 use crate::trainer::{train_local_ce, TrainConfig};
 use crate::{eval, pool, ModelFactory};
 
@@ -46,6 +51,63 @@ pub fn client_seed(base: u64, id: usize, round: usize) -> u64 {
 /// aligned with the in-process run.
 pub fn round_seed(base: u64, round: usize) -> u64 {
     base.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9)
+}
+
+/// Derives the round nonce shipped in every [`TrainAssign`] and echoed
+/// back in every update: the admission layer's replay/stale-round
+/// detector (DESIGN.md §13). One derivation shared by every transport,
+/// like [`client_seed`].
+pub fn round_nonce(seed: u64, round: usize) -> u64 {
+    seed.wrapping_mul(0x517C_C1B7_2722_0A95)
+        .wrapping_add((round as u64).wrapping_mul(0x2545_F491_4F6C_DD1D))
+        .wrapping_add(0xD1B5_4A32_D192_ED03)
+}
+
+/// What the admission layer found wrong with an arriving update —
+/// each variant a typed violation that earns the sender a strike,
+/// never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateViolation {
+    /// The state vector contains NaN or infinite values.
+    NonFinite,
+    /// The update's relative delta norm vs. the broadcast global
+    /// exceeds the configured bound.
+    DeltaNorm,
+    /// The update's round nonce does not match this round's — a
+    /// replayed or stale frame.
+    StaleNonce {
+        /// The nonce the frame carried.
+        got: u64,
+        /// This round's nonce.
+        want: u64,
+    },
+    /// A second update from the same client within one round.
+    Duplicate,
+}
+
+impl UpdateViolation {
+    /// The stable numeric code audit-log entries record (DESIGN.md §13).
+    pub fn code(&self) -> u64 {
+        match self {
+            UpdateViolation::NonFinite => 1,
+            UpdateViolation::DeltaNorm => 2,
+            UpdateViolation::StaleNonce { .. } => 3,
+            UpdateViolation::Duplicate => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateViolation::NonFinite => write!(f, "non-finite state values"),
+            UpdateViolation::DeltaNorm => write!(f, "delta norm over the admission bound"),
+            UpdateViolation::StaleNonce { got, want } => {
+                write!(f, "stale round nonce {got:#x} (expected {want:#x})")
+            }
+            UpdateViolation::Duplicate => write!(f, "duplicate update in one round"),
+        }
+    }
 }
 
 /// Why a client failed to deliver its update this round.
@@ -88,6 +150,26 @@ pub enum TransportError {
         /// The update that did not fit.
         client_id: usize,
     },
+    /// A second `Update` frame from the same client within one round —
+    /// the first was accepted, this one is rejected.
+    DuplicateUpdate {
+        /// The repeating client.
+        client_id: usize,
+    },
+    /// The admission layer rejected the update as a typed violation
+    /// (the sender earns a strike; see [`RobustConfig`]).
+    Rejected {
+        /// The offending client.
+        client_id: usize,
+        /// What the admission layer found.
+        violation: UpdateViolation,
+    },
+    /// The client crossed its strike budget and has been evicted from
+    /// the federation.
+    Quarantined {
+        /// The evicted client.
+        client_id: usize,
+    },
 }
 
 impl TransportError {
@@ -97,7 +179,10 @@ impl TransportError {
             TransportError::Timeout { client_id }
             | TransportError::Disconnected { client_id, .. }
             | TransportError::Protocol { client_id, .. }
-            | TransportError::UpdateWindowExceeded { client_id, .. } => Some(*client_id),
+            | TransportError::UpdateWindowExceeded { client_id, .. }
+            | TransportError::DuplicateUpdate { client_id }
+            | TransportError::Rejected { client_id, .. }
+            | TransportError::Quarantined { client_id } => Some(*client_id),
             TransportError::NoLiveClients | TransportError::Unsupported { .. } => None,
         }
     }
@@ -124,6 +209,18 @@ impl std::fmt::Display for TransportError {
                     f,
                     "client {client_id}'s update exceeds the {limit}-update in-flight window"
                 )
+            }
+            TransportError::DuplicateUpdate { client_id } => {
+                write!(f, "client {client_id} sent a duplicate update this round")
+            }
+            TransportError::Rejected {
+                client_id,
+                violation,
+            } => {
+                write!(f, "client {client_id}'s update rejected: {violation}")
+            }
+            TransportError::Quarantined { client_id } => {
+                write!(f, "client {client_id} is quarantined")
             }
         }
     }
@@ -174,6 +271,10 @@ pub struct TrainAssign<'a> {
     pub round: usize,
     /// Base seed; each client derives its own via [`client_seed`].
     pub seed: u64,
+    /// This round's nonce ([`round_nonce`]): shipped with the
+    /// assignment, echoed in every update, checked by the admission
+    /// layer to reject stale/replayed frames.
+    pub nonce: u64,
     /// The current global state vector.
     pub global: &'a [f32],
     /// Local training hyperparameters.
@@ -189,6 +290,8 @@ pub struct StreamedUpdate<'a> {
     pub client_id: usize,
     /// Aggregation weight (local sample count).
     pub num_samples: usize,
+    /// The round nonce the update echoed (must match the assignment's).
+    pub nonce: u64,
     /// The uploaded state vector.
     pub state: &'a [f32],
 }
@@ -246,10 +349,20 @@ pub trait RoundTransport {
                 sink(StreamedUpdate {
                     client_id: u.client_id,
                     num_samples: u.num_samples,
+                    nonce: assign.nonce,
                     state: &u.state,
                 })
             })
         }));
+    }
+
+    /// Permanently evicts a client the round loop has quarantined:
+    /// the transport should drop its connection/resources and refuse
+    /// readmission. The default cannot evict (returns `false`); the
+    /// [`RoundRuntime`] excludes quarantined clients from every later
+    /// cohort itself, so quarantine is enforced on any transport.
+    fn quarantine(&mut self, _client_id: usize) -> bool {
+        false
     }
 }
 
@@ -340,7 +453,18 @@ where
         let mut updates: Vec<ClientUpdate> = results.into_iter().filter_map(|r| r.ok()).collect();
         if !had_errors {
             updates.sort_by_key(|u| u.client_id);
-            updates.dedup_by_key(|u| u.client_id);
+            // A second update from one client is a protocol violation,
+            // not something to silently drop: folding either copy would
+            // let a duplicating client double its aggregation weight
+            // unnoticed.
+            if let Some(w) = updates
+                .windows(2)
+                .find(|w| w[0].client_id == w[1].client_id)
+            {
+                return Err(TransportError::DuplicateUpdate {
+                    client_id: w[0].client_id,
+                });
+            }
             return Ok(updates);
         }
         if updates.is_empty() {
@@ -456,10 +580,79 @@ fn materialize(factory: &ModelFactory, state: &[f32]) -> Network {
     net
 }
 
+/// The round loop's robustness policy (DESIGN.md §13): which fold to
+/// run, when a partial cohort is good enough, and how many typed
+/// violations a client survives before eviction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// The aggregation rule ([`AggregationMode::Mean`] = the bitwise
+    /// reference path).
+    pub mode: AggregationMode,
+    /// Quorum fraction in `(0, 1]`: when an attempt ends with failures
+    /// but at least `ceil(quorum · cohort)` updates folded, the round
+    /// finishes **degraded** over the reported set instead of
+    /// re-rounding. `None` keeps the strict everyone-or-re-round policy.
+    pub quorum: Option<f64>,
+    /// Strikes before quarantine; `0` disables quarantine (violations
+    /// are still rejected, counted, and reported).
+    pub max_strikes: u32,
+    /// Admission bound on the relative delta norm
+    /// `‖u − g‖ / (1 + ‖g‖)`; over it the update is rejected as a
+    /// [`UpdateViolation::DeltaNorm`]. Ignored under
+    /// [`AggregationMode::NormClipped`], which clips instead of
+    /// rejecting.
+    pub max_delta_norm: Option<f64>,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            mode: AggregationMode::Mean,
+            quorum: None,
+            max_strikes: 0,
+            max_delta_norm: None,
+        }
+    }
+}
+
+/// How the last [`RoundRuntime::run_hot`] round concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundOutcome {
+    /// The round folded a quorum subset instead of the full cohort.
+    pub degraded: bool,
+    /// Cohort members whose updates were folded.
+    pub reported: usize,
+    /// The cohort size the round aggregated over.
+    pub cohort: usize,
+}
+
+/// A reputation event the round loop emitted — drained via
+/// [`RoundRuntime::drain_events`] so the serve coordinator can append
+/// it to the hash-chained audit log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RobustnessEvent {
+    /// A client's update was rejected by the admission layer.
+    Violation {
+        /// The offending client.
+        client_id: usize,
+        /// What the admission layer found.
+        violation: UpdateViolation,
+        /// The client's strike count after this violation.
+        strikes: u32,
+    },
+    /// A client crossed its strike budget and was evicted.
+    Quarantined {
+        /// The evicted client.
+        client_id: usize,
+        /// The strike count that crossed the budget.
+        strikes: u32,
+    },
+}
+
 /// The persistent streaming round loop — the serve coordinator's hot
 /// path. Where [`RoundDriver`] buffers all N updates, sorts them and
 /// hands the batch to an [`AggregationStrategy`], a `RoundRuntime` folds
-/// each update into a [`StreamingMean`] **as it arrives** (FedAvg
+/// each update into a [`RoundAccumulator`] **as it arrives** (FedAvg
 /// weights from the transport's registry), so aggregation overlaps with
 /// stragglers' I/O, memory holds at most the configured window of
 /// resident updates, and a warm runtime performs **zero heap
@@ -467,17 +660,30 @@ fn materialize(factory: &ModelFactory, state: &[f32]) -> Network {
 /// `tests/alloc_free_round.rs`; larger pools pay only the scope
 /// machinery's task-queue allocations, never per-update state buffers).
 ///
-/// The aggregate is bitwise identical to the buffered
-/// path's `FedAvg` over the same cohort — see [`StreamingMean`] for the
-/// argument and DESIGN.md §11 for the invariants.
+/// Under the default [`RobustConfig`] (mean, no quorum, no bounds) the
+/// aggregate is bitwise identical to the buffered path's `FedAvg` over
+/// the same cohort — see [`crate::aggregate::StreamingMean`] for the
+/// argument and DESIGN.md §11/§13 for the invariants. The runtime also
+/// owns the **admission layer** (nonce, delta-norm, duplicate, finite
+/// checks) and the per-client strike/quarantine reputation state, so
+/// every transport gets the same defense.
 #[derive(Debug)]
 pub struct RoundRuntime {
-    agg: StreamingMean,
+    agg: RoundAccumulator,
     cohort: Vec<(usize, usize)>,
     weights: Vec<(usize, f64)>,
     results: Vec<Result<(), TransportError>>,
+    clip_buf: Vec<f32>,
     threads: Option<usize>,
     window: usize,
+    robust: RobustConfig,
+    /// Lifetime strike counts, `(client_id, strikes)` ascending by id.
+    strikes: Vec<(usize, u32)>,
+    /// Clients evicted for crossing the strike budget — excluded from
+    /// every later cohort even when the transport cannot evict them.
+    quarantined: BTreeSet<usize>,
+    events: Vec<RobustnessEvent>,
+    outcome: RoundOutcome,
 }
 
 impl RoundRuntime {
@@ -487,12 +693,18 @@ impl RoundRuntime {
     /// cohort size — never exceeded, memory bounded by the fleet).
     pub fn new(threads: Option<usize>, window: usize) -> Self {
         RoundRuntime {
-            agg: StreamingMean::new(),
+            agg: RoundAccumulator::new(),
             cohort: Vec::new(),
             weights: Vec::new(),
             results: Vec::new(),
+            clip_buf: Vec::new(),
             threads,
             window,
+            robust: RobustConfig::default(),
+            strikes: Vec::new(),
+            quarantined: BTreeSet::new(),
+            events: Vec::new(),
+            outcome: RoundOutcome::default(),
         }
     }
 
@@ -506,8 +718,18 @@ impl RoundRuntime {
         self.window = window;
     }
 
+    /// The active robustness policy.
+    pub fn robustness(&self) -> &RobustConfig {
+        &self.robust
+    }
+
+    /// Installs a robustness policy (takes effect next round).
+    pub fn set_robustness(&mut self, cfg: RobustConfig) {
+        self.robust = cfg;
+    }
+
     /// High-water mark of simultaneously resident updates in the last
-    /// round (see [`StreamingMean::peak_resident`]).
+    /// round.
     pub fn peak_resident(&self) -> usize {
         self.agg.peak_resident()
     }
@@ -518,35 +740,117 @@ impl RoundRuntime {
         &self.cohort
     }
 
+    /// How the last round concluded (degraded vs. full).
+    pub fn last_outcome(&self) -> RoundOutcome {
+        self.outcome
+    }
+
+    /// Lifetime strike count of a client.
+    pub fn strikes(&self, client_id: usize) -> u32 {
+        self.strikes
+            .binary_search_by_key(&client_id, |&(id, _)| id)
+            .map(|i| self.strikes[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Whether a client has been quarantined.
+    pub fn is_quarantined(&self, client_id: usize) -> bool {
+        self.quarantined.contains(&client_id)
+    }
+
+    /// The quarantined client ids, ascending.
+    pub fn quarantined(&self) -> impl Iterator<Item = usize> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Drains the violation/quarantine events accumulated since the
+    /// last drain (the serve coordinator appends them to the audit
+    /// chain).
+    pub fn drain_events(&mut self) -> Vec<RobustnessEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Adds one strike, returning `(strikes_now, newly_quarantined)`.
+    fn add_strike(&mut self, client_id: usize) -> (u32, bool) {
+        let i = match self.strikes.binary_search_by_key(&client_id, |&(id, _)| id) {
+            Ok(i) => i,
+            Err(i) => {
+                self.strikes.insert(i, (client_id, 0));
+                i
+            }
+        };
+        self.strikes[i].1 += 1;
+        let now = self.strikes[i].1;
+        let evict = self.robust.max_strikes > 0
+            && now >= self.robust.max_strikes
+            && !self.quarantined.contains(&client_id);
+        if evict {
+            self.quarantined.insert(client_id);
+        }
+        (now, evict)
+    }
+
     /// Runs one streamed federated round over `transport` and writes the
-    /// FedAvg aggregate into `global_out` (reused, so a warm call never
+    /// aggregate into `global_out` (reused, so a warm call never
     /// allocates). Straggler policy matches [`collect_round`]: when some
     /// clients fail and the transport dropped them, the round re-runs
     /// over the shrunken cohort; an error that shrinks nothing (e.g. a
-    /// diverged upload on a transport that cannot drop clients, or a
-    /// window overflow) is propagated instead of retried forever.
+    /// window overflow on a transport that cannot drop clients) is
+    /// propagated instead of retried forever.
+    ///
+    /// Robustness extensions (DESIGN.md §13):
+    ///
+    /// * every update passes the **admission layer** first — round-nonce
+    ///   match, cohort membership + registered weight, optional
+    ///   delta-norm bound (or clipping under
+    ///   [`AggregationMode::NormClipped`]), duplicate and finite checks
+    ///   in the accumulator;
+    /// * a typed violation earns the sender a strike (at most one per
+    ///   round): the violator is **excluded from this round's re-round
+    ///   attempts** (its late frames are discarded, not re-judged) and
+    ///   quarantined for good once it crosses
+    ///   [`RobustConfig::max_strikes`];
+    /// * when an attempt ends with failures but the fold holds at least
+    ///   `ceil(quorum · cohort)` updates, the round finishes **degraded**
+    ///   over the reported set ([`RoundOutcome::degraded`]) instead of
+    ///   re-rounding.
     ///
     /// # Errors
     ///
     /// [`TransportError::NoLiveClients`] when nobody delivers; otherwise
-    /// the first client error of a non-shrinking attempt.
+    /// the first client error of a non-shrinking, under-quorum attempt.
     pub fn run_hot(
         &mut self,
         transport: &mut dyn RoundTransport,
         assign: &TrainAssign<'_>,
         global_out: &mut Vec<f32>,
     ) -> Result<(), TransportError> {
+        // Violators excluded from this round's later attempts (strike
+        // already taken; their late arrivals are silently discarded so a
+        // still-connected attacker cannot wedge the re-round loop).
+        let mut excluded: BTreeSet<usize> = BTreeSet::new();
+        let global_norm = l2_norm(assign.global);
         loop {
             transport.cohort_into(&mut self.cohort);
+            self.cohort
+                .retain(|&(id, _)| !self.quarantined.contains(&id) && !excluded.contains(&id));
             if self.cohort.is_empty() {
-                // Transport without a registry: buffered fallback.
-                let updates = collect_round(|| transport.train_round(assign))?;
-                let agg = pool::install(self.threads, || {
-                    crate::aggregate::FedAvg.aggregate(&updates)
-                });
-                global_out.clear();
-                global_out.extend_from_slice(&agg);
-                return Ok(());
+                if transport.num_clients() > self.quarantined.len() && excluded.is_empty() {
+                    // Transport without a registry: buffered fallback.
+                    let updates = collect_round(|| transport.train_round(assign))?;
+                    let agg = pool::install(self.threads, || {
+                        crate::aggregate::FedAvg.aggregate(&updates)
+                    });
+                    global_out.clear();
+                    global_out.extend_from_slice(&agg);
+                    self.outcome = RoundOutcome {
+                        degraded: false,
+                        reported: updates.len(),
+                        cohort: updates.len(),
+                    };
+                    return Ok(());
+                }
+                return Err(TransportError::NoLiveClients);
             }
             let n_before = self.cohort.len();
             self.weights.clear();
@@ -557,12 +861,38 @@ impl RoundRuntime {
             } else {
                 self.window
             };
-            self.agg.begin(&self.weights, assign.global.len(), window);
+            self.agg
+                .begin(self.robust.mode, &self.weights, assign.global.len(), window);
+            let clip_limit = match self.robust.mode {
+                AggregationMode::NormClipped { limit } => Some(limit),
+                _ => None,
+            };
+            let max_delta = self.robust.max_delta_norm;
             let agg = &mut self.agg;
+            let clip_buf = &mut self.clip_buf;
             let cohort = &self.cohort;
+            let skip = &self.quarantined;
+            let skip2 = &excluded;
             let results = &mut self.results;
             pool::install(self.threads, || {
                 let sink = &mut |u: StreamedUpdate<'_>| {
+                    // Already-judged (or evicted) senders: discard, the
+                    // strike was taken when the violation happened.
+                    if skip.contains(&u.client_id) || skip2.contains(&u.client_id) {
+                        return Ok(());
+                    }
+                    // Replay/stale-round detection before anything else:
+                    // a frame from another round proves nothing about
+                    // this one.
+                    if u.nonce != assign.nonce {
+                        return Err(TransportError::Rejected {
+                            client_id: u.client_id,
+                            violation: UpdateViolation::StaleNonce {
+                                got: u.nonce,
+                                want: assign.nonce,
+                            },
+                        });
+                    }
                     // The registered weight is what the fractions were
                     // computed from; an upload disagreeing with it would
                     // silently change the mean.
@@ -584,36 +914,116 @@ impl RoundRuntime {
                             })
                         }
                     }
+                    // Norm policy: clip under NormClipped (an update
+                    // under the limit passes through bitwise-untouched),
+                    // reject over an explicit admission bound otherwise.
+                    if let Some(limit) = clip_limit {
+                        let rel = delta_norm(assign.global, u.state) / (1.0 + global_norm);
+                        if rel.is_finite() && rel > limit {
+                            clip_update_into(assign.global, u.state, limit / rel, clip_buf);
+                            return agg
+                                .offer(u.client_id, clip_buf)
+                                .map_err(|e| map_aggregate_error(u.client_id, e));
+                        }
+                    } else if let Some(limit) = max_delta {
+                        let rel = delta_norm(assign.global, u.state) / (1.0 + global_norm);
+                        if rel > limit {
+                            return Err(TransportError::Rejected {
+                                client_id: u.client_id,
+                                violation: UpdateViolation::DeltaNorm,
+                            });
+                        }
+                    }
                     agg.offer(u.client_id, u.state)
                         .map_err(|e| map_aggregate_error(u.client_id, e))
                 };
                 transport.train_round_streamed(assign, sink, results);
             });
-            let results = &self.results;
-            if results.is_empty() {
+            if self.results.is_empty() {
                 return Err(TransportError::NoLiveClients);
             }
-            let first_err = results.iter().find_map(|r| r.as_ref().err().cloned());
-            match first_err {
-                None if self.agg.is_complete() => {
+            // Reputation pass: one strike per violator per round. The
+            // violator is excluded from this round's re-rounds, and
+            // evicted for good once over the budget.
+            let mut newly_excluded = false;
+            for i in 0..self.results.len() {
+                let offender = match &self.results[i] {
+                    Err(TransportError::Rejected {
+                        client_id,
+                        violation,
+                    }) => Some((*client_id, violation.clone())),
+                    Err(TransportError::DuplicateUpdate { client_id }) => {
+                        Some((*client_id, UpdateViolation::Duplicate))
+                    }
+                    _ => None,
+                };
+                let Some((client_id, violation)) = offender else {
+                    continue;
+                };
+                if excluded.contains(&client_id) || self.quarantined.contains(&client_id) {
+                    continue;
+                }
+                excluded.insert(client_id);
+                newly_excluded = true;
+                let (strikes, evicted) = self.add_strike(client_id);
+                self.events.push(RobustnessEvent::Violation {
+                    client_id,
+                    violation,
+                    strikes,
+                });
+                if evicted {
+                    transport.quarantine(client_id);
+                    self.events
+                        .push(RobustnessEvent::Quarantined { client_id, strikes });
+                }
+            }
+            let first_err = self.results.iter().find_map(|r| r.as_ref().err().cloned());
+            if self.agg.is_complete() {
+                // Every cohort member folded; late violations (e.g. a
+                // duplicate second frame) were already charged above.
+                self.agg
+                    .finish_into(global_out)
+                    .expect("complete accumulator");
+                self.outcome = RoundOutcome {
+                    degraded: false,
+                    reported: n_before,
+                    cohort: n_before,
+                };
+                return Ok(());
+            }
+            // Quorum-degraded finish: enough of the cohort reported —
+            // fold what arrived (deterministically, over the id-sorted
+            // reported set) instead of re-rounding.
+            if let Some(q) = self.robust.quorum {
+                let reported = self.agg.offered_count();
+                let needed = ((q * n_before as f64).ceil() as usize).clamp(1, n_before);
+                if reported >= needed {
                     self.agg
-                        .finish_into(global_out)
-                        .expect("complete accumulator");
+                        .finish_partial_into(global_out)
+                        .expect("quorum implies a non-empty fold");
+                    self.outcome = RoundOutcome {
+                        degraded: true,
+                        reported,
+                        cohort: n_before,
+                    };
                     return Ok(());
                 }
+            }
+            match first_err {
                 None => {
                     // Every result Ok but cohort members missing: the
                     // transport under-delivered without reporting.
                     return Err(TransportError::NoLiveClients);
                 }
                 Some(e) => {
-                    if results.iter().all(|r| r.is_err()) {
+                    if self.results.iter().all(|r| r.is_err()) {
                         return Err(TransportError::NoLiveClients);
                     }
                     let remaining = transport.num_clients();
-                    if remaining > 0 && remaining < n_before {
-                        // Stragglers were dropped from the live set;
-                        // re-round over the surviving cohort (training is
+                    if remaining > 0 && (remaining < n_before || newly_excluded) {
+                        // Progress was made — stragglers dropped from the
+                        // live set or violators excluded from the cohort;
+                        // re-round over the survivors (training is
                         // deterministic — a re-round costs time, never
                         // changes results).
                         continue;
@@ -630,6 +1040,11 @@ fn map_aggregate_error(client_id: usize, e: AggregateError) -> TransportError {
         AggregateError::WindowExceeded { limit, .. } => {
             TransportError::UpdateWindowExceeded { limit, client_id }
         }
+        AggregateError::DuplicateUpdate { .. } => TransportError::DuplicateUpdate { client_id },
+        AggregateError::Diverged { .. } => TransportError::Rejected {
+            client_id,
+            violation: UpdateViolation::NonFinite,
+        },
         other => TransportError::Protocol {
             client_id,
             reason: other.to_string(),
@@ -671,6 +1086,7 @@ mod tests {
         let assign = TrainAssign {
             round: 3,
             seed: 9,
+            nonce: round_nonce(9, 3),
             global: &global,
             cfg: &cfg,
         };
@@ -701,6 +1117,7 @@ mod tests {
         let assign = TrainAssign {
             round: 0,
             seed: 4,
+            nonce: round_nonce(4, 0),
             global: &global,
             cfg: &cfg,
         };
@@ -764,6 +1181,7 @@ mod tests {
         let assign = TrainAssign {
             round: 2,
             seed: 17,
+            nonce: round_nonce(17, 2),
             global: &global,
             cfg: &cfg,
         };
@@ -828,6 +1246,7 @@ mod tests {
                     sink(StreamedUpdate {
                         client_id: u.client_id,
                         num_samples: u.num_samples,
+                        nonce: _assign.nonce,
                         state: &u.state,
                     })
                 }));
@@ -847,6 +1266,7 @@ mod tests {
         let assign = TrainAssign {
             round: 0,
             seed: 0,
+            nonce: 0,
             global: &global,
             cfg: &cfg,
         };
@@ -891,6 +1311,290 @@ mod tests {
                 .wrapping_add(round as u64);
             assert_eq!(client_seed(base, id, round), want);
         }
+    }
+
+    /// A scripted transport for admission/robustness tests: feeds the
+    /// given frames (optionally with a forged nonce) in order, reports
+    /// scripted transport errors, and honors quarantine by dropping the
+    /// client from its registry.
+    struct ScriptedFeed {
+        cohort: Vec<(usize, usize)>,
+        /// `(client_id, num_samples, forged_nonce, state)`.
+        frames: Vec<(usize, usize, Option<u64>, Vec<f32>)>,
+        /// Clients that report a transport error instead of a frame.
+        timeouts: Vec<usize>,
+        quarantined: Vec<usize>,
+    }
+
+    impl RoundTransport for ScriptedFeed {
+        fn num_clients(&self) -> usize {
+            self.cohort.len() - self.quarantined.len()
+        }
+        fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
+            out.clear();
+            out.extend(
+                self.cohort
+                    .iter()
+                    .filter(|&&(id, _)| !self.quarantined.contains(&id)),
+            );
+        }
+        fn train_round(
+            &mut self,
+            _assign: &TrainAssign<'_>,
+        ) -> Vec<Result<ClientUpdate, TransportError>> {
+            Vec::new()
+        }
+        fn train_round_streamed(
+            &mut self,
+            assign: &TrainAssign<'_>,
+            sink: &mut UpdateSink<'_>,
+            results: &mut Vec<Result<(), TransportError>>,
+        ) {
+            results.clear();
+            for &(id, n, forged, ref state) in &self.frames {
+                if self.quarantined.contains(&id) {
+                    continue;
+                }
+                results.push(sink(StreamedUpdate {
+                    client_id: id,
+                    num_samples: n,
+                    nonce: forged.unwrap_or(assign.nonce),
+                    state,
+                }));
+            }
+            for &id in &self.timeouts {
+                results.push(Err(TransportError::Timeout { client_id: id }));
+            }
+        }
+        fn quarantine(&mut self, client_id: usize) -> bool {
+            self.quarantined.push(client_id);
+            true
+        }
+    }
+
+    fn scripted_assign<'a>(global: &'a [f32], cfg: &'a TrainConfig) -> TrainAssign<'a> {
+        TrainAssign {
+            round: 5,
+            seed: 11,
+            nonce: round_nonce(11, 5),
+            global,
+            cfg,
+        }
+    }
+
+    #[test]
+    fn collect_round_rejects_duplicates_typed() {
+        let upd = |id: usize| ClientUpdate {
+            client_id: id,
+            state: vec![id as f32],
+            num_samples: 1,
+            server_mse: None,
+        };
+        let got = collect_round(|| vec![Ok(upd(0)), Ok(upd(1)), Ok(upd(0))]);
+        assert_eq!(got, Err(TransportError::DuplicateUpdate { client_id: 0 }));
+    }
+
+    #[test]
+    fn stale_nonce_strikes_and_quarantines() {
+        let cfg = TrainConfig::default();
+        let global = vec![0.0f32; 1];
+        let assign = scripted_assign(&global, &cfg);
+        let mut transport = ScriptedFeed {
+            cohort: vec![(0, 1), (1, 1), (2, 1)],
+            frames: vec![
+                (0, 1, None, vec![1.0]),
+                (1, 1, Some(0xDEAD), vec![100.0]), // replayed frame
+                (2, 1, None, vec![3.0]),
+            ],
+            timeouts: vec![],
+            quarantined: vec![],
+        };
+        let mut rt = RoundRuntime::new(Some(1), 0);
+        rt.set_robustness(RobustConfig {
+            max_strikes: 1,
+            ..RobustConfig::default()
+        });
+        let mut out = Vec::new();
+        rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+        // The attacker is excluded; the round folds clients 0 and 2.
+        assert_eq!(out, vec![2.0]);
+        assert!(rt.is_quarantined(1));
+        assert_eq!(rt.strikes(1), 1);
+        assert_eq!(transport.quarantined, vec![1]);
+        let events = rt.drain_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            RobustnessEvent::Violation {
+                client_id: 1,
+                violation: UpdateViolation::StaleNonce { got: 0xDEAD, .. },
+                strikes: 1,
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            RobustnessEvent::Quarantined {
+                client_id: 1,
+                strikes: 1
+            }
+        ));
+        // Later rounds never include the quarantined client again.
+        rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+        assert_eq!(out, vec![2.0]);
+        assert!(rt.drain_events().is_empty());
+    }
+
+    #[test]
+    fn duplicate_frame_is_struck_but_round_completes() {
+        let cfg = TrainConfig::default();
+        let global = vec![0.0f32; 1];
+        let assign = scripted_assign(&global, &cfg);
+        let mut transport = ScriptedFeed {
+            cohort: vec![(0, 1), (1, 1)],
+            frames: vec![
+                (0, 1, None, vec![2.0]),
+                (0, 1, None, vec![90.0]), // duplicate: rejected, first copy stands
+                (1, 1, None, vec![4.0]),
+            ],
+            timeouts: vec![],
+            quarantined: vec![],
+        };
+        let mut rt = RoundRuntime::new(Some(1), 0);
+        rt.set_robustness(RobustConfig {
+            max_strikes: 3,
+            ..RobustConfig::default()
+        });
+        let mut out = Vec::new();
+        rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+        assert_eq!(out, vec![3.0]);
+        assert!(!rt.last_outcome().degraded);
+        assert_eq!(rt.strikes(0), 1);
+        assert!(!rt.is_quarantined(0));
+        let events = rt.drain_events();
+        assert_eq!(
+            events,
+            vec![RobustnessEvent::Violation {
+                client_id: 0,
+                violation: UpdateViolation::Duplicate,
+                strikes: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn delta_norm_bound_rejects_oversized_updates() {
+        let cfg = TrainConfig::default();
+        let global = vec![0.0f32; 2];
+        let assign = scripted_assign(&global, &cfg);
+        let mut transport = ScriptedFeed {
+            cohort: vec![(0, 1), (1, 1)],
+            frames: vec![
+                (0, 1, None, vec![0.1, 0.1]),
+                (1, 1, None, vec![1000.0, -1000.0]), // scaled attack
+            ],
+            timeouts: vec![],
+            quarantined: vec![],
+        };
+        let mut rt = RoundRuntime::new(Some(1), 0);
+        rt.set_robustness(RobustConfig {
+            max_delta_norm: Some(10.0),
+            max_strikes: 1,
+            ..RobustConfig::default()
+        });
+        let mut out = Vec::new();
+        rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+        assert_eq!(out, vec![0.1, 0.1]);
+        assert!(rt.is_quarantined(1));
+    }
+
+    #[test]
+    fn quorum_finishes_degraded_over_reported_set() {
+        let cfg = TrainConfig::default();
+        let global = vec![0.0f32; 1];
+        let assign = scripted_assign(&global, &cfg);
+        let mut transport = ScriptedFeed {
+            cohort: vec![(0, 1), (1, 1), (2, 1), (3, 1)],
+            frames: vec![
+                (0, 1, None, vec![0.0]),
+                (1, 1, None, vec![1.0]),
+                (2, 1, None, vec![2.0]),
+            ],
+            timeouts: vec![3], // straggler, never dropped by the transport
+            quarantined: vec![],
+        };
+        let mut rt = RoundRuntime::new(Some(1), 0);
+        rt.set_robustness(RobustConfig {
+            quorum: Some(0.75),
+            ..RobustConfig::default()
+        });
+        let mut out = Vec::new();
+        rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+        assert_eq!(out, vec![1.0]); // mean of the three reported
+        let outcome = rt.last_outcome();
+        assert!(outcome.degraded);
+        assert_eq!(outcome.reported, 3);
+        assert_eq!(outcome.cohort, 4);
+
+        // Under quorum the straggler error propagates as before.
+        rt.set_robustness(RobustConfig {
+            quorum: Some(0.9),
+            ..RobustConfig::default()
+        });
+        let err = rt.run_hot(&mut transport, &assign, &mut out).unwrap_err();
+        assert_eq!(err, TransportError::Timeout { client_id: 3 });
+    }
+
+    #[test]
+    fn robust_modes_match_mean_bitwise_with_zero_attackers() {
+        let cfg = TrainConfig::default();
+        let global = vec![0.25f32; 5];
+        let assign = scripted_assign(&global, &cfg);
+        let frames: Vec<(usize, usize, Option<u64>, Vec<f32>)> = (0..5usize)
+            .map(|id| {
+                let state: Vec<f32> = (0..5)
+                    .map(|j| ((id * 7 + j * 3) as f32).sin() * 0.5)
+                    .collect();
+                (id, id + 1, None, state)
+            })
+            .collect();
+        let cohort: Vec<(usize, usize)> = (0..5).map(|id| (id, id + 1)).collect();
+        let run = |robust: RobustConfig| {
+            let mut transport = ScriptedFeed {
+                cohort: cohort.clone(),
+                frames: frames.clone(),
+                timeouts: vec![],
+                quarantined: vec![],
+            };
+            let mut rt = RoundRuntime::new(Some(1), 0);
+            rt.set_robustness(robust);
+            let mut out = Vec::new();
+            rt.run_hot(&mut transport, &assign, &mut out).unwrap();
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let mean = run(RobustConfig::default());
+        // trim 0, an untriggered norm clip, and a full-participation
+        // quorum round are all bitwise the mean.
+        assert_eq!(
+            run(RobustConfig {
+                mode: AggregationMode::TrimmedMean { trim: 0 },
+                ..RobustConfig::default()
+            }),
+            mean
+        );
+        assert_eq!(
+            run(RobustConfig {
+                mode: AggregationMode::NormClipped { limit: 1e9 },
+                ..RobustConfig::default()
+            }),
+            mean
+        );
+        assert_eq!(
+            run(RobustConfig {
+                quorum: Some(0.5),
+                ..RobustConfig::default()
+            }),
+            mean
+        );
     }
 
     #[test]

@@ -133,6 +133,139 @@ mod streaming_arrival_order {
     }
 }
 
+mod robust_mode_determinism {
+    //! The ISSUE-7 zero-attacker suite: every robust aggregation mode
+    //! must be a pure function of the *reported set* — bitwise invariant
+    //! under arrival permutation and thread count — and the identity
+    //! modes (trim 0, an untriggered clip) must equal the streaming mean
+    //! exactly.
+
+    use super::*;
+    use goldfish_fed::aggregate::{AggregationMode, RoundAccumulator, StreamingMean};
+    use proptest::prelude::*;
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn permutation(n: usize, seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        order
+    }
+
+    /// Folds `ups[order]` through a [`RoundAccumulator`] in `mode` on a
+    /// `threads`-sized pool; `partial` drops the last arrival and
+    /// finishes the quorum path.
+    fn fold(
+        mode: AggregationMode,
+        ups: &[ClientUpdate],
+        order: &[usize],
+        threads: usize,
+        partial: bool,
+    ) -> Vec<u32> {
+        let cohort: Vec<(usize, f64)> = ups
+            .iter()
+            .map(|u| (u.client_id, u.num_samples.max(1) as f64))
+            .collect();
+        let params = ups[0].state.len();
+        pool::install(Some(threads), || {
+            let mut agg = RoundAccumulator::new();
+            agg.begin(mode, &cohort, params, cohort.len());
+            let feed = if partial && order.len() > 1 {
+                &order[..order.len() - 1]
+            } else {
+                order
+            };
+            for &i in feed {
+                agg.offer(ups[i].client_id, &ups[i].state).unwrap();
+            }
+            let mut out = Vec::new();
+            if partial && order.len() > 1 {
+                agg.finish_partial_into(&mut out).unwrap();
+            } else {
+                agg.finish_into(&mut out).unwrap();
+            }
+            bits(&out)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn robust_modes_are_arrival_and_thread_invariant(
+            clients in 1usize..9,
+            params in 1usize..300,
+            seed in 0u64..1000,
+            threads in 1usize..5,
+            perm_seed in 0u64..1000,
+        ) {
+            let ups = updates(clients, params, seed);
+            let trim = clients.saturating_sub(1) / 2;
+            let modes = [
+                AggregationMode::Mean,
+                AggregationMode::TrimmedMean { trim },
+                AggregationMode::Median,
+                AggregationMode::NormClipped { limit: 1e12 },
+            ];
+            let canonical: Vec<usize> = (0..clients).collect();
+            let order = permutation(clients, perm_seed);
+            for mode in modes {
+                // Reference: serial fold, id order, full participation.
+                let want = fold(mode, &ups, &canonical, 1, false);
+                prop_assert_eq!(
+                    &fold(mode, &ups, &order, threads, false),
+                    &want,
+                    "mode {} diverged under permutation/threads",
+                    mode
+                );
+                // The degraded (quorum) fold is equally deterministic:
+                // a fixed reported subset gives one answer regardless of
+                // arrival order or pool size.
+                if clients > 1 {
+                    let partial_want = fold(mode, &ups, &canonical, 1, true);
+                    let mut reordered: Vec<usize> =
+                        canonical[..clients - 1].to_vec();
+                    reordered.reverse();
+                    reordered.push(canonical[clients - 1]);
+                    prop_assert_eq!(
+                        &fold(mode, &ups, &reordered, threads, true),
+                        &partial_want,
+                        "mode {} degraded fold diverged",
+                        mode
+                    );
+                }
+            }
+
+            // Zero-attacker identity: trim 0 and an untriggered clip are
+            // bitwise the streaming mean.
+            let cohort: Vec<(usize, f64)> = ups
+                .iter()
+                .map(|u| (u.client_id, u.num_samples.max(1) as f64))
+                .collect();
+            let mut mean = StreamingMean::new();
+            mean.begin(&cohort, params, clients);
+            for u in &ups {
+                mean.offer(u.client_id, &u.state).unwrap();
+            }
+            let want = bits(&mean.finish().unwrap());
+            prop_assert_eq!(
+                &fold(AggregationMode::TrimmedMean { trim: 0 }, &ups, &order, threads, false),
+                &want
+            );
+            prop_assert_eq!(
+                &fold(AggregationMode::NormClipped { limit: 1e12 }, &ups, &order, threads, false),
+                &want
+            );
+            prop_assert_eq!(&fold(AggregationMode::Mean, &ups, &order, threads, false), &want);
+        }
+    }
+}
+
 #[test]
 fn fused_optimizer_identical_across_thread_counts() {
     // 300×300 ≈ 90k weights: crosses the fused chunking threshold, so

@@ -1,14 +1,20 @@
 //! Hash-chained, append-only audit log of served unlearning requests
-//! (DESIGN.md §12.3).
+//! and robustness verdicts (DESIGN.md §12.3, §13).
 //!
 //! Every deletion request the coordinator **serves** (drains through a
-//! distillation pass that produced a new global) appends one entry:
-//! the request itself, the round and drain serial it was served at, a
-//! SHA-256 digest of the post-drain global, the previous entry's hash,
-//! and the entry's own hash over all of that. The chain makes the log
-//! tamper-evident — flipping any byte of any entry breaks either that
-//! entry's hash or every later entry's `prev_hash` link — which is the
-//! verifiable-unlearning property ("can you prove you forgot?") the
+//! distillation pass that produced a new global) appends one entry of
+//! kind [`audit_kind::UNLEARN_SERVED`]: the request itself, the round
+//! and drain serial it was served at, a SHA-256 digest of the
+//! post-drain global, the previous entry's hash, and the entry's own
+//! hash over all of that. Since format v2 the same chain also records
+//! the admission layer's verdicts: each rejected update appends a
+//! [`audit_kind::VIOLATION`] entry (detail = `[violation_code,
+//! strikes]`) and each eviction a [`audit_kind::QUARANTINE`] entry
+//! (detail = `[strikes]`), so "who was thrown out, when, and why" is as
+//! tamper-evident as "whose data was forgotten". The chain makes the
+//! log tamper-evident — flipping any byte of any entry breaks either
+//! that entry's hash or every later entry's `prev_hash` link — which is
+//! the verifiable-unlearning property ("can you prove you forgot?") the
 //! blockchain-unlearning line of work argues for, minus the chain
 //! consensus machinery a single-coordinator deployment doesn't need.
 //!
@@ -20,13 +26,14 @@
 //! entry*                    repeated:
 //!   body_len   u32 LE       length of the body that follows
 //!   body:
+//!     kind         u8       audit_kind::* (1 served, 2 violation, 3 quarantine)
 //!     index        u64 LE   0-based entry index
-//!     round        u64 LE   rounds completed when the drain ran
-//!     serial       u64 LE   drain-batch serial
+//!     round        u64 LE   rounds completed when the entry was made
+//!     serial       u64 LE   drain-batch serial (0 for robustness kinds)
 //!     client_id    u64 LE
-//!     n_removed    u32 LE
-//!     removed[i]   u64 LE   × n_removed
-//!     state_digest [u8;32]  digest::state_digest(round, post-drain global)
+//!     n_detail     u32 LE
+//!     detail[i]    u64 LE   × n_detail (removed indices / codes)
+//!     state_digest [u8;32]  digest::state_digest(round, global)
 //!     prev_hash    [u8;32]  previous entry_hash (GENESIS for index 0)
 //!     entry_hash   [u8;32]  sha256(body minus entry_hash)
 //! ```
@@ -47,8 +54,21 @@ use std::path::{Path, PathBuf};
 /// Audit file magic: "GoldFish Audit Log".
 pub const AUDIT_MAGIC: [u8; 4] = *b"GFAL";
 
-/// Audit file format version.
-pub const AUDIT_VERSION: u32 = 1;
+/// Audit file format version. v2 added the leading `kind` byte and
+/// generalised the per-entry payload from removed indices to `detail`.
+pub const AUDIT_VERSION: u32 = 2;
+
+/// Entry kinds of the v2 audit chain.
+pub mod audit_kind {
+    /// A served deletion request (`detail` = removed sample indices).
+    pub const UNLEARN_SERVED: u8 = 1;
+    /// An admission-layer rejection (`detail` = `[violation_code,
+    /// strikes_after]`; codes from
+    /// `goldfish_fed::transport::UpdateViolation::code`).
+    pub const VIOLATION: u8 = 2;
+    /// A strike-budget eviction (`detail` = `[strikes]`).
+    pub const QUARANTINE: u8 = 3;
+}
 
 /// Fixed file-header size (magic + version).
 pub const AUDIT_HEADER_LEN: u64 = 8;
@@ -142,19 +162,25 @@ impl From<std::io::Error> for AuditError {
     }
 }
 
-/// One served-deletion record.
+/// One chain record: a served deletion or a robustness verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
+    /// What this entry records ([`audit_kind`]).
+    pub kind: u8,
     /// 0-based position in the chain.
     pub index: u64,
-    /// Rounds completed when the drain that served this request ran.
+    /// Rounds completed when the entry was made.
     pub round: u64,
-    /// Drain-batch serial (all requests of one drain share it).
+    /// Drain-batch serial (all requests of one drain share it; 0 for
+    /// robustness kinds).
     pub serial: u64,
-    /// The requesting client.
+    /// The client the entry is about.
     pub client_id: u64,
-    /// The removed sample indices (sorted, deduplicated).
-    pub removed: Vec<u64>,
+    /// Kind-specific payload: removed sample indices
+    /// ([`audit_kind::UNLEARN_SERVED`]), `[violation_code, strikes]`
+    /// ([`audit_kind::VIOLATION`]) or `[strikes]`
+    /// ([`audit_kind::QUARANTINE`]).
+    pub detail: Vec<u64>,
     /// `digest::state_digest(round, post-drain global)`.
     pub state_digest: [u8; DIGEST_LEN],
     /// The previous entry's `entry_hash` ([`GENESIS`] for entry 0).
@@ -167,12 +193,13 @@ impl AuditEntry {
     /// Computes what `entry_hash` must be for this entry's contents.
     pub fn compute_hash(&self) -> [u8; DIGEST_LEN] {
         let mut h = Sha256::new();
+        h.update(&[self.kind]);
         h.update(&self.index.to_le_bytes());
         h.update(&self.round.to_le_bytes());
         h.update(&self.serial.to_le_bytes());
         h.update(&self.client_id.to_le_bytes());
-        h.update(&(self.removed.len() as u32).to_le_bytes());
-        for &r in &self.removed {
+        h.update(&(self.detail.len() as u32).to_le_bytes());
+        for &r in &self.detail {
             h.update(&r.to_le_bytes());
         }
         h.update(&self.state_digest);
@@ -181,17 +208,18 @@ impl AuditEntry {
     }
 
     fn body_len(&self) -> usize {
-        8 + 8 + 8 + 8 + 4 + 8 * self.removed.len() + 3 * DIGEST_LEN
+        1 + 8 + 8 + 8 + 8 + 4 + 8 * self.detail.len() + 3 * DIGEST_LEN
     }
 
     fn write_to(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.body_len() as u32).to_le_bytes());
+        out.push(self.kind);
         out.extend_from_slice(&self.index.to_le_bytes());
         out.extend_from_slice(&self.round.to_le_bytes());
         out.extend_from_slice(&self.serial.to_le_bytes());
         out.extend_from_slice(&self.client_id.to_le_bytes());
-        out.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
-        for &r in &self.removed {
+        out.extend_from_slice(&(self.detail.len() as u32).to_le_bytes());
+        for &r in &self.detail {
             out.extend_from_slice(&r.to_le_bytes());
         }
         out.extend_from_slice(&self.state_digest);
@@ -199,13 +227,26 @@ impl AuditEntry {
         out.extend_from_slice(&self.entry_hash);
     }
 
-    /// The served request this entry records.
+    /// The served request this entry records. Meaningful only for
+    /// [`audit_kind::UNLEARN_SERVED`] entries (check `kind` first).
     pub fn request(&self) -> UnlearnRequest {
         UnlearnRequest::new(
             self.client_id as usize,
-            self.removed.iter().map(|&r| r as usize).collect(),
+            self.detail.iter().map(|&r| r as usize).collect(),
         )
     }
+}
+
+/// One robustness verdict to append to the chain (what the coordinator
+/// drains from the admission layer after each round).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEventRecord {
+    /// [`audit_kind::VIOLATION`] or [`audit_kind::QUARANTINE`].
+    pub kind: u8,
+    /// The client the verdict is about.
+    pub client_id: u64,
+    /// Kind-specific payload (see [`AuditEntry::detail`]).
+    pub detail: Vec<u64>,
 }
 
 /// Result of a full chain walk.
@@ -324,16 +365,56 @@ impl AuditLog {
         requests: &[UnlearnRequest],
         state_digest: &[u8; DIGEST_LEN],
     ) -> Result<(), AuditError> {
+        self.append_raw(
+            requests.iter().map(|req| {
+                (
+                    audit_kind::UNLEARN_SERVED,
+                    round,
+                    serial,
+                    req.client_id as u64,
+                    req.removed.iter().map(|&r| r as u64).collect(),
+                )
+            }),
+            state_digest,
+        )
+    }
+
+    /// Appends robustness verdicts (violations/quarantines) and fsyncs —
+    /// same chain, same tamper evidence as served deletions.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Io`].
+    pub fn append_events(
+        &mut self,
+        round: u64,
+        events: &[AuditEventRecord],
+        state_digest: &[u8; DIGEST_LEN],
+    ) -> Result<(), AuditError> {
+        self.append_raw(
+            events
+                .iter()
+                .map(|e| (e.kind, round, 0, e.client_id, e.detail.clone())),
+            state_digest,
+        )
+    }
+
+    fn append_raw(
+        &mut self,
+        records: impl Iterator<Item = (u8, u64, u64, u64, Vec<u64>)>,
+        state_digest: &[u8; DIGEST_LEN],
+    ) -> Result<(), AuditError> {
         let mut buf = Vec::new();
         let mut tip = self.tip;
         let mut index = self.entries;
-        for req in requests {
+        for (kind, round, serial, client_id, detail) in records {
             let mut entry = AuditEntry {
+                kind,
                 index,
                 round,
                 serial,
-                client_id: req.client_id as u64,
-                removed: req.removed.iter().map(|&r| r as u64).collect(),
+                client_id,
+                detail,
                 state_digest: *state_digest,
                 prev_hash: tip,
                 entry_hash: GENESIS,
@@ -417,17 +498,18 @@ fn verify_reader(r: &mut impl Read) -> Result<AuditSummary, AuditError> {
             return Err(AuditError::Truncated { at: start });
         }
         let body_end = off + body_len;
+        let kind = take(&mut off, 1)?[0];
         let index = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
         let round = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
         let serial = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
         let client_id = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8"));
         let n = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4")) as usize;
-        if body_len != 8 + 8 + 8 + 8 + 4 + 8 * n + 3 * DIGEST_LEN {
+        if body_len != 1 + 8 + 8 + 8 + 8 + 4 + 8 * n + 3 * DIGEST_LEN {
             return Err(AuditError::Truncated { at: start });
         }
-        let mut removed = Vec::with_capacity(n);
+        let mut detail = Vec::with_capacity(n);
         for _ in 0..n {
-            removed.push(u64::from_le_bytes(
+            detail.push(u64::from_le_bytes(
                 take(&mut off, 8)?.try_into().expect("8"),
             ));
         }
@@ -447,11 +529,12 @@ fn verify_reader(r: &mut impl Read) -> Result<AuditSummary, AuditError> {
             });
         }
         let entry = AuditEntry {
+            kind,
             index,
             round,
             serial,
             client_id,
-            removed,
+            detail,
             state_digest,
             prev_hash,
             entry_hash,
@@ -474,13 +557,26 @@ fn verify_reader(r: &mut impl Read) -> Result<AuditSummary, AuditError> {
 
 /// Renders a short human-readable line for one entry (CLI output).
 pub fn describe_entry(e: &AuditEntry) -> String {
+    let what = match e.kind {
+        audit_kind::UNLEARN_SERVED => format!("removed {} sample(s)", e.detail.len()),
+        audit_kind::VIOLATION => format!(
+            "violation code {} (strikes {})",
+            e.detail.first().copied().unwrap_or(0),
+            e.detail.get(1).copied().unwrap_or(0),
+        ),
+        audit_kind::QUARANTINE => format!(
+            "QUARANTINED after {} strike(s)",
+            e.detail.first().copied().unwrap_or(0)
+        ),
+        k => format!("unknown kind {k}"),
+    };
     format!(
-        "#{} round {} serial {} client {} removed {} sample(s) state {} hash {}",
+        "#{} round {} serial {} client {} {} state {} hash {}",
         e.index,
         e.round,
         e.serial,
         e.client_id,
-        e.removed.len(),
+        what,
         &digest::hex(&e.state_digest)[..16],
         &digest::hex(&e.entry_hash)[..16],
     )
@@ -524,7 +620,11 @@ mod tests {
         assert_eq!(summary.entries[0].prev_hash, GENESIS);
         assert_eq!(summary.entries[1].prev_hash, summary.entries[0].entry_hash);
         assert_eq!(summary.entries[2].prev_hash, summary.entries[1].entry_hash);
-        assert_eq!(summary.entries[0].removed, vec![1, 2, 3]);
+        assert_eq!(summary.entries[0].detail, vec![1, 2, 3]);
+        assert!(summary
+            .entries
+            .iter()
+            .all(|e| e.kind == audit_kind::UNLEARN_SERVED));
         assert_eq!(summary.entries[2].round, 3);
         assert_eq!(summary.entries[2].serial, 1);
 
@@ -532,6 +632,44 @@ mod tests {
         let (log2, entries) = AuditLog::open(&path).unwrap();
         assert_eq!(log2.tip(), tip);
         assert_eq!(entries.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn robustness_events_chain_with_served_entries() {
+        let path = tmp("events");
+        let (mut log, _) = AuditLog::open(&path).unwrap();
+        log.append_batch(1, 0, &reqs(), &sha256(b"s0")).unwrap();
+        log.append_events(
+            2,
+            &[
+                AuditEventRecord {
+                    kind: audit_kind::VIOLATION,
+                    client_id: 4,
+                    detail: vec![3, 1],
+                },
+                AuditEventRecord {
+                    kind: audit_kind::QUARANTINE,
+                    client_id: 4,
+                    detail: vec![2],
+                },
+            ],
+            &sha256(b"s1"),
+        )
+        .unwrap();
+        let tip = log.tip();
+        drop(log);
+
+        let summary = verify_file(&path).unwrap();
+        assert_eq!(summary.tip, tip);
+        assert_eq!(summary.entries.len(), 4);
+        assert_eq!(summary.entries[2].kind, audit_kind::VIOLATION);
+        assert_eq!(summary.entries[2].client_id, 4);
+        assert_eq!(summary.entries[2].detail, vec![3, 1]);
+        assert_eq!(summary.entries[3].kind, audit_kind::QUARANTINE);
+        assert_eq!(summary.entries[3].round, 2);
+        assert_eq!(summary.entries[3].prev_hash, summary.entries[2].entry_hash);
+        assert!(describe_entry(&summary.entries[3]).contains("QUARANTINED"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -6,7 +6,9 @@
 //!                      [--samples 120] [--rounds 2] [--unlearn-rounds 1]
 //!                      [--seed 42] [--unlearn AFTER:CLIENT:COUNT]
 //!                      [--loopback] [--state-dir DIR] [--verify-audit]
-//!                      [--kill-at OP]
+//!                      [--kill-at OP] [--aggregation MODE] [--quorum F]
+//!                      [--max-strikes K] [--max-delta-norm X]
+//!                      [--byzantine CLIENT:SCRIPT]
 //! ```
 //!
 //! The workload is the deterministic demo workload (`goldfish_serve::demo`):
@@ -24,16 +26,27 @@
 //! audit chain and exits 0/1. `--kill-at OP` injects a coordinator
 //! crash at transport operation `OP` (exit code 41), which is how the
 //! CI crash-kill-restart demo produces a mid-run corpse to recover.
+//!
+//! Robustness (DESIGN.md §13): `--aggregation mean|trimmed:K|median|
+//! normclip:C` selects the aggregation rule, `--quorum F` lets a round
+//! finish degraded over `ceil(F·cohort)` reported updates, and
+//! `--max-strikes K` / `--max-delta-norm X` configure the admission
+//! layer's strike budget and relative-delta-norm bound. `--byzantine
+//! CLIENT:SCRIPT` (e.g. `0:scale:10`, `1:signflip`, `2:replay`) makes
+//! the fault-injection layer corrupt that client's uploads — the CI
+//! Byzantine demo drives one scripted attacker into quarantine and
+//! reads the verdict back out of the audit chain.
 
 use std::path::Path;
 
 use goldfish_core::basic_model::GoldfishLocalConfig;
 use goldfish_core::GoldfishUnlearning;
+use goldfish_fed::aggregate::AggregationMode;
 use goldfish_serve::audit;
 use goldfish_serve::coordinator::{drain_seed, round_seed, Coordinator, CoordinatorConfig};
 use goldfish_serve::demo::DemoSpec;
 use goldfish_serve::durability::{audit_path, DurableStore};
-use goldfish_serve::fault::{FaultPlan, FaultyTransport};
+use goldfish_serve::fault::{ByzantineScript, FaultPlan, FaultyTransport};
 use goldfish_serve::queue::UnlearnRequest;
 use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
@@ -166,6 +179,25 @@ fn serve<T: ServeTransport>(
             Err(err) => println!("local eval failed: {err}"),
         }
     }
+    for e in coordinator.robustness_log() {
+        match e {
+            goldfish_fed::transport::RobustnessEvent::Violation {
+                client_id,
+                violation,
+                strikes,
+            } => println!("violation: client {client_id} — {violation} (strikes {strikes})"),
+            goldfish_fed::transport::RobustnessEvent::Quarantined { client_id, strikes } => {
+                println!("QUARANTINED: client {client_id} after {strikes} strike(s)")
+            }
+        }
+    }
+    let outcome = coordinator.last_round_outcome();
+    if outcome.degraded {
+        println!(
+            "last round degraded: {}/{} cohort members reported (quorum fold)",
+            outcome.reported, outcome.cohort
+        );
+    }
     let stats = coordinator.transport().wire_stats();
     println!(
         "final accuracy {:.4}; wire: {} B sent, {} B received",
@@ -236,6 +268,54 @@ fn verify_audit() -> ! {
     }
 }
 
+/// Applies `--aggregation`, `--quorum`, `--max-strikes` and
+/// `--max-delta-norm` to the config.
+fn apply_robustness_flags(mut cfg: CoordinatorConfig) -> CoordinatorConfig {
+    if let Some(mode) = value_of("--aggregation") {
+        let mode = AggregationMode::parse(&mode).unwrap_or_else(|| {
+            panic!("--aggregation expects mean|trimmed:K|median|normclip:C, got {mode}")
+        });
+        cfg = cfg.with_aggregation(mode);
+    }
+    if let Some(q) = value_of("--quorum") {
+        let q: f64 = q.parse().expect("--quorum expects a fraction in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&q) && q > 0.0,
+            "--quorum out of (0, 1]"
+        );
+        cfg = cfg.with_quorum(q);
+    }
+    if let Some(k) = value_of("--max-strikes") {
+        cfg = cfg.with_max_strikes(k.parse().expect("--max-strikes expects a count"));
+    }
+    if let Some(x) = value_of("--max-delta-norm") {
+        cfg = cfg.with_max_delta_norm(x.parse().expect("--max-delta-norm expects a bound"));
+    }
+    cfg
+}
+
+/// Parsed `--byzantine CLIENT:SCRIPT` occurrences (repeatable), folded
+/// into the fault plan.
+fn apply_byzantine_flags(mut plan: FaultPlan) -> FaultPlan {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] != "--byzantine" {
+            continue;
+        }
+        let spec = args
+            .get(i + 1)
+            .expect("--byzantine expects CLIENT:SCRIPT (e.g. 0:scale:10)");
+        let (client, script) = spec
+            .split_once(':')
+            .expect("--byzantine expects CLIENT:SCRIPT (e.g. 0:scale:10)");
+        let client: usize = client.parse().expect("--byzantine CLIENT");
+        let script = ByzantineScript::parse(script)
+            .unwrap_or_else(|| panic!("--byzantine: unknown script {script}"));
+        plan = plan.byzantine(client, script);
+    }
+    plan
+}
+
 fn main() {
     if flag("--verify-audit") {
         verify_audit();
@@ -262,6 +342,7 @@ fn main() {
         ..CoordinatorConfig::default()
     }
     .with_update_window(num("--window", 0usize));
+    cfg = apply_robustness_flags(cfg);
     if let Some(ms) = value_of("--read-timeout-ms") {
         let ms: u64 = ms.parse().expect("--read-timeout-ms expects milliseconds");
         cfg = cfg.with_read_timeout(std::time::Duration::from_millis(ms));
@@ -282,7 +363,7 @@ fn main() {
             Some(op) => FaultPlan::new().kill_before_at(op),
             None => FaultPlan::new(),
         };
-        let transport = FaultyTransport::new(transport, plan);
+        let transport = FaultyTransport::new(transport, apply_byzantine_flags(plan));
         let mut coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
         attach_state_dir(&mut coordinator);
         serve(coordinator, rounds, spec.seed, unlearn_plan());
@@ -295,9 +376,14 @@ fn main() {
         "listening on {local}, waiting for {} workers …",
         spec.clients
     );
-    let mut transport =
-        TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
-            .expect("worker handshake");
+    let (agg_mode, agg_param) = cfg.robust.mode.wire_code();
+    let tcp_cfg = TcpConfig {
+        agg_mode,
+        agg_param,
+        ..TcpConfig::default()
+    };
+    let mut transport = TcpTransport::accept(&listener, spec.clients, state_len, tcp_cfg)
+        .expect("worker handshake");
     // Keep the listener: dropped workers (or workers that outlived a
     // previous coordinator) are re-admitted at round boundaries.
     transport.enable_reconnect(listener);
@@ -306,7 +392,7 @@ fn main() {
         Some(op) => FaultPlan::new().kill_before_at(op),
         None => FaultPlan::new(),
     };
-    let transport = FaultyTransport::new(transport, plan);
+    let transport = FaultyTransport::new(transport, apply_byzantine_flags(plan));
     let mut coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
     attach_state_dir(&mut coordinator);
     serve(coordinator, rounds, spec.seed, unlearn_plan());

@@ -65,6 +65,9 @@ fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize, reconnect: bool) 
         max_attempts: 40,
         initial_delay: Duration::from_millis(100),
         max_delay: Duration::from_secs(2),
+        // Seed the backoff jitter per client so a fleet restarting after
+        // a coordinator crash doesn't reconnect in lockstep.
+        jitter_seed: client_id as u64,
     };
     loop {
         match run_worker_resilient(addr, &mut runtime, &limits, policy) {

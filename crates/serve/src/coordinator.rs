@@ -23,9 +23,15 @@ use std::time::Duration;
 
 use goldfish_core::{GoldfishUnlearning, UnlearnServer};
 use goldfish_data::Dataset;
+use goldfish_fed::aggregate::AggregationMode;
 use goldfish_fed::trainer::TrainConfig;
-use goldfish_fed::transport::{RoundRuntime, StateLenError, TrainAssign, TransportError};
+use goldfish_fed::transport::{
+    round_nonce, RobustConfig, RobustnessEvent, RoundOutcome, RoundRuntime, StateLenError,
+    TrainAssign, TransportError,
+};
 use goldfish_fed::ModelFactory;
+
+use crate::audit::{audit_kind, AuditEventRecord};
 
 use crate::digest::{self, DIGEST_LEN};
 use crate::durability::{DurabilityError, DurableStore, Recovered};
@@ -53,6 +59,10 @@ pub struct CoordinatorConfig {
     /// streaming aggregation; `0` = auto (the cohort size). Exceeding it
     /// is the typed [`TransportError::UpdateWindowExceeded`].
     pub update_window: usize,
+    /// Byzantine-robustness policy (aggregation rule, quorum fraction,
+    /// strike budget, delta-norm admission bound). The default is the
+    /// bitwise reference path: plain mean, strict re-round, no strikes.
+    pub robust: RobustConfig,
 }
 
 impl Default for CoordinatorConfig {
@@ -65,6 +75,7 @@ impl Default for CoordinatorConfig {
             threads: None,
             read_timeout: None,
             update_window: 0,
+            robust: RobustConfig::default(),
         }
     }
 }
@@ -81,6 +92,33 @@ impl CoordinatorConfig {
     /// auto: the cohort size).
     pub fn with_update_window(mut self, window: usize) -> Self {
         self.update_window = window;
+        self
+    }
+
+    /// Selects the aggregation rule (`--aggregation` on the daemon).
+    pub fn with_aggregation(mut self, mode: AggregationMode) -> Self {
+        self.robust.mode = mode;
+        self
+    }
+
+    /// Enables quorum-degraded rounds: finish over the reported set when
+    /// at least `ceil(quorum · cohort)` updates folded (`--quorum`).
+    pub fn with_quorum(mut self, quorum: f64) -> Self {
+        self.robust.quorum = Some(quorum);
+        self
+    }
+
+    /// Sets the strike budget before a client is quarantined
+    /// (`--max-strikes`; `0` disables eviction).
+    pub fn with_max_strikes(mut self, strikes: u32) -> Self {
+        self.robust.max_strikes = strikes;
+        self
+    }
+
+    /// Sets the relative-delta-norm admission bound
+    /// (`--max-delta-norm`).
+    pub fn with_max_delta_norm(mut self, limit: f64) -> Self {
+        self.robust.max_delta_norm = Some(limit);
         self
     }
 }
@@ -231,6 +269,9 @@ pub struct Coordinator<T: ServeTransport> {
     /// Recovery found a pending queue whose drain slot already passed —
     /// [`Coordinator::run`] serves it first, at the original seed slot.
     resume_drain_pending: bool,
+    /// Every violation/quarantine verdict the admission layer has
+    /// emitted, in order (what the audit chain records).
+    robustness_log: Vec<RobustnessEvent>,
 }
 
 impl<T: ServeTransport> Coordinator<T> {
@@ -247,7 +288,8 @@ impl<T: ServeTransport> Coordinator<T> {
         if let Some(timeout) = cfg.read_timeout {
             transport.set_read_timeout(timeout);
         }
-        let runtime = RoundRuntime::new(cfg.threads, cfg.update_window);
+        let mut runtime = RoundRuntime::new(cfg.threads, cfg.update_window);
+        runtime.set_robustness(cfg.robust);
         Coordinator {
             factory,
             test,
@@ -261,6 +303,7 @@ impl<T: ServeTransport> Coordinator<T> {
             next_round: 0,
             durability: None,
             resume_drain_pending: false,
+            robustness_log: Vec::new(),
         }
     }
 
@@ -286,8 +329,14 @@ impl<T: ServeTransport> Coordinator<T> {
             self.global = recovered.global;
             self.next_round = recovered.round_next;
             self.drain_stats = recovered.drain_stats;
-            let served: Vec<UnlearnRequest> =
-                recovered.served.iter().map(|e| e.request()).collect();
+            // The v2 chain mixes served deletions with robustness
+            // verdicts; only the former are removals to replay.
+            let served: Vec<UnlearnRequest> = recovered
+                .served
+                .iter()
+                .filter(|e| e.kind == audit_kind::UNLEARN_SERVED)
+                .map(|e| e.request())
+                .collect();
             self.transport.apply_removals(&served);
         }
         self.queue.restore(recovered.pending);
@@ -449,6 +498,7 @@ impl<T: ServeTransport> Coordinator<T> {
         let assign = TrainAssign {
             round,
             seed,
+            nonce: round_nonce(seed, round),
             global,
             cfg: &cfg.train,
         };
@@ -457,6 +507,7 @@ impl<T: ServeTransport> Coordinator<T> {
             Ok(()) => {
                 self.next_global = std::mem::replace(&mut self.global, next);
                 self.next_round = round + 1;
+                self.commit_robustness_events().map_err(durability_fault)?;
                 if let Some(store) = self.durability.as_mut() {
                     store
                         .commit_round(
@@ -474,6 +525,68 @@ impl<T: ServeTransport> Coordinator<T> {
                 Err(fatal_or(&self.transport, e))
             }
         }
+    }
+
+    /// Drains the round loop's violation/quarantine verdicts into the
+    /// coordinator's log and — when durability is attached — onto the
+    /// hash-chained audit log, **before** the round's checkpoint
+    /// snapshots the chain tip (a crash in between truncates the events
+    /// and the deterministic re-run re-appends identical bytes).
+    fn commit_robustness_events(&mut self) -> Result<(), DurabilityError> {
+        let events = self.runtime.drain_events();
+        if events.is_empty() {
+            return Ok(());
+        }
+        if let Some(store) = self.durability.as_mut() {
+            let records: Vec<AuditEventRecord> = events
+                .iter()
+                .map(|e| match e {
+                    RobustnessEvent::Violation {
+                        client_id,
+                        violation,
+                        strikes,
+                    } => AuditEventRecord {
+                        kind: audit_kind::VIOLATION,
+                        client_id: *client_id as u64,
+                        detail: vec![violation.code(), *strikes as u64],
+                    },
+                    RobustnessEvent::Quarantined { client_id, strikes } => AuditEventRecord {
+                        kind: audit_kind::QUARANTINE,
+                        client_id: *client_id as u64,
+                        detail: vec![*strikes as u64],
+                    },
+                })
+                .collect();
+            let state_digest = digest::state_digest(self.next_round as u64, &self.global);
+            store.log_robustness_events(self.next_round as u64, &records, &state_digest)?;
+        }
+        self.robustness_log.extend(events);
+        Ok(())
+    }
+
+    /// Every violation/quarantine verdict emitted so far, in order.
+    pub fn robustness_log(&self) -> &[RobustnessEvent] {
+        &self.robustness_log
+    }
+
+    /// How the last training round concluded (full vs. quorum-degraded).
+    pub fn last_round_outcome(&self) -> RoundOutcome {
+        self.runtime.last_outcome()
+    }
+
+    /// Lifetime strike count of a client.
+    pub fn client_strikes(&self, client_id: usize) -> u32 {
+        self.runtime.strikes(client_id)
+    }
+
+    /// Whether the reputation ledger has quarantined a client.
+    pub fn is_quarantined(&self, client_id: usize) -> bool {
+        self.runtime.is_quarantined(client_id)
+    }
+
+    /// The quarantined client ids, ascending.
+    pub fn quarantined_clients(&self) -> Vec<usize> {
+        self.runtime.quarantined().collect()
     }
 
     /// Streaming-aggregation telemetry of the last round: the high-water

@@ -341,9 +341,10 @@ pub struct Recovered {
     /// WAL submissions newer than the checkpoint, in sequence order —
     /// replay through the queue's normal submit/merge logic.
     pub replayed: Vec<UnlearnRequest>,
-    /// The committed audit chain: every deletion request this state
-    /// directory has ever served, in chain order. Transports replay
-    /// these to rebuild post-deletion client datasets.
+    /// The committed audit chain in chain order. Since audit v2 this
+    /// mixes served deletions with robustness verdicts — filter to
+    /// [`crate::audit::audit_kind::UNLEARN_SERVED`] before replaying
+    /// removals to rebuild post-deletion client datasets.
     pub served: Vec<AuditEntry>,
 }
 
@@ -632,6 +633,25 @@ impl DurableStore {
         drain_stats: DrainStats,
     ) -> Result<(), DurabilityError> {
         self.write_checkpoint(round_next, global, pending, drain_stats)
+    }
+
+    /// Appends robustness verdicts (violations/quarantines) to the
+    /// audit chain and fsyncs them. Call before the round's
+    /// `commit_round` so that checkpoint snapshots the advanced tip; a
+    /// crash in between truncates the events on recovery and the
+    /// deterministic round re-run re-appends identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Audit`] / [`DurabilityError::Io`].
+    pub fn log_robustness_events(
+        &mut self,
+        round: u64,
+        events: &[crate::audit::AuditEventRecord],
+        state_digest: &[u8; DIGEST_LEN],
+    ) -> Result<(), DurabilityError> {
+        self.audit.append_events(round, events, state_digest)?;
+        Ok(())
     }
 
     /// Commits one served drain batch: appends the audit entries

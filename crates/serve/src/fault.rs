@@ -50,10 +50,77 @@ pub enum FaultAction {
     DelayMs(u64),
 }
 
-/// A reproducible schedule of faults keyed by transport-op index.
+/// A per-worker Byzantine behaviour, applied to every training update
+/// the scripted worker streams through the wrapper. Scripts act on the
+/// streamed (hot) aggregation path — the one the serving coordinator
+/// runs — and are fully deterministic, so adversarial runs reproduce
+/// bitwise like everything else here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByzantineScript {
+    /// Multiply every uploaded coordinate by `factor` (a model-scaling
+    /// / boosting attack).
+    Scale {
+        /// The multiplier.
+        factor: f32,
+    },
+    /// Negate every uploaded coordinate (gradient sign-flip attack).
+    SignFlip,
+    /// Add seeded uniform noise in `[-amp, amp]` per coordinate. The
+    /// per-round stream is derived from `(seed, nonce, client)`, so the
+    /// same run replays identically.
+    Noise {
+        /// Noise amplitude.
+        amp: f32,
+        /// Base seed of the noise stream.
+        seed: u64,
+    },
+    /// Replay the previous round's upload verbatim — state *and* nonce,
+    /// so the admission layer sees a genuinely stale frame. The first
+    /// round has nothing to replay and passes through (while caching).
+    Replay,
+    /// Echo a corrupted nonce, simulating an update forged for (or
+    /// left over from) a different round.
+    StaleRound,
+    /// Deliver the update twice in one round (duplicate-frame attack).
+    Duplicate,
+}
+
+impl ByzantineScript {
+    /// Parses the daemon-flag syntax: `scale:F`, `signflip`,
+    /// `noise:AMP` or `noise:AMP:SEED`, `replay`, `stale`, `dup`.
+    pub fn parse(s: &str) -> Option<ByzantineScript> {
+        let mut parts = s.split(':');
+        let head = parts.next()?;
+        let script = match head {
+            "scale" => ByzantineScript::Scale {
+                factor: parts.next()?.parse().ok()?,
+            },
+            "signflip" => ByzantineScript::SignFlip,
+            "noise" => ByzantineScript::Noise {
+                amp: parts.next()?.parse().ok()?,
+                seed: match parts.next() {
+                    Some(v) => v.parse().ok()?,
+                    None => 0xB12E,
+                },
+            },
+            "replay" => ByzantineScript::Replay,
+            "stale" => ByzantineScript::StaleRound,
+            "dup" => ByzantineScript::Duplicate,
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(script)
+    }
+}
+
+/// A reproducible schedule of faults keyed by transport-op index, plus
+/// per-worker Byzantine scripts keyed by client id.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     at: BTreeMap<u64, Vec<FaultAction>>,
+    byz: BTreeMap<usize, ByzantineScript>,
 }
 
 impl FaultPlan {
@@ -116,9 +183,20 @@ impl FaultPlan {
         self
     }
 
+    /// Scripts client `client_id` as Byzantine for the whole run.
+    pub fn byzantine(mut self, client_id: usize, script: ByzantineScript) -> Self {
+        self.byz.insert(client_id, script);
+        self
+    }
+
     /// Actions scheduled at `op`.
     pub fn actions_at(&self, op: u64) -> &[FaultAction] {
         self.at.get(&op).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The Byzantine script of `client_id`, if any.
+    pub fn byzantine_script(&self, client_id: usize) -> Option<&ByzantineScript> {
+        self.byz.get(&client_id)
     }
 }
 
@@ -129,6 +207,9 @@ pub struct FaultyTransport<T: ServeTransport> {
     plan: FaultPlan,
     op: u64,
     killed: bool,
+    /// [`ByzantineScript::Replay`] memory: the last `(nonce, state)`
+    /// each scripted worker uploaded.
+    replay: BTreeMap<usize, (u64, Vec<f32>)>,
 }
 
 /// What one op's scheduled actions resolve to.
@@ -146,6 +227,7 @@ impl<T: ServeTransport> FaultyTransport<T> {
             plan,
             op: 0,
             killed: false,
+            replay: BTreeMap::new(),
         }
     }
 
@@ -270,25 +352,92 @@ impl<T: ServeTransport> RoundTransport for FaultyTransport<T> {
             results.extend((0..n).map(|id| Err(self.dead_error(id))));
             return;
         }
-        if fate.drops.is_empty() {
+        if fate.drops.is_empty() && self.plan.byz.is_empty() {
             self.inner.train_round_streamed(assign, sink, results);
             return;
         }
-        // Suppress dropped clients' updates before they reach the
-        // aggregation sink.
+        // Suppress dropped clients' updates and run Byzantine scripts
+        // before frames reach the aggregation sink — exactly where a
+        // malicious worker's bytes would enter the coordinator.
         let drops = fate.drops;
+        let FaultyTransport {
+            inner,
+            plan,
+            replay,
+            ..
+        } = self;
+        let mut scratch: Vec<f32> = Vec::new();
         let mut filtered = |u: StreamedUpdate<'_>| {
             if drops.contains(&u.client_id) {
-                Err(TransportError::Disconnected {
+                return Err(TransportError::Disconnected {
                     client_id: u.client_id,
                     reason: "fault injection: reply dropped".into(),
-                })
-            } else {
-                sink(u)
+                });
+            }
+            let Some(script) = plan.byz.get(&u.client_id) else {
+                return sink(u);
+            };
+            match script {
+                ByzantineScript::Scale { factor } => {
+                    scratch.clear();
+                    scratch.extend(u.state.iter().map(|v| v * factor));
+                    sink(StreamedUpdate {
+                        state: &scratch,
+                        ..u
+                    })
+                }
+                ByzantineScript::SignFlip => {
+                    scratch.clear();
+                    scratch.extend(u.state.iter().map(|v| -v));
+                    sink(StreamedUpdate {
+                        state: &scratch,
+                        ..u
+                    })
+                }
+                ByzantineScript::Noise { amp, seed } => {
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ u.nonce ^ (u.client_id as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    scratch.clear();
+                    scratch.extend(u.state.iter().map(|v| v + rng.gen_range(-amp..=*amp)));
+                    sink(StreamedUpdate {
+                        state: &scratch,
+                        ..u
+                    })
+                }
+                ByzantineScript::Replay => {
+                    let prev = replay.insert(u.client_id, (u.nonce, u.state.to_vec()));
+                    match prev {
+                        // A genuinely stale frame: last round's state
+                        // under last round's nonce.
+                        Some((nonce, state)) => {
+                            scratch.clear();
+                            scratch.extend_from_slice(&state);
+                            sink(StreamedUpdate {
+                                nonce,
+                                state: &scratch,
+                                ..u
+                            })
+                        }
+                        None => sink(u),
+                    }
+                }
+                ByzantineScript::StaleRound => sink(StreamedUpdate {
+                    nonce: u.nonce ^ 0x5741_4C45,
+                    ..u
+                }),
+                ByzantineScript::Duplicate => {
+                    // Both frames are delivered; the recorded outcome is
+                    // the second one's verdict, which is what a
+                    // transport that observed its client double-send
+                    // would report.
+                    let first = sink(u);
+                    let second = sink(u);
+                    first.and(second)
+                }
             }
         };
-        self.inner
-            .train_round_streamed(assign, &mut filtered, results);
+        inner.train_round_streamed(assign, &mut filtered, results);
         for (id, r) in results.iter_mut().enumerate() {
             if r.is_ok() && drops.contains(&id) {
                 *r = Err(TransportError::Disconnected {
@@ -297,6 +446,10 @@ impl<T: ServeTransport> RoundTransport for FaultyTransport<T> {
                 });
             }
         }
+    }
+
+    fn quarantine(&mut self, client_id: usize) -> bool {
+        self.inner.quarantine(client_id)
     }
 }
 

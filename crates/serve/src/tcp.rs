@@ -52,6 +52,13 @@ pub struct TcpConfig {
     /// [`ServeTransport::set_read_timeout`] (the coordinator builder's
     /// knob).
     pub read_timeout: Duration,
+    /// Aggregation-mode wire code announced in `Capabilities`
+    /// ([`goldfish_fed::aggregate::AggregationMode::wire_code`]), so
+    /// workers know which robust fold their updates feed.
+    pub agg_mode: u8,
+    /// Mode parameter paired with `agg_mode` (trim count or clip-limit
+    /// bits; 0 when the mode takes none).
+    pub agg_param: u64,
 }
 
 impl Default for TcpConfig {
@@ -61,6 +68,8 @@ impl Default for TcpConfig {
         TcpConfig {
             limits: FrameLimits::default(),
             read_timeout: Duration::from_secs(30),
+            agg_mode: 0,
+            agg_param: 0,
         }
     }
 }
@@ -98,6 +107,9 @@ pub struct TcpTransport {
     assign_bufs: Vec<Vec<u8>>,
     /// Pool of decoded-update state buffers, refilled after each fold.
     state_pool: Mutex<Vec<Vec<f32>>>,
+    /// Client ids evicted via [`RoundTransport::quarantine`]. Banned
+    /// ids are refused readmission even with a valid resume token.
+    banned: std::collections::BTreeSet<usize>,
 }
 
 /// One round-shaped fan-out's borrowed parameters (train or distill).
@@ -105,6 +117,7 @@ struct RoundSpec<'a> {
     mode: RoundMode,
     round: u64,
     seed: u64,
+    nonce: u64,
     cfg: &'a goldfish_fed::trainer::TrainConfig,
     global: &'a [f32],
 }
@@ -203,6 +216,8 @@ impl TcpTransport {
                 &Msg::Capabilities {
                     max_payload: cfg.limits.max_payload as u64,
                     state_len: state_len as u64,
+                    agg_mode: cfg.agg_mode,
+                    agg_param: cfg.agg_param,
                 },
                 &cfg.limits,
             )?;
@@ -224,6 +239,7 @@ impl TcpTransport {
             bcast: Vec::new(),
             assign_bufs: Vec::new(),
             state_pool: Mutex::new(Vec::new()),
+            banned: std::collections::BTreeSet::new(),
         })
     }
 
@@ -278,6 +294,14 @@ impl TcpTransport {
             );
             return None;
         }
+        if self.banned.contains(&id) {
+            reject(
+                &mut stream,
+                err_code::QUARANTINED,
+                format!("client id {id} is quarantined"),
+            );
+            return None;
+        }
         if worker_len as usize != self.state_len {
             reject(
                 &mut stream,
@@ -294,6 +318,8 @@ impl TcpTransport {
             &Msg::Capabilities {
                 max_payload: self.cfg.limits.max_payload as u64,
                 state_len: self.state_len as u64,
+                agg_mode: self.cfg.agg_mode,
+                agg_param: self.cfg.agg_param,
             },
             &self.cfg.limits,
         )
@@ -481,6 +507,7 @@ impl TcpTransport {
             spec.mode,
             spec.round,
             spec.seed,
+            spec.nonce,
             spec.cfg,
             spec.global,
             &self.cfg.limits,
@@ -505,11 +532,17 @@ impl TcpTransport {
         Self::broadcast(conns, stats, cfg.limits, state_pool, bcast, |id, reply| {
             let outcome = reply.and_then(|r| match r {
                 Reply::Update { header, state } => {
-                    let result =
-                        check_update_header(id, &header, round, want_distill).and_then(|()| {
+                    // The nonce is *forwarded*, not checked: the
+                    // streamed path feeds the coordinator's admission
+                    // layer ([`goldfish_fed::transport::RoundRuntime`]),
+                    // which judges stale nonces as typed violations so
+                    // they earn strikes instead of a bare protocol drop.
+                    let result = check_update_header(id, &header, round, want_distill, None)
+                        .and_then(|()| {
                             sink(StreamedUpdate {
                                 client_id: id,
                                 num_samples: header.weight as usize,
+                                nonce: header.nonce,
                                 state: &state,
                             })
                         });
@@ -532,15 +565,34 @@ impl TcpTransport {
 
     /// Drops the connections of clients whose round outcome was **their
     /// fault** (straggling, disconnecting, answering out of protocol)
-    /// and sorts outcomes by client id. A
-    /// [`TransportError::UpdateWindowExceeded`] is the coordinator's own
-    /// capacity policy — the worker answered correctly — so its
-    /// connection is kept and the error propagates to the caller
-    /// instead of silently shrinking the fleet.
+    /// and sorts outcomes by client id. Three error kinds keep the
+    /// connection alive:
+    ///
+    /// * [`TransportError::UpdateWindowExceeded`] is the coordinator's
+    ///   own capacity policy — the worker answered correctly — so the
+    ///   error propagates to the caller instead of silently shrinking
+    ///   the fleet.
+    /// * [`TransportError::Rejected`] and
+    ///   [`TransportError::DuplicateUpdate`] are admission verdicts:
+    ///   the strike/quarantine ledger decides the worker's fate, and
+    ///   evicting on the first offense would bypass the configured
+    ///   `max_strikes` budget.
+    ///
+    /// A [`TransportError::Quarantined`] outcome additionally bans the
+    /// client from readmission (the eviction itself happens in
+    /// [`RoundTransport::quarantine`]).
     fn drop_failed_and_sort<T>(&mut self, outcomes: &mut [(usize, Result<T, TransportError>)]) {
         for (id, outcome) in outcomes.iter() {
-            if let Err(e) = outcome {
-                if !matches!(e, TransportError::UpdateWindowExceeded { .. }) {
+            match outcome {
+                Ok(_)
+                | Err(TransportError::UpdateWindowExceeded { .. })
+                | Err(TransportError::Rejected { .. })
+                | Err(TransportError::DuplicateUpdate { .. }) => {}
+                Err(TransportError::Quarantined { .. }) => {
+                    self.banned.insert(*id);
+                    self.conns[*id] = None;
+                }
+                Err(_) => {
                     self.conns[*id] = None;
                 }
             }
@@ -556,12 +608,14 @@ impl TcpTransport {
     ) -> Vec<Result<ClientUpdate, TransportError>> {
         let mut updates: Vec<(usize, Result<ClientUpdate, TransportError>)> = Vec::new();
         let round = spec.round;
+        let nonce = spec.nonce;
         let want_distill = matches!(spec.mode, RoundMode::Distill);
         if let Err(e) = encode_round_assign_into(
             &mut self.bcast,
             spec.mode,
             spec.round,
             spec.seed,
+            spec.nonce,
             spec.cfg,
             spec.global,
             &self.cfg.limits,
@@ -590,7 +644,10 @@ impl TcpTransport {
             |id, reply| {
                 let outcome = reply.and_then(|r| match r {
                     Reply::Update { header, state } => {
-                        match check_update_header(id, &header, round, want_distill) {
+                        // The buffered contract has no downstream
+                        // admission layer, so the echoed nonce is
+                        // enforced right here.
+                        match check_update_header(id, &header, round, want_distill, Some(nonce)) {
                             // The delivered state leaves the pool with
                             // the update (the buffered contract hands
                             // ownership to the caller)…
@@ -625,15 +682,30 @@ impl TcpTransport {
 
 /// Validates an `Update`/`UnlearnResult` header against the round it
 /// answers (shared by the streamed and buffered collection paths, so
-/// they can never diverge in what they accept).
+/// they can never diverge in what they accept). `expect_nonce` is
+/// `Some` only on the buffered path — the streamed path forwards the
+/// echoed nonce to the admission layer, which turns a mismatch into a
+/// strike-earning [`TransportError::Rejected`] instead.
 fn check_update_header(
     id: usize,
     header: &UpdateHeader,
     round: u64,
     want_distill: bool,
+    expect_nonce: Option<u64>,
 ) -> Result<(), TransportError> {
     if header.distill == want_distill && header.round == round && header.client_id as usize == id {
-        return Ok(());
+        match expect_nonce {
+            Some(want) if header.nonce != want => {
+                return Err(TransportError::Rejected {
+                    client_id: id,
+                    violation: goldfish_fed::transport::UpdateViolation::StaleNonce {
+                        got: header.nonce,
+                        want,
+                    },
+                });
+            }
+            _ => return Ok(()),
+        }
     }
     Err(TransportError::Protocol {
         client_id: id,
@@ -692,6 +764,7 @@ impl RoundTransport for TcpTransport {
             mode: RoundMode::Train,
             round: assign.round as u64,
             seed: assign.seed,
+            nonce: assign.nonce,
             cfg: assign.cfg,
             global: assign.global,
         })
@@ -709,6 +782,7 @@ impl RoundTransport for TcpTransport {
                 mode: RoundMode::Train,
                 round: assign.round as u64,
                 seed: assign.seed,
+                nonce: assign.nonce,
                 cfg: assign.cfg,
                 global: assign.global,
             },
@@ -717,6 +791,30 @@ impl RoundTransport for TcpTransport {
         );
         results.clear();
         results.extend(outcomes.into_iter().map(|(_, r)| r));
+    }
+
+    /// Evicts `client_id`: its connection is closed (after a
+    /// best-effort typed `Err` frame telling the worker why) and its id
+    /// is banned from readmission, so a quarantined worker cannot
+    /// reconnect into its old slot with a resume token.
+    fn quarantine(&mut self, client_id: usize) -> bool {
+        self.banned.insert(client_id);
+        let Some(slot) = self.conns.get_mut(client_id) else {
+            return false;
+        };
+        let Some(conn) = slot.as_mut() else {
+            return false;
+        };
+        let _ = write_frame(
+            &mut conn.stream,
+            &Msg::Err {
+                code: err_code::QUARANTINED,
+                detail: format!("client id {client_id} is quarantined"),
+            },
+            &self.cfg.limits,
+        );
+        *slot = None;
+        true
     }
 }
 
@@ -875,6 +973,11 @@ impl DistillTransport for TcpTransport {
             mode: RoundMode::Distill,
             round: round as u64,
             seed,
+            // Distill assignments derive their nonce the same way
+            // training rounds do; workers echo whatever the
+            // `RoundAssign` carried, so both sides agree by
+            // construction.
+            nonce: goldfish_fed::transport::round_nonce(seed, round),
             cfg: &goldfish_fed::trainer::TrainConfig::default(),
             global,
         })

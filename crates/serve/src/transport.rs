@@ -173,6 +173,11 @@ pub struct LoopbackTransport {
     staged: Vec<UnlearnRequest>,
     distill: Option<LoopbackDistill>,
     workers: Vec<LoopbackWorker>,
+    /// Clients evicted via [`RoundTransport::quarantine`]: excluded
+    /// from cohorts and the streamed feed (their datasets stay owned —
+    /// in-process data cannot "leave" — but their updates never reach
+    /// an aggregation sink again).
+    quarantined: std::collections::BTreeSet<usize>,
 }
 
 impl LoopbackTransport {
@@ -185,18 +190,30 @@ impl LoopbackTransport {
             staged: Vec::new(),
             distill: None,
             workers: Vec::new(),
+            quarantined: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Clients evicted so far, ascending.
+    pub fn quarantined_clients(&self) -> Vec<usize> {
+        self.quarantined.iter().copied().collect()
     }
 }
 
 impl RoundTransport for LoopbackTransport {
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.clients.len() - self.quarantined.len()
     }
 
     fn cohort_into(&self, out: &mut Vec<(usize, usize)>) {
         out.clear();
-        out.extend(self.clients.iter().enumerate().map(|(id, d)| (id, d.len())));
+        out.extend(
+            self.clients
+                .iter()
+                .enumerate()
+                .filter(|(id, _)| !self.quarantined.contains(id))
+                .map(|(id, d)| (id, d.len())),
+        );
     }
 
     fn train_round(
@@ -218,8 +235,14 @@ impl RoundTransport for LoopbackTransport {
         self.workers.truncate(self.clients.len());
         let clients = &self.clients;
         let workers = &mut self.workers;
+        let quarantined = &self.quarantined;
         pool::install(self.threads, || {
             pool::for_each_slot(workers, |id, w| {
+                // Quarantined clients are out of the federation: no
+                // compute, no upload.
+                if quarantined.contains(&id) {
+                    return;
+                }
                 let seed = client_seed(assign.seed, id, assign.round);
                 w.net.set_state_vector(assign.global);
                 train_local_hot(
@@ -237,13 +260,28 @@ impl RoundTransport for LoopbackTransport {
         // Feed in client-id order: the aggregation frontier folds every
         // update on arrival, so nothing is ever parked on loopback.
         results.clear();
-        results.extend(self.workers.iter().enumerate().map(|(id, w)| {
-            sink(StreamedUpdate {
-                client_id: id,
-                num_samples: clients[id].len(),
-                state: &w.state,
-            })
-        }));
+        results.extend(
+            self.workers
+                .iter()
+                .enumerate()
+                .filter(|(id, _)| !quarantined.contains(id))
+                .map(|(id, w)| {
+                    sink(StreamedUpdate {
+                        client_id: id,
+                        num_samples: clients[id].len(),
+                        nonce: assign.nonce,
+                        state: &w.state,
+                    })
+                }),
+        );
+    }
+
+    /// Evicts `client_id` from every future cohort and streamed feed.
+    fn quarantine(&mut self, client_id: usize) -> bool {
+        if client_id >= self.clients.len() {
+            return false;
+        }
+        self.quarantined.insert(client_id)
     }
 }
 
@@ -388,6 +426,7 @@ mod tests {
         let assign = TrainAssign {
             round: 0,
             seed: 3,
+            nonce: goldfish_fed::transport::round_nonce(3, 0),
             global: &global,
             cfg: &cfg,
         };

@@ -42,8 +42,10 @@ pub const MAGIC: [u8; 4] = *b"GFWP";
 /// layer (and again during the Hello/Capabilities handshake).
 ///
 /// Version history: 1 = initial GFWP; 2 = `Hello` resume token,
-/// `UnlearnAssign` drain serial, `Digest` frame.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// `UnlearnAssign` drain serial, `Digest` frame; 3 = round nonce in
+/// `RoundAssign`/`Update`/`UnlearnResult`, aggregation-mode negotiation
+/// in `Capabilities` (DESIGN.md §13).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 10;
@@ -192,6 +194,9 @@ pub mod err_code {
     pub const BAD_REQUEST: u16 = 3;
     /// Catch-all for internal worker failures.
     pub const INTERNAL: u16 = 4;
+    /// The client has been quarantined by the coordinator's
+    /// strike/reputation ledger and will not be readmitted.
+    pub const QUARANTINED: u16 = 5;
 }
 
 /// Whether a `RoundAssign` is a plain training round or a distillation
@@ -232,6 +237,14 @@ pub enum Msg {
         /// The coordinator's state-vector length (must match the
         /// worker's).
         state_len: u64,
+        /// The negotiated aggregation mode
+        /// ([`goldfish_fed::aggregate::AggregationMode::wire_code`]):
+        /// announced so workers know which robust fold their updates
+        /// enter.
+        agg_mode: u8,
+        /// The aggregation mode's parameter (trim count or norm-limit
+        /// bits; `0` when the mode takes none).
+        agg_param: u64,
     },
     /// Coordinator → worker: one round's marching orders.
     RoundAssign {
@@ -242,6 +255,11 @@ pub enum Msg {
         /// Base seed; the worker derives its own via
         /// [`goldfish_fed::transport::client_seed`].
         seed: u64,
+        /// This round's nonce
+        /// ([`goldfish_fed::transport::round_nonce`]); the worker must
+        /// echo it in its reply, which is how the admission layer
+        /// rejects stale and replayed update frames.
+        nonce: u64,
         /// Local training hyperparameters (ignored for
         /// [`RoundMode::Distill`], which uses the job shipped by
         /// `UnlearnAssign`).
@@ -257,6 +275,8 @@ pub enum Msg {
         client_id: u64,
         /// Aggregation weight (local sample count).
         weight: u64,
+        /// Echoes the assignment's round nonce.
+        nonce: u64,
         /// The updated local state vector.
         state: Vec<f32>,
     },
@@ -286,6 +306,8 @@ pub enum Msg {
         client_id: u64,
         /// Aggregation weight (remaining sample count).
         weight: u64,
+        /// Echoes the assignment's round nonce.
+        nonce: u64,
         /// The retrained student state.
         state: Vec<f32>,
     },
@@ -528,34 +550,42 @@ pub fn encode_frame_into(
         Msg::Capabilities {
             max_payload,
             state_len,
+            agg_mode,
+            agg_param,
         } => {
             out.put_u64_le(*max_payload);
             out.put_u64_le(*state_len);
+            out.put_slice(&[*agg_mode]);
+            out.put_u64_le(*agg_param);
         }
         Msg::RoundAssign {
             mode,
             round,
             seed,
+            nonce,
             cfg,
             global,
         } => {
-            put_round_assign_payload(out, *mode, *round, *seed, cfg, global);
+            put_round_assign_payload(out, *mode, *round, *seed, *nonce, cfg, global);
         }
         Msg::Update {
             round,
             client_id,
             weight,
+            nonce,
             state,
         }
         | Msg::UnlearnResult {
             round,
             client_id,
             weight,
+            nonce,
             state,
         } => {
             out.put_u64_le(*round);
             out.put_u64_le(*client_id);
             out.put_u64_le(*weight);
+            out.put_u64_le(*nonce);
             put_f32s(out, state);
         }
         Msg::UnlearnAssign {
@@ -607,6 +637,7 @@ fn put_round_assign_payload(
     mode: RoundMode,
     round: u64,
     seed: u64,
+    nonce: u64,
     cfg: &TrainConfig,
     global: &[f32],
 ) {
@@ -616,6 +647,7 @@ fn put_round_assign_payload(
     }]);
     out.put_u64_le(round);
     out.put_u64_le(seed);
+    out.put_u64_le(nonce);
     put_train_config(out, cfg);
     put_f32s(out, global);
 }
@@ -630,17 +662,21 @@ fn put_round_assign_payload(
 /// # Errors
 ///
 /// [`WireError::FrameTooLarge`] when the payload exceeds `limits`.
+// The parameter list mirrors the wire layout field-for-field; bundling
+// them into a struct would just re-introduce the intermediate `Msg`.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_round_assign_into(
     out: &mut Vec<u8>,
     mode: RoundMode,
     round: u64,
     seed: u64,
+    nonce: u64,
     cfg: &TrainConfig,
     global: &[f32],
     limits: &FrameLimits,
 ) -> Result<usize, WireError> {
     begin_frame(out, kind::ROUND_ASSIGN);
-    put_round_assign_payload(out, mode, round, seed, cfg, global);
+    put_round_assign_payload(out, mode, round, seed, nonce, cfg, global);
     finish_frame(out, limits)
 }
 
@@ -838,6 +874,8 @@ pub struct UpdateHeader {
     pub client_id: u64,
     /// Aggregation weight (local sample count).
     pub weight: u64,
+    /// Echoed round nonce (checked by the admission layer).
+    pub nonce: u64,
     /// Whether the frame was an `UnlearnResult` (distillation round)
     /// rather than a plain `Update`.
     pub distill: bool,
@@ -864,6 +902,7 @@ pub fn decode_update_into(
         round: r.u64()?,
         client_id: r.u64()?,
         weight: r.u64()?,
+        nonce: r.u64()?,
         distill: kind == self::kind::UNLEARN_RESULT,
     };
     r.f32s_into(state)?;
@@ -903,6 +942,8 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
         kind::CAPABILITIES => Ok(Msg::Capabilities {
             max_payload: r.u64()?,
             state_len: r.u64()?,
+            agg_mode: r.u8()?,
+            agg_param: r.u64()?,
         }),
         kind::ROUND_ASSIGN => {
             let mode = match r.u8()? {
@@ -912,11 +953,13 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
             };
             let round = r.u64()?;
             let seed = r.u64()?;
+            let nonce = r.u64()?;
             let cfg = read_train_config(&mut r)?;
             Ok(Msg::RoundAssign {
                 mode,
                 round,
                 seed,
+                nonce,
                 cfg,
                 global: r.f32s()?,
             })
@@ -925,12 +968,14 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
             let round = r.u64()?;
             let client_id = r.u64()?;
             let weight = r.u64()?;
+            let nonce = r.u64()?;
             let state = r.f32s()?;
             Ok(if k == kind::UPDATE {
                 Msg::Update {
                     round,
                     client_id,
                     weight,
+                    nonce,
                     state,
                 }
             } else {
@@ -938,6 +983,7 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
                     round,
                     client_id,
                     weight,
+                    nonce,
                     state,
                 }
             })
@@ -1164,11 +1210,14 @@ mod tests {
         roundtrip(Msg::Capabilities {
             max_payload: 1 << 20,
             state_len: 1234,
+            agg_mode: 1,
+            agg_param: 2,
         });
         roundtrip(Msg::RoundAssign {
             mode: RoundMode::Train,
             round: 7,
             seed: 42,
+            nonce: 0xABCD_EF01_2345_6789,
             cfg: TrainConfig::default(),
             global: vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0],
         });
@@ -1176,6 +1225,7 @@ mod tests {
             round: 7,
             client_id: 1,
             weight: 250,
+            nonce: 99,
             state: vec![0.125; 33],
         });
         roundtrip(Msg::UnlearnAssign {
@@ -1191,6 +1241,7 @@ mod tests {
             round: 0,
             client_id: 2,
             weight: 100,
+            nonce: 7,
             state: vec![],
         });
         roundtrip(Msg::Eval {
@@ -1266,6 +1317,7 @@ mod tests {
                 round: 1,
                 client_id: 0,
                 weight: 10,
+                nonce: 0,
                 state: vec![3.0; 100],
             },
             &limits,
@@ -1288,6 +1340,7 @@ mod tests {
                 round: 0,
                 client_id: 0,
                 weight: 0,
+                nonce: 0,
                 state: vec![0.0; 64],
             },
             &tiny,
@@ -1322,13 +1375,17 @@ mod tests {
 
         let mut buf = Vec::new();
         for (mode, round, seed) in [(RoundMode::Train, 3u64, 9u64), (RoundMode::Distill, 0, 42)] {
-            let n = encode_round_assign_into(&mut buf, mode, round, seed, &cfg, &global, &limits)
-                .unwrap();
+            let nonce = seed ^ 0x5A5A;
+            let n = encode_round_assign_into(
+                &mut buf, mode, round, seed, nonce, &cfg, &global, &limits,
+            )
+            .unwrap();
             let via_msg = encode_frame(
                 &Msg::RoundAssign {
                     mode,
                     round,
                     seed,
+                    nonce,
                     cfg,
                     global: global.clone(),
                 },
@@ -1383,6 +1440,7 @@ mod tests {
                     round: 5,
                     client_id: 3,
                     weight: 99,
+                    nonce: 0xFEED,
                     state: state.clone(),
                 }
             } else {
@@ -1390,6 +1448,7 @@ mod tests {
                     round: 5,
                     client_id: 3,
                     weight: 99,
+                    nonce: 0xFEED,
                     state: state.clone(),
                 }
             };
@@ -1405,6 +1464,7 @@ mod tests {
                     round: 5,
                     client_id: 3,
                     weight: 99,
+                    nonce: 0xFEED,
                     distill,
                 }
             );
@@ -1426,6 +1486,7 @@ mod tests {
             round: 1,
             client_id: 2,
             weight: 30,
+            nonce: 4,
             state: vec![1.5; 64],
         };
         let frame = encode_frame(&msg, &limits).unwrap();
@@ -1447,6 +1508,7 @@ mod tests {
             round: 1,
             client_id: 2,
             weight: 30,
+            nonce: 4,
             state: vec![1.5; 16],
         };
         let frame = encode_frame(&msg, &limits).unwrap();

@@ -126,6 +126,7 @@ impl WorkerRuntime {
                 mode: RoundMode::Train,
                 round,
                 seed,
+                nonce,
                 cfg,
                 global,
             } => {
@@ -143,6 +144,10 @@ impl WorkerRuntime {
                     round,
                     client_id: self.client_id as u64,
                     weight: self.data.len() as u64,
+                    // The echoed nonce: the coordinator's admission
+                    // layer matches it against the assignment to reject
+                    // stale/replayed frames.
+                    nonce,
                     state: net.state_vector(),
                 }
             }
@@ -218,6 +223,7 @@ impl WorkerRuntime {
                 mode: RoundMode::Distill,
                 round,
                 seed,
+                nonce,
                 global,
                 ..
             } => {
@@ -232,6 +238,7 @@ impl WorkerRuntime {
                             round,
                             client_id: update.client_id as u64,
                             weight: update.num_samples as u64,
+                            nonce,
                             state: update.state,
                         }
                     }
@@ -320,11 +327,24 @@ pub fn serve_stream(
     write_frame(&mut stream, &runtime.hello(), limits)?;
     let (reply, _) = read_frame(&mut stream, limits)?;
     match reply {
-        Msg::Capabilities { state_len, .. } => {
+        Msg::Capabilities {
+            state_len,
+            agg_mode,
+            agg_param,
+            ..
+        } => {
             if state_len as usize != runtime.state_len() {
                 return Err(WireError::Malformed(format!(
                     "coordinator model has {state_len} params, ours has {}",
                     runtime.state_len()
+                )));
+            }
+            // The negotiated aggregation mode: a worker that cannot
+            // decode it would disagree with the coordinator about what
+            // its updates feed, so it refuses the session.
+            if goldfish_fed::aggregate::AggregationMode::from_wire(agg_mode, agg_param).is_none() {
+                return Err(WireError::Malformed(format!(
+                    "coordinator announced unknown aggregation mode {agg_mode} (param {agg_param})"
                 )));
             }
         }
@@ -383,6 +403,11 @@ pub struct ReconnectPolicy {
     pub initial_delay: Duration,
     /// Backoff ceiling.
     pub max_delay: Duration,
+    /// Jitter seed — typically the worker's client id, so a
+    /// mass-disconnect spreads the fleet's retries across the backoff
+    /// window instead of thundering-herding the coordinator. The
+    /// schedule stays fully deterministic per `(seed, attempt)`.
+    pub jitter_seed: u64,
 }
 
 impl Default for ReconnectPolicy {
@@ -391,8 +416,32 @@ impl Default for ReconnectPolicy {
             max_attempts: 20,
             initial_delay: Duration::from_millis(100),
             max_delay: Duration::from_secs(2),
+            jitter_seed: 0,
         }
     }
+}
+
+/// Deterministic seeded jitter for one reconnect attempt: maps the
+/// exponential-backoff `delay` into `[delay/2, delay)` using a
+/// splitmix64 hash of `(seed, attempt)`. Same inputs, same output —
+/// reconnect schedules are reproducible — while distinct seeds (one per
+/// worker) decorrelate the fleet.
+pub fn jittered_backoff(seed: u64, attempt: u32, delay: Duration) -> Duration {
+    let nanos = delay.as_nanos().min(u64::MAX as u128) as u64;
+    let half = nanos / 2;
+    let span = nanos - half;
+    if half == 0 {
+        // Sub-2ns delays have no jitter window; pass through.
+        return delay;
+    }
+    let mut z = seed
+        .wrapping_mul(0x0100_0000_01B3)
+        .wrapping_add(attempt as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Duration::from_nanos(half + z % span)
 }
 
 /// Why a worker gave up on its coordinator — the worker daemon's exit
@@ -476,7 +525,7 @@ pub fn run_worker_resilient(
         if attempts >= policy.max_attempts {
             return Err(WorkerSessionError::Disconnected { detail });
         }
-        std::thread::sleep(delay);
+        std::thread::sleep(jittered_backoff(policy.jitter_seed, attempts, delay));
         delay = (delay * 2).min(policy.max_delay);
     }
 }
@@ -512,6 +561,7 @@ mod tests {
             mode: RoundMode::Train,
             round: 2,
             seed: 11,
+            nonce: 0xFACE,
             cfg,
             global: global.clone(),
         });
@@ -519,12 +569,14 @@ mod tests {
             round,
             client_id,
             weight,
+            nonce,
             state,
         } = reply
         else {
             panic!("expected Update, got {reply:?}");
         };
-        assert_eq!((round, client_id, weight), (2, 1, 40));
+        // The worker echoes the assignment's nonce verbatim.
+        assert_eq!((round, client_id, weight, nonce), (2, 1, 40, 0xFACE));
         let s = client_seed(11, 1, 2);
         let mut net = (factory)(s);
         net.set_state_vector(&global);
@@ -540,6 +592,7 @@ mod tests {
             mode: RoundMode::Distill,
             round: 0,
             seed: 0,
+            nonce: 0,
             cfg: spec.train_config(),
             global,
         });
@@ -576,13 +629,14 @@ mod tests {
             mode: RoundMode::Distill,
             round: 0,
             seed: 5,
+            nonce: 21,
             cfg: spec.train_config(),
             global: teacher.clone(),
         });
-        let Msg::UnlearnResult { weight, .. } = reply else {
+        let Msg::UnlearnResult { weight, nonce, .. } = reply else {
             panic!("expected UnlearnResult, got {reply:?}");
         };
-        assert_eq!(weight, 38); // 40 - 2 removed
+        assert_eq!((weight, nonce), (38, 21)); // 40 - 2 removed, nonce echoed
 
         // A training assignment exits unlearning mode — and trains on
         // the post-deletion dataset (the removal is permanent).
@@ -590,6 +644,7 @@ mod tests {
             mode: RoundMode::Train,
             round: 1,
             seed: 5,
+            nonce: 0,
             cfg: spec.train_config(),
             global: teacher.clone(),
         });
@@ -602,6 +657,7 @@ mod tests {
             mode: RoundMode::Distill,
             round: 1,
             seed: 5,
+            nonce: 0,
             cfg: spec.train_config(),
             global: teacher,
         });
@@ -615,6 +671,7 @@ mod tests {
             mode: RoundMode::Train,
             round: 0,
             seed: 0,
+            nonce: 0,
             cfg: spec.train_config(),
             global: vec![0.0; 3],
         });
@@ -674,5 +731,35 @@ mod tests {
         assert!((0.0..=1.0).contains(&accuracy));
         assert!(mse > 0.0);
         assert!(global.is_empty());
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        for seed in 0..8u64 {
+            for attempt in 0..12u32 {
+                for ms in [1u64, 3, 100, 2000] {
+                    let delay = Duration::from_millis(ms);
+                    let j = jittered_backoff(seed, attempt, delay);
+                    assert!(j >= delay / 2, "jitter below half: {j:?} < {delay:?}/2");
+                    assert!(
+                        j < delay,
+                        "jitter not strictly below delay: {j:?} >= {delay:?}"
+                    );
+                    // Deterministic: same inputs, same schedule.
+                    assert_eq!(j, jittered_backoff(seed, attempt, delay));
+                }
+            }
+        }
+        // A sub-2ns delay has no room to jitter and passes through.
+        assert_eq!(
+            jittered_backoff(1, 1, Duration::from_nanos(1)),
+            Duration::from_nanos(1)
+        );
+        // Distinct seeds decorrelate: not every worker picks the same
+        // point in the window.
+        let d = Duration::from_millis(400);
+        let picks: std::collections::BTreeSet<Duration> =
+            (0..16).map(|s| jittered_backoff(s, 3, d)).collect();
+        assert!(picks.len() > 8, "seeds collapsed to {} values", picks.len());
     }
 }

@@ -300,8 +300,8 @@ fn tcp_crash_restart_with_worker_rejoin_resumes_bitwise() {
 
     let state_len = (spec.factory())(0).state_len();
     let tcp_cfg = TcpConfig {
-        limits: FrameLimits::default(),
         read_timeout: Duration::from_secs(30),
+        ..TcpConfig::default()
     };
 
     // Incarnation 1: dies right after shipping the deletion batch
@@ -397,6 +397,7 @@ fn mid_frame_eof_is_a_typed_disconnect() {
                 round: 0,
                 client_id: 0,
                 weight: 40,
+                nonce: 0,
                 state: vec![0.0; state_len],
             },
             &mut frame,
@@ -409,8 +410,8 @@ fn mid_frame_eof_is_a_typed_disconnect() {
     });
 
     let tcp_cfg = TcpConfig {
-        limits: FrameLimits::default(),
         read_timeout: Duration::from_secs(10),
+        ..TcpConfig::default()
     };
     let mut tcp = TcpTransport::accept(&listener, 1, state_len, tcp_cfg).unwrap();
     let cfg = spec.train_config();
@@ -418,6 +419,7 @@ fn mid_frame_eof_is_a_typed_disconnect() {
     let results = tcp.train_round(&TrainAssign {
         round: 0,
         seed: 1,
+        nonce: goldfish_fed::transport::round_nonce(1, 0),
         global: &global,
         cfg: &cfg,
     });

@@ -204,6 +204,74 @@ fn torn_wal_tail_is_discarded_but_interior_corruption_fails_closed() {
 }
 
 #[test]
+fn wal_truncated_at_every_byte_offset_never_panics() {
+    // The exhaustive form of the torn-tail property: for EVERY possible
+    // crash point — the file cut at every byte offset from empty to
+    // whole — recovery either replays exactly the acknowledged prefix
+    // (the submits whose records are wholly inside the cut) or fails
+    // closed with a typed header error. It never panics and never
+    // invents or reorders a request.
+    let dir = tmp_dir("every-offset");
+    let wal = dir.join("queue.wal");
+
+    // Three submits with distinct payload sizes so record boundaries
+    // land at irregular offsets; no rounds, so recovery replays all.
+    let reqs = vec![
+        UnlearnRequest::new(0, vec![0, 1]),
+        UnlearnRequest::new(1, vec![2, 3, 4, 5, 6]),
+        UnlearnRequest::new(0, vec![7]),
+    ];
+    let mut boundaries = Vec::new(); // file length after each ack
+    let clean = {
+        let spec = spec();
+        let mut c = coordinator(&spec);
+        let (store, recovered) = DurableStore::open(&dir).unwrap();
+        c.attach_durability(store, recovered).unwrap();
+        for r in &reqs {
+            c.submit_unlearn(r.clone()).unwrap();
+            boundaries.push(std::fs::metadata(&wal).unwrap().len());
+        }
+        std::fs::read(&wal).unwrap()
+    };
+    assert_eq!(boundaries.last().copied(), Some(clean.len() as u64));
+
+    for cut in 0..=clean.len() {
+        std::fs::write(&wal, &clean[..cut]).unwrap();
+        match DurableStore::open(&dir) {
+            Ok((_s, recovered)) => {
+                // Either the 8-byte WAL header survived the cut, or the
+                // file was empty — a crash before the header write lost
+                // no acknowledged submit, so a fresh start is correct.
+                assert!(cut == 0 || cut >= 8, "cut at {cut} parsed a partial header");
+                let acked = boundaries.iter().filter(|&&b| b <= cut as u64).count();
+                assert_eq!(
+                    recovered.replayed,
+                    reqs[..acked],
+                    "cut at {cut}: wrong replay prefix"
+                );
+                assert!(!recovered.resumed, "no checkpoint exists");
+                // The torn tail was trimmed back to the last whole
+                // record, so the next append starts clean.
+                let healed = std::fs::metadata(&wal).unwrap().len();
+                let expect = boundaries
+                    .iter()
+                    .filter(|&&b| b <= cut as u64)
+                    .max()
+                    .copied()
+                    .unwrap_or(8);
+                assert_eq!(healed, expect, "cut at {cut}: tail not trimmed");
+            }
+            Err(DurabilityError::WalHeader { .. }) => {
+                // Only a partially-written header fails closed.
+                assert!((1..8).contains(&cut), "cut at {cut} must parse");
+            }
+            Err(other) => panic!("cut at {cut}: unexpected error {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn submit_is_durable_before_acknowledgement() {
     let dir = tmp_dir("ack");
     let req = UnlearnRequest::new(1, vec![3, 4, 5]);

@@ -228,6 +228,7 @@ fn window_overflow_keeps_healthy_tcp_workers_connected() {
     let assign = TrainAssign {
         round: 0,
         seed: 3,
+        nonce: goldfish_fed::transport::round_nonce(3, 0),
         global: &global,
         cfg: &cfg,
     };
@@ -292,8 +293,8 @@ fn straggler_is_dropped_and_round_rerun_deterministically() {
 
     let state_len = (spec.factory())(0).state_len();
     let cfg = TcpConfig {
-        limits: FrameLimits::default(),
         read_timeout: Duration::from_millis(1500),
+        ..TcpConfig::default()
     };
     let transport = TcpTransport::accept(&listener, spec.clients, state_len, cfg).unwrap();
     let mut c = Coordinator::new(

@@ -102,6 +102,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 1 => Msg::Capabilities {
                     max_payload: a,
                     state_len: b,
+                    agg_mode: (c % 4) as u8,
+                    agg_param: a ^ b,
                 },
                 2 => Msg::RoundAssign {
                     mode: if a % 2 == 0 {
@@ -111,6 +113,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     },
                     round: b,
                     seed: c,
+                    nonce: a ^ b ^ c,
                     cfg,
                     global: floats,
                 },
@@ -118,6 +121,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     round: a,
                     client_id: b,
                     weight: c,
+                    nonce: a ^ c,
                     state: floats,
                 },
                 4 => Msg::UnlearnAssign {
@@ -130,6 +134,7 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     round: a,
                     client_id: b,
                     weight: c,
+                    nonce: b ^ c,
                     state: floats,
                 },
                 6 => Msg::Eval {

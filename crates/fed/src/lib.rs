@@ -53,6 +53,7 @@ pub mod aggregate;
 pub mod eval;
 pub mod federation;
 pub mod pool;
+pub mod sampling;
 pub mod trainer;
 pub mod transport;
 

@@ -83,6 +83,11 @@ pub enum UpdateViolation {
     },
     /// A second update from the same client within one round.
     Duplicate,
+    /// Handling this client's reply panicked inside the coordinator
+    /// (a poisoned frame or a faulted handler). The panic is confined
+    /// to the sender: it earns a strike and costs the connection, never
+    /// the coordinator.
+    HandlerPanic,
 }
 
 impl UpdateViolation {
@@ -93,6 +98,7 @@ impl UpdateViolation {
             UpdateViolation::DeltaNorm => 2,
             UpdateViolation::StaleNonce { .. } => 3,
             UpdateViolation::Duplicate => 4,
+            UpdateViolation::HandlerPanic => 5,
         }
     }
 }
@@ -106,6 +112,9 @@ impl std::fmt::Display for UpdateViolation {
                 write!(f, "stale round nonce {got:#x} (expected {want:#x})")
             }
             UpdateViolation::Duplicate => write!(f, "duplicate update in one round"),
+            UpdateViolation::HandlerPanic => {
+                write!(f, "reply handling panicked in the coordinator")
+            }
         }
     }
 }
@@ -353,6 +362,49 @@ pub trait RoundTransport {
                     state: &u.state,
                 })
             })
+        }));
+    }
+
+    /// Runs one training round over the given **sampled cohort** only
+    /// (`(client_id, num_samples)` ascending by id — a subset of what
+    /// [`RoundTransport::cohort_into`] reported), feeding delivered
+    /// updates to `sink` as they arrive. Clients outside the cohort are
+    /// not contacted and must produce no `results` entries.
+    ///
+    /// The default delegates to [`RoundTransport::train_round_streamed`]
+    /// (contacting everyone) and silently discards deliveries from
+    /// outside the cohort — correct for transports without a targeted
+    /// send path (loopback-style transports override this to skip the
+    /// wasted compute; the TCP reactor overrides it to skip the wasted
+    /// wire traffic).
+    fn train_round_sampled(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        cohort: &[(usize, usize)],
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        let mut filtered = |u: StreamedUpdate<'_>| -> Result<(), TransportError> {
+            if cohort
+                .binary_search_by_key(&u.client_id, |&(id, _)| id)
+                .is_err()
+            {
+                return Ok(());
+            }
+            sink(u)
+        };
+        let mut raw = Vec::new();
+        self.train_round_streamed(assign, &mut filtered, &mut raw);
+        results.clear();
+        // Only cohort members' outcomes count: an uncontacted client
+        // can neither fail nor satisfy a sampled round.
+        results.extend(raw.into_iter().filter(|r| {
+            match r {
+                Ok(()) => true,
+                Err(e) => e
+                    .client_id()
+                    .is_none_or(|id| cohort.binary_search_by_key(&id, |&(cid, _)| cid).is_ok()),
+            }
         }));
     }
 
@@ -677,6 +729,16 @@ pub struct RoundRuntime {
     threads: Option<usize>,
     window: usize,
     robust: RobustConfig,
+    /// Per-round cohort fraction (DESIGN.md §14); `None` keeps the
+    /// everyone-every-round behaviour.
+    sampling: Option<f64>,
+    /// Registry snapshot scratch for sampled rounds.
+    registry: Vec<(usize, usize)>,
+    /// The round's pinned sampled cohort (eligibility is fixed at the
+    /// draw; re-round attempts only ever shrink it).
+    pinned: Vec<(usize, usize)>,
+    /// Rank scratch of [`crate::sampling::sample_cohort_into`].
+    rank_scratch: Vec<(u64, usize, usize)>,
     /// Lifetime strike counts, `(client_id, strikes)` ascending by id.
     strikes: Vec<(usize, u32)>,
     /// Clients evicted for crossing the strike budget — excluded from
@@ -701,6 +763,10 @@ impl RoundRuntime {
             threads,
             window,
             robust: RobustConfig::default(),
+            sampling: None,
+            registry: Vec::new(),
+            pinned: Vec::new(),
+            rank_scratch: Vec::new(),
             strikes: Vec::new(),
             quarantined: BTreeSet::new(),
             events: Vec::new(),
@@ -721,6 +787,23 @@ impl RoundRuntime {
     /// The active robustness policy.
     pub fn robustness(&self) -> &RobustConfig {
         &self.robust
+    }
+
+    /// The active cohort-sampling fraction (`None` = everyone).
+    pub fn sampling(&self) -> Option<f64> {
+        self.sampling
+    }
+
+    /// Enables (or disables, with `None`) per-round cohort sampling:
+    /// each [`RoundRuntime::run_hot`] round draws a deterministic
+    /// `ceil(fraction · registry)` cohort via
+    /// [`crate::sampling::sample_cohort_into`], seeded from the round
+    /// seed, instead of assigning every registered client. Requires a
+    /// transport with a registry ([`RoundTransport::cohort_into`]
+    /// non-empty); registry-less transports fall back to the unsampled
+    /// path.
+    pub fn set_sampling(&mut self, fraction: Option<f64>) {
+        self.sampling = fraction;
     }
 
     /// Installs a robustness policy (takes effect next round).
@@ -830,12 +913,53 @@ impl RoundRuntime {
         // still-connected attacker cannot wedge the re-round loop).
         let mut excluded: BTreeSet<usize> = BTreeSet::new();
         let global_norm = l2_norm(assign.global);
+        // A sampled round pins its cohort **once**, before any attempt:
+        // the draw is a pure function of (round seed, registry,
+        // fraction), so eligibility cannot drift when re-round attempts
+        // shrink the live set (DESIGN.md §14). `pinned_round` stays
+        // false for registry-less transports, which keep the unsampled
+        // path.
+        let mut pinned_round = false;
+        if let Some(fraction) = self.sampling {
+            transport.cohort_into(&mut self.registry);
+            self.registry
+                .retain(|&(id, _)| !self.quarantined.contains(&id));
+            if !self.registry.is_empty() {
+                crate::sampling::sample_cohort_into(
+                    crate::sampling::cohort_seed(assign.seed),
+                    fraction,
+                    &self.registry,
+                    &mut self.pinned,
+                    &mut self.rank_scratch,
+                );
+                pinned_round = true;
+            }
+        }
         loop {
-            transport.cohort_into(&mut self.cohort);
-            self.cohort
-                .retain(|&(id, _)| !self.quarantined.contains(&id) && !excluded.contains(&id));
+            if pinned_round {
+                // Each attempt covers the still-live pinned members —
+                // a mid-round disconnect shrinks the attempt, it never
+                // re-draws from the shrunken registry.
+                transport.cohort_into(&mut self.registry);
+                let registry = &self.registry;
+                let quarantined = &self.quarantined;
+                self.cohort.clear();
+                self.cohort
+                    .extend(self.pinned.iter().copied().filter(|&(id, _)| {
+                        registry.binary_search_by_key(&id, |&(rid, _)| rid).is_ok()
+                            && !quarantined.contains(&id)
+                            && !excluded.contains(&id)
+                    }));
+            } else {
+                transport.cohort_into(&mut self.cohort);
+                self.cohort
+                    .retain(|&(id, _)| !self.quarantined.contains(&id) && !excluded.contains(&id));
+            }
             if self.cohort.is_empty() {
-                if transport.num_clients() > self.quarantined.len() && excluded.is_empty() {
+                if !pinned_round
+                    && transport.num_clients() > self.quarantined.len()
+                    && excluded.is_empty()
+                {
                     // Transport without a registry: buffered fallback.
                     let updates = collect_round(|| transport.train_round(assign))?;
                     let agg = pool::install(self.threads, || {
@@ -937,7 +1061,11 @@ impl RoundRuntime {
                     agg.offer(u.client_id, u.state)
                         .map_err(|e| map_aggregate_error(u.client_id, e))
                 };
-                transport.train_round_streamed(assign, sink, results);
+                if pinned_round {
+                    transport.train_round_sampled(assign, cohort, sink, results);
+                } else {
+                    transport.train_round_streamed(assign, sink, results);
+                }
             });
             if self.results.is_empty() {
                 return Err(TransportError::NoLiveClients);
@@ -1019,7 +1147,26 @@ impl RoundRuntime {
                     if self.results.iter().all(|r| r.is_err()) {
                         return Err(TransportError::NoLiveClients);
                     }
-                    let remaining = transport.num_clients();
+                    // Progress under sampling is measured against the
+                    // **pinned cohort**, not the whole registry: losing
+                    // one sampled straggler leaves thousands of live
+                    // clients, so `num_clients()` would never shrink and
+                    // the error would wrongly propagate.
+                    let remaining = if pinned_round {
+                        transport.cohort_into(&mut self.registry);
+                        let registry = &self.registry;
+                        let quarantined = &self.quarantined;
+                        self.pinned
+                            .iter()
+                            .filter(|&&(id, _)| {
+                                registry.binary_search_by_key(&id, |&(rid, _)| rid).is_ok()
+                                    && !quarantined.contains(&id)
+                                    && !excluded.contains(&id)
+                            })
+                            .count()
+                    } else {
+                        transport.num_clients()
+                    };
                     if remaining > 0 && (remaining < n_before || newly_excluded) {
                         // Progress was made — stragglers dropped from the
                         // live set or violators excluded from the cohort;

@@ -8,7 +8,7 @@
 //!                      [--loopback] [--state-dir DIR] [--verify-audit]
 //!                      [--kill-at OP] [--aggregation MODE] [--quorum F]
 //!                      [--max-strikes K] [--max-delta-norm X]
-//!                      [--byzantine CLIENT:SCRIPT]
+//!                      [--byzantine CLIENT:SCRIPT] [--cohort-fraction F]
 //! ```
 //!
 //! The workload is the deterministic demo workload (`goldfish_serve::demo`):
@@ -36,6 +36,12 @@
 //! the fault-injection layer corrupt that client's uploads — the CI
 //! Byzantine demo drives one scripted attacker into quarantine and
 //! reads the verdict back out of the audit chain.
+//!
+//! Sampling (DESIGN.md §14): `--cohort-fraction F` (0 < F ≤ 1) draws a
+//! seeded `ceil(F·registered)` cohort of the registered workers each
+//! round instead of fanning out to everyone — deterministic in
+//! `(round_seed, registry)`, so a crash-restarted coordinator re-samples
+//! the identical cohort.
 
 use std::path::Path;
 
@@ -290,6 +296,13 @@ fn apply_robustness_flags(mut cfg: CoordinatorConfig) -> CoordinatorConfig {
     }
     if let Some(x) = value_of("--max-delta-norm") {
         cfg = cfg.with_max_delta_norm(x.parse().expect("--max-delta-norm expects a bound"));
+    }
+    if let Some(f) = value_of("--cohort-fraction") {
+        let f: f64 = f
+            .parse()
+            .expect("--cohort-fraction expects a fraction in (0, 1]");
+        assert!(f > 0.0 && f <= 1.0, "--cohort-fraction out of (0, 1]");
+        cfg = cfg.with_cohort_fraction(f);
     }
     cfg
 }

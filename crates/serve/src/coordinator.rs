@@ -63,6 +63,12 @@ pub struct CoordinatorConfig {
     /// strike budget, delta-norm admission bound). The default is the
     /// bitwise reference path: plain mean, strict re-round, no strikes.
     pub robust: RobustConfig,
+    /// Per-round cohort sampling fraction (`--cohort-fraction`):
+    /// `Some(f)` draws a seeded `ceil(f · registered)` subset of the
+    /// registered clients each round (deterministic in `(round_seed,
+    /// registry)` — see `goldfish_fed::sampling`); `None` keeps the
+    /// full-participation reference path.
+    pub cohort_fraction: Option<f64>,
 }
 
 impl Default for CoordinatorConfig {
@@ -76,6 +82,7 @@ impl Default for CoordinatorConfig {
             read_timeout: None,
             update_window: 0,
             robust: RobustConfig::default(),
+            cohort_fraction: None,
         }
     }
 }
@@ -119,6 +126,13 @@ impl CoordinatorConfig {
     /// (`--max-delta-norm`).
     pub fn with_max_delta_norm(mut self, limit: f64) -> Self {
         self.robust.max_delta_norm = Some(limit);
+        self
+    }
+
+    /// Enables seeded per-round cohort sampling at this fraction of the
+    /// registered clients (`--cohort-fraction`).
+    pub fn with_cohort_fraction(mut self, fraction: f64) -> Self {
+        self.cohort_fraction = Some(fraction);
         self
     }
 }
@@ -290,6 +304,7 @@ impl<T: ServeTransport> Coordinator<T> {
         }
         let mut runtime = RoundRuntime::new(cfg.threads, cfg.update_window);
         runtime.set_robustness(cfg.robust);
+        runtime.set_sampling(cfg.cohort_fraction);
         Coordinator {
             factory,
             test,

@@ -83,11 +83,18 @@ pub enum ByzantineScript {
     StaleRound,
     /// Deliver the update twice in one round (duplicate-frame attack).
     Duplicate,
+    /// Panic while the coordinator handles this worker's reply — the
+    /// scripted stand-in for a bug in reply decoding or aggregation.
+    /// The reactor must contain it to a typed per-client
+    /// `Rejected(HandlerPanic)` failure (worker dropped, round goes
+    /// on), never a coordinator abort.
+    Panic,
 }
 
 impl ByzantineScript {
     /// Parses the daemon-flag syntax: `scale:F`, `signflip`,
-    /// `noise:AMP` or `noise:AMP:SEED`, `replay`, `stale`, `dup`.
+    /// `noise:AMP` or `noise:AMP:SEED`, `replay`, `stale`, `dup`,
+    /// `panic`.
     pub fn parse(s: &str) -> Option<ByzantineScript> {
         let mut parts = s.split(':');
         let head = parts.next()?;
@@ -106,6 +113,7 @@ impl ByzantineScript {
             "replay" => ByzantineScript::Replay,
             "stale" => ByzantineScript::StaleRound,
             "dup" => ByzantineScript::Duplicate,
+            "panic" => ByzantineScript::Panic,
             _ => return None,
         };
         if parts.next().is_some() {
@@ -368,74 +376,7 @@ impl<T: ServeTransport> RoundTransport for FaultyTransport<T> {
         } = self;
         let mut scratch: Vec<f32> = Vec::new();
         let mut filtered = |u: StreamedUpdate<'_>| {
-            if drops.contains(&u.client_id) {
-                return Err(TransportError::Disconnected {
-                    client_id: u.client_id,
-                    reason: "fault injection: reply dropped".into(),
-                });
-            }
-            let Some(script) = plan.byz.get(&u.client_id) else {
-                return sink(u);
-            };
-            match script {
-                ByzantineScript::Scale { factor } => {
-                    scratch.clear();
-                    scratch.extend(u.state.iter().map(|v| v * factor));
-                    sink(StreamedUpdate {
-                        state: &scratch,
-                        ..u
-                    })
-                }
-                ByzantineScript::SignFlip => {
-                    scratch.clear();
-                    scratch.extend(u.state.iter().map(|v| -v));
-                    sink(StreamedUpdate {
-                        state: &scratch,
-                        ..u
-                    })
-                }
-                ByzantineScript::Noise { amp, seed } => {
-                    let mut rng = StdRng::seed_from_u64(
-                        seed ^ u.nonce ^ (u.client_id as u64).wrapping_mul(0x9E37_79B9),
-                    );
-                    scratch.clear();
-                    scratch.extend(u.state.iter().map(|v| v + rng.gen_range(-amp..=*amp)));
-                    sink(StreamedUpdate {
-                        state: &scratch,
-                        ..u
-                    })
-                }
-                ByzantineScript::Replay => {
-                    let prev = replay.insert(u.client_id, (u.nonce, u.state.to_vec()));
-                    match prev {
-                        // A genuinely stale frame: last round's state
-                        // under last round's nonce.
-                        Some((nonce, state)) => {
-                            scratch.clear();
-                            scratch.extend_from_slice(&state);
-                            sink(StreamedUpdate {
-                                nonce,
-                                state: &scratch,
-                                ..u
-                            })
-                        }
-                        None => sink(u),
-                    }
-                }
-                ByzantineScript::StaleRound => sink(StreamedUpdate {
-                    nonce: u.nonce ^ 0x5741_4C45,
-                    ..u
-                }),
-                ByzantineScript::Duplicate => {
-                    // Both frames are delivered; the recorded outcome is
-                    // the second one's verdict, which is what a
-                    // transport that observed its client double-send
-                    // would report.
-                    let first = sink(u);
-                    let second = sink(u);
-                    first.and(second)
-                }
-            }
+            filter_update(&drops, plan, &mut *replay, &mut scratch, &mut *sink, u)
         };
         inner.train_round_streamed(assign, &mut filtered, results);
         for (id, r) in results.iter_mut().enumerate() {
@@ -448,8 +389,141 @@ impl<T: ServeTransport> RoundTransport for FaultyTransport<T> {
         }
     }
 
+    fn train_round_sampled(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        cohort: &[(usize, usize)],
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            results.clear();
+            results.extend(cohort.iter().map(|&(id, _)| Err(self.dead_error(id))));
+            return;
+        }
+        if fate.kill_after {
+            let mut discard = |_u: StreamedUpdate<'_>| Ok(());
+            let mut inner_results = Vec::new();
+            self.inner
+                .train_round_sampled(assign, cohort, &mut discard, &mut inner_results);
+            self.killed = true;
+            results.clear();
+            results.extend(cohort.iter().map(|&(id, _)| Err(self.dead_error(id))));
+            return;
+        }
+        if fate.drops.is_empty() && self.plan.byz.is_empty() {
+            self.inner
+                .train_round_sampled(assign, cohort, sink, results);
+            return;
+        }
+        // Same interception point as the full-fan-out path; a sink
+        // error (including a drop suppression) surfaces through the
+        // inner transport's own `results` entry for that client.
+        let drops = fate.drops;
+        let FaultyTransport {
+            inner,
+            plan,
+            replay,
+            ..
+        } = self;
+        let mut scratch: Vec<f32> = Vec::new();
+        let mut filtered = |u: StreamedUpdate<'_>| {
+            filter_update(&drops, plan, &mut *replay, &mut scratch, &mut *sink, u)
+        };
+        inner.train_round_sampled(assign, cohort, &mut filtered, results);
+    }
+
     fn quarantine(&mut self, client_id: usize) -> bool {
         self.inner.quarantine(client_id)
+    }
+}
+
+/// Applies drop suppression and the client's Byzantine script (if any)
+/// to one streamed update before it reaches the real aggregation
+/// `sink` — shared by the full-fan-out and sampled-cohort paths.
+fn filter_update(
+    drops: &[usize],
+    plan: &FaultPlan,
+    replay: &mut BTreeMap<usize, (u64, Vec<f32>)>,
+    scratch: &mut Vec<f32>,
+    sink: &mut UpdateSink<'_>,
+    u: StreamedUpdate<'_>,
+) -> Result<(), TransportError> {
+    if drops.contains(&u.client_id) {
+        return Err(TransportError::Disconnected {
+            client_id: u.client_id,
+            reason: "fault injection: reply dropped".into(),
+        });
+    }
+    let Some(script) = plan.byzantine_script(u.client_id) else {
+        return sink(u);
+    };
+    match script {
+        ByzantineScript::Scale { factor } => {
+            scratch.clear();
+            scratch.extend(u.state.iter().map(|v| v * factor));
+            sink(StreamedUpdate {
+                state: scratch,
+                ..u
+            })
+        }
+        ByzantineScript::SignFlip => {
+            scratch.clear();
+            scratch.extend(u.state.iter().map(|v| -v));
+            sink(StreamedUpdate {
+                state: scratch,
+                ..u
+            })
+        }
+        ByzantineScript::Noise { amp, seed } => {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ u.nonce ^ (u.client_id as u64).wrapping_mul(0x9E37_79B9),
+            );
+            scratch.clear();
+            scratch.extend(u.state.iter().map(|v| v + rng.gen_range(-amp..=*amp)));
+            sink(StreamedUpdate {
+                state: scratch,
+                ..u
+            })
+        }
+        ByzantineScript::Replay => {
+            let prev = replay.insert(u.client_id, (u.nonce, u.state.to_vec()));
+            match prev {
+                // A genuinely stale frame: last round's state under
+                // last round's nonce.
+                Some((nonce, state)) => {
+                    scratch.clear();
+                    scratch.extend_from_slice(&state);
+                    sink(StreamedUpdate {
+                        nonce,
+                        state: scratch,
+                        ..u
+                    })
+                }
+                None => sink(u),
+            }
+        }
+        ByzantineScript::StaleRound => sink(StreamedUpdate {
+            nonce: u.nonce ^ 0x5741_4C45,
+            ..u
+        }),
+        ByzantineScript::Duplicate => {
+            // Both frames are delivered; the recorded outcome is the
+            // second one's verdict, which is what a transport that
+            // observed its client double-send would report.
+            let first = sink(u);
+            let second = sink(u);
+            first.and(second)
+        }
+        // The panic unwinds out of the reply handler the transport
+        // invoked; the reactor's catch_unwind must turn it into a
+        // typed per-client failure.
+        ByzantineScript::Panic => panic!(
+            "fault injection: scripted reply-handler panic (client {})",
+            u.client_id
+        ),
     }
 }
 

@@ -1,0 +1,233 @@
+//! Single-threaded worker **fleet host** (DESIGN.md §14).
+//!
+//! The high-fanout benchmarks register thousands of workers; a thread
+//! per [`crate::worker::WorkerRuntime`] would exhaust any test box long
+//! before the coordinator's reactor breaks a sweat. [`run_fleet`] hosts
+//! an arbitrary number of worker runtimes on **one** thread: each
+//! connects and handshakes in turn (the coordinator's accept loop
+//! multiplexes, so sequential dialing cannot deadlock it), then all
+//! sockets go non-blocking onto a private [`polling::Poller`] and a
+//! small per-connection state machine answers assignments as they
+//! arrive:
+//!
+//! ```text
+//! Read ──frame──► WorkerRuntime::handle ──reply──► Write ──flushed──► Read
+//!   │                                                │
+//!   └── Shutdown / EOF → retire            fatal Err → flush, retire
+//! ```
+//!
+//! The compute inside `handle` is the library's own `train_local_ce` /
+//! `ClientDistiller::round` — the same functions a real worker daemon
+//! runs — so a fleet-hosted federation stays bitwise identical to a
+//! daemon-per-worker one; only the socket plumbing is shared.
+
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+
+use polling::{Event, Events, Poller};
+
+use crate::nio::{FrameReadState, FrameWriteState};
+use crate::wire::{
+    decode_msg, encode_frame_into, read_frame, write_frame, FrameLimits, Msg, WireError,
+};
+use crate::worker::WorkerRuntime;
+
+/// How a fleet run ended, per connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Workers retired by a coordinator `Shutdown` frame.
+    pub clean_shutdowns: usize,
+    /// Workers retired by a disconnect, an I/O failure, or a fatal
+    /// protocol reply (expected in tests that drop stragglers).
+    pub dropped: usize,
+}
+
+/// What one fleet connection is doing between readiness events.
+enum Phase {
+    /// Awaiting the next coordinator frame.
+    Read,
+    /// Flushing a reply; `fatal` retires the connection once flushed
+    /// (the reply was a protocol `Err`).
+    Write { fatal: bool },
+}
+
+struct FleetConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    rd: FrameReadState,
+    wr: FrameWriteState,
+    phase: Phase,
+}
+
+/// How the event handler left one connection.
+enum Outcome {
+    /// Re-armed in the poller; nothing to do.
+    Parked,
+    /// Done (cleanly or not): deregister, close, tally.
+    Retire { clean: bool },
+}
+
+/// Connects every runtime to `addr`, performs its
+/// `Hello`/`Capabilities` handshake, then serves all of them from this
+/// one thread until each is retired by `Shutdown` or disconnect.
+/// Returns how the fleet wound down.
+///
+/// # Errors
+///
+/// [`WireError`] on a handshake failure (a coordinator that rejects any
+/// fleet member at dial time) or a poller failure; per-connection I/O
+/// failures after the handshake are counted as drops, not errors.
+pub fn run_fleet(
+    addr: &str,
+    runtimes: &mut [WorkerRuntime],
+    limits: &FrameLimits,
+) -> Result<FleetReport, WireError> {
+    polling::raise_nofile_limit().ok();
+    let poller = Poller::new()?;
+    let mut events = Events::new();
+    let mut conns: Vec<Option<FleetConn>> = Vec::with_capacity(runtimes.len());
+    for runtime in runtimes.iter() {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_frame(&mut stream, &runtime.hello(), limits)?;
+        let (reply, _) = read_frame(&mut stream, limits)?;
+        match reply {
+            Msg::Capabilities { state_len, .. } => {
+                if state_len as usize != runtime.state_len() {
+                    return Err(WireError::Malformed(format!(
+                        "coordinator model has {state_len} params, worker {} has {}",
+                        runtime.client_id(),
+                        runtime.state_len()
+                    )));
+                }
+            }
+            Msg::Err { code, detail } => {
+                return Err(WireError::Malformed(format!(
+                    "coordinator rejected worker {} (code {code}): {detail}",
+                    runtime.client_id()
+                )));
+            }
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "expected Capabilities for worker {}, got {}",
+                    runtime.client_id(),
+                    other.name()
+                )));
+            }
+        }
+        stream.set_nonblocking(true)?;
+        let key = conns.len();
+        poller.add(stream.as_raw_fd(), Event::readable(key))?;
+        conns.push(Some(FleetConn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            rd: FrameReadState::new(),
+            wr: FrameWriteState::new(),
+            phase: Phase::Read,
+        }));
+    }
+    let mut report = FleetReport::default();
+    let mut live = conns.len();
+    while live > 0 {
+        poller.wait(&mut events, None)?;
+        for ev in events.iter() {
+            let idx = ev.key;
+            let Some(slot) = conns.get_mut(idx) else {
+                continue;
+            };
+            let outcome = 'conn: {
+                let Some(conn) = slot.as_mut() else {
+                    break 'conn Outcome::Parked;
+                };
+                // Drive the state machine until it parks (WouldBlock)
+                // or retires; a reply usually flushes in the same
+                // readiness event that delivered its assignment.
+                loop {
+                    match conn.phase {
+                        Phase::Read => {
+                            match conn.rd.poll(&mut conn.stream, &mut conn.rbuf, limits) {
+                                Ok(None) => {
+                                    if poller
+                                        .modify(conn.stream.as_raw_fd(), Event::readable(idx))
+                                        .is_err()
+                                    {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    }
+                                    break 'conn Outcome::Parked;
+                                }
+                                Err(_) => break 'conn Outcome::Retire { clean: false },
+                                Ok(Some((kind, _))) => {
+                                    let Ok(msg) = decode_msg(kind, &conn.rbuf) else {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    };
+                                    if matches!(msg, Msg::Shutdown) {
+                                        break 'conn Outcome::Retire { clean: true };
+                                    }
+                                    if matches!(msg, Msg::Err { .. }) {
+                                        // A coordinator-side eviction
+                                        // notice (e.g. quarantine).
+                                        break 'conn Outcome::Retire { clean: false };
+                                    }
+                                    let Some(runtime) = runtimes.get_mut(idx) else {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    };
+                                    let reply = runtime.handle(msg);
+                                    let fatal = matches!(reply, Msg::Err { .. });
+                                    if encode_frame_into(&reply, &mut conn.wbuf, limits).is_err() {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    }
+                                    conn.wr.reset();
+                                    conn.phase = Phase::Write { fatal };
+                                }
+                            }
+                        }
+                        Phase::Write { fatal } => {
+                            match conn.wr.poll(&mut conn.stream, &conn.wbuf) {
+                                Ok(false) => {
+                                    if poller
+                                        .modify(conn.stream.as_raw_fd(), Event::writable(idx))
+                                        .is_err()
+                                    {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    }
+                                    break 'conn Outcome::Parked;
+                                }
+                                Err(_) => break 'conn Outcome::Retire { clean: false },
+                                Ok(true) => {
+                                    if fatal {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    }
+                                    conn.rd.reset();
+                                    conn.phase = Phase::Read;
+                                    // Level-triggered re-arm: a frame
+                                    // already buffered fires instantly.
+                                    if poller
+                                        .modify(conn.stream.as_raw_fd(), Event::readable(idx))
+                                        .is_err()
+                                    {
+                                        break 'conn Outcome::Retire { clean: false };
+                                    }
+                                    break 'conn Outcome::Parked;
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            if let Outcome::Retire { clean } = outcome {
+                if let Some(conn) = slot.take() {
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    live -= 1;
+                    if clean {
+                        report.clean_shutdowns += 1;
+                    } else {
+                        report.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}

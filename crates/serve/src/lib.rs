@@ -8,8 +8,17 @@
 //!   f32 codec, with explicit max-frame-size and version checks),
 //! * [`tcp`] — the coordinator-side [`tcp::TcpTransport`] implementing
 //!   `goldfish_fed::transport::RoundTransport` and
-//!   `goldfish_core::transport::DistillTransport` over one socket per
-//!   worker (thread-per-connection, blocking I/O, per-client timeouts),
+//!   `goldfish_core::transport::DistillTransport`: a single-threaded
+//!   readiness reactor (DESIGN.md §14) owning every worker socket
+//!   behind one `polling`-style poller — non-blocking framed I/O with
+//!   per-connection state machines, per-client deadlines enforced via
+//!   the poll timeout, and reply-handler panics contained to typed
+//!   per-client failures,
+//! * [`nio`] — the resumable non-blocking frame
+//!   reader/writer state machines the reactor and fleet host drive,
+//! * [`fleet`] — [`fleet::run_fleet`]: any number of worker runtimes
+//!   served from one thread behind one poller (the 4096-connection
+//!   bench harness),
 //! * [`transport`] — the in-process [`transport::LoopbackTransport`]:
 //!   the same contract over `goldfish_fed`'s/`goldfish_core`'s loopback
 //!   executors, the reference every TCP run is bitwise-checked against,
@@ -21,8 +30,9 @@
 //!   request-then-retrain flow),
 //! * [`coordinator`] — the [`coordinator::Coordinator`]: owns the global
 //!   state and the queue, drives training rounds and unlearning requests
-//!   over any transport, with straggler drop + re-round and
-//!   arrival-order-independent aggregation,
+//!   over any transport, with straggler drop + re-round,
+//!   arrival-order-independent aggregation, and deterministic seeded
+//!   cohort sampling (`cohort_fraction`, DESIGN.md §14),
 //! * [`demo`] — the deterministic demo workload both daemons derive
 //!   from `(seed, clients, samples)` so they agree on data without any
 //!   file exchange,
@@ -50,6 +60,8 @@ pub mod demo;
 pub mod digest;
 pub mod durability;
 pub mod fault;
+pub mod fleet;
+pub mod nio;
 pub mod queue;
 pub mod tcp;
 pub mod transport;

@@ -1,0 +1,322 @@
+//! Non-blocking framed I/O state machines (DESIGN.md §14).
+//!
+//! The reactor ([`crate::tcp`]) and the worker fleet host
+//! ([`crate::fleet`]) own many sockets on one thread, so neither can
+//! block inside a frame. The two state machines here carry a frame
+//! across any number of partial reads/writes:
+//!
+//! * [`FrameReadState`] — accumulates the 10-byte GFWP header, then the
+//!   payload into a caller-owned (pooled) buffer; `poll` returns
+//!   `Ok(None)` on `WouldBlock` and `Ok(Some((kind, frame_len)))` when
+//!   a frame completes.
+//! * [`FrameWriteState`] — a cursor over an already-encoded frame;
+//!   `poll` returns `Ok(false)` on `WouldBlock` and `Ok(true)` when the
+//!   frame is fully flushed to the socket.
+//!
+//! EOF semantics mirror [`crate::wire::read_raw_frame`] exactly: a
+//! clean close **between** frames is `WireError::Io(UnexpectedEof)`,
+//! a close **inside** a frame is [`WireError::DisconnectedMidFrame`] —
+//! the distinction that drives reconnect/backoff policy.
+
+use std::io::{Read, Write};
+
+use crate::wire::{decode_header, FrameLimits, WireError, HEADER_LEN};
+
+/// Incremental reader of one length-prefixed frame.
+#[derive(Debug)]
+pub struct FrameReadState {
+    header: [u8; HEADER_LEN],
+    /// Bytes of the header received so far.
+    filled: usize,
+    /// Decoded `(kind, payload_len)` once the header is complete.
+    decoded: Option<(u8, usize)>,
+    /// Payload bytes received so far.
+    payload_filled: usize,
+}
+
+impl FrameReadState {
+    /// An empty reader, ready for a frame's first byte.
+    pub fn new() -> FrameReadState {
+        FrameReadState {
+            header: [0u8; HEADER_LEN],
+            filled: 0,
+            decoded: None,
+            payload_filled: 0,
+        }
+    }
+
+    /// Forgets any partial frame (connection reuse across fan-outs).
+    pub fn reset(&mut self) {
+        self.filled = 0;
+        self.decoded = None;
+        self.payload_filled = 0;
+    }
+
+    /// Whether any bytes of the current frame have arrived — what turns
+    /// a subsequent EOF into [`WireError::DisconnectedMidFrame`].
+    pub fn mid_frame(&self) -> bool {
+        self.filled > 0
+    }
+
+    /// Advances the frame as far as `r` allows without blocking. The
+    /// payload lands in `buf` (cleared and resized on header
+    /// completion, reusing capacity). Returns `Ok(Some((kind,
+    /// frame_len)))` when the frame is complete — the state resets
+    /// itself for the next frame — or `Ok(None)` when `r` would block.
+    ///
+    /// # Errors
+    ///
+    /// Header/limit violations from [`decode_header`], I/O errors, and
+    /// the EOF split described at module level.
+    pub fn poll(
+        &mut self,
+        r: &mut impl Read,
+        buf: &mut Vec<u8>,
+        limits: &FrameLimits,
+    ) -> Result<Option<(u8, usize)>, WireError> {
+        loop {
+            if self.decoded.is_none() {
+                // Header phase: byte-counted so a close at offset 0
+                // stays distinguishable from a mid-header close.
+                match r.read(&mut self.header[self.filled..]) {
+                    Ok(0) => {
+                        return Err(if self.filled == 0 {
+                            WireError::Io {
+                                kind: std::io::ErrorKind::UnexpectedEof,
+                                detail: "clean eof before frame".into(),
+                            }
+                        } else {
+                            WireError::DisconnectedMidFrame {
+                                got: self.filled,
+                                want: HEADER_LEN,
+                            }
+                        });
+                    }
+                    Ok(n) => {
+                        self.filled += n;
+                        if self.filled < HEADER_LEN {
+                            continue;
+                        }
+                        let (kind, len) = decode_header(&self.header, limits)?;
+                        self.decoded = Some((kind, len));
+                        self.payload_filled = 0;
+                        buf.clear();
+                        buf.resize(len, 0);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+                continue;
+            }
+            let Some((kind, len)) = self.decoded else {
+                continue;
+            };
+            if self.payload_filled == len {
+                self.reset();
+                return Ok(Some((kind, HEADER_LEN + len)));
+            }
+            match r.read(&mut buf[self.payload_filled..len]) {
+                Ok(0) => {
+                    return Err(WireError::DisconnectedMidFrame {
+                        got: HEADER_LEN + self.payload_filled,
+                        want: HEADER_LEN + len,
+                    });
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl Default for FrameReadState {
+    fn default() -> FrameReadState {
+        FrameReadState::new()
+    }
+}
+
+/// Incremental writer of one already-encoded frame.
+#[derive(Debug)]
+pub struct FrameWriteState {
+    pos: usize,
+}
+
+impl FrameWriteState {
+    /// A writer at the start of a frame.
+    pub fn new() -> FrameWriteState {
+        FrameWriteState { pos: 0 }
+    }
+
+    /// Rewinds to the start of (the next) frame.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Bytes of the current frame already written.
+    pub fn written(&self) -> usize {
+        self.pos
+    }
+
+    /// Writes as much of `frame` as `w` accepts without blocking.
+    /// Returns `Ok(true)` when the frame is fully written (the cursor
+    /// resets for the next frame), `Ok(false)` when `w` would block.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; a writer accepting zero bytes is reported as
+    /// [`std::io::ErrorKind::WriteZero`].
+    pub fn poll(&mut self, w: &mut impl Write, frame: &[u8]) -> Result<bool, WireError> {
+        while self.pos < frame.len() {
+            match w.write(&frame[self.pos..]) {
+                Ok(0) => {
+                    return Err(WireError::Io {
+                        kind: std::io::ErrorKind::WriteZero,
+                        detail: "socket accepted zero bytes".into(),
+                    });
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+impl Default for FrameWriteState {
+    fn default() -> FrameWriteState {
+        FrameWriteState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_frame, Msg};
+
+    /// A reader delivering its bytes in scripted chunk sizes with
+    /// `WouldBlock` between chunks — the worst-case interleaving a
+    /// non-blocking socket can produce.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        /// Alternates ready/would-block to exercise the re-poll path.
+        parity: bool,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            self.parity = !self.parity;
+            if self.parity {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = self.chunk.min(self.data.len() - self.pos).min(out.len());
+            if n == 0 {
+                return Ok(0);
+            }
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_reassembles_across_arbitrary_chunking() {
+        let limits = FrameLimits::default();
+        let msg = Msg::Err {
+            code: 7,
+            detail: "split me into tiny pieces".into(),
+        };
+        let frame = encode_frame(&msg, &limits).unwrap();
+        for chunk in [1, 2, 3, 7, frame.len()] {
+            let mut r = Trickle {
+                data: frame.clone(),
+                pos: 0,
+                chunk,
+                parity: false,
+            };
+            let mut st = FrameReadState::new();
+            let mut buf = Vec::new();
+            let done = loop {
+                match st.poll(&mut r, &mut buf, &limits).unwrap() {
+                    Some(done) => break done,
+                    None => continue,
+                }
+            };
+            assert_eq!(done.1, frame.len());
+            let decoded = crate::wire::decode_msg(done.0, &buf).unwrap();
+            assert!(matches!(decoded, Msg::Err { code: 7, .. }), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn eof_split_clean_vs_mid_frame() {
+        let limits = FrameLimits::default();
+        let frame = encode_frame(&Msg::Ack, &limits).unwrap();
+
+        // Clean EOF before any byte.
+        let mut st = FrameReadState::new();
+        let mut buf = Vec::new();
+        let mut empty: &[u8] = &[];
+        let err = st.poll(&mut empty, &mut buf, &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                ..
+            }
+        ));
+
+        // EOF after a partial header: the peer died mid-frame.
+        let mut st = FrameReadState::new();
+        let mut partial: &[u8] = &frame[..4];
+        // First poll consumes the 4 bytes then hits EOF inside the
+        // header.
+        let err = st.poll(&mut partial, &mut buf, &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::DisconnectedMidFrame { got: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn write_resumes_after_would_block() {
+        struct OneByte {
+            out: Vec<u8>,
+            parity: bool,
+        }
+        impl std::io::Write for OneByte {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.parity = !self.parity;
+                if self.parity {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.out.push(data[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let limits = FrameLimits::default();
+        let frame = encode_frame(&Msg::Shutdown, &limits).unwrap();
+        let mut w = OneByte {
+            out: Vec::new(),
+            parity: false,
+        };
+        let mut st = FrameWriteState::new();
+        let mut polls = 0;
+        while !st.poll(&mut w, &frame).unwrap() {
+            polls += 1;
+            assert!(polls < 10_000, "writer wedged");
+        }
+        assert_eq!(w.out, frame);
+        assert_eq!(st.written(), 0); // cursor reset for the next frame
+    }
+}

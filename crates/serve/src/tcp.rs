@@ -1,13 +1,20 @@
-//! The coordinator-side TCP transport.
+//! The coordinator-side TCP transport — a single-threaded readiness
+//! reactor (DESIGN.md §14).
 //!
-//! One blocking socket per worker (thread-per-connection: each round
-//! fans its frame exchange out over a `std::thread::scope`, so the pool
-//! is bounded by the live-connection count), per-client read timeouts
-//! for liveness, and byte counters for the wire-cost benchmarks. A
-//! client that times out, disconnects, or answers out of protocol is
-//! dropped from the live set and reported as a typed
-//! [`TransportError`]; the round driver then re-rounds over the
-//! survivors.
+//! One non-blocking socket per worker, all owned by one event loop: a
+//! vendored oneshot `epoll` poller ([`polling::Poller`]) reports
+//! readiness, and per-connection frame state machines
+//! ([`crate::nio::FrameReadState`] / [`crate::nio::FrameWriteState`])
+//! carry each frame across partial reads and writes. A fan-out
+//! therefore costs zero thread spawns regardless of fleet size —
+//! thousands of registered workers multiplex onto the coordinator
+//! thread — while replies still reach the caller **in arrival order**,
+//! so aggregation keeps overlapping straggler I/O exactly as the old
+//! thread-per-connection layer did. Liveness is a per-fan-out deadline
+//! (`read_timeout` from the fan-out's start); a client that misses it,
+//! disconnects, or answers out of protocol is dropped from the live set
+//! and reported as a typed [`TransportError`], and the round driver
+//! re-rounds over the survivors.
 //!
 //! Hot-path machinery (DESIGN.md §11):
 //!
@@ -18,28 +25,45 @@
 //! * **Pooled frame buffers** — every connection owns a reusable payload
 //!   read buffer, and decoded update states go through a shared buffer
 //!   pool, so a steady-state round re-uses the same allocations.
-//! * **Streaming replies** — connection threads hand each decoded update
-//!   to the caller *as it arrives* over a channel, which is what lets
-//!   the coordinator's [`goldfish_fed::transport::RoundRuntime`] fold
-//!   updates while stragglers are still on the wire.
+//! * **Streaming replies** — each completed reply frame is decoded and
+//!   handed to the caller the moment the reactor reads its last byte,
+//!   which is what lets the coordinator's
+//!   [`goldfish_fed::transport::RoundRuntime`] fold updates while
+//!   stragglers are still on the wire.
+//! * **Cohort fan-outs** — sampled rounds
+//!   ([`goldfish_fed::transport::RoundTransport::train_round_sampled`])
+//!   write frames only to the sampled subset; every other registered
+//!   connection stays parked in the poller untouched, so a
+//!   4096-registered / 64-sampled round costs 64 frame exchanges.
+//!
+//! Two panic paths of the old layer are structurally gone: there is no
+//! cross-thread channel to `expect` on (a panicking reply handler is
+//! caught and converted into a typed
+//! [`goldfish_fed::transport::UpdateViolation::HandlerPanic`] rejection
+//! that costs the client its connection, never the coordinator), and
+//! reconnect admission binds the listener once with `let`–`else`
+//! instead of re-`unwrap`ing shared state mid-drain.
 
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc;
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use goldfish_core::transport::{DistillTransport, UnlearnJob};
 use goldfish_fed::aggregate::ClientUpdate;
 use goldfish_fed::transport::{
-    RoundTransport, StreamedUpdate, TrainAssign, TransportError, UpdateSink,
+    RoundTransport, StreamedUpdate, TrainAssign, TransportError, UpdateSink, UpdateViolation,
 };
+use polling::{Event, Events, Poller};
 
+use crate::nio::{FrameReadState, FrameWriteState};
 use crate::queue::UnlearnRequest;
 use crate::transport::{LocalEval, ServeTransport, WireStats};
 use crate::wire::{
-    decode_msg, decode_update_into, encode_eval_request_into, encode_round_assign_into,
-    encode_unlearn_assign_into, err_code, kind as wire_kind, read_raw_frame, write_frame,
-    FrameLimits, Msg, RoundMode, UpdateHeader, WireError,
+    decode_msg, decode_update_into, encode_eval_request_into, encode_frame,
+    encode_round_assign_into, encode_unlearn_assign_into, err_code, kind as wire_kind,
+    read_raw_frame, write_frame, FrameLimits, Msg, RoundMode, UpdateHeader, WireError,
 };
 
 /// Socket policy of a [`TcpTransport`].
@@ -47,7 +71,8 @@ use crate::wire::{
 pub struct TcpConfig {
     /// Frame-size limits (both directions).
     pub limits: FrameLimits,
-    /// Per-reply read deadline; a worker exceeding it is dropped as a
+    /// Per-fan-out reply deadline: every contacted worker must answer
+    /// within this much of the fan-out's start or be dropped as a
     /// straggler. Reconfigurable after accept via
     /// [`ServeTransport::set_read_timeout`] (the coordinator builder's
     /// knob).
@@ -74,12 +99,34 @@ impl Default for TcpConfig {
     }
 }
 
+/// Poller key of the reconnect/accept listener — outside the client-id
+/// space, which is `0..conns.len()`.
+const LISTENER_KEY: usize = usize::MAX;
+
 struct Conn {
     stream: TcpStream,
     num_samples: usize,
     /// Reusable payload read buffer — frames land here, so a
     /// steady-state connection never allocates to receive.
     rbuf: Vec<u8>,
+    /// Incremental reader of the in-flight reply frame.
+    rd: FrameReadState,
+    /// Incremental writer of the in-flight assignment frame.
+    wr: FrameWriteState,
+}
+
+/// A connection mid-handshake during [`TcpTransport::accept`]: reading
+/// its `Hello`, then flushing the verdict (`Capabilities` or `Err`).
+struct Handshake {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rd: FrameReadState,
+    wr: FrameWriteState,
+    /// The encoded verdict frame; empty while the `Hello` is still
+    /// being read.
+    reply: Vec<u8>,
+    /// `Some((client_id, num_samples))` when the verdict is acceptance.
+    accepted: Option<(usize, usize)>,
 }
 
 /// The networked [`ServeTransport`]: a registry of worker connections
@@ -110,6 +157,10 @@ pub struct TcpTransport {
     /// Client ids evicted via [`RoundTransport::quarantine`]. Banned
     /// ids are refused readmission even with a valid resume token.
     banned: std::collections::BTreeSet<usize>,
+    /// The reactor: one oneshot poller owning every in-flight socket.
+    poller: Poller,
+    /// Reusable readiness buffer for [`Poller::wait`].
+    events: Events,
 }
 
 /// One round-shaped fan-out's borrowed parameters (train or distill).
@@ -122,7 +173,7 @@ struct RoundSpec<'a> {
     global: &'a [f32],
 }
 
-/// A decoded worker reply leaving a connection thread.
+/// A decoded worker reply leaving the reactor.
 enum Reply {
     /// `Update` / `UnlearnResult` with the state decoded into a pooled
     /// buffer.
@@ -140,93 +191,228 @@ enum Reply {
 }
 
 impl TcpTransport {
-    /// Accepts `expected` workers on `listener`. Each must open with a
-    /// valid `Hello` (unique client id below `expected`, matching
-    /// `state_len`); invalid peers get a typed `Err` frame and are
-    /// dropped without consuming a slot.
+    /// Accepts `expected` workers on `listener`, multiplexing every
+    /// in-flight handshake on the reactor (a stalled or malicious
+    /// half-connected peer cannot block the fleet from forming). Each
+    /// worker must open with a valid `Hello` (unique client id below
+    /// `expected`, matching `state_len`); invalid peers get a typed
+    /// `Err` frame and are dropped without consuming a slot.
     ///
     /// # Errors
     ///
-    /// [`WireError`] on listener failures.
+    /// [`WireError`] on listener or poller failures.
     pub fn accept(
         listener: &TcpListener,
         expected: usize,
         state_len: usize,
         cfg: TcpConfig,
     ) -> Result<TcpTransport, WireError> {
+        // High-fanout fleets exceed default shell fd limits; lifting
+        // the soft limit is idempotent and failure is non-fatal (small
+        // fleets fit anyway).
+        polling::raise_nofile_limit().ok();
+        /// How the reactor left one in-flight handshake.
+        enum HsStep {
+            /// Re-armed (or no-op); keep waiting.
+            Parked,
+            /// Invalid / dead peer: deregister, release any id
+            /// reservation, close.
+            Abandon,
+            /// Verdict flushed: promote an acceptance into a
+            /// registered connection (a rejection just closes).
+            Promote,
+        }
+        let poller = Poller::new()?;
+        let mut events = Events::new();
         let mut conns: Vec<Option<Conn>> = (0..expected).map(|_| None).collect();
-        let mut registered = 0;
-        let mut rbuf = Vec::new();
-        while registered < expected {
-            let (mut stream, _) = listener.accept()?;
-            stream.set_nodelay(true).ok();
-            stream.set_read_timeout(Some(cfg.read_timeout)).ok();
-            let hello = match read_raw_frame(&mut stream, &mut rbuf, &cfg.limits)
-                .and_then(|(kind, _)| decode_msg(kind, &rbuf))
-            {
-                Ok(msg) => msg,
-                Err(_) => continue, // bad opener; next candidate
-            };
-            let Msg::Hello {
-                client_id,
-                state_len: worker_len,
-                num_samples,
-                // A resume token at startup is fine: a worker that
-                // outlived a crashed coordinator re-registers into its
-                // old slot here (slots are keyed by client id, so
-                // cohort/round seeds are unperturbed).
-                resume: _,
-            } = hello
-            else {
-                let _ = write_frame(
-                    &mut stream,
-                    &Msg::Err {
-                        code: err_code::BAD_REQUEST,
-                        detail: "expected Hello".into(),
-                    },
-                    &cfg.limits,
-                );
-                continue;
-            };
-            let id = client_id as usize;
-            if id >= expected || conns[id].is_some() {
-                let _ = write_frame(
-                    &mut stream,
-                    &Msg::Err {
-                        code: err_code::BAD_REQUEST,
-                        detail: format!("client id {id} invalid or already registered"),
-                    },
-                    &cfg.limits,
-                );
-                continue;
+        let mut registered = 0usize;
+        if expected > 0 {
+            listener.set_nonblocking(true)?;
+            poller.add(listener.as_raw_fd(), Event::readable(LISTENER_KEY))?;
+            // Pending handshakes, keyed `expected + index` in the
+            // poller so keys never collide with registered client ids.
+            let mut pending: Vec<Option<Handshake>> = Vec::new();
+            // Ids claimed by a still-flushing acceptance — two pending
+            // handshakes cannot both be granted one slot.
+            let mut reserved: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+            while registered < expected {
+                poller.wait(&mut events, None)?;
+                for ev in events.iter() {
+                    if ev.key == LISTENER_KEY {
+                        while let Ok((stream, _)) = listener.accept() {
+                            stream.set_nodelay(true).ok();
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let key = expected + pending.len();
+                            if poller.add(stream.as_raw_fd(), Event::readable(key)).is_ok() {
+                                pending.push(Some(Handshake {
+                                    stream,
+                                    rbuf: Vec::new(),
+                                    rd: FrameReadState::new(),
+                                    wr: FrameWriteState::new(),
+                                    reply: Vec::new(),
+                                    accepted: None,
+                                }));
+                            }
+                        }
+                        poller.modify(listener.as_raw_fd(), Event::readable(LISTENER_KEY))?;
+                        continue;
+                    }
+                    let Some(idx) = ev.key.checked_sub(expected) else {
+                        continue;
+                    };
+                    let Some(slot) = pending.get_mut(idx) else {
+                        continue;
+                    };
+                    let step = 'hs: {
+                        let Some(hs) = slot.as_mut() else {
+                            break 'hs HsStep::Parked;
+                        };
+                        if hs.reply.is_empty() {
+                            // Awaiting the opener.
+                            match hs.rd.poll(&mut hs.stream, &mut hs.rbuf, &cfg.limits) {
+                                Ok(None) => {
+                                    if poller
+                                        .modify(hs.stream.as_raw_fd(), Event::readable(ev.key))
+                                        .is_err()
+                                    {
+                                        HsStep::Abandon
+                                    } else {
+                                        HsStep::Parked
+                                    }
+                                }
+                                Err(_) => HsStep::Abandon,
+                                Ok(Some((kind, _))) => {
+                                    let verdict: Result<(usize, usize), (u16, String)> =
+                                        match decode_msg(kind, &hs.rbuf) {
+                                            Err(_) => break 'hs HsStep::Abandon,
+                                            Ok(Msg::Hello {
+                                                client_id,
+                                                state_len: worker_len,
+                                                num_samples,
+                                                // A resume token at
+                                                // startup is fine: a
+                                                // worker that outlived a
+                                                // crashed coordinator
+                                                // re-registers into its
+                                                // old slot here.
+                                                resume: _,
+                                            }) => {
+                                                let id = client_id as usize;
+                                                if id >= expected
+                                                    || conns[id].is_some()
+                                                    || reserved.contains(&id)
+                                                {
+                                                    Err((
+                                                        err_code::BAD_REQUEST,
+                                                        format!(
+                                                            "client id {id} invalid or already registered"
+                                                        ),
+                                                    ))
+                                                } else if worker_len as usize != state_len {
+                                                    Err((
+                                                        err_code::BAD_STATE_LEN,
+                                                        format!(
+                                                            "model has {state_len} params, worker says {worker_len}"
+                                                        ),
+                                                    ))
+                                                } else {
+                                                    Ok((id, num_samples as usize))
+                                                }
+                                            }
+                                            Ok(_) => Err((
+                                                err_code::BAD_REQUEST,
+                                                "expected Hello".into(),
+                                            )),
+                                        };
+                                    let msg = match verdict {
+                                        Ok((id, n)) => {
+                                            reserved.insert(id);
+                                            hs.accepted = Some((id, n));
+                                            Msg::Capabilities {
+                                                max_payload: cfg.limits.max_payload as u64,
+                                                state_len: state_len as u64,
+                                                agg_mode: cfg.agg_mode,
+                                                agg_param: cfg.agg_param,
+                                            }
+                                        }
+                                        Err((code, detail)) => Msg::Err { code, detail },
+                                    };
+                                    match encode_frame(&msg, &cfg.limits) {
+                                        Ok(frame) => {
+                                            hs.reply = frame;
+                                            hs.wr.reset();
+                                            if poller
+                                                .modify(
+                                                    hs.stream.as_raw_fd(),
+                                                    Event::writable(ev.key),
+                                                )
+                                                .is_err()
+                                            {
+                                                HsStep::Abandon
+                                            } else {
+                                                HsStep::Parked
+                                            }
+                                        }
+                                        Err(_) => HsStep::Abandon,
+                                    }
+                                }
+                            }
+                        } else {
+                            // Flushing the verdict.
+                            match hs.wr.poll(&mut hs.stream, &hs.reply) {
+                                Ok(false) => {
+                                    if poller
+                                        .modify(hs.stream.as_raw_fd(), Event::writable(ev.key))
+                                        .is_err()
+                                    {
+                                        HsStep::Abandon
+                                    } else {
+                                        HsStep::Parked
+                                    }
+                                }
+                                Err(_) => HsStep::Abandon,
+                                Ok(true) => HsStep::Promote,
+                            }
+                        }
+                    };
+                    match step {
+                        HsStep::Parked => {}
+                        HsStep::Abandon => {
+                            if let Some(hs) = slot.take() {
+                                if let Some((id, _)) = hs.accepted {
+                                    reserved.remove(&id);
+                                }
+                                let _ = poller.delete(hs.stream.as_raw_fd());
+                            }
+                        }
+                        HsStep::Promote => {
+                            if let Some(hs) = slot.take() {
+                                let _ = poller.delete(hs.stream.as_raw_fd());
+                                if let Some((id, num_samples)) = hs.accepted {
+                                    reserved.remove(&id);
+                                    conns[id] = Some(Conn {
+                                        stream: hs.stream,
+                                        num_samples,
+                                        rbuf: hs.rbuf,
+                                        rd: FrameReadState::new(),
+                                        wr: FrameWriteState::new(),
+                                    });
+                                    registered += 1;
+                                }
+                                // Rejected peers drop here, closing the
+                                // socket after the Err frame.
+                            }
+                        }
+                    }
+                }
             }
-            if worker_len as usize != state_len {
-                let _ = write_frame(
-                    &mut stream,
-                    &Msg::Err {
-                        code: err_code::BAD_STATE_LEN,
-                        detail: format!("model has {state_len} params, worker says {worker_len}"),
-                    },
-                    &cfg.limits,
-                );
-                continue;
+            let _ = poller.delete(listener.as_raw_fd());
+            listener.set_nonblocking(false).ok();
+            for hs in pending.into_iter().flatten() {
+                let _ = poller.delete(hs.stream.as_raw_fd());
             }
-            write_frame(
-                &mut stream,
-                &Msg::Capabilities {
-                    max_payload: cfg.limits.max_payload as u64,
-                    state_len: state_len as u64,
-                    agg_mode: cfg.agg_mode,
-                    agg_param: cfg.agg_param,
-                },
-                &cfg.limits,
-            )?;
-            conns[id] = Some(Conn {
-                stream,
-                num_samples: num_samples as usize,
-                rbuf: Vec::new(),
-            });
-            registered += 1;
         }
         Ok(TcpTransport {
             conns,
@@ -240,6 +426,8 @@ impl TcpTransport {
             assign_bufs: Vec::new(),
             state_pool: Mutex::new(Vec::new()),
             banned: std::collections::BTreeSet::new(),
+            poller,
+            events,
         })
     }
 
@@ -251,6 +439,15 @@ impl TcpTransport {
     /// dropped.
     pub fn enable_reconnect(&mut self, listener: TcpListener) {
         self.listener = Some(listener);
+    }
+
+    /// Tears the reconnect listener down mid-run, returning it (e.g.
+    /// to stop admitting during a maintenance window). Subsequent
+    /// [`ServeTransport::admit_reconnects`] calls admit `0` — this is
+    /// the typed path that replaced the old layer's
+    /// `self.listener.as_ref().unwrap()` panic.
+    pub fn disable_reconnect(&mut self) -> Option<TcpListener> {
+        self.listener.take()
     }
 
     /// One reconnect admission attempt: validates the resume `Hello`,
@@ -339,10 +536,15 @@ impl TcpTransport {
             Ok(Msg::Ack) => {}
             _ => return None,
         }
+        // Into the reactor's regime: sockets are non-blocking from
+        // here on.
+        stream.set_nonblocking(true).ok();
         self.conns[id] = Some(Conn {
             stream,
             num_samples: num_samples as usize,
             rbuf: Vec::new(),
+            rd: FrameReadState::new(),
+            wr: FrameWriteState::new(),
         });
         Some(id)
     }
@@ -356,118 +558,248 @@ impl TcpTransport {
             .collect()
     }
 
+    /// Decodes the completed reply frame sitting in `conn.rbuf`.
+    fn decode_reply(
+        kind: u8,
+        conn: &mut Conn,
+        state_pool: &Mutex<Vec<Vec<f32>>>,
+        id: usize,
+    ) -> Result<Reply, TransportError> {
+        match kind {
+            // Update / UnlearnResult: decode the state straight into a
+            // pooled buffer.
+            wire_kind::UPDATE | wire_kind::UNLEARN_RESULT => {
+                let mut state = state_pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop()
+                    .unwrap_or_default();
+                match decode_update_into(kind, &conn.rbuf, &mut state) {
+                    Ok(header) => {
+                        // A train update's weight is the worker's own
+                        // dataset size — authoritative, so a registry
+                        // count that drifted (e.g. a deletion
+                        // re-shipped to a rejoined worker) self-heals.
+                        if !header.distill {
+                            conn.num_samples = header.weight as usize;
+                        }
+                        Ok(Reply::Update { header, state })
+                    }
+                    Err(e) => {
+                        // Failed decodes return their buffer too, or
+                        // the pool leaks.
+                        state_pool
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(state);
+                        Err(map_wire_error(id, e))
+                    }
+                }
+            }
+            _ => match decode_msg(kind, &conn.rbuf).map_err(|e| map_wire_error(id, e))? {
+                Msg::Err { code, detail } => Err(TransportError::Protocol {
+                    client_id: id,
+                    reason: format!("worker error code {code}: {detail}"),
+                }),
+                Msg::Eval { accuracy, mse, .. } => Ok(Reply::Eval { accuracy, mse }),
+                Msg::Ack => Ok(Reply::Ack),
+                Msg::UnlearnAck { num_samples } => Ok(Reply::UnlearnAck {
+                    num_samples: num_samples as usize,
+                }),
+                other => Err(TransportError::Protocol {
+                    client_id: id,
+                    reason: format!("unexpected {} from worker", other.name()),
+                }),
+            },
+        }
+    }
+
     /// The fan-out engine: writes `frames[id]` to every live connection
-    /// with a frame, reads one reply each (concurrently, one thread per
-    /// connection), and hands each decoded reply to `on_reply` **as it
-    /// arrives** on the coordinating thread. Failed connections are
-    /// dropped from the live set afterwards. Wire bytes are tallied into
-    /// `self.stats`.
+    /// with a frame, reads one reply each — all multiplexed on the
+    /// reactor — and hands each decoded reply to `on_reply` **as it
+    /// arrives**. Failed connections are dropped from the live set
+    /// afterwards. Wire bytes are tallied into `stats`.
+    ///
+    /// A panic escaping `on_reply` (a reply handler or sink blowing up
+    /// on one client's bytes) is caught and converted into a
+    /// [`UpdateViolation::HandlerPanic`] rejection for that client
+    /// alone; the round continues for everyone else.
+    #[allow(clippy::too_many_arguments)] // the reactor's shared plumbing; private to this impl
     fn fan_out(
         conns: &mut [Option<Conn>],
         stats: &mut WireStats,
-        limits: FrameLimits,
+        cfg: &TcpConfig,
         state_pool: &Mutex<Vec<Vec<f32>>>,
+        poller: &Poller,
+        events: &mut Events,
         frames: &[Option<&[u8]>],
         mut on_reply: impl FnMut(usize, Result<Reply, TransportError>),
     ) {
-        use std::io::Write;
+        /// Where a connection stands in its frame exchange.
+        #[derive(Clone, Copy)]
+        enum Phase {
+            Write,
+            Read,
+        }
+        let mut phase: Vec<Option<Phase>> = (0..conns.len()).map(|_| None).collect();
         let mut failed: Vec<usize> = Vec::new();
         let (mut sent_total, mut recv_total) = (0u64, 0u64);
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, Result<Reply, TransportError>, u64, u64)>();
-            let mut spawned = 0usize;
-            for (id, slot) in conns.iter_mut().enumerate() {
-                let (Some(conn), Some(frame)) = (slot.as_mut(), frames.get(id).copied().flatten())
-                else {
+        let mut pending = 0usize;
+        for (id, slot) in conns.iter_mut().enumerate() {
+            let (Some(conn), Some(_)) = (slot.as_mut(), frames.get(id).copied().flatten()) else {
+                continue;
+            };
+            conn.rd.reset();
+            conn.wr.reset();
+            match poller.add(conn.stream.as_raw_fd(), Event::writable(id)) {
+                Ok(()) => {
+                    phase[id] = Some(Phase::Write);
+                    pending += 1;
+                }
+                Err(e) => {
+                    failed.push(id);
+                    on_reply(
+                        id,
+                        Err(TransportError::Disconnected {
+                            client_id: id,
+                            reason: format!("reactor registration failed: {e}"),
+                        }),
+                    );
+                }
+            }
+        }
+        let deadline = Instant::now() + cfg.read_timeout;
+        while pending > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let n = match poller.wait(events, Some(deadline - now)) {
+                Ok(n) => n,
+                Err(_) => break, // poller failure: every pending conn times out below
+            };
+            if n == 0 {
+                continue; // timeout or EINTR; the deadline check decides
+            }
+            for ev in events.iter() {
+                let id = ev.key;
+                let Some(ph) = phase.get(id).copied().flatten() else {
                     continue;
                 };
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let mut sent = 0u64;
-                    let mut received = 0u64;
-                    let result = (|| {
-                        conn.stream
-                            .write_all(frame)
-                            .and_then(|()| conn.stream.flush())
-                            .map_err(|e| map_wire_error(id, WireError::from(e)))?;
-                        sent = frame.len() as u64;
-                        let (kind, n) = read_raw_frame(&mut conn.stream, &mut conn.rbuf, &limits)
-                            .map_err(|e| map_wire_error(id, e))?;
-                        received = n as u64;
-                        match kind {
-                            // Update / UnlearnResult: decode the state
-                            // straight into a pooled buffer.
-                            wire_kind::UPDATE | wire_kind::UNLEARN_RESULT => {
-                                let mut state = state_pool
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .pop()
-                                    .unwrap_or_default();
-                                match decode_update_into(kind, &conn.rbuf, &mut state) {
-                                    Ok(header) => {
-                                        // A train update's weight is the
-                                        // worker's own dataset size —
-                                        // authoritative, so a registry
-                                        // count that drifted (e.g. a
-                                        // deletion re-shipped to a
-                                        // rejoined worker) self-heals.
-                                        if !header.distill {
-                                            conn.num_samples = header.weight as usize;
-                                        }
-                                        Ok(Reply::Update { header, state })
-                                    }
-                                    Err(e) => {
-                                        // Failed decodes return their
-                                        // buffer too, or the pool leaks.
-                                        state_pool
-                                            .lock()
-                                            .unwrap_or_else(|e| e.into_inner())
-                                            .push(state);
-                                        Err(map_wire_error(id, e))
-                                    }
+                let Some(conn) = conns.get_mut(id).and_then(|c| c.as_mut()) else {
+                    continue;
+                };
+                // Retire this connection from the fan-out with a typed
+                // failure.
+                macro_rules! fail {
+                    ($err:expr) => {{
+                        phase[id] = None;
+                        pending -= 1;
+                        let _ = poller.delete(conn.stream.as_raw_fd());
+                        failed.push(id);
+                        on_reply(id, Err($err));
+                        continue;
+                    }};
+                }
+                match ph {
+                    Phase::Write => {
+                        let Some(frame) = frames.get(id).copied().flatten() else {
+                            fail!(TransportError::Protocol {
+                                client_id: id,
+                                reason: "frame vanished mid-fan-out".into(),
+                            });
+                        };
+                        match conn.wr.poll(&mut conn.stream, frame) {
+                            Ok(true) => {
+                                sent_total += frame.len() as u64;
+                                conn.rd.reset();
+                                phase[id] = Some(Phase::Read);
+                                if poller
+                                    .modify(conn.stream.as_raw_fd(), Event::readable(id))
+                                    .is_err()
+                                {
+                                    fail!(TransportError::Disconnected {
+                                        client_id: id,
+                                        reason: "reactor re-arm failed".into(),
+                                    });
                                 }
                             }
-                            _ => match decode_msg(kind, &conn.rbuf)
-                                .map_err(|e| map_wire_error(id, e))?
-                            {
-                                Msg::Err { code, detail } => Err(TransportError::Protocol {
-                                    client_id: id,
-                                    reason: format!("worker error code {code}: {detail}"),
-                                }),
-                                Msg::Eval { accuracy, mse, .. } => {
-                                    Ok(Reply::Eval { accuracy, mse })
+                            Ok(false) => {
+                                if poller
+                                    .modify(conn.stream.as_raw_fd(), Event::writable(id))
+                                    .is_err()
+                                {
+                                    fail!(TransportError::Disconnected {
+                                        client_id: id,
+                                        reason: "reactor re-arm failed".into(),
+                                    });
                                 }
-                                Msg::Ack => Ok(Reply::Ack),
-                                Msg::UnlearnAck { num_samples } => Ok(Reply::UnlearnAck {
-                                    num_samples: num_samples as usize,
-                                }),
-                                other => Err(TransportError::Protocol {
-                                    client_id: id,
-                                    reason: format!("unexpected {} from worker", other.name()),
-                                }),
-                            },
+                            }
+                            Err(e) => fail!(map_wire_error(id, e)),
                         }
-                    })();
-                    // The receiver outlives the scope; a send can only
-                    // fail if the coordinating thread panicked.
-                    let _ = tx.send((id, result, sent, received));
-                });
-                spawned += 1;
-            }
-            drop(tx);
-            // Stream replies to the caller in arrival order — this is
-            // where aggregation overlaps with stragglers' I/O.
-            for _ in 0..spawned {
-                let (id, result, sent, received) =
-                    rx.recv().expect("connection thread panicked before send");
-                sent_total += sent;
-                recv_total += received;
-                if result.is_err() {
-                    failed.push(id);
+                    }
+                    Phase::Read => {
+                        match conn.rd.poll(&mut conn.stream, &mut conn.rbuf, &cfg.limits) {
+                            Ok(Some((kind, nbytes))) => {
+                                recv_total += nbytes as u64;
+                                phase[id] = None;
+                                pending -= 1;
+                                let _ = poller.delete(conn.stream.as_raw_fd());
+                                let mut decode_failed = false;
+                                let delivered = catch_unwind(AssertUnwindSafe(|| {
+                                    let reply = Self::decode_reply(kind, conn, state_pool, id);
+                                    decode_failed = reply.is_err();
+                                    on_reply(id, reply);
+                                }));
+                                if decode_failed {
+                                    failed.push(id);
+                                }
+                                if delivered.is_err() {
+                                    // The handler blew up on this
+                                    // client's bytes: its connection is
+                                    // forfeit (the strike ledger keeps
+                                    // `Rejected` conns alive, so the
+                                    // drop happens here), the round
+                                    // continues for everyone else.
+                                    failed.push(id);
+                                    on_reply(
+                                        id,
+                                        Err(TransportError::Rejected {
+                                            client_id: id,
+                                            violation: UpdateViolation::HandlerPanic,
+                                        }),
+                                    );
+                                }
+                            }
+                            Ok(None) => {
+                                if poller
+                                    .modify(conn.stream.as_raw_fd(), Event::readable(id))
+                                    .is_err()
+                                {
+                                    fail!(TransportError::Disconnected {
+                                        client_id: id,
+                                        reason: "reactor re-arm failed".into(),
+                                    });
+                                }
+                            }
+                            Err(e) => fail!(map_wire_error(id, e)),
+                        }
+                    }
                 }
-                on_reply(id, result);
             }
-        });
+        }
+        // Whoever is still mid-exchange missed the deadline.
+        for (id, ph) in phase.iter_mut().enumerate() {
+            if ph.is_none() {
+                continue;
+            }
+            *ph = None;
+            if let Some(conn) = conns.get_mut(id).and_then(|c| c.as_mut()) {
+                let _ = poller.delete(conn.stream.as_raw_fd());
+            }
+            failed.push(id);
+            on_reply(id, Err(TransportError::Timeout { client_id: id }));
+        }
         stats.bytes_sent += sent_total;
         stats.bytes_received += recv_total;
         for id in failed {
@@ -477,25 +809,46 @@ impl TcpTransport {
     }
 
     /// Broadcast form of [`TcpTransport::fan_out`]: one shared,
-    /// encoded-once frame to every live connection.
+    /// encoded-once frame to every live connection — or, with a
+    /// `cohort`, only to the sampled subset (everyone else stays parked
+    /// in the poller, costing nothing this round).
+    #[allow(clippy::too_many_arguments)] // the reactor's shared plumbing; private to this impl
     fn broadcast(
         conns: &mut [Option<Conn>],
         stats: &mut WireStats,
-        limits: FrameLimits,
+        cfg: &TcpConfig,
         state_pool: &Mutex<Vec<Vec<f32>>>,
+        poller: &Poller,
+        events: &mut Events,
         frame: &[u8],
+        cohort: Option<&[(usize, usize)]>,
         on_reply: impl FnMut(usize, Result<Reply, TransportError>),
     ) {
-        let frames: Vec<Option<&[u8]>> = conns.iter().map(|c| c.as_ref().map(|_| frame)).collect();
-        Self::fan_out(conns, stats, limits, state_pool, &frames, on_reply);
+        let frames: Vec<Option<&[u8]>> = conns
+            .iter()
+            .enumerate()
+            .map(|(id, c)| match (c, cohort) {
+                (None, _) => None,
+                (Some(_), None) => Some(frame),
+                (Some(_), Some(cohort)) => cohort
+                    .binary_search_by_key(&id, |&(cid, _)| cid)
+                    .ok()
+                    .map(|_| frame),
+            })
+            .collect();
+        Self::fan_out(
+            conns, stats, cfg, state_pool, poller, events, &frames, on_reply,
+        );
     }
 
     /// Runs a round-shaped fan-out (train or distill) feeding `sink` as
     /// updates arrive, recording per-client outcomes into `results`
-    /// (sorted by client id).
+    /// (sorted by client id). With a `cohort`, only the sampled subset
+    /// is contacted and reported.
     fn round_streamed(
         &mut self,
         spec: &RoundSpec<'_>,
+        cohort: Option<&[(usize, usize)]>,
         sink: &mut UpdateSink<'_>,
         results: &mut Vec<(usize, Result<(), TransportError>)>,
     ) {
@@ -515,6 +868,10 @@ impl TcpTransport {
             results.extend(
                 self.live_clients()
                     .into_iter()
+                    .filter(|&id| match cohort {
+                        None => true,
+                        Some(cohort) => cohort.binary_search_by_key(&id, |&(cid, _)| cid).is_ok(),
+                    })
                     .map(|id| (id, Err(map_wire_error(id, e.clone())))),
             );
             return;
@@ -525,40 +882,54 @@ impl TcpTransport {
             stats,
             bcast,
             state_pool,
+            poller,
+            events,
             ..
         } = self;
         let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
         let mut outcomes: Vec<(usize, Result<(), TransportError>)> = Vec::new();
-        Self::broadcast(conns, stats, cfg.limits, state_pool, bcast, |id, reply| {
-            let outcome = reply.and_then(|r| match r {
-                Reply::Update { header, state } => {
-                    // The nonce is *forwarded*, not checked: the
-                    // streamed path feeds the coordinator's admission
-                    // layer ([`goldfish_fed::transport::RoundRuntime`]),
-                    // which judges stale nonces as typed violations so
-                    // they earn strikes instead of a bare protocol drop.
-                    let result = check_update_header(id, &header, round, want_distill, None)
-                        .and_then(|()| {
-                            sink(StreamedUpdate {
-                                client_id: id,
-                                num_samples: header.weight as usize,
-                                nonce: header.nonce,
-                                state: &state,
-                            })
-                        });
-                    state_pool
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(state);
-                    result
-                }
-                _ => Err(TransportError::Protocol {
-                    client_id: id,
-                    reason: "expected a round result".into(),
-                }),
-            });
-            outcomes.push((id, outcome));
-        });
+        Self::broadcast(
+            conns,
+            stats,
+            cfg,
+            state_pool,
+            poller,
+            events,
+            bcast,
+            cohort,
+            |id, reply| {
+                let outcome = reply.and_then(|r| match r {
+                    Reply::Update { header, state } => {
+                        // The nonce is *forwarded*, not checked: the
+                        // streamed path feeds the coordinator's
+                        // admission layer
+                        // ([`goldfish_fed::transport::RoundRuntime`]),
+                        // which judges stale nonces as typed violations
+                        // so they earn strikes instead of a bare
+                        // protocol drop.
+                        let result = check_update_header(id, &header, round, want_distill, None)
+                            .and_then(|()| {
+                                sink(StreamedUpdate {
+                                    client_id: id,
+                                    num_samples: header.weight as usize,
+                                    nonce: header.nonce,
+                                    state: &state,
+                                })
+                            });
+                        state_pool
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(state);
+                        result
+                    }
+                    _ => Err(TransportError::Protocol {
+                        client_id: id,
+                        reason: "expected a round result".into(),
+                    }),
+                });
+                outcomes.push((id, outcome));
+            },
+        );
         self.drop_failed_and_sort(&mut outcomes);
         results.append(&mut outcomes);
     }
@@ -576,7 +947,10 @@ impl TcpTransport {
     ///   [`TransportError::DuplicateUpdate`] are admission verdicts:
     ///   the strike/quarantine ledger decides the worker's fate, and
     ///   evicting on the first offense would bypass the configured
-    ///   `max_strikes` budget.
+    ///   `max_strikes` budget. (The one exception is
+    ///   [`UpdateViolation::HandlerPanic`], whose connection the
+    ///   fan-out itself already dropped — the reply bytes blew up the
+    ///   handler, so the socket cannot be trusted for another frame.)
     ///
     /// A [`TransportError::Quarantined`] outcome additionally bans the
     /// client from readmission (the eviction itself happens in
@@ -632,15 +1006,20 @@ impl TcpTransport {
             stats,
             bcast,
             state_pool,
+            poller,
+            events,
             ..
         } = self;
         let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
         Self::broadcast(
             conns,
             stats,
-            tcp_cfg.limits,
+            tcp_cfg,
             state_pool,
+            poller,
+            events,
             bcast,
+            None,
             |id, reply| {
                 let outcome = reply.and_then(|r| match r {
                     Reply::Update { header, state } => {
@@ -786,6 +1165,35 @@ impl RoundTransport for TcpTransport {
                 cfg: assign.cfg,
                 global: assign.global,
             },
+            None,
+            sink,
+            &mut outcomes,
+        );
+        results.clear();
+        results.extend(outcomes.into_iter().map(|(_, r)| r));
+    }
+
+    /// Sampled round: frames go only to the cohort's connections; every
+    /// other registered worker stays parked in the poller, untouched
+    /// and unbilled this round.
+    fn train_round_sampled(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        cohort: &[(usize, usize)],
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        let mut outcomes = Vec::new();
+        self.round_streamed(
+            &RoundSpec {
+                mode: RoundMode::Train,
+                round: assign.round as u64,
+                seed: assign.seed,
+                nonce: assign.nonce,
+                cfg: assign.cfg,
+                global: assign.global,
+            },
+            Some(cohort),
             sink,
             &mut outcomes,
         );
@@ -805,6 +1213,13 @@ impl RoundTransport for TcpTransport {
         let Some(conn) = slot.as_mut() else {
             return false;
         };
+        // Best-effort delivery on the way out: briefly back to blocking
+        // mode with a bounded write timeout so the frame actually
+        // leaves before the socket closes.
+        conn.stream.set_nonblocking(false).ok();
+        conn.stream
+            .set_write_timeout(Some(Duration::from_secs(2)))
+            .ok();
         let _ = write_frame(
             &mut conn.stream,
             &Msg::Err {
@@ -878,6 +1293,8 @@ impl DistillTransport for TcpTransport {
             stats,
             assign_bufs,
             state_pool,
+            poller,
+            events,
             ..
         } = self;
         let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
@@ -891,8 +1308,10 @@ impl DistillTransport for TcpTransport {
         Self::fan_out(
             conns,
             stats,
-            cfg.limits,
+            cfg,
             state_pool,
+            poller,
+            events,
             &frames,
             |id, reply| {
                 let outcome = reply.and_then(|r| match r {
@@ -998,41 +1417,48 @@ impl ServeTransport for TcpTransport {
     }
 
     fn admit_reconnects(&mut self, round: usize, global: &[f32]) -> usize {
-        let Some(listener) = self.listener.as_ref() else {
+        // The typed no-listener path (a fleet torn down mid-run, or one
+        // that never enabled reconnects) admits zero — no unwrap, no
+        // panic, pinned by `tests/reactor.rs`.
+        let Some(listener) = self.listener.take() else {
             return 0;
         };
         // Drain whatever is queued on the listener without blocking the
         // round loop; each candidate then gets a normal (blocking,
-        // deadline-bounded) handshake.
-        if listener.set_nonblocking(true).is_err() {
-            return 0;
-        }
+        // deadline-bounded) handshake. The listener is held by value
+        // while draining, so no aliased re-borrow of `self` is needed.
         let mut admitted = 0;
-        loop {
-            let stream = match self.listener.as_ref().unwrap().accept() {
-                Ok((stream, _)) => stream,
-                Err(_) => break, // WouldBlock or a transient accept error
-            };
-            if self.admit_one(stream, round, global).is_some() {
-                admitted += 1;
+        if listener.set_nonblocking(true).is_ok() {
+            let mut candidates = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                candidates.push(stream);
+            }
+            listener.set_nonblocking(false).ok();
+            for stream in candidates {
+                if self.admit_one(stream, round, global).is_some() {
+                    admitted += 1;
+                }
             }
         }
-        if let Some(listener) = self.listener.as_ref() {
-            listener.set_nonblocking(false).ok();
-        }
+        self.listener = Some(listener);
         admitted
     }
 
     fn set_read_timeout(&mut self, timeout: Duration) {
+        // The reactor enforces this as a per-fan-out deadline; nothing
+        // per-socket to update (connections are non-blocking).
         self.cfg.read_timeout = timeout;
-        for conn in self.conns.iter_mut().flatten() {
-            conn.stream.set_read_timeout(Some(timeout)).ok();
-        }
     }
 
     fn shutdown(&mut self) {
         // Best effort: a worker that already vanished can't be told.
+        // Briefly back to blocking mode so the frame actually flushes
+        // on a socket whose send buffer is busy.
         for conn in self.conns.iter_mut().flatten() {
+            conn.stream.set_nonblocking(false).ok();
+            conn.stream
+                .set_write_timeout(Some(Duration::from_secs(5)))
+                .ok();
             let _ = write_frame(&mut conn.stream, &Msg::Shutdown, &self.cfg.limits);
         }
     }
@@ -1057,34 +1483,46 @@ impl ServeTransport for TcpTransport {
             stats,
             bcast,
             state_pool,
+            poller,
+            events,
             ..
         } = self;
         let state_pool: &Mutex<Vec<Vec<f32>>> = state_pool;
         let mut evals: Vec<(usize, Result<LocalEval, TransportError>)> = Vec::new();
-        Self::broadcast(conns, stats, cfg.limits, state_pool, bcast, |id, reply| {
-            let outcome = reply.and_then(|r| match r {
-                Reply::Eval { accuracy, mse } => Ok(LocalEval {
-                    client_id: id,
-                    accuracy,
-                    mse,
-                }),
-                Reply::Update { state, .. } => {
-                    state_pool
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push(state);
-                    Err(TransportError::Protocol {
+        Self::broadcast(
+            conns,
+            stats,
+            cfg,
+            state_pool,
+            poller,
+            events,
+            bcast,
+            None,
+            |id, reply| {
+                let outcome = reply.and_then(|r| match r {
+                    Reply::Eval { accuracy, mse } => Ok(LocalEval {
                         client_id: id,
-                        reason: "expected an Eval reply, got a round result".into(),
-                    })
-                }
-                Reply::Ack | Reply::UnlearnAck { .. } => Err(TransportError::Protocol {
-                    client_id: id,
-                    reason: "expected an Eval reply, got an acknowledgement".into(),
-                }),
-            });
-            evals.push((id, outcome));
-        });
+                        accuracy,
+                        mse,
+                    }),
+                    Reply::Update { state, .. } => {
+                        state_pool
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(state);
+                        Err(TransportError::Protocol {
+                            client_id: id,
+                            reason: "expected an Eval reply, got a round result".into(),
+                        })
+                    }
+                    Reply::Ack | Reply::UnlearnAck { .. } => Err(TransportError::Protocol {
+                        client_id: id,
+                        reason: "expected an Eval reply, got an acknowledgement".into(),
+                    }),
+                });
+                evals.push((id, outcome));
+            },
+        );
         self.drop_failed_and_sort(&mut evals);
         evals.into_iter().map(|(_, e)| e).collect()
     }

@@ -276,6 +276,61 @@ impl RoundTransport for LoopbackTransport {
         );
     }
 
+    /// Sampled round: only cohort members compute and upload. Workers
+    /// stay 1:1 with client ids (slot `id` always serves client `id`),
+    /// so a client sampled in rounds 3 and 7 reuses *its own* arenas —
+    /// bitwise identical to having trained every round.
+    fn train_round_sampled(
+        &mut self,
+        assign: &TrainAssign<'_>,
+        cohort: &[(usize, usize)],
+        sink: &mut UpdateSink<'_>,
+        results: &mut Vec<Result<(), TransportError>>,
+    ) {
+        while self.workers.len() < self.clients.len() {
+            self.workers.push(LoopbackWorker::new(&self.factory));
+        }
+        self.workers.truncate(self.clients.len());
+        let clients = &self.clients;
+        let workers = &mut self.workers;
+        let quarantined = &self.quarantined;
+        let in_cohort = |id: usize| cohort.binary_search_by_key(&id, |&(cid, _)| cid).is_ok();
+        pool::install(self.threads, || {
+            pool::for_each_slot(workers, |id, w| {
+                if quarantined.contains(&id) || !in_cohort(id) {
+                    return;
+                }
+                let seed = client_seed(assign.seed, id, assign.round);
+                w.net.set_state_vector(assign.global);
+                train_local_hot(
+                    &mut w.net,
+                    &clients[id],
+                    assign.cfg,
+                    &CrossEntropy,
+                    seed,
+                    &mut w.ws,
+                    &mut w.sgd,
+                );
+                w.net.state_vector_into(&mut w.state);
+            });
+        });
+        results.clear();
+        results.extend(
+            self.workers
+                .iter()
+                .enumerate()
+                .filter(|(id, _)| !quarantined.contains(id) && in_cohort(*id))
+                .map(|(id, w)| {
+                    sink(StreamedUpdate {
+                        client_id: id,
+                        num_samples: clients[id].len(),
+                        nonce: assign.nonce,
+                        state: &w.state,
+                    })
+                }),
+        );
+    }
+
     /// Evicts `client_id` from every future cohort and streamed feed.
     fn quarantine(&mut self, client_id: usize) -> bool {
         if client_id >= self.clients.len() {

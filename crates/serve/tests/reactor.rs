@@ -1,0 +1,251 @@
+//! Reactor-era regression gates (DESIGN.md §14).
+//!
+//! * The two thread-per-connection panic paths are gone, pinned by
+//!   typed-behaviour tests: a listener torn down mid-run makes
+//!   `admit_reconnects` admit zero (it used to unwrap a `None`
+//!   listener), and a reply handler that panics becomes a typed
+//!   per-client `Rejected(HandlerPanic)` failure — the worker is
+//!   dropped, the coordinator finishes the round (it used to abort on a
+//!   poisoned channel).
+//! * Seeded cohort sampling over real TCP is bitwise identical to the
+//!   sampled loopback run.
+//! * The single-threaded worker fleet host serves a federation and
+//!   winds down clean on `Shutdown`.
+
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::GoldfishUnlearning;
+use goldfish_fed::transport::{RobustnessEvent, UpdateViolation};
+use goldfish_serve::coordinator::{round_seed, Coordinator, CoordinatorConfig};
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::fault::{ByzantineScript, FaultPlan, FaultyTransport};
+use goldfish_serve::fleet::run_fleet;
+use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+use goldfish_serve::wire::FrameLimits;
+use goldfish_serve::worker::{run_worker, WorkerRuntime};
+
+const SEED: u64 = 42;
+
+fn demo(clients: usize) -> DemoSpec {
+    DemoSpec {
+        clients,
+        samples_per_client: 40,
+        test_samples: 20,
+        seed: 19,
+    }
+}
+
+fn coordinator_config(spec: &DemoSpec) -> CoordinatorConfig {
+    CoordinatorConfig {
+        train: spec.train_config(),
+        method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+            epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+            ..GoldfishLocalConfig::default()
+        }),
+        unlearn_rounds: 1,
+        init_seed: 1,
+        threads: Some(2),
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// Spawns `spec.clients` worker threads against an ephemeral listener
+/// and returns the accepted transport plus the listener (for reconnect
+/// wiring). Workers treat any disconnect as shutdown — some tests drop
+/// them deliberately.
+fn tcp_pair(
+    spec: &DemoSpec,
+) -> (
+    TcpTransport,
+    std::net::TcpListener,
+    Vec<std::thread::JoinHandle<()>>,
+) {
+    let (listener, addr) = bind("127.0.0.1:0").unwrap();
+    let mut workers = Vec::new();
+    for id in 0..spec.clients {
+        let spec = *spec;
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut runtime = WorkerRuntime::new(id, spec.factory(), spec.client_shard(id));
+            let _ = run_worker(&addr, &mut runtime, &FrameLimits::default());
+        }));
+    }
+    let state_len = (spec.factory())(0).state_len();
+    let transport =
+        TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default()).unwrap();
+    (transport, listener, workers)
+}
+
+/// Regression: `admit_reconnects` on a transport whose listener was torn
+/// down mid-run. The thread-per-connection layer unwrapped the listener
+/// option here and panicked the coordinator; the reactor admits zero and
+/// keeps serving.
+#[test]
+fn listener_teardown_mid_run_admits_zero_instead_of_panicking() {
+    let spec = demo(2);
+    let (mut transport, listener, workers) = tcp_pair(&spec);
+    let global = (spec.factory())(1).state_vector();
+
+    // Reconnect enabled, then the listener is torn down between rounds
+    // (operator action / fd pressure / test harness reuse).
+    transport.enable_reconnect(listener);
+    assert!(transport.disable_reconnect().is_some());
+    assert!(transport.disable_reconnect().is_none(), "second teardown");
+
+    // The panic path: admit with no listener. Typed result, no unwrap.
+    assert_eq!(transport.admit_reconnects(1, &global), 0);
+
+    // The coordinator keeps serving full rounds afterwards.
+    let mut c = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(&spec),
+    );
+    let summary = c.train_round(0, round_seed(SEED, 0)).unwrap();
+    assert_eq!(summary.client_sizes.len(), spec.clients);
+
+    c.transport_mut().shutdown();
+    drop(c);
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Regression: a panic while the coordinator handles one client's reply
+/// (scripted via `ByzantineScript::Panic`, unwinding out of the
+/// aggregation sink exactly where a decode/fold bug would). The
+/// thread-per-connection layer died on `rx.recv().expect(..)`; the
+/// reactor contains it to a typed `Rejected(HandlerPanic)` for that
+/// client, drops the connection, and finishes the round over the
+/// survivors.
+#[test]
+fn reply_handler_panic_is_a_typed_per_client_failure() {
+    let spec = demo(2);
+    let (transport, _listener, workers) = tcp_pair(&spec);
+    let transport = FaultyTransport::new(
+        transport,
+        FaultPlan::new().byzantine(1, ByzantineScript::Panic),
+    );
+    let mut c = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(&spec),
+    );
+
+    // The round completes — over the survivor only.
+    let summary = c.train_round(0, round_seed(SEED, 0)).unwrap();
+    assert_eq!(summary.client_sizes, vec![spec.samples_per_client]);
+    assert_eq!(c.transport().inner().live_clients(), vec![0]);
+
+    // The panic surfaced as the typed violation, on the audit channel.
+    assert!(
+        c.robustness_log().iter().any(|e| matches!(
+            e,
+            RobustnessEvent::Violation {
+                client_id: 1,
+                violation: UpdateViolation::HandlerPanic,
+                ..
+            }
+        )),
+        "expected a HandlerPanic violation for client 1, got {:?}",
+        c.robustness_log()
+    );
+
+    // Deterministic survivor round: equals a single-client loopback run.
+    let mut lb = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        LoopbackTransport::new(spec.factory(), vec![spec.client_shard(0)], Some(2)),
+        coordinator_config(&spec),
+    );
+    lb.train_round(0, round_seed(SEED, 0)).unwrap();
+    assert_eq!(c.global_state(), lb.global_state());
+
+    c.transport_mut().shutdown();
+    drop(c);
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Seeded cohort sampling over real TCP sockets is bitwise identical to
+/// the sampled loopback reference — same draws, same aggregates, round
+/// after round.
+#[test]
+fn sampled_tcp_rounds_match_sampled_loopback_bitwise() {
+    let spec = demo(6);
+    let fraction = 0.5;
+    let rounds = 2;
+
+    fn run<T: ServeTransport>(mut c: Coordinator<T>, rounds: usize) -> Vec<f32> {
+        for r in 0..rounds {
+            let summary = c.train_round(r, round_seed(SEED, r)).unwrap();
+            // ceil(0.5 · 6) = 3 members per round, never the full fleet.
+            assert_eq!(summary.client_sizes.len(), 3);
+        }
+        let global = c.global_state().to_vec();
+        c.transport_mut().shutdown();
+        global
+    }
+
+    let lb = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(2)),
+        coordinator_config(&spec).with_cohort_fraction(fraction),
+    );
+    let want = run(lb, rounds);
+
+    let (transport, _listener, workers) = tcp_pair(&spec);
+    let tcp = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(&spec).with_cohort_fraction(fraction),
+    );
+    let got = run(tcp, rounds);
+    assert_eq!(got, want, "sampled TCP diverged from sampled loopback");
+
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// The single-threaded fleet host: eight worker runtimes on one thread
+/// serve a sampled federation and all retire clean on `Shutdown`.
+#[test]
+fn fleet_host_serves_rounds_and_shuts_down_clean() {
+    let spec = demo(8);
+    let (listener, addr) = bind("127.0.0.1:0").unwrap();
+    let fleet = std::thread::spawn(move || {
+        let mut runtimes: Vec<WorkerRuntime> = (0..spec.clients)
+            .map(|id| WorkerRuntime::new(id, spec.factory(), spec.client_shard(id)))
+            .collect();
+        run_fleet(&addr, &mut runtimes, &FrameLimits::default()).unwrap()
+    });
+
+    let state_len = (spec.factory())(0).state_len();
+    let transport =
+        TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default()).unwrap();
+    let mut c = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport,
+        coordinator_config(&spec).with_cohort_fraction(0.25),
+    );
+    for r in 0..2 {
+        let summary = c.train_round(r, round_seed(SEED, r)).unwrap();
+        assert_eq!(summary.client_sizes.len(), 2); // ceil(0.25 · 8)
+    }
+    c.transport_mut().shutdown();
+    drop(c);
+
+    let report = fleet.join().unwrap();
+    assert_eq!(report.clean_shutdowns, spec.clients);
+    assert_eq!(report.dropped, 0);
+}

@@ -1,0 +1,409 @@
+//! Offline stand-in for the `polling` crate: a minimal **oneshot**
+//! readiness poller over Linux `epoll(7)`, shaped after the smol
+//! project's `polling` API surface this workspace needs.
+//!
+//! Semantics:
+//!
+//! * [`Poller::add`] registers a file descriptor with an interest set
+//!   and a caller-chosen `key`; every registration is **oneshot** — once
+//!   an event for the descriptor is delivered, the descriptor is
+//!   disarmed until re-armed via [`Poller::modify`].
+//! * [`Poller::wait`] blocks up to `timeout` and fills an [`Events`]
+//!   buffer. Error/hangup conditions are reported as both readable and
+//!   writable, so the owner performs the I/O and observes the real
+//!   `io::Error` (the same convention mio and polling use).
+//! * All syscalls go through `extern "C"` declarations resolved by the
+//!   platform libc that `std` already links — no external crate, per
+//!   the workspace's vendored-offline policy (DESIGN.md §1).
+//!
+//! The crate also exposes [`raise_nofile_limit`], which lifts
+//! `RLIMIT_NOFILE`'s soft limit to its hard limit so high-fanout
+//! benchmarks (thousands of sockets) run under default shell limits.
+
+#![cfg(target_os = "linux")]
+
+use std::ffi::c_int;
+use std::io;
+use std::time::Duration;
+
+/// Raw file-descriptor type re-exported for callers that avoid
+/// `unsafe` themselves (`std::os::fd::AsRawFd::as_raw_fd` is safe).
+pub type RawFd = std::os::fd::RawFd;
+
+const EPOLL_CLOEXEC: c_int = 0x8_0000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// A readiness interest (on registration) or a delivered readiness
+/// report (out of [`Poller::wait`]), tagged with the registration key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The caller-chosen registration key (connection slot, listener
+    /// sentinel, …) — how `wait` results map back to owners.
+    pub key: usize,
+    /// Interest in / report of read readiness.
+    pub readable: bool,
+    /// Interest in / report of write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read-only interest.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write-only interest.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLONESHOT | EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// Reusable buffer [`Poller::wait`] fills — sized once, reused every
+/// loop iteration so the reactor's steady state never allocates.
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer holding up to 1024 events per wait.
+    pub fn new() -> Events {
+        Events::with_capacity(1024)
+    }
+
+    /// A buffer holding up to `cap` events per wait.
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of events the last wait delivered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last wait delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The delivered events. Error/hangup conditions are folded into
+    /// `readable`/`writable` so owners discover them through the I/O
+    /// call itself.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|e| {
+            let bits = e.events;
+            let fail = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            Event {
+                key: e.data as usize,
+                readable: bits & EPOLLIN != 0 || fail,
+                writable: bits & EPOLLOUT != 0 || fail,
+            }
+        })
+    }
+}
+
+impl Default for Events {
+    fn default() -> Events {
+        Events::new()
+    }
+}
+
+/// The oneshot readiness poller: an owned `epoll` instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: c_int,
+}
+
+// The epoll fd is just an fd; the kernel serializes operations on it.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a poller.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` failure, if any.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, ev: Option<Event>) -> io::Result<()> {
+        let mut raw = EpollEvent {
+            events: ev.map(Event::mask).unwrap_or(0),
+            data: ev.map(|e| e.key as u64).unwrap_or(0),
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut raw) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with `interest` (oneshot: disarmed after the
+    /// first delivery until [`Poller::modify`] re-arms it). The caller
+    /// must keep `fd` open while registered and is responsible for
+    /// putting it in non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Some(interest))
+    }
+
+    /// Re-arms `fd` with a (possibly different) interest set.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Some(interest))
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure (already-closed descriptors
+    /// report `EBADF`, which callers typically ignore on teardown).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits up to `timeout` (`None` = forever) and fills `events`.
+    /// Returns the number of delivered events; `0` means the timeout
+    /// elapsed — or the wait was interrupted by a signal, which is
+    /// reported as an empty delivery so callers re-check their own
+    /// deadline instead of dying on `EINTR`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_wait` failure (other than `EINTR`).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let ms: c_int = match timeout {
+            None => -1,
+            Some(t) => {
+                // Round up so a sub-millisecond deadline still sleeps
+                // instead of busy-spinning at timeout 0.
+                let ms = t
+                    .as_millis()
+                    .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0));
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.raw.as_mut_ptr(),
+                events.raw.len() as c_int,
+                ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// Raises the `RLIMIT_NOFILE` soft limit to the hard limit and returns
+/// the resulting soft limit. High-fanout reactors (thousands of
+/// sockets) call this once at startup; under a default 1024-fd shell
+/// limit that is the difference between a 4096-connection sweep and
+/// `EMFILE`.
+///
+/// # Errors
+///
+/// The `getrlimit`/`setrlimit` failure, if any.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur < lim.rlim_max {
+        lim.rlim_cur = lim.rlim_max;
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_raw_fd(), Event::readable(7)).unwrap();
+        let mut events = Events::new();
+
+        // Nothing to read yet: the wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        a.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+
+        // Oneshot: the delivery disarmed the registration.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // Re-armed, it fires again (the bytes are still unread).
+        poller.modify(b.as_raw_fd(), Event::readable(7)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+
+        let mut buf = [0u8; 8];
+        let mut b2 = &b;
+        assert_eq!(b2.read(&mut buf).unwrap(), 4);
+        poller.delete(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn writable_and_hangup_reports() {
+        let (a, b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(a.as_raw_fd(), Event::writable(3)).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 3);
+        assert!(ev.writable);
+
+        // Peer hangs up: a read-armed registration reports readiness so
+        // the owner's read observes the EOF.
+        poller.modify(a.as_raw_fd(), Event::readable(3)).unwrap();
+        drop(b);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events.iter().next().unwrap().readable);
+    }
+
+    #[test]
+    fn nofile_limit_is_raised() {
+        let lim = raise_nofile_limit().unwrap();
+        assert!(lim >= 1024, "soft NOFILE limit {lim} below any sane floor");
+        // Idempotent.
+        assert_eq!(raise_nofile_limit().unwrap(), lim);
+    }
+}

@@ -8,11 +8,15 @@
 //! wire's only cost is time, never semantics.
 //!
 //! Reported figures: rounds/sec and updates/sec per transport (training
-//! and distillation rounds), and wire bytes per round from the TCP
-//! transport's frame counters.
+//! and distillation rounds), wire bytes per round from the TCP
+//! transport's frame counters, and the reactor's per-phase span means
+//! (poll wait, broadcast encode, reply read) from the telemetry
+//! registry the timed coordinator records into (DESIGN.md §15).
 //!
 //! Flags: `--quick` (smaller federation, fewer samples), `--seed N`,
 //! `--out PATH` (default `BENCH_serve.json`).
+
+use std::sync::Arc;
 
 use goldfish_bench::args;
 use goldfish_bench::report::{self, heap, PerfReport, Table};
@@ -22,9 +26,12 @@ use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
 use goldfish_serve::demo::DemoSpec;
 use goldfish_serve::queue::UnlearnRequest;
 use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::telemetry::ServeTelemetry;
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
 use goldfish_serve::wire::FrameLimits;
 use goldfish_serve::worker::{run_worker, WorkerRuntime};
+use goldfish_telemetry::clock::Clock;
+use goldfish_telemetry::events::Trace;
 
 #[global_allocator]
 static ALLOC: heap::TrackingAlloc = heap::TrackingAlloc;
@@ -58,9 +65,12 @@ fn loopback_coordinator(spec: &DemoSpec) -> Coordinator<LoopbackTransport> {
 }
 
 /// An ephemeral-port TCP federation: worker threads stay alive until
-/// the returned coordinator is dropped.
+/// the returned coordinator is dropped. `telemetry` (when given)
+/// becomes the coordinator's metric catalog, so the reactor's span
+/// histograms survive the coordinator for reporting.
 fn tcp_coordinator(
     spec: &DemoSpec,
+    telemetry: Option<Arc<ServeTelemetry>>,
 ) -> (Coordinator<TcpTransport>, Vec<std::thread::JoinHandle<()>>) {
     let (listener, addr) = bind("127.0.0.1:0").expect("bind");
     let mut workers = Vec::new();
@@ -76,13 +86,10 @@ fn tcp_coordinator(
     let state_len = (spec.factory())(0).state_len();
     let transport = TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default())
         .expect("worker handshake");
+    let mut cfg = coordinator_config(spec);
+    cfg.telemetry = telemetry;
     (
-        Coordinator::new(
-            spec.factory(),
-            spec.test_set(),
-            transport,
-            coordinator_config(spec),
-        ),
+        Coordinator::new(spec.factory(), spec.test_set(), transport, cfg),
         workers,
     )
 }
@@ -115,7 +122,7 @@ fn main() {
     // Identity first: the wire must be a pure transport before its
     // speed means anything.
     let loop_global = run_schedule(&mut loopback_coordinator(&spec), &spec, removed);
-    let (mut tcp, workers) = tcp_coordinator(&spec);
+    let (mut tcp, workers) = tcp_coordinator(&spec, None);
     let tcp_global = run_schedule(&mut tcp, &spec, removed);
     assert_eq!(
         loop_global.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -143,7 +150,10 @@ fn main() {
     let base = heap::reset_peak();
     lb.train_round_hot(0, seed).expect("loopback round");
     let loop_round_heap = heap::peak_delta_bytes(base);
-    let (mut tcp, workers) = tcp_coordinator(&spec);
+    // The timed coordinator records into a real registry: the span
+    // figures below come from the same cells `--metrics-addr` serves.
+    let spans = Arc::new(ServeTelemetry::new(Clock::system(), Trace::disabled()));
+    let (mut tcp, workers) = tcp_coordinator(&spec, Some(Arc::clone(&spans)));
     let before = tcp.transport().wire_stats();
     let r_tcp = rep.time("train_round_tcp", samples, || {
         std::hint::black_box(tcp.train_round(0, seed).expect("tcp round"));
@@ -191,6 +201,27 @@ fn main() {
     );
     rep.speedup("tcp_vs_loopback_round_time", overhead);
     rep.speedup("wire_bytes_per_train_round_tcp", bytes_per_round as f64);
+    // Per-phase reactor spans over the timed rounds, straight from the
+    // registry cells the admin endpoint would serve.
+    let mean_ns = |h: &goldfish_telemetry::registry::Histogram| {
+        if h.count() > 0 {
+            h.sum_nanos() as f64 / h.count() as f64
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "tcp reactor span means: poll wait {:.1} us, broadcast encode {:.1} us, frame read {:.1} us",
+        mean_ns(&spans.poll_wait_seconds) / 1e3,
+        mean_ns(&spans.broadcast_encode_seconds) / 1e3,
+        mean_ns(&spans.frame_read_seconds) / 1e3,
+    );
+    rep.speedup("tcp_poll_wait_ns_mean", mean_ns(&spans.poll_wait_seconds));
+    rep.speedup(
+        "tcp_broadcast_encode_ns_mean",
+        mean_ns(&spans.broadcast_encode_seconds),
+    );
+    rep.speedup("tcp_frame_read_ns_mean", mean_ns(&spans.frame_read_seconds));
     println!(
         "peak per-round heap: loopback hot {loop_round_heap} B, tcp hot {tcp_round_heap} B \
          (peak resident updates: loopback {}, tcp {})",
@@ -231,7 +262,7 @@ fn main() {
     let mut tcp_request_bytes = 0u64;
     let mut tcp_drain_stats = goldfish_serve::coordinator::DrainStats::default();
     for _ in 0..=samples {
-        let (mut c, workers) = tcp_coordinator(&spec);
+        let (mut c, workers) = tcp_coordinator(&spec, None);
         c.submit_unlearn(UnlearnRequest::new(0, (0..removed).collect()))
             .expect("valid request");
         let before = c.transport().wire_stats();

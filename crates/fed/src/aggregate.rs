@@ -410,6 +410,12 @@ impl StreamingMean {
         self.peak_resident
     }
 
+    /// Updates currently parked, waiting for the fold frontier — the
+    /// live value behind the telemetry resident gauge.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
     /// Casts the accumulator into `out` (resized to the state length).
     ///
     /// # Errors
@@ -986,6 +992,16 @@ impl RoundAccumulator {
         match self.rule {
             None => self.mean.peak_resident(),
             Some(_) => self.robust.peak_resident(),
+        }
+    }
+
+    /// Updates currently resident (parked ahead of the streaming fold
+    /// frontier, or everything received under a buffered robust rule) —
+    /// the live value behind the telemetry resident gauge.
+    pub fn resident(&self) -> usize {
+        match self.rule {
+            None => self.mean.resident(),
+            Some(_) => self.robust.offered_count(),
         }
     }
 

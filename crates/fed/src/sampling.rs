@@ -20,6 +20,12 @@
 //! Because the draw is pure, a crash-restarted coordinator that replays
 //! a round under the same round seed re-samples the identical cohort
 //! (pinned by `tests/sampling.rs` and the serve crash-recovery suite).
+//!
+//! The round driver wraps each draw in a telemetry span —
+//! `goldfish_cohort_draw_seconds` on the shared registry, alongside the
+//! `goldfish_cohort_size` gauge (DESIGN.md §15) — so sampling cost at
+//! high fan-in is visible on the admin endpoint without touching the
+//! draw itself.
 
 /// The splitmix64 finalizer — the same mixer the worker backoff jitter
 /// uses, here the one source of per-`(seed, id)` rank bits.

@@ -27,6 +27,9 @@
 
 use goldfish_data::Dataset;
 use goldfish_nn::Network;
+use goldfish_telemetry::clock::Clock;
+use goldfish_telemetry::events::{EventKind, Trace};
+use goldfish_telemetry::registry::{Counter, Gauge, Histogram, Registry};
 
 use std::collections::BTreeSet;
 
@@ -701,6 +704,126 @@ pub enum RobustnessEvent {
     },
 }
 
+/// The round loop's telemetry handles (DESIGN.md §15): counters, gauges
+/// and latency histograms the [`RoundRuntime`] updates as it folds, plus
+/// the event [`Trace`] and the [`Clock`] every span is timed against.
+///
+/// `Default` is fully **detached**: every handle counts into an
+/// unexported atomic and the trace is disabled, so an uninstrumented
+/// runtime pays one relaxed atomic op per update and nothing more.
+/// [`RoundMetrics::register`] binds the same handles into a
+/// [`Registry`] for export. Handles are `Arc`-backed — cloning one is a
+/// refcount bump, never an allocation — and no value read from them
+/// ever feeds back into aggregation, so telemetry-on and telemetry-off
+/// runs stay bitwise identical (pinned by the serve telemetry suite).
+#[derive(Debug, Clone, Default)]
+pub struct RoundMetrics {
+    /// The span-timing clock.
+    pub clock: Clock,
+    /// The structured event ring (disabled by default).
+    pub trace: Trace,
+    /// Rounds committed (full or degraded).
+    pub rounds_total: Counter,
+    /// Rounds that committed on a quorum (partial) fold.
+    pub rounds_degraded_total: Counter,
+    /// Extra attempts the re-round loop ran after drops/rejections.
+    pub reround_attempts_total: Counter,
+    /// Updates accepted by the admission layer and folded.
+    pub updates_admitted_total: Counter,
+    /// Rejections: non-finite state values.
+    pub rejected_non_finite: Counter,
+    /// Rejections: delta norm over the admission bound.
+    pub rejected_delta_norm: Counter,
+    /// Rejections: stale/replayed round nonce.
+    pub rejected_stale_nonce: Counter,
+    /// Rejections: duplicate update within one round.
+    pub rejected_duplicate: Counter,
+    /// Rejections: reply handling panicked in the coordinator.
+    pub rejected_handler_panic: Counter,
+    /// Strikes charged by the reputation ledger.
+    pub strikes_total: Counter,
+    /// Clients evicted over the strike budget.
+    pub quarantines_total: Counter,
+    /// Cohort size of the current/last attempt.
+    pub cohort_size: Gauge,
+    /// High-water mark of simultaneously resident updates.
+    pub resident_peak: Gauge,
+    /// Per-update aggregation fold latency.
+    pub agg_fold_seconds: Histogram,
+    /// Sampled-cohort draw latency.
+    pub cohort_draw_seconds: Histogram,
+}
+
+impl RoundMetrics {
+    /// Registers every handle in `registry` (idempotent by name) and
+    /// stamps spans/events with `clock`/`trace`.
+    pub fn register(registry: &Registry, clock: Clock, trace: Trace) -> RoundMetrics {
+        let rej = |kind: &str| {
+            registry.counter(
+                &format!("goldfish_updates_rejected_total{{kind=\"{kind}\"}}"),
+                "updates rejected by the admission layer, by violation kind",
+            )
+        };
+        RoundMetrics {
+            clock,
+            trace,
+            rounds_total: registry.counter("goldfish_rounds_total", "training rounds committed"),
+            rounds_degraded_total: registry.counter(
+                "goldfish_rounds_degraded_total",
+                "rounds committed on a quorum (partial) fold",
+            ),
+            reround_attempts_total: registry.counter(
+                "goldfish_reround_attempts_total",
+                "extra round attempts after straggler drops or rejections",
+            ),
+            updates_admitted_total: registry.counter(
+                "goldfish_updates_admitted_total",
+                "updates accepted by the admission layer and folded",
+            ),
+            rejected_non_finite: rej("non_finite"),
+            rejected_delta_norm: rej("delta_norm"),
+            rejected_stale_nonce: rej("stale_nonce"),
+            rejected_duplicate: rej("duplicate"),
+            rejected_handler_panic: rej("handler_panic"),
+            strikes_total: registry.counter(
+                "goldfish_strikes_total",
+                "strikes charged by the reputation ledger",
+            ),
+            quarantines_total: registry.counter(
+                "goldfish_quarantines_total",
+                "clients evicted over the strike budget",
+            ),
+            cohort_size: registry.gauge(
+                "goldfish_cohort_size",
+                "cohort size of the current/last round attempt",
+            ),
+            resident_peak: registry.gauge(
+                "goldfish_resident_updates_peak",
+                "high-water mark of simultaneously resident updates",
+            ),
+            agg_fold_seconds: registry.histogram(
+                "goldfish_agg_fold_seconds",
+                "per-update aggregation fold latency",
+            ),
+            cohort_draw_seconds: registry.histogram(
+                "goldfish_cohort_draw_seconds",
+                "sampled-cohort draw latency",
+            ),
+        }
+    }
+
+    /// The rejection counter of one violation kind.
+    pub fn rejected(&self, violation: &UpdateViolation) -> &Counter {
+        match violation {
+            UpdateViolation::NonFinite => &self.rejected_non_finite,
+            UpdateViolation::DeltaNorm => &self.rejected_delta_norm,
+            UpdateViolation::StaleNonce { .. } => &self.rejected_stale_nonce,
+            UpdateViolation::Duplicate => &self.rejected_duplicate,
+            UpdateViolation::HandlerPanic => &self.rejected_handler_panic,
+        }
+    }
+}
+
 /// The persistent streaming round loop — the serve coordinator's hot
 /// path. Where [`RoundDriver`] buffers all N updates, sorts them and
 /// hands the batch to an [`AggregationStrategy`], a `RoundRuntime` folds
@@ -746,6 +869,9 @@ pub struct RoundRuntime {
     quarantined: BTreeSet<usize>,
     events: Vec<RobustnessEvent>,
     outcome: RoundOutcome,
+    /// Telemetry handles (detached unless [`RoundRuntime::set_metrics`]
+    /// bound them to a registry).
+    metrics: RoundMetrics,
 }
 
 impl RoundRuntime {
@@ -771,7 +897,21 @@ impl RoundRuntime {
             quarantined: BTreeSet::new(),
             events: Vec::new(),
             outcome: RoundOutcome::default(),
+            metrics: RoundMetrics::default(),
         }
+    }
+
+    /// Binds the runtime's telemetry handles (typically
+    /// [`RoundMetrics::register`]ed into the coordinator's registry).
+    /// Purely observational: metric values never feed back into
+    /// aggregation, so this cannot change round outputs.
+    pub fn set_metrics(&mut self, metrics: RoundMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The runtime's telemetry handles.
+    pub fn metrics(&self) -> &RoundMetrics {
+        &self.metrics
     }
 
     /// The configured resident-update window (`0` = auto).
@@ -873,6 +1013,25 @@ impl RoundRuntime {
         (now, evict)
     }
 
+    /// Records one committed round into the telemetry handles (counters,
+    /// peak gauge, trace event). No allocation, no feedback into the
+    /// aggregate.
+    fn commit_metrics(&self, round: usize) {
+        self.metrics.rounds_total.inc();
+        if self.outcome.degraded {
+            self.metrics.rounds_degraded_total.inc();
+        }
+        self.metrics
+            .resident_peak
+            .set_max(self.agg.peak_resident() as i64);
+        self.metrics.trace.record(EventKind::RoundCommitted {
+            round: round as u64,
+            reported: self.outcome.reported as u64,
+            cohort: self.outcome.cohort as u64,
+            degraded: u64::from(self.outcome.degraded),
+        });
+    }
+
     /// Runs one streamed federated round over `transport` and writes the
     /// aggregate into `global_out` (reused, so a warm call never
     /// allocates). Straggler policy matches [`collect_round`]: when some
@@ -925,6 +1084,7 @@ impl RoundRuntime {
             self.registry
                 .retain(|&(id, _)| !self.quarantined.contains(&id));
             if !self.registry.is_empty() {
+                let draw_start = self.metrics.clock.now_nanos();
                 crate::sampling::sample_cohort_into(
                     crate::sampling::cohort_seed(assign.seed),
                     fraction,
@@ -932,10 +1092,22 @@ impl RoundRuntime {
                     &mut self.pinned,
                     &mut self.rank_scratch,
                 );
+                self.metrics
+                    .cohort_draw_seconds
+                    .observe_nanos(self.metrics.clock.now_nanos().saturating_sub(draw_start));
                 pinned_round = true;
             }
         }
+        let mut attempt: u64 = 0;
         loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.metrics.reround_attempts_total.inc();
+                self.metrics.trace.record(EventKind::ReRound {
+                    round: assign.round as u64,
+                    attempt,
+                });
+            }
             if pinned_round {
                 // Each attempt covers the still-live pinned members —
                 // a mid-round disconnect shrinks the attempt, it never
@@ -972,11 +1144,29 @@ impl RoundRuntime {
                         reported: updates.len(),
                         cohort: updates.len(),
                     };
+                    self.metrics.rounds_total.inc();
+                    self.metrics
+                        .updates_admitted_total
+                        .add(updates.len() as u64);
+                    self.metrics.cohort_size.set(updates.len() as i64);
+                    self.metrics.trace.record(EventKind::RoundCommitted {
+                        round: assign.round as u64,
+                        reported: updates.len() as u64,
+                        cohort: updates.len() as u64,
+                        degraded: 0,
+                    });
                     return Ok(());
                 }
                 return Err(TransportError::NoLiveClients);
             }
             let n_before = self.cohort.len();
+            self.metrics.cohort_size.set(n_before as i64);
+            if attempt == 1 {
+                self.metrics.trace.record(EventKind::RoundStarted {
+                    round: assign.round as u64,
+                    cohort: n_before as u64,
+                });
+            }
             self.weights.clear();
             self.weights
                 .extend(self.cohort.iter().map(|&(id, n)| (id, n.max(1) as f64)));
@@ -998,6 +1188,7 @@ impl RoundRuntime {
             let skip = &self.quarantined;
             let skip2 = &excluded;
             let results = &mut self.results;
+            let metrics = &self.metrics;
             pool::install(self.threads, || {
                 let sink = &mut |u: StreamedUpdate<'_>| {
                     // Already-judged (or evicted) senders: discard, the
@@ -1045,9 +1236,17 @@ impl RoundRuntime {
                         let rel = delta_norm(assign.global, u.state) / (1.0 + global_norm);
                         if rel.is_finite() && rel > limit {
                             clip_update_into(assign.global, u.state, limit / rel, clip_buf);
-                            return agg
+                            let fold_start = metrics.clock.now_nanos();
+                            let folded = agg
                                 .offer(u.client_id, clip_buf)
                                 .map_err(|e| map_aggregate_error(u.client_id, e));
+                            metrics.agg_fold_seconds.observe_nanos(
+                                metrics.clock.now_nanos().saturating_sub(fold_start),
+                            );
+                            if folded.is_ok() {
+                                metrics.updates_admitted_total.inc();
+                            }
+                            return folded;
                         }
                     } else if let Some(limit) = max_delta {
                         let rel = delta_norm(assign.global, u.state) / (1.0 + global_norm);
@@ -1058,8 +1257,17 @@ impl RoundRuntime {
                             });
                         }
                     }
-                    agg.offer(u.client_id, u.state)
-                        .map_err(|e| map_aggregate_error(u.client_id, e))
+                    let fold_start = metrics.clock.now_nanos();
+                    let folded = agg
+                        .offer(u.client_id, u.state)
+                        .map_err(|e| map_aggregate_error(u.client_id, e));
+                    metrics
+                        .agg_fold_seconds
+                        .observe_nanos(metrics.clock.now_nanos().saturating_sub(fold_start));
+                    if folded.is_ok() {
+                        metrics.updates_admitted_total.inc();
+                    }
+                    folded
                 };
                 if pinned_round {
                     transport.train_round_sampled(assign, cohort, sink, results);
@@ -1094,6 +1302,14 @@ impl RoundRuntime {
                 excluded.insert(client_id);
                 newly_excluded = true;
                 let (strikes, evicted) = self.add_strike(client_id);
+                self.metrics.rejected(&violation).inc();
+                self.metrics.strikes_total.inc();
+                self.metrics.trace.record(EventKind::ClientRejected {
+                    round: assign.round as u64,
+                    client: client_id as u64,
+                    violation: violation.code(),
+                    strikes: u64::from(strikes),
+                });
                 self.events.push(RobustnessEvent::Violation {
                     client_id,
                     violation,
@@ -1101,6 +1317,11 @@ impl RoundRuntime {
                 });
                 if evicted {
                     transport.quarantine(client_id);
+                    self.metrics.quarantines_total.inc();
+                    self.metrics.trace.record(EventKind::Quarantined {
+                        client: client_id as u64,
+                        strikes: u64::from(strikes),
+                    });
                     self.events
                         .push(RobustnessEvent::Quarantined { client_id, strikes });
                 }
@@ -1117,6 +1338,7 @@ impl RoundRuntime {
                     reported: n_before,
                     cohort: n_before,
                 };
+                self.commit_metrics(assign.round);
                 return Ok(());
             }
             // Quorum-degraded finish: enough of the cohort reported —
@@ -1134,6 +1356,7 @@ impl RoundRuntime {
                         reported,
                         cohort: n_before,
                     };
+                    self.commit_metrics(assign.round);
                     return Ok(());
                 }
             }

@@ -9,6 +9,7 @@
 //!                      [--kill-at OP] [--aggregation MODE] [--quorum F]
 //!                      [--max-strikes K] [--max-delta-norm X]
 //!                      [--byzantine CLIENT:SCRIPT] [--cohort-fraction F]
+//!                      [--metrics-addr ADDR] [--trace-out PATH] [--status]
 //! ```
 //!
 //! The workload is the deterministic demo workload (`goldfish_serve::demo`):
@@ -42,12 +43,24 @@
 //! round instead of fanning out to everyone — deterministic in
 //! `(round_seed, registry)`, so a crash-restarted coordinator re-samples
 //! the identical cohort.
+//!
+//! Observability (DESIGN.md §15): `--metrics-addr ADDR` serves the
+//! coordinator's metric catalog on a read-only admin endpoint
+//! (`/metrics` Prometheus text, `/json` snapshot, `/status` table) for
+//! the whole run. `--trace-out PATH` keeps a bounded ring of structured
+//! round events and writes them as JSONL on exit. `--status` is the
+//! one-shot client: it fetches `/status` from a running coordinator's
+//! `--metrics-addr` (default `127.0.0.1:4772`) and exits. Diagnostics
+//! go through the `GOLDFISH_LOG`-leveled stderr logger; result lines
+//! the CI greps stay on stdout.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use goldfish_core::basic_model::GoldfishLocalConfig;
 use goldfish_core::GoldfishUnlearning;
 use goldfish_fed::aggregate::AggregationMode;
+use goldfish_serve::admin::{self, AdminServer};
 use goldfish_serve::audit;
 use goldfish_serve::coordinator::{drain_seed, round_seed, Coordinator, CoordinatorConfig};
 use goldfish_serve::demo::DemoSpec;
@@ -55,7 +68,11 @@ use goldfish_serve::durability::{audit_path, DurableStore};
 use goldfish_serve::fault::{ByzantineScript, FaultPlan, FaultyTransport};
 use goldfish_serve::queue::UnlearnRequest;
 use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::telemetry::ServeTelemetry;
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+use goldfish_telemetry::clock::Clock;
+use goldfish_telemetry::events::Trace;
+use goldfish_telemetry::{error, logger, warn};
 
 /// Exit status of a fault-injected (`--kill-at`) crash, distinct from
 /// real failures so the restart harness can tell them apart.
@@ -108,10 +125,43 @@ fn unlearn_plan() -> Option<UnlearnPlan> {
 fn die(context: &str, e: impl std::fmt::Display) -> ! {
     let text = e.to_string();
     if text.contains("fault injection") {
-        eprintln!("{context}: {text}");
+        error!("{context}: {text}");
         std::process::exit(EXIT_KILLED);
     }
     panic!("{context}: {text}");
+}
+
+/// `--status`: one-shot admin client against a running coordinator's
+/// `--metrics-addr` endpoint.
+fn status() -> ! {
+    let addr = value_of("--metrics-addr").unwrap_or_else(|| "127.0.0.1:4772".to_string());
+    match admin::fetch(addr.as_str(), "/status") {
+        Ok(body) => {
+            print!("{body}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            error!("status fetch from {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--trace-out PATH`: flushes the bounded event ring as JSONL.
+fn write_trace(telemetry: &ServeTelemetry, path: Option<&str>) {
+    let Some(path) = path else {
+        return;
+    };
+    match std::fs::File::create(path).and_then(|mut f| telemetry.trace.write_jsonl(&mut f)) {
+        Ok(n) => {
+            let dropped = telemetry.trace.dropped();
+            if dropped > 0 {
+                warn!("trace ring overflowed: {dropped} event(s) dropped");
+            }
+            println!("trace: {n} event(s) written to {path}");
+        }
+        Err(e) => error!("trace write to {path} failed: {e}"),
+    }
 }
 
 fn serve<T: ServeTransport>(
@@ -225,7 +275,7 @@ fn attach_state_dir<T: ServeTransport>(coordinator: &mut Coordinator<T>) {
     let (store, recovered) =
         DurableStore::open(Path::new(&dir)).unwrap_or_else(|e| panic!("state dir {dir}: {e}"));
     if recovered.fell_back {
-        println!("warning: newest checkpoint unreadable, recovered from the previous one");
+        warn!("newest checkpoint unreadable, recovered from the previous one");
     }
     let resumed = recovered.resumed;
     let served = recovered.served.len();
@@ -268,7 +318,7 @@ fn verify_audit() -> ! {
             std::process::exit(0);
         }
         Err(e) => {
-            eprintln!("audit chain verification FAILED: {e}");
+            error!("audit chain verification FAILED: {e}");
             std::process::exit(1);
         }
     }
@@ -330,9 +380,23 @@ fn apply_byzantine_flags(mut plan: FaultPlan) -> FaultPlan {
 }
 
 fn main() {
+    let clock = Clock::system();
+    logger::init(clock.clone());
+    if flag("--status") {
+        status();
+    }
     if flag("--verify-audit") {
         verify_audit();
     }
+    let trace_out = value_of("--trace-out");
+    let trace = if trace_out.is_some() {
+        // Bounded: a long run can only ever pin ~4096 events of memory;
+        // overflow is counted, not allocated around.
+        Trace::bounded(4096, clock.clone())
+    } else {
+        Trace::disabled()
+    };
+    let telemetry = Arc::new(ServeTelemetry::new(clock, trace));
     let spec = DemoSpec {
         clients: num("--clients", 2),
         samples_per_client: num("--samples", 120),
@@ -354,7 +418,8 @@ fn main() {
         threads: None,
         ..CoordinatorConfig::default()
     }
-    .with_update_window(num("--window", 0usize));
+    .with_update_window(num("--window", 0usize))
+    .with_telemetry(telemetry.clone());
     cfg = apply_robustness_flags(cfg);
     if let Some(ms) = value_of("--read-timeout-ms") {
         let ms: u64 = ms.parse().expect("--read-timeout-ms expects milliseconds");
@@ -369,6 +434,14 @@ fn main() {
         v.parse()
             .unwrap_or_else(|_| panic!("--kill-at expects an operation index, got {v}"))
     });
+    // The admin endpoint outlives the schedule (scrapes race the final
+    // rounds in CI); its guard drops — and the thread stops — on exit.
+    let _admin = value_of("--metrics-addr").map(|maddr| {
+        let server = AdminServer::bind(&maddr, telemetry.clone())
+            .unwrap_or_else(|e| panic!("--metrics-addr {maddr}: {e}"));
+        println!("metrics listening on {}", server.local_addr());
+        server
+    });
 
     if flag("--loopback") {
         let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), None);
@@ -380,6 +453,7 @@ fn main() {
         let mut coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
         attach_state_dir(&mut coordinator);
         serve(coordinator, rounds, spec.seed, unlearn_plan());
+        write_trace(&telemetry, trace_out.as_deref());
         return;
     }
 
@@ -409,4 +483,5 @@ fn main() {
     let mut coordinator = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
     attach_state_dir(&mut coordinator);
     serve(coordinator, rounds, spec.seed, unlearn_plan());
+    write_trace(&telemetry, trace_out.as_deref());
 }

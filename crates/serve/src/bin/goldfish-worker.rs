@@ -20,6 +20,9 @@
 //! under bounded exponential backoff, re-introducing each client with
 //! its resume token — how a fleet survives a coordinator
 //! crash-restart.
+//!
+//! Diagnostics go to stderr through the `GOLDFISH_LOG`-leveled logger
+//! (DESIGN.md §15); progress lines stay on stdout.
 
 use std::time::Duration;
 
@@ -28,6 +31,8 @@ use goldfish_serve::wire::FrameLimits;
 use goldfish_serve::worker::{
     run_worker_resilient, ReconnectPolicy, WorkerRuntime, WorkerSessionError,
 };
+use goldfish_telemetry::clock::Clock;
+use goldfish_telemetry::{error, logger, warn};
 
 /// The coordinator went away (or never appeared) and retries ran out.
 const EXIT_DISCONNECTED: i32 = 2;
@@ -76,12 +81,12 @@ fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize, reconnect: bool) 
                 return 0;
             }
             Err(WorkerSessionError::Rejected { detail }) => {
-                eprintln!("client {client_id}: rejected: {detail}");
+                error!("client {client_id}: rejected: {detail}");
                 return EXIT_REJECTED;
             }
             Err(e @ WorkerSessionError::Disconnected { .. }) => {
                 if !reconnect {
-                    eprintln!("client {client_id}: {e}");
+                    error!("client {client_id}: {e}");
                     return EXIT_DISCONNECTED;
                 }
                 // --reconnect: a fresh budget per outage, forever. The
@@ -89,7 +94,7 @@ fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize, reconnect: bool) 
                 // productive session; landing here means a full budget
                 // elapsed with no progress — keep waiting at the ceiling
                 // (the coordinator may take arbitrarily long to restart).
-                eprintln!("client {client_id}: {e}; still retrying (--reconnect)");
+                warn!("client {client_id}: {e}; still retrying (--reconnect)");
                 std::thread::sleep(policy.max_delay);
             }
         }
@@ -97,6 +102,7 @@ fn serve_client(addr: &str, spec: &DemoSpec, client_id: usize, reconnect: bool) 
 }
 
 fn main() {
+    logger::init(Clock::system());
     let spec = DemoSpec {
         clients: num("--clients", 2),
         samples_per_client: num("--samples", 120),

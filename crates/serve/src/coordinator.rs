@@ -19,6 +19,7 @@
 //! reproduces the loopback run bitwise (pinned by
 //! `crates/serve/tests/serve_identity.rs`).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use goldfish_core::{GoldfishUnlearning, UnlearnServer};
@@ -30,12 +31,14 @@ use goldfish_fed::transport::{
     TrainAssign, TransportError,
 };
 use goldfish_fed::ModelFactory;
+use goldfish_telemetry::events::EventKind;
 
 use crate::audit::{audit_kind, AuditEventRecord};
 
 use crate::digest::{self, DIGEST_LEN};
 use crate::durability::{DurabilityError, DurableStore, Recovered};
 use crate::queue::{UnlearnQueue, UnlearnRequest};
+use crate::telemetry::{DurabilityTelemetry, QueueTelemetry, ServeTelemetry};
 use crate::transport::ServeTransport;
 
 /// Coordinator policy knobs. Construct with [`CoordinatorConfig::default`]
@@ -69,6 +72,12 @@ pub struct CoordinatorConfig {
     /// registry)` — see `goldfish_fed::sampling`); `None` keeps the
     /// full-participation reference path.
     pub cohort_fraction: Option<f64>,
+    /// The shared observability catalog (`--metrics-addr` /
+    /// `--trace-out`). `None` builds a detached catalog: every metric
+    /// still counts (accessors read them) but nothing is exported.
+    /// Telemetry never feeds back into the numeric path — all bitwise
+    /// identity gates hold with it enabled.
+    pub telemetry: Option<Arc<ServeTelemetry>>,
 }
 
 impl Default for CoordinatorConfig {
@@ -83,6 +92,7 @@ impl Default for CoordinatorConfig {
             update_window: 0,
             robust: RobustConfig::default(),
             cohort_fraction: None,
+            telemetry: None,
         }
     }
 }
@@ -133,6 +143,13 @@ impl CoordinatorConfig {
     /// registered clients (`--cohort-fraction`).
     pub fn with_cohort_fraction(mut self, fraction: f64) -> Self {
         self.cohort_fraction = Some(fraction);
+        self
+    }
+
+    /// Attaches a shared observability catalog (the daemon builds one
+    /// per process and hands the same [`Arc`] to the admin endpoint).
+    pub fn with_telemetry(mut self, telemetry: Arc<ServeTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -274,7 +291,10 @@ pub struct Coordinator<T: ServeTransport> {
     queue: UnlearnQueue,
     transport: T,
     runtime: RoundRuntime,
-    drain_stats: DrainStats,
+    /// The observability catalog (detached when none was configured).
+    /// Drain counters live here — [`Coordinator::drain_stats`] is a
+    /// thin read of the registry cells.
+    telemetry: Arc<ServeTelemetry>,
     /// The next training round [`Coordinator::run`] will execute
     /// (advanced by every completed round; restored by recovery).
     next_round: usize,
@@ -302,19 +322,27 @@ impl<T: ServeTransport> Coordinator<T> {
         if let Some(timeout) = cfg.read_timeout {
             transport.set_read_timeout(timeout);
         }
+        let telemetry = cfg
+            .telemetry
+            .clone()
+            .unwrap_or_else(ServeTelemetry::disabled);
+        transport.set_telemetry(&telemetry);
+        let mut queue = UnlearnQueue::new();
+        queue.set_telemetry(QueueTelemetry::from_serve(&telemetry));
         let mut runtime = RoundRuntime::new(cfg.threads, cfg.update_window);
         runtime.set_robustness(cfg.robust);
         runtime.set_sampling(cfg.cohort_fraction);
+        runtime.set_metrics(telemetry.round.clone());
         Coordinator {
             factory,
             test,
             cfg,
             global,
             next_global: Vec::new(),
-            queue: UnlearnQueue::new(),
+            queue,
             transport,
             runtime,
-            drain_stats: DrainStats::default(),
+            telemetry,
             next_round: 0,
             durability: None,
             resume_drain_pending: false,
@@ -336,14 +364,26 @@ impl<T: ServeTransport> Coordinator<T> {
     /// model architecture (version/config skew) — nothing is applied.
     pub fn attach_durability(
         &mut self,
-        store: DurableStore,
+        mut store: DurableStore,
         recovered: Recovered,
     ) -> Result<(), StateLenError> {
+        store.set_telemetry(DurabilityTelemetry::from_serve(&self.telemetry));
+        let replayed = recovered.replayed.len();
         if recovered.resumed {
             StateLenError::check(recovered.global.len(), self.global.len())?;
             self.global = recovered.global;
             self.next_round = recovered.round_next;
-            self.drain_stats = recovered.drain_stats;
+            // Recovered drain counters fold into the (fresh) registry
+            // cells, so `drain_stats` spans the crash.
+            self.telemetry
+                .unlearn_requests_served_total
+                .add(recovered.drain_stats.requests_served as u64);
+            self.telemetry
+                .drain_batches_total
+                .add(recovered.drain_stats.batches_served as u64);
+            self.telemetry
+                .drain_last_batch_requests
+                .set(recovered.drain_stats.last_batch_requests as i64);
             // The v2 chain mixes served deletions with robustness
             // verdicts; only the former are removals to replay.
             let served: Vec<UnlearnRequest> = recovered
@@ -363,8 +403,19 @@ impl<T: ServeTransport> Coordinator<T> {
         // committed) is served first by `run`, at its original seed.
         self.resume_drain_pending =
             recovered.resumed && !self.queue.is_empty() && self.next_round > 0;
+        if recovered.resumed || replayed > 0 {
+            self.telemetry.trace.record(EventKind::RecoveryReplayed {
+                next_round: self.next_round as u64,
+                replayed: replayed as u64,
+            });
+        }
         self.durability = Some(store);
         Ok(())
+    }
+
+    /// The observability catalog this coordinator reports into.
+    pub fn telemetry(&self) -> &Arc<ServeTelemetry> {
+        &self.telemetry
     }
 
     /// The durable store, when attached.
@@ -497,6 +548,7 @@ impl<T: ServeTransport> Coordinator<T> {
     /// [`TransportError::UpdateWindowExceeded`] when arrivals overflow
     /// the configured window.
     pub fn train_round_hot(&mut self, round: usize, seed: u64) -> Result<(), TransportError> {
+        let round_start = self.telemetry.clock.now_nanos();
         // Re-admit resumed workers at the round boundary, before the
         // cohort is drawn — a no-op (and allocation-free) on loopback.
         self.transport.admit_reconnects(round, &self.global);
@@ -523,16 +575,20 @@ impl<T: ServeTransport> Coordinator<T> {
                 self.next_global = std::mem::replace(&mut self.global, next);
                 self.next_round = round + 1;
                 self.commit_robustness_events().map_err(durability_fault)?;
+                let drain_stats = self.drain_stats();
                 if let Some(store) = self.durability.as_mut() {
                     store
                         .commit_round(
                             self.next_round,
                             &self.global,
                             self.queue.pending(),
-                            self.drain_stats,
+                            drain_stats,
                         )
                         .map_err(durability_fault)?;
                 }
+                self.telemetry
+                    .round_seconds
+                    .observe_nanos(self.telemetry.clock.now_nanos().saturating_sub(round_start));
                 Ok(())
             }
             Err(e) => {
@@ -610,9 +666,15 @@ impl<T: ServeTransport> Coordinator<T> {
         self.runtime.peak_resident()
     }
 
-    /// Drain-phase counters (unlearning requests served so far).
+    /// Drain-phase counters (unlearning requests served so far) — a
+    /// thin read of the telemetry registry's cells, which are the
+    /// single source of truth for these totals.
     pub fn drain_stats(&self) -> DrainStats {
-        self.drain_stats
+        DrainStats {
+            requests_served: self.telemetry.unlearn_requests_served_total.get() as usize,
+            batches_served: self.telemetry.drain_batches_total.get() as usize,
+            last_batch_requests: self.telemetry.drain_last_batch_requests.get() as usize,
+        }
     }
 
     /// Drains the request queue and, if anything was pending, serves the
@@ -633,9 +695,13 @@ impl<T: ServeTransport> Coordinator<T> {
         if self.queue.is_empty() {
             return Ok(None);
         }
+        let drain_start = self.telemetry.clock.now_nanos();
+        self.telemetry.trace.record(EventKind::DrainStarted {
+            pending: self.queue.len() as u64,
+        });
         // The batch's drain serial: workers use it to deduplicate a
         // re-shipped assignment after a coordinator crash-restart.
-        let serial = self.drain_stats.batches_served as u64;
+        let serial = self.telemetry.drain_batches_total.get();
         let requests = self.queue.drain();
         self.transport.stage_removals(&requests, serial);
         let teacher = std::mem::take(&mut self.global);
@@ -652,9 +718,14 @@ impl<T: ServeTransport> Coordinator<T> {
         match outcome {
             Ok(out) => {
                 self.global = out.global_state;
-                self.drain_stats.requests_served += requests.len();
-                self.drain_stats.batches_served += 1;
-                self.drain_stats.last_batch_requests = requests.len();
+                self.telemetry
+                    .unlearn_requests_served_total
+                    .add(requests.len() as u64);
+                self.telemetry.drain_batches_total.inc();
+                self.telemetry
+                    .drain_last_batch_requests
+                    .set(requests.len() as i64);
+                let drain_stats = self.drain_stats();
                 if let Some(store) = self.durability.as_mut() {
                     // Audit append (fsync'd) then checkpoint: the
                     // checkpoint IS the drain's commit record. A crash
@@ -671,10 +742,17 @@ impl<T: ServeTransport> Coordinator<T> {
                             self.next_round,
                             &self.global,
                             self.queue.pending(),
-                            self.drain_stats,
+                            drain_stats,
                         )
                         .map_err(durability_fault)?;
                 }
+                self.telemetry.trace.record(EventKind::DrainCommitted {
+                    requests: requests.len() as u64,
+                    rounds: self.cfg.unlearn_rounds as u64,
+                });
+                self.telemetry
+                    .drain_seconds
+                    .observe_nanos(self.telemetry.clock.now_nanos().saturating_sub(drain_start));
                 Ok(Some(UnlearnSummary {
                     requests,
                     round_accuracies: out.round_accuracies,

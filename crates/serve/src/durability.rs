@@ -32,6 +32,7 @@ use crate::audit::{AuditEntry, AuditError, AuditLog};
 use crate::coordinator::DrainStats;
 use crate::digest::{sha256, Sha256, DIGEST_LEN};
 use crate::queue::UnlearnRequest;
+use crate::telemetry::DurabilityTelemetry;
 use goldfish_tensor::serialize;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -356,6 +357,9 @@ pub struct DurableStore {
     wal_seq: u64,
     audit: AuditLog,
     serial: u64,
+    /// fsync-span handles (detached until a coordinator attaches its
+    /// catalog).
+    telemetry: DurabilityTelemetry,
 }
 
 fn checkpoint_path(dir: &Path, serial: u64) -> PathBuf {
@@ -598,6 +602,7 @@ impl DurableStore {
                 wal_seq,
                 audit,
                 serial,
+                telemetry: DurabilityTelemetry::default(),
             },
             recovered,
         ))
@@ -611,12 +616,22 @@ impl DurableStore {
     /// [`DurabilityError::Io`] — the caller must then *reject* the
     /// submission (it is not durable).
     pub fn log_submit(&mut self, req: &UnlearnRequest) -> Result<u64, DurabilityError> {
+        let start = self.telemetry.clock.now_nanos();
         let seq = self.wal_seq + 1;
         let record = wal_record_bytes(seq, req);
         self.wal.write_all(&record)?;
         self.wal.sync_all()?;
         self.wal_seq = seq;
+        self.telemetry
+            .wal_append_seconds
+            .observe_nanos(self.telemetry.clock.now_nanos().saturating_sub(start));
         Ok(seq)
+    }
+
+    /// Rebinds the store's fsync-span histograms to a shared catalog's
+    /// cells (the coordinator calls this from `attach_durability`).
+    pub fn set_telemetry(&mut self, telemetry: DurabilityTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Writes the post-training-round checkpoint (the round's commit
@@ -687,6 +702,7 @@ impl DurableStore {
         pending: &[UnlearnRequest],
         drain_stats: DrainStats,
     ) -> Result<(), DurabilityError> {
+        let start = self.telemetry.clock.now_nanos();
         let serial = self.serial + 1;
         let ckpt = Checkpoint {
             serial,
@@ -724,6 +740,9 @@ impl DurableStore {
                 let _ = fs::remove_file(entry.path());
             }
         }
+        self.telemetry
+            .checkpoint_fsync_seconds
+            .observe_nanos(self.telemetry.clock.now_nanos().saturating_sub(start));
         Ok(())
     }
 

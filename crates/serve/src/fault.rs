@@ -640,6 +640,10 @@ impl<T: ServeTransport> ServeTransport for FaultyTransport<T> {
     fn wire_stats(&self) -> WireStats {
         self.inner.wire_stats()
     }
+
+    fn set_telemetry(&mut self, telemetry: &crate::telemetry::ServeTelemetry) {
+        self.inner.set_telemetry(telemetry)
+    }
 }
 
 impl<T: ServeTransport> std::fmt::Debug for FaultyTransport<T> {

@@ -40,6 +40,12 @@ pub struct FleetReport {
     /// Workers retired by a disconnect, an I/O failure, or a fatal
     /// protocol reply (expected in tests that drop stragglers).
     pub dropped: usize,
+    /// Total frame bytes the fleet wrote (handshakes + replies) — the
+    /// worker-side mirror of the coordinator's
+    /// `goldfish_wire_received_bytes_total`.
+    pub bytes_sent: u64,
+    /// Total frame bytes the fleet read (verdicts + assignments).
+    pub bytes_received: u64,
 }
 
 /// What one fleet connection is doing between readiness events.
@@ -87,11 +93,13 @@ pub fn run_fleet(
     let poller = Poller::new()?;
     let mut events = Events::new();
     let mut conns: Vec<Option<FleetConn>> = Vec::with_capacity(runtimes.len());
+    let mut report = FleetReport::default();
     for runtime in runtimes.iter() {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        write_frame(&mut stream, &runtime.hello(), limits)?;
-        let (reply, _) = read_frame(&mut stream, limits)?;
+        report.bytes_sent += write_frame(&mut stream, &runtime.hello(), limits)? as u64;
+        let (reply, nbytes) = read_frame(&mut stream, limits)?;
+        report.bytes_received += nbytes as u64;
         match reply {
             Msg::Capabilities { state_len, .. } => {
                 if state_len as usize != runtime.state_len() {
@@ -128,7 +136,6 @@ pub fn run_fleet(
             phase: Phase::Read,
         }));
     }
-    let mut report = FleetReport::default();
     let mut live = conns.len();
     while live > 0 {
         poller.wait(&mut events, None)?;
@@ -158,7 +165,8 @@ pub fn run_fleet(
                                     break 'conn Outcome::Parked;
                                 }
                                 Err(_) => break 'conn Outcome::Retire { clean: false },
-                                Ok(Some((kind, _))) => {
+                                Ok(Some((kind, nbytes))) => {
+                                    report.bytes_received += nbytes as u64;
                                     let Ok(msg) = decode_msg(kind, &conn.rbuf) else {
                                         break 'conn Outcome::Retire { clean: false };
                                     };
@@ -196,6 +204,7 @@ pub fn run_fleet(
                                 }
                                 Err(_) => break 'conn Outcome::Retire { clean: false },
                                 Ok(true) => {
+                                    report.bytes_sent += conn.wbuf.len() as u64;
                                     if fatal {
                                         break 'conn Outcome::Retire { clean: false };
                                     }

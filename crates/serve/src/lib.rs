@@ -45,7 +45,14 @@
 //! * [`digest`] — dependency-free SHA-256 backing checkpoints, the WAL,
 //!   the audit chain and the `Digest` wire frame,
 //! * [`fault`] — the seeded fault-injection harness
-//!   ([`fault::FaultyTransport`]) the crash-kill-restart tests drive.
+//!   ([`fault::FaultyTransport`]) the crash-kill-restart tests drive,
+//! * [`telemetry`] — the observability surface (DESIGN.md §15): the
+//!   preregistered metric catalog ([`telemetry::ServeTelemetry`])
+//!   threaded through the round loop, the TCP reactor, the queue and
+//!   the durable store — zero allocation on the steady-state path,
+//!   never on the numeric path,
+//! * [`admin`] — the read-only `--metrics-addr` endpoint serving the
+//!   registry as Prometheus text, JSON and a status table.
 //!
 //! Daemons: `goldfish-coordinator` and `goldfish-worker` (see the root
 //! README for a quickstart); `bench_serve` in `goldfish-bench` measures
@@ -54,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod audit;
 pub mod coordinator;
 pub mod demo;
@@ -64,6 +72,7 @@ pub mod fleet;
 pub mod nio;
 pub mod queue;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 pub mod wire;
 pub mod worker;

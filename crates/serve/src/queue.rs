@@ -8,6 +8,10 @@
 //! its indices into the pending entry (keeping the original FIFO
 //! position), so one distillation pass serves both.
 
+use goldfish_telemetry::events::EventKind;
+
+use crate::telemetry::QueueTelemetry;
+
 /// One deletion request: a client asks the server to unlearn some of its
 /// local samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +38,9 @@ pub struct UnlearnQueue {
     pending: Vec<UnlearnRequest>,
     submitted: usize,
     merged: usize,
+    /// Registry handles (detached by default: counting is unconditional,
+    /// export happens only once a coordinator attaches its catalog).
+    telemetry: QueueTelemetry,
 }
 
 impl UnlearnQueue {
@@ -42,12 +49,23 @@ impl UnlearnQueue {
         UnlearnQueue::default()
     }
 
+    /// Rebinds the queue's depth gauge and submit/merge counters to a
+    /// shared catalog's cells (carrying current values forward).
+    pub fn set_telemetry(&mut self, telemetry: QueueTelemetry) {
+        telemetry.submitted_total.add(self.submitted as u64);
+        telemetry.merged_total.add(self.merged as u64);
+        telemetry.depth.set(self.pending.len() as i64);
+        self.telemetry = telemetry;
+    }
+
     /// Enqueues a request. If the client already has a pending request
     /// the indices are merged into it (union, sorted) and the existing
     /// FIFO position is kept; otherwise the request joins the tail.
     pub fn submit(&mut self, req: UnlearnRequest) {
         self.submitted += 1;
+        self.telemetry.submitted_total.inc();
         let req = UnlearnRequest::new(req.client_id, req.removed);
+        let (ev_client, ev_removed) = (req.client_id as u64, req.removed.len() as u64);
         if let Some(existing) = self
             .pending
             .iter_mut()
@@ -57,13 +75,21 @@ impl UnlearnQueue {
             existing.removed.sort_unstable();
             existing.removed.dedup();
             self.merged += 1;
+            self.telemetry.merged_total.inc();
         } else {
             self.pending.push(req);
         }
+        self.telemetry.depth.set(self.pending.len() as i64);
+        self.telemetry.trace.record(EventKind::UnlearnQueued {
+            client: ev_client,
+            removed: ev_removed,
+            depth: self.pending.len() as u64,
+        });
     }
 
     /// Removes and returns every pending request, in FIFO order.
     pub fn drain(&mut self) -> Vec<UnlearnRequest> {
+        self.telemetry.depth.set(0);
         std::mem::take(&mut self.pending)
     }
 
@@ -74,7 +100,9 @@ impl UnlearnQueue {
     /// served — they are no longer merge targets).
     pub fn drain_batch(&mut self, limit: usize) -> Vec<UnlearnRequest> {
         let n = limit.min(self.pending.len());
-        self.pending.drain(..n).collect()
+        let batch: Vec<UnlearnRequest> = self.pending.drain(..n).collect();
+        self.telemetry.depth.set(self.pending.len() as i64);
+        batch
     }
 
     /// A read-only view of the pending requests, in FIFO order — what a
@@ -89,6 +117,7 @@ impl UnlearnQueue {
     /// observations, not the durable state.
     pub fn restore(&mut self, pending: Vec<UnlearnRequest>) {
         self.pending = pending;
+        self.telemetry.depth.set(self.pending.len() as i64);
     }
 
     /// Pending request count (after dedupe).

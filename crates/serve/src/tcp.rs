@@ -59,6 +59,7 @@ use polling::{Event, Events, Poller};
 
 use crate::nio::{FrameReadState, FrameWriteState};
 use crate::queue::UnlearnRequest;
+use crate::telemetry::{ServeTelemetry, WireTelemetry};
 use crate::transport::{LocalEval, ServeTransport, WireStats};
 use crate::wire::{
     decode_msg, decode_update_into, encode_eval_request_into, encode_frame,
@@ -140,7 +141,14 @@ pub struct TcpTransport {
     /// a worker can deduplicate a re-shipped batch after a coordinator
     /// crash-restart.
     staged_serial: u64,
-    stats: WireStats,
+    /// Wire-side telemetry handles (byte counters + reactor spans).
+    /// Detached at construction — `accept` counts handshake bytes
+    /// before any coordinator exists — and rebound to the shared
+    /// catalog by [`ServeTransport::set_telemetry`], which carries the
+    /// accumulated counts across. **Every** frame is tallied: fan-out
+    /// exchanges, handshakes, reconnect admissions, quarantine `Err`
+    /// frames and `Shutdown` goodbyes.
+    stats: WireTelemetry,
     /// Parameter count every `Hello` must match (kept for reconnect
     /// validation).
     state_len: usize,
@@ -224,6 +232,10 @@ impl TcpTransport {
         }
         let poller = Poller::new()?;
         let mut events = Events::new();
+        // Detached counters until a coordinator attaches its catalog;
+        // handshake traffic must not go missing just because it happens
+        // before wiring.
+        let stats = WireTelemetry::default();
         let mut conns: Vec<Option<Conn>> = (0..expected).map(|_| None).collect();
         let mut registered = 0usize;
         if expected > 0 {
@@ -283,7 +295,8 @@ impl TcpTransport {
                                     }
                                 }
                                 Err(_) => HsStep::Abandon,
-                                Ok(Some((kind, _))) => {
+                                Ok(Some((kind, nbytes))) => {
+                                    stats.received_bytes.add(nbytes as u64);
                                     let verdict: Result<(usize, usize), (u16, String)> =
                                         match decode_msg(kind, &hs.rbuf) {
                                             Err(_) => break 'hs HsStep::Abandon,
@@ -373,7 +386,12 @@ impl TcpTransport {
                                     }
                                 }
                                 Err(_) => HsStep::Abandon,
-                                Ok(true) => HsStep::Promote,
+                                Ok(true) => {
+                                    // Verdict (Capabilities or Err) on
+                                    // the wire — count it either way.
+                                    stats.sent_bytes.add(hs.reply.len() as u64);
+                                    HsStep::Promote
+                                }
                             }
                         }
                     };
@@ -419,7 +437,7 @@ impl TcpTransport {
             cfg,
             staged: Vec::new(),
             staged_serial: 0,
-            stats: WireStats::default(),
+            stats,
             state_len,
             listener: None,
             bcast: Vec::new(),
@@ -459,9 +477,10 @@ impl TcpTransport {
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(self.cfg.read_timeout)).ok();
         let mut rbuf = Vec::new();
-        let hello = read_raw_frame(&mut stream, &mut rbuf, &self.cfg.limits)
-            .and_then(|(kind, _)| decode_msg(kind, &rbuf))
-            .ok()?;
+        let (hello_kind, hello_len) =
+            read_raw_frame(&mut stream, &mut rbuf, &self.cfg.limits).ok()?;
+        self.stats.received_bytes.add(hello_len as u64);
+        let hello = decode_msg(hello_kind, &rbuf).ok()?;
         let Msg::Hello {
             client_id,
             state_len: worker_len,
@@ -473,7 +492,9 @@ impl TcpTransport {
         };
         let id = client_id as usize;
         let reject = |stream: &mut TcpStream, code: u16, detail: String| {
-            let _ = write_frame(stream, &Msg::Err { code, detail }, &self.cfg.limits);
+            if let Ok(n) = write_frame(stream, &Msg::Err { code, detail }, &self.cfg.limits) {
+                self.stats.sent_bytes.add(n as u64);
+            }
         };
         if resume.is_none() {
             reject(
@@ -510,7 +531,7 @@ impl TcpTransport {
             );
             return None;
         }
-        write_frame(
+        let sent = write_frame(
             &mut stream,
             &Msg::Capabilities {
                 max_payload: self.cfg.limits.max_payload as u64,
@@ -521,7 +542,8 @@ impl TcpTransport {
             &self.cfg.limits,
         )
         .ok()?;
-        write_frame(
+        self.stats.sent_bytes.add(sent as u64);
+        let sent = write_frame(
             &mut stream,
             &Msg::Digest {
                 round: round as u64,
@@ -530,9 +552,10 @@ impl TcpTransport {
             &self.cfg.limits,
         )
         .ok()?;
-        match read_raw_frame(&mut stream, &mut rbuf, &self.cfg.limits)
-            .and_then(|(kind, _)| decode_msg(kind, &rbuf))
-        {
+        self.stats.sent_bytes.add(sent as u64);
+        let (ack_kind, ack_len) = read_raw_frame(&mut stream, &mut rbuf, &self.cfg.limits).ok()?;
+        self.stats.received_bytes.add(ack_len as u64);
+        match decode_msg(ack_kind, &rbuf) {
             Ok(Msg::Ack) => {}
             _ => return None,
         }
@@ -627,7 +650,7 @@ impl TcpTransport {
     #[allow(clippy::too_many_arguments)] // the reactor's shared plumbing; private to this impl
     fn fan_out(
         conns: &mut [Option<Conn>],
-        stats: &mut WireStats,
+        stats: &WireTelemetry,
         cfg: &TcpConfig,
         state_pool: &Mutex<Vec<Vec<f32>>>,
         poller: &Poller,
@@ -639,7 +662,12 @@ impl TcpTransport {
         #[derive(Clone, Copy)]
         enum Phase {
             Write,
-            Read,
+            /// Awaiting the reply; `started` stamps when the request
+            /// finished flushing, so a completed read observes the
+            /// flush-to-reply wall time.
+            Read {
+                started: u64,
+            },
         }
         let mut phase: Vec<Option<Phase>> = (0..conns.len()).map(|_| None).collect();
         let mut failed: Vec<usize> = Vec::new();
@@ -674,7 +702,12 @@ impl TcpTransport {
             if now >= deadline {
                 break;
             }
-            let n = match poller.wait(events, Some(deadline - now)) {
+            let wait_start = stats.clock.now_nanos();
+            let waited = poller.wait(events, Some(deadline - now));
+            stats
+                .poll_wait_seconds
+                .observe_nanos(stats.clock.now_nanos().saturating_sub(wait_start));
+            let n = match waited {
                 Ok(n) => n,
                 Err(_) => break, // poller failure: every pending conn times out below
             };
@@ -713,7 +746,9 @@ impl TcpTransport {
                             Ok(true) => {
                                 sent_total += frame.len() as u64;
                                 conn.rd.reset();
-                                phase[id] = Some(Phase::Read);
+                                phase[id] = Some(Phase::Read {
+                                    started: stats.clock.now_nanos(),
+                                });
                                 if poller
                                     .modify(conn.stream.as_raw_fd(), Event::readable(id))
                                     .is_err()
@@ -738,10 +773,13 @@ impl TcpTransport {
                             Err(e) => fail!(map_wire_error(id, e)),
                         }
                     }
-                    Phase::Read => {
+                    Phase::Read { started } => {
                         match conn.rd.poll(&mut conn.stream, &mut conn.rbuf, &cfg.limits) {
                             Ok(Some((kind, nbytes))) => {
                                 recv_total += nbytes as u64;
+                                stats
+                                    .frame_read_seconds
+                                    .observe_nanos(stats.clock.now_nanos().saturating_sub(started));
                                 phase[id] = None;
                                 pending -= 1;
                                 let _ = poller.delete(conn.stream.as_raw_fd());
@@ -800,8 +838,8 @@ impl TcpTransport {
             failed.push(id);
             on_reply(id, Err(TransportError::Timeout { client_id: id }));
         }
-        stats.bytes_sent += sent_total;
-        stats.bytes_received += recv_total;
+        stats.sent_bytes.add(sent_total);
+        stats.received_bytes.add(recv_total);
         for id in failed {
             // Straggler / lost / misbehaving worker: drop it.
             conns[id] = None;
@@ -815,7 +853,7 @@ impl TcpTransport {
     #[allow(clippy::too_many_arguments)] // the reactor's shared plumbing; private to this impl
     fn broadcast(
         conns: &mut [Option<Conn>],
-        stats: &mut WireStats,
+        stats: &WireTelemetry,
         cfg: &TcpConfig,
         state_pool: &Mutex<Vec<Vec<f32>>>,
         poller: &Poller,
@@ -855,7 +893,8 @@ impl TcpTransport {
         results.clear();
         let round = spec.round;
         let want_distill = matches!(spec.mode, RoundMode::Distill);
-        if let Err(e) = encode_round_assign_into(
+        let enc_start = self.stats.clock.now_nanos();
+        let encoded = encode_round_assign_into(
             &mut self.bcast,
             spec.mode,
             spec.round,
@@ -864,7 +903,11 @@ impl TcpTransport {
             spec.cfg,
             spec.global,
             &self.cfg.limits,
-        ) {
+        );
+        self.stats
+            .broadcast_encode_seconds
+            .observe_nanos(self.stats.clock.now_nanos().saturating_sub(enc_start));
+        if let Err(e) = encoded {
             results.extend(
                 self.live_clients()
                     .into_iter()
@@ -984,7 +1027,8 @@ impl TcpTransport {
         let round = spec.round;
         let nonce = spec.nonce;
         let want_distill = matches!(spec.mode, RoundMode::Distill);
-        if let Err(e) = encode_round_assign_into(
+        let enc_start = self.stats.clock.now_nanos();
+        let encoded = encode_round_assign_into(
             &mut self.bcast,
             spec.mode,
             spec.round,
@@ -993,7 +1037,11 @@ impl TcpTransport {
             spec.cfg,
             spec.global,
             &self.cfg.limits,
-        ) {
+        );
+        self.stats
+            .broadcast_encode_seconds
+            .observe_nanos(self.stats.clock.now_nanos().saturating_sub(enc_start));
+        if let Err(e) = encoded {
             return self
                 .live_clients()
                 .into_iter()
@@ -1220,14 +1268,16 @@ impl RoundTransport for TcpTransport {
         conn.stream
             .set_write_timeout(Some(Duration::from_secs(2)))
             .ok();
-        let _ = write_frame(
+        if let Ok(n) = write_frame(
             &mut conn.stream,
             &Msg::Err {
                 code: err_code::QUARANTINED,
                 detail: format!("client id {client_id} is quarantined"),
             },
             &self.cfg.limits,
-        );
+        ) {
+            self.stats.sent_bytes.add(n as u64);
+        }
         *slot = None;
         true
     }
@@ -1268,6 +1318,7 @@ impl DistillTransport for TcpTransport {
             self.assign_bufs.push(Vec::new());
         }
         static NO_REMOVALS: &[usize] = &[];
+        let enc_start = self.stats.clock.now_nanos();
         for (id, slot) in self.conns.iter().enumerate() {
             if slot.is_none() {
                 continue;
@@ -1287,6 +1338,9 @@ impl DistillTransport for TcpTransport {
             )
             .map_err(|e| map_wire_error(id, e))?;
         }
+        self.stats
+            .broadcast_encode_seconds
+            .observe_nanos(self.stats.clock.now_nanos().saturating_sub(enc_start));
         let TcpTransport {
             conns,
             cfg,
@@ -1459,7 +1513,9 @@ impl ServeTransport for TcpTransport {
             conn.stream
                 .set_write_timeout(Some(Duration::from_secs(5)))
                 .ok();
-            let _ = write_frame(&mut conn.stream, &Msg::Shutdown, &self.cfg.limits);
+            if let Ok(n) = write_frame(&mut conn.stream, &Msg::Shutdown, &self.cfg.limits) {
+                self.stats.sent_bytes.add(n as u64);
+            }
         }
     }
 
@@ -1468,9 +1524,13 @@ impl ServeTransport for TcpTransport {
         round: usize,
         global: &[f32],
     ) -> Vec<Result<LocalEval, TransportError>> {
-        if let Err(e) =
-            encode_eval_request_into(&mut self.bcast, round as u64, global, &self.cfg.limits)
-        {
+        let enc_start = self.stats.clock.now_nanos();
+        let encoded =
+            encode_eval_request_into(&mut self.bcast, round as u64, global, &self.cfg.limits);
+        self.stats
+            .broadcast_encode_seconds
+            .observe_nanos(self.stats.clock.now_nanos().saturating_sub(enc_start));
+        if let Err(e) = encoded {
             return self
                 .live_clients()
                 .into_iter()
@@ -1528,7 +1588,12 @@ impl ServeTransport for TcpTransport {
     }
 
     fn wire_stats(&self) -> WireStats {
-        self.stats
+        self.stats.wire_stats()
+    }
+
+    fn set_telemetry(&mut self, telemetry: &ServeTelemetry) {
+        // Carries handshake-era counts into the shared catalog's cells.
+        self.stats.attach(telemetry);
     }
 }
 
@@ -1539,8 +1604,8 @@ impl std::fmt::Debug for TcpTransport {
             "TcpTransport({} live of {} slots, {} B out, {} B in)",
             RoundTransport::num_clients(self),
             self.conns.len(),
-            self.stats.bytes_sent,
-            self.stats.bytes_received
+            self.stats.sent_bytes.get(),
+            self.stats.received_bytes.get()
         )
     }
 }

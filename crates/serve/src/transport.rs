@@ -126,6 +126,15 @@ pub trait ServeTransport: RoundTransport + DistillTransport {
 
     /// Wire-traffic counters since construction.
     fn wire_stats(&self) -> WireStats;
+
+    /// Joins the coordinator's shared telemetry catalog: transports
+    /// with wire-side counters/spans rebind their handles to the
+    /// registered cells (carrying pre-registration counts forward via
+    /// `transfer_into`). In-process transports have nothing to report;
+    /// the default is a no-op.
+    fn set_telemetry(&mut self, telemetry: &crate::telemetry::ServeTelemetry) {
+        let _ = telemetry;
+    }
 }
 
 /// One client's long-lived in-process worker: a network whose arenas,

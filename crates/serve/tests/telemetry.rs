@@ -1,0 +1,255 @@
+//! Observability gates (DESIGN.md §15).
+//!
+//! * Telemetry on/off is bitwise invisible: a fully instrumented
+//!   loopback schedule (rounds + an unlearning drain) produces the
+//!   exact global state of an uninstrumented twin.
+//! * The admin endpoint serves a live coordinator mid-run, and every
+//!   scraped family agrees with the legacy accessors (`drain_stats`,
+//!   `wire_stats`) it subsumed.
+//! * TCP byte accounting starts at the handshake: the counters are
+//!   nonzero before any round, and attaching a coordinator's catalog
+//!   carries the pre-attach counts across losslessly.
+
+use std::sync::Arc;
+
+use goldfish_core::basic_model::GoldfishLocalConfig;
+use goldfish_core::GoldfishUnlearning;
+use goldfish_serve::admin::{fetch, AdminServer};
+use goldfish_serve::coordinator::{drain_seed, round_seed, Coordinator, CoordinatorConfig};
+use goldfish_serve::demo::DemoSpec;
+use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
+use goldfish_serve::telemetry::ServeTelemetry;
+use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
+use goldfish_serve::wire::FrameLimits;
+use goldfish_serve::worker::{run_worker, WorkerRuntime};
+use goldfish_telemetry::clock::Clock;
+use goldfish_telemetry::events::Trace;
+
+const SEED: u64 = 42;
+
+fn demo(clients: usize) -> DemoSpec {
+    DemoSpec {
+        clients,
+        samples_per_client: 40,
+        test_samples: 20,
+        seed: 19,
+    }
+}
+
+fn coordinator_config(spec: &DemoSpec) -> CoordinatorConfig {
+    CoordinatorConfig {
+        train: spec.train_config(),
+        method: GoldfishUnlearning::default().with_local(GoldfishLocalConfig {
+            epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+            ..GoldfishLocalConfig::default()
+        }),
+        unlearn_rounds: 1,
+        init_seed: 1,
+        threads: Some(2),
+        ..CoordinatorConfig::default()
+    }
+}
+
+fn instrumented() -> Arc<ServeTelemetry> {
+    let clock = Clock::system();
+    let trace = Trace::bounded(256, clock.clone());
+    Arc::new(ServeTelemetry::new(clock, trace))
+}
+
+/// Spawns `spec.clients` worker threads against an ephemeral listener
+/// and returns the accepted transport. Workers treat any disconnect as
+/// shutdown.
+fn tcp_pair(spec: &DemoSpec) -> (TcpTransport, Vec<std::thread::JoinHandle<()>>) {
+    let (listener, addr) = bind("127.0.0.1:0").unwrap();
+    let mut workers = Vec::new();
+    for id in 0..spec.clients {
+        let spec = *spec;
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut runtime = WorkerRuntime::new(id, spec.factory(), spec.client_shard(id));
+            let _ = run_worker(&addr, &mut runtime, &FrameLimits::default());
+        }));
+    }
+    let state_len = (spec.factory())(0).state_len();
+    let transport =
+        TcpTransport::accept(&listener, spec.clients, state_len, TcpConfig::default()).unwrap();
+    (transport, workers)
+}
+
+/// First sample value of `family` in a Prometheus text exposition
+/// (unlabeled families only).
+fn sample(text: &str, family: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{family} ")))
+        .unwrap_or_else(|| panic!("family {family} missing from exposition:\n{text}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// The full schedule — rounds, a queued deletion, the drain — is
+/// bitwise identical whether or not telemetry records it.
+#[test]
+fn telemetry_on_and_off_are_bitwise_identical() {
+    let spec = demo(3);
+    let run = |telemetry: Option<Arc<ServeTelemetry>>| {
+        let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(2));
+        let mut cfg = coordinator_config(&spec);
+        cfg.telemetry = telemetry;
+        let mut c = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+        for r in 0..2 {
+            c.train_round(r, round_seed(SEED, r)).unwrap();
+        }
+        c.submit_unlearn(UnlearnRequest::new(1, (0..8).collect()))
+            .unwrap();
+        let drained = c.drain_unlearning(drain_seed(SEED, 1)).unwrap().unwrap();
+        assert_eq!(drained.requests.len(), 1);
+        c.train_round(2, round_seed(SEED, 2)).unwrap();
+        (c.global_state().to_vec(), c.global_accuracy())
+    };
+
+    let telemetry = instrumented();
+    let (plain_state, plain_acc) = run(None);
+    let (traced_state, traced_acc) = run(Some(Arc::clone(&telemetry)));
+
+    assert_eq!(
+        plain_state, traced_state,
+        "telemetry perturbed the numerics"
+    );
+    assert_eq!(plain_acc, traced_acc);
+
+    // …and the instrumented run actually recorded itself.
+    assert_eq!(telemetry.round.rounds_total.get(), 3);
+    assert_eq!(telemetry.unlearn_submitted_total.get(), 1);
+    assert_eq!(telemetry.unlearn_requests_served_total.get(), 1);
+    assert_eq!(telemetry.drain_batches_total.get(), 1);
+    let mut jsonl = Vec::new();
+    telemetry.trace.write_jsonl(&mut jsonl).unwrap();
+    let jsonl = String::from_utf8(jsonl).unwrap();
+    for tag in [
+        "round_started",
+        "round_committed",
+        "unlearn_queued",
+        "drain_started",
+        "drain_committed",
+    ] {
+        assert!(jsonl.contains(tag), "missing {tag} in trace:\n{jsonl}");
+    }
+}
+
+/// Scrapes a live TCP coordinator mid-run and checks the exposition
+/// against the accessors the registry subsumed.
+#[test]
+fn admin_scrape_of_a_live_coordinator_matches_its_counters() {
+    let spec = demo(2);
+    let telemetry = instrumented();
+    let (transport, workers) = tcp_pair(&spec);
+    let mut cfg = coordinator_config(&spec);
+    cfg.telemetry = Some(Arc::clone(&telemetry));
+    let mut c = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+    let server = AdminServer::bind("127.0.0.1:0", Arc::clone(&telemetry)).unwrap();
+    let addr = server.local_addr();
+
+    c.train_round(0, round_seed(SEED, 0)).unwrap();
+    c.submit_unlearn(UnlearnRequest::new(0, (0..6).collect()))
+        .unwrap();
+
+    // Mid-run: one round committed, one request pending.
+    let text = fetch(addr, "/metrics").unwrap();
+    assert_eq!(sample(&text, "goldfish_rounds_total"), 1);
+    assert_eq!(sample(&text, "goldfish_unlearn_queue_depth"), 1);
+    assert_eq!(sample(&text, "goldfish_cohort_size"), spec.clients as u64);
+    let ws = c.transport().wire_stats();
+    assert_eq!(
+        sample(&text, "goldfish_wire_sent_bytes_total"),
+        ws.bytes_sent
+    );
+    assert_eq!(
+        sample(&text, "goldfish_wire_received_bytes_total"),
+        ws.bytes_received
+    );
+
+    let drained = c.drain_unlearning(drain_seed(SEED, 0)).unwrap().unwrap();
+    assert_eq!(drained.requests.len(), 1);
+    c.train_round(1, round_seed(SEED, 1)).unwrap();
+
+    // Post-drain: the thin DrainStats read and the exposition are two
+    // views of the same cells.
+    let text = fetch(addr, "/metrics").unwrap();
+    let stats = c.drain_stats();
+    assert_eq!(
+        sample(&text, "goldfish_unlearn_requests_served_total"),
+        stats.requests_served as u64
+    );
+    assert_eq!(
+        sample(&text, "goldfish_drain_batches_total"),
+        stats.batches_served as u64
+    );
+    assert_eq!(
+        sample(&text, "goldfish_drain_last_batch_requests"),
+        stats.last_batch_requests as u64
+    );
+    assert_eq!(sample(&text, "goldfish_unlearn_queue_depth"), 0);
+    assert_eq!(sample(&text, "goldfish_rounds_total"), 2);
+
+    // The reactor spans observed real work over TCP.
+    assert!(text.contains("goldfish_poll_wait_seconds_count"));
+    assert!(telemetry.poll_wait_seconds.count() > 0);
+    assert!(telemetry.frame_read_seconds.count() > 0);
+    assert!(telemetry.broadcast_encode_seconds.count() > 0);
+
+    // The JSON snapshot serves the same counters.
+    let json = fetch(addr, "/json").unwrap();
+    assert!(json.contains("\"goldfish_rounds_total\":2"));
+
+    c.transport_mut().shutdown();
+    drop(c);
+    drop(server);
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Satellite bugfix gate: handshake frames are counted the moment
+/// `accept` returns — before any round — and attaching the shared
+/// catalog carries those pre-attach bytes across.
+#[test]
+fn tcp_handshake_bytes_are_counted_before_any_round() {
+    let spec = demo(2);
+    let telemetry = instrumented();
+    let (transport, workers) = tcp_pair(&spec);
+
+    let hs = transport.wire_stats();
+    assert!(
+        hs.bytes_sent > 0 && hs.bytes_received > 0,
+        "handshake bytes uncounted: {hs:?}"
+    );
+
+    let mut cfg = coordinator_config(&spec);
+    cfg.telemetry = Some(Arc::clone(&telemetry));
+    let mut c = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+
+    // Attach moved the counts into the registry cells — nothing lost.
+    assert_eq!(telemetry.wire_sent_bytes.get(), hs.bytes_sent);
+    assert_eq!(telemetry.wire_received_bytes.get(), hs.bytes_received);
+    assert_eq!(c.transport().wire_stats().bytes_sent, hs.bytes_sent);
+
+    // A round strictly grows both directions.
+    c.train_round(0, round_seed(SEED, 0)).unwrap();
+    let after = c.transport().wire_stats();
+    assert!(after.bytes_sent > hs.bytes_sent);
+    assert!(after.bytes_received > hs.bytes_received);
+    assert_eq!(telemetry.wire_sent_bytes.get(), after.bytes_sent);
+
+    c.transport_mut().shutdown();
+    // The Shutdown goodbye frames are themselves counted.
+    assert!(c.transport().wire_stats().bytes_sent > after.bytes_sent);
+    drop(c);
+    for w in workers {
+        w.join().unwrap();
+    }
+}

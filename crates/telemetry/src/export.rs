@@ -1,0 +1,208 @@
+//! Renderers over a [`Registry`] snapshot: Prometheus text exposition
+//! (`/metrics`), a JSON snapshot (`/json`), and the human-readable
+//! table behind `goldfish-coordinator --status` (`/status`).
+//!
+//! All three allocate freely — they run on the admin endpoint or at
+//! process exit, never on the round hot path.
+
+use crate::registry::{Metric, Registry};
+
+/// The base metric family name: everything before an embedded label
+/// set (`foo_total{kind="x"}` → `foo_total`).
+fn base(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Nanoseconds → seconds, as Prometheus convention wants.
+fn secs(nanos: u64) -> f64 {
+    nanos as f64 / 1e9
+}
+
+/// Renders the registry as Prometheus text exposition (version 0.0.4).
+/// `# HELP`/`# TYPE` headers are emitted once per family even when the
+/// family spans several labeled series.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let metrics = registry.metrics();
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for m in &metrics {
+        let fam = base(m.name());
+        let fresh = fam != last_family;
+        match m {
+            Metric::Counter(name, help, c) => {
+                if fresh {
+                    out.push_str(&format!("# HELP {fam} {help}\n# TYPE {fam} counter\n"));
+                }
+                out.push_str(&format!("{name} {}\n", c.get()));
+            }
+            Metric::Gauge(name, help, g) => {
+                if fresh {
+                    out.push_str(&format!("# HELP {fam} {help}\n# TYPE {fam} gauge\n"));
+                }
+                out.push_str(&format!("{name} {}\n", g.get()));
+            }
+            Metric::Histogram(name, help, h) => {
+                if fresh {
+                    out.push_str(&format!("# HELP {fam} {help}\n# TYPE {fam} histogram\n"));
+                }
+                for (bound, cum) in h.cumulative_buckets() {
+                    if bound == u64::MAX {
+                        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    } else {
+                        out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", secs(bound)));
+                    }
+                }
+                out.push_str(&format!("{name}_sum {}\n", secs(h.sum_nanos())));
+                out.push_str(&format!("{name}_count {}\n", h.count()));
+            }
+        }
+        last_family = fam.to_string();
+    }
+    out
+}
+
+/// Minimal JSON string escaping for metric names (controlled ASCII, but
+/// quotes and backslashes must still be safe).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry as one JSON object:
+/// `{"uptime_seconds":…,"events_dropped":…,"counters":{…},"gauges":{…},"histograms":{…}}`.
+pub fn json_snapshot(registry: &Registry, uptime_nanos: u64, events_dropped: u64) -> String {
+    let metrics = registry.metrics();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut hists = Vec::new();
+    for m in &metrics {
+        match m {
+            Metric::Counter(name, _, c) => {
+                counters.push(format!("\"{}\":{}", json_escape(name), c.get()));
+            }
+            Metric::Gauge(name, _, g) => {
+                gauges.push(format!("\"{}\":{}", json_escape(name), g.get()));
+            }
+            Metric::Histogram(name, _, h) => {
+                let buckets: Vec<String> = h
+                    .cumulative_buckets()
+                    .into_iter()
+                    .map(|(bound, cum)| {
+                        if bound == u64::MAX {
+                            format!("[\"+Inf\",{cum}]")
+                        } else {
+                            format!("[{},{cum}]", secs(bound))
+                        }
+                    })
+                    .collect();
+                hists.push(format!(
+                    "\"{}\":{{\"count\":{},\"sum_seconds\":{},\"buckets\":[{}]}}",
+                    json_escape(name),
+                    h.count(),
+                    secs(h.sum_nanos()),
+                    buckets.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"uptime_seconds\":{},\"events_dropped\":{events_dropped},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        secs(uptime_nanos),
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Renders the registry as an aligned human-readable table — what
+/// `goldfish-coordinator --status` prints.
+pub fn status_table(registry: &Registry, uptime_nanos: u64) -> String {
+    let metrics = registry.metrics();
+    let mut rows: Vec<(String, String)> =
+        vec![("uptime".to_string(), format!("{:.1}s", secs(uptime_nanos)))];
+    for m in &metrics {
+        match m {
+            Metric::Counter(name, _, c) => rows.push((name.clone(), c.get().to_string())),
+            Metric::Gauge(name, _, g) => rows.push((name.clone(), g.get().to_string())),
+            Metric::Histogram(name, _, h) => {
+                let count = h.count();
+                let mean = if count == 0 {
+                    0.0
+                } else {
+                    secs(h.sum_nanos()) / count as f64
+                };
+                rows.push((name.clone(), format!("count {count}, mean {:.6}s", mean)));
+            }
+        }
+    }
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.counter("goldfish_rounds_total", "rounds committed")
+            .add(3);
+        r.counter("goldfish_rejected_total{kind=\"non_finite\"}", "rejections")
+            .add(1);
+        r.counter("goldfish_rejected_total{kind=\"duplicate\"}", "rejections")
+            .add(2);
+        r.gauge("goldfish_queue_depth", "queue depth").set(5);
+        let h = r.histogram_with_bounds("goldfish_round_seconds", "round latency", &[1_000_000]);
+        h.observe_nanos(500_000);
+        h.observe_nanos(2_000_000);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_groups_families_and_renders_histograms() {
+        let text = prometheus_text(&sample());
+        // One HELP/TYPE per family even with two labeled series.
+        assert_eq!(text.matches("# TYPE goldfish_rejected_total").count(), 1);
+        assert!(text.contains("goldfish_rejected_total{kind=\"non_finite\"} 1"));
+        assert!(text.contains("goldfish_rejected_total{kind=\"duplicate\"} 2"));
+        assert!(text.contains("goldfish_rounds_total 3"));
+        assert!(text.contains("goldfish_queue_depth 5"));
+        assert!(text.contains("goldfish_round_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("goldfish_round_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("goldfish_round_seconds_count 2"));
+        assert!(text.contains("goldfish_round_seconds_sum 0.0025"));
+    }
+
+    #[test]
+    fn json_snapshot_is_one_object() {
+        let json = json_snapshot(&sample(), 1_500_000_000, 4);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"uptime_seconds\":1.5"));
+        assert!(json.contains("\"events_dropped\":4"));
+        assert!(json.contains("\"goldfish_rounds_total\":3"));
+        assert!(json.contains("\"goldfish_queue_depth\":5"));
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("[\"+Inf\",2]"));
+    }
+
+    #[test]
+    fn status_table_aligns_and_summarizes() {
+        let table = status_table(&sample(), 2_000_000_000);
+        assert!(table.contains("uptime"));
+        assert!(table.contains("2.0s"));
+        assert!(table.contains("goldfish_rounds_total"));
+        assert!(table.contains("count 2, mean"));
+    }
+}

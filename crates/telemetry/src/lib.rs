@@ -1,0 +1,39 @@
+//! `goldfish-telemetry` — the instrumentation spine (DESIGN.md §15).
+//!
+//! A deterministic observability layer shared by `goldfish-fed`,
+//! `goldfish-serve` and the benches, built on three rules:
+//!
+//! 1. **Zero allocation after registration.** Every metric is
+//!    preregistered at startup into a [`registry::Registry`]; the
+//!    handles handed out ([`registry::Counter`], [`registry::Gauge`],
+//!    [`registry::Histogram`]) are `Arc`-backed atomics whose update
+//!    operations never touch the allocator, so the serve hot path keeps
+//!    its `alloc_free_round` pin with metrics enabled.
+//! 2. **Off the numeric path.** Instrumentation observes timings and
+//!    counts; it never feeds a value back into training, aggregation or
+//!    sampling. Bitwise identity between telemetry-on and telemetry-off
+//!    runs is pinned by `crates/serve/tests/telemetry.rs`.
+//! 3. **Injected time.** All timestamps come from a [`clock::Clock`]
+//!    (wall clock by default, a manual atomic in tests), so traces and
+//!    log lines are reproducible under fault injection.
+//!
+//! Modules:
+//!
+//! * [`clock`] — the injected time source,
+//! * [`registry`] — counters / gauges / fixed-bucket histograms,
+//! * [`events`] — the bounded ring of typed round/connection events,
+//!   drained as JSONL (`--trace-out`),
+//! * [`export`] — Prometheus text exposition, JSON snapshot, and the
+//!   human-readable status table served by the admin endpoint,
+//! * [`logger`] — the leveled, timestamped, `GOLDFISH_LOG`-filtered
+//!   stderr logger behind the [`error!`]/[`warn!`]/[`info!`]/[`debug!`]
+//!   macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod export;
+pub mod logger;
+pub mod registry;

@@ -20,7 +20,10 @@
 //! * [`serve`] — the networked federation layer: wire protocol,
 //!   TCP/loopback transports, the coordinator with its unlearning
 //!   request queue, and the `goldfish-coordinator`/`goldfish-worker`
-//!   daemons (DESIGN.md §10).
+//!   daemons (DESIGN.md §10),
+//! * [`telemetry`] — the zero-allocation observability layer: metrics
+//!   registry, structured event tracing, deterministic clocks and the
+//!   daemons' leveled logger (DESIGN.md §15).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use goldfish_fed as fed;
 pub use goldfish_metrics as metrics;
 pub use goldfish_nn as nn;
 pub use goldfish_serve as serve;
+pub use goldfish_telemetry as telemetry;
 pub use goldfish_tensor as tensor;
 
 /// Version of the reproduction.

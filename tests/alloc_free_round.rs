@@ -10,12 +10,17 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use std::sync::Arc;
+
 use goldfish::core::GoldfishUnlearning;
 use goldfish::fed::pool;
 use goldfish::fed::transport::round_seed;
 use goldfish::serve::coordinator::{Coordinator, CoordinatorConfig};
 use goldfish::serve::demo::DemoSpec;
+use goldfish::serve::telemetry::ServeTelemetry;
 use goldfish::serve::transport::LoopbackTransport;
+use goldfish::telemetry::clock::Clock;
+use goldfish::telemetry::events::Trace;
 
 /// Counts allocations (and growth reallocations) while armed.
 struct CountingAlloc;
@@ -119,4 +124,56 @@ fn steady_state_loopback_round_is_allocation_free() {
     }
     assert_eq!(c.global_state(), reference.global_state());
     assert_eq!(c.peak_resident_updates(), 1, "loopback feeds in id order");
+
+    // ISSUE 9: the guarantee must survive full telemetry — registry
+    // counters, span histograms, a manual clock and a bounded trace
+    // ring all record on the hot path, and none of them may allocate
+    // after registration (or perturb the numerics).
+    let clock = Clock::manual();
+    let telemetry = Arc::new(ServeTelemetry::new(
+        clock.clone(),
+        Trace::bounded(64, clock.clone()),
+    ));
+    let transport3 = LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(1));
+    let mut instrumented = Coordinator::new(
+        spec.factory(),
+        spec.test_set(),
+        transport3,
+        CoordinatorConfig {
+            train: spec.train_config(),
+            method: GoldfishUnlearning::default(),
+            unlearn_rounds: 1,
+            init_seed: 1,
+            threads: Some(1),
+            telemetry: Some(Arc::clone(&telemetry)),
+            ..CoordinatorConfig::default()
+        },
+    );
+    for r in 0..2 {
+        instrumented.train_round_hot(r, round_seed(7, r)).unwrap();
+    }
+    pool::install(Some(1), || {
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        for r in 2..6 {
+            clock.advance(1_000_000); // 1ms per round: nonzero spans
+            instrumented.train_round_hot(r, round_seed(7, r)).unwrap();
+        }
+        ARMED.store(false, Ordering::SeqCst);
+    });
+    let n = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        n, 0,
+        "telemetry-instrumented rounds performed {n} allocations"
+    );
+
+    // Telemetry on/off is bitwise invisible, and the registry agrees
+    // with what actually ran.
+    assert_eq!(instrumented.global_state(), c.global_state());
+    assert_eq!(telemetry.round.rounds_total.get(), 6);
+    assert_eq!(telemetry.round.updates_admitted_total.get(), 24);
+    assert_eq!(telemetry.round.resident_peak.get(), 1);
+    assert!(telemetry.round_seconds.count() >= 4);
+    assert!(telemetry.trace.is_enabled());
+    assert_eq!(telemetry.trace.dropped(), 0);
 }

@@ -238,6 +238,27 @@ impl std::fmt::Debug for ShardedClient {
     }
 }
 
+/// Retrains one shard from its Eq 9 restart checkpoint on the surviving
+/// shard data — the single primitive behind [`ShardedClient::delete_samples`]
+/// and the serve layer's shard-granular drain, so both paths are bitwise
+/// identical by construction. An all-zero checkpoint (the degenerate τ = 1
+/// case, where the Eq 9 sum over the *other* shards is empty) falls back to
+/// the factory's fresh initialisation instead of a zero saddle.
+pub fn retrain_shard(
+    factory: &ModelFactory,
+    cfg: &TrainConfig,
+    checkpoint: &[f32],
+    survived: &Dataset,
+    seed: u64,
+) -> Vec<f32> {
+    let mut net = (factory)(seed);
+    if checkpoint.iter().any(|&v| v != 0.0) {
+        net.set_state_vector(checkpoint);
+    }
+    train_local_ce(&mut net, survived, cfg, seed);
+    net.state_vector()
+}
+
 /// Which shards a deletion touched, and how.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeletionImpact {
@@ -431,12 +452,13 @@ impl ShardedClient {
         let (factory, cfg, jobs_ref) = (&self.factory, &self.cfg, &jobs);
         goldfish_fed::pool::for_each_slot(&mut states, |j, slot| {
             let job = &jobs_ref[j];
-            let mut net = (factory)(job.seed);
-            if job.checkpoint.iter().any(|&v| v != 0.0) {
-                net.set_state_vector(&job.checkpoint);
-            }
-            train_local_ce(&mut net, &job.survived, cfg, job.seed);
-            *slot = Some(net.state_vector());
+            *slot = Some(retrain_shard(
+                factory,
+                cfg,
+                &job.checkpoint,
+                &job.survived,
+                job.seed,
+            ));
         });
         for (job, state) in jobs.into_iter().zip(states) {
             let state = state.expect("missing retrained shard state");

@@ -101,6 +101,21 @@ pub fn sample_cohort_into(
     out.sort_unstable_by_key(|&(id, _)| id);
 }
 
+/// Picks the delegate for a degraded shard retrain: the member of
+/// `members` (a redundancy group, any order) with the smallest
+/// `(cohort_rank, id)` key that is **not** `exclude` (the straggling
+/// owner). A pure function of `(seed, {ids}, exclude)` — invariant
+/// under member order and replayed identically on crash-restart, like
+/// every draw in this module. Returns `None` when no healthy member
+/// exists.
+pub fn pick_delegate(seed: u64, members: &[usize], exclude: usize) -> Option<usize> {
+    members
+        .iter()
+        .copied()
+        .filter(|&id| id != exclude)
+        .min_by_key(|&id| (cohort_rank(seed, id), id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

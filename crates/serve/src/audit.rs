@@ -68,6 +68,11 @@ pub mod audit_kind {
     pub const VIOLATION: u8 = 2;
     /// A strike-budget eviction (`detail` = `[strikes]`).
     pub const QUARANTINE: u8 = 3;
+    /// A shard retrain that committed **degraded**: its owner missed the
+    /// drain deadline, the shard states were reconstructed from the XOR
+    /// redundancy group and the retrain ran on a delegate (`detail` =
+    /// `[shard, delegate_client]`).
+    pub const DEGRADED_DRAIN: u8 = 4;
 }
 
 /// Fixed file-header size (magic + version).
@@ -399,6 +404,30 @@ impl AuditLog {
         )
     }
 
+    /// Appends one shard-granular drain batch's records and fsyncs:
+    /// served shard retrains ([`audit_kind::UNLEARN_SERVED`], `detail` =
+    /// `[shard, rows_removed…]`) interleaved with degraded-drain
+    /// verdicts ([`audit_kind::DEGRADED_DRAIN`]), all carrying the drain
+    /// `serial` — same chain, same tamper evidence.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Io`].
+    pub fn append_shard_batch(
+        &mut self,
+        round: u64,
+        serial: u64,
+        records: &[AuditEventRecord],
+        state_digest: &[u8; DIGEST_LEN],
+    ) -> Result<(), AuditError> {
+        self.append_raw(
+            records
+                .iter()
+                .map(|e| (e.kind, round, serial, e.client_id, e.detail.clone())),
+            state_digest,
+        )
+    }
+
     fn append_raw(
         &mut self,
         records: impl Iterator<Item = (u8, u64, u64, u64, Vec<u64>)>,
@@ -567,6 +596,11 @@ pub fn describe_entry(e: &AuditEntry) -> String {
         audit_kind::QUARANTINE => format!(
             "QUARANTINED after {} strike(s)",
             e.detail.first().copied().unwrap_or(0)
+        ),
+        audit_kind::DEGRADED_DRAIN => format!(
+            "DEGRADED shard {} retrained by delegate {} (owner straggled)",
+            e.detail.first().copied().unwrap_or(0),
+            e.detail.get(1).copied().unwrap_or(0),
         ),
         k => format!("unknown kind {k}"),
     };

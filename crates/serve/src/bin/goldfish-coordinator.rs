@@ -10,6 +10,8 @@
 //!                      [--max-strikes K] [--max-delta-norm X]
 //!                      [--byzantine CLIENT:SCRIPT] [--cohort-fraction F]
 //!                      [--metrics-addr ADDR] [--trace-out PATH] [--status]
+//!                      [--shards TAU] [--shard-group K]
+//!                      [--drain-deadline-ms MS] [--max-queue-depth N]
 //! ```
 //!
 //! The workload is the deterministic demo workload (`goldfish_serve::demo`):
@@ -44,6 +46,20 @@
 //! `(round_seed, registry)`, so a crash-restarted coordinator re-samples
 //! the identical cohort.
 //!
+//! Sharding (DESIGN.md §16): `--shards TAU` turns on shard-isolated
+//! unlearning — each client's data is partitioned into `TAU` shards and
+//! a deletion drains as retrain tasks over only the affected shards.
+//! `--shard-group K` sets the XOR-parity redundancy-group width (a
+//! scripted straggler's shard checkpoints are reconstructed from parity
+//! and retrained by a seeded healthy delegate, recorded as a degraded
+//! drain in the audit chain). `--drain-deadline-ms MS` bounds each
+//! drain's declared-lateness budget: what doesn't fit commits partially
+//! and the remainder re-queues for the next drain. `--max-queue-depth
+//! N` rejects new deletion submits (typed, never merges) beyond `N`
+//! pending entries — in either mode. `--byzantine C:straggle:MS`
+//! declares client `C` late by `MS` milliseconds without corrupting its
+//! updates.
+//!
 //! Observability (DESIGN.md §15): `--metrics-addr ADDR` serves the
 //! coordinator's metric catalog on a read-only admin endpoint
 //! (`/metrics` Prometheus text, `/json` snapshot, `/status` table) for
@@ -67,6 +83,7 @@ use goldfish_serve::demo::DemoSpec;
 use goldfish_serve::durability::{audit_path, DurableStore};
 use goldfish_serve::fault::{ByzantineScript, FaultPlan, FaultyTransport};
 use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::shard::ShardPolicy;
 use goldfish_serve::tcp::{bind, TcpConfig, TcpTransport};
 use goldfish_serve::telemetry::ServeTelemetry;
 use goldfish_serve::transport::{LoopbackTransport, ServeTransport};
@@ -164,6 +181,47 @@ fn write_trace(telemetry: &ServeTelemetry, path: Option<&str>) {
     }
 }
 
+/// Runs one drain slot in whichever mode the coordinator is configured
+/// for, printing the result. Shard mode drains the shard task queue
+/// (partial commits included); plain mode drains whole-client requests.
+fn drain_slot<T: ServeTransport>(coordinator: &mut Coordinator<T>, slot: usize, seed: u64) {
+    if coordinator.shard_mode() {
+        match coordinator.drain_shard_tasks(drain_seed(seed, slot)) {
+            Ok(Some(s)) => {
+                println!(
+                    "round {slot} shard drain: {} task(s) retrained, {} degraded, {} re-queued (accuracy {:.4})",
+                    s.completed.len(),
+                    s.degraded.len(),
+                    s.requeued,
+                    coordinator.global_accuracy(),
+                );
+                for &(owner, shard, delegate) in &s.degraded {
+                    println!(
+                        "degraded drain: client {owner} shard {shard} reconstructed from parity, retrained by client {delegate}"
+                    );
+                }
+            }
+            Ok(None) => {}
+            Err(e) => die("shard drain failed", e),
+        }
+        return;
+    }
+    match coordinator.drain_unlearning(drain_seed(seed, slot)) {
+        Ok(Some(u)) => {
+            let stats = coordinator.drain_stats();
+            println!(
+                "round {slot} drain: served {} unlearning request(s) (post-unlearn accuracy {:.4}; {} served across {} drains so far)",
+                u.requests.len(),
+                u.round_accuracies.last().copied().unwrap_or(0.0),
+                stats.requests_served,
+                stats.batches_served,
+            );
+        }
+        Ok(None) => {}
+        Err(e) => die("unlearning failed", e),
+    }
+}
+
 fn serve<T: ServeTransport>(
     mut coordinator: Coordinator<T>,
     rounds: usize,
@@ -182,13 +240,25 @@ fn serve<T: ServeTransport>(
     // at its original seed slot, before any new round.
     if coordinator.has_overdue_drain() {
         let slot = start - 1;
-        match coordinator.drain_unlearning(drain_seed(seed, slot)) {
-            Ok(Some(u)) => println!(
-                "recovered drain (round {slot}): served {} unlearning request(s)",
-                u.requests.len()
-            ),
-            Ok(None) => {}
-            Err(e) => die("recovered drain failed", e),
+        if coordinator.shard_mode() {
+            match coordinator.drain_shard_tasks(drain_seed(seed, slot)) {
+                Ok(Some(s)) => println!(
+                    "recovered shard drain (round {slot}): {} task(s) retrained, {} re-queued",
+                    s.completed.len(),
+                    s.requeued
+                ),
+                Ok(None) => {}
+                Err(e) => die("recovered shard drain failed", e),
+            }
+        } else {
+            match coordinator.drain_unlearning(drain_seed(seed, slot)) {
+                Ok(Some(u)) => println!(
+                    "recovered drain (round {slot}): served {} unlearning request(s)",
+                    u.requests.len()
+                ),
+                Ok(None) => {}
+                Err(e) => die("recovered drain failed", e),
+            }
         }
     }
     for r in start..rounds {
@@ -210,20 +280,7 @@ fn serve<T: ServeTransport>(
                 Err(e) => println!("rejected unlearning request: {e}"),
             }
         }
-        match coordinator.drain_unlearning(drain_seed(seed, r)) {
-            Ok(Some(u)) => {
-                let stats = coordinator.drain_stats();
-                println!(
-                    "round {r} drain: served {} unlearning request(s) (post-unlearn accuracy {:.4}; {} served across {} drains so far)",
-                    u.requests.len(),
-                    u.round_accuracies.last().copied().unwrap_or(0.0),
-                    stats.requests_served,
-                    stats.batches_served,
-                );
-            }
-            Ok(None) => {}
-            Err(e) => die("unlearning failed", e),
-        }
+        drain_slot(&mut coordinator, r, seed);
     }
     let global = coordinator.global_state().to_vec();
     for e in coordinator.transport_mut().local_eval(rounds, &global) {
@@ -421,6 +478,18 @@ fn main() {
     .with_update_window(num("--window", 0usize))
     .with_telemetry(telemetry.clone());
     cfg = apply_robustness_flags(cfg);
+    let shard_tau: usize = num("--shards", 0usize);
+    let shard_group: usize = num("--shard-group", 2usize);
+    if shard_tau > 0 {
+        cfg = cfg.with_shards(ShardPolicy {
+            tau: shard_tau,
+            group: shard_group,
+            deadline_ms: num("--drain-deadline-ms", 0u64),
+        });
+    }
+    if let Some(limit) = value_of("--max-queue-depth") {
+        cfg = cfg.with_max_queue_depth(limit.parse().expect("--max-queue-depth expects a count"));
+    }
     if let Some(ms) = value_of("--read-timeout-ms") {
         let ms: u64 = ms.parse().expect("--read-timeout-ms expects milliseconds");
         cfg = cfg.with_read_timeout(std::time::Duration::from_millis(ms));
@@ -457,6 +526,14 @@ fn main() {
         return;
     }
 
+    if shard_tau > 0 {
+        // The ShardAssign/ShardResult frames and the worker's handler
+        // exist (and are pinned over real sockets), but the reactor
+        // transport does not yet dispatch shard drains — see the
+        // DESIGN.md §16 limitation note.
+        error!("--shards currently requires --loopback (TCP shard dispatch is not wired yet)");
+        std::process::exit(2);
+    }
     let addr = value_of("--listen").unwrap_or_else(|| "127.0.0.1:4771".to_string());
     let (listener, local) = bind(&addr).expect("bind listener");
     println!(
@@ -467,6 +544,8 @@ fn main() {
     let tcp_cfg = TcpConfig {
         agg_mode,
         agg_param,
+        shard_tau: if shard_tau > 0 { shard_tau as u32 } else { 0 },
+        shard_group: if shard_tau > 0 { shard_group as u32 } else { 0 },
         ..TcpConfig::default()
     };
     let mut transport = TcpTransport::accept(&listener, spec.clients, state_len, tcp_cfg)

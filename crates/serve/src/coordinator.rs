@@ -19,6 +19,7 @@
 //! reproduces the loopback run bitwise (pinned by
 //! `crates/serve/tests/serve_identity.rs`).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -72,6 +73,17 @@ pub struct CoordinatorConfig {
     /// registry)` — see `goldfish_fed::sampling`); `None` keeps the
     /// full-participation reference path.
     pub cohort_fraction: Option<f64>,
+    /// Shard-isolated unlearning (`--shards`/`--shard-group`/
+    /// `--drain-deadline-ms`, DESIGN.md §16): `Some` routes deletions
+    /// through the coordinator-owned [`crate::shard::ShardMap`] as
+    /// shard-granular retrain tasks with coded straggler tolerance;
+    /// `None` keeps the whole-client distillation path.
+    pub shard: Option<crate::shard::ShardPolicy>,
+    /// Backpressure bound on pending queue entries (`--max-queue-depth`):
+    /// a submit that would grow the queue (merges are free) past this
+    /// limit is rejected with the typed [`SubmitError::QueueFull`].
+    /// `None` = unbounded.
+    pub max_queue_depth: Option<usize>,
     /// The shared observability catalog (`--metrics-addr` /
     /// `--trace-out`). `None` builds a detached catalog: every metric
     /// still counts (accessors read them) but nothing is exported.
@@ -92,6 +104,8 @@ impl Default for CoordinatorConfig {
             update_window: 0,
             robust: RobustConfig::default(),
             cohort_fraction: None,
+            shard: None,
+            max_queue_depth: None,
             telemetry: None,
         }
     }
@@ -146,6 +160,21 @@ impl CoordinatorConfig {
         self
     }
 
+    /// Enables shard-isolated unlearning under this policy (`--shards`,
+    /// `--shard-group`, `--drain-deadline-ms`).
+    pub fn with_shards(mut self, policy: crate::shard::ShardPolicy) -> Self {
+        self.shard = Some(policy);
+        self
+    }
+
+    /// Bounds the pending queue depth (`--max-queue-depth`); submits
+    /// that would grow past it are rejected with
+    /// [`SubmitError::QueueFull`].
+    pub fn with_max_queue_depth(mut self, limit: usize) -> Self {
+        self.max_queue_depth = Some(limit);
+        self
+    }
+
     /// Attaches a shared observability catalog (the daemon builds one
     /// per process and hands the same [`Arc`] to the admin endpoint).
     pub fn with_telemetry(mut self, telemetry: Arc<ServeTelemetry>) -> Self {
@@ -186,6 +215,19 @@ pub struct UnlearnSummary {
     pub round_accuracies: Vec<f64>,
 }
 
+/// Summary of one shard-granular drain batch (shard mode only).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardDrainSummary {
+    /// Committed tasks as `(client, shard)`, execution order.
+    pub completed: Vec<(usize, usize)>,
+    /// Tasks committed via the coded degraded path, as `(owner, shard,
+    /// delegate)` — the owner straggled past the deadline, the delegate
+    /// retrained from the parity-reconstructed checkpoint.
+    pub degraded: Vec<(usize, usize, usize)>,
+    /// Tasks re-enqueued because the drain deadline expired.
+    pub requeued: usize,
+}
+
 /// Full-run summary of [`Coordinator::run`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunSummary {
@@ -193,6 +235,8 @@ pub struct RunSummary {
     pub rounds: Vec<RoundSummary>,
     /// Unlearning batches, in the order they drained.
     pub unlearns: Vec<UnlearnSummary>,
+    /// Shard-granular drain batches (shard mode), in drain order.
+    pub shard_drains: Vec<ShardDrainSummary>,
 }
 
 /// A deletion request the coordinator refused to queue.
@@ -225,6 +269,16 @@ pub enum SubmitError {
         /// The underlying durability error text.
         detail: String,
     },
+    /// The pending queue is at its configured bound
+    /// (`--max-queue-depth`) and this submit would grow it (a submit
+    /// that merges into an already-pending entry is always accepted).
+    /// Rejected before the WAL append, so nothing was logged or queued.
+    QueueFull {
+        /// The queue depth at rejection time.
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -239,6 +293,9 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::Durability { detail } => {
                 write!(f, "request not accepted, WAL write failed: {detail}")
+            }
+            SubmitError::QueueFull { depth, limit } => {
+                write!(f, "queue full ({depth} pending, limit {limit})")
             }
         }
     }
@@ -264,6 +321,18 @@ pub fn drain_seed(base: u64, round: usize) -> u64 {
 fn durability_fault(e: DurabilityError) -> TransportError {
     TransportError::Unsupported {
         reason: format!("durability: {e}"),
+    }
+}
+
+/// The shard-mode UNLEARN_SERVED audit record: detail leads with the
+/// shard index, then the removed row indices (original ordering).
+fn served_record(task: &crate::shard::ShardTask) -> AuditEventRecord {
+    AuditEventRecord {
+        kind: audit_kind::UNLEARN_SERVED,
+        client_id: task.client_id as u64,
+        detail: std::iter::once(task.shard as u64)
+            .chain(task.rows.iter().map(|&r| r as u64))
+            .collect(),
     }
 }
 
@@ -306,6 +375,12 @@ pub struct Coordinator<T: ServeTransport> {
     /// Every violation/quarantine verdict the admission layer has
     /// emitted, in order (what the audit chain records).
     robustness_log: Vec<RobustnessEvent>,
+    /// Shard mode's coordinator-owned map (DESIGN.md §16). Built
+    /// lazily from the registry on the first shard-routed submit, or
+    /// restored bitwise from a recovered checkpoint's shard section.
+    shard_map: Option<crate::shard::ShardMap>,
+    /// Shard mode's pending retrain tasks.
+    shard_tasks: crate::shard::ShardTaskQueue,
 }
 
 impl<T: ServeTransport> Coordinator<T> {
@@ -347,7 +422,23 @@ impl<T: ServeTransport> Coordinator<T> {
             durability: None,
             resume_drain_pending: false,
             robustness_log: Vec::new(),
+            shard_map: None,
+            shard_tasks: crate::shard::ShardTaskQueue::new(),
         }
+    }
+
+    /// Builds the shard map on first use: one mirror per registered
+    /// client, every shard starting from the factory's `init_seed`
+    /// state. Deterministic in `(policy, registry, init_seed)`, so a
+    /// crash before the first shard checkpoint rebuilds it bitwise.
+    fn ensure_shard_map(&mut self) {
+        if self.shard_map.is_some() {
+            return;
+        }
+        let Some(policy) = self.cfg.shard else { return };
+        let lens = self.transport.client_sizes();
+        let init = (self.factory)(self.cfg.init_seed).state_vector();
+        self.shard_map = Some(crate::shard::ShardMap::new(policy, &lens, &init));
     }
 
     /// Attaches a durable store and applies what it recovered: global
@@ -368,7 +459,7 @@ impl<T: ServeTransport> Coordinator<T> {
         recovered: Recovered,
     ) -> Result<(), StateLenError> {
         store.set_telemetry(DurabilityTelemetry::from_serve(&self.telemetry));
-        let replayed = recovered.replayed.len();
+        let replayed = recovered.replayed.len() + recovered.replayed_shard.len();
         if recovered.resumed {
             StateLenError::check(recovered.global.len(), self.global.len())?;
             self.global = recovered.global;
@@ -385,24 +476,46 @@ impl<T: ServeTransport> Coordinator<T> {
                 .drain_last_batch_requests
                 .set(recovered.drain_stats.last_batch_requests as i64);
             // The v2 chain mixes served deletions with robustness
-            // verdicts; only the former are removals to replay.
-            let served: Vec<UnlearnRequest> = recovered
-                .served
-                .iter()
-                .filter(|e| e.kind == audit_kind::UNLEARN_SERVED)
-                .map(|e| e.request())
-                .collect();
-            self.transport.apply_removals(&served);
+            // verdicts; only the former are removals to replay. In
+            // shard mode client datasets never shrink (removals are
+            // realised via per-retrain `keep_rows`, tombstoned in the
+            // shard map) — served entries are audit history only.
+            if self.cfg.shard.is_none() {
+                let served: Vec<UnlearnRequest> = recovered
+                    .served
+                    .iter()
+                    .filter(|e| e.kind == audit_kind::UNLEARN_SERVED)
+                    .map(|e| e.request())
+                    .collect();
+                self.transport.apply_removals(&served);
+            }
         }
         self.queue.restore(recovered.pending);
         for req in recovered.replayed {
             self.queue.submit(req);
         }
+        // Shard section: the map restores bitwise (parity recomputed),
+        // checkpoint tasks verbatim, then the WAL tail replays through
+        // the normal merge logic — same shape as the plain queue.
+        if let Some(snap) = recovered.shard {
+            self.shard_tasks.restore(snap.tasks.clone());
+            self.shard_map = Some(crate::shard::ShardMap::restore(&snap));
+        }
+        if !recovered.replayed_shard.is_empty() {
+            self.ensure_shard_map();
+            for task in recovered.replayed_shard {
+                self.shard_tasks.submit(task);
+            }
+        }
+        self.telemetry
+            .shard_tasks_pending
+            .set(self.shard_tasks.len() as i64);
         // A non-empty queue whose drain slot already passed (the crash
         // hit after the round's checkpoint but before the drain
         // committed) is served first by `run`, at its original seed.
-        self.resume_drain_pending =
-            recovered.resumed && !self.queue.is_empty() && self.next_round > 0;
+        self.resume_drain_pending = recovered.resumed
+            && (!self.queue.is_empty() || !self.shard_tasks.is_empty())
+            && self.next_round > 0;
         if recovered.resumed || replayed > 0 {
             self.telemetry.trace.record(EventKind::RecoveryReplayed {
                 next_round: self.next_round as u64,
@@ -484,10 +597,21 @@ impl<T: ServeTransport> Coordinator<T> {
     /// transport's client registry. The queue dedupes per client; the
     /// request is served when the queue next drains (between rounds).
     ///
+    /// In shard mode the request is routed through the shard map
+    /// instead: it drains as O(affected shards) retrain tasks, with
+    /// per-`(client, shard)` dedupe/merge. Removal indices address the
+    /// client's **original** dataset ordering (shard-mode datasets
+    /// never shrink); already-tombstoned rows drop out, and a request
+    /// routing to zero fresh tasks is an accepted no-op.
+    ///
     /// # Errors
     ///
-    /// [`SubmitError`] for unknown clients or out-of-range indices.
+    /// [`SubmitError`] for unknown clients, out-of-range indices, a
+    /// full queue, or a failed WAL append.
     pub fn submit_unlearn(&mut self, req: UnlearnRequest) -> Result<(), SubmitError> {
+        if self.cfg.shard.is_some() {
+            return self.submit_unlearn_sharded(req);
+        }
         let sizes = self.transport.client_sizes();
         let len = match sizes.get(req.client_id) {
             Some(&n) if n > 0 => n,
@@ -505,6 +629,20 @@ impl<T: ServeTransport> Coordinator<T> {
         if let Some(&bad) = req.removed.iter().find(|&&i| i >= len) {
             return Err(SubmitError::IndexOutOfRange { index: bad, len });
         }
+        // Backpressure before durability: a rejected submit must leave
+        // no WAL record. Merges into an already-pending entry do not
+        // grow the queue and always pass.
+        if let Some(limit) = self.cfg.max_queue_depth {
+            let depth = self.queue.len();
+            let merges = self
+                .queue
+                .pending()
+                .iter()
+                .any(|r| r.client_id == req.client_id);
+            if depth >= limit && !merges {
+                return Err(SubmitError::QueueFull { depth, limit });
+            }
+        }
         // Durability before acknowledgement: the request reaches the
         // WAL (fsync'd) before it reaches the queue, so an accepted
         // request survives any crash from here on.
@@ -516,6 +654,79 @@ impl<T: ServeTransport> Coordinator<T> {
                 })?;
         }
         self.queue.submit(req);
+        Ok(())
+    }
+
+    /// The shard-mode submit path: validate against the shard map's
+    /// original lengths, route to affected shards, WAL-log the route
+    /// (one fsync), then queue the tasks.
+    fn submit_unlearn_sharded(&mut self, req: UnlearnRequest) -> Result<(), SubmitError> {
+        self.ensure_shard_map();
+        let map = self.shard_map.as_ref().expect("shard mode without map");
+        if req.client_id >= map.num_clients() || map.original_len(req.client_id) == 0 {
+            return Err(SubmitError::UnknownClient {
+                client_id: req.client_id,
+            });
+        }
+        if req.removed.is_empty() {
+            return Err(SubmitError::EmptyRequest {
+                client_id: req.client_id,
+            });
+        }
+        let len = map.original_len(req.client_id);
+        if let Some(&bad) = req.removed.iter().find(|&&i| i >= len) {
+            return Err(SubmitError::IndexOutOfRange { index: bad, len });
+        }
+        let routed = map.route(req.client_id, &req.removed);
+        if routed.is_empty() {
+            // Everything already tombstoned: deletion is idempotent —
+            // accepted, nothing queued, nothing logged.
+            return Ok(());
+        }
+        // Backpressure before durability, counting only tasks that
+        // would grow the queue (merges are free).
+        if let Some(limit) = self.cfg.max_queue_depth {
+            let depth = self.shard_tasks.len();
+            let fresh = routed
+                .iter()
+                .filter(|&&(shard, _)| {
+                    !self
+                        .shard_tasks
+                        .pending()
+                        .iter()
+                        .any(|t| t.client_id == req.client_id && t.shard == shard)
+                })
+                .count();
+            if depth + fresh > limit {
+                return Err(SubmitError::QueueFull { depth, limit });
+            }
+        }
+        let tasks: Vec<crate::shard::ShardTask> = routed
+            .into_iter()
+            .map(|(shard, rows)| crate::shard::ShardTask::new(req.client_id, shard, rows))
+            .collect();
+        // One WAL append+fsync for the whole route: a crash persists
+        // all of the submit's tasks or none of them.
+        if let Some(store) = self.durability.as_mut() {
+            store
+                .log_submit_shard(&tasks)
+                .map_err(|e| SubmitError::Durability {
+                    detail: e.to_string(),
+                })?;
+        }
+        for task in tasks {
+            let (client, shard) = (task.client_id as u64, task.shard as u64);
+            let depth = self.shard_tasks.submit(task);
+            self.telemetry.trace.record(EventKind::ShardTaskQueued {
+                client,
+                shard,
+                depth: depth as u64,
+            });
+        }
+        self.telemetry.unlearn_submitted_total.inc();
+        self.telemetry
+            .shard_tasks_pending
+            .set(self.shard_tasks.len() as i64);
         Ok(())
     }
 
@@ -576,15 +787,30 @@ impl<T: ServeTransport> Coordinator<T> {
                 self.next_round = round + 1;
                 self.commit_robustness_events().map_err(durability_fault)?;
                 let drain_stats = self.drain_stats();
-                if let Some(store) = self.durability.as_mut() {
-                    store
-                        .commit_round(
-                            self.next_round,
-                            &self.global,
-                            self.queue.pending(),
-                            drain_stats,
-                        )
-                        .map_err(durability_fault)?;
+                {
+                    let Coordinator {
+                        durability,
+                        shard_map,
+                        shard_tasks,
+                        next_round,
+                        global,
+                        queue,
+                        ..
+                    } = &mut *self;
+                    if let Some(store) = durability.as_mut() {
+                        let shard_snapshot = shard_map
+                            .as_ref()
+                            .map(|m| m.snapshot(shard_tasks.pending()));
+                        store
+                            .commit_round(
+                                *next_round,
+                                global,
+                                queue.pending(),
+                                shard_snapshot.as_ref(),
+                                drain_stats,
+                            )
+                            .map_err(durability_fault)?;
+                    }
                 }
                 self.telemetry
                     .round_seconds
@@ -766,6 +992,278 @@ impl<T: ServeTransport> Coordinator<T> {
         }
     }
 
+    /// Whether this coordinator runs shard-isolated unlearning
+    /// (DESIGN.md §16) — deletions drain as shard retrain tasks instead
+    /// of whole-client distillation batches.
+    pub fn shard_mode(&self) -> bool {
+        self.cfg.shard.is_some()
+    }
+
+    /// The shard map, when shard mode has built (or recovered) it.
+    pub fn shard_map(&self) -> Option<&crate::shard::ShardMap> {
+        self.shard_map.as_ref()
+    }
+
+    /// The shard-granular task queue (for inspection).
+    pub fn shard_tasks(&self) -> &crate::shard::ShardTaskQueue {
+        &self.shard_tasks
+    }
+
+    /// Drains the shard task queue (shard mode's analogue of
+    /// [`Coordinator::drain_unlearning`]): each task retrains one
+    /// affected shard from its Eq 9 checkpoint on the transport, the
+    /// map tombstones the removed rows, and the global model absorbs
+    /// the size-weighted Eq 8 aggregate deltas of every touched client.
+    /// Returns `None` when nothing was pending.
+    ///
+    /// Straggler tolerance (DESIGN.md §16): before dispatching a task
+    /// the owner's declared lateness (`ServeTransport::straggle_ms`) is
+    /// checked against the drain deadline. An owner that alone would
+    /// miss it is bypassed — the owner's states are reconstructed from
+    /// the group's XOR parity (bitwise exact), a seeded delegate
+    /// retrains from the reconstructed checkpoint, and the audit chain
+    /// records a degraded-drain verdict. When the batch's consumed
+    /// lateness budget cannot absorb the next task's executor, the
+    /// drain commits its partial progress and re-enqueues the remainder
+    /// at the front of the queue.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures abort the drain uncommitted (the remainder,
+    /// including the failed task, is re-enqueued in memory; a durable
+    /// coordinator replays the whole batch from its last checkpoint).
+    pub fn drain_shard_tasks(
+        &mut self,
+        seed: u64,
+    ) -> Result<Option<ShardDrainSummary>, TransportError> {
+        self.ensure_shard_map();
+        if self.shard_tasks.is_empty() {
+            return Ok(None);
+        }
+        let drain_start = self.telemetry.clock.now_nanos();
+        self.telemetry.trace.record(EventKind::DrainStarted {
+            pending: self.shard_tasks.len() as u64,
+        });
+        let serial = self.telemetry.drain_batches_total.get();
+        let tasks = self.shard_tasks.drain_all();
+
+        let mut summary = ShardDrainSummary::default();
+        let mut audit_records: Vec<AuditEventRecord> = Vec::new();
+        // Eq 8 aggregates of touched clients *before* their first
+        // retrain of this batch, keyed (and later folded) in ascending
+        // client order — deterministic under any task interleaving.
+        let mut agg_before: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+        let mut consumed: u64 = 0;
+        let mut fail: Option<TransportError> = None;
+        let mut idx = 0;
+        {
+            let Coordinator {
+                shard_map,
+                transport,
+                factory,
+                cfg,
+                telemetry,
+                ..
+            } = self;
+            let map = shard_map.as_mut().expect("shard mode without map");
+            let policy = *map.policy();
+            let deadline = policy.deadline_ms;
+            while idx < tasks.len() {
+                let task = &tasks[idx];
+                let owner = task.client_id;
+                let keep = map.keep_rows(owner, task.shard, &task.rows);
+                if keep.is_empty() {
+                    // The shard emptied: its replacement is the fresh
+                    // init state at size zero — no retrain to run, no
+                    // lateness to budget.
+                    agg_before
+                        .entry(owner)
+                        .or_insert_with(|| map.client_aggregate(owner));
+                    let state = (factory)(cfg.init_seed).state_vector();
+                    map.apply_retrain(owner, task.shard, state, &task.rows);
+                    audit_records.push(served_record(task));
+                    summary.completed.push((owner, task.shard));
+                    idx += 1;
+                    continue;
+                }
+                let own_straggle = transport.straggle_ms(owner);
+                let mut executor = owner;
+                let mut exec_straggle = own_straggle;
+                let mut degraded = false;
+                if deadline > 0 && own_straggle >= deadline {
+                    // The owner alone blows the deadline: delegate to
+                    // the seeded pick among its healthy group members.
+                    let members = policy.members(policy.group_of(owner), map.num_clients());
+                    if let Some(d) = goldfish_fed::sampling::pick_delegate(seed, &members, owner) {
+                        executor = d;
+                        exec_straggle = transport.straggle_ms(d);
+                        degraded = true;
+                    }
+                }
+                if deadline > 0 && consumed + exec_straggle > deadline {
+                    // Out of budget: commit what ran, requeue the rest.
+                    break;
+                }
+                let task_seed = seed
+                    .wrapping_add((owner as u64) << 32)
+                    .wrapping_add((task.shard as u64) << 16)
+                    .wrapping_add(1);
+                let checkpoint = if degraded {
+                    // Parity ⊕ healthy members reproduces the owner's
+                    // states bitwise, so this checkpoint equals the
+                    // healthy path's bytes.
+                    let states = map.reconstruct(owner);
+                    telemetry.shard_reconstructions_total.inc();
+                    map.checkpoint_from_states(owner, task.shard, &states)
+                } else {
+                    map.checkpoint_for(owner, task.shard)
+                };
+                let assign = crate::shard::ShardRetrainAssign {
+                    owner,
+                    executor,
+                    shard: task.shard,
+                    tau: policy.tau,
+                    keep_rows: keep,
+                    checkpoint,
+                    cfg: cfg.train,
+                    seed: task_seed,
+                };
+                let state = match transport.shard_retrain(&assign) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        fail = Some(e);
+                        break;
+                    }
+                };
+                consumed += exec_straggle;
+                agg_before
+                    .entry(owner)
+                    .or_insert_with(|| map.client_aggregate(owner));
+                map.apply_retrain(owner, task.shard, state, &task.rows);
+                if degraded {
+                    telemetry.shard_degraded_drains_total.inc();
+                    telemetry.trace.record(EventKind::ShardDegraded {
+                        client: owner as u64,
+                        shard: task.shard as u64,
+                        delegate: executor as u64,
+                    });
+                    audit_records.push(AuditEventRecord {
+                        kind: audit_kind::DEGRADED_DRAIN,
+                        client_id: owner as u64,
+                        detail: vec![task.shard as u64, executor as u64],
+                    });
+                    summary.degraded.push((owner, task.shard, executor));
+                }
+                audit_records.push(served_record(task));
+                summary.completed.push((owner, task.shard));
+                idx += 1;
+            }
+        }
+        // Deadline expiry or transport failure: the untouched remainder
+        // (including the task that hit the wall) goes back to the front
+        // — those tasks were first in line and stay first.
+        if idx < tasks.len() {
+            let remainder: Vec<crate::shard::ShardTask> = tasks[idx..].to_vec();
+            summary.requeued = remainder.len();
+            self.telemetry
+                .shard_tasks_requeued_total
+                .add(remainder.len() as u64);
+            self.shard_tasks.requeue_front(remainder);
+            let remaining = self.shard_tasks.len() as u64;
+            for t in &tasks[idx..] {
+                self.telemetry.trace.record(EventKind::ShardRequeued {
+                    client: t.client_id as u64,
+                    shard: t.shard as u64,
+                    remaining,
+                });
+            }
+        }
+        self.telemetry
+            .shard_tasks_pending
+            .set(self.shard_tasks.len() as i64);
+        if let Some(e) = fail {
+            return Err(fatal_or(&self.transport, e));
+        }
+        if summary.completed.is_empty() {
+            // The deadline expired before anything ran — nothing to
+            // commit; the requeued batch waits for the next drain.
+            return Ok(Some(summary));
+        }
+        // Fold the touched clients' Eq 8 aggregate deltas into the
+        // global, size-weighted over the remaining samples, ascending
+        // by client id. A fully-emptied client's mass simply drops out.
+        {
+            let map = self.shard_map.as_ref().expect("shard mode without map");
+            let total: usize = (0..map.num_clients()).map(|c| map.remaining(c)).sum();
+            if total > 0 {
+                for (&client, before) in agg_before.iter() {
+                    if map.remaining(client) == 0 {
+                        continue;
+                    }
+                    let after = map.client_aggregate(client);
+                    let w = map.remaining(client) as f32 / total as f32;
+                    for ((g, &a), &b) in self.global.iter_mut().zip(after.iter()).zip(before.iter())
+                    {
+                        *g += w * (a - b);
+                    }
+                }
+            }
+        }
+        let completed = summary.completed.len();
+        self.telemetry
+            .unlearn_requests_served_total
+            .add(completed as u64);
+        self.telemetry.drain_batches_total.inc();
+        self.telemetry
+            .drain_last_batch_requests
+            .set(completed as i64);
+        self.telemetry.shard_tasks_total.add(completed as u64);
+        let drain_stats = self.drain_stats();
+        {
+            let Coordinator {
+                durability,
+                shard_map,
+                shard_tasks,
+                next_round,
+                global,
+                queue,
+                ..
+            } = &mut *self;
+            if let Some(store) = durability.as_mut() {
+                // Audit append (fsync'd) then checkpoint with the
+                // advanced shard section — the checkpoint IS the
+                // drain's commit record, exactly like the whole-client
+                // path.
+                let snapshot = shard_map
+                    .as_ref()
+                    .expect("shard mode without map")
+                    .snapshot(shard_tasks.pending());
+                let state_digest = digest::state_digest(*next_round as u64, global);
+                store
+                    .commit_shard_drain(
+                        *next_round as u64,
+                        serial,
+                        &audit_records,
+                        &state_digest,
+                        *next_round,
+                        global,
+                        queue.pending(),
+                        &snapshot,
+                        drain_stats,
+                    )
+                    .map_err(durability_fault)?;
+            }
+        }
+        self.telemetry.trace.record(EventKind::DrainCommitted {
+            requests: completed as u64,
+            rounds: 0,
+        });
+        self.telemetry
+            .drain_seconds
+            .observe_nanos(self.telemetry.clock.now_nanos().saturating_sub(drain_start));
+        Ok(Some(summary))
+    }
+
     /// The full serving loop: `rounds` training rounds, draining the
     /// unlearning queue between rounds (and once more after the last).
     /// Seeds derive via [`round_seed`]/[`drain_seed`] (the former
@@ -785,7 +1283,11 @@ impl<T: ServeTransport> Coordinator<T> {
         if self.resume_drain_pending {
             self.resume_drain_pending = false;
             let slot = self.next_round - 1;
-            if let Some(u) = self.drain_unlearning(drain_seed(seed, slot))? {
+            if self.cfg.shard.is_some() {
+                if let Some(s) = self.drain_shard_tasks(drain_seed(seed, slot))? {
+                    summary.shard_drains.push(s);
+                }
+            } else if let Some(u) = self.drain_unlearning(drain_seed(seed, slot))? {
                 summary.unlearns.push(u);
             }
         }
@@ -793,7 +1295,11 @@ impl<T: ServeTransport> Coordinator<T> {
             summary
                 .rounds
                 .push(self.train_round(r, round_seed(seed, r))?);
-            if let Some(u) = self.drain_unlearning(drain_seed(seed, r))? {
+            if self.cfg.shard.is_some() {
+                if let Some(s) = self.drain_shard_tasks(drain_seed(seed, r))? {
+                    summary.shard_drains.push(s);
+                }
+            } else if let Some(u) = self.drain_unlearning(drain_seed(seed, r))? {
                 summary.unlearns.push(u);
             }
         }

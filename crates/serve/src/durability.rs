@@ -41,8 +41,12 @@ use std::path::{Path, PathBuf};
 /// Checkpoint file magic: "GoldFish ChecKpoint".
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"GFCK";
 
-/// Checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint format version. v2 added the shard-mode section (a
+/// presence-flagged [`crate::shard::ShardSnapshot`] between the pending
+/// queue and the global state); v1 files are rejected with a typed
+/// version-skew error rather than silently read without their shard
+/// state.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// WAL file magic: "GoldFish Wal Log".
 pub const WAL_MAGIC: [u8; 4] = *b"GFWL";
@@ -184,6 +188,10 @@ pub struct Checkpoint {
     pub drain_stats: DrainStats,
     /// The pending unlearning queue, FIFO order.
     pub pending: Vec<UnlearnRequest>,
+    /// The shard-mode section (`None` when the coordinator runs without
+    /// `--shards`): the full shard map plus its pending task queue,
+    /// restored bitwise on recovery.
+    pub shard: Option<crate::shard::ShardSnapshot>,
     /// The global model state.
     pub global: Vec<f32>,
 }
@@ -251,6 +259,13 @@ impl Checkpoint {
         for req in &self.pending {
             put_request(&mut out, req);
         }
+        match &self.shard {
+            None => out.push(0u8),
+            Some(snap) => {
+                out.push(1u8);
+                snap.encode_into(&mut out);
+            }
+        }
         serialize::params_write_into(&mut out, &self.global);
         let checksum = sha256(&out);
         out.extend_from_slice(&checksum);
@@ -306,6 +321,16 @@ impl Checkpoint {
         for _ in 0..n_pending {
             pending.push(c.request().ok_or_else(truncated)?);
         }
+        let shard = match c.take(1).ok_or_else(truncated)?[0] {
+            0 => None,
+            1 => {
+                let (snap, consumed) =
+                    crate::shard::ShardSnapshot::decode(c.b).ok_or_else(truncated)?;
+                c.b = &c.b[consumed..];
+                Some(snap)
+            }
+            _ => return Err(truncated()),
+        };
         let mut global = Vec::new();
         serialize::params_read_into_vec(c.b, &mut global).map_err(|_| truncated())?;
         Ok(Checkpoint {
@@ -317,6 +342,7 @@ impl Checkpoint {
             audit_tip,
             drain_stats,
             pending,
+            shard,
             global,
         })
     }
@@ -342,6 +368,13 @@ pub struct Recovered {
     /// WAL submissions newer than the checkpoint, in sequence order —
     /// replay through the queue's normal submit/merge logic.
     pub replayed: Vec<UnlearnRequest>,
+    /// Shard-routed WAL tasks newer than the checkpoint, in sequence
+    /// order — replay through the shard queue's submit/merge logic.
+    pub replayed_shard: Vec<crate::shard::ShardTask>,
+    /// The checkpoint's shard section (`None` when the run was not in
+    /// shard mode, or not `resumed`). Restore with
+    /// [`crate::shard::ShardMap::restore`]; parity is recomputed.
+    pub shard: Option<crate::shard::ShardSnapshot>,
     /// The committed audit chain in chain order. Since audit v2 this
     /// mixes served deletions with robustness verdicts — filter to
     /// [`crate::audit::audit_kind::UNLEARN_SERVED`] before replaying
@@ -394,11 +427,7 @@ fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
     Ok(())
 }
 
-fn wal_record_bytes(seq: u64, req: &UnlearnRequest) -> Vec<u8> {
-    let mut body = Vec::with_capacity(32 + 8 * req.removed.len());
-    body.push(1u8); // record kind: submit
-    body.extend_from_slice(&seq.to_le_bytes());
-    put_request(&mut body, req);
+fn seal_wal_record(body: Vec<u8>) -> Vec<u8> {
     let mut h = Sha256::new();
     h.update(&body);
     let hash = h.finalize();
@@ -409,8 +438,39 @@ fn wal_record_bytes(seq: u64, req: &UnlearnRequest) -> Vec<u8> {
     out
 }
 
+fn wal_record_bytes(seq: u64, req: &UnlearnRequest) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + 8 * req.removed.len());
+    body.push(1u8); // record kind: submit
+    body.extend_from_slice(&seq.to_le_bytes());
+    put_request(&mut body, req);
+    seal_wal_record(body)
+}
+
+fn wal_shard_record_bytes(seq: u64, task: &crate::shard::ShardTask) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + 8 * task.rows.len());
+    body.push(2u8); // record kind: shard-routed submit
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&(task.client_id as u64).to_le_bytes());
+    body.extend_from_slice(&(task.shard as u32).to_le_bytes());
+    body.extend_from_slice(&(task.rows.len() as u32).to_le_bytes());
+    for &r in &task.rows {
+        body.extend_from_slice(&(r as u64).to_le_bytes());
+    }
+    seal_wal_record(body)
+}
+
+/// One decoded WAL record: a whole-client submit (kind 1) or one
+/// shard-routed retrain task of a shard-mode submit (kind 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A whole-client deletion request (the non-shard queue path).
+    Submit(UnlearnRequest),
+    /// One shard retrain task of a shard-routed deletion.
+    ShardTask(crate::shard::ShardTask),
+}
+
 /// Sequenced WAL records plus the torn-tail truncation offset, if any.
-type WalContents = (Vec<(u64, UnlearnRequest)>, Option<u64>);
+type WalContents = (Vec<(u64, WalRecord)>, Option<u64>);
 
 /// Parses the whole WAL. Returns `(records, truncate_at)`:
 /// `truncate_at` is `Some(offset)` when the file ends inside a record —
@@ -454,20 +514,27 @@ fn read_wal(data: &[u8]) -> Result<WalContents, DurabilityError> {
         if sha256(body) != *stored_hash {
             return Err(DurabilityError::WalCorrupt { offset: start });
         }
-        if body[0] != 1 {
-            return Err(DurabilityError::WalCorrupt { offset: start });
-        }
+        let corrupt = || DurabilityError::WalCorrupt { offset: start };
         let mut c = Cursor { b: &body[1..] };
-        let seq = c
-            .u64()
-            .ok_or(DurabilityError::WalCorrupt { offset: start })?;
-        let req = c
-            .request()
-            .ok_or(DurabilityError::WalCorrupt { offset: start })?;
+        let seq = c.u64().ok_or_else(corrupt)?;
+        let record = match body[0] {
+            1 => WalRecord::Submit(c.request().ok_or_else(corrupt)?),
+            2 => {
+                let client_id = c.u64().ok_or_else(corrupt)? as usize;
+                let shard = c.u32().ok_or_else(corrupt)? as usize;
+                let n = c.u32().ok_or_else(corrupt)? as usize;
+                let mut rows = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    rows.push(c.u64().ok_or_else(corrupt)? as usize);
+                }
+                WalRecord::ShardTask(crate::shard::ShardTask::new(client_id, shard, rows))
+            }
+            _ => return Err(corrupt()),
+        };
         if !c.b.is_empty() {
-            return Err(DurabilityError::WalCorrupt { offset: start });
+            return Err(corrupt());
         }
-        records.push((seq, req));
+        records.push((seq, record));
     }
     Ok((records, None))
 }
@@ -553,11 +620,14 @@ impl DurableStore {
             .max()
             .unwrap_or(0)
             .max(ckpt_seq);
-        let replayed = records
-            .into_iter()
-            .filter(|&(seq, _)| seq > ckpt_seq)
-            .map(|(_, req)| req)
-            .collect();
+        let mut replayed = Vec::new();
+        let mut replayed_shard = Vec::new();
+        for (_, record) in records.into_iter().filter(|&(seq, _)| seq > ckpt_seq) {
+            match record {
+                WalRecord::Submit(req) => replayed.push(req),
+                WalRecord::ShardTask(task) => replayed_shard.push(task),
+            }
+        }
 
         let recovered = match loaded {
             Some(ckpt) => {
@@ -575,6 +645,8 @@ impl DurableStore {
                     drain_stats: ckpt.drain_stats,
                     pending: ckpt.pending,
                     replayed,
+                    replayed_shard,
+                    shard: ckpt.shard,
                     served,
                 }
             }
@@ -590,6 +662,8 @@ impl DurableStore {
                     drain_stats: DrainStats::default(),
                     pending: Vec::new(),
                     replayed,
+                    replayed_shard,
+                    shard: None,
                     served: Vec::new(),
                 }
             }
@@ -628,6 +702,37 @@ impl DurableStore {
         Ok(seq)
     }
 
+    /// Appends one shard-routed submission — one kind-2 record per
+    /// affected shard, consecutive sequence numbers — in a **single**
+    /// write+fsync, so a crash either persists the whole route or none
+    /// of it (a partial route would desynchronise the tombstones the
+    /// tasks were computed against). Only after this returns may the
+    /// submit be acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] — the caller must then *reject* the
+    /// submission (it is not durable).
+    pub fn log_submit_shard(
+        &mut self,
+        tasks: &[crate::shard::ShardTask],
+    ) -> Result<u64, DurabilityError> {
+        let start = self.telemetry.clock.now_nanos();
+        let mut batch = Vec::new();
+        let mut seq = self.wal_seq;
+        for task in tasks {
+            seq += 1;
+            batch.extend_from_slice(&wal_shard_record_bytes(seq, task));
+        }
+        self.wal.write_all(&batch)?;
+        self.wal.sync_all()?;
+        self.wal_seq = seq;
+        self.telemetry
+            .wal_append_seconds
+            .observe_nanos(self.telemetry.clock.now_nanos().saturating_sub(start));
+        Ok(seq)
+    }
+
     /// Rebinds the store's fsync-span histograms to a shared catalog's
     /// cells (the coordinator calls this from `attach_durability`).
     pub fn set_telemetry(&mut self, telemetry: DurabilityTelemetry) {
@@ -645,9 +750,10 @@ impl DurableStore {
         round_next: usize,
         global: &[f32],
         pending: &[UnlearnRequest],
+        shard: Option<&crate::shard::ShardSnapshot>,
         drain_stats: DrainStats,
     ) -> Result<(), DurabilityError> {
-        self.write_checkpoint(round_next, global, pending, drain_stats)
+        self.write_checkpoint(round_next, global, pending, shard, drain_stats)
     }
 
     /// Appends robustness verdicts (violations/quarantines) to the
@@ -692,7 +798,34 @@ impl DurableStore {
     ) -> Result<(), DurabilityError> {
         self.audit
             .append_batch(round, drain_serial, served, state_digest)?;
-        self.write_checkpoint(round_next, global, pending, drain_stats)
+        self.write_checkpoint(round_next, global, pending, None, drain_stats)
+    }
+
+    /// Commits one shard drain batch: appends the batch's audit entries
+    /// (served tasks plus degraded-drain verdicts, fsync'd) and then
+    /// writes the post-drain checkpoint whose shard section snapshots
+    /// the advanced map and any deadline-requeued remainder. Same
+    /// atomic-at-recovery shape as [`DurableStore::commit_drain`].
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError`] from either step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn commit_shard_drain(
+        &mut self,
+        round: u64,
+        drain_serial: u64,
+        records: &[crate::audit::AuditEventRecord],
+        state_digest: &[u8; DIGEST_LEN],
+        round_next: usize,
+        global: &[f32],
+        pending: &[UnlearnRequest],
+        shard: &crate::shard::ShardSnapshot,
+        drain_stats: DrainStats,
+    ) -> Result<(), DurabilityError> {
+        self.audit
+            .append_shard_batch(round, drain_serial, records, state_digest)?;
+        self.write_checkpoint(round_next, global, pending, Some(shard), drain_stats)
     }
 
     fn write_checkpoint(
@@ -700,6 +833,7 @@ impl DurableStore {
         round_next: usize,
         global: &[f32],
         pending: &[UnlearnRequest],
+        shard: Option<&crate::shard::ShardSnapshot>,
         drain_stats: DrainStats,
     ) -> Result<(), DurabilityError> {
         let start = self.telemetry.clock.now_nanos();
@@ -713,6 +847,7 @@ impl DurableStore {
             audit_tip: self.audit.tip(),
             drain_stats,
             pending: pending.to_vec(),
+            shard: shard.cloned(),
             global: global.to_vec(),
         };
         let bytes = ckpt.to_bytes();

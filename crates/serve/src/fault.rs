@@ -89,12 +89,22 @@ pub enum ByzantineScript {
     /// `Rejected(HandlerPanic)` failure (worker dropped, round goes
     /// on), never a coordinator abort.
     Panic,
+    /// Straggle: this worker is `ms` milliseconds slow. A straggler is
+    /// *late, not wrong* — its training updates pass through intact —
+    /// but the shard drain consults the declared lateness (via
+    /// `ServeTransport::straggle_ms`) against `--drain-deadline-ms`
+    /// and, when the budget can't absorb it, routes the shard through
+    /// the coded-reconstruction degraded path (DESIGN.md §16).
+    Straggle {
+        /// Injected per-op lateness in milliseconds.
+        ms: u64,
+    },
 }
 
 impl ByzantineScript {
     /// Parses the daemon-flag syntax: `scale:F`, `signflip`,
     /// `noise:AMP` or `noise:AMP:SEED`, `replay`, `stale`, `dup`,
-    /// `panic`.
+    /// `panic`, `straggle:MS`.
     pub fn parse(s: &str) -> Option<ByzantineScript> {
         let mut parts = s.split(':');
         let head = parts.next()?;
@@ -114,6 +124,9 @@ impl ByzantineScript {
             "stale" => ByzantineScript::StaleRound,
             "dup" => ByzantineScript::Duplicate,
             "panic" => ByzantineScript::Panic,
+            "straggle" => ByzantineScript::Straggle {
+                ms: parts.next()?.parse().ok()?,
+            },
             _ => return None,
         };
         if parts.next().is_some() {
@@ -524,6 +537,10 @@ fn filter_update(
             "fault injection: scripted reply-handler panic (client {})",
             u.client_id
         ),
+        // A straggler is late, not wrong: its training update is
+        // delivered unmodified. The lateness bites on the shard drain
+        // path, where `straggle_ms` is consulted against the deadline.
+        ByzantineScript::Straggle { .. } => sink(u),
     }
 }
 
@@ -644,6 +661,30 @@ impl<T: ServeTransport> ServeTransport for FaultyTransport<T> {
     fn set_telemetry(&mut self, telemetry: &crate::telemetry::ServeTelemetry) {
         self.inner.set_telemetry(telemetry)
     }
+
+    fn shard_retrain(
+        &mut self,
+        assign: &crate::shard::ShardRetrainAssign,
+    ) -> Result<Vec<f32>, TransportError> {
+        let fate = self.begin_op();
+        if self.killed || fate.kill_before {
+            self.killed = true;
+            return Err(self.dead_error(assign.owner));
+        }
+        let out = self.inner.shard_retrain(assign);
+        if fate.kill_after {
+            self.killed = true;
+            return Err(self.dead_error(assign.owner));
+        }
+        out
+    }
+
+    fn straggle_ms(&self, client_id: usize) -> u64 {
+        match self.plan.byzantine_script(client_id) {
+            Some(&ByzantineScript::Straggle { ms }) => ms,
+            _ => self.inner.straggle_ms(client_id),
+        }
+    }
 }
 
 impl<T: ServeTransport> std::fmt::Debug for FaultyTransport<T> {
@@ -676,6 +717,21 @@ mod tests {
         );
         let total: usize = (0..20).map(|op| a.actions_at(op).len()).sum();
         assert!(total > 0, "25% over 80 trials dropped nothing");
+    }
+
+    #[test]
+    fn byzantine_scripts_parse_from_flag_syntax() {
+        assert_eq!(
+            ByzantineScript::parse("straggle:500"),
+            Some(ByzantineScript::Straggle { ms: 500 })
+        );
+        assert_eq!(
+            ByzantineScript::parse("scale:2.5"),
+            Some(ByzantineScript::Scale { factor: 2.5 })
+        );
+        assert_eq!(ByzantineScript::parse("straggle"), None);
+        assert_eq!(ByzantineScript::parse("straggle:abc"), None);
+        assert_eq!(ByzantineScript::parse("straggle:500:extra"), None);
     }
 
     #[test]

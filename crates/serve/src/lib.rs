@@ -28,6 +28,10 @@
 //! * [`queue`] — the FIFO [`queue::UnlearnQueue`] with per-client
 //!   dedupe, drained between training rounds (the paper's
 //!   request-then-retrain flow),
+//! * [`shard`] — shard-isolated unlearning (DESIGN.md §16): the
+//!   coordinator-owned [`shard::ShardMap`] (Eqs 8–10 mirrors +
+//!   tombstones), the shard-granular task queue, and the XOR parity
+//!   groups backing deadline-degraded drains,
 //! * [`coordinator`] — the [`coordinator::Coordinator`]: owns the global
 //!   state and the queue, drives training rounds and unlearning requests
 //!   over any transport, with straggler drop + re-round,
@@ -71,6 +75,7 @@ pub mod fault;
 pub mod fleet;
 pub mod nio;
 pub mod queue;
+pub mod shard;
 pub mod tcp;
 pub mod telemetry;
 pub mod transport;

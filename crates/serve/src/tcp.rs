@@ -85,6 +85,12 @@ pub struct TcpConfig {
     /// Mode parameter paired with `agg_mode` (trim count or clip-limit
     /// bits; 0 when the mode takes none).
     pub agg_param: u64,
+    /// Shards per client announced in `Capabilities` when the
+    /// coordinator runs shard-isolated unlearning (DESIGN.md §16);
+    /// 0 when shard mode is off.
+    pub shard_tau: u32,
+    /// Redundancy-group width paired with `shard_tau` (0 = off).
+    pub shard_group: u32,
 }
 
 impl Default for TcpConfig {
@@ -96,6 +102,8 @@ impl Default for TcpConfig {
             read_timeout: Duration::from_secs(30),
             agg_mode: 0,
             agg_param: 0,
+            shard_tau: 0,
+            shard_group: 0,
         }
     }
 }
@@ -348,6 +356,8 @@ impl TcpTransport {
                                                 state_len: state_len as u64,
                                                 agg_mode: cfg.agg_mode,
                                                 agg_param: cfg.agg_param,
+                                                shard_tau: cfg.shard_tau,
+                                                shard_group: cfg.shard_group,
                                             }
                                         }
                                         Err((code, detail)) => Msg::Err { code, detail },
@@ -538,6 +548,8 @@ impl TcpTransport {
                 state_len: self.state_len as u64,
                 agg_mode: self.cfg.agg_mode,
                 agg_param: self.cfg.agg_param,
+                shard_tau: self.cfg.shard_tau,
+                shard_group: self.cfg.shard_group,
             },
             &self.cfg.limits,
         )

@@ -81,6 +81,16 @@ pub struct ServeTelemetry {
     pub drain_batches_total: Counter,
     /// Requests served by the most recent drain.
     pub drain_last_batch_requests: Gauge,
+    /// Shard retrain tasks completed across all shard drains.
+    pub shard_tasks_total: Counter,
+    /// Shard checkpoints reconstructed from XOR parity (owner straggled).
+    pub shard_reconstructions_total: Counter,
+    /// Shard tasks committed via the degraded (delegated) path.
+    pub shard_degraded_drains_total: Counter,
+    /// Shard tasks re-enqueued because the drain deadline expired.
+    pub shard_tasks_requeued_total: Counter,
+    /// Shard retrain tasks currently pending in the shard queue.
+    pub shard_tasks_pending: Gauge,
 }
 
 impl ServeTelemetry {
@@ -150,6 +160,26 @@ impl ServeTelemetry {
             drain_last_batch_requests: registry.gauge(
                 "goldfish_drain_last_batch_requests",
                 "Requests served by the most recent drain",
+            ),
+            shard_tasks_total: registry.counter(
+                "goldfish_shard_tasks_total",
+                "Shard retrain tasks completed across all shard drains",
+            ),
+            shard_reconstructions_total: registry.counter(
+                "goldfish_shard_reconstructions_total",
+                "Shard checkpoints reconstructed from XOR parity",
+            ),
+            shard_degraded_drains_total: registry.counter(
+                "goldfish_shard_degraded_drains_total",
+                "Shard tasks committed via the degraded (delegated) path",
+            ),
+            shard_tasks_requeued_total: registry.counter(
+                "goldfish_shard_tasks_requeued_total",
+                "Shard tasks re-enqueued past an expired drain deadline",
+            ),
+            shard_tasks_pending: registry.gauge(
+                "goldfish_shard_tasks_pending",
+                "Shard retrain tasks currently pending",
             ),
             registry,
             clock,
@@ -298,6 +328,11 @@ mod tests {
             "goldfish_round_seconds",
             "goldfish_unlearn_queue_depth",
             "goldfish_checkpoint_fsync_seconds",
+            "goldfish_shard_tasks_total",
+            "goldfish_shard_reconstructions_total",
+            "goldfish_shard_degraded_drains_total",
+            "goldfish_shard_tasks_requeued_total",
+            "goldfish_shard_tasks_pending",
         ] {
             assert!(
                 names.iter().any(|n| n == want),

@@ -135,6 +135,34 @@ pub trait ServeTransport: RoundTransport + DistillTransport {
     fn set_telemetry(&mut self, telemetry: &crate::telemetry::ServeTelemetry) {
         let _ = telemetry;
     }
+
+    /// Executes one shard-granular retrain (DESIGN.md §16): the
+    /// executor subsets the owner's **original** dataset by
+    /// `assign.keep_rows` and runs
+    /// `goldfish_core::optimization::retrain_shard` from the shipped
+    /// Eq 9 checkpoint — the same primitive `ShardedClient` uses, which
+    /// is what pins the serve drain bitwise against the in-core oracle.
+    /// Transports without shard support return
+    /// [`TransportError::Unsupported`].
+    fn shard_retrain(
+        &mut self,
+        assign: &crate::shard::ShardRetrainAssign,
+    ) -> Result<Vec<f32>, TransportError> {
+        let _ = assign;
+        Err(TransportError::Unsupported {
+            reason: "transport does not implement shard retrains".into(),
+        })
+    }
+
+    /// The injected straggle delay (milliseconds) scripted for a
+    /// client's replies, consulted by the deadline-driven drain *before*
+    /// dispatching a shard retrain — fully deterministic, no wall-clock
+    /// sleeps on the drain path. Real transports report `0` (their
+    /// stragglers surface as read timeouts instead).
+    fn straggle_ms(&self, client_id: usize) -> u64 {
+        let _ = client_id;
+        0
+    }
 }
 
 /// One client's long-lived in-process worker: a network whose arenas,
@@ -456,6 +484,41 @@ impl ServeTransport for LoopbackTransport {
 
     fn wire_stats(&self) -> WireStats {
         WireStats::default()
+    }
+
+    fn shard_retrain(
+        &mut self,
+        assign: &crate::shard::ShardRetrainAssign,
+    ) -> Result<Vec<f32>, TransportError> {
+        // In shard mode the owned datasets never shrink (`begin_unlearn`
+        // is never called), so `keep_rows` — original-order indices —
+        // subsets them directly. The redundancy-group model: members
+        // hold replicas of each other's shard data, so any executor can
+        // run the owner's retrain; in-process, that is simply reading
+        // the owner's dataset.
+        let data = match self.clients.get(assign.owner) {
+            Some(d) => d,
+            None => {
+                return Err(TransportError::Disconnected {
+                    client_id: assign.owner,
+                    reason: "shard retrain for unregistered client".into(),
+                })
+            }
+        };
+        if let Some(&bad) = assign.keep_rows.iter().find(|&&r| r >= data.len()) {
+            return Err(TransportError::Protocol {
+                client_id: assign.owner,
+                reason: format!("keep row {bad} out of {} local samples", data.len()),
+            });
+        }
+        let survived = data.subset(&assign.keep_rows);
+        Ok(goldfish_core::optimization::retrain_shard(
+            &self.factory,
+            &assign.cfg,
+            &assign.checkpoint,
+            &survived,
+            assign.seed,
+        ))
     }
 }
 

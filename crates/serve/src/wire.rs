@@ -44,8 +44,10 @@ pub const MAGIC: [u8; 4] = *b"GFWP";
 /// Version history: 1 = initial GFWP; 2 = `Hello` resume token,
 /// `UnlearnAssign` drain serial, `Digest` frame; 3 = round nonce in
 /// `RoundAssign`/`Update`/`UnlearnResult`, aggregation-mode negotiation
-/// in `Capabilities` (DESIGN.md §13).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// in `Capabilities` (DESIGN.md §13); 4 = `ShardAssign`/`ShardResult`
+/// frames and shard-policy announcement in `Capabilities`
+/// (DESIGN.md §16).
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 10;
@@ -182,6 +184,10 @@ pub mod kind {
     pub const UNLEARN_ACK: u8 = 11;
     /// [`super::Msg::Shutdown`].
     pub const SHUTDOWN: u8 = 12;
+    /// [`super::Msg::ShardAssign`].
+    pub const SHARD_ASSIGN: u8 = 13;
+    /// [`super::Msg::ShardResult`].
+    pub const SHARD_RESULT: u8 = 14;
 }
 
 /// Error codes carried by [`Msg::Err`].
@@ -245,6 +251,12 @@ pub enum Msg {
         /// The aggregation mode's parameter (trim count or norm-limit
         /// bits; `0` when the mode takes none).
         agg_param: u64,
+        /// Shards per client when the coordinator runs shard-isolated
+        /// unlearning (DESIGN.md §16); `0` when shard mode is off.
+        shard_tau: u32,
+        /// Redundancy-group width of the coordinator's shard parity
+        /// (`0` when shard mode is off).
+        shard_group: u32,
     },
     /// Coordinator → worker: one round's marching orders.
     RoundAssign {
@@ -363,6 +375,40 @@ pub enum Msg {
     /// preceding `Shutdown` treats the session as a disconnect (and,
     /// under `--reconnect`, waits for the coordinator to come back).
     Shutdown,
+    /// Coordinator → worker: retrain one shard of `owner`'s partition
+    /// from its pre-deletion checkpoint (DESIGN.md §16). The recipient
+    /// need not be the owner — under a degraded drain the coordinator
+    /// reconstructs the checkpoint from group parity and delegates to a
+    /// healthy group member, which trains on its replica of the owner's
+    /// shard rows. The reply is [`Msg::ShardResult`].
+    ShardAssign {
+        /// The client whose shard is retrained (rows and checkpoint are
+        /// the owner's, whoever executes).
+        owner: u64,
+        /// Shard index within the owner's `τ`-way partition.
+        shard: u32,
+        /// The owner's shard count (sanity-checked against the
+        /// recipient's announced policy).
+        tau: u32,
+        /// Retrain seed (already task-derived by the coordinator).
+        seed: u64,
+        /// Local training hyperparameters for the retrain.
+        cfg: TrainConfig,
+        /// Row indices (owner's original data ordering) the shard keeps
+        /// after the deletion.
+        keep_rows: Vec<u64>,
+        /// The shard's stored pre-deletion state to warm-start from.
+        checkpoint: Vec<f32>,
+    },
+    /// Worker → coordinator: one shard retrain's result.
+    ShardResult {
+        /// Echoes the assignment's owner.
+        owner: u64,
+        /// Echoes the assignment's shard index.
+        shard: u32,
+        /// The retrained shard state vector.
+        state: Vec<f32>,
+    },
 }
 
 impl Msg {
@@ -381,6 +427,8 @@ impl Msg {
             Msg::Digest { .. } => kind::DIGEST,
             Msg::UnlearnAck { .. } => kind::UNLEARN_ACK,
             Msg::Shutdown => kind::SHUTDOWN,
+            Msg::ShardAssign { .. } => kind::SHARD_ASSIGN,
+            Msg::ShardResult { .. } => kind::SHARD_RESULT,
         }
     }
 
@@ -399,6 +447,8 @@ impl Msg {
             Msg::Digest { .. } => "Digest",
             Msg::UnlearnAck { .. } => "UnlearnAck",
             Msg::Shutdown => "Shutdown",
+            Msg::ShardAssign { .. } => "ShardAssign",
+            Msg::ShardResult { .. } => "ShardResult",
         }
     }
 }
@@ -552,11 +602,15 @@ pub fn encode_frame_into(
             state_len,
             agg_mode,
             agg_param,
+            shard_tau,
+            shard_group,
         } => {
             out.put_u64_le(*max_payload);
             out.put_u64_le(*state_len);
             out.put_slice(&[*agg_mode]);
             out.put_u64_le(*agg_param);
+            out.put_u32_le(*shard_tau);
+            out.put_u32_le(*shard_group);
         }
         Msg::RoundAssign {
             mode,
@@ -628,6 +682,35 @@ pub fn encode_frame_into(
             out.put_u64_le(*num_samples);
         }
         Msg::Shutdown => {}
+        Msg::ShardAssign {
+            owner,
+            shard,
+            tau,
+            seed,
+            cfg,
+            keep_rows,
+            checkpoint,
+        } => {
+            out.put_u64_le(*owner);
+            out.put_u32_le(*shard);
+            out.put_u32_le(*tau);
+            out.put_u64_le(*seed);
+            put_train_config(out, cfg);
+            out.put_u32_le(keep_rows.len() as u32);
+            for &r in keep_rows {
+                out.put_u64_le(r);
+            }
+            put_f32s(out, checkpoint);
+        }
+        Msg::ShardResult {
+            owner,
+            shard,
+            state,
+        } => {
+            out.put_u64_le(*owner);
+            out.put_u32_le(*shard);
+            put_f32s(out, state);
+        }
     }
     finish_frame(out, limits)
 }
@@ -944,6 +1027,8 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
             state_len: r.u64()?,
             agg_mode: r.u8()?,
             agg_param: r.u64()?,
+            shard_tau: r.u32()?,
+            shard_group: r.u32()?,
         }),
         kind::ROUND_ASSIGN => {
             let mode = match r.u8()? {
@@ -1024,6 +1109,36 @@ fn decode_payload(k: u8, payload: &[u8]) -> Result<Msg, WireError> {
             num_samples: r.u64()?,
         }),
         kind::SHUTDOWN => Ok(Msg::Shutdown),
+        kind::SHARD_ASSIGN => {
+            let owner = r.u64()?;
+            let shard = r.u32()?;
+            let tau = r.u32()?;
+            let seed = r.u64()?;
+            let cfg = read_train_config(&mut r)?;
+            let n = r.u32()? as usize;
+            let mut keep_rows = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                keep_rows.push(r.u64()?);
+            }
+            Ok(Msg::ShardAssign {
+                owner,
+                shard,
+                tau,
+                seed,
+                cfg,
+                keep_rows,
+                checkpoint: r.f32s()?,
+            })
+        }
+        kind::SHARD_RESULT => {
+            let owner = r.u64()?;
+            let shard = r.u32()?;
+            Ok(Msg::ShardResult {
+                owner,
+                shard,
+                state: r.f32s()?,
+            })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -1212,6 +1327,8 @@ mod tests {
             state_len: 1234,
             agg_mode: 1,
             agg_param: 2,
+            shard_tau: 3,
+            shard_group: 4,
         });
         roundtrip(Msg::RoundAssign {
             mode: RoundMode::Train,
@@ -1262,6 +1379,20 @@ mod tests {
         roundtrip(Msg::Digest { round: 11, digest });
         roundtrip(Msg::UnlearnAck { num_samples: 54 });
         roundtrip(Msg::Shutdown);
+        roundtrip(Msg::ShardAssign {
+            owner: 2,
+            shard: 1,
+            tau: 3,
+            seed: 0xDEAD_BEEF,
+            cfg: TrainConfig::default(),
+            keep_rows: vec![0, 4, 9],
+            checkpoint: vec![0.5, -0.25, 3.0],
+        });
+        roundtrip(Msg::ShardResult {
+            owner: 2,
+            shard: 1,
+            state: vec![1.0, 2.0],
+        });
     }
 
     #[test]

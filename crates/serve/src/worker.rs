@@ -267,6 +267,47 @@ impl WorkerRuntime {
                     global: Vec::new(),
                 }
             }
+            Msg::ShardAssign {
+                owner,
+                shard,
+                tau: _,
+                seed,
+                cfg,
+                keep_rows,
+                checkpoint,
+            } => {
+                // Shard retrain (DESIGN.md §16). `keep_rows` index the
+                // owner's original data ordering; under the replica
+                // data model a delegated executor holds the owner's
+                // rows at the same indices, so the subset below works
+                // identically for owner and delegate.
+                if checkpoint.len() != self.state_len {
+                    return bad_state_len(checkpoint.len(), self.state_len);
+                }
+                if let Some(&bad) = keep_rows.iter().find(|&&i| i as usize >= self.data.len()) {
+                    return Msg::Err {
+                        code: err_code::BAD_REQUEST,
+                        detail: format!(
+                            "shard keep-row {bad} out of range for {} local samples",
+                            self.data.len()
+                        ),
+                    };
+                }
+                let idx: Vec<usize> = keep_rows.iter().map(|&i| i as usize).collect();
+                let survived = self.data.subset(&idx);
+                let state = goldfish_core::optimization::retrain_shard(
+                    &self.factory,
+                    &cfg,
+                    &checkpoint,
+                    &survived,
+                    seed,
+                );
+                Msg::ShardResult {
+                    owner,
+                    shard,
+                    state,
+                }
+            }
             other => Msg::Err {
                 code: err_code::BAD_REQUEST,
                 detail: format!("unexpected {} from coordinator", other.name()),
@@ -582,6 +623,67 @@ mod tests {
         net.set_state_vector(&global);
         train_local_ce(&mut net, &spec.client_shard(1), &cfg, s);
         assert_eq!(state, net.state_vector());
+    }
+
+    #[test]
+    fn shard_assign_matches_local_retrain_and_validates() {
+        let (mut w, spec) = runtime();
+        let factory = spec.factory();
+        let checkpoint = (factory)(9).state_vector();
+        let cfg = spec.train_config();
+        let keep_rows: Vec<u64> = vec![0, 3, 7, 11];
+        let reply = w.handle(Msg::ShardAssign {
+            owner: 1,
+            shard: 2,
+            tau: 4,
+            seed: 77,
+            cfg,
+            keep_rows: keep_rows.clone(),
+            checkpoint: checkpoint.clone(),
+        });
+        let Msg::ShardResult {
+            owner,
+            shard,
+            state,
+        } = reply
+        else {
+            panic!("expected ShardResult, got {reply:?}");
+        };
+        assert_eq!((owner, shard), (1, 2));
+        let idx: Vec<usize> = keep_rows.iter().map(|&i| i as usize).collect();
+        let survived = spec.client_shard(1).subset(&idx);
+        let expect =
+            goldfish_core::optimization::retrain_shard(&factory, &cfg, &checkpoint, &survived, 77);
+        assert_eq!(state, expect);
+
+        // Mismatched checkpoint length and out-of-range rows are typed
+        // rejections, not panics.
+        let reply = w.handle(Msg::ShardAssign {
+            owner: 1,
+            shard: 0,
+            tau: 4,
+            seed: 1,
+            cfg,
+            keep_rows: vec![0],
+            checkpoint: vec![0.0; 3],
+        });
+        assert!(
+            matches!(reply, Msg::Err { code, .. } if code == err_code::BAD_STATE_LEN),
+            "got {reply:?}"
+        );
+        let reply = w.handle(Msg::ShardAssign {
+            owner: 1,
+            shard: 0,
+            tau: 4,
+            seed: 1,
+            cfg,
+            keep_rows: vec![40],
+            checkpoint,
+        });
+        assert!(
+            matches!(reply, Msg::Err { code, .. } if code == err_code::BAD_REQUEST),
+            "got {reply:?}"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use goldfish_serve::coordinator::{Coordinator, CoordinatorConfig};
 use goldfish_serve::demo::DemoSpec;
 use goldfish_serve::durability::{DurabilityError, DurableStore, CHECKPOINT_MAGIC};
 use goldfish_serve::queue::UnlearnRequest;
+use goldfish_serve::shard::{ShardPolicy, ShardTask};
 use goldfish_serve::transport::LoopbackTransport;
 
 fn spec() -> DemoSpec {
@@ -267,6 +268,122 @@ fn wal_truncated_at_every_byte_offset_never_panics() {
             }
             Err(other) => panic!("cut at {cut}: unexpected error {other:?}"),
         }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_wal_truncated_at_every_byte_offset_never_panics() {
+    // The every-offset property again, but over kind-2 (shard-task)
+    // records: a shard-mode submit logs one record per affected shard
+    // in a single write+fsync, so a cut can land *inside* a multi-record
+    // batch. Recovery must replay exactly the whole records inside the
+    // cut — never a partial task — and trim the tail to the last whole
+    // record boundary.
+    let dir = tmp_dir("shard-every-offset");
+    let wal = dir.join("queue.wal");
+
+    // τ = 4: rows route to shard `row % 4`. The middle submit touches
+    // two shards, producing a two-record batch whose interior boundary
+    // no submit-level ack ever observed.
+    let submits = vec![
+        UnlearnRequest::new(0, vec![0, 4]),    // shard 0 only
+        UnlearnRequest::new(1, vec![1, 2, 6]), // shards 1 and 2
+        UnlearnRequest::new(0, vec![3]),       // shard 3 only
+    ];
+    let tasks = [
+        ShardTask::new(0, 0, vec![0, 4]),
+        ShardTask::new(1, 1, vec![1]),
+        ShardTask::new(1, 2, vec![2, 6]),
+        ShardTask::new(0, 3, vec![3]),
+    ];
+    let clean = {
+        let spec = spec();
+        let transport = LoopbackTransport::new(spec.factory(), spec.client_shards(), Some(2));
+        let cfg = CoordinatorConfig {
+            train: spec.train_config(),
+            init_seed: 1,
+            threads: Some(2),
+            ..CoordinatorConfig::default()
+        }
+        .with_shards(ShardPolicy {
+            tau: 4,
+            group: 2,
+            deadline_ms: 0,
+        });
+        let mut c = Coordinator::new(spec.factory(), spec.test_set(), transport, cfg);
+        let (store, recovered) = DurableStore::open(&dir).unwrap();
+        c.attach_durability(store, recovered).unwrap();
+        for r in &submits {
+            c.submit_unlearn(r.clone()).unwrap();
+        }
+        std::fs::read(&wal).unwrap()
+    };
+
+    // Reconstruct per-record boundaries from the length-prefix framing
+    // (4-byte LE length, then body): boundaries[i] = file offset just
+    // past record i.
+    let mut boundaries = Vec::new();
+    let mut off = 8usize; // WAL header
+    while off < clean.len() {
+        let len = u32::from_le_bytes(clean[off..off + 4].try_into().unwrap()) as usize;
+        off += 4 + len;
+        boundaries.push(off as u64);
+    }
+    assert_eq!(boundaries.len(), tasks.len(), "one record per shard task");
+    assert_eq!(boundaries.last().copied(), Some(clean.len() as u64));
+
+    for cut in 0..=clean.len() {
+        std::fs::write(&wal, &clean[..cut]).unwrap();
+        match DurableStore::open(&dir) {
+            Ok((_s, recovered)) => {
+                assert!(cut == 0 || cut >= 8, "cut at {cut} parsed a partial header");
+                let whole = boundaries.iter().filter(|&&b| b <= cut as u64).count();
+                assert_eq!(
+                    recovered.replayed_shard,
+                    tasks[..whole],
+                    "cut at {cut}: wrong shard-task replay prefix"
+                );
+                assert!(
+                    recovered.replayed.is_empty(),
+                    "no whole-client records were ever logged"
+                );
+                assert!(!recovered.resumed, "no checkpoint exists");
+                let healed = std::fs::metadata(&wal).unwrap().len();
+                let expect = boundaries
+                    .iter()
+                    .filter(|&&b| b <= cut as u64)
+                    .max()
+                    .copied()
+                    .unwrap_or(8);
+                assert_eq!(healed, expect, "cut at {cut}: tail not trimmed");
+            }
+            Err(DurabilityError::WalHeader { .. }) => {
+                assert!((1..8).contains(&cut), "cut at {cut} must parse");
+            }
+            Err(other) => panic!("cut at {cut}: unexpected error {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_checkpoint_is_version_skew_not_corruption() {
+    // CHECKPOINT_VERSION moved 1 → 2 when the shard section was added.
+    // A v1 file must surface as typed skew (the version field is
+    // checked before the checksum) — not be silently read without its
+    // shard state, and not be misreported as corruption.
+    let dir = tmp_dir("v1-skew");
+    populate(&dir);
+    let files = checkpoints(&dir);
+    for f in &files {
+        let mut bytes = std::fs::read(f).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(f, &bytes).unwrap();
+    }
+    match DurableStore::open(&dir).map(|_| ()) {
+        Err(DurabilityError::CheckpointVersionSkew { got: 1, .. }) => {}
+        other => panic!("expected CheckpointVersionSkew for v1, got {other:?}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

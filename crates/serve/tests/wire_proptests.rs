@@ -82,7 +82,7 @@ fn arb_job() -> impl Strategy<Value = UnlearnJob> {
 /// the variant, the shared field pool fills it.
 fn arb_msg() -> impl Strategy<Value = Msg> {
     (
-        (0u8..10, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        (0u8..12, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         arb_cfg(),
         arb_job(),
         proptest::collection::vec(0u64..1_000_000, 0..32),
@@ -104,6 +104,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     state_len: b,
                     agg_mode: (c % 4) as u8,
                     agg_param: a ^ b,
+                    shard_tau: (a % 17) as u32,
+                    shard_group: (b % 9) as u32,
                 },
                 2 => Msg::RoundAssign {
                     mode: if a % 2 == 0 {
@@ -148,6 +150,20 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     detail: String::from_utf8(vec![b'a' + (ch % 26); str_len]).unwrap(),
                 },
                 8 => Msg::Ack,
+                9 => Msg::ShardAssign {
+                    owner: a,
+                    shard: (b % 64) as u32,
+                    tau: (c % 64) as u32,
+                    seed: a ^ b,
+                    cfg,
+                    keep_rows: removed,
+                    checkpoint: floats,
+                },
+                10 => Msg::ShardResult {
+                    owner: a,
+                    shard: (c % 64) as u32,
+                    state: floats,
+                },
                 _ => {
                     let mut digest = [0u8; 32];
                     for (i, byte) in digest.iter_mut().enumerate() {

@@ -89,6 +89,36 @@ pub enum EventKind {
         /// WAL entries replayed.
         replayed: u64,
     },
+    /// A shard retrain task entered the shard queue.
+    ShardTaskQueued {
+        /// Owning client id.
+        client: u64,
+        /// Shard index within the client.
+        shard: u64,
+        /// Shard-queue depth after the submit.
+        depth: u64,
+    },
+    /// A shard drain fell back to the coded degraded path: the owner
+    /// straggled past the deadline, the checkpoint was reconstructed
+    /// from parity and a delegate retrained the shard.
+    ShardDegraded {
+        /// Straggling owner client id.
+        client: u64,
+        /// Shard index within the owner.
+        shard: u64,
+        /// Healthy group member that executed the retrain.
+        delegate: u64,
+    },
+    /// A shard task was re-enqueued because the drain deadline expired
+    /// before it could run; the batch committed partial progress.
+    ShardRequeued {
+        /// Owning client id.
+        client: u64,
+        /// Shard index within the client.
+        shard: u64,
+        /// Tasks still pending after the requeue.
+        remaining: u64,
+    },
 }
 
 impl EventKind {
@@ -104,6 +134,9 @@ impl EventKind {
             EventKind::DrainStarted { .. } => "drain_started",
             EventKind::DrainCommitted { .. } => "drain_committed",
             EventKind::RecoveryReplayed { .. } => "recovery_replayed",
+            EventKind::ShardTaskQueued { .. } => "shard_task_queued",
+            EventKind::ShardDegraded { .. } => "shard_degraded",
+            EventKind::ShardRequeued { .. } => "shard_requeued",
         }
     }
 
@@ -171,6 +204,36 @@ impl EventKind {
                 Some(("next_round", next_round)),
                 Some(("replayed", replayed)),
                 None,
+                None,
+            ],
+            EventKind::ShardTaskQueued {
+                client,
+                shard,
+                depth,
+            } => [
+                Some(("client", client)),
+                Some(("shard", shard)),
+                Some(("depth", depth)),
+                None,
+            ],
+            EventKind::ShardDegraded {
+                client,
+                shard,
+                delegate,
+            } => [
+                Some(("client", client)),
+                Some(("shard", shard)),
+                Some(("delegate", delegate)),
+                None,
+            ],
+            EventKind::ShardRequeued {
+                client,
+                shard,
+                remaining,
+            } => [
+                Some(("client", client)),
+                Some(("shard", shard)),
+                Some(("remaining", remaining)),
                 None,
             ],
         }
@@ -376,8 +439,23 @@ mod tests {
             next_round: 7,
             replayed: 2,
         });
+        t.record(EventKind::ShardTaskQueued {
+            client: 1,
+            shard: 2,
+            depth: 3,
+        });
+        t.record(EventKind::ShardDegraded {
+            client: 1,
+            shard: 2,
+            delegate: 0,
+        });
+        t.record(EventKind::ShardRequeued {
+            client: 1,
+            shard: 2,
+            remaining: 4,
+        });
         let mut buf = Vec::new();
-        assert_eq!(t.write_jsonl(&mut buf).unwrap(), 7);
+        assert_eq!(t.write_jsonl(&mut buf).unwrap(), 10);
         let text = String::from_utf8(buf).unwrap();
         for tag in [
             "round_committed",
@@ -387,10 +465,15 @@ mod tests {
             "unlearn_queued",
             "drain_committed",
             "recovery_replayed",
+            "shard_task_queued",
+            "shard_degraded",
+            "shard_requeued",
         ] {
             assert!(text.contains(tag), "missing {tag} in {text}");
         }
         assert!(text.contains("\"degraded\":0"));
         assert!(text.contains("\"violation\":3"));
+        assert!(text.contains("\"delegate\":0"));
+        assert!(text.contains("\"remaining\":4"));
     }
 }
